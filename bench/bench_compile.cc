@@ -1,0 +1,87 @@
+// E9 — Query registration cost (lex + parse + analyze + compile).
+//
+// The demo registers queries interactively; compilation must be
+// microsecond-scale. Sweeps the number of pattern components (which also
+// grows the WHERE clause linearly).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "lang/parser.h"
+#include "plan/compiler.h"
+
+namespace cepr {
+namespace bench {
+namespace {
+
+std::string GeneratedQuery(int components) {
+  std::string q = "SELECT v0.price FROM Stock MATCH PATTERN SEQ(";
+  for (int i = 0; i < components; ++i) {
+    if (i > 0) q += ", ";
+    q += "v" + std::to_string(i);
+    if (i == components / 2) q += "+";  // one Kleene in the middle
+  }
+  q += ") PARTITION BY symbol WHERE v0.price > 10";
+  for (int i = 1; i < components; ++i) {
+    const std::string var = "v" + std::to_string(i);
+    if (i == components / 2) {
+      q += " AND " + var + "[i].price < " + var + "[i-1].price";
+    } else if (i == components / 2 + 1) {
+      q += " AND " + var + ".price > MIN(v" + std::to_string(components / 2) +
+           ".price)";
+    } else {
+      q += " AND " + var + ".price > v" + std::to_string(i - 1) + ".price";
+    }
+  }
+  q += " WITHIN 10 SECONDS RANK BY v0.price DESC LIMIT 5 EMIT ON WINDOW CLOSE";
+  return q;
+}
+
+void BM_ParseOnly(benchmark::State& state) {
+  const std::string text = GeneratedQuery(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto ast = ParseQuery(text);
+    CEPR_CHECK(ast.ok()) << ast.status().ToString();
+    benchmark::DoNotOptimize(ast);
+  }
+  state.counters["query_bytes"] = static_cast<double>(text.size());
+}
+
+BENCHMARK(BM_ParseOnly)->Arg(3)->Arg(5)->Arg(8)->ArgName("components");
+
+void BM_FullCompile(benchmark::State& state) {
+  const std::string text = GeneratedQuery(static_cast<int>(state.range(0)));
+  const SchemaPtr schema = StockGenerator::MakeSchema();
+  for (auto _ : state) {
+    auto plan = CompileQueryText(text, schema);
+    CEPR_CHECK(plan.ok()) << plan.status().ToString();
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["query_bytes"] = static_cast<double>(text.size());
+}
+
+BENCHMARK(BM_FullCompile)->Arg(3)->Arg(5)->Arg(8)->ArgName("components");
+
+void BM_CompileHundredDistinctQueries(benchmark::State& state) {
+  const SchemaPtr schema = StockGenerator::MakeSchema();
+  std::vector<std::string> texts;
+  for (int i = 0; i < 100; ++i) {
+    texts.push_back(DipQuery(1 + i % 20, 10 + i));
+  }
+  for (auto _ : state) {
+    for (const std::string& text : texts) {
+      auto plan = CompileQueryText(text, schema);
+      CEPR_CHECK(plan.ok()) << plan.status().ToString();
+      benchmark::DoNotOptimize(plan);
+    }
+  }
+  state.SetItemsProcessed(100 * state.iterations());
+}
+
+BENCHMARK(BM_CompileHundredDistinctQueries)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace cepr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// E10 — Hierarchical CEP (derived streams) ablation.
+//
+// The same two-level slowdown/wave detection as examples/composite_events,
+// compared against a single flat query approximating level 2 directly over
+// raw events. Measures the overhead of re-ingesting composite events and
+// the state reduction the two-level factoring buys.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "workload/traffic.h"
+
+namespace cepr {
+namespace bench {
+namespace {
+
+constexpr size_t kEvents = 50000;
+
+const std::vector<Event>& TrafficStream() {
+  static std::vector<Event>* cache = nullptr;
+  if (cache == nullptr) {
+    TrafficOptions options;
+    options.num_sensors = 6;
+    options.jam_probability = 0.004;
+    TrafficGenerator gen(options);
+    cache = new std::vector<Event>(gen.Take(kEvents));
+  }
+  return *cache;
+}
+
+void BM_TwoLevelComposition(benchmark::State& state) {
+  const auto& events = TrafficStream();
+  uint64_t level1_matches = 0;
+  uint64_t level2_matches = 0;
+  for (auto _ : state) {
+    Engine engine;
+    CEPR_CHECK(engine.RegisterSchema(TrafficGenerator::MakeSchema()).ok());
+    NullSink sink;
+    Status s = engine.RegisterQuery(
+        "slowdowns",
+        "SELECT a.sensor AS sensor, a.speed AS before, d.speed AS after "
+        "FROM Traffic MATCH PATTERN SEQ(a, d) USING STRICT "
+        "PARTITION BY sensor "
+        "WHERE d.speed < a.speed * 0.85 "
+        "WITHIN 5 SECONDS EMIT ON COMPLETE INTO Slowdown",
+        QueryOptions{}, nullptr);
+    CEPR_CHECK(s.ok()) << s.ToString();
+    s = engine.RegisterQuery(
+        "waves",
+        "SELECT FIRST(w).sensor, COUNT(w) "
+        "FROM Slowdown MATCH PATTERN SEQ(w{3,}, x) "
+        "PARTITION BY sensor "
+        "WHERE w[i].before <= w[i-1].after * 1.1 AND x.after >= 0 "
+        "WITHIN 10 SECONDS "
+        "RANK BY FIRST(w).before - LAST(w).after DESC "
+        "LIMIT 3 EMIT EVERY 2000 EVENTS",
+        QueryOptions{}, &sink);
+    CEPR_CHECK(s.ok()) << s.ToString();
+    for (const Event& e : events) CEPR_CHECK(engine.Push(Event(e)).ok());
+    engine.Finish();
+    level1_matches = engine.GetQuery("slowdowns").value()->metrics().matches;
+    level2_matches = engine.GetQuery("waves").value()->metrics().matches;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kEvents) * state.iterations());
+  state.counters["level1_matches"] = static_cast<double>(level1_matches);
+  state.counters["level2_matches"] = static_cast<double>(level2_matches);
+}
+
+BENCHMARK(BM_TwoLevelComposition)->Unit(benchmark::kMillisecond);
+
+// Flat single-level approximation: one Kleene pattern over raw readings
+// that encodes the whole collapse (a fast anchor then a falling run).
+void BM_FlatSingleLevel(benchmark::State& state) {
+  const auto& events = TrafficStream();
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    Engine engine;
+    CEPR_CHECK(engine.RegisterSchema(TrafficGenerator::MakeSchema()).ok());
+    NullSink sink;
+    const Status s = engine.RegisterQuery(
+        "flat",
+        "SELECT a.sensor, COUNT(d) "
+        "FROM Traffic MATCH PATTERN SEQ(a, d{3,}) "
+        "PARTITION BY sensor "
+        "WHERE a.speed > 60 AND d[i].speed < d[i-1].speed * 0.9 "
+        "  AND d[1].speed < a.speed * 0.9 "
+        "WITHIN 10 SECONDS "
+        "RANK BY a.speed - MIN(d.speed) DESC "
+        "LIMIT 3 EMIT EVERY 2000 EVENTS",
+        QueryOptions{}, &sink);
+    CEPR_CHECK(s.ok()) << s.ToString();
+    for (const Event& e : events) CEPR_CHECK(engine.Push(Event(e)).ok());
+    engine.Finish();
+    matches = engine.GetQuery("flat").value()->metrics().matches;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kEvents) * state.iterations());
+  state.counters["matches"] = static_cast<double>(matches);
+}
+
+BENCHMARK(BM_FlatSingleLevel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace cepr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// E8 — Emission-policy latency ablation.
+//
+// Eager (EMIT ON COMPLETE) vs. buffered (EMIT ON WINDOW CLOSE / EVERY N):
+// the event-time delay between a match's completion and its emission, and
+// the number of results delivered. Eager trades provisional ordering for
+// freshness; buffered delivers the exact ordered top-k once per window.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace cepr {
+namespace bench {
+namespace {
+
+constexpr size_t kEvents = 100000;
+
+void BM_Emission(benchmark::State& state) {
+  static const char* kPolicies[] = {"EMIT ON COMPLETE", "EMIT ON WINDOW CLOSE",
+                                    "EMIT EVERY 1000 EVENTS"};
+  const char* policy = kPolicies[state.range(0)];
+  const auto& events = StockStream(kEvents, 0.02);
+  QueryMetrics metrics;
+  for (auto _ : state) {
+    auto engine = StockEngine();
+    NullSink sink;
+    const Status s = engine->RegisterQuery(
+        "q", DipQuery(5, 100, "SKIP_TILL_NEXT_MATCH", policy), QueryOptions{},
+        &sink);
+    CEPR_CHECK(s.ok()) << s.ToString();
+    Replay(engine.get(), events);
+    metrics = engine->GetQuery("q").value()->metrics();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kEvents) * state.iterations());
+  state.counters["results"] = static_cast<double>(metrics.results);
+  state.counters["delay_us_p50"] = metrics.emission_delay_us.Percentile(50);
+  state.counters["delay_us_p99"] = metrics.emission_delay_us.Percentile(99);
+  state.counters["delay_us_max"] =
+      static_cast<double>(metrics.emission_delay_us.max());
+}
+
+BENCHMARK(BM_Emission)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgName("policy(0=eager,1=window,2=every1k)")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace cepr
+
+BENCHMARK_MAIN();

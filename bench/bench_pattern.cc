@@ -1,0 +1,124 @@
+// E4 — Scaling with pattern length and Kleene closure.
+//
+// Chains SEQ(v1, ..., vn) with a per-step "next price higher" predicate for
+// n in 2..6, plus a Kleene variant, over the same stream. Longer patterns
+// keep more live runs per event.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace cepr {
+namespace bench {
+namespace {
+
+constexpr size_t kEvents = 100000;
+
+// SEQ(v0, ..., v{n-1}) where each step's price must exceed the previous
+// step's, anchored by v0.price < 100 (~half of the stream).
+std::string ChainQuery(int n) {
+  std::string q = "SELECT v0.price FROM Stock MATCH PATTERN SEQ(";
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) q += ", ";
+    q += "v" + std::to_string(i);
+  }
+  q += ") PARTITION BY symbol WHERE v0.price < 100";
+  for (int i = 1; i < n; ++i) {
+    q += " AND v" + std::to_string(i) + ".price > v" + std::to_string(i - 1) +
+         ".price";
+  }
+  q += " WITHIN 50 MILLISECONDS";
+  return q;
+}
+
+void BM_PatternLength(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto& events = StockStream(kEvents, 0.0);
+  uint64_t matches = 0;
+  uint64_t peak_runs = 0;
+  for (auto _ : state) {
+    auto engine = StockEngine();
+    NullSink sink;
+    QueryOptions options;
+    options.ranker = RankerPolicy::kPassthrough;
+    const Status s = engine->RegisterQuery("q", ChainQuery(n), options, &sink);
+    CEPR_CHECK(s.ok()) << s.ToString();
+    Replay(engine.get(), events);
+    const QueryMetrics m = engine->GetQuery("q").value()->metrics();
+    matches = m.matches;
+    peak_runs = m.matcher.peak_active_runs;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kEvents) * state.iterations());
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["peak_runs"] = static_cast<double>(peak_runs);
+}
+
+BENCHMARK(BM_PatternLength)
+    ->DenseRange(2, 6)
+    ->ArgName("components")
+    ->Unit(benchmark::kMillisecond);
+
+// Kleene variant: SEQ(a, b+, c) with iteration predicates, vs. the length-3
+// chain above — the cost of per-iteration evaluation and longer run lives.
+void BM_KleeneVsChain(benchmark::State& state) {
+  const bool kleene = state.range(0) != 0;
+  const auto& events = StockStream(kEvents, 0.01);
+  const std::string query = kleene ? DetectQuery(50) : ChainQuery(3);
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    auto engine = StockEngine();
+    NullSink sink;
+    QueryOptions options;
+    options.ranker = RankerPolicy::kPassthrough;
+    const Status s = engine->RegisterQuery("q", query, options, &sink);
+    CEPR_CHECK(s.ok()) << s.ToString();
+    Replay(engine.get(), events);
+    matches = engine->GetQuery("q").value()->metrics().matches;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kEvents) * state.iterations());
+  state.counters["matches"] = static_cast<double>(matches);
+}
+
+BENCHMARK(BM_KleeneVsChain)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("kleene")
+    ->Unit(benchmark::kMillisecond);
+
+// Negation watcher cost: the same chain with and without an interposed
+// negated component.
+void BM_NegationCost(benchmark::State& state) {
+  const bool negated = state.range(0) != 0;
+  const auto& events = StockStream(kEvents, 0.0);
+  std::string query =
+      "SELECT a.price FROM Stock MATCH PATTERN SEQ(a, ";
+  query += negated ? "!n, " : "";
+  query += "c) PARTITION BY symbol WHERE a.price < 100 AND c.price > a.price";
+  if (negated) query += " AND n.price > a.price * 2";
+  query += " WITHIN 50 MILLISECONDS";
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    auto engine = StockEngine();
+    NullSink sink;
+    QueryOptions options;
+    options.ranker = RankerPolicy::kPassthrough;
+    const Status s = engine->RegisterQuery("q", query, options, &sink);
+    CEPR_CHECK(s.ok()) << s.ToString();
+    Replay(engine.get(), events);
+    matches = engine->GetQuery("q").value()->metrics().matches;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kEvents) * state.iterations());
+  state.counters["matches"] = static_cast<double>(matches);
+}
+
+BENCHMARK(BM_NegationCost)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("negated")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace cepr
+
+BENCHMARK_MAIN();

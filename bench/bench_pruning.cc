@@ -1,0 +1,127 @@
+// E3 — Partial-match pruning effectiveness.
+//
+// The pruner engages under global (EMIT ON COMPLETE) ranking, where the
+// top-k bar persists and only rises. Two score shapes bracket the design
+// space:
+//  * "tight": RANK BY dip-depth ASC — a partial match's lower bound equals
+//    the score it would get if completed now, so the bar bites early;
+//  * "loose": RANK BY dip-depth DESC — the upper bound assumes the dip
+//    could still fall to the range floor, so pruning rarely fires.
+// Sweeping k and match density shows where the optimization pays.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace cepr {
+namespace bench {
+namespace {
+
+constexpr size_t kEvents = 100000;
+
+std::string GlobalDipQuery(int k, bool desc) {
+  return "SELECT a.symbol, a.price, MIN(b.price) "
+         "FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+         "PARTITION BY symbol "
+         "WHERE b[i].price < b[i-1].price AND b[1].price < a.price "
+         "  AND c.price > a.price "
+         "WITHIN 100 MILLISECONDS "
+         "RANK BY (a.price - MIN(b.price)) / a.price " +
+         std::string(desc ? "DESC" : "ASC") + " LIMIT " + std::to_string(k) +
+         " EMIT ON COMPLETE";
+}
+
+void BM_Pruning(benchmark::State& state) {
+  const bool pruned = state.range(0) != 0;
+  const int k = static_cast<int>(state.range(1));
+  const bool desc = state.range(2) != 0;  // DESC = loose bound
+  const auto& events = StockStream(kEvents, 0.02);
+  QueryMetrics metrics;
+  for (auto _ : state) {
+    auto engine = StockEngine();
+    NullSink sink;
+    QueryOptions options;
+    options.ranker = pruned ? RankerPolicy::kPruned : RankerPolicy::kHeap;
+    const Status s =
+        engine->RegisterQuery("q", GlobalDipQuery(k, desc), options, &sink);
+    CEPR_CHECK(s.ok()) << s.ToString();
+    Replay(engine.get(), events);
+    metrics = engine->GetQuery("q").value()->metrics();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kEvents) * state.iterations());
+  state.counters["matches"] = static_cast<double>(metrics.matches);
+  state.counters["runs_created"] =
+      static_cast<double>(metrics.matcher.runs_created);
+  state.counters["runs_pruned"] =
+      static_cast<double>(metrics.matcher.runs_pruned_score);
+  state.counters["prune_checks"] = static_cast<double>(metrics.prune_checks);
+}
+
+BENCHMARK(BM_Pruning)
+    ->ArgsProduct({{0, 1}, {1, 5, 25}, {0, 1}})
+    ->ArgNames({"pruned", "k", "desc"})
+    ->Unit(benchmark::kMillisecond);
+
+// Density sweep at the sweet spot (tight bound, k=1).
+void BM_PruningVsDensity(benchmark::State& state) {
+  const bool pruned = state.range(0) != 0;
+  const double density = static_cast<double>(state.range(1)) / 1000.0;
+  const auto& events = StockStream(kEvents, density);
+  QueryMetrics metrics;
+  for (auto _ : state) {
+    auto engine = StockEngine();
+    NullSink sink;
+    QueryOptions options;
+    options.ranker = pruned ? RankerPolicy::kPruned : RankerPolicy::kHeap;
+    const Status s = engine->RegisterQuery("q", GlobalDipQuery(1, false),
+                                           options, &sink);
+    CEPR_CHECK(s.ok()) << s.ToString();
+    Replay(engine.get(), events);
+    metrics = engine->GetQuery("q").value()->metrics();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kEvents) * state.iterations());
+  state.counters["runs_pruned"] =
+      static_cast<double>(metrics.matcher.runs_pruned_score);
+  state.counters["matches"] = static_cast<double>(metrics.matches);
+}
+
+BENCHMARK(BM_PruningVsDensity)
+    ->ArgsProduct({{0, 1}, {5, 20, 50}})
+    ->ArgNames({"pruned", "v_prob_x1000"})
+    ->Unit(benchmark::kMillisecond);
+
+// Disengagement overhead: an unboundable score (COUNT DESC) must make
+// kPruned behave exactly like kHeap (no pruner is even constructed).
+void BM_PruningDisengaged(benchmark::State& state) {
+  const bool pruned = state.range(0) != 0;
+  const auto& events = StockStream(kEvents, 0.02);
+  const std::string query =
+      "SELECT a.symbol FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "PARTITION BY symbol "
+      "WHERE b[i].price < b[i-1].price AND b[1].price < a.price "
+      "  AND c.price > a.price "
+      "WITHIN 100 MILLISECONDS "
+      "RANK BY COUNT(b) DESC LIMIT 5 EMIT ON COMPLETE";
+  for (auto _ : state) {
+    auto engine = StockEngine();
+    NullSink sink;
+    QueryOptions options;
+    options.ranker = pruned ? RankerPolicy::kPruned : RankerPolicy::kHeap;
+    const Status s = engine->RegisterQuery("q", query, options, &sink);
+    CEPR_CHECK(s.ok()) << s.ToString();
+    Replay(engine.get(), events);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kEvents) * state.iterations());
+}
+
+BENCHMARK(BM_PruningDisengaged)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("pruned")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace cepr
+
+BENCHMARK_MAIN();

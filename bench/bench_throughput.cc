@@ -1,0 +1,97 @@
+// E1 — Detection throughput vs. ranking mode.
+//
+// One tumbling-window dip query over the stock stream, in three
+// configurations: pure detection (no RANK BY), ranked with the incremental
+// heap, and ranked with heap + partial-match pruning. The headline series:
+// events/s per mode, plus match counts as sanity.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace cepr {
+namespace bench {
+namespace {
+
+constexpr size_t kEvents = 200000;
+constexpr double kVProbability = 0.01;
+
+enum Mode : int64_t { kDetectOnly = 0, kRankedHeap = 1, kRankedPruned = 2 };
+
+void BM_Throughput(benchmark::State& state) {
+  const Mode mode = static_cast<Mode>(state.range(0));
+  const auto& events = StockStream(kEvents, kVProbability);
+
+  uint64_t matches = 0;
+  uint64_t results = 0;
+  for (auto _ : state) {
+    auto engine = StockEngine();
+    QueryOptions options;
+    std::string query;
+    switch (mode) {
+      case kDetectOnly:
+        query = DetectQuery();
+        options.ranker = RankerPolicy::kPassthrough;
+        break;
+      case kRankedHeap:
+        query = DipQuery(/*limit=*/10);
+        options.ranker = RankerPolicy::kHeap;
+        break;
+      case kRankedPruned:
+        query = DipQuery(/*limit=*/10);
+        options.ranker = RankerPolicy::kPruned;
+        break;
+    }
+    NullSink sink;
+    const Status s = engine->RegisterQuery("q", query, options, &sink);
+    CEPR_CHECK(s.ok()) << s.ToString();
+    Replay(engine.get(), events);
+    const QueryMetrics m = engine->GetQuery("q").value()->metrics();
+    matches = m.matches;
+    results = m.results;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kEvents) * state.iterations());
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["results"] = static_cast<double>(results);
+}
+
+BENCHMARK(BM_Throughput)
+    ->Arg(kDetectOnly)
+    ->Arg(kRankedHeap)
+    ->Arg(kRankedPruned)
+    ->ArgName("mode(0=detect,1=heap,2=pruned)")
+    ->Unit(benchmark::kMillisecond);
+
+// Scaling with planted-pattern density: how throughput degrades as the
+// stream gets "interesting" (mode fixed to pruned).
+void BM_ThroughputVsDensity(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 1000.0;
+  const auto& events = StockStream(kEvents, density);
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    auto engine = StockEngine();
+    NullSink sink;
+    QueryOptions options;
+    options.ranker = RankerPolicy::kPruned;
+    const Status s = engine->RegisterQuery("q", DipQuery(10), options, &sink);
+    CEPR_CHECK(s.ok()) << s.ToString();
+    Replay(engine.get(), events);
+    matches = engine->GetQuery("q").value()->metrics().matches;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kEvents) * state.iterations());
+  state.counters["matches"] = static_cast<double>(matches);
+}
+
+BENCHMARK(BM_ThroughputVsDensity)
+    ->Arg(0)
+    ->Arg(5)
+    ->Arg(20)
+    ->Arg(50)
+    ->ArgName("v_prob_x1000")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace cepr
+
+BENCHMARK_MAIN();

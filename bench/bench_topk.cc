@@ -1,0 +1,89 @@
+// E2 — Top-k maintenance cost vs. k.
+//
+// Isolates the ranking layer: a fixed pre-generated match stream is offered
+// to each ranker policy with varying k. The incremental heap should scale
+// ~log k per offer; naive-sort pays O(n log n) at window close regardless
+// of k.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "rank/ranker.h"
+
+namespace cepr {
+namespace bench {
+namespace {
+
+constexpr size_t kMatches = 100000;
+
+// Pre-generated scored matches (same for every configuration).
+const std::vector<Match>& MatchStream() {
+  static std::vector<Match>* cache = nullptr;
+  if (cache == nullptr) {
+    cache = new std::vector<Match>();
+    Random rng(7);
+    cache->reserve(kMatches);
+    for (uint64_t i = 0; i < kMatches; ++i) {
+      Match m;
+      m.id = i;
+      m.score = rng.UniformDouble(0.0, 1.0);
+      cache->push_back(std::move(m));
+    }
+  }
+  return *cache;
+}
+
+CompiledQueryPtr PlanWithLimit(int limit) {
+  return CompileQueryText(DipQuery(limit, 100, "SKIP_TILL_NEXT_MATCH",
+                                   "EMIT EVERY 1000000 EVENTS"),
+                          StockGenerator::MakeSchema())
+      .value();
+}
+
+void BM_TopKOffer(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const bool naive = state.range(1) != 0;
+  const auto plan = PlanWithLimit(k);
+  const auto& matches = MatchStream();
+
+  for (auto _ : state) {
+    Ranker ranker(plan, naive ? RankerPolicy::kNaiveSort : RankerPolicy::kHeap);
+    std::vector<RankedResult> out;
+    for (const Match& m : matches) {
+      ranker.OnMatch(Match(m), 0, &out);
+    }
+    ranker.Finish(&out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kMatches) * state.iterations());
+}
+
+BENCHMARK(BM_TopKOffer)
+    ->ArgsProduct({{1, 10, 100, 1000}, {0, 1}})
+    ->ArgNames({"k", "naive"})
+    ->Unit(benchmark::kMillisecond);
+
+// Unlimited ranked emission: heap degenerates to keep-everything.
+void BM_TopKUnlimited(benchmark::State& state) {
+  const bool naive = state.range(0) != 0;
+  const auto plan = PlanWithLimit(-1);
+  const auto& matches = MatchStream();
+  for (auto _ : state) {
+    Ranker ranker(plan, naive ? RankerPolicy::kNaiveSort : RankerPolicy::kHeap);
+    std::vector<RankedResult> out;
+    for (const Match& m : matches) ranker.OnMatch(Match(m), 0, &out);
+    ranker.Finish(&out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kMatches) * state.iterations());
+}
+
+BENCHMARK(BM_TopKUnlimited)->Arg(0)->Arg(1)->ArgName("naive")->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace cepr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+#ifndef CEPR_BENCH_BENCH_UTIL_H_
+#define CEPR_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "runtime/engine.h"
+#include "workload/stock.h"
+
+namespace cepr {
+namespace bench {
+
+/// The canonical CEPR evaluation query: dip-and-recovery over Stock,
+/// ranked by relative dip depth.
+inline std::string DipQuery(int limit, Timestamp within_ms = 100,
+                            const std::string& strategy = "SKIP_TILL_NEXT_MATCH",
+                            const std::string& emit = "EMIT ON WINDOW CLOSE") {
+  std::string q =
+      "SELECT a.symbol, a.price, MIN(b.price), c.price "
+      "FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "USING " + strategy + " " +
+      "PARTITION BY symbol "
+      "WHERE b[i].price < b[i-1].price AND b[1].price < a.price "
+      "  AND c.price > a.price "
+      "WITHIN " + std::to_string(within_ms) + " MILLISECONDS "
+      "RANK BY (a.price - MIN(b.price)) / a.price DESC ";
+  if (limit >= 0) q += "LIMIT " + std::to_string(limit) + " ";
+  q += emit;
+  return q;
+}
+
+/// Unranked variant (pure detection).
+inline std::string DetectQuery(Timestamp within_ms = 100) {
+  return "SELECT a.symbol, a.price FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+         "PARTITION BY symbol "
+         "WHERE b[i].price < b[i-1].price AND b[1].price < a.price "
+         "  AND c.price > a.price "
+         "WITHIN " + std::to_string(within_ms) + " MILLISECONDS";
+}
+
+/// Pre-generates a deterministic stock stream shared across benchmark
+/// repetitions (events are copied into each run).
+inline const std::vector<Event>& StockStream(size_t n, double v_probability,
+                                             int num_symbols = 10) {
+  static std::vector<Event>* cache = nullptr;
+  static size_t cache_n = 0;
+  static double cache_p = -1;
+  static int cache_s = 0;
+  if (cache == nullptr || cache_n != n || cache_p != v_probability ||
+      cache_s != num_symbols) {
+    StockOptions options;
+    options.num_symbols = num_symbols;
+    options.v_probability = v_probability;
+    StockGenerator gen(options);
+    delete cache;
+    cache = new std::vector<Event>(gen.Take(n));
+    cache_n = n;
+    cache_p = v_probability;
+    cache_s = num_symbols;
+  }
+  return *cache;
+}
+
+/// Builds an engine with the Stock schema registered.
+inline std::unique_ptr<Engine> StockEngine() {
+  auto engine = std::make_unique<Engine>();
+  const Status s = engine->RegisterSchema(StockGenerator::MakeSchema());
+  CEPR_CHECK(s.ok()) << s.ToString();
+  return engine;
+}
+
+/// Pushes a copy of `events` through `engine`, finishing at the end.
+inline void Replay(Engine* engine, const std::vector<Event>& events) {
+  for (const Event& e : events) {
+    const Status s = engine->Push(Event(e));
+    CEPR_CHECK(s.ok()) << s.ToString();
+  }
+  engine->Finish();
+}
+
+}  // namespace bench
+}  // namespace cepr
+
+#endif  // CEPR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,64 @@
+// E6 — Active-run state vs. WITHIN span.
+//
+// Runs whose WITHIN has not elapsed stay live; this bench sweeps the span
+// and reports the peak run population and the estimated resident bytes of
+// the run state (the engine's dominant memory consumer).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace cepr {
+namespace bench {
+namespace {
+
+constexpr size_t kEvents = 50000;
+
+void BM_WindowSpan(benchmark::State& state) {
+  const auto within_ms = static_cast<Timestamp>(state.range(0));
+  const auto& events = StockStream(kEvents, 0.01);
+  uint64_t peak_runs = 0;
+  size_t peak_bytes = 0;
+  uint64_t expired = 0;
+  for (auto _ : state) {
+    auto engine = StockEngine();
+    NullSink sink;
+    QueryOptions options;
+    options.ranker = RankerPolicy::kHeap;
+    const Status s =
+        engine->RegisterQuery("q", DipQuery(10, within_ms), options, &sink);
+    CEPR_CHECK(s.ok()) << s.ToString();
+    const RunningQuery* query = engine->GetQuery("q").value();
+    peak_bytes = 0;
+    size_t i = 0;
+    for (const Event& e : events) {
+      CEPR_CHECK(engine->Push(Event(e)).ok());
+      if (++i % 1000 == 0) {
+        peak_bytes = std::max(peak_bytes, query->MemoryEstimate());
+      }
+    }
+    engine->Finish();
+    const QueryMetrics m = query->metrics();
+    peak_runs = m.matcher.peak_active_runs;
+    expired = m.matcher.runs_expired;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kEvents) * state.iterations());
+  state.counters["peak_runs"] = static_cast<double>(peak_runs);
+  state.counters["peak_bytes"] = static_cast<double>(peak_bytes);
+  state.counters["expired"] = static_cast<double>(expired);
+}
+
+BENCHMARK(BM_WindowSpan)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->ArgName("within_ms")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace cepr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,264 @@
+// Interactive CEPR shell — the command-line counterpart of the demo's
+// interactive UI: declare streams, register ranked queries, feed events
+// (from CSV files or the built-in generators), and watch ordered results
+// arrive live.
+//
+//   $ build/examples/cepr_shell
+//   cepr> CREATE STREAM Stock (symbol STRING, price FLOAT RANGE [1,1000],
+//         volume INT RANGE [1,10000]);
+//   cepr> SELECT a.symbol, MIN(b.price) FROM Stock
+//         MATCH PATTERN SEQ(a, b+, c)
+//         WHERE b[i].price < b[i-1].price AND c.price > a.price
+//         WITHIN 1 SECONDS RANK BY a.price - MIN(b.price) DESC LIMIT 3
+//         EMIT ON WINDOW CLOSE;
+//   cepr> \gen stock 10000
+//   cepr> \stats q1
+//   cepr> \quit
+//
+// Statements end with ';'. Meta commands start with '\'.
+
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "lang/parser.h"
+#include "plan/compiler.h"
+#include "runtime/csv.h"
+#include "runtime/engine.h"
+#include "workload/health.h"
+#include "workload/stock.h"
+#include "workload/traffic.h"
+
+namespace {
+
+using cepr::Engine;
+using cepr::Status;
+
+class Shell {
+ public:
+  int Run() {
+    std::cout << "CEPR shell — \\help for commands\n";
+    std::string buffer;
+    std::string line;
+    while (Prompt(buffer.empty()), std::getline(std::cin, line)) {
+      const std::string_view trimmed = cepr::Trim(line);
+      if (trimmed.empty()) continue;
+      if (trimmed[0] == '\\') {
+        if (!MetaCommand(std::string(trimmed))) return 0;
+        continue;
+      }
+      buffer += line;
+      buffer += "\n";
+      if (trimmed.back() == ';') {
+        Execute(buffer);
+        buffer.clear();
+      }
+    }
+    engine_.Finish();
+    return 0;
+  }
+
+ private:
+  void Prompt(bool fresh) { std::cout << (fresh ? "cepr> " : "  ... ") << std::flush; }
+
+  void Execute(const std::string& text) {
+    auto statement = cepr::ParseStatement(text);
+    if (!statement.ok()) {
+      std::cout << statement.status() << "\n";
+      return;
+    }
+    if (statement->create_stream != nullptr) {
+      const Status s = engine_.ExecuteDdl(text);
+      std::cout << (s.ok() ? "stream created" : s.ToString()) << "\n";
+      return;
+    }
+    // A query: compile a preview for the column names, then register with a
+    // printing sink under an auto-assigned name.
+    auto schema = engine_.GetSchema(statement->query->stream_name);
+    if (!schema.ok()) {
+      std::cout << schema.status() << "\n";
+      return;
+    }
+    auto preview = cepr::CompileQueryText(text, schema.value());
+    if (!preview.ok()) {
+      std::cout << preview.status() << "\n";
+      return;
+    }
+    const std::string name = "q" + std::to_string(next_query_id_++);
+    sinks_[name] = std::make_unique<cepr::PrintSink>(
+        std::cout, (*preview)->analyzed.output_names, name);
+    const Status s =
+        engine_.RegisterQuery(name, text, cepr::QueryOptions{}, sinks_[name].get());
+    if (!s.ok()) {
+      std::cout << s << "\n";
+      sinks_.erase(name);
+      return;
+    }
+    std::cout << "registered query " << name << "\n";
+  }
+
+  // Returns false to exit the shell.
+  bool MetaCommand(const std::string& command) {
+    std::istringstream in(command);
+    std::string op;
+    in >> op;
+    if (op == "\\quit" || op == "\\q") {
+      engine_.Finish();
+      return false;
+    }
+    if (op == "\\help") {
+      std::cout << "  CREATE STREAM ...;        declare a stream\n"
+                   "  SELECT ...;               register a CEPR-QL query\n"
+                   "  \\gen stock|health|traffic <n>   push n generated events\n"
+                   "  \\load <stream> <file.csv>       push events from CSV\n"
+                   "  \\plan <query>             show the compiled plan + NFA\n"
+                   "  \\stats [query]            runtime metrics\n"
+                   "  \\streams  \\queries        registries\n"
+                   "  \\drop <query>             remove a query (flushes it)\n"
+                   "  \\finish                   close all open windows\n"
+                   "  \\quit\n";
+      return true;
+    }
+    if (op == "\\streams") {
+      for (const auto& name : engine_.StreamNames()) {
+        std::cout << "  " << engine_.GetSchema(name).value()->ToString() << "\n";
+      }
+      return true;
+    }
+    if (op == "\\queries") {
+      for (const auto& name : engine_.QueryNames()) std::cout << "  " << name << "\n";
+      return true;
+    }
+    if (op == "\\gen") {
+      std::string domain;
+      size_t n = 0;
+      in >> domain >> n;
+      Generate(domain, n);
+      return true;
+    }
+    if (op == "\\load") {
+      std::string stream;
+      std::string path;
+      in >> stream >> path;
+      Load(stream, path);
+      return true;
+    }
+    if (op == "\\plan") {
+      std::string name;
+      in >> name;
+      auto query = engine_.GetQuery(name);
+      if (!query.ok()) {
+        std::cout << query.status() << "\n";
+      } else {
+        std::cout << (*query)->plan()->Describe()
+                  << (*query)->plan()->nfa.ToDot();
+      }
+      return true;
+    }
+    if (op == "\\stats") {
+      std::string name;
+      in >> name;
+      if (name.empty()) {
+        std::cout << "events ingested: " << engine_.events_ingested() << "\n";
+        for (const auto& qname : engine_.QueryNames()) PrintStats(qname);
+      } else {
+        PrintStats(name);
+      }
+      return true;
+    }
+    if (op == "\\drop") {
+      std::string name;
+      in >> name;
+      const Status s = engine_.RemoveQuery(name);
+      std::cout << (s.ok() ? "dropped" : s.ToString()) << "\n";
+      if (s.ok()) sinks_.erase(name);
+      return true;
+    }
+    if (op == "\\finish") {
+      engine_.Finish();
+      std::cout << "flushed\n";
+      return true;
+    }
+    std::cout << "unknown command " << op << " (try \\help)\n";
+    return true;
+  }
+
+  void PrintStats(const std::string& name) {
+    auto query = engine_.GetQuery(name);
+    if (!query.ok()) {
+      std::cout << query.status() << "\n";
+      return;
+    }
+    std::cout << "[" << name << "] " << (*query)->metrics().ToString() << "\n";
+  }
+
+  void Generate(const std::string& domain, size_t n) {
+    if (n == 0) {
+      std::cout << "usage: \\gen stock|health|traffic <n>\n";
+      return;
+    }
+    std::unique_ptr<cepr::WorkloadGenerator>& gen = generators_[domain];
+    if (gen == nullptr) {
+      if (domain == "stock") {
+        cepr::StockOptions options;
+        options.v_probability = 0.01;
+        gen = std::make_unique<cepr::StockGenerator>(options);
+      } else if (domain == "health") {
+        gen = std::make_unique<cepr::HealthGenerator>(cepr::HealthOptions{});
+      } else if (domain == "traffic") {
+        gen = std::make_unique<cepr::TrafficGenerator>(cepr::TrafficOptions{});
+      } else {
+        std::cout << "unknown domain '" << domain << "'\n";
+        return;
+      }
+      // Auto-register the generator's schema on first use.
+      if (!engine_.GetSchema(gen->schema()->name()).ok()) {
+        (void)engine_.RegisterSchema(gen->schema());
+        std::cout << "registered stream " << gen->schema()->ToString() << "\n";
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const Status s = engine_.Push(gen->Next());
+      if (!s.ok()) {
+        std::cout << s << "\n";
+        return;
+      }
+    }
+    std::cout << "pushed " << n << " events\n";
+  }
+
+  void Load(const std::string& stream, const std::string& path) {
+    auto schema = engine_.GetSchema(stream);
+    if (!schema.ok()) {
+      std::cout << schema.status() << "\n";
+      return;
+    }
+    auto events = cepr::ReadEventsCsv(path, schema.value());
+    if (!events.ok()) {
+      std::cout << events.status() << "\n";
+      return;
+    }
+    size_t pushed = 0;
+    for (cepr::Event& e : *events) {
+      const Status s = engine_.Push(std::move(e));
+      if (!s.ok()) {
+        std::cout << s << " (after " << pushed << " events)\n";
+        return;
+      }
+      ++pushed;
+    }
+    std::cout << "pushed " << pushed << " events from " << path << "\n";
+  }
+
+  Engine engine_;
+  std::map<std::string, std::unique_ptr<cepr::PrintSink>> sinks_;
+  std::map<std::string, std::unique_ptr<cepr::WorkloadGenerator>> generators_;
+  int next_query_id_ = 1;
+};
+
+}  // namespace
+
+int main() { return Shell().Run(); }

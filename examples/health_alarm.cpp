@@ -1,0 +1,74 @@
+// Health-monitoring scenario from the CEPR demo: detect sustained patient
+// deterioration — three or more consecutive readings with sharply rising
+// heart rate — and rank alarms by severity so the most critical patient
+// surfaces first. Eager emission (EMIT ON COMPLETE) streams alarms the
+// moment they fire, as a live dashboard would.
+//
+// Usage: health_alarm [num_events] [num_patients]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "runtime/engine.h"
+#include "workload/health.h"
+
+int main(int argc, char** argv) {
+  const size_t num_events = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50000;
+  const int num_patients = argc > 2 ? std::atoi(argv[2]) : 12;
+
+  cepr::HealthOptions gen_options;
+  gen_options.num_patients = num_patients;
+  gen_options.episode_probability = 0.002;
+  cepr::HealthGenerator gen(gen_options);
+
+  cepr::Engine engine;
+  cepr::Status s = engine.RegisterSchema(gen.schema());
+  if (!s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  const char* query =
+      "SELECT a.patient, a.heart_rate AS baseline, "
+      "       MAX(r.heart_rate) AS peak, MIN(r.spo2) AS worst_spo2, "
+      "       COUNT(r) AS readings "
+      "FROM Vitals "
+      "MATCH PATTERN SEQ(a, r+) "
+      "PARTITION BY patient "
+      "WHERE r[i].heart_rate > r[i-1].heart_rate + 5 "
+      "  AND r[1].heart_rate > a.heart_rate + 5 "
+      "  AND COUNT(r) >= 3 "
+      "WITHIN 30 SECONDS "
+      "RANK BY MAX(r.heart_rate) - a.heart_rate DESC "
+      "LIMIT 10 "
+      "EMIT ON COMPLETE";
+
+  uint64_t alarms = 0;
+  cepr::CallbackSink sink([&alarms](const cepr::RankedResult& r) {
+    ++alarms;
+    std::cout << "ALARM rank#" << (r.rank + 1)
+              << " patient=" << r.match.row[0]
+              << " baseline=" << r.match.row[1] << " peak=" << r.match.row[2]
+              << " spo2=" << r.match.row[3]
+              << " severity=" << r.match.score << "\n";
+  });
+  s = engine.RegisterQuery("alarm", query, cepr::QueryOptions{}, &sink);
+  if (!s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  for (cepr::Event& e : gen.Take(num_events)) {
+    s = engine.Push(std::move(e));
+    if (!s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+  }
+  engine.Finish();
+
+  std::cout << "\n" << alarms << " alarms over " << num_events
+            << " readings from " << num_patients << " patients\n";
+  std::cout << engine.GetQuery("alarm").value()->metrics().ToString() << "\n";
+  return 0;
+}

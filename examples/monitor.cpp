@@ -1,0 +1,163 @@
+// Terminal stand-in for the CEPR demo's interactive monitor UI: runs all
+// three domain streams side by side, registers one ranked query per domain,
+// and periodically repaints a dashboard with each query's current top
+// results, live metrics, and the compiled NFA of a selected query.
+//
+// Usage: monitor [rounds] [events_per_round]
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "runtime/engine.h"
+#include "workload/health.h"
+#include "workload/stock.h"
+#include "workload/traffic.h"
+
+namespace {
+
+// Keeps the latest closed-window results per query for repainting.
+class PanelSink : public cepr::Sink {
+ public:
+  void OnResult(const cepr::RankedResult& result) override {
+    if (result.window_id != window_) {
+      window_ = result.window_id;
+      rows_.clear();
+    }
+    rows_.push_back(result);
+  }
+
+  const std::vector<cepr::RankedResult>& rows() const { return rows_; }
+  int64_t window() const { return window_; }
+
+ private:
+  std::vector<cepr::RankedResult> rows_;
+  int64_t window_ = -1;
+};
+
+void Paint(const cepr::Engine& engine, const char* name, const PanelSink& panel) {
+  const auto* query = engine.GetQuery(name).value();
+  const cepr::QueryMetrics metrics = query->metrics();
+  std::cout << "┌─ " << name << " ── window " << panel.window()
+            << " ── events " << metrics.events << ", matches "
+            << metrics.matches << ", active runs " << query->active_runs()
+            << "\n";
+  if (panel.rows().empty()) {
+    std::cout << "│  (no ranked results yet)\n";
+  }
+  for (const cepr::RankedResult& r : panel.rows()) {
+    std::cout << "│  #" << (r.rank + 1) << "  score=" << std::setw(10)
+              << r.match.score << "  ";
+    for (size_t i = 0; i < r.match.row.size(); ++i) {
+      if (i > 0) std::cout << ", ";
+      std::cout << r.match.row[i].ToString();
+    }
+    std::cout << "\n";
+  }
+  std::cout << "└─\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 5;
+  const size_t per_round = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20000;
+
+  cepr::StockGenerator stock([] {
+    cepr::StockOptions o;
+    o.v_probability = 0.01;
+    return o;
+  }());
+  cepr::HealthGenerator health([] {
+    cepr::HealthOptions o;
+    o.episode_probability = 0.002;
+    return o;
+  }());
+  cepr::TrafficGenerator traffic([] {
+    cepr::TrafficOptions o;
+    o.jam_probability = 0.003;
+    return o;
+  }());
+
+  cepr::Engine engine;
+  for (const auto& schema :
+       {stock.schema(), health.schema(), traffic.schema()}) {
+    auto s = engine.RegisterSchema(schema);
+    if (!s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+  }
+
+  PanelSink stock_panel;
+  PanelSink health_panel;
+  PanelSink traffic_panel;
+  struct Spec {
+    const char* name;
+    const char* text;
+    PanelSink* sink;
+  };
+  const std::vector<Spec> specs = {
+      {"crashes",
+       "SELECT a.symbol, a.price, MIN(b.price) FROM Stock "
+       "MATCH PATTERN SEQ(a, b+, c) PARTITION BY symbol "
+       "WHERE b[i].price < b[i-1].price AND b[1].price < a.price "
+       "  AND c.price > a.price "
+       "WITHIN 500 MILLISECONDS "
+       "RANK BY (a.price - MIN(b.price)) / a.price DESC LIMIT 3 "
+       "EMIT ON WINDOW CLOSE",
+       &stock_panel},
+      {"alarms",
+       "SELECT a.patient, MAX(r.heart_rate) FROM Vitals "
+       "MATCH PATTERN SEQ(a, r+) PARTITION BY patient "
+       "WHERE r[i].heart_rate > r[i-1].heart_rate + 5 "
+       "  AND r[1].heart_rate > a.heart_rate + 5 AND COUNT(r) >= 3 "
+       "WITHIN 1 SECONDS "
+       "RANK BY MAX(r.heart_rate) - a.heart_rate DESC LIMIT 3 "
+       "EMIT ON WINDOW CLOSE",
+       &health_panel},
+      {"jams",
+       "SELECT a.sensor, a.speed, MIN(d.speed) FROM Traffic "
+       "MATCH PATTERN SEQ(a, d+) PARTITION BY sensor "
+       "WHERE a.speed > 60 AND d[i].speed < d[i-1].speed * 0.9 "
+       "  AND d[1].speed < a.speed * 0.9 AND COUNT(d) >= 3 "
+       "WITHIN 2 SECONDS "
+       "RANK BY a.speed - MIN(d.speed) DESC LIMIT 3 "
+       "EMIT ON WINDOW CLOSE",
+       &traffic_panel},
+  };
+  for (const Spec& spec : specs) {
+    auto s =
+        engine.RegisterQuery(spec.name, spec.text, cepr::QueryOptions{}, spec.sink);
+    if (!s.ok()) {
+      std::cerr << spec.name << ": " << s << "\n";
+      return 1;
+    }
+  }
+
+  // Show the plan view the demo exposed for the selected query.
+  auto plan = cepr::CompileQueryText(specs[0].text, stock.schema());
+  std::cout << "NFA of query 'crashes' (Graphviz):\n"
+            << (*plan)->nfa.ToDot() << "\n";
+
+  for (int round = 1; round <= rounds; ++round) {
+    for (size_t i = 0; i < per_round; ++i) {
+      // Interleave the three domains, as the demo's multiplexed feed does.
+      cepr::Status s = engine.Push(stock.Next());
+      if (s.ok()) s = engine.Push(health.Next());
+      if (s.ok()) s = engine.Push(traffic.Next());
+      if (!s.ok()) {
+        std::cerr << s << "\n";
+        return 1;
+      }
+    }
+    std::cout << "═══ monitor refresh " << round << "/" << rounds << " ═══\n";
+    Paint(engine, "crashes", stock_panel);
+    Paint(engine, "alarms", health_panel);
+    Paint(engine, "jams", traffic_panel);
+    std::cout << "\n";
+  }
+  engine.Finish();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// CEPR quickstart: declare a stream, register a ranked pattern query, push
+// a handful of hand-written events, and read the ordered results.
+//
+// The query finds "dip and recovery" shapes — a start tick, one or more
+// falling ticks, then a tick above the start — and ranks them by relative
+// dip depth, keeping the top 3.
+
+#include <iostream>
+
+#include "runtime/engine.h"
+
+int main() {
+  cepr::Engine engine;
+
+  // 1. Declare the stream (ranges power the ranking pruner).
+  cepr::Status s = engine.ExecuteDdl(
+      "CREATE STREAM Ticks (price FLOAT RANGE [1, 1000])");
+  if (!s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  // 2. Register a ranked query. Results go to a collecting sink.
+  cepr::CollectSink sink;
+  s = engine.RegisterQuery("dips",
+                           "SELECT a.price AS start_price, "
+                           "       MIN(b.price) AS bottom, "
+                           "       c.price AS recovery "
+                           "FROM Ticks "
+                           "MATCH PATTERN SEQ(a, b+, c) "
+                           "USING SKIP_TILL_NEXT_MATCH "
+                           "WHERE b[i].price < b[i-1].price "
+                           "  AND b[1].price < a.price "
+                           "  AND c.price > a.price "
+                           "WITHIN 10 SECONDS "
+                           "RANK BY (a.price - MIN(b.price)) / a.price DESC "
+                           "LIMIT 3 "
+                           "EMIT ON WINDOW CLOSE",
+                           cepr::QueryOptions{}, &sink);
+  if (!s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  // 3. Push a stream with two dips: a shallow one and a deep one.
+  const double prices[] = {100, 98,  95, 104,  // dip of depth 5%
+                           110, 90, 70, 60, 115,  // dip of depth ~45%
+                           120, 119, 125};
+  auto schema = engine.GetSchema("Ticks").value();
+  cepr::Timestamp ts = 0;
+  for (double p : prices) {
+    cepr::Event e(schema, ts, {cepr::Value::Float(p)});
+    s = engine.Push(std::move(e));
+    if (!s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+    ts += 500 * 1000;  // one tick every 0.5 simulated seconds
+  }
+  engine.Finish();
+
+  // 4. Read the ordered results.
+  std::cout << "ranked dips (deepest first):\n";
+  for (const cepr::RankedResult& r : sink.results()) {
+    std::cout << "  window " << r.window_id << " rank " << (r.rank + 1)
+              << ": start=" << r.match.row[0] << " bottom=" << r.match.row[1]
+              << " recovery=" << r.match.row[2] << " depth-score="
+              << r.match.score << "\n";
+  }
+
+  const cepr::QueryMetrics metrics = engine.GetQuery("dips").value()->metrics();
+  std::cout << "stats: " << metrics.matcher.ToString() << "\n";
+  return 0;
+}

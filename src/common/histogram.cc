@@ -1,0 +1,102 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace cepr {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < 4) return static_cast<int>(value);  // buckets 0..3 exact
+  // bucket = 4 * floor(log2 v) + top-two-bits-below-msb offset
+  const int msb = 63 - __builtin_clzll(static_cast<uint64_t>(value));
+  const int sub = static_cast<int>((static_cast<uint64_t>(value) >> (msb - 2)) & 3);
+  const int idx = msb * 4 + sub;
+  return std::min(idx, kNumBuckets - 1);
+}
+
+int64_t Histogram::BucketLow(int i) {
+  if (i < 4) return i;
+  const int msb = i / 4;
+  const int sub = i % 4;
+  return (int64_t{1} << msb) | (static_cast<int64_t>(sub) << (msb - 2));
+}
+
+int64_t Histogram::BucketHigh(int i) {
+  if (i + 1 >= kNumBuckets) return BucketLow(i) * 2;
+  return BucketLow(i + 1);
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += static_cast<double>(value);
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+int64_t Histogram::min() const { return min_; }
+int64_t Histogram::max() const { return max_; }
+
+double Histogram::mean() const {
+  if (count_ == 0) return 0.0;
+  return sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0) return static_cast<double>(min_);
+  if (p >= 100) return static_cast<double>(max_);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  double cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      // Linear interpolation within the bucket.
+      const double frac = (target - cumulative) / static_cast<double>(buckets_[i]);
+      const double lo = static_cast<double>(std::max(BucketLow(i), min_));
+      const double hi = static_cast<double>(std::min(BucketHigh(i), max_ + 1));
+      return lo + frac * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << mean() << " p50=" << Percentile(50)
+     << " p95=" << Percentile(95) << " p99=" << Percentile(99) << " max=" << max_;
+  return os.str();
+}
+
+}  // namespace cepr

@@ -1,0 +1,56 @@
+#ifndef CEPR_COMMON_HISTOGRAM_H_
+#define CEPR_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cepr {
+
+/// Fixed-memory histogram with exponentially sized buckets, used for latency
+/// and size distributions in the metrics and benchmark layers. Records
+/// non-negative integer values (e.g. nanoseconds); supports percentile
+/// queries with bucket-interpolation.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one observation. Negative values are clamped to zero.
+  void Record(int64_t value);
+
+  /// Merges another histogram's observations into this one.
+  void Merge(const Histogram& other);
+
+  /// Removes all observations.
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const;
+  int64_t max() const;
+  double mean() const;
+  /// Value at percentile p in [0, 100].
+  double Percentile(double p) const;
+
+  /// One-line summary: count/mean/p50/p95/p99/max.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kNumBuckets = 64 * 4;  // 4 sub-buckets per power of two
+
+  // Maps a value to its bucket index.
+  static int BucketFor(int64_t value);
+  // Lower bound of bucket i.
+  static int64_t BucketLow(int i);
+  // Upper bound (exclusive) of bucket i.
+  static int64_t BucketHigh(int i);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_COMMON_HISTOGRAM_H_

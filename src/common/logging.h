@@ -1,0 +1,95 @@
+#ifndef CEPR_COMMON_LOGGING_H_
+#define CEPR_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cepr {
+
+/// Log severity levels, in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal {
+
+/// Global minimum level below which messages are dropped. Default kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// One log statement in flight; flushes to stderr on destruction.
+/// Fatal messages abort the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Converts a streamed LogMessage chain to void so it can sit in the
+/// false-branch of CEPR_CHECK's ternary. operator& binds looser than <<.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+/// Sets the process-wide minimum log level.
+inline void SetLogLevel(LogLevel level) { internal::SetLogLevel(level); }
+
+#define CEPR_LOG_INTERNAL(level)                                       \
+  ::cepr::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+/// Leveled logging: CEPR_LOG(INFO) << "msg";
+#define CEPR_LOG(severity) CEPR_LOG_##severity
+#define CEPR_LOG_DEBUG CEPR_LOG_INTERNAL(::cepr::LogLevel::kDebug)
+#define CEPR_LOG_INFO CEPR_LOG_INTERNAL(::cepr::LogLevel::kInfo)
+#define CEPR_LOG_WARNING CEPR_LOG_INTERNAL(::cepr::LogLevel::kWarning)
+#define CEPR_LOG_ERROR CEPR_LOG_INTERNAL(::cepr::LogLevel::kError)
+#define CEPR_LOG_FATAL CEPR_LOG_INTERNAL(::cepr::LogLevel::kFatal)
+
+/// Fatal assertion used for internal invariants; always on. Supports
+/// streaming extra context: CEPR_CHECK(x > 0) << "x was " << x;
+#define CEPR_CHECK(cond)                                              \
+  (cond) ? (void)0                                                    \
+         : ::cepr::internal::LogMessageVoidify() &                    \
+               ::cepr::internal::LogMessage(::cepr::LogLevel::kFatal, \
+                                            __FILE__, __LINE__)       \
+                       .stream()                                      \
+                   << "Check failed: " #cond " "
+
+#define CEPR_CHECK_EQ(a, b) CEPR_CHECK((a) == (b))
+#define CEPR_CHECK_NE(a, b) CEPR_CHECK((a) != (b))
+#define CEPR_CHECK_LT(a, b) CEPR_CHECK((a) < (b))
+#define CEPR_CHECK_LE(a, b) CEPR_CHECK((a) <= (b))
+#define CEPR_CHECK_GT(a, b) CEPR_CHECK((a) > (b))
+#define CEPR_CHECK_GE(a, b) CEPR_CHECK((a) >= (b))
+
+/// Debug-only assertion; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define CEPR_DCHECK(cond) \
+  while (false) CEPR_CHECK(cond)
+#else
+#define CEPR_DCHECK(cond) CEPR_CHECK(cond)
+#endif
+
+}  // namespace cepr
+
+#endif  // CEPR_COMMON_LOGGING_H_

@@ -1,0 +1,67 @@
+#ifndef CEPR_COMMON_RANDOM_H_
+#define CEPR_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cepr {
+
+/// Deterministic, fast PRNG (xoshiro256**). All CEPR workload generators use
+/// this so that experiments are exactly reproducible from a seed.
+class Random {
+ public:
+  /// Seeds the generator; the same seed always yields the same sequence.
+  explicit Random(uint64_t seed = 42);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool OneIn(double p);
+
+ private:
+  uint64_t state_[4];
+  // Cached second Box-Muller sample.
+  bool has_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Zipf-distributed sampler over {0, ..., n-1} with skew theta. theta = 0 is
+/// uniform; larger theta concentrates probability on small ranks. Uses the
+/// standard precomputed-CDF method with binary search: O(n) setup, O(log n)
+/// per sample.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta, uint64_t seed = 42);
+
+  /// Samples a rank in [0, n).
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+  Random rng_;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_COMMON_RANDOM_H_

@@ -1,0 +1,78 @@
+#ifndef CEPR_COMMON_RESULT_H_
+#define CEPR_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace cepr {
+
+/// Value-or-error holder: either a T or a non-OK Status. The CEPR analogue
+/// of absl::StatusOr / arrow::Result.
+///
+///   Result<QueryPlan> plan = Compile(text);
+///   if (!plan.ok()) return plan.status();
+///   Use(plan.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on failure returns its status
+/// from the enclosing function, otherwise moves the value into `lhs`.
+#define CEPR_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  CEPR_ASSIGN_OR_RETURN_IMPL_(                            \
+      CEPR_MACRO_CONCAT_(_cepr_result_, __LINE__), lhs, rexpr)
+
+#define CEPR_MACRO_CONCAT_INNER_(x, y) x##y
+#define CEPR_MACRO_CONCAT_(x, y) CEPR_MACRO_CONCAT_INNER_(x, y)
+
+#define CEPR_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+}  // namespace cepr
+
+#endif  // CEPR_COMMON_RESULT_H_

@@ -1,0 +1,109 @@
+#ifndef CEPR_COMMON_STATUS_H_
+#define CEPR_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace cepr {
+
+/// Error category for a Status. kOk means success.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kParseError,        // CEPR-QL text failed to lex/parse
+  kTypeError,         // semantic analysis / type checking failure
+  kNotFound,          // named stream / query / attribute missing
+  kAlreadyExists,     // duplicate registration
+  kOutOfRange,        // index or limit out of bounds
+  kUnimplemented,     // feature not (yet) supported
+  kInternal,          // invariant violation inside the engine
+  kIoError,           // file / csv I/O failure
+};
+
+/// Returns a stable human-readable name ("ParseError" etc.) for a code.
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. CEPR does not use exceptions
+/// (Google style); every fallible public API returns Status or Result<T>.
+///
+/// A Status is cheap to copy in the success case (no allocation) and carries
+/// a message in the failure case. Typical use:
+///
+///   Status s = engine.RegisterStream(schema);
+///   if (!s.ok()) { LOG(ERROR) << s.ToString(); return s; }
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The error category.
+  StatusCode code() const { return code_; }
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define CEPR_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::cepr::Status _cepr_status = (expr);         \
+    if (!_cepr_status.ok()) return _cepr_status;  \
+  } while (0)
+
+}  // namespace cepr
+
+#endif  // CEPR_COMMON_STATUS_H_

@@ -1,0 +1,39 @@
+#ifndef CEPR_COMMON_STOPWATCH_H_
+#define CEPR_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace cepr {
+
+/// Monotonic wall-clock stopwatch used by metrics and benchmarks.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Now(); }
+
+  /// Nanoseconds elapsed since construction or the last Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds / milliseconds / seconds.
+  int64_t ElapsedMicros() const { return ElapsedNanos() / 1000; }
+  int64_t ElapsedMillis() const { return ElapsedNanos() / 1000000; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static Clock::time_point Now() { return Clock::now(); }
+
+  Clock::time_point start_;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_COMMON_STOPWATCH_H_

@@ -1,0 +1,37 @@
+#ifndef CEPR_COMMON_STRINGS_H_
+#define CEPR_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cepr {
+
+/// Splits `s` on `sep`, keeping empty fields. Split("a,,b", ',') ->
+/// {"a", "", "b"}. Splitting the empty string yields one empty field.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lowercase / uppercase copies.
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// True iff `s` begins with / ends with the given affix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Formats a double with minimal digits (trailing-zero trimmed, always at
+/// least one decimal digit so it round-trips as FLOAT in CEPR-QL text).
+std::string FormatDouble(double v);
+
+}  // namespace cepr
+
+#endif  // CEPR_COMMON_STRINGS_H_

@@ -1,0 +1,338 @@
+#include "engine/matcher.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace cepr {
+
+std::string MatcherStats::ToString() const {
+  std::string out;
+  out += "events=" + std::to_string(events);
+  out += " runs_created=" + std::to_string(runs_created);
+  out += " forked=" + std::to_string(runs_forked);
+  out += " completed=" + std::to_string(runs_completed);
+  out += " expired=" + std::to_string(runs_expired);
+  out += " killed_strict=" + std::to_string(runs_killed_strict);
+  out += " killed_negation=" + std::to_string(runs_killed_negation);
+  out += " pruned_score=" + std::to_string(runs_pruned_score);
+  out += " dropped_capacity=" + std::to_string(runs_dropped_capacity);
+  out += " matches=" + std::to_string(matches);
+  out += " peak_runs=" + std::to_string(peak_active_runs);
+  return out;
+}
+
+Matcher::Matcher(CompiledQueryPtr plan, const MatcherOptions& options,
+                 const RunPruner* pruner, MatcherStats* stats,
+                 uint64_t* next_match_id)
+    : plan_(std::move(plan)),
+      options_(options),
+      pruner_(pruner),
+      stats_(stats),
+      next_match_id_(next_match_id) {}
+
+bool Matcher::TypeMatches(const std::string& tag, const Event& event) const {
+  return tag.empty() || EqualsIgnoreCase(tag, event.type_tag());
+}
+
+bool Matcher::PassesBegin(Run* run, int comp_index, const Event& event) const {
+  const CompiledComponent& comp =
+      plan_->pattern.components[static_cast<size_t>(comp_index)];
+  if (comp.is_kleene) return PassesIter(run, comp_index, event);
+  run->SetCandidate(comp.var_index, &event);
+  bool ok = true;
+  for (const ExprPtr& pred : comp.begin_preds) {
+    auto r = EvaluatePredicate(*pred, *run);
+    if (!r.ok() || !r.value()) {
+      ok = false;
+      break;
+    }
+  }
+  run->ClearCandidate();
+  return ok;
+}
+
+bool Matcher::PassesIter(Run* run, int comp_index, const Event& event) const {
+  const CompiledComponent& comp =
+      plan_->pattern.components[static_cast<size_t>(comp_index)];
+  const bool first_iteration = run->KleeneCount(comp.var_index) == 0;
+  run->SetCandidate(comp.var_index, &event);
+  bool ok = true;
+  for (size_t i = 0; i < comp.iter_preds.size(); ++i) {
+    // Conjuncts referencing v[i-1] are vacuous for the first iteration.
+    if (first_iteration && comp.iter_pred_uses_prev[i]) continue;
+    auto r = EvaluatePredicate(*comp.iter_preds[i], *run);
+    if (!r.ok() || !r.value()) {
+      ok = false;
+      break;
+    }
+  }
+  run->ClearCandidate();
+  return ok;
+}
+
+bool Matcher::PassesExit(Run* run, int comp_index) const {
+  const CompiledComponent& comp =
+      plan_->pattern.components[static_cast<size_t>(comp_index)];
+  if (comp.is_kleene && run->KleeneCount(comp.var_index) < comp.min_iters) {
+    return false;
+  }
+  for (const ExprPtr& pred : comp.exit_preds) {
+    auto r = EvaluatePredicate(*pred, *run);
+    if (!r.ok() || !r.value()) return false;
+  }
+  return true;
+}
+
+void Matcher::BeginOptions(Run* run, const Event& event,
+                           std::vector<int>* out) const {
+  out->clear();
+  const int n = static_cast<int>(plan_->pattern.components.size());
+  int j = run->next_component();
+  if (j >= n) return;
+  // The open Kleene component must be allowed to close before anything
+  // later begins.
+  const int open = run->open_component();
+  if (open >= 0 && !PassesExit(run, open)) return;
+  while (j < n) {
+    const CompiledComponent& comp =
+        plan_->pattern.components[static_cast<size_t>(j)];
+    if (TypeMatches(comp.type_tag, event) && PassesBegin(run, j, event)) {
+      out->push_back(j);
+    }
+    if (!comp.skippable()) break;
+    // Skipping a zero-minimum Kleene leaves it empty; its exit predicates
+    // must hold on the empty binding (COUNT = 0, aggregates NULL).
+    if (comp.is_kleene && !PassesExit(run, j)) break;
+    ++j;
+  }
+}
+
+bool Matcher::CanExtend(Run* run, const Event& event) const {
+  const int open = run->open_component();
+  if (open < 0) return false;
+  const CompiledComponent& comp =
+      plan_->pattern.components[static_cast<size_t>(open)];
+  if (comp.max_iters >= 0 && run->KleeneCount(comp.var_index) >= comp.max_iters) {
+    return false;  // iteration budget exhausted
+  }
+  if (!TypeMatches(comp.type_tag, event)) return false;
+  return PassesIter(run, open, event);
+}
+
+bool Matcher::Expired(const Run& run, const Event& event) const {
+  if (plan_->within_micros > 0 &&
+      event.timestamp() - run.first_ts() > plan_->within_micros) {
+    return true;
+  }
+  return plan_->within_events > 0 &&
+         event.sequence() - run.first_sequence() >
+             static_cast<uint64_t>(plan_->within_events);
+}
+
+bool Matcher::NegationKills(Run* run, const Event& event) const {
+  const int next = run->next_component();
+  if (next <= 0 || next >= static_cast<int>(plan_->pattern.components.size())) {
+    return false;
+  }
+  const CompiledComponent& comp =
+      plan_->pattern.components[static_cast<size_t>(next)];
+  if (!comp.negation_before.has_value()) return false;
+  const CompiledNegation& neg = *comp.negation_before;
+  if (!TypeMatches(neg.type_tag, event)) return false;
+  run->SetCandidate(neg.var_index, &event);
+  bool kills = true;
+  for (const ExprPtr& pred : neg.preds) {
+    auto r = EvaluatePredicate(*pred, *run);
+    if (!r.ok() || !r.value()) {
+      kills = false;
+      break;
+    }
+  }
+  run->ClearCandidate();
+  return kills;
+}
+
+bool Matcher::MaybeEmit(Run* run, std::vector<Match>* out) {
+  const int open = run->open_component();
+  if (open >= 0 && !PassesExit(run, open)) return false;
+
+  Match m;
+  m.id = (*next_match_id_)++;
+  m.first_ts = run->first_ts();
+  const Event* last = nullptr;
+  for (const auto& binding : run->bindings()) {
+    for (const auto& ev : binding) {
+      if (last == nullptr || ev->sequence() > last->sequence()) last = ev.get();
+    }
+  }
+  m.last_ts = last != nullptr ? last->timestamp() : run->first_ts();
+  m.bindings = run->bindings();
+
+  m.row.reserve(plan_->analyzed.ast.select.size());
+  for (const SelectItemAst& item : plan_->analyzed.ast.select) {
+    auto v = Evaluate(*item.expr, *run);
+    m.row.push_back(v.ok() ? std::move(v).value() : Value::Null());
+  }
+  m.score = plan_->score != nullptr ? EvaluateScore(*plan_->score, *run) : 0.0;
+
+  ++stats_->matches;
+  out->push_back(std::move(m));
+  return true;
+}
+
+bool Matcher::MaybePruneAndCount(const Run& run) {
+  if (pruner_ != nullptr && pruner_->ShouldPrune(run)) {
+    ++stats_->runs_pruned_score;
+    return true;
+  }
+  return false;
+}
+
+Matcher::RunFate Matcher::ProcessRun(Run* run, const EventPtr& event,
+                                     std::vector<Match>* out,
+                                     std::vector<std::unique_ptr<Run>>* forks) {
+  // 1. WITHIN expiry: this and all later events are out of the run's span.
+  if (Expired(*run, *event)) {
+    ++stats_->runs_expired;
+    return RunFate::kRemove;
+  }
+
+  std::vector<int>& begin_options = scratch_options_;
+  BeginOptions(run, *event, &begin_options);
+
+  if (plan_->strategy == SelectionStrategy::kSkipTillAny) {
+    // Explore every enabled action on a fork; the original run represents
+    // "ignore".
+    for (const int comp : begin_options) {
+      auto fork = run->Clone(next_run_id_++);
+      ++stats_->runs_forked;
+      fork->BeginComponent(comp, event);
+      bool retire = false;
+      if (fork->complete()) {
+        // Pattern fully begun: single-ended patterns retire the run;
+        // trailing-Kleene runs stay alive for further extensions.
+        MaybeEmit(fork.get(), out);
+        retire = !fork->kleene_open();
+      }
+      if (!retire && !MaybePruneAndCount(*fork)) {
+        forks->push_back(std::move(fork));
+      } else if (retire) {
+        ++stats_->runs_completed;
+      }
+    }
+    if (CanExtend(run, *event)) {
+      auto fork = run->Clone(next_run_id_++);
+      ++stats_->runs_forked;
+      fork->ExtendKleene(event);
+      if (fork->complete()) MaybeEmit(fork.get(), out);
+      if (!MaybePruneAndCount(*fork)) forks->push_back(std::move(fork));
+    }
+    if (NegationKills(run, *event)) {
+      ++stats_->runs_killed_negation;
+      return RunFate::kRemove;
+    }
+    return RunFate::kKeep;
+  }
+
+  // Deterministic strategies: first enabled action wins; the earliest
+  // beginnable component is preferred (greedy-optional).
+  if (!begin_options.empty()) {
+    run->BeginComponent(begin_options.front(), event);
+    if (run->complete()) {
+      MaybeEmit(run, out);
+      if (!run->kleene_open()) {
+        ++stats_->runs_completed;
+        return RunFate::kRemove;
+      }
+    }
+    if (MaybePruneAndCount(*run)) return RunFate::kRemove;
+    return RunFate::kKeep;
+  }
+  if (NegationKills(run, *event)) {
+    ++stats_->runs_killed_negation;
+    return RunFate::kRemove;
+  }
+  if (CanExtend(run, *event)) {
+    run->ExtendKleene(event);
+    if (run->complete()) MaybeEmit(run, out);
+    if (MaybePruneAndCount(*run)) return RunFate::kRemove;
+    return RunFate::kKeep;
+  }
+  if (plan_->strategy == SelectionStrategy::kStrictContiguity) {
+    ++stats_->runs_killed_strict;
+    return RunFate::kRemove;
+  }
+  return RunFate::kKeep;
+}
+
+void Matcher::TryStartRun(const EventPtr& event, std::vector<Match>* out) {
+  auto probe = std::make_unique<Run>(plan_.get(), next_run_id_);
+  std::vector<int>& begin_options = scratch_options_;
+  BeginOptions(probe.get(), *event, &begin_options);
+  if (begin_options.empty()) return;
+
+  // Under the deterministic strategies one run starts (at the earliest
+  // beginnable component); skip-till-any starts one run per option.
+  const size_t start_count =
+      plan_->strategy == SelectionStrategy::kSkipTillAny ? begin_options.size()
+                                                         : 1;
+  for (size_t i = 0; i < start_count; ++i) {
+    std::unique_ptr<Run> run =
+        i + 1 == start_count ? std::move(probe)
+                             : probe->Clone(next_run_id_);
+    ++next_run_id_;
+    run->BeginComponent(begin_options[i], event);
+    ++stats_->runs_created;
+    if (run->complete()) {
+      // Pattern fully begun by its first event.
+      MaybeEmit(run.get(), out);
+      if (!run->kleene_open()) {
+        ++stats_->runs_completed;
+        continue;
+      }
+    }
+    if (MaybePruneAndCount(*run)) continue;
+    if (runs_.size() >= options_.max_active_runs) {
+      runs_.erase(runs_.begin());  // drop the oldest run
+      ++stats_->runs_dropped_capacity;
+    }
+    runs_.push_back(std::move(run));
+  }
+}
+
+void Matcher::OnEvent(const EventPtr& event, std::vector<Match>* out) {
+  ++stats_->events;
+  std::vector<std::unique_ptr<Run>> forks;
+
+  size_t write = 0;
+  for (size_t read = 0; read < runs_.size(); ++read) {
+    const RunFate fate = ProcessRun(runs_[read].get(), event, out, &forks);
+    if (fate == RunFate::kKeep) {
+      if (write != read) runs_[write] = std::move(runs_[read]);
+      ++write;
+    }
+  }
+  runs_.resize(write);
+
+  for (auto& fork : forks) {
+    if (runs_.size() >= options_.max_active_runs) {
+      runs_.erase(runs_.begin());
+      ++stats_->runs_dropped_capacity;
+    }
+    runs_.push_back(std::move(fork));
+  }
+
+  TryStartRun(event, out);
+  stats_->peak_active_runs = std::max(stats_->peak_active_runs, runs_.size());
+}
+
+size_t Matcher::MemoryEstimate() const {
+  size_t bytes = sizeof(Matcher) + runs_.capacity() * sizeof(void*);
+  for (const auto& run : runs_) bytes += run->MemoryEstimate();
+  return bytes;
+}
+
+}  // namespace cepr

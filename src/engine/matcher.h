@@ -1,0 +1,120 @@
+#ifndef CEPR_ENGINE_MATCHER_H_
+#define CEPR_ENGINE_MATCHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/run.h"
+#include "plan/compiler.h"
+
+namespace cepr {
+
+/// Hook the ranking layer installs to discard hopeless partial matches: a
+/// run is pruned when its best achievable score (per DeriveBounds over the
+/// run's BoundEnv) cannot enter the top-k of any report window the run
+/// could still complete in.
+class RunPruner {
+ public:
+  virtual ~RunPruner() = default;
+  virtual bool ShouldPrune(const Run& run) const = 0;
+};
+
+/// Counters shared by all partitions of one query.
+struct MatcherStats {
+  uint64_t events = 0;
+  uint64_t runs_created = 0;
+  uint64_t runs_forked = 0;
+  uint64_t runs_completed = 0;        // retired by a completing match
+  uint64_t runs_expired = 0;          // WITHIN span exceeded
+  uint64_t runs_killed_strict = 0;    // strict contiguity violation
+  uint64_t runs_killed_negation = 0;  // negation watcher fired
+  uint64_t runs_pruned_score = 0;     // ranking upper-bound prune
+  uint64_t runs_dropped_capacity = 0; // max_active_runs overflow
+  uint64_t matches = 0;
+  size_t peak_active_runs = 0;
+
+  std::string ToString() const;
+};
+
+struct MatcherOptions {
+  /// Hard cap on simultaneously active runs per partition; the oldest run
+  /// is dropped (and counted) beyond it. Bounds SKIP_TILL_ANY_MATCH blowup.
+  size_t max_active_runs = 100000;
+};
+
+/// Executes one compiled pattern over one partition's event sequence,
+/// maintaining the active-run set and emitting Match objects.
+///
+/// Per-event semantics (documented order of attempted actions per run):
+///  1. expire the run if the event pushes past the WITHIN span;
+///  2. BEGIN the next component (requires the open Kleene component's exit
+///     predicates, the type tag, and the begin predicates to pass);
+///  3. otherwise the negation watcher may KILL the run;
+///  4. otherwise TAKE the event as a Kleene extension;
+///  5. otherwise IGNORE it (skip-till strategies) or die (strict).
+/// SKIP_TILL_ANY_MATCH explores every enabled action by forking;
+/// SKIP_TILL_NEXT_MATCH and STRICT take the first enabled action.
+/// Every event additionally tries to start a fresh run at component 0.
+class Matcher {
+ public:
+  /// `pruner` may be null (no score pruning). `stats` and `next_match_id`
+  /// are owned by the caller and shared across partition matchers.
+  Matcher(CompiledQueryPtr plan, const MatcherOptions& options,
+          const RunPruner* pruner, MatcherStats* stats, uint64_t* next_match_id);
+
+  Matcher(Matcher&&) = default;
+  Matcher& operator=(Matcher&&) = default;
+
+  /// Feeds one event; completed matches are appended to `out`.
+  void OnEvent(const EventPtr& event, std::vector<Match>* out);
+
+  size_t active_runs() const { return runs_.size(); }
+  /// Rough bytes held by active runs.
+  size_t MemoryEstimate() const;
+
+ private:
+  enum class RunFate { kKeep, kRemove };
+
+  RunFate ProcessRun(Run* run, const EventPtr& event, std::vector<Match>* out,
+                     std::vector<std::unique_ptr<Run>>* forks);
+  void TryStartRun(const EventPtr& event, std::vector<Match>* out);
+
+  bool TypeMatches(const std::string& tag, const Event& event) const;
+  bool PassesBegin(Run* run, int comp_index, const Event& event) const;
+  bool PassesIter(Run* run, int comp_index, const Event& event) const;
+  /// Exit predicates + the minimum-iteration bound of component
+  /// `comp_index`, evaluated on the run's current binding (possibly empty).
+  bool PassesExit(Run* run, int comp_index) const;
+  /// Components the event could begin for this run: the next component,
+  /// and — by skipping optional / zero-minimum-Kleene components — any
+  /// later ones reachable through skippable prefixes. Empty if the open
+  /// Kleene component cannot close yet.
+  void BeginOptions(Run* run, const Event& event, std::vector<int>* out) const;
+  bool CanExtend(Run* run, const Event& event) const;
+  bool NegationKills(Run* run, const Event& event) const;
+  /// WITHIN expiry (time- or count-based span exceeded by this event).
+  bool Expired(const Run& run, const Event& event) const;
+
+  /// Emits a match from a run whose pattern is complete; returns true if
+  /// emitted (trailing-Kleene exit predicates may block it).
+  bool MaybeEmit(Run* run, std::vector<Match>* out);
+
+  /// Score-prunes `run` if the pruner says so (counting it); true = pruned.
+  bool MaybePruneAndCount(const Run& run);
+
+  CompiledQueryPtr plan_;
+  MatcherOptions options_;
+  const RunPruner* pruner_;  // not owned; may be null
+  MatcherStats* stats_;      // not owned
+  uint64_t* next_match_id_;  // not owned
+  uint64_t next_run_id_ = 0;
+  std::vector<std::unique_ptr<Run>> runs_;
+  /// Scratch buffer reused across BeginOptions calls (single-threaded).
+  std::vector<int> scratch_options_;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_ENGINE_MATCHER_H_

@@ -1,0 +1,51 @@
+#include "engine/partition.h"
+
+namespace cepr {
+
+PartitionedMatcher::PartitionedMatcher(CompiledQueryPtr plan,
+                                       const MatcherOptions& options,
+                                       const RunPruner* pruner)
+    : plan_(std::move(plan)), options_(options), pruner_(pruner) {
+  if (plan_->partition_attr_index < 0) {
+    single_ = std::make_unique<Matcher>(plan_, options_, pruner_, &stats_,
+                                        &next_match_id_);
+  }
+}
+
+Matcher* PartitionedMatcher::MatcherFor(const Event& event) {
+  if (single_ != nullptr) return single_.get();
+  const Value& key =
+      event.value(static_cast<size_t>(plan_->partition_attr_index));
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    it = by_key_
+             .emplace(key, std::make_unique<Matcher>(plan_, options_, pruner_,
+                                                     &stats_, &next_match_id_))
+             .first;
+  }
+  return it->second.get();
+}
+
+void PartitionedMatcher::OnEvent(const EventPtr& event, std::vector<Match>* out) {
+  MatcherFor(*event)->OnEvent(event, out);
+}
+
+size_t PartitionedMatcher::num_partitions() const {
+  return single_ != nullptr ? 1 : by_key_.size();
+}
+
+size_t PartitionedMatcher::active_runs() const {
+  if (single_ != nullptr) return single_->active_runs();
+  size_t total = 0;
+  for (const auto& [key, matcher] : by_key_) total += matcher->active_runs();
+  return total;
+}
+
+size_t PartitionedMatcher::MemoryEstimate() const {
+  if (single_ != nullptr) return single_->MemoryEstimate();
+  size_t total = 0;
+  for (const auto& [key, matcher] : by_key_) total += matcher->MemoryEstimate();
+  return total;
+}
+
+}  // namespace cepr

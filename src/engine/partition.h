@@ -1,0 +1,48 @@
+#ifndef CEPR_ENGINE_PARTITION_H_
+#define CEPR_ENGINE_PARTITION_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/matcher.h"
+
+namespace cepr {
+
+/// Routes events of a PARTITION BY query to one Matcher per partition key,
+/// so runs never mix events of different keys (e.g. different stock
+/// symbols). Without PARTITION BY a single matcher sees everything.
+/// Match ids stay globally ordered across partitions (shared counter).
+class PartitionedMatcher {
+ public:
+  PartitionedMatcher(CompiledQueryPtr plan, const MatcherOptions& options,
+                     const RunPruner* pruner);
+
+  /// Feeds one event to its partition; matches are appended to `out`.
+  void OnEvent(const EventPtr& event, std::vector<Match>* out);
+
+  const MatcherStats& stats() const { return stats_; }
+  size_t num_partitions() const;
+  size_t active_runs() const;
+  size_t MemoryEstimate() const;
+
+ private:
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+
+  Matcher* MatcherFor(const Event& event);
+
+  CompiledQueryPtr plan_;
+  MatcherOptions options_;
+  const RunPruner* pruner_;
+  MatcherStats stats_;
+  uint64_t next_match_id_ = 0;
+
+  std::unique_ptr<Matcher> single_;  // used when unpartitioned
+  std::unordered_map<Value, std::unique_ptr<Matcher>, ValueHash> by_key_;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_ENGINE_PARTITION_H_

@@ -1,0 +1,124 @@
+#include "engine/run.h"
+
+#include "common/logging.h"
+
+namespace cepr {
+
+std::string Match::ToString() const {
+  std::string out = "match#" + std::to_string(id) + " span=[" +
+                    std::to_string(first_ts) + ", " + std::to_string(last_ts) +
+                    "] score=" + std::to_string(score) + " row={";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+Run::Run(const CompiledQuery* plan, uint64_t id)
+    : plan_(plan),
+      id_(id),
+      bindings_(plan->layout().num_vars()),
+      aggs_(&plan->pattern.agg_specs) {}
+
+std::unique_ptr<Run> Run::Clone(uint64_t new_id) const {
+  auto copy = std::make_unique<Run>(plan_, new_id);
+  copy->next_component_ = next_component_;
+  copy->bindings_ = bindings_;
+  copy->aggs_ = aggs_;
+  copy->first_ts_ = first_ts_;
+  copy->first_sequence_ = first_sequence_;
+  return copy;
+}
+
+bool Run::kleene_open() const { return open_component() >= 0; }
+
+int Run::open_component() const {
+  const int last = next_component_ - 1;
+  if (last < 0) return -1;
+  return plan_->pattern.components[static_cast<size_t>(last)].is_kleene ? last : -1;
+}
+
+void Run::BeginComponent(int comp, EventPtr event) {
+  CEPR_DCHECK(comp >= next_component_);  // may skip over skippable comps
+  const CompiledComponent& cc = plan_->pattern.components[static_cast<size_t>(comp)];
+  auto& binding = bindings_[static_cast<size_t>(cc.var_index)];
+  CEPR_DCHECK(binding.empty());
+  // The begin that takes the run out of its initial state binds the run's
+  // first event (even if it skipped leading skippable components).
+  if (next_component_ == 0) {
+    first_ts_ = event->timestamp();
+    first_sequence_ = event->sequence();
+  }
+  aggs_.Accept(cc.var_index, *event);
+  binding.push_back(std::move(event));
+  next_component_ = comp + 1;
+}
+
+void Run::ExtendKleene(EventPtr event) {
+  const int open = open_component();
+  CEPR_DCHECK(open >= 0);
+  const CompiledComponent& cc = plan_->pattern.components[static_cast<size_t>(open)];
+  aggs_.Accept(cc.var_index, *event);
+  bindings_[static_cast<size_t>(cc.var_index)].push_back(std::move(event));
+}
+
+size_t Run::MemoryEstimate() const {
+  size_t bytes = sizeof(Run) + aggs_.size() * sizeof(double);
+  for (const auto& b : bindings_) {
+    bytes += b.capacity() * sizeof(EventPtr);
+  }
+  return bytes;
+}
+
+const Event* Run::SingleEvent(int var_index) const {
+  if (var_index == candidate_var_) return candidate_;
+  const auto& b = bindings_[static_cast<size_t>(var_index)];
+  return b.empty() ? nullptr : b.front().get();
+}
+
+const Event* Run::KleeneFirst(int var_index) const {
+  const auto& b = bindings_[static_cast<size_t>(var_index)];
+  return b.empty() ? nullptr : b.front().get();
+}
+
+const Event* Run::KleeneLast(int var_index) const {
+  const auto& b = bindings_[static_cast<size_t>(var_index)];
+  return b.empty() ? nullptr : b.back().get();
+}
+
+const Event* Run::KleeneCurrent(int var_index) const {
+  return var_index == candidate_var_ ? candidate_ : nullptr;
+}
+
+int64_t Run::KleeneCount(int var_index) const {
+  return static_cast<int64_t>(bindings_[static_cast<size_t>(var_index)].size());
+}
+
+double Run::AggValue(int agg_slot) const {
+  return aggs_.value(static_cast<size_t>(agg_slot));
+}
+
+Interval Run::AttrRange(int attr_index) const {
+  if (attr_index < 0 || attr_index >= static_cast<int>(plan_->attr_ranges.size())) {
+    return Interval::Whole();
+  }
+  return plan_->attr_ranges[static_cast<size_t>(attr_index)];
+}
+
+bool Run::IsClosed(int var_index) const {
+  const PatternVar& var = plan_->layout().var(var_index);
+  if (var.is_negated) return true;  // never referenced by scores
+  const int pos = plan_->pattern.position_of_var[static_cast<size_t>(var_index)];
+  const int last_begun = next_component_ - 1;
+  if (pos < last_begun) return true;
+  if (pos == last_begun) {
+    // A single component closes the moment it binds; an open Kleene
+    // component can still accept events.
+    return !plan_->pattern.components[static_cast<size_t>(pos)].is_kleene;
+  }
+  return false;
+}
+
+}  // namespace cepr

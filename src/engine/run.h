@@ -1,0 +1,127 @@
+#ifndef CEPR_ENGINE_RUN_H_
+#define CEPR_ENGINE_RUN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/eval.h"
+#include "expr/interval.h"
+#include "plan/compiler.h"
+
+namespace cepr {
+
+/// Events are shared immutably between the ingest path, active runs and
+/// emitted matches; a run holding an EventPtr keeps that event alive, so no
+/// separate window buffer eviction is needed.
+using EventPtr = std::shared_ptr<const Event>;
+
+/// A completed pattern instance, ready for ranking and emission.
+struct Match {
+  /// Detection sequence number (per query, monotonically increasing); the
+  /// deterministic tie-break for equal scores.
+  uint64_t id = 0;
+  /// Timestamps of the first and last bound event.
+  Timestamp first_ts = 0;
+  Timestamp last_ts = 0;
+  /// Bound events per layout variable (empty for negated variables; one
+  /// entry for single variables; one per iteration for Kleene variables).
+  std::vector<std::vector<EventPtr>> bindings;
+  /// SELECT outputs, evaluated at detection time.
+  std::vector<Value> row;
+  /// RANK BY value; -infinity for unranked queries.
+  double score = 0.0;
+
+  std::string ToString() const;
+};
+
+/// One active partial match: the engine's unit of state. A Run tracks which
+/// component is being filled, the events bound so far, and the incremental
+/// aggregate accumulators — and exposes itself as the EvalContext for edge
+/// predicates and as the BoundEnv for the ranking pruner.
+class Run : public EvalContext, public BoundEnv {
+ public:
+  Run(const CompiledQuery* plan, uint64_t id);
+
+  /// Deep copy used for forking under SKIP_TILL_ANY_MATCH (binding vectors
+  /// are copies; the events themselves are shared).
+  std::unique_ptr<Run> Clone(uint64_t new_id) const;
+
+  uint64_t id() const { return id_; }
+
+  /// Index of the next component to begin (== component count when every
+  /// component has begun).
+  int next_component() const { return next_component_; }
+
+  /// Whether the most recently begun component is Kleene (still open for
+  /// extensions).
+  bool kleene_open() const;
+
+  /// Index of the open Kleene component, or -1.
+  int open_component() const;
+
+  /// Timestamp / stream sequence number of the first bound event.
+  Timestamp first_ts() const { return first_ts_; }
+  uint64_t first_sequence() const { return first_sequence_; }
+
+  /// True iff every component has begun (for single-ended patterns this is
+  /// the accepting condition; trailing-Kleene patterns accept on every
+  /// extension).
+  bool complete() const {
+    return next_component_ >= static_cast<int>(plan_->pattern.components.size());
+  }
+
+  /// Binds `event` as the first/only event of component `comp` and
+  /// advances the state past it. `comp` may be ahead of next_component()
+  /// when intervening skippable components (optional / zero-minimum
+  /// Kleene) are being skipped; their bindings stay empty.
+  void BeginComponent(int comp, EventPtr event);
+
+  /// Appends one more iteration to the open Kleene component.
+  void ExtendKleene(EventPtr event);
+
+  /// Installs / clears a candidate event for predicate evaluation: while
+  /// set, SingleEvent(var) and KleeneCurrent(var) return it for `var`.
+  void SetCandidate(int var_index, const Event* event) {
+    candidate_var_ = var_index;
+    candidate_ = event;
+  }
+  void ClearCandidate() {
+    candidate_var_ = -1;
+    candidate_ = nullptr;
+  }
+
+  const std::vector<std::vector<EventPtr>>& bindings() const { return bindings_; }
+
+  /// Rough bytes held by this run (for the memory experiment).
+  size_t MemoryEstimate() const;
+
+  // -- EvalContext -----------------------------------------------------------
+  const Event* SingleEvent(int var_index) const override;
+  const Event* KleeneFirst(int var_index) const override;
+  const Event* KleeneLast(int var_index) const override;
+  const Event* KleeneCurrent(int var_index) const override;
+  int64_t KleeneCount(int var_index) const override;
+  double AggValue(int agg_slot) const override;
+
+  // -- BoundEnv (for the ranking pruner) ------------------------------------
+  Interval AttrRange(int attr_index) const override;
+  bool IsClosed(int var_index) const override;
+  const EvalContext& Context() const override { return *this; }
+
+ private:
+  const CompiledQuery* plan_;  // not owned; outlives all runs
+  uint64_t id_;
+  int next_component_ = 0;
+  std::vector<std::vector<EventPtr>> bindings_;  // indexed by layout var
+  AggStates aggs_;
+  Timestamp first_ts_ = 0;
+  uint64_t first_sequence_ = 0;
+
+  int candidate_var_ = -1;
+  const Event* candidate_ = nullptr;  // not owned; valid during one test
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_ENGINE_RUN_H_

@@ -1,0 +1,44 @@
+#include "event/event.h"
+
+#include "common/logging.h"
+
+namespace cepr {
+
+Result<Value> Event::ValueOf(std::string_view attr_name) const {
+  CEPR_ASSIGN_OR_RETURN(const size_t idx, schema_->IndexOf(attr_name));
+  return values_[idx];
+}
+
+std::string Event::ToString() const {
+  std::string out = schema_ ? schema_->name() : "<unbound>";
+  if (!type_tag_.empty()) {
+    out += "/";
+    out += type_tag_;
+  }
+  out += "@" + std::to_string(timestamp_) + " {";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (schema_) {
+      out += schema_->attribute(i).name;
+      out += "=";
+    }
+    out += values_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+EventBuilder& EventBuilder::Set(std::string_view name, Value v) {
+  auto idx = schema_->IndexOf(name);
+  CEPR_CHECK(idx.ok()) << "EventBuilder: " << idx.status().ToString();
+  values_[idx.value()] = std::move(v);
+  return *this;
+}
+
+Event EventBuilder::Build() const {
+  Event e(schema_, timestamp_, values_);
+  if (!tag_.empty()) e.set_type_tag(tag_);
+  return e;
+}
+
+}  // namespace cepr

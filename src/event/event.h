@@ -1,0 +1,90 @@
+#ifndef CEPR_EVENT_EVENT_H_
+#define CEPR_EVENT_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "event/schema.h"
+#include "event/value.h"
+
+namespace cepr {
+
+/// Event time in microseconds since an arbitrary epoch. CEPR assumes
+/// in-order (timestamp-monotone) arrival per stream, which the runtime
+/// enforces; the matcher relies on it for window expiry.
+using Timestamp = int64_t;
+
+constexpr Timestamp kMicrosPerSecond = 1000 * 1000;
+constexpr Timestamp kMicrosPerMinute = 60 * kMicrosPerSecond;
+constexpr Timestamp kMicrosPerHour = 60 * kMicrosPerMinute;
+
+/// One stream element: a timestamped tuple conforming to a Schema, plus a
+/// per-stream sequence number assigned at ingestion (used for deterministic
+/// tie-breaking in ranking) and an optional event-type tag for typed
+/// patterns like SEQ(Buy a, Sell+ b).
+class Event {
+ public:
+  Event() = default;
+  Event(SchemaPtr schema, Timestamp ts, std::vector<Value> values)
+      : schema_(std::move(schema)), timestamp_(ts), values_(std::move(values)) {}
+
+  const SchemaPtr& schema() const { return schema_; }
+  Timestamp timestamp() const { return timestamp_; }
+  uint64_t sequence() const { return sequence_; }
+  const std::string& type_tag() const { return type_tag_; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void set_sequence(uint64_t seq) { sequence_ = seq; }
+  void set_type_tag(std::string tag) { type_tag_ = std::move(tag); }
+  void set_timestamp(Timestamp ts) { timestamp_ = ts; }
+
+  /// Value of attribute i. Bounds-checked in debug builds.
+  const Value& value(size_t i) const { return values_[i]; }
+
+  /// Value by attribute name; NotFound if the schema lacks it.
+  Result<Value> ValueOf(std::string_view attr_name) const;
+
+  /// "Stock@1000 {symbol='IBM', price=42.0}".
+  std::string ToString() const;
+
+ private:
+  SchemaPtr schema_;
+  Timestamp timestamp_ = 0;
+  uint64_t sequence_ = 0;
+  std::string type_tag_;
+  std::vector<Value> values_;
+};
+
+/// Convenience builder for tests and generators:
+///   EventBuilder(schema).Set("price", Value::Float(42)).At(ts).Build()
+class EventBuilder {
+ public:
+  explicit EventBuilder(SchemaPtr schema)
+      : schema_(std::move(schema)), values_(schema_->num_attributes()) {}
+
+  /// Sets attribute `name`; fatal if the schema lacks it (builder misuse is
+  /// a programming error, not an input error).
+  EventBuilder& Set(std::string_view name, Value v);
+  EventBuilder& At(Timestamp ts) {
+    timestamp_ = ts;
+    return *this;
+  }
+  EventBuilder& Tagged(std::string tag) {
+    tag_ = std::move(tag);
+    return *this;
+  }
+
+  Event Build() const;
+
+ private:
+  SchemaPtr schema_;
+  Timestamp timestamp_ = 0;
+  std::string tag_;
+  std::vector<Value> values_;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_EVENT_EVENT_H_

@@ -1,0 +1,66 @@
+#include "event/schema.h"
+
+#include "common/strings.h"
+
+namespace cepr {
+
+Result<std::shared_ptr<const Schema>> Schema::Make(
+    std::string stream_name, std::vector<Attribute> attributes) {
+  if (stream_name.empty()) {
+    return Status::InvalidArgument("stream name must be non-empty");
+  }
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i].name.empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty");
+    }
+    if (attributes[i].type == ValueType::kNull) {
+      return Status::InvalidArgument("attribute '" + attributes[i].name +
+                                     "' must have a concrete type");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (EqualsIgnoreCase(attributes[i].name, attributes[j].name)) {
+        return Status::InvalidArgument("duplicate attribute name: " +
+                                       attributes[i].name);
+      }
+    }
+    if (attributes[i].range.has_value()) {
+      if (attributes[i].type != ValueType::kInt &&
+          attributes[i].type != ValueType::kFloat) {
+        return Status::InvalidArgument("range declared for non-numeric attribute: " +
+                                       attributes[i].name);
+      }
+      if (attributes[i].range->lo > attributes[i].range->hi) {
+        return Status::InvalidArgument("empty range for attribute: " +
+                                       attributes[i].name);
+      }
+    }
+  }
+  return std::shared_ptr<const Schema>(
+      new Schema(std::move(stream_name), std::move(attributes)));
+}
+
+Result<size_t> Schema::IndexOf(std::string_view attr_name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (EqualsIgnoreCase(attributes_[i].name, attr_name)) return i;
+  }
+  return Status::NotFound("no attribute '" + std::string(attr_name) +
+                          "' in stream " + name_);
+}
+
+std::string Schema::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += " ";
+    out += ValueTypeToString(attributes_[i].type);
+    if (attributes_[i].range.has_value()) {
+      out += " RANGE [" + FormatDouble(attributes_[i].range->lo) + ", " +
+             FormatDouble(attributes_[i].range->hi) + "]";
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace cepr

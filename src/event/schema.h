@@ -1,0 +1,65 @@
+#ifndef CEPR_EVENT_SCHEMA_H_
+#define CEPR_EVENT_SCHEMA_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "event/value.h"
+
+namespace cepr {
+
+/// Closed numeric range [lo, hi] declared or learned for an attribute; feeds
+/// the ranking pruner's interval arithmetic.
+struct AttributeRange {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// One attribute of a stream schema.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  /// Optional declared value range (CREATE STREAM ... RANGE [lo, hi]);
+  /// only meaningful for numeric attributes.
+  std::optional<AttributeRange> range;
+};
+
+/// The shape of events on one stream: a name plus an ordered attribute list.
+/// Immutable after construction; shared by reference among events, plans and
+/// queries via shared_ptr<const Schema>.
+class Schema {
+ public:
+  /// Builds a schema; attribute names must be non-empty and unique
+  /// (case-insensitively, since CEPR-QL identifiers are case-insensitive).
+  static Result<std::shared_ptr<const Schema>> Make(
+      std::string stream_name, std::vector<Attribute> attributes);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+
+  /// Index of the attribute with the given (case-insensitive) name, or
+  /// NotFound.
+  Result<size_t> IndexOf(std::string_view attr_name) const;
+
+  /// "Stock(symbol STRING, price FLOAT, volume INT)".
+  std::string ToString() const;
+
+ private:
+  Schema(std::string name, std::vector<Attribute> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  std::string name_;
+  std::vector<Attribute> attributes_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+}  // namespace cepr
+
+#endif  // CEPR_EVENT_SCHEMA_H_

@@ -1,0 +1,177 @@
+#include "event/value.h"
+
+#include <cmath>
+#include <functional>
+#include <ostream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace cepr {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kFloat:
+      return "FLOAT";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+Result<ValueType> ValueTypeFromString(std::string_view name) {
+  if (EqualsIgnoreCase(name, "BOOL") || EqualsIgnoreCase(name, "BOOLEAN")) {
+    return ValueType::kBool;
+  }
+  if (EqualsIgnoreCase(name, "INT") || EqualsIgnoreCase(name, "INTEGER") ||
+      EqualsIgnoreCase(name, "BIGINT")) {
+    return ValueType::kInt;
+  }
+  if (EqualsIgnoreCase(name, "FLOAT") || EqualsIgnoreCase(name, "DOUBLE") ||
+      EqualsIgnoreCase(name, "REAL")) {
+    return ValueType::kFloat;
+  }
+  if (EqualsIgnoreCase(name, "STRING") || EqualsIgnoreCase(name, "VARCHAR") ||
+      EqualsIgnoreCase(name, "TEXT")) {
+    return ValueType::kString;
+  }
+  return Status::TypeError("unknown type name: " + std::string(name));
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kBool;
+    case 2:
+      return ValueType::kInt;
+    case 3:
+      return ValueType::kFloat;
+    case 4:
+      return ValueType::kString;
+  }
+  return ValueType::kNull;
+}
+
+bool Value::AsBool() const {
+  CEPR_DCHECK(type() == ValueType::kBool);
+  return std::get<bool>(data_);
+}
+
+int64_t Value::AsInt() const {
+  CEPR_DCHECK(type() == ValueType::kInt);
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsFloat() const {
+  CEPR_DCHECK(type() == ValueType::kFloat);
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  CEPR_DCHECK(type() == ValueType::kString);
+  return std::get<std::string>(data_);
+}
+
+Result<double> Value::AsNumeric() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(AsInt());
+    case ValueType::kFloat:
+      return AsFloat();
+    default:
+      return Status::TypeError(std::string("value is not numeric: ") + ToString());
+  }
+}
+
+namespace {
+bool IsNumericType(ValueType t) {
+  return t == ValueType::kInt || t == ValueType::kFloat;
+}
+
+double NumericOf(const Value& v) {
+  return v.type() == ValueType::kInt ? static_cast<double>(v.AsInt()) : v.AsFloat();
+}
+}  // namespace
+
+bool Value::operator==(const Value& other) const {
+  const ValueType a = type();
+  const ValueType b = other.type();
+  if (IsNumericType(a) && IsNumericType(b)) {
+    return NumericOf(*this) == NumericOf(other);
+  }
+  return data_ == other.data_;
+}
+
+bool Value::operator<(const Value& other) const {
+  const ValueType a = type();
+  const ValueType b = other.type();
+  if (IsNumericType(a) && IsNumericType(b)) {
+    return NumericOf(*this) < NumericOf(other);
+  }
+  if (a != b) return static_cast<int>(a) < static_cast<int>(b);
+  switch (a) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kBool:
+      return !AsBool() && other.AsBool();
+    case ValueType::kString:
+      return AsString() < other.AsString();
+    default:
+      return false;  // unreachable: numeric handled above
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return AsBool() ? "TRUE" : "FALSE";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kFloat:
+      return FormatDouble(AsFloat());
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : AsString()) {
+        if (c == '\'') out += "''";  // SQL-style quote doubling
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kBool:
+      return AsBool() ? 0x5bd1e995 : 0xc2b2ae35;
+    case ValueType::kInt:
+      return std::hash<double>{}(static_cast<double>(AsInt()));
+    case ValueType::kFloat: {
+      // Integral doubles hash like the corresponding int (== compatibility).
+      return std::hash<double>{}(AsFloat());
+    }
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace cepr

@@ -1,0 +1,84 @@
+#ifndef CEPR_EVENT_VALUE_H_
+#define CEPR_EVENT_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/result.h"
+
+namespace cepr {
+
+/// Runtime type of a Value / static type of a schema attribute or
+/// expression. kNull is the type of the NULL literal and of values missing
+/// from a partial match binding.
+enum class ValueType { kNull = 0, kBool, kInt, kFloat, kString };
+
+/// Stable name: "NULL", "BOOL", "INT", "FLOAT", "STRING".
+const char* ValueTypeToString(ValueType type);
+
+/// Parses a type name as written in CEPR-QL (case-insensitive).
+Result<ValueType> ValueTypeFromString(std::string_view name);
+
+/// A dynamically typed scalar: the cell type of events and the result type
+/// of expression evaluation. Small, copyable, and totally ordered within a
+/// type (cross-type comparison between kInt and kFloat is numeric; any other
+/// cross-type comparison orders by type tag).
+class Value {
+ public:
+  /// Constructs the NULL value.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Data(b)); }
+  static Value Int(int64_t i) { return Value(Data(i)); }
+  static Value Float(double d) { return Value(Data(d)); }
+  static Value String(std::string s) { return Value(Data(std::move(s))); }
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors. Calling the wrong accessor is a checked error in debug
+  /// builds and undefined in release; use type() first.
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsFloat() const;
+  const std::string& AsString() const;
+
+  /// Numeric view: kInt and kFloat values as double; error otherwise.
+  Result<double> AsNumeric() const;
+
+  /// True iff both values have the same type and equal contents, except
+  /// that kInt and kFloat compare numerically (Int(2) == Float(2.0)).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  /// Total order used by ranking tie-breaks and tests; numeric across
+  /// kInt/kFloat, lexicographic for strings, false < true for bools, and
+  /// NULL sorts first.
+  bool operator<(const Value& other) const;
+
+  /// CEPR-QL literal syntax: NULL, TRUE, 42, 3.5, 'text'.
+  std::string ToString() const;
+
+  /// Hash compatible with operator== (numeric kInt/kFloat hash equal when
+  /// the double is integral).
+  size_t Hash() const;
+
+ private:
+  using Data = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace cepr
+
+#endif  // CEPR_EVENT_VALUE_H_

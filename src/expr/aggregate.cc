@@ -1,0 +1,99 @@
+#include "expr/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cepr {
+
+namespace {
+
+void CollectAggNodes(Expr* e, std::vector<Expr*>* out) {
+  if (e->kind == ExprKind::kAggregate &&
+      (e->agg_func == AggFunc::kMin || e->agg_func == AggFunc::kMax ||
+       e->agg_func == AggFunc::kSum || e->agg_func == AggFunc::kAvg)) {
+    out->push_back(e);
+  }
+  for (auto& c : e->children) CollectAggNodes(c.get(), out);
+}
+
+AggStorageKind StorageFor(AggFunc func) {
+  switch (func) {
+    case AggFunc::kMin:
+      return AggStorageKind::kMin;
+    case AggFunc::kMax:
+      return AggStorageKind::kMax;
+    default:
+      return AggStorageKind::kSum;  // kSum and kAvg share a sum accumulator
+  }
+}
+
+}  // namespace
+
+std::vector<AggSpec> AssignAggSlots(const std::vector<Expr*>& exprs) {
+  std::vector<AggSpec> specs;
+  std::vector<Expr*> nodes;
+  for (Expr* e : exprs) {
+    if (e != nullptr) CollectAggNodes(e, &nodes);
+  }
+  for (Expr* node : nodes) {
+    const AggSpec spec{StorageFor(node->agg_func), node->var_index,
+                       node->attr_index};
+    auto it = std::find(specs.begin(), specs.end(), spec);
+    if (it == specs.end()) {
+      specs.push_back(spec);
+      node->agg_slot = static_cast<int>(specs.size() - 1);
+    } else {
+      node->agg_slot = static_cast<int>(it - specs.begin());
+    }
+  }
+  return specs;
+}
+
+AggStates::AggStates(const std::vector<AggSpec>* specs) : specs_(specs) {
+  values_.reserve(specs->size());
+  for (const AggSpec& spec : *specs) {
+    switch (spec.kind) {
+      case AggStorageKind::kMin:
+        values_.push_back(std::numeric_limits<double>::infinity());
+        break;
+      case AggStorageKind::kMax:
+        values_.push_back(-std::numeric_limits<double>::infinity());
+        break;
+      case AggStorageKind::kSum:
+        values_.push_back(0.0);
+        break;
+    }
+  }
+}
+
+void AggStates::Accept(int var_index, const Event& event) {
+  if (specs_ == nullptr) return;
+  for (size_t i = 0; i < specs_->size(); ++i) {
+    const AggSpec& spec = (*specs_)[i];
+    if (spec.var_index != var_index) continue;
+    double x = 0.0;
+    if (spec.attr_index == kTimestampAttr) {
+      x = static_cast<double>(event.timestamp());
+    } else {
+      const Value& v = event.value(static_cast<size_t>(spec.attr_index));
+      auto num = v.AsNumeric();
+      if (!num.ok()) continue;  // NULL cell: aggregate skips it (SQL-like)
+      x = num.value();
+    }
+    switch (spec.kind) {
+      case AggStorageKind::kMin:
+        values_[i] = std::min(values_[i], x);
+        break;
+      case AggStorageKind::kMax:
+        values_[i] = std::max(values_[i], x);
+        break;
+      case AggStorageKind::kSum:
+        values_[i] += x;
+        break;
+    }
+  }
+}
+
+}  // namespace cepr

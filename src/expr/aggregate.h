@@ -1,0 +1,60 @@
+#ifndef CEPR_EXPR_AGGREGATE_H_
+#define CEPR_EXPR_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "event/event.h"
+#include "expr/expr.h"
+
+namespace cepr {
+
+/// Storage class of one incremental accumulator. AVG has no storage of its
+/// own: it reads a kSum slot and divides by the variable's iteration count.
+enum class AggStorageKind { kMin, kMax, kSum };
+
+/// One accumulator the engine must maintain for a query: "the running
+/// <kind> of attribute <attr_index> over Kleene variable <var_index>".
+struct AggSpec {
+  AggStorageKind kind = AggStorageKind::kSum;
+  int var_index = -1;
+  int attr_index = -1;
+
+  bool operator==(const AggSpec& other) const {
+    return kind == other.kind && var_index == other.var_index &&
+           attr_index == other.attr_index;
+  }
+};
+
+/// Assigns accumulator slots for every MIN/MAX/SUM/AVG aggregate in `exprs`
+/// (deduplicated), writing each node's agg_slot. Returns the slot table the
+/// engine allocates per active run. Expressions must already be type
+/// checked. COUNT/FIRST/LAST need no slot (the run tracks first/last/count
+/// per variable anyway).
+std::vector<AggSpec> AssignAggSlots(const std::vector<Expr*>& exprs);
+
+/// The per-run accumulator values, one double per AggSpec. Updated in O(1)
+/// when an event is accepted into a Kleene binding.
+class AggStates {
+ public:
+  AggStates() = default;
+  explicit AggStates(const std::vector<AggSpec>* specs);
+
+  /// Folds `event` (newly accepted into Kleene variable `var_index`) into
+  /// every accumulator of that variable. Non-numeric or NULL attribute
+  /// values are skipped (cannot occur after type checking, except NULL).
+  void Accept(int var_index, const Event& event);
+
+  /// Current accumulated value of slot i (+inf/-inf/0 when no event has
+  /// been accepted yet, per storage kind).
+  double value(size_t i) const { return values_[i]; }
+  size_t size() const { return values_.size(); }
+
+ private:
+  const std::vector<AggSpec>* specs_ = nullptr;  // not owned; query-lifetime
+  std::vector<double> values_;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_EXPR_AGGREGATE_H_

@@ -1,0 +1,355 @@
+#include "expr/eval.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cepr {
+
+namespace {
+
+bool IsNumeric(const Value& v) {
+  return v.type() == ValueType::kInt || v.type() == ValueType::kFloat;
+}
+
+double Num(const Value& v) {
+  return v.type() == ValueType::kInt ? static_cast<double>(v.AsInt()) : v.AsFloat();
+}
+
+// Packages a double into the statically determined result type.
+Value MakeNumeric(double x, ValueType type) {
+  if (type == ValueType::kInt) return Value::Int(static_cast<int64_t>(llround(x)));
+  return Value::Float(x);
+}
+
+// Fetches the addressed attribute (or timestamp) from an event.
+Value FetchAttr(const Event* event, int attr_index) {
+  if (event == nullptr) return Value::Null();
+  if (attr_index == kTimestampAttr) return Value::Int(event->timestamp());
+  return event->value(static_cast<size_t>(attr_index));
+}
+
+Result<Value> EvalNode(const Expr& e, const EvalContext& ctx);
+
+Result<Value> EvalBinary(const Expr& e, const EvalContext& ctx) {
+  // Three-valued AND/OR need lazy handling of NULL, so do them first.
+  if (e.binary_op == BinaryOp::kAnd || e.binary_op == BinaryOp::kOr) {
+    CEPR_ASSIGN_OR_RETURN(const Value lhs, EvalNode(*e.children[0], ctx));
+    const bool want_short = e.binary_op == BinaryOp::kOr;  // TRUE short-circuits OR
+    if (lhs.type() == ValueType::kBool && lhs.AsBool() == want_short) {
+      return Value::Bool(want_short);
+    }
+    CEPR_ASSIGN_OR_RETURN(const Value rhs, EvalNode(*e.children[1], ctx));
+    if (rhs.type() == ValueType::kBool && rhs.AsBool() == want_short) {
+      return Value::Bool(want_short);
+    }
+    if (lhs.is_null() || rhs.is_null()) return Value::Null();
+    if (lhs.type() != ValueType::kBool || rhs.type() != ValueType::kBool) {
+      return Status::Internal("AND/OR on non-bool at runtime: " + e.ToString());
+    }
+    return Value::Bool(e.binary_op == BinaryOp::kAnd ? (lhs.AsBool() && rhs.AsBool())
+                                                     : (lhs.AsBool() || rhs.AsBool()));
+  }
+
+  CEPR_ASSIGN_OR_RETURN(const Value lhs, EvalNode(*e.children[0], ctx));
+  CEPR_ASSIGN_OR_RETURN(const Value rhs, EvalNode(*e.children[1], ctx));
+
+  switch (e.binary_op) {
+    case BinaryOp::kEq:
+      if (lhs.is_null() || rhs.is_null()) {
+        // NULL = NULL is TRUE in CEPR (missing-vs-missing); NULL = x is NULL.
+        return (lhs.is_null() && rhs.is_null()) ? Value::Bool(true) : Value::Null();
+      }
+      return Value::Bool(lhs == rhs);
+    case BinaryOp::kNe:
+      if (lhs.is_null() || rhs.is_null()) {
+        return (lhs.is_null() && rhs.is_null()) ? Value::Bool(false) : Value::Null();
+      }
+      return Value::Bool(lhs != rhs);
+    default:
+      break;
+  }
+
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+
+  switch (e.binary_op) {
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      if (lhs.type() == ValueType::kString && rhs.type() == ValueType::kString) {
+        const int c = lhs.AsString().compare(rhs.AsString());
+        switch (e.binary_op) {
+          case BinaryOp::kLt:
+            return Value::Bool(c < 0);
+          case BinaryOp::kLe:
+            return Value::Bool(c <= 0);
+          case BinaryOp::kGt:
+            return Value::Bool(c > 0);
+          default:
+            return Value::Bool(c >= 0);
+        }
+      }
+      if (!IsNumeric(lhs) || !IsNumeric(rhs)) {
+        return Status::Internal("comparison on non-numeric at runtime: " +
+                                e.ToString());
+      }
+      const double a = Num(lhs);
+      const double b = Num(rhs);
+      switch (e.binary_op) {
+        case BinaryOp::kLt:
+          return Value::Bool(a < b);
+        case BinaryOp::kLe:
+          return Value::Bool(a <= b);
+        case BinaryOp::kGt:
+          return Value::Bool(a > b);
+        default:
+          return Value::Bool(a >= b);
+      }
+    }
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul: {
+      if (!IsNumeric(lhs) || !IsNumeric(rhs)) {
+        return Status::Internal("arithmetic on non-numeric at runtime: " +
+                                e.ToString());
+      }
+      const double a = Num(lhs);
+      const double b = Num(rhs);
+      const double r = e.binary_op == BinaryOp::kAdd   ? a + b
+                       : e.binary_op == BinaryOp::kSub ? a - b
+                                                       : a * b;
+      return MakeNumeric(r, e.result_type);
+    }
+    case BinaryOp::kDiv: {
+      if (!IsNumeric(lhs) || !IsNumeric(rhs)) {
+        return Status::Internal("division on non-numeric at runtime: " +
+                                e.ToString());
+      }
+      const double b = Num(rhs);
+      if (b == 0.0) return Value::Null();
+      return Value::Float(Num(lhs) / b);
+    }
+    case BinaryOp::kMod: {
+      if (lhs.type() != ValueType::kInt || rhs.type() != ValueType::kInt) {
+        return Status::Internal("% on non-INT at runtime: " + e.ToString());
+      }
+      if (rhs.AsInt() == 0) return Value::Null();
+      return Value::Int(lhs.AsInt() % rhs.AsInt());
+    }
+    default:
+      return Status::Internal("unhandled binary op at runtime");
+  }
+}
+
+Result<Value> EvalAggregate(const Expr& e, const EvalContext& ctx) {
+  switch (e.agg_func) {
+    case AggFunc::kCount:
+      return Value::Int(ctx.KleeneCount(e.var_index));
+    case AggFunc::kFirst:
+      return FetchAttr(ctx.KleeneFirst(e.var_index), e.attr_index);
+    case AggFunc::kLast:
+      return FetchAttr(ctx.KleeneLast(e.var_index), e.attr_index);
+    case AggFunc::kAvg: {
+      const int64_t n = ctx.KleeneCount(e.var_index);
+      if (n == 0) return Value::Null();
+      if (e.agg_slot < 0) return Status::Internal("AVG without slot: " + e.ToString());
+      return Value::Float(ctx.AggValue(e.agg_slot) / static_cast<double>(n));
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+    case AggFunc::kSum: {
+      if (e.agg_slot < 0) {
+        return Status::Internal("aggregate without slot: " + e.ToString());
+      }
+      if (ctx.KleeneCount(e.var_index) == 0) return Value::Null();
+      const double v = ctx.AggValue(e.agg_slot);
+      if (!std::isfinite(v) && e.agg_func != AggFunc::kSum) return Value::Null();
+      return MakeNumeric(v, e.result_type);
+    }
+  }
+  return Status::Internal("unhandled aggregate at runtime");
+}
+
+Result<Value> EvalNode(const Expr& e, const EvalContext& ctx) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+
+    case ExprKind::kVarRef:
+      return FetchAttr(ctx.SingleEvent(e.var_index), e.attr_index);
+
+    case ExprKind::kIterRef: {
+      const Event* ev = e.iter_kind == IterKind::kCurrent
+                            ? ctx.KleeneCurrent(e.var_index)
+                        : e.iter_kind == IterKind::kPrev
+                            ? ctx.KleeneLast(e.var_index)
+                            : ctx.KleeneFirst(e.var_index);
+      return FetchAttr(ev, e.attr_index);
+    }
+
+    case ExprKind::kAggregate:
+      return EvalAggregate(e, ctx);
+
+    case ExprKind::kUnary: {
+      CEPR_ASSIGN_OR_RETURN(const Value v, EvalNode(*e.children[0], ctx));
+      if (v.is_null()) return Value::Null();
+      if (e.unary_op == UnaryOp::kNot) {
+        if (v.type() != ValueType::kBool) {
+          return Status::Internal("NOT on non-bool at runtime");
+        }
+        return Value::Bool(!v.AsBool());
+      }
+      if (!IsNumeric(v)) return Status::Internal("negation of non-numeric");
+      if (v.type() == ValueType::kInt) return Value::Int(-v.AsInt());
+      return Value::Float(-v.AsFloat());
+    }
+
+    case ExprKind::kBinary:
+      return EvalBinary(e, ctx);
+
+    case ExprKind::kCase: {
+      const size_t pairs = (e.children.size() - (e.has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        CEPR_ASSIGN_OR_RETURN(const Value cond, EvalNode(*e.children[2 * i], ctx));
+        // NULL conditions are not satisfied, as in predicates.
+        if (cond.type() == ValueType::kBool && cond.AsBool()) {
+          CEPR_ASSIGN_OR_RETURN(Value v, EvalNode(*e.children[2 * i + 1], ctx));
+          // Promote INT branch values when the CASE's static type is FLOAT.
+          if (e.result_type == ValueType::kFloat && v.type() == ValueType::kInt) {
+            return Value::Float(Num(v));
+          }
+          return v;
+        }
+      }
+      if (!e.has_else) return Value::Null();
+      CEPR_ASSIGN_OR_RETURN(Value v, EvalNode(*e.children.back(), ctx));
+      if (IsNumeric(v) && e.result_type == ValueType::kFloat &&
+          v.type() == ValueType::kInt) {
+        return Value::Float(Num(v));
+      }
+      return v;
+    }
+
+    case ExprKind::kFunc: {
+      // String functions take string-typed arguments; handle them before
+      // the numeric path.
+      switch (e.func) {
+        case ScalarFunc::kUpper:
+        case ScalarFunc::kLower: {
+          CEPR_ASSIGN_OR_RETURN(const Value v, EvalNode(*e.children[0], ctx));
+          if (v.is_null()) return Value::Null();
+          std::string out = v.AsString();
+          for (char& c : out) {
+            c = e.func == ScalarFunc::kUpper
+                    ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                    : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+          }
+          return Value::String(std::move(out));
+        }
+        case ScalarFunc::kLength: {
+          CEPR_ASSIGN_OR_RETURN(const Value v, EvalNode(*e.children[0], ctx));
+          if (v.is_null()) return Value::Null();
+          return Value::Int(static_cast<int64_t>(v.AsString().size()));
+        }
+        case ScalarFunc::kConcat: {
+          std::string out;
+          for (const auto& c : e.children) {
+            CEPR_ASSIGN_OR_RETURN(const Value v, EvalNode(*c, ctx));
+            if (v.is_null()) return Value::Null();
+            out += v.AsString();
+          }
+          return Value::String(std::move(out));
+        }
+        case ScalarFunc::kSubstr: {
+          CEPR_ASSIGN_OR_RETURN(const Value str, EvalNode(*e.children[0], ctx));
+          CEPR_ASSIGN_OR_RETURN(const Value start, EvalNode(*e.children[1], ctx));
+          CEPR_ASSIGN_OR_RETURN(const Value len, EvalNode(*e.children[2], ctx));
+          if (str.is_null() || start.is_null() || len.is_null()) {
+            return Value::Null();
+          }
+          const std::string& text = str.AsString();
+          // SQL-style 1-based start; out-of-range clamps.
+          int64_t begin = start.AsInt() - 1;
+          int64_t count = len.AsInt();
+          if (begin < 0) {
+            count += begin;  // shift the window right
+            begin = 0;
+          }
+          if (begin >= static_cast<int64_t>(text.size()) || count <= 0) {
+            return Value::String("");
+          }
+          return Value::String(text.substr(
+              static_cast<size_t>(begin),
+              static_cast<size_t>(std::min<int64_t>(
+                  count, static_cast<int64_t>(text.size()) - begin))));
+        }
+        default:
+          break;
+      }
+
+      std::vector<double> args;
+      args.reserve(e.children.size());
+      for (const auto& c : e.children) {
+        CEPR_ASSIGN_OR_RETURN(const Value v, EvalNode(*c, ctx));
+        if (v.is_null()) return Value::Null();
+        if (!IsNumeric(v)) return Status::Internal("function arg non-numeric");
+        args.push_back(Num(v));
+      }
+      switch (e.func) {
+        case ScalarFunc::kAbs:
+          return MakeNumeric(std::fabs(args[0]), e.result_type);
+        case ScalarFunc::kSqrt:
+          if (args[0] < 0) return Value::Null();
+          return Value::Float(std::sqrt(args[0]));
+        case ScalarFunc::kLog:
+          if (args[0] <= 0) return Value::Null();
+          return Value::Float(std::log(args[0]));
+        case ScalarFunc::kExp:
+          return Value::Float(std::exp(args[0]));
+        case ScalarFunc::kPow:
+          return Value::Float(std::pow(args[0], args[1]));
+        case ScalarFunc::kFloor:
+          return Value::Int(static_cast<int64_t>(std::floor(args[0])));
+        case ScalarFunc::kCeil:
+          return Value::Int(static_cast<int64_t>(std::ceil(args[0])));
+        case ScalarFunc::kRound:
+          return Value::Int(static_cast<int64_t>(llround(args[0])));
+        case ScalarFunc::kLeast:
+          return MakeNumeric(std::min(args[0], args[1]), e.result_type);
+        case ScalarFunc::kGreatest:
+          return MakeNumeric(std::max(args[0], args[1]), e.result_type);
+        default:
+          break;
+      }
+      return Status::Internal("unhandled scalar function");
+    }
+  }
+  return Status::Internal("unhandled expression kind at runtime");
+}
+
+}  // namespace
+
+Result<Value> Evaluate(const Expr& expr, const EvalContext& ctx) {
+  return EvalNode(expr, ctx);
+}
+
+Result<bool> EvaluatePredicate(const Expr& expr, const EvalContext& ctx) {
+  CEPR_ASSIGN_OR_RETURN(const Value v, EvalNode(expr, ctx));
+  if (v.type() == ValueType::kBool) return v.AsBool();
+  if (v.is_null()) return false;
+  return Status::Internal("predicate evaluated to non-bool: " + expr.ToString());
+}
+
+double EvaluateScore(const Expr& expr, const EvalContext& ctx) {
+  auto v = EvalNode(expr, ctx);
+  if (!v.ok() || v->is_null()) return -std::numeric_limits<double>::infinity();
+  auto num = v->AsNumeric();
+  if (!num.ok()) return -std::numeric_limits<double>::infinity();
+  return num.value();
+}
+
+}  // namespace cepr

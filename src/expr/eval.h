@@ -1,0 +1,56 @@
+#ifndef CEPR_EXPR_EVAL_H_
+#define CEPR_EXPR_EVAL_H_
+
+#include "common/result.h"
+#include "event/event.h"
+#include "expr/expr.h"
+
+namespace cepr {
+
+/// The binding state an expression is evaluated against. Implemented by the
+/// engine's active Run (partial matches, for edge predicates) and by
+/// completed Match objects (for SELECT / RANK BY). All accessors may return
+/// nullptr for unbound variables; evaluation then yields NULL.
+class EvalContext {
+ public:
+  virtual ~EvalContext() = default;
+
+  /// The event bound to a non-Kleene variable (also the candidate event when
+  /// testing a negated component's predicate).
+  virtual const Event* SingleEvent(int var_index) const = 0;
+
+  /// First / most-recently-accepted iteration of a Kleene variable.
+  virtual const Event* KleeneFirst(int var_index) const = 0;
+  virtual const Event* KleeneLast(int var_index) const = 0;
+
+  /// The candidate event currently being tested for acceptance into a
+  /// Kleene variable (b[i] in predicates); nullptr outside predicate
+  /// evaluation.
+  virtual const Event* KleeneCurrent(int var_index) const = 0;
+
+  /// Number of accepted iterations of a Kleene variable.
+  virtual int64_t KleeneCount(int var_index) const = 0;
+
+  /// Accumulated MIN/MAX/SUM value for compiler-assigned slot `agg_slot`.
+  virtual double AggValue(int agg_slot) const = 0;
+};
+
+/// Evaluates a resolved, type-checked expression. NULL propagates through
+/// arithmetic and comparisons (a NULL operand yields NULL); AND/OR use
+/// three-valued logic (FALSE AND NULL = FALSE, TRUE OR NULL = TRUE).
+/// Division / modulo by zero yields NULL. Returns an error Status only for
+/// malformed trees (e.g. unresolved references), which indicates a compiler
+/// bug rather than a data condition.
+Result<Value> Evaluate(const Expr& expr, const EvalContext& ctx);
+
+/// Evaluates a predicate to a definite boolean: NULL and evaluation of a
+/// non-BOOL root count as false.
+Result<bool> EvaluatePredicate(const Expr& expr, const EvalContext& ctx);
+
+/// Evaluates an expression to a double for scoring. NULL or non-numeric
+/// results map to -infinity (so failed scores never enter a top-k).
+double EvaluateScore(const Expr& expr, const EvalContext& ctx);
+
+}  // namespace cepr
+
+#endif  // CEPR_EXPR_EVAL_H_

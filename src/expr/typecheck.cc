@@ -1,0 +1,363 @@
+#include "expr/typecheck.h"
+
+#include "common/strings.h"
+
+namespace cepr {
+
+Result<int> BindingLayout::VarIndex(std::string_view name) const {
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (EqualsIgnoreCase(vars_[i].name, name)) return static_cast<int>(i);
+  }
+  return Status::NotFound("unknown pattern variable: " + std::string(name));
+}
+
+namespace {
+
+bool IsNumeric(ValueType t) { return t == ValueType::kInt || t == ValueType::kFloat; }
+
+// Resolves var.attr, filling var_index/attr_index, and returns the attribute
+// type. Handles the `.ts` pseudo attribute.
+Result<ValueType> ResolveRef(Expr* e, const BindingLayout& layout) {
+  CEPR_ASSIGN_OR_RETURN(e->var_index, layout.VarIndex(e->var_name));
+  if (e->attr_name.empty()) return ValueType::kNull;  // COUNT(b): no attribute
+  if (EqualsIgnoreCase(e->attr_name, "ts")) {
+    e->attr_index = kTimestampAttr;
+    return ValueType::kInt;
+  }
+  CEPR_ASSIGN_OR_RETURN(const size_t idx, layout.schema()->IndexOf(e->attr_name));
+  e->attr_index = static_cast<int>(idx);
+  return layout.schema()->attribute(idx).type;
+}
+
+Status CheckNode(Expr* e, const BindingLayout& layout, ExprContext context);
+Status CheckFunc(Expr* e, const BindingLayout& layout, ExprContext context);
+
+Status CheckChildren(Expr* e, const BindingLayout& layout, ExprContext context) {
+  for (auto& c : e->children) CEPR_RETURN_IF_ERROR(CheckNode(c.get(), layout, context));
+  return Status::OK();
+}
+
+Status CheckNode(Expr* e, const BindingLayout& layout, ExprContext context) {
+  switch (e->kind) {
+    case ExprKind::kLiteral: {
+      e->result_type = e->literal.type();
+      return Status::OK();
+    }
+
+    case ExprKind::kVarRef: {
+      CEPR_ASSIGN_OR_RETURN(e->result_type, ResolveRef(e, layout));
+      const PatternVar& var = layout.var(e->var_index);
+      if (var.is_kleene) {
+        return Status::TypeError(
+            "Kleene variable '" + var.name +
+            "' needs an iteration index (e.g. " + var.name +
+            "[i]) or an aggregate (e.g. LAST(" + var.name + "))");
+      }
+      if (var.is_negated && context == ExprContext::kOutput) {
+        return Status::TypeError("negated variable '" + var.name +
+                                 "' cannot appear in SELECT or RANK BY");
+      }
+      return Status::OK();
+    }
+
+    case ExprKind::kIterRef: {
+      if (context == ExprContext::kOutput) {
+        return Status::TypeError(
+            "per-iteration reference " + e->ToString() +
+            " is only valid in WHERE; use FIRST/LAST/aggregates in "
+            "SELECT and RANK BY");
+      }
+      CEPR_ASSIGN_OR_RETURN(e->result_type, ResolveRef(e, layout));
+      const PatternVar& var = layout.var(e->var_index);
+      if (!var.is_kleene) {
+        return Status::TypeError("iteration index on non-Kleene variable '" +
+                                 var.name + "'");
+      }
+      return Status::OK();
+    }
+
+    case ExprKind::kAggregate: {
+      CEPR_ASSIGN_OR_RETURN(const ValueType attr_type, ResolveRef(e, layout));
+      const PatternVar& var = layout.var(e->var_index);
+      if (!var.is_kleene) {
+        return Status::TypeError("aggregate " + e->ToString() +
+                                 " over non-Kleene variable '" + var.name + "'");
+      }
+      if (var.is_negated) {
+        return Status::TypeError("aggregate over negated variable '" + var.name +
+                                 "'");
+      }
+      switch (e->agg_func) {
+        case AggFunc::kCount:
+          if (!e->attr_name.empty()) {
+            return Status::TypeError("COUNT takes a bare variable: COUNT(" +
+                                     var.name + ")");
+          }
+          e->result_type = ValueType::kInt;
+          return Status::OK();
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          if (e->attr_name.empty()) {
+            return Status::TypeError(std::string(AggFuncToString(e->agg_func)) +
+                                     " needs an attribute argument");
+          }
+          if (!IsNumeric(attr_type)) {
+            return Status::TypeError(e->ToString() +
+                                     ": aggregate attribute must be numeric, got " +
+                                     ValueTypeToString(attr_type));
+          }
+          e->result_type =
+              e->agg_func == AggFunc::kAvg ? ValueType::kFloat : attr_type;
+          return Status::OK();
+        case AggFunc::kFirst:
+        case AggFunc::kLast:
+          if (e->attr_name.empty()) {
+            return Status::TypeError(std::string(AggFuncToString(e->agg_func)) +
+                                     "(" + var.name + ") needs an attribute: " +
+                                     AggFuncToString(e->agg_func) + "(" + var.name +
+                                     ").attr");
+          }
+          e->result_type = attr_type;
+          return Status::OK();
+      }
+      return Status::Internal("unhandled aggregate");
+    }
+
+    case ExprKind::kUnary: {
+      CEPR_RETURN_IF_ERROR(CheckChildren(e, layout, context));
+      const ValueType t = e->children[0]->result_type;
+      if (e->unary_op == UnaryOp::kNeg) {
+        if (!IsNumeric(t)) {
+          return Status::TypeError("unary minus needs a numeric operand, got " +
+                                   std::string(ValueTypeToString(t)));
+        }
+        e->result_type = t;
+      } else {  // NOT
+        if (t != ValueType::kBool) {
+          return Status::TypeError("NOT needs a BOOL operand, got " +
+                                   std::string(ValueTypeToString(t)));
+        }
+        e->result_type = ValueType::kBool;
+      }
+      return Status::OK();
+    }
+
+    case ExprKind::kBinary: {
+      CEPR_RETURN_IF_ERROR(CheckChildren(e, layout, context));
+      const ValueType lt = e->children[0]->result_type;
+      const ValueType rt = e->children[1]->result_type;
+      switch (e->binary_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+          if (!IsNumeric(lt) || !IsNumeric(rt)) {
+            return Status::TypeError("arithmetic needs numeric operands in " +
+                                     e->ToString());
+          }
+          e->result_type = (lt == ValueType::kFloat || rt == ValueType::kFloat)
+                               ? ValueType::kFloat
+                               : ValueType::kInt;
+          return Status::OK();
+        case BinaryOp::kDiv:
+          if (!IsNumeric(lt) || !IsNumeric(rt)) {
+            return Status::TypeError("division needs numeric operands in " +
+                                     e->ToString());
+          }
+          e->result_type = ValueType::kFloat;
+          return Status::OK();
+        case BinaryOp::kMod:
+          if (lt != ValueType::kInt || rt != ValueType::kInt) {
+            return Status::TypeError("% needs INT operands in " + e->ToString());
+          }
+          e->result_type = ValueType::kInt;
+          return Status::OK();
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          if (!((IsNumeric(lt) && IsNumeric(rt)) ||
+                (lt == rt && lt == ValueType::kString))) {
+            return Status::TypeError("cannot order " +
+                                     std::string(ValueTypeToString(lt)) + " and " +
+                                     ValueTypeToString(rt) + " in " + e->ToString());
+          }
+          e->result_type = ValueType::kBool;
+          return Status::OK();
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+          if (!((IsNumeric(lt) && IsNumeric(rt)) || lt == rt ||
+                lt == ValueType::kNull || rt == ValueType::kNull)) {
+            return Status::TypeError("cannot compare " +
+                                     std::string(ValueTypeToString(lt)) + " and " +
+                                     ValueTypeToString(rt) + " in " + e->ToString());
+          }
+          e->result_type = ValueType::kBool;
+          return Status::OK();
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          if (lt != ValueType::kBool || rt != ValueType::kBool) {
+            return Status::TypeError("AND/OR need BOOL operands in " +
+                                     e->ToString());
+          }
+          e->result_type = ValueType::kBool;
+          return Status::OK();
+      }
+      return Status::Internal("unhandled binary op");
+    }
+
+    case ExprKind::kFunc:
+      return CheckFunc(e, layout, context);
+
+    case ExprKind::kCase: {
+      CEPR_RETURN_IF_ERROR(CheckChildren(e, layout, context));
+      const size_t pairs = (e->children.size() - (e->has_else ? 1 : 0)) / 2;
+      if (pairs == 0) return Status::TypeError("CASE needs at least one WHEN");
+      // Conditions must be BOOL; branch values must share a type (with
+      // numeric promotion).
+      ValueType result = ValueType::kNull;
+      auto merge = [&result, e](ValueType t) -> Status {
+        if (result == ValueType::kNull) {
+          result = t;
+          return Status::OK();
+        }
+        if (result == t) return Status::OK();
+        if (IsNumeric(result) && IsNumeric(t)) {
+          result = ValueType::kFloat;
+          return Status::OK();
+        }
+        return Status::TypeError("CASE branches have incompatible types in " +
+                                 e->ToString());
+      };
+      for (size_t i = 0; i < pairs; ++i) {
+        if (e->children[2 * i]->result_type != ValueType::kBool) {
+          return Status::TypeError("CASE WHEN condition must be BOOL in " +
+                                   e->ToString());
+        }
+        CEPR_RETURN_IF_ERROR(merge(e->children[2 * i + 1]->result_type));
+      }
+      if (e->has_else) {
+        CEPR_RETURN_IF_ERROR(merge(e->children.back()->result_type));
+      }
+      if (result == ValueType::kNull) {
+        return Status::TypeError("CASE branches are all NULL in " + e->ToString());
+      }
+      e->result_type = result;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Status CheckFunc(Expr* e, const BindingLayout& layout, ExprContext context) {
+  CEPR_RETURN_IF_ERROR(CheckChildren(e, layout, context));
+  const std::string name = ScalarFuncToString(e->func);
+
+  auto want_arity = [&](size_t n) -> Status {
+    if (e->children.size() != n) {
+      return Status::TypeError(name + " takes " + std::to_string(n) +
+                               " argument(s)");
+    }
+    return Status::OK();
+  };
+  auto want_numeric = [&]() -> Status {
+    for (const auto& c : e->children) {
+      if (!IsNumeric(c->result_type)) {
+        return Status::TypeError(name + " needs numeric arguments in " +
+                                 e->ToString());
+      }
+    }
+    return Status::OK();
+  };
+  auto want_string = [&](size_t idx) -> Status {
+    if (e->children[idx]->result_type != ValueType::kString) {
+      return Status::TypeError(name + " needs a STRING argument in " +
+                               e->ToString());
+    }
+    return Status::OK();
+  };
+
+  switch (e->func) {
+    case ScalarFunc::kAbs:
+      CEPR_RETURN_IF_ERROR(want_arity(1));
+      CEPR_RETURN_IF_ERROR(want_numeric());
+      e->result_type = e->children[0]->result_type;
+      return Status::OK();
+    case ScalarFunc::kSqrt:
+    case ScalarFunc::kLog:
+    case ScalarFunc::kExp:
+      CEPR_RETURN_IF_ERROR(want_arity(1));
+      CEPR_RETURN_IF_ERROR(want_numeric());
+      e->result_type = ValueType::kFloat;
+      return Status::OK();
+    case ScalarFunc::kFloor:
+    case ScalarFunc::kCeil:
+    case ScalarFunc::kRound:
+      CEPR_RETURN_IF_ERROR(want_arity(1));
+      CEPR_RETURN_IF_ERROR(want_numeric());
+      e->result_type = ValueType::kInt;
+      return Status::OK();
+    case ScalarFunc::kPow:
+      CEPR_RETURN_IF_ERROR(want_arity(2));
+      CEPR_RETURN_IF_ERROR(want_numeric());
+      e->result_type = ValueType::kFloat;
+      return Status::OK();
+    case ScalarFunc::kLeast:
+    case ScalarFunc::kGreatest:
+      CEPR_RETURN_IF_ERROR(want_arity(2));
+      CEPR_RETURN_IF_ERROR(want_numeric());
+      e->result_type = (e->children[0]->result_type == ValueType::kFloat ||
+                        e->children[1]->result_type == ValueType::kFloat)
+                           ? ValueType::kFloat
+                           : ValueType::kInt;
+      return Status::OK();
+    case ScalarFunc::kUpper:
+    case ScalarFunc::kLower:
+      CEPR_RETURN_IF_ERROR(want_arity(1));
+      CEPR_RETURN_IF_ERROR(want_string(0));
+      e->result_type = ValueType::kString;
+      return Status::OK();
+    case ScalarFunc::kLength:
+      CEPR_RETURN_IF_ERROR(want_arity(1));
+      CEPR_RETURN_IF_ERROR(want_string(0));
+      e->result_type = ValueType::kInt;
+      return Status::OK();
+    case ScalarFunc::kConcat: {
+      if (e->children.empty()) {
+        return Status::TypeError("CONCAT needs at least one argument");
+      }
+      for (size_t i = 0; i < e->children.size(); ++i) {
+        CEPR_RETURN_IF_ERROR(want_string(i));
+      }
+      e->result_type = ValueType::kString;
+      return Status::OK();
+    }
+    case ScalarFunc::kSubstr: {
+      CEPR_RETURN_IF_ERROR(want_arity(3));
+      CEPR_RETURN_IF_ERROR(want_string(0));
+      if (e->children[1]->result_type != ValueType::kInt ||
+          e->children[2]->result_type != ValueType::kInt) {
+        return Status::TypeError("SUBSTR(s, start, len) needs INT positions in " +
+                                 e->ToString());
+      }
+      e->result_type = ValueType::kString;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled scalar function");
+}
+
+}  // namespace
+
+Status TypeCheck(Expr* expr, const BindingLayout& layout, ExprContext context) {
+  CEPR_RETURN_IF_ERROR(CheckNode(expr, layout, context));
+  if (context == ExprContext::kPredicate && expr->result_type != ValueType::kBool) {
+    return Status::TypeError("predicate must be BOOL, got " +
+                             std::string(ValueTypeToString(expr->result_type)) +
+                             " in " + expr->ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace cepr

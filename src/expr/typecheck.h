@@ -1,0 +1,77 @@
+#ifndef CEPR_EXPR_TYPECHECK_H_
+#define CEPR_EXPR_TYPECHECK_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "event/schema.h"
+#include "expr/expr.h"
+
+namespace cepr {
+
+/// One pattern variable as declared in PATTERN SEQ(...): its name, whether
+/// it is Kleene-plus (`b+`), whether it is negated (`!c`), and an optional
+/// event-type tag (`SEQ(Buy a, ...)` filters events whose type_tag is
+/// "Buy").
+struct PatternVar {
+  std::string name;
+  bool is_kleene = false;
+  bool is_negated = false;
+  std::string type_tag;
+};
+
+/// The variable/schema environment expressions are resolved against:
+/// the ordered pattern variables of a query plus the stream schema.
+class BindingLayout {
+ public:
+  BindingLayout() = default;
+  BindingLayout(std::vector<PatternVar> vars, SchemaPtr schema)
+      : vars_(std::move(vars)), schema_(std::move(schema)) {}
+
+  const std::vector<PatternVar>& vars() const { return vars_; }
+  size_t num_vars() const { return vars_.size(); }
+  const PatternVar& var(int i) const { return vars_[static_cast<size_t>(i)]; }
+  const SchemaPtr& schema() const { return schema_; }
+
+  /// Index of the pattern variable with the given (case-insensitive) name.
+  Result<int> VarIndex(std::string_view name) const;
+
+ private:
+  std::vector<PatternVar> vars_;
+  SchemaPtr schema_;
+};
+
+/// Where an expression appears, which constrains the references it may use.
+enum class ExprContext {
+  /// WHERE clause: VarRefs to single (and negated) variables, IterRefs to
+  /// Kleene variables, aggregates over Kleene variables.
+  kPredicate,
+  /// SELECT / RANK BY: evaluated on a *complete* match, so per-iteration
+  /// IterRefs (b[i], b[i-1]) are meaningless and rejected; b[1] is written
+  /// FIRST(b).attr instead. Negated variables cannot be referenced.
+  kOutput,
+};
+
+/// Resolves names against `layout` and computes result types bottom-up,
+/// annotating each node's var_index / attr_index / result_type in place.
+/// The root of a kPredicate expression must be BOOL; a kOutput expression
+/// may be any type (RANK BY additionally requires numeric, checked by the
+/// analyzer).
+///
+/// Type rules (documented once here, implemented in typecheck.cc):
+///  * INT op INT -> INT for + - * %, FLOAT for /; any FLOAT operand
+///    promotes the result to FLOAT.
+///  * comparisons need two numerics or two values of the same type (or a
+///    NULL literal on either side) and yield BOOL.
+///  * AND/OR/NOT operate on BOOL.
+///  * MIN/MAX/SUM need a numeric attribute and keep its type (SUM of INT is
+///    INT); AVG yields FLOAT; COUNT yields INT; FIRST/LAST keep the
+///    attribute type.
+///  * `var.ts` resolves to the event timestamp as INT microseconds.
+Status TypeCheck(Expr* expr, const BindingLayout& layout, ExprContext context);
+
+}  // namespace cepr
+
+#endif  // CEPR_EXPR_TYPECHECK_H_

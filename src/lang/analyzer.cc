@@ -1,0 +1,160 @@
+#include "lang/analyzer.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace cepr {
+
+namespace {
+
+// Derives an output column name for an unaliased SELECT item.
+std::string DeriveName(const Expr& e, size_t position) {
+  switch (e.kind) {
+    case ExprKind::kVarRef:
+      return e.var_name + "_" + e.attr_name;
+    case ExprKind::kAggregate: {
+      std::string name = ToLower(AggFuncToString(e.agg_func));
+      name += "_" + e.var_name;
+      if (!e.attr_name.empty()) name += "_" + e.attr_name;
+      return name;
+    }
+    default:
+      return "col" + std::to_string(position);
+  }
+}
+
+}  // namespace
+
+Result<AnalyzedQuery> Analyze(QueryAst ast, SchemaPtr schema) {
+  AnalyzedQuery out;
+
+  // -- Pattern structure --------------------------------------------------
+  if (ast.pattern.empty()) {
+    return Status::TypeError("pattern must have at least one component");
+  }
+  std::vector<PatternVar> vars;
+  size_t anchor_count = 0;  // positive, non-skippable components
+  for (size_t i = 0; i < ast.pattern.size(); ++i) {
+    const PatternComponentAst& comp = ast.pattern[i];
+    for (const PatternVar& prev : vars) {
+      if (EqualsIgnoreCase(prev.name, comp.var)) {
+        return Status::TypeError("duplicate pattern variable '" + comp.var + "'");
+      }
+    }
+    const bool skippable = comp.optional || (comp.kleene && comp.min_iters == 0);
+    if (comp.negated) {
+      if (comp.kleene || comp.optional) {
+        return Status::TypeError("negated component '!" + comp.var +
+                                 "' cannot be Kleene or optional (negation "
+                                 "already means \"no such event\")");
+      }
+      if (i == 0 || i + 1 == ast.pattern.size()) {
+        return Status::TypeError(
+            "negated component '!" + comp.var +
+            "' must be between two positive components (it needs anchors)");
+      }
+      if (ast.pattern[i - 1].negated) {
+        return Status::TypeError("adjacent negated components are not supported");
+      }
+    } else {
+      if (comp.kleene) {
+        if (comp.min_iters < 0) {
+          return Status::TypeError("iteration minimum must be >= 0 for '" +
+                                   comp.var + "'");
+        }
+        if (comp.max_iters == 0 ||
+            (comp.max_iters > 0 && comp.max_iters < comp.min_iters)) {
+          return Status::TypeError("empty iteration bounds {" +
+                                   std::to_string(comp.min_iters) + "," +
+                                   std::to_string(comp.max_iters) + "} for '" +
+                                   comp.var + "'");
+        }
+      }
+      if (!skippable) ++anchor_count;
+      if (skippable && i + 1 == ast.pattern.size()) {
+        return Status::TypeError(
+            "the last pattern component ('" + comp.var +
+            "') cannot be optional or zero-minimum Kleene: a match needs a "
+            "definite closing event");
+      }
+    }
+    vars.push_back(PatternVar{comp.var, comp.kleene, comp.negated, comp.type_tag});
+  }
+  if (anchor_count == 0) {
+    return Status::TypeError(
+        "pattern needs at least one required positive component");
+  }
+
+  out.layout = BindingLayout(std::move(vars), schema);
+  out.schema = schema;
+
+  // -- PARTITION BY ---------------------------------------------------------
+  if (!ast.partition_attr.empty()) {
+    CEPR_ASSIGN_OR_RETURN(const size_t idx, schema->IndexOf(ast.partition_attr));
+    out.partition_attr_index = static_cast<int>(idx);
+  }
+
+  // -- WHERE ---------------------------------------------------------------
+  if (ast.where != nullptr) {
+    CEPR_RETURN_IF_ERROR(
+        TypeCheck(ast.where.get(), out.layout, ExprContext::kPredicate));
+  }
+
+  // -- SELECT ----------------------------------------------------------------
+  if (ast.select.empty()) {
+    // SELECT *: every attribute of each positive single variable, plus the
+    // iteration count of each Kleene variable.
+    for (const PatternVar& var : out.layout.vars()) {
+      if (var.is_negated) continue;
+      if (var.is_kleene) {
+        SelectItemAst item;
+        item.expr = Expr::Aggregate(AggFunc::kCount, var.name, "");
+        item.alias = "count_" + var.name;
+        ast.select.push_back(std::move(item));
+        continue;
+      }
+      for (const Attribute& attr : schema->attributes()) {
+        SelectItemAst item;
+        item.expr = Expr::VarRef(var.name, attr.name);
+        item.alias = var.name + "_" + attr.name;
+        ast.select.push_back(std::move(item));
+      }
+    }
+  }
+  for (size_t i = 0; i < ast.select.size(); ++i) {
+    SelectItemAst& item = ast.select[i];
+    CEPR_RETURN_IF_ERROR(
+        TypeCheck(item.expr.get(), out.layout, ExprContext::kOutput));
+    out.output_names.push_back(item.alias.empty() ? DeriveName(*item.expr, i)
+                                                  : item.alias);
+    out.output_types.push_back(item.expr->result_type);
+  }
+
+  // -- RANK BY ----------------------------------------------------------------
+  if (ast.rank_by != nullptr) {
+    CEPR_RETURN_IF_ERROR(
+        TypeCheck(ast.rank_by.get(), out.layout, ExprContext::kOutput));
+    const ValueType t = ast.rank_by->result_type;
+    if (t != ValueType::kInt && t != ValueType::kFloat) {
+      return Status::TypeError("RANK BY must be numeric, got " +
+                               std::string(ValueTypeToString(t)));
+    }
+  }
+
+  // -- Emission ----------------------------------------------------------------
+  if (ast.within_micros < 0 || ast.within_events < 0) {
+    return Status::TypeError("WITHIN must be positive");
+  }
+  if (ast.emit == EmitPolicy::kOnWindowClose && ast.within_micros <= 0) {
+    return Status::TypeError(
+        "EMIT ON WINDOW CLOSE requires a time-based WITHIN clause (the "
+        "report window tumbles with the WITHIN span; a count-based span "
+        "cannot define it)");
+  }
+
+  out.ast = std::move(ast);
+  return out;
+}
+
+}  // namespace cepr

@@ -1,0 +1,42 @@
+#ifndef CEPR_LANG_ANALYZER_H_
+#define CEPR_LANG_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "event/schema.h"
+#include "expr/typecheck.h"
+#include "lang/ast.h"
+
+namespace cepr {
+
+/// A query that passed semantic analysis: every name is resolved, every
+/// expression typed, and structural rules hold. Input to the query compiler.
+struct AnalyzedQuery {
+  QueryAst ast;          // expressions inside are resolved and typed
+  SchemaPtr schema;      // the FROM stream's schema
+  BindingLayout layout;  // pattern variables in declaration order
+  int partition_attr_index = -1;  // -1 = unpartitioned
+  /// Output column names, one per SELECT item (aliases or derived names).
+  std::vector<std::string> output_names;
+  /// Output column types, parallel to output_names.
+  std::vector<ValueType> output_types;
+};
+
+/// Validates and resolves a parsed query against `schema`:
+///  * the pattern has >= 1 component; variable names are unique; negated
+///    components are neither first, last, nor Kleene;
+///  * the partition attribute exists;
+///  * WHERE type-checks as a BOOL predicate; SELECT / RANK BY type-check in
+///    output context; RANK BY is numeric;
+///  * LIMIT without RANK BY means "first k per report window";
+///  * EMIT ON WINDOW CLOSE / EVERY N EVENTS define the report window; EMIT
+///    ON WINDOW CLOSE requires WITHIN (its tumbling span);
+///  * SELECT * expands to every attribute of each single variable plus
+///    COUNT of each Kleene variable.
+Result<AnalyzedQuery> Analyze(QueryAst ast, SchemaPtr schema);
+
+}  // namespace cepr
+
+#endif  // CEPR_LANG_ANALYZER_H_

@@ -1,0 +1,131 @@
+#include "lang/ast.h"
+
+#include "common/strings.h"
+
+namespace cepr {
+
+const char* SelectionStrategyToString(SelectionStrategy s) {
+  switch (s) {
+    case SelectionStrategy::kStrictContiguity:
+      return "STRICT_CONTIGUITY";
+    case SelectionStrategy::kSkipTillNext:
+      return "SKIP_TILL_NEXT_MATCH";
+    case SelectionStrategy::kSkipTillAny:
+      return "SKIP_TILL_ANY_MATCH";
+  }
+  return "?";
+}
+
+const char* EmitPolicyToString(EmitPolicy p) {
+  switch (p) {
+    case EmitPolicy::kOnComplete:
+      return "ON COMPLETE";
+    case EmitPolicy::kOnWindowClose:
+      return "ON WINDOW CLOSE";
+    case EmitPolicy::kEveryNEvents:
+      return "EVERY N EVENTS";
+  }
+  return "?";
+}
+
+namespace {
+
+// Formats a duration in the largest unit that divides it exactly.
+std::string FormatDuration(Timestamp micros) {
+  if (micros % kMicrosPerHour == 0) {
+    return std::to_string(micros / kMicrosPerHour) + " HOURS";
+  }
+  if (micros % kMicrosPerMinute == 0) {
+    return std::to_string(micros / kMicrosPerMinute) + " MINUTES";
+  }
+  if (micros % kMicrosPerSecond == 0) {
+    return std::to_string(micros / kMicrosPerSecond) + " SECONDS";
+  }
+  if (micros % 1000 == 0) {
+    return std::to_string(micros / 1000) + " MILLISECONDS";
+  }
+  return std::to_string(micros) + " MICROSECONDS";
+}
+
+}  // namespace
+
+std::string QueryAst::ToString() const {
+  std::string out = "SELECT ";
+  if (select.empty()) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < select.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += select[i].expr->ToString();
+      if (!select[i].alias.empty()) out += " AS " + select[i].alias;
+    }
+  }
+  out += "\nFROM " + stream_name;
+  out += "\nMATCH PATTERN SEQ(";
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (i > 0) out += ", ";
+    const auto& c = pattern[i];
+    if (c.negated) out += "!";
+    if (!c.type_tag.empty()) out += c.type_tag + " ";
+    out += c.var;
+    if (c.optional) {
+      out += "?";
+    } else if (c.kleene) {
+      if (c.min_iters == 1 && c.max_iters < 0) {
+        out += "+";
+      } else if (c.min_iters == 0 && c.max_iters < 0) {
+        out += "*";
+      } else if (c.max_iters < 0) {
+        out += "{" + std::to_string(c.min_iters) + ",}";
+      } else if (c.min_iters == c.max_iters) {
+        out += "{" + std::to_string(c.min_iters) + "}";
+      } else {
+        out += "{" + std::to_string(c.min_iters) + "," +
+               std::to_string(c.max_iters) + "}";
+      }
+    }
+  }
+  out += ")";
+  out += "\nUSING " + std::string(SelectionStrategyToString(strategy));
+  if (!partition_attr.empty()) out += "\nPARTITION BY " + partition_attr;
+  if (where != nullptr) out += "\nWHERE " + where->ToString();
+  if (within_micros > 0) out += "\nWITHIN " + FormatDuration(within_micros);
+  if (within_events > 0) {
+    out += "\nWITHIN " + std::to_string(within_events) + " EVENTS";
+  }
+  if (rank_by != nullptr) {
+    out += "\nRANK BY " + rank_by->ToString() + (rank_desc ? " DESC" : " ASC");
+  }
+  if (limit >= 0) out += "\nLIMIT " + std::to_string(limit);
+  switch (emit) {
+    case EmitPolicy::kOnComplete:
+      out += "\nEMIT ON COMPLETE";
+      break;
+    case EmitPolicy::kOnWindowClose:
+      out += "\nEMIT ON WINDOW CLOSE";
+      break;
+    case EmitPolicy::kEveryNEvents:
+      out += "\nEMIT EVERY " + std::to_string(emit_every_n) + " EVENTS";
+      break;
+  }
+  if (!into_stream.empty()) out += "\nINTO " + into_stream;
+  return out;
+}
+
+std::string CreateStreamAst::ToString() const {
+  std::string out = "CREATE STREAM " + name + " (";
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes[i].name;
+    out += " ";
+    out += ValueTypeToString(attributes[i].type);
+    if (attributes[i].range.has_value()) {
+      out += " RANGE [" + FormatDouble(attributes[i].range->lo) + ", " +
+             FormatDouble(attributes[i].range->hi) + "]";
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace cepr

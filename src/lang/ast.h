@@ -1,0 +1,110 @@
+#ifndef CEPR_LANG_AST_H_
+#define CEPR_LANG_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "event/event.h"
+#include "event/schema.h"
+#include "expr/expr.h"
+
+namespace cepr {
+
+/// One component of PATTERN SEQ(...):
+///   `[TypeTag] name`          exactly one event
+///   `[TypeTag] name?`         optional: zero or one event
+///   `[TypeTag] name+`         Kleene-plus: one or more iterations
+///   `[TypeTag] name*`         Kleene-star: zero or more iterations
+///   `[TypeTag] name{m}`,
+///   `[TypeTag] name{m,}`,
+///   `[TypeTag] name{m,n}`     bounded Kleene: m..n iterations
+///   `! name`                  negation: no matching event may occur here
+struct PatternComponentAst {
+  std::string type_tag;  // optional event-type filter; empty = any
+  std::string var;       // binding variable name
+  bool kleene = false;   // any of + * {m,n}
+  bool optional = false; // `name?`
+  bool negated = false;  // `! name`
+  /// Kleene iteration bounds; max_iters = -1 means unbounded.
+  int64_t min_iters = 1;
+  int64_t max_iters = -1;
+};
+
+/// One SELECT item: an expression with an optional output alias.
+struct SelectItemAst {
+  ExprPtr expr;
+  std::string alias;  // empty -> derived from the expression text
+};
+
+/// How the matcher may skip events between pattern components
+/// (SASE+ terminology).
+enum class SelectionStrategy {
+  /// Every event must be consumed by the pattern; any non-matching event
+  /// kills the run.
+  kStrictContiguity,
+  /// Irrelevant events are skipped; each component binds the first
+  /// qualifying event (deterministic, one run per start event).
+  kSkipTillNext,
+  /// Irrelevant events are skipped and every qualifying event forks a new
+  /// run (exhaustive enumeration of matches).
+  kSkipTillAny,
+};
+
+const char* SelectionStrategyToString(SelectionStrategy s);
+
+/// When ranked results leave the system.
+enum class EmitPolicy {
+  /// Emit each match as soon as it is detected if it (currently) belongs to
+  /// the top-k of its report window; score order is best-effort.
+  kOnComplete,
+  /// Buffer matches per tumbling report window and emit them fully ordered
+  /// when the window closes. The report window defaults to the WITHIN span.
+  kOnWindowClose,
+  /// Like kOnWindowClose but the report boundary is every N input events.
+  kEveryNEvents,
+};
+
+const char* EmitPolicyToString(EmitPolicy p);
+
+/// Parsed (pre-analysis) form of a CEPR-QL pattern query.
+struct QueryAst {
+  std::vector<SelectItemAst> select;  // empty = SELECT *
+  std::string stream_name;
+  std::vector<PatternComponentAst> pattern;
+  SelectionStrategy strategy = SelectionStrategy::kSkipTillNext;
+  std::string partition_attr;  // empty = unpartitioned
+  ExprPtr where;               // null = no predicate
+  Timestamp within_micros = 0;  // 0 = no time WITHIN (unbounded span)
+  int64_t within_events = 0;   // 0 = no count WITHIN ("WITHIN n EVENTS")
+  ExprPtr rank_by;             // null = unranked (detection order)
+  bool rank_desc = true;
+  int64_t limit = -1;  // -1 = no LIMIT
+  EmitPolicy emit = EmitPolicy::kOnComplete;
+  int64_t emit_every_n = 0;  // for kEveryNEvents
+  /// Non-empty = derived stream: every emitted result is re-ingested as an
+  /// event of this stream (composite / hierarchical events). The derived
+  /// stream's schema is the query's output columns.
+  std::string into_stream;
+
+  /// Unparses back to canonical CEPR-QL (round-trips through the parser).
+  std::string ToString() const;
+};
+
+/// Parsed form of CREATE STREAM name (attr TYPE [RANGE [lo, hi]], ...).
+struct CreateStreamAst {
+  std::string name;
+  std::vector<Attribute> attributes;
+
+  std::string ToString() const;
+};
+
+/// A top-level CEPR-QL statement: exactly one of the members is set.
+struct StatementAst {
+  std::unique_ptr<QueryAst> query;
+  std::unique_ptr<CreateStreamAst> create_stream;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_LANG_AST_H_

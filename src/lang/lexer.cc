@@ -1,0 +1,396 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace cepr {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "end of input";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kFloat:
+      return "float";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kSelect:
+      return "SELECT";
+    case TokenKind::kFrom:
+      return "FROM";
+    case TokenKind::kMatch:
+      return "MATCH";
+    case TokenKind::kPattern:
+      return "PATTERN";
+    case TokenKind::kSeq:
+      return "SEQ";
+    case TokenKind::kUsing:
+      return "USING";
+    case TokenKind::kPartition:
+      return "PARTITION";
+    case TokenKind::kBy:
+      return "BY";
+    case TokenKind::kWhere:
+      return "WHERE";
+    case TokenKind::kWithin:
+      return "WITHIN";
+    case TokenKind::kRank:
+      return "RANK";
+    case TokenKind::kAsc:
+      return "ASC";
+    case TokenKind::kDesc:
+      return "DESC";
+    case TokenKind::kLimit:
+      return "LIMIT";
+    case TokenKind::kEmit:
+      return "EMIT";
+    case TokenKind::kOn:
+      return "ON";
+    case TokenKind::kAnd:
+      return "AND";
+    case TokenKind::kOr:
+      return "OR";
+    case TokenKind::kNot:
+      return "NOT";
+    case TokenKind::kTrue:
+      return "TRUE";
+    case TokenKind::kFalse:
+      return "FALSE";
+    case TokenKind::kNull:
+      return "NULL";
+    case TokenKind::kCreate:
+      return "CREATE";
+    case TokenKind::kStream:
+      return "STREAM";
+    case TokenKind::kAs:
+      return "AS";
+    case TokenKind::kLParen:
+      return "(";
+    case TokenKind::kRParen:
+      return ")";
+    case TokenKind::kLBracket:
+      return "[";
+    case TokenKind::kRBracket:
+      return "]";
+    case TokenKind::kComma:
+      return ",";
+    case TokenKind::kDot:
+      return ".";
+    case TokenKind::kSemicolon:
+      return ";";
+    case TokenKind::kStar:
+      return "*";
+    case TokenKind::kPlus:
+      return "+";
+    case TokenKind::kMinus:
+      return "-";
+    case TokenKind::kSlash:
+      return "/";
+    case TokenKind::kPercent:
+      return "%";
+    case TokenKind::kLt:
+      return "<";
+    case TokenKind::kLe:
+      return "<=";
+    case TokenKind::kGt:
+      return ">";
+    case TokenKind::kGe:
+      return ">=";
+    case TokenKind::kEq:
+      return "=";
+    case TokenKind::kNe:
+      return "!=";
+    case TokenKind::kBang:
+      return "!";
+    case TokenKind::kQuestion:
+      return "?";
+    case TokenKind::kLBrace:
+      return "{";
+    case TokenKind::kRBrace:
+      return "}";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier '" + text + "'";
+    case TokenKind::kInteger:
+      return "integer " + std::to_string(int_value);
+    case TokenKind::kFloat:
+      return "float " + FormatDouble(float_value);
+    case TokenKind::kString:
+      return "string '" + text + "'";
+    default:
+      return std::string("'") + TokenKindToString(kind) + "'";
+  }
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind>& KeywordMap() {
+  static const auto* kMap = new std::unordered_map<std::string, TokenKind>{
+      {"select", TokenKind::kSelect},       {"from", TokenKind::kFrom},
+      {"match", TokenKind::kMatch},         {"pattern", TokenKind::kPattern},
+      {"seq", TokenKind::kSeq},             {"using", TokenKind::kUsing},
+      {"partition", TokenKind::kPartition}, {"by", TokenKind::kBy},
+      {"where", TokenKind::kWhere},         {"within", TokenKind::kWithin},
+      {"rank", TokenKind::kRank},           {"asc", TokenKind::kAsc},
+      {"desc", TokenKind::kDesc},           {"limit", TokenKind::kLimit},
+      {"emit", TokenKind::kEmit},           {"on", TokenKind::kOn},
+      {"and", TokenKind::kAnd},             {"or", TokenKind::kOr},
+      {"not", TokenKind::kNot},             {"true", TokenKind::kTrue},
+      {"false", TokenKind::kFalse},         {"null", TokenKind::kNull},
+      {"create", TokenKind::kCreate},       {"stream", TokenKind::kStream},
+      {"as", TokenKind::kAs},
+  };
+  return *kMap;
+}
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      Token tok;
+      tok.line = line_;
+      tok.column = column_;
+      if (AtEnd()) {
+        tok.kind = TokenKind::kEof;
+        tokens.push_back(std::move(tok));
+        return tokens;
+      }
+      CEPR_RETURN_IF_ERROR(LexOne(&tok));
+      tokens.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < text_.size() ? text_[pos_ + off] : '\0';
+  }
+  char Advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(line_) +
+                              ", column " + std::to_string(column_));
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '-' && PeekAt(1) == '-') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status LexOne(Token* tok) {
+    const char c = Peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexIdentifier(tok);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber(tok);
+    if (c == '\'') return LexString(tok);
+    return LexOperator(tok);
+  }
+
+  Status LexIdentifier(Token* tok) {
+    std::string word;
+    while (!AtEnd() &&
+           (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_')) {
+      word += Advance();
+    }
+    const auto it = KeywordMap().find(ToLower(word));
+    if (it != KeywordMap().end()) {
+      tok->kind = it->second;
+      tok->text = word;
+    } else {
+      tok->kind = TokenKind::kIdentifier;
+      tok->text = std::move(word);
+    }
+    return Status::OK();
+  }
+
+  Status LexNumber(Token* tok) {
+    std::string num;
+    bool is_float = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      num += Advance();
+    }
+    // A '.' only extends the number when followed by a digit, so that a
+    // clause-final integer before a '.' elsewhere never mislexes.
+    if (!AtEnd() && Peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(PeekAt(1)))) {
+      is_float = true;
+      num += Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        num += Advance();
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      const char sign = PeekAt(1);
+      const char digit = (sign == '+' || sign == '-') ? PeekAt(2) : sign;
+      if (std::isdigit(static_cast<unsigned char>(digit))) {
+        is_float = true;
+        num += Advance();  // e
+        if (Peek() == '+' || Peek() == '-') num += Advance();
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          num += Advance();
+        }
+      }
+    }
+    if (is_float) {
+      tok->kind = TokenKind::kFloat;
+      tok->float_value = std::strtod(num.c_str(), nullptr);
+    } else {
+      tok->kind = TokenKind::kInteger;
+      errno = 0;
+      tok->int_value = std::strtoll(num.c_str(), nullptr, 10);
+      if (errno == ERANGE) return Error("integer literal out of range: " + num);
+    }
+    return Status::OK();
+  }
+
+  Status LexString(Token* tok) {
+    Advance();  // opening quote
+    std::string out;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string literal");
+      const char c = Advance();
+      if (c == '\'') {
+        if (!AtEnd() && Peek() == '\'') {
+          out += '\'';  // '' escape
+          Advance();
+          continue;
+        }
+        break;
+      }
+      out += c;
+    }
+    tok->kind = TokenKind::kString;
+    tok->text = std::move(out);
+    return Status::OK();
+  }
+
+  Status LexOperator(Token* tok) {
+    const char c = Advance();
+    switch (c) {
+      case '(':
+        tok->kind = TokenKind::kLParen;
+        return Status::OK();
+      case ')':
+        tok->kind = TokenKind::kRParen;
+        return Status::OK();
+      case '[':
+        tok->kind = TokenKind::kLBracket;
+        return Status::OK();
+      case ']':
+        tok->kind = TokenKind::kRBracket;
+        return Status::OK();
+      case ',':
+        tok->kind = TokenKind::kComma;
+        return Status::OK();
+      case '.':
+        tok->kind = TokenKind::kDot;
+        return Status::OK();
+      case ';':
+        tok->kind = TokenKind::kSemicolon;
+        return Status::OK();
+      case '*':
+        tok->kind = TokenKind::kStar;
+        return Status::OK();
+      case '+':
+        tok->kind = TokenKind::kPlus;
+        return Status::OK();
+      case '-':
+        tok->kind = TokenKind::kMinus;
+        return Status::OK();
+      case '/':
+        tok->kind = TokenKind::kSlash;
+        return Status::OK();
+      case '%':
+        tok->kind = TokenKind::kPercent;
+        return Status::OK();
+      case '=':
+        tok->kind = TokenKind::kEq;
+        return Status::OK();
+      case '<':
+        if (!AtEnd() && Peek() == '=') {
+          Advance();
+          tok->kind = TokenKind::kLe;
+        } else if (!AtEnd() && Peek() == '>') {
+          Advance();
+          tok->kind = TokenKind::kNe;
+        } else {
+          tok->kind = TokenKind::kLt;
+        }
+        return Status::OK();
+      case '>':
+        if (!AtEnd() && Peek() == '=') {
+          Advance();
+          tok->kind = TokenKind::kGe;
+        } else {
+          tok->kind = TokenKind::kGt;
+        }
+        return Status::OK();
+      case '?':
+        tok->kind = TokenKind::kQuestion;
+        return Status::OK();
+      case '{':
+        tok->kind = TokenKind::kLBrace;
+        return Status::OK();
+      case '}':
+        tok->kind = TokenKind::kRBrace;
+        return Status::OK();
+      case '!':
+        if (!AtEnd() && Peek() == '=') {
+          Advance();
+          tok->kind = TokenKind::kNe;
+        } else {
+          tok->kind = TokenKind::kBang;
+        }
+        return Status::OK();
+      default:
+        return Error(std::string("illegal character '") + c + "'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view text) {
+  return LexerImpl(text).Run();
+}
+
+}  // namespace cepr

@@ -1,0 +1,22 @@
+#ifndef CEPR_LANG_LEXER_H_
+#define CEPR_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/token.h"
+
+namespace cepr {
+
+/// Tokenizes CEPR-QL text. Keywords are case-insensitive; identifiers keep
+/// their original spelling but compare case-insensitively downstream.
+/// Comments run from `--` to end of line. Returns ParseError with
+/// line/column context on any illegal character or unterminated literal.
+/// The returned vector always ends with a kEof token.
+Result<std::vector<Token>> Lex(std::string_view text);
+
+}  // namespace cepr
+
+#endif  // CEPR_LANG_LEXER_H_

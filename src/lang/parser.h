@@ -1,0 +1,27 @@
+#ifndef CEPR_LANG_PARSER_H_
+#define CEPR_LANG_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "lang/ast.h"
+
+namespace cepr {
+
+/// Parses one CEPR-QL pattern query (SELECT ... MATCH PATTERN ...).
+/// Returns ParseError with source position on malformed input. The result
+/// is unresolved: run the semantic Analyzer before compiling.
+Result<QueryAst> ParseQuery(std::string_view text);
+
+/// Parses one CREATE STREAM statement.
+Result<CreateStreamAst> ParseCreateStream(std::string_view text);
+
+/// Parses either statement kind, dispatching on the first token.
+Result<StatementAst> ParseStatement(std::string_view text);
+
+/// Parses a standalone expression (used by tests and interactive tools).
+Result<ExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace cepr
+
+#endif  // CEPR_LANG_PARSER_H_

@@ -1,0 +1,87 @@
+#ifndef CEPR_LANG_TOKEN_H_
+#define CEPR_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cepr {
+
+/// Lexical token kinds of CEPR-QL.
+enum class TokenKind {
+  kEof = 0,
+  kIdentifier,  // attribute / variable / function / soft-keyword names
+  kInteger,     // 42
+  kFloat,       // 3.5, 1e-3
+  kString,      // 'text' with '' escaping
+
+  // Hard keywords (cannot be used as identifiers).
+  kSelect,
+  kFrom,
+  kMatch,
+  kPattern,
+  kSeq,
+  kUsing,
+  kPartition,
+  kBy,
+  kWhere,
+  kWithin,
+  kRank,
+  kAsc,
+  kDesc,
+  kLimit,
+  kEmit,
+  kOn,
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+  kFalse,
+  kNull,
+  kCreate,
+  kStream,
+  kAs,
+
+  // Punctuation and operators.
+  kLParen,    // (
+  kRParen,    // )
+  kLBracket,  // [
+  kRBracket,  // ]
+  kComma,     // ,
+  kDot,       // .
+  kSemicolon, // ;
+  kStar,      // *
+  kPlus,      // +
+  kMinus,     // -
+  kSlash,     // /
+  kPercent,   // %
+  kLt,        // <
+  kLe,        // <=
+  kGt,        // >
+  kGe,        // >=
+  kEq,        // =
+  kNe,        // != or <>
+  kBang,      // ! (pattern negation)
+  kQuestion,  // ? (optional pattern component)
+  kLBrace,    // { (Kleene iteration bounds)
+  kRBrace,    // }
+};
+
+/// Stable token-kind name for diagnostics.
+const char* TokenKindToString(TokenKind kind);
+
+/// One lexed token with its source location (1-based line / column).
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;      // identifier name or string literal contents
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 1;
+  int column = 1;
+
+  /// Human-readable rendering for error messages.
+  std::string Describe() const;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_LANG_TOKEN_H_

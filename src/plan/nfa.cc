@@ -1,0 +1,115 @@
+#include "plan/nfa.h"
+
+namespace cepr {
+
+namespace {
+
+std::string GuardSummary(const std::vector<ExprPtr>& preds) {
+  std::string out;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += preds[i]->ToString();
+  }
+  return out;
+}
+
+}  // namespace
+
+NfaPlan NfaPlan::Build(const CompiledPattern& pattern, const BindingLayout& layout) {
+  NfaPlan plan;
+  const size_t n = pattern.components.size();
+
+  for (size_t i = 0; i <= n; ++i) {
+    NfaState state;
+    state.index = static_cast<int>(i);
+    state.name = "q" + std::to_string(i);
+    if (i > 0 && pattern.components[i - 1].is_kleene) {
+      state.open_kleene_component = static_cast<int>(i - 1);
+    }
+    plan.states_.push_back(std::move(state));
+  }
+  // The final state accepts. For a trailing-Kleene pattern it is also the
+  // state with the open Kleene component: every further take re-accepts.
+  plan.states_.back().accepting = true;
+
+  for (size_t i = 0; i < n; ++i) {
+    const CompiledComponent& comp = pattern.components[i];
+    const std::string var = layout.var(comp.var_index).name;
+
+    NfaEdge begin;
+    begin.kind = NfaEdgeKind::kBegin;
+    begin.from_state = static_cast<int>(i);
+    begin.to_state = static_cast<int>(i + 1);
+    begin.component = static_cast<int>(i);
+    begin.label =
+        "begin " + var +
+        (comp.is_kleene ? "+ : " + GuardSummary(comp.iter_preds)
+                        : " : " + GuardSummary(comp.begin_preds));
+    plan.edges_.push_back(std::move(begin));
+
+    if (comp.is_kleene) {
+      NfaEdge take;
+      take.kind = NfaEdgeKind::kTake;
+      take.from_state = static_cast<int>(i + 1);
+      take.to_state = static_cast<int>(i + 1);
+      take.component = static_cast<int>(i);
+      take.label = "take " + var + " : " + GuardSummary(comp.iter_preds);
+      plan.edges_.push_back(std::move(take));
+    }
+
+    if (comp.negation_before.has_value()) {
+      NfaEdge kill;
+      kill.kind = NfaEdgeKind::kKill;
+      kill.from_state = static_cast<int>(i);
+      kill.to_state = -1;
+      kill.component = static_cast<int>(i);
+      kill.label = "!" + layout.var(comp.negation_before->var_index).name + " : " +
+                   GuardSummary(comp.negation_before->preds);
+      plan.edges_.push_back(std::move(kill));
+    }
+
+    // Ignore self-loops exist in every non-strict strategy on every state
+    // that is waiting for input.
+    NfaEdge ignore;
+    ignore.kind = NfaEdgeKind::kIgnore;
+    ignore.from_state = static_cast<int>(i);
+    ignore.to_state = static_cast<int>(i);
+    ignore.component = -1;
+    ignore.label = "ignore";
+    plan.edges_.push_back(std::move(ignore));
+  }
+  return plan;
+}
+
+int NfaPlan::accepting_state() const {
+  for (const NfaState& s : states_) {
+    if (s.accepting) return s.index;
+  }
+  return static_cast<int>(states_.size()) - 1;
+}
+
+std::string NfaPlan::ToDot() const {
+  std::string out = "digraph cepr_nfa {\n  rankdir=LR;\n";
+  for (const NfaState& s : states_) {
+    out += "  " + s.name + " [shape=" +
+           (s.accepting ? std::string("doublecircle") : std::string("circle")) +
+           "];\n";
+  }
+  out += "  kill [shape=point];\n";
+  for (const NfaEdge& e : edges_) {
+    const std::string from = "q" + std::to_string(e.from_state);
+    const std::string to = e.to_state < 0 ? "kill" : "q" + std::to_string(e.to_state);
+    std::string label = e.label;
+    // Escape quotes for dot.
+    std::string escaped;
+    for (char c : label) {
+      if (c == '"') escaped += "\\\"";
+      else escaped += c;
+    }
+    out += "  " + from + " -> " + to + " [label=\"" + escaped + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace cepr

@@ -1,0 +1,69 @@
+#ifndef CEPR_PLAN_NFA_H_
+#define CEPR_PLAN_NFA_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/typecheck.h"
+#include "plan/pattern.h"
+
+namespace cepr {
+
+/// Kinds of NFA transitions (SASE+ NFA^b terminology).
+enum class NfaEdgeKind {
+  kBegin,   // bind the first/only event of a component, advance state
+  kTake,    // accept one more Kleene iteration, stay in state
+  kIgnore,  // skip an irrelevant event (existence depends on strategy)
+  kKill,    // negation watcher: matching event destroys the run
+};
+
+/// One edge of the pattern automaton, for introspection, tests and the
+/// monitor UI. Predicates are referenced from the owning CompiledPattern.
+struct NfaEdge {
+  NfaEdgeKind kind = NfaEdgeKind::kBegin;
+  int from_state = 0;
+  int to_state = 0;      // == from_state for kTake/kIgnore; -1 for kKill
+  int component = -1;    // component whose predicates guard the edge; -1 none
+  std::string label;     // human-readable guard summary
+};
+
+/// One state: "components 0..i-1 have begun; waiting to begin component i".
+/// State components.size() is the accepting state for single-ended patterns;
+/// patterns ending in a Kleene component accept in their last state once it
+/// holds >= 1 iteration.
+struct NfaState {
+  int index = 0;
+  bool accepting = false;
+  /// Component currently open for kTake extensions, or -1.
+  int open_kleene_component = -1;
+  std::string name;  // "q0", "q1", ...
+};
+
+/// The explicit automaton view of a compiled pattern. The matcher executes
+/// the equivalent logic directly over CompiledPattern; NfaPlan is the formal
+/// artifact: tests assert its shape, and ToDot() renders it for the demo
+/// monitor (substituting the paper's GUI plan view).
+class NfaPlan {
+ public:
+  NfaPlan() = default;
+
+  /// Builds the automaton for `pattern`.
+  static NfaPlan Build(const CompiledPattern& pattern, const BindingLayout& layout);
+
+  const std::vector<NfaState>& states() const { return states_; }
+  const std::vector<NfaEdge>& edges() const { return edges_; }
+
+  /// Index of the accepting state.
+  int accepting_state() const;
+
+  /// Graphviz dot rendering.
+  std::string ToDot() const;
+
+ private:
+  std::vector<NfaState> states_;
+  std::vector<NfaEdge> edges_;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_PLAN_NFA_H_

@@ -1,0 +1,56 @@
+#include "plan/pattern.h"
+
+namespace cepr {
+
+namespace {
+
+void AppendPreds(const char* label, const std::vector<ExprPtr>& preds,
+                 std::string* out) {
+  if (preds.empty()) return;
+  *out += "      ";
+  *out += label;
+  *out += ": ";
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (i > 0) *out += " AND ";
+    *out += preds[i]->ToString();
+  }
+  *out += "\n";
+}
+
+}  // namespace
+
+std::string CompiledPattern::ToString(const BindingLayout& layout) const {
+  std::string out;
+  for (size_t i = 0; i < components.size(); ++i) {
+    const CompiledComponent& c = components[i];
+    const PatternVar& var = layout.var(c.var_index);
+    if (c.negation_before.has_value()) {
+      const CompiledNegation& neg = *c.negation_before;
+      out += "  [negation watcher: !" + layout.var(neg.var_index).name;
+      if (!neg.type_tag.empty()) out += " (" + neg.type_tag + ")";
+      out += "]\n";
+      AppendPreds("preds", neg.preds, &out);
+    }
+    out += "  component " + std::to_string(i) + ": " + var.name;
+    if (c.is_optional) {
+      out += "?";
+    } else if (c.is_kleene) {
+      if (c.min_iters == 1 && c.max_iters < 0) {
+        out += "+";
+      } else if (c.min_iters == 0 && c.max_iters < 0) {
+        out += "*";
+      } else {
+        out += "{" + std::to_string(c.min_iters) + "," +
+               (c.max_iters < 0 ? "" : std::to_string(c.max_iters)) + "}";
+      }
+    }
+    if (!c.type_tag.empty()) out += " (" + c.type_tag + ")";
+    out += "\n";
+    AppendPreds("begin", c.begin_preds, &out);
+    AppendPreds("iter", c.iter_preds, &out);
+    AppendPreds("exit", c.exit_preds, &out);
+  }
+  return out;
+}
+
+}  // namespace cepr

@@ -1,0 +1,20 @@
+#include "rank/emitter.h"
+
+namespace cepr {
+
+Emitter::Emitter(CompiledQueryPtr plan, RankerPolicy policy)
+    : windows_(ReportWindowAssigner::ForQuery(*plan)),
+      ranker_(plan, policy) {}
+
+void Emitter::OnEvent(Timestamp ts, uint64_t ordinal, std::vector<Match> matches,
+                      std::vector<RankedResult>* out) {
+  const int64_t window = windows_.WindowOf(ts, ordinal);
+  ranker_.AdvanceTo(window, out);
+  for (Match& m : matches) {
+    ranker_.OnMatch(std::move(m), window, out);
+  }
+}
+
+void Emitter::Finish(std::vector<RankedResult>* out) { ranker_.Finish(out); }
+
+}  // namespace cepr

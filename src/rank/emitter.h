@@ -1,0 +1,42 @@
+#ifndef CEPR_RANK_EMITTER_H_
+#define CEPR_RANK_EMITTER_H_
+
+#include <vector>
+
+#include "engine/window.h"
+#include "rank/ranker.h"
+
+namespace cepr {
+
+/// Glues report-window assignment to the ranker: the per-query runtime
+/// feeds it the matches detected for each input event, and it produces the
+/// ordered RankedResults the query's sink receives. Also closes windows on
+/// pure time progress (events without matches).
+class Emitter {
+ public:
+  Emitter(CompiledQueryPtr plan, RankerPolicy policy);
+
+  /// Pruner the matcher should be wired to (null if pruning is off).
+  const RunPruner* pruner() const { return ranker_.pruner(); }
+  const ScorePruner* score_pruner() const { return ranker_.score_pruner(); }
+
+  /// Processes the matches detected while ingesting the event at
+  /// (`ts`, per-query ordinal `ordinal`). Appends any results that become
+  /// final (window closes) or are emitted eagerly.
+  void OnEvent(Timestamp ts, uint64_t ordinal, std::vector<Match> matches,
+               std::vector<RankedResult>* out);
+
+  /// End of stream: flushes the open window.
+  void Finish(std::vector<RankedResult>* out);
+
+  const Ranker& ranker() const { return ranker_; }
+  const ReportWindowAssigner& windows() const { return windows_; }
+
+ private:
+  ReportWindowAssigner windows_;
+  Ranker ranker_;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_RANK_EMITTER_H_

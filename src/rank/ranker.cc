@@ -1,0 +1,162 @@
+#include "rank/ranker.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cepr {
+
+const char* RankerPolicyToString(RankerPolicy policy) {
+  switch (policy) {
+    case RankerPolicy::kPassthrough:
+      return "passthrough";
+    case RankerPolicy::kNaiveSort:
+      return "naive-sort";
+    case RankerPolicy::kHeap:
+      return "heap";
+    case RankerPolicy::kPruned:
+      return "pruned";
+  }
+  return "?";
+}
+
+Ranker::Ranker(CompiledQueryPtr plan, RankerPolicy policy)
+    : plan_(std::move(plan)),
+      policy_(policy),
+      eager_(plan_->emit == EmitPolicy::kOnComplete) {
+  if (plan_->score == nullptr &&
+      (policy_ == RankerPolicy::kNaiveSort || policy_ == RankerPolicy::kHeap ||
+       policy_ == RankerPolicy::kPruned)) {
+    // Without RANK BY every policy degenerates to detection order.
+    policy_ = RankerPolicy::kPassthrough;
+  }
+  if (policy_ == RankerPolicy::kPruned && plan_->score != nullptr &&
+      plan_->score_prunable && plan_->limit >= 0 &&
+      plan_->emit != EmitPolicy::kEveryNEvents) {
+    // Count-based windows give runs no event-time deadline, so no run can
+    // ever be proven unable to reach the next (fresh) window: no pruner.
+    const PruneScope scope = plan_->emit == EmitPolicy::kOnComplete
+                                 ? PruneScope::kGlobal
+                                 : PruneScope::kTimeWindow;
+    pruner_ = std::make_unique<ScorePruner>(plan_->score, plan_->rank_desc,
+                                            scope, plan_->within_micros);
+  }
+  if (policy_ == RankerPolicy::kHeap || policy_ == RankerPolicy::kPruned) {
+    topk_ = std::make_unique<TopK>(EffectiveK(), plan_->rank_desc);
+  }
+}
+
+size_t Ranker::EffectiveK() const {
+  return plan_->limit < 0 ? TopK::kUnlimited : static_cast<size_t>(plan_->limit);
+}
+
+void Ranker::OnMatch(Match match, int64_t window_id,
+                     std::vector<RankedResult>* out) {
+  AdvanceTo(window_id, out);
+  window_open_ = true;
+  ++matches_seen_;
+
+  switch (policy_) {
+    case RankerPolicy::kPassthrough: {
+      const size_t k = EffectiveK();
+      if (k != TopK::kUnlimited && passthrough_emitted_ >= k) return;
+      RankedResult r;
+      r.window_id = window_id;
+      r.rank = passthrough_emitted_++;
+      r.provisional = false;
+      r.match = std::move(match);
+      out->push_back(std::move(r));
+      return;
+    }
+
+    case RankerPolicy::kNaiveSort:
+      buffer_.push_back(std::move(match));
+      return;
+
+    case RankerPolicy::kHeap:
+    case RankerPolicy::kPruned: {
+      const double score = match.score;
+      Match copy_for_eager;
+      if (eager_) copy_for_eager = match;  // shallow-ish: shared EventPtrs
+      const bool accepted = topk_->Offer(std::move(match));
+      if (accepted && eager_) {
+        RankedResult r;
+        r.window_id = window_id;
+        r.rank = topk_->RankOfScore(score);
+        r.provisional = true;
+        r.match = std::move(copy_for_eager);
+        out->push_back(std::move(r));
+      }
+      if (pruner_ != nullptr) {
+        if (topk_->full()) {
+          // For time windows the pruner also needs the current window's
+          // event-time end; window ids are ts / span.
+          const Timestamp window_end =
+              pruner_->scope() == PruneScope::kTimeWindow
+                  ? (current_window_ + 1) * plan_->within_micros
+                  : std::numeric_limits<Timestamp>::max();
+          pruner_->SetThreshold(topk_->threshold(), window_end);
+        } else {
+          pruner_->ClearThreshold();
+        }
+      }
+      return;
+    }
+  }
+}
+
+void Ranker::AdvanceTo(int64_t window_id, std::vector<RankedResult>* out) {
+  if (window_id <= current_window_) return;
+  if (window_open_) CloseWindow(out);
+  current_window_ = window_id;
+}
+
+void Ranker::Finish(std::vector<RankedResult>* out) {
+  if (window_open_) CloseWindow(out);
+}
+
+void Ranker::CloseWindow(std::vector<RankedResult>* out) {
+  switch (policy_) {
+    case RankerPolicy::kPassthrough:
+      break;  // already emitted eagerly
+    case RankerPolicy::kNaiveSort: {
+      std::sort(buffer_.begin(), buffer_.end(),
+                [this](const Match& a, const Match& b) {
+                  return OutranksMatch(a, b, plan_->rank_desc);
+                });
+      const size_t k = EffectiveK();
+      if (k != TopK::kUnlimited && buffer_.size() > k) buffer_.resize(k);
+      EmitOrdered(std::move(buffer_), out);
+      buffer_.clear();
+      break;
+    }
+    case RankerPolicy::kHeap:
+    case RankerPolicy::kPruned: {
+      if (!eager_) {
+        EmitOrdered(topk_->Drain(), out);
+      } else {
+        // Eager mode already streamed results; just reset the heap.
+        topk_ = std::make_unique<TopK>(EffectiveK(), plan_->rank_desc);
+      }
+      if (pruner_ != nullptr) pruner_->ClearThreshold();
+      break;
+    }
+  }
+  passthrough_emitted_ = 0;
+  window_open_ = false;
+}
+
+void Ranker::EmitOrdered(std::vector<Match> ordered,
+                         std::vector<RankedResult>* out) {
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    RankedResult r;
+    r.window_id = current_window_;
+    r.rank = i;
+    r.provisional = false;
+    r.match = std::move(ordered[i]);
+    out->push_back(std::move(r));
+  }
+}
+
+}  // namespace cepr

@@ -1,0 +1,93 @@
+#ifndef CEPR_RANK_RANKER_H_
+#define CEPR_RANK_RANKER_H_
+
+#include <memory>
+#include <vector>
+
+#include "rank/score.h"
+#include "rank/topk.h"
+
+namespace cepr {
+
+/// How a query's matches are ranked and retained. kHeap is CEPR's default;
+/// kNaiveSort and kPassthrough are the evaluation baselines; kPruned adds
+/// the partial-match upper-bound pruner on top of kHeap.
+enum class RankerPolicy {
+  /// No ranking: matches leave in detection order (LIMIT = first-k).
+  kPassthrough,
+  /// Baseline: buffer every match of the window, sort at close, cut to k.
+  kNaiveSort,
+  /// Incremental bounded top-k heap; O(log k) per match.
+  kHeap,
+  /// kHeap + ScorePruner feeding a threshold back into the matcher.
+  kPruned,
+};
+
+const char* RankerPolicyToString(RankerPolicy policy);
+
+/// One ranked output row.
+struct RankedResult {
+  Match match;
+  int64_t window_id = 0;
+  /// 0-based rank within the report window. Final for buffered emission;
+  /// the rank at emission time for eager (provisional) emission.
+  size_t rank = 0;
+  /// True when emitted eagerly (EMIT ON COMPLETE) — a later match may
+  /// retroactively outrank it.
+  bool provisional = false;
+};
+
+/// Maintains the ranked state of one query's report window and decides
+/// when results leave. Single-threaded, driven by the query runtime.
+class Ranker {
+ public:
+  /// `plan` supplies direction, limit and emission policy. For kPruned the
+  /// ranker creates a ScorePruner the matcher should be wired to.
+  Ranker(CompiledQueryPtr plan, RankerPolicy policy);
+
+  RankerPolicy policy() const { return policy_; }
+
+  /// The pruner to install into the matcher; null unless policy == kPruned
+  /// and the query has a statically boundable score.
+  const RunPruner* pruner() const { return pruner_.get(); }
+  const ScorePruner* score_pruner() const { return pruner_.get(); }
+
+  /// Accepts one detected match assigned to `window_id`. Windows must be
+  /// non-decreasing (in-order streams); moving to a newer window closes the
+  /// previous one, appending its ordered results to `out`. Under eager
+  /// emission (EMIT ON COMPLETE) accepted matches are also appended
+  /// immediately, flagged provisional.
+  void OnMatch(Match match, int64_t window_id, std::vector<RankedResult>* out);
+
+  /// Informs the ranker that the stream has progressed to `window_id`
+  /// (independent of matches), closing any older window.
+  void AdvanceTo(int64_t window_id, std::vector<RankedResult>* out);
+
+  /// End of stream: closes the open window.
+  void Finish(std::vector<RankedResult>* out);
+
+  /// Matches accepted into ranked state so far (diagnostics).
+  uint64_t matches_seen() const { return matches_seen_; }
+
+ private:
+  void CloseWindow(std::vector<RankedResult>* out);
+  void EmitOrdered(std::vector<Match> ordered, std::vector<RankedResult>* out);
+  size_t EffectiveK() const;
+
+  CompiledQueryPtr plan_;
+  RankerPolicy policy_;
+  bool eager_;  // EMIT ON COMPLETE
+  std::unique_ptr<ScorePruner> pruner_;
+
+  int64_t current_window_ = 0;
+  bool window_open_ = false;
+  uint64_t matches_seen_ = 0;
+  uint64_t passthrough_emitted_ = 0;  // per window, for kPassthrough LIMIT
+
+  std::unique_ptr<TopK> topk_;       // kHeap / kPruned
+  std::vector<Match> buffer_;        // kNaiveSort
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_RANK_RANKER_H_

@@ -1,0 +1,60 @@
+#include "rank/topk.h"
+
+#include <algorithm>
+
+namespace cepr {
+
+bool OutranksMatch(const Match& a, const Match& b, bool desc) {
+  if (a.score != b.score) return desc ? a.score > b.score : a.score < b.score;
+  return a.id < b.id;  // earlier detection wins ties
+}
+
+TopK::TopK(size_t k, bool desc) : k_(k), desc_(desc) {}
+
+bool TopK::WorseInHeap(const Match& a, const Match& b) const {
+  // std::push_heap keeps the comparator-max at the root; we want the WORST
+  // retained match there, so "less" = outranks.
+  return OutranksMatch(a, b, desc_);
+}
+
+bool TopK::Offer(Match m) {
+  if (k_ == 0) return false;
+  const auto cmp = [this](const Match& a, const Match& b) {
+    return WorseInHeap(a, b);
+  };
+  if (!full()) {
+    heap_.push_back(std::move(m));
+    std::push_heap(heap_.begin(), heap_.end(), cmp);
+    return true;
+  }
+  // Full: the offer must outrank the current worst to enter.
+  if (!OutranksMatch(m, heap_.front(), desc_)) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), cmp);
+  heap_.back() = std::move(m);
+  std::push_heap(heap_.begin(), heap_.end(), cmp);
+  return true;
+}
+
+double TopK::threshold() const {
+  return heap_.empty() ? 0.0 : heap_.front().score;
+}
+
+size_t TopK::RankOfScore(double score) const {
+  size_t better = 0;
+  for (const Match& m : heap_) {
+    const bool outranks = desc_ ? m.score > score : m.score < score;
+    if (outranks) ++better;
+  }
+  return better;
+}
+
+std::vector<Match> TopK::Drain() {
+  std::vector<Match> out = std::move(heap_);
+  heap_.clear();
+  std::sort(out.begin(), out.end(), [this](const Match& a, const Match& b) {
+    return OutranksMatch(a, b, desc_);
+  });
+  return out;
+}
+
+}  // namespace cepr

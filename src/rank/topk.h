@@ -1,0 +1,55 @@
+#ifndef CEPR_RANK_TOPK_H_
+#define CEPR_RANK_TOPK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "engine/run.h"
+
+namespace cepr {
+
+/// Deterministic total order on matches used everywhere in the ranking
+/// layer: primarily by score (direction per query), ties broken by earlier
+/// detection id. Returns true iff `a` outranks `b`.
+bool OutranksMatch(const Match& a, const Match& b, bool desc);
+
+/// Bounded top-k accumulator over matches: a size-k binary heap with the
+/// *worst retained* match at the root, O(log k) per accepted offer and O(1)
+/// rejection once full. k = npos means "keep everything" (used for ranked
+/// queries without LIMIT).
+class TopK {
+ public:
+  static constexpr size_t kUnlimited = static_cast<size_t>(-1);
+
+  TopK(size_t k, bool desc);
+
+  /// Offers a match; returns true iff it was retained (it currently ranks
+  /// within the top k). The displaced match (if any) is discarded.
+  bool Offer(Match m);
+
+  size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+  /// True once k matches are held (never true for kUnlimited).
+  bool full() const { return k_ != kUnlimited && heap_.size() >= k_; }
+
+  /// Score of the worst retained match — the entry bar when full().
+  double threshold() const;
+
+  /// Current rank (0-based) the given score would receive, i.e. the number
+  /// of retained matches that outrank it. O(size).
+  size_t RankOfScore(double score) const;
+
+  /// Removes and returns all matches, best first.
+  std::vector<Match> Drain();
+
+ private:
+  bool WorseInHeap(const Match& a, const Match& b) const;
+
+  size_t k_;
+  bool desc_;
+  std::vector<Match> heap_;  // root = worst retained
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_RANK_TOPK_H_

@@ -1,0 +1,194 @@
+#include "runtime/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace cepr {
+
+namespace {
+
+// Quotes a cell if it contains a comma, quote, or newline.
+std::string CsvQuote(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+// Plain rendering of a Value for CSV (no SQL quoting).
+std::string CsvCell(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kString:
+      return CsvQuote(v.AsString());
+    case ValueType::kBool:
+      return v.AsBool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(v.AsInt());
+    case ValueType::kFloat:
+      return FormatDouble(v.AsFloat());
+  }
+  return "";
+}
+
+// Splits one CSV line honoring double-quoted cells.
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  cells.push_back(std::move(cur));
+  return cells;
+}
+
+Result<Value> ParseCell(const std::string& text, ValueType type, int line_no) {
+  if (text.empty()) return Value::Null();
+  switch (type) {
+    case ValueType::kBool:
+      if (EqualsIgnoreCase(text, "true") || text == "1") return Value::Bool(true);
+      if (EqualsIgnoreCase(text, "false") || text == "0") return Value::Bool(false);
+      return Status::IoError("line " + std::to_string(line_no) +
+                             ": bad BOOL cell '" + text + "'");
+    case ValueType::kInt: {
+      char* end = nullptr;
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::IoError("line " + std::to_string(line_no) +
+                               ": bad INT cell '" + text + "'");
+      }
+      return Value::Int(v);
+    }
+    case ValueType::kFloat: {
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::IoError("line " + std::to_string(line_no) +
+                               ": bad FLOAT cell '" + text + "'");
+      }
+      return Value::Float(v);
+    }
+    case ValueType::kString:
+      return Value::String(text);
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+Status WriteEventsCsv(const std::string& path, const std::vector<Event>& events) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  if (events.empty()) return Status::OK();
+
+  const SchemaPtr& schema = events.front().schema();
+  out << "ts,type";
+  for (const Attribute& attr : schema->attributes()) out << "," << attr.name;
+  out << "\n";
+
+  for (const Event& e : events) {
+    out << e.timestamp() << "," << CsvQuote(e.type_tag());
+    for (const Value& v : e.values()) out << "," << CsvCell(v);
+    out << "\n";
+  }
+  if (!out.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Event>> ReadEventsCsv(const std::string& path, SchemaPtr schema) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+
+  std::vector<Event> events;
+  std::string line;
+  int line_no = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!header_seen) {
+      header_seen = true;  // header validated loosely: must start with "ts"
+      if (!StartsWith(line, "ts")) {
+        return Status::IoError(path + ": missing 'ts,type,...' header");
+      }
+      continue;
+    }
+    const std::vector<std::string> cells = SplitCsvLine(line);
+    if (cells.size() != schema->num_attributes() + 2) {
+      return Status::IoError(path + " line " + std::to_string(line_no) +
+                             ": expected " +
+                             std::to_string(schema->num_attributes() + 2) +
+                             " cells, got " + std::to_string(cells.size()));
+    }
+    char* end = nullptr;
+    const long long ts = std::strtoll(cells[0].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return Status::IoError(path + " line " + std::to_string(line_no) +
+                             ": bad timestamp '" + cells[0] + "'");
+    }
+    std::vector<Value> values;
+    values.reserve(schema->num_attributes());
+    for (size_t i = 0; i < schema->num_attributes(); ++i) {
+      CEPR_ASSIGN_OR_RETURN(
+          Value v, ParseCell(cells[i + 2], schema->attribute(i).type, line_no));
+      values.push_back(std::move(v));
+    }
+    Event e(schema, ts, std::move(values));
+    if (!cells[1].empty()) e.set_type_tag(cells[1]);
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+CsvResultSink::CsvResultSink(const std::string& path,
+                             std::vector<std::string> column_names)
+    : out_(path, std::ios::trunc) {
+  if (!out_.is_open()) {
+    status_ = Status::IoError("cannot open " + path);
+    return;
+  }
+  out_ << "window,rank,provisional,score,first_ts,last_ts";
+  for (const std::string& name : column_names) out_ << "," << CsvQuote(name);
+  out_ << "\n";
+}
+
+void CsvResultSink::OnResult(const RankedResult& result) {
+  if (!status_.ok()) return;
+  out_ << result.window_id << "," << result.rank << ","
+       << (result.provisional ? 1 : 0) << "," << FormatDouble(result.match.score)
+       << "," << result.match.first_ts << "," << result.match.last_ts;
+  for (const Value& v : result.match.row) out_ << "," << CsvCell(v);
+  out_ << "\n";
+}
+
+}  // namespace cepr

@@ -1,0 +1,44 @@
+#ifndef CEPR_RUNTIME_CSV_H_
+#define CEPR_RUNTIME_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "event/event.h"
+#include "runtime/sink.h"
+
+namespace cepr {
+
+/// Writes events as CSV with the header "ts,type,<attr>,<attr>...". String
+/// cells containing separators or quotes are double-quoted.
+Status WriteEventsCsv(const std::string& path, const std::vector<Event>& events);
+
+/// Reads events from a CSV produced by WriteEventsCsv (or hand-written with
+/// the same header): the first column is the microsecond timestamp, the
+/// second the optional event-type tag (may be empty), and the remaining
+/// columns must match `schema`'s attributes by position. Cell text is
+/// parsed per the attribute type; empty numeric cells become NULL.
+Result<std::vector<Event>> ReadEventsCsv(const std::string& path, SchemaPtr schema);
+
+/// Sink that appends ranked results to a CSV file:
+/// "window,rank,provisional,score,first_ts,last_ts,<output columns...>".
+class CsvResultSink : public Sink {
+ public:
+  /// Opens (truncates) `path` and writes the header. Check ok() before use.
+  CsvResultSink(const std::string& path, std::vector<std::string> column_names);
+
+  /// Whether the file opened successfully.
+  const Status& status() const { return status_; }
+
+  void OnResult(const RankedResult& result) override;
+
+ private:
+  std::ofstream out_;
+  Status status_;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_RUNTIME_CSV_H_

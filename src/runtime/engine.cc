@@ -1,0 +1,214 @@
+#include "runtime/engine.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "lang/parser.h"
+#include "plan/compiler.h"
+
+namespace cepr {
+
+Engine::Engine(EngineOptions options) : options_(options) {}
+
+Status Engine::ExecuteDdl(std::string_view ddl_text) {
+  CEPR_ASSIGN_OR_RETURN(CreateStreamAst ast, ParseCreateStream(ddl_text));
+  CEPR_ASSIGN_OR_RETURN(SchemaPtr schema,
+                        Schema::Make(ast.name, std::move(ast.attributes)));
+  return RegisterSchema(std::move(schema));
+}
+
+Status Engine::RegisterSchema(SchemaPtr schema) {
+  if (schema == nullptr) return Status::InvalidArgument("schema is null");
+  const std::string key = ToLower(schema->name());
+  if (streams_.count(key) > 0) {
+    return Status::AlreadyExists("stream '" + schema->name() +
+                                 "' is already registered");
+  }
+  StreamState state;
+  state.schema = std::move(schema);
+  streams_.emplace(key, std::move(state));
+  return Status::OK();
+}
+
+Result<SchemaPtr> Engine::GetSchema(std::string_view stream_name) const {
+  const auto it = streams_.find(ToLower(stream_name));
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream named '" + std::string(stream_name) + "'");
+  }
+  return it->second.schema;
+}
+
+std::vector<std::string> Engine::StreamNames() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [key, state] : streams_) names.push_back(state.schema->name());
+  return names;
+}
+
+Status Engine::RegisterQuery(std::string name, std::string_view query_text,
+                             const QueryOptions& options, Sink* sink) {
+  const std::string key = ToLower(name);
+  if (queries_.count(key) > 0) {
+    return Status::AlreadyExists("query '" + name + "' is already registered");
+  }
+  CEPR_ASSIGN_OR_RETURN(QueryAst ast, ParseQuery(query_text));
+  CEPR_ASSIGN_OR_RETURN(SchemaPtr schema, GetSchema(ast.stream_name));
+  CEPR_ASSIGN_OR_RETURN(AnalyzedQuery analyzed, Analyze(std::move(ast), schema));
+  CEPR_ASSIGN_OR_RETURN(CompiledQueryPtr plan, Compile(std::move(analyzed)));
+
+  RunningQuery::ForwardFn forward;
+  if (!plan->into_stream.empty()) {
+    if (EqualsIgnoreCase(plan->into_stream, plan->schema()->name())) {
+      return Status::InvalidArgument(
+          "EMIT INTO cannot target the query's own input stream");
+    }
+    CEPR_ASSIGN_OR_RETURN(forward, MakeForwarder(plan));
+  }
+
+  queries_.emplace(key, std::make_unique<RunningQuery>(std::move(name),
+                                                       std::move(plan), options,
+                                                       sink, std::move(forward)));
+  return Status::OK();
+}
+
+Result<RunningQuery::ForwardFn> Engine::MakeForwarder(
+    const CompiledQueryPtr& plan) {
+  // The derived stream's schema is the query's output row.
+  std::vector<Attribute> attributes;
+  for (size_t i = 0; i < plan->analyzed.output_names.size(); ++i) {
+    attributes.push_back(Attribute{plan->analyzed.output_names[i],
+                                   plan->analyzed.output_types[i], std::nullopt});
+  }
+  SchemaPtr derived;
+  auto existing = GetSchema(plan->into_stream);
+  if (existing.ok()) {
+    // Validate the existing stream's shape against the query's outputs.
+    derived = existing.value();
+    if (derived->num_attributes() != attributes.size()) {
+      return Status::InvalidArgument(
+          "EMIT INTO " + plan->into_stream + ": stream has " +
+          std::to_string(derived->num_attributes()) + " attributes but the "
+          "query produces " + std::to_string(attributes.size()));
+    }
+    for (size_t i = 0; i < attributes.size(); ++i) {
+      if (!EqualsIgnoreCase(derived->attribute(i).name, attributes[i].name) ||
+          derived->attribute(i).type != attributes[i].type) {
+        return Status::InvalidArgument(
+            "EMIT INTO " + plan->into_stream + ": attribute " +
+            std::to_string(i) + " mismatch (stream has " +
+            derived->attribute(i).name + " " +
+            ValueTypeToString(derived->attribute(i).type) + ", query produces " +
+            attributes[i].name + " " + ValueTypeToString(attributes[i].type) +
+            ")");
+      }
+    }
+  } else {
+    CEPR_ASSIGN_OR_RETURN(derived,
+                          Schema::Make(plan->into_stream, std::move(attributes)));
+    CEPR_RETURN_IF_ERROR(RegisterSchema(derived));
+    streams_[ToLower(plan->into_stream)].clamp_out_of_order = true;
+  }
+
+  return RunningQuery::ForwardFn([this, derived](const RankedResult& r) {
+    Event event(derived, r.match.last_ts, r.match.row);
+    const Status s = Push(std::move(event));
+    if (!s.ok()) {
+      CEPR_LOG(WARNING) << "derived-stream push into " << derived->name()
+                        << " failed: " << s.ToString();
+    }
+  });
+}
+
+Status Engine::RemoveQuery(std::string_view name) {
+  const auto it = queries_.find(ToLower(name));
+  if (it == queries_.end()) {
+    return Status::NotFound("no query named '" + std::string(name) + "'");
+  }
+  it->second->Finish();
+  queries_.erase(it);
+  return Status::OK();
+}
+
+Result<const RunningQuery*> Engine::GetQuery(std::string_view name) const {
+  const auto it = queries_.find(ToLower(name));
+  if (it == queries_.end()) {
+    return Status::NotFound("no query named '" + std::string(name) + "'");
+  }
+  return static_cast<const RunningQuery*>(it->second.get());
+}
+
+std::vector<std::string> Engine::QueryNames() const {
+  std::vector<std::string> names;
+  names.reserve(queries_.size());
+  for (const auto& [key, query] : queries_) names.push_back(query->name());
+  return names;
+}
+
+Status Engine::Push(Event event) {
+  if (event.schema() == nullptr) {
+    return Status::InvalidArgument("event has no schema");
+  }
+  const auto it = streams_.find(ToLower(event.schema()->name()));
+  if (it == streams_.end()) {
+    return Status::NotFound("event stream '" + event.schema()->name() +
+                            "' is not registered");
+  }
+  StreamState& state = it->second;
+  if (event.schema() != state.schema) {
+    return Status::InvalidArgument("event schema object does not match the "
+                                   "registered schema for stream '" +
+                                   state.schema->name() + "'");
+  }
+  if (event.values().size() != state.schema->num_attributes()) {
+    return Status::InvalidArgument("event arity mismatch for stream '" +
+                                   state.schema->name() + "'");
+  }
+
+  if (state.saw_event && event.timestamp() < state.watermark) {
+    if (options_.reject_out_of_order && !state.clamp_out_of_order) {
+      return Status::InvalidArgument(
+          "out-of-order event on stream '" + state.schema->name() +
+          "': ts " + std::to_string(event.timestamp()) + " < watermark " +
+          std::to_string(state.watermark));
+    }
+    event.set_timestamp(state.watermark);
+  }
+  state.watermark = event.timestamp();
+  state.saw_event = true;
+  event.set_sequence(state.next_sequence++);
+  ++events_ingested_;
+
+  if (push_depth_ >= kMaxPushDepth) {
+    return Status::InvalidArgument(
+        "derived-stream recursion exceeds depth " +
+        std::to_string(kMaxPushDepth) + " (query composition cycle?)");
+  }
+  ++push_depth_;
+  const auto shared = std::make_shared<const Event>(std::move(event));
+  for (auto& [key, query] : queries_) {
+    if (query->plan()->schema() == state.schema) {
+      query->OnEvent(shared);
+    }
+  }
+  --push_depth_;
+  return Status::OK();
+}
+
+Status Engine::PushAll(std::vector<Event> events) {
+  for (Event& e : events) {
+    CEPR_RETURN_IF_ERROR(Push(std::move(e)));
+  }
+  return Status::OK();
+}
+
+void Engine::Finish() {
+  // Flushing a query may forward results into derived streams, waking
+  // downstream queries that may themselves need another flush; iterate to a
+  // fixpoint (bounded by the composition-depth cap).
+  for (int round = 0; round <= kMaxPushDepth; ++round) {
+    const uint64_t before = events_ingested_;
+    for (auto& [key, query] : queries_) query->Finish();
+    if (events_ingested_ == before) return;
+  }
+}
+
+}  // namespace cepr

@@ -1,0 +1,104 @@
+#ifndef CEPR_RUNTIME_ENGINE_H_
+#define CEPR_RUNTIME_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/query.h"
+
+namespace cepr {
+
+/// Engine-wide options.
+struct EngineOptions {
+  /// Reject events whose timestamp regresses below the stream's watermark.
+  /// When false, late events are clamped to the watermark instead.
+  bool reject_out_of_order = true;
+};
+
+/// The CEPR system facade: stream registry, query registry, and the ingest
+/// path. Typical use:
+///
+///   Engine engine;
+///   engine.ExecuteDdl("CREATE STREAM Stock (symbol STRING, price FLOAT)");
+///   CollectSink sink;
+///   engine.RegisterQuery("crash", kQueryText, QueryOptions{}, &sink);
+///   for (const Event& e : events) engine.Push(e);
+///   engine.Finish();
+///
+/// Single-threaded: Push and Finish must not be called concurrently.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  // -- Streams ------------------------------------------------------------
+
+  /// Executes a CREATE STREAM statement.
+  Status ExecuteDdl(std::string_view ddl_text);
+
+  /// Registers a pre-built schema.
+  Status RegisterSchema(SchemaPtr schema);
+
+  Result<SchemaPtr> GetSchema(std::string_view stream_name) const;
+  std::vector<std::string> StreamNames() const;
+
+  // -- Queries -------------------------------------------------------------
+
+  /// Compiles `query_text` against its FROM stream and starts it. `sink`
+  /// may be null (results dropped) and must outlive the query otherwise.
+  /// Fails with AlreadyExists for duplicate names.
+  Status RegisterQuery(std::string name, std::string_view query_text,
+                       const QueryOptions& options, Sink* sink);
+
+  /// Stops and removes a query (flushing it first).
+  Status RemoveQuery(std::string_view name);
+
+  Result<const RunningQuery*> GetQuery(std::string_view name) const;
+  std::vector<std::string> QueryNames() const;
+
+  // -- Ingest ---------------------------------------------------------------
+
+  /// Ingests one event: validates its schema is registered, enforces
+  /// per-stream timestamp monotonicity, assigns the per-stream sequence
+  /// number, and routes it to every query on that stream.
+  Status Push(Event event);
+
+  /// Ingests a batch in order.
+  Status PushAll(std::vector<Event> events);
+
+  /// Signals end-of-stream: every query flushes its buffered windows.
+  void Finish();
+
+  /// Total events accepted.
+  uint64_t events_ingested() const { return events_ingested_; }
+
+ private:
+  struct StreamState {
+    SchemaPtr schema;
+    uint64_t next_sequence = 0;
+    Timestamp watermark = 0;
+    bool saw_event = false;
+    /// Derived streams (EMIT INTO) receive score-ordered results whose
+    /// event times may interleave; they clamp instead of rejecting.
+    bool clamp_out_of_order = false;
+  };
+
+  /// Builds the re-ingestion callback for an EMIT INTO query, creating or
+  /// validating the derived stream's schema.
+  Result<RunningQuery::ForwardFn> MakeForwarder(const CompiledQueryPtr& plan);
+
+  EngineOptions options_;
+  std::map<std::string, StreamState, std::less<>> streams_;
+  std::map<std::string, std::unique_ptr<RunningQuery>, std::less<>> queries_;
+  uint64_t events_ingested_ = 0;
+  /// Depth of nested Push calls through derived streams; bounds query
+  /// composition cycles.
+  int push_depth_ = 0;
+  static constexpr int kMaxPushDepth = 8;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_RUNTIME_ENGINE_H_

@@ -1,0 +1,18 @@
+#include "runtime/metrics.h"
+
+namespace cepr {
+
+std::string QueryMetrics::ToString() const {
+  std::string out;
+  out += "events=" + std::to_string(events);
+  out += " matches=" + std::to_string(matches);
+  out += " results=" + std::to_string(results);
+  out += " | " + matcher.ToString();
+  out += " | prune_checks=" + std::to_string(prune_checks);
+  out += " prunes=" + std::to_string(prunes);
+  out += "\n  processing_ns: " + event_processing_ns.Summary();
+  out += "\n  emission_delay_us: " + emission_delay_us.Summary();
+  return out;
+}
+
+}  // namespace cepr

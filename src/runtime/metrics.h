@@ -1,0 +1,38 @@
+#ifndef CEPR_RUNTIME_METRICS_H_
+#define CEPR_RUNTIME_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "engine/matcher.h"
+
+namespace cepr {
+
+/// Per-query runtime metrics, maintained by RunningQuery and read by the
+/// monitor example and benchmarks.
+struct QueryMetrics {
+  /// Events routed to this query.
+  uint64_t events = 0;
+  /// Matches detected (before ranking).
+  uint64_t matches = 0;
+  /// Ranked results delivered to the sink.
+  uint64_t results = 0;
+  /// Wall-clock nanoseconds spent inside OnEvent, per event.
+  Histogram event_processing_ns;
+  /// Event-time delay between a match's last event and its emission point
+  /// (microseconds); 0 for eager emission, up to a window span for
+  /// buffered emission.
+  Histogram emission_delay_us;
+  /// Snapshot of the matcher counters (runs created/pruned/...).
+  MatcherStats matcher;
+  /// Pruner instrumentation (0 when pruning is off).
+  uint64_t prune_checks = 0;
+  uint64_t prunes = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_RUNTIME_METRICS_H_

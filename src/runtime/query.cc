@@ -1,0 +1,58 @@
+#include "runtime/query.h"
+
+#include "common/stopwatch.h"
+
+namespace cepr {
+
+RunningQuery::RunningQuery(std::string name, CompiledQueryPtr plan,
+                           QueryOptions options, Sink* sink, ForwardFn forward)
+    : name_(std::move(name)),
+      plan_(std::move(plan)),
+      options_(options),
+      sink_(sink),
+      forward_(std::move(forward)),
+      emitter_(plan_, options.ranker),
+      matcher_(plan_, options.matcher, emitter_.pruner()) {}
+
+void RunningQuery::OnEvent(const EventPtr& event) {
+  Stopwatch timer;
+  ++metrics_.events;
+  last_event_ts_ = event->timestamp();
+
+  std::vector<Match> matches;
+  matcher_.OnEvent(event, &matches);
+  metrics_.matches += matches.size();
+
+  std::vector<RankedResult> results;
+  emitter_.OnEvent(event->timestamp(), ordinal_++, std::move(matches), &results);
+  Deliver(std::move(results));
+
+  metrics_.event_processing_ns.Record(timer.ElapsedNanos());
+}
+
+void RunningQuery::Finish() {
+  std::vector<RankedResult> results;
+  emitter_.Finish(&results);
+  Deliver(std::move(results));
+}
+
+void RunningQuery::Deliver(std::vector<RankedResult> results) {
+  for (RankedResult& r : results) {
+    metrics_.emission_delay_us.Record(last_event_ts_ - r.match.last_ts);
+    ++metrics_.results;
+    if (sink_ != nullptr) sink_->OnResult(r);
+    if (forward_ != nullptr) forward_(r);
+  }
+}
+
+QueryMetrics RunningQuery::metrics() const {
+  QueryMetrics snapshot = metrics_;
+  snapshot.matcher = matcher_.stats();
+  if (emitter_.score_pruner() != nullptr) {
+    snapshot.prune_checks = emitter_.score_pruner()->checks();
+    snapshot.prunes = emitter_.score_pruner()->prunes();
+  }
+  return snapshot;
+}
+
+}  // namespace cepr

@@ -1,0 +1,66 @@
+#ifndef CEPR_RUNTIME_QUERY_H_
+#define CEPR_RUNTIME_QUERY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/partition.h"
+#include "rank/emitter.h"
+#include "runtime/metrics.h"
+#include "runtime/sink.h"
+
+namespace cepr {
+
+/// Per-query execution knobs.
+struct QueryOptions {
+  /// Ranking policy; kPruned is the full CEPR configuration, the others
+  /// exist as evaluation baselines and for ablations.
+  RankerPolicy ranker = RankerPolicy::kPruned;
+  MatcherOptions matcher;
+};
+
+/// One registered query's executable pipeline:
+///   event -> PartitionedMatcher -> matches -> Emitter(Ranker) -> Sink.
+/// Owned by the Engine; single-threaded.
+class RunningQuery {
+ public:
+  /// `forward` (nullable) re-ingests each emitted result as a derived-stream
+  /// event (EMIT ... INTO); installed by the Engine.
+  using ForwardFn = std::function<void(const RankedResult&)>;
+
+  RunningQuery(std::string name, CompiledQueryPtr plan, QueryOptions options,
+               Sink* sink, ForwardFn forward = nullptr);
+
+  /// Feeds one event (already validated against the query's stream).
+  void OnEvent(const EventPtr& event);
+
+  /// End of stream: flushes buffered windows to the sink.
+  void Finish();
+
+  const std::string& name() const { return name_; }
+  const CompiledQueryPtr& plan() const { return plan_; }
+  /// Snapshot of the metrics (matcher counters copied on call).
+  QueryMetrics metrics() const;
+  size_t active_runs() const { return matcher_.active_runs(); }
+  size_t MemoryEstimate() const { return matcher_.MemoryEstimate(); }
+
+ private:
+  void Deliver(std::vector<RankedResult> results);
+
+  std::string name_;
+  CompiledQueryPtr plan_;
+  QueryOptions options_;
+  Sink* sink_;  // not owned; must outlive the query
+  ForwardFn forward_;
+  Emitter emitter_;
+  PartitionedMatcher matcher_;
+  QueryMetrics metrics_;
+  uint64_t ordinal_ = 0;        // events seen by this query
+  Timestamp last_event_ts_ = 0; // emission-delay bookkeeping
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_RUNTIME_QUERY_H_

@@ -1,0 +1,24 @@
+#include "runtime/sink.h"
+
+#include "common/strings.h"
+
+namespace cepr {
+
+PrintSink::PrintSink(std::ostream& os, std::vector<std::string> column_names,
+                     std::string query_name)
+    : os_(os), columns_(std::move(column_names)), query_name_(std::move(query_name)) {}
+
+void PrintSink::OnResult(const RankedResult& result) {
+  if (!query_name_.empty()) os_ << "[" << query_name_ << "] ";
+  os_ << "w" << result.window_id << " #" << (result.rank + 1);
+  if (result.provisional) os_ << "?";
+  os_ << " score=" << FormatDouble(result.match.score) << " ";
+  for (size_t i = 0; i < result.match.row.size(); ++i) {
+    if (i > 0) os_ << " ";
+    if (i < columns_.size()) os_ << columns_[i] << "=";
+    os_ << result.match.row[i].ToString();
+  }
+  os_ << "\n";
+}
+
+}  // namespace cepr

@@ -1,0 +1,76 @@
+#ifndef CEPR_RUNTIME_SINK_H_
+#define CEPR_RUNTIME_SINK_H_
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rank/ranker.h"
+
+namespace cepr {
+
+/// Consumer of a query's ranked results. Implementations must tolerate
+/// being called once per result in emission order; the engine is
+/// single-threaded per Push, so no synchronization is required.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void OnResult(const RankedResult& result) = 0;
+};
+
+/// Buffers every result in memory (tests, examples, benchmarks).
+class CollectSink : public Sink {
+ public:
+  void OnResult(const RankedResult& result) override {
+    results_.push_back(result);
+  }
+
+  const std::vector<RankedResult>& results() const { return results_; }
+  void Clear() { results_.clear(); }
+
+ private:
+  std::vector<RankedResult> results_;
+};
+
+/// Forwards each result to a std::function.
+class CallbackSink : public Sink {
+ public:
+  explicit CallbackSink(std::function<void(const RankedResult&)> fn)
+      : fn_(std::move(fn)) {}
+
+  void OnResult(const RankedResult& result) override { fn_(result); }
+
+ private:
+  std::function<void(const RankedResult&)> fn_;
+};
+
+/// Discards results (throughput benchmarking).
+class NullSink : public Sink {
+ public:
+  void OnResult(const RankedResult&) override { ++count_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+/// Pretty-prints each result as one line: the terminal stand-in for the
+/// CEPR demo's live monitor panel.
+class PrintSink : public Sink {
+ public:
+  /// `column_names` label the SELECT outputs (from AnalyzedQuery).
+  PrintSink(std::ostream& os, std::vector<std::string> column_names,
+            std::string query_name = "");
+
+  void OnResult(const RankedResult& result) override;
+
+ private:
+  std::ostream& os_;
+  std::vector<std::string> columns_;
+  std::string query_name_;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_RUNTIME_SINK_H_

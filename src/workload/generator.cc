@@ -1,0 +1,12 @@
+#include "workload/generator.h"
+
+namespace cepr {
+
+std::vector<Event> WorkloadGenerator::Take(size_t n) {
+  std::vector<Event> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace cepr

@@ -1,0 +1,39 @@
+#ifndef CEPR_WORKLOAD_GENERATOR_H_
+#define CEPR_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "event/event.h"
+
+namespace cepr {
+
+/// Common knobs for the synthetic domain generators. All generators are
+/// deterministic functions of their options (fixed seed => identical
+/// stream), which is what makes the reconstructed experiments repeatable.
+struct GeneratorOptions {
+  uint64_t seed = 42;
+  /// Event time of the first event.
+  Timestamp start_ts = 0;
+  /// Event-time gap between consecutive events.
+  Timestamp interval_micros = 1000;  // 1ms => 1000 events/simulated second
+};
+
+/// A deterministic, infinite synthetic event source.
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  /// Schema of the produced events.
+  virtual const SchemaPtr& schema() const = 0;
+
+  /// Produces the next event (timestamps strictly increase).
+  virtual Event Next() = 0;
+
+  /// Convenience: materializes the next `n` events.
+  std::vector<Event> Take(size_t n);
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,73 @@
+#include "workload/health.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cepr {
+
+SchemaPtr HealthGenerator::MakeSchema() {
+  // One shared instance: the Engine matches events to streams by schema
+  // object identity, so every generator and harness must use the same one.
+  static const SchemaPtr* kSchema = nullptr;
+  if (kSchema != nullptr) return *kSchema;
+  auto schema = Schema::Make(
+      "Vitals",
+      {
+          Attribute{"patient", ValueType::kInt, AttributeRange{0.0, 1e6}},
+          Attribute{"heart_rate", ValueType::kFloat, AttributeRange{30.0, 220.0}},
+          Attribute{"spo2", ValueType::kFloat, AttributeRange{50.0, 100.0}},
+          Attribute{"temp", ValueType::kFloat, AttributeRange{34.0, 43.0}},
+      });
+  CEPR_CHECK(schema.ok());
+  kSchema = new SchemaPtr(schema.value());
+  return *kSchema;
+}
+
+HealthGenerator::HealthGenerator(const HealthOptions& options)
+    : options_(options),
+      schema_(MakeSchema()),
+      rng_(options.base.seed),
+      next_ts_(options.base.start_ts),
+      heart_rate_(static_cast<size_t>(std::max(options.num_patients, 1))),
+      spo2_(heart_rate_.size()),
+      episode_remaining_(heart_rate_.size(), 0) {
+  for (size_t i = 0; i < heart_rate_.size(); ++i) {
+    heart_rate_[i] = rng_.UniformDouble(60.0, 90.0);
+    spo2_[i] = rng_.UniformDouble(95.0, 99.0);
+  }
+}
+
+Event HealthGenerator::Next() {
+  const auto patient = static_cast<size_t>(
+      rng_.Uniform(static_cast<uint64_t>(heart_rate_.size())));
+
+  if (episode_remaining_[patient] > 0) {
+    // Deterioration: heart rate ramps, SpO2 sags.
+    heart_rate_[patient] += rng_.UniformDouble(8.0, 15.0);
+    spo2_[patient] -= rng_.UniformDouble(1.0, 2.5);
+    --episode_remaining_[patient];
+    if (episode_remaining_[patient] == 0) {
+      // Recovery snaps vitals back toward baseline.
+      heart_rate_[patient] = rng_.UniformDouble(60.0, 90.0);
+      spo2_[patient] = rng_.UniformDouble(95.0, 99.0);
+    }
+  } else {
+    heart_rate_[patient] += rng_.NextGaussian() * 2.0;
+    spo2_[patient] += rng_.NextGaussian() * 0.3;
+    if (rng_.OneIn(options_.episode_probability)) {
+      episode_remaining_[patient] = options_.episode_length;
+    }
+  }
+  heart_rate_[patient] = std::clamp(heart_rate_[patient], 30.0, 220.0);
+  spo2_[patient] = std::clamp(spo2_[patient], 50.0, 100.0);
+
+  Event e(schema_, next_ts_,
+          {Value::Int(static_cast<int64_t>(patient)),
+           Value::Float(heart_rate_[patient]), Value::Float(spo2_[patient]),
+           Value::Float(36.5 + rng_.NextGaussian() * 0.3)});
+  next_ts_ += options_.base.interval_micros;
+  return e;
+}
+
+}  // namespace cepr

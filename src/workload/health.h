@@ -1,0 +1,45 @@
+#ifndef CEPR_WORKLOAD_HEALTH_H_
+#define CEPR_WORKLOAD_HEALTH_H_
+
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace cepr {
+
+/// Options for the patient-vitals generator.
+struct HealthOptions {
+  GeneratorOptions base;
+  int num_patients = 20;
+  /// Probability that a reading starts a tachycardia episode for its
+  /// patient: heart rate ramps up over `episode_length` readings while
+  /// SpO2 sags — the health-monitoring CEPR demo scenario.
+  double episode_probability = 0.005;
+  int episode_length = 6;
+};
+
+/// Vitals(patient INT, heart_rate FLOAT RANGE [30, 220], spo2 FLOAT RANGE
+/// [50, 100], temp FLOAT RANGE [34, 43]): baseline noise with planted
+/// deterioration episodes.
+class HealthGenerator : public WorkloadGenerator {
+ public:
+  explicit HealthGenerator(const HealthOptions& options);
+
+  static SchemaPtr MakeSchema();
+
+  const SchemaPtr& schema() const override { return schema_; }
+  Event Next() override;
+
+ private:
+  HealthOptions options_;
+  SchemaPtr schema_;
+  Random rng_;
+  Timestamp next_ts_;
+  std::vector<double> heart_rate_;      // per patient
+  std::vector<double> spo2_;
+  std::vector<int> episode_remaining_;  // readings left in an episode
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_WORKLOAD_HEALTH_H_

@@ -1,0 +1,69 @@
+#include "workload/stock.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cepr {
+
+SchemaPtr StockGenerator::MakeSchema() {
+  // One shared instance: the Engine matches events to streams by schema
+  // object identity, so every generator and harness must use the same one.
+  static const SchemaPtr* kSchema = nullptr;
+  if (kSchema != nullptr) return *kSchema;
+  auto schema = Schema::Make(
+      "Stock", {
+                   Attribute{"symbol", ValueType::kString, std::nullopt},
+                   Attribute{"price", ValueType::kFloat, AttributeRange{1.0, 1000.0}},
+                   Attribute{"volume", ValueType::kInt, AttributeRange{1.0, 10000.0}},
+               });
+  CEPR_CHECK(schema.ok());
+  kSchema = new SchemaPtr(schema.value());
+  return *kSchema;
+}
+
+StockGenerator::StockGenerator(const StockOptions& options)
+    : options_(options),
+      schema_(MakeSchema()),
+      rng_(options.base.seed),
+      symbol_sampler_(static_cast<uint64_t>(std::max(options.num_symbols, 1)),
+                      options.symbol_skew, options.base.seed ^ 0x5bd1e995ULL),
+      next_ts_(options.base.start_ts),
+      price_(static_cast<size_t>(std::max(options.num_symbols, 1))),
+      scripted_(static_cast<size_t>(std::max(options.num_symbols, 1))) {
+  for (auto& p : price_) p = rng_.UniformDouble(50.0, 500.0);
+}
+
+Event StockGenerator::Next() {
+  const auto symbol = static_cast<size_t>(symbol_sampler_.Next());
+
+  double rel_move;
+  if (!scripted_[symbol].empty()) {
+    rel_move = scripted_[symbol].front();
+    scripted_[symbol].pop_front();
+  } else {
+    rel_move = rng_.NextGaussian() * options_.volatility;
+    // Mild mean reversion toward 100 keeps prices inside the declared range.
+    rel_move += (100.0 - price_[symbol]) / price_[symbol] * 0.001;
+    if (options_.v_probability > 0 && rng_.OneIn(options_.v_probability)) {
+      // Plant a V: force v_depth down-ticks then one rebound, starting with
+      // the next tick of this symbol.
+      for (int i = 0; i < options_.v_depth; ++i) {
+        scripted_[symbol].push_back(-options_.v_step *
+                                    rng_.UniformDouble(0.8, 1.2));
+      }
+      scripted_[symbol].push_back(options_.v_rebound *
+                                  rng_.UniformDouble(0.8, 1.2));
+    }
+  }
+
+  price_[symbol] = std::clamp(price_[symbol] * (1.0 + rel_move), 1.0, 1000.0);
+
+  Event e(schema_, next_ts_,
+          {Value::String("S" + std::to_string(symbol)),
+           Value::Float(price_[symbol]), Value::Int(rng_.UniformInt(1, 10000))});
+  next_ts_ += options_.base.interval_micros;
+  return e;
+}
+
+}  // namespace cepr

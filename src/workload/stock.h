@@ -1,0 +1,59 @@
+#ifndef CEPR_WORKLOAD_STOCK_H_
+#define CEPR_WORKLOAD_STOCK_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace cepr {
+
+/// Options for the stock-tick generator.
+struct StockOptions {
+  GeneratorOptions base;
+  /// Number of distinct symbols ("S0".."S{n-1}").
+  int num_symbols = 10;
+  /// Zipf skew of symbol popularity (0 = uniform).
+  double symbol_skew = 0.5;
+  /// Per-tick relative price noise (stddev of the random walk step).
+  double volatility = 0.01;
+  /// Probability that a tick starts a planted V-shape episode: `v_depth`
+  /// consecutive down-ticks followed by a sharp rebound — the canonical
+  /// "falling pattern then recovery" CEPR stock demo query. Controls match
+  /// density for the experiments.
+  double v_probability = 0.01;
+  /// Number of forced down-ticks in a planted V.
+  int v_depth = 4;
+  /// Relative size of each forced down-tick and of the rebound.
+  double v_step = 0.02;
+  double v_rebound = 0.1;
+};
+
+/// Stock(symbol STRING, price FLOAT RANGE [1, 1000], volume INT RANGE
+/// [1, 10000]): a mean-reverting random walk per symbol, with optional
+/// planted V-shape crash/recovery episodes.
+class StockGenerator : public WorkloadGenerator {
+ public:
+  explicit StockGenerator(const StockOptions& options);
+
+  /// The Stock schema (with declared ranges, enabling score pruning).
+  static SchemaPtr MakeSchema();
+
+  const SchemaPtr& schema() const override { return schema_; }
+  Event Next() override;
+
+ private:
+  StockOptions options_;
+  SchemaPtr schema_;
+  Random rng_;
+  ZipfSampler symbol_sampler_;
+  Timestamp next_ts_;
+  std::vector<double> price_;                   // per symbol
+  std::vector<std::deque<double>> scripted_;    // forced relative moves
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_WORKLOAD_STOCK_H_

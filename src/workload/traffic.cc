@@ -1,0 +1,71 @@
+#include "workload/traffic.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cepr {
+
+SchemaPtr TrafficGenerator::MakeSchema() {
+  // One shared instance: the Engine matches events to streams by schema
+  // object identity, so every generator and harness must use the same one.
+  static const SchemaPtr* kSchema = nullptr;
+  if (kSchema != nullptr) return *kSchema;
+  auto schema = Schema::Make(
+      "Traffic",
+      {
+          Attribute{"sensor", ValueType::kInt, AttributeRange{0.0, 1e6}},
+          Attribute{"speed", ValueType::kFloat, AttributeRange{0.0, 130.0}},
+          Attribute{"occupancy", ValueType::kFloat, AttributeRange{0.0, 1.0}},
+          Attribute{"vehicles", ValueType::kInt, AttributeRange{0.0, 200.0}},
+      });
+  CEPR_CHECK(schema.ok());
+  kSchema = new SchemaPtr(schema.value());
+  return *kSchema;
+}
+
+TrafficGenerator::TrafficGenerator(const TrafficOptions& options)
+    : options_(options),
+      schema_(MakeSchema()),
+      rng_(options.base.seed),
+      next_ts_(options.base.start_ts),
+      speed_(static_cast<size_t>(std::max(options.num_sensors, 1))),
+      occupancy_(speed_.size()),
+      jam_remaining_(speed_.size(), 0) {
+  for (size_t i = 0; i < speed_.size(); ++i) {
+    speed_[i] = rng_.UniformDouble(80.0, 120.0);
+    occupancy_[i] = rng_.UniformDouble(0.05, 0.2);
+  }
+}
+
+Event TrafficGenerator::Next() {
+  const auto sensor =
+      static_cast<size_t>(rng_.Uniform(static_cast<uint64_t>(speed_.size())));
+
+  if (jam_remaining_[sensor] > 0) {
+    speed_[sensor] *= rng_.UniformDouble(0.6, 0.85);
+    occupancy_[sensor] += rng_.UniformDouble(0.05, 0.15);
+    --jam_remaining_[sensor];
+    if (jam_remaining_[sensor] == 0) {
+      speed_[sensor] = rng_.UniformDouble(80.0, 120.0);
+      occupancy_[sensor] = rng_.UniformDouble(0.05, 0.2);
+    }
+  } else {
+    speed_[sensor] += rng_.NextGaussian() * 3.0;
+    occupancy_[sensor] += rng_.NextGaussian() * 0.01;
+    if (rng_.OneIn(options_.jam_probability)) {
+      jam_remaining_[sensor] = options_.jam_length;
+    }
+  }
+  speed_[sensor] = std::clamp(speed_[sensor], 0.0, 130.0);
+  occupancy_[sensor] = std::clamp(occupancy_[sensor], 0.0, 1.0);
+
+  Event e(schema_, next_ts_,
+          {Value::Int(static_cast<int64_t>(sensor)), Value::Float(speed_[sensor]),
+           Value::Float(occupancy_[sensor]),
+           Value::Int(rng_.UniformInt(0, 200))});
+  next_ts_ += options_.base.interval_micros;
+  return e;
+}
+
+}  // namespace cepr

@@ -1,0 +1,44 @@
+#ifndef CEPR_WORKLOAD_TRAFFIC_H_
+#define CEPR_WORKLOAD_TRAFFIC_H_
+
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace cepr {
+
+/// Options for the road-sensor generator.
+struct TrafficOptions {
+  GeneratorOptions base;
+  int num_sensors = 16;
+  /// Probability that a reading starts a congestion episode: speed decays
+  /// over `jam_length` readings while occupancy climbs, then clears — the
+  /// traffic-monitoring CEPR demo scenario.
+  double jam_probability = 0.004;
+  int jam_length = 8;
+};
+
+/// Traffic(sensor INT, speed FLOAT RANGE [0, 130], occupancy FLOAT RANGE
+/// [0, 1], vehicles INT RANGE [0, 200]).
+class TrafficGenerator : public WorkloadGenerator {
+ public:
+  explicit TrafficGenerator(const TrafficOptions& options);
+
+  static SchemaPtr MakeSchema();
+
+  const SchemaPtr& schema() const override { return schema_; }
+  Event Next() override;
+
+ private:
+  TrafficOptions options_;
+  SchemaPtr schema_;
+  Random rng_;
+  Timestamp next_ts_;
+  std::vector<double> speed_;      // per sensor
+  std::vector<double> occupancy_;
+  std::vector<int> jam_remaining_;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_WORKLOAD_TRAFFIC_H_

@@ -1,0 +1,113 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace cepr {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_EQ(h.mean(), 100.0);
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  for (int v : {10, 20, 30, 40}) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+}
+
+TEST(HistogramTest, PercentilesAreMonotone) {
+  Histogram h;
+  Random rng(42);
+  for (int i = 0; i < 10000; ++i) h.Record(static_cast<int64_t>(rng.Uniform(100000)));
+  double prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, PercentileApproximatesUniform) {
+  Histogram h;
+  for (int i = 0; i < 100000; ++i) h.Record(i);
+  // Exponential buckets give ~25% relative resolution; check loose bands.
+  EXPECT_NEAR(h.Percentile(50), 50000, 15000);
+  EXPECT_NEAR(h.Percentile(90), 90000, 20000);
+}
+
+TEST(HistogramTest, ExtremePercentilesHitMinMax) {
+  Histogram h;
+  for (int v : {3, 7, 1000, 4000}) h.Record(v);
+  EXPECT_EQ(h.Percentile(0), 3.0);
+  EXPECT_EQ(h.Percentile(100), 4000.0);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) a.Record(10);
+  for (int i = 0; i < 100; ++i) b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_DOUBLE_EQ(a.mean(), 505.0);
+}
+
+TEST(HistogramTest, MergeWithEmptyIsNoop) {
+  Histogram a;
+  a.Record(5);
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 5);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Record(int64_t{1} << 62);
+  h.Record(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), int64_t{1} << 62);
+  EXPECT_GE(h.Percentile(99), 1.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Record(1);
+  EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cepr

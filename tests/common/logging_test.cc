@@ -1,0 +1,66 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace cepr {
+namespace {
+
+TEST(LoggingTest, CheckPassesSilently) {
+  CEPR_CHECK(1 + 1 == 2);
+  CEPR_CHECK_EQ(4, 4);
+  CEPR_CHECK_NE(4, 5);
+  CEPR_CHECK_LT(1, 2);
+  CEPR_CHECK_LE(2, 2);
+  CEPR_CHECK_GT(3, 2);
+  CEPR_CHECK_GE(3, 3);
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(CEPR_CHECK(1 == 2) << "context " << 42,
+               "Check failed: 1 == 2 context 42");
+}
+
+TEST(LoggingDeathTest, CheckEqFailureAborts) {
+  const int x = 3;
+  EXPECT_DEATH(CEPR_CHECK_EQ(x, 4), "Check failed");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH(CEPR_LOG(FATAL) << "boom", "boom");
+}
+
+TEST(LoggingTest, LevelsFilterOutput) {
+  // Below-threshold messages must not reach stderr.
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  CEPR_LOG(INFO) << "hidden info";
+  CEPR_LOG(WARNING) << "hidden warning";
+  CEPR_LOG(ERROR) << "visible error";
+  const std::string err = testing::internal::GetCapturedStderr();
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(err.find("hidden info"), std::string::npos);
+  EXPECT_EQ(err.find("hidden warning"), std::string::npos);
+  EXPECT_NE(err.find("visible error"), std::string::npos);
+}
+
+TEST(LoggingTest, MessagesCarryFileAndLevelTag) {
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  CEPR_LOG(WARNING) << "tagged";
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[WARN logging_test.cc:"), std::string::npos);
+  EXPECT_NE(err.find("tagged"), std::string::npos);
+}
+
+TEST(LoggingTest, DcheckCompiledPerBuildType) {
+#ifdef NDEBUG
+  CEPR_DCHECK(false);  // compiled out in release builds
+  SUCCEED();
+#else
+  EXPECT_DEATH(CEPR_DCHECK(false), "Check failed");
+#endif
+}
+
+}  // namespace
+}  // namespace cepr

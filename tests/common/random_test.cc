@@ -1,0 +1,142 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cepr {
+namespace {
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformStaysInBound) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random rng(7);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[rng.Uniform(10)];
+  for (int count : seen) {
+    EXPECT_GT(count, 800);  // ~1000 expected
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(RandomTest, UniformIntInclusiveBounds) {
+  Random rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, GaussianMomentsRoughlyStandard) {
+  Random rng(5);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RandomTest, OneInExtremes) {
+  Random rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.OneIn(0.0));
+    EXPECT_TRUE(rng.OneIn(1.0));
+  }
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfSampler zipf(10, 0.0, 42);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 20000; ++i) ++seen[zipf.Next()];
+  for (int count : seen) {
+    EXPECT_GT(count, 1600);
+    EXPECT_LT(count, 2400);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowRanks) {
+  ZipfSampler zipf(100, 1.2, 42);
+  int low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Next() < 10) ++low;
+  }
+  // With theta=1.2 over 100 items, the first 10 ranks carry well over half
+  // the mass.
+  EXPECT_GT(low, n / 2);
+}
+
+TEST(ZipfTest, AlwaysInRange) {
+  ZipfSampler zipf(7, 0.9, 1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(), 7u);
+}
+
+TEST(ZipfTest, SingleItemAlwaysZero) {
+  ZipfSampler zipf(1, 1.0, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(), 0u);
+}
+
+// Property sweep: monotone rank frequencies for a range of skews.
+class ZipfSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewTest, FrequencyDecreasesWithRank) {
+  const double theta = GetParam();
+  ZipfSampler zipf(20, theta, 42);
+  std::vector<int> seen(20, 0);
+  for (int i = 0; i < 50000; ++i) ++seen[zipf.Next()];
+  // Compare aggregated halves to tolerate sampling noise.
+  const int first_half = std::accumulate(seen.begin(), seen.begin() + 10, 0);
+  const int second_half = std::accumulate(seen.begin() + 10, seen.end(), 0);
+  EXPECT_GT(first_half, second_half);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewTest,
+                         ::testing::Values(0.2, 0.5, 0.8, 1.0, 1.5));
+
+}  // namespace
+}  // namespace cepr

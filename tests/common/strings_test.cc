@@ -1,0 +1,81 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace cepr {
+namespace {
+
+TEST(SplitTest, Basic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, EmptyInput) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitTest, NoSeparator) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(JoinTest, RoundTripsSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(JoinTest, EmptyAndSingle) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("inner space kept"), "inner space kept");
+}
+
+TEST(CaseTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("SeLeCt"), "SELECT");
+  EXPECT_EQ(ToLower("a1_B2"), "a1_b2");
+}
+
+TEST(AffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("pattern", "pat"));
+  EXPECT_FALSE(StartsWith("pat", "pattern"));
+  EXPECT_TRUE(EndsWith("pattern", "ern"));
+  EXPECT_FALSE(EndsWith("ern", "pattern"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(EqualsIgnoreCaseTest, Matches) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "ab"));
+}
+
+TEST(FormatDoubleTest, IntegralGetsDecimalPoint) {
+  EXPECT_EQ(FormatDouble(42.0), "42.0");
+  EXPECT_EQ(FormatDouble(-3.0), "-3.0");
+}
+
+TEST(FormatDoubleTest, FractionPreserved) {
+  EXPECT_EQ(FormatDouble(2.5), "2.5");
+  EXPECT_EQ(FormatDouble(0.125), "0.125");
+}
+
+TEST(FormatDoubleTest, ScientificKeptAsIs) {
+  const std::string s = FormatDouble(1e20);
+  EXPECT_NE(s.find('e'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cepr

@@ -1,0 +1,279 @@
+// Tests for the extended pattern constructs: optional components (v?),
+// Kleene-star (v*), bounded Kleene (v{m,n}) and count-based WITHIN.
+
+#include <gtest/gtest.h>
+
+#include "engine/matcher.h"
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+using testing::StockSchema;
+using testing::Tick;
+
+class Rig {
+ public:
+  explicit Rig(const std::string& query_text,
+               MatcherOptions options = MatcherOptions{})
+      : plan_(CompileQueryText(query_text, StockSchema()).value()),
+        matcher_(plan_, options, nullptr, &stats_, &next_match_id_) {}
+
+  std::vector<Match> PushPrices(const std::vector<double>& prices) {
+    std::vector<Match> all;
+    uint64_t seq = 0;
+    for (double p : prices) {
+      Event e = Tick(static_cast<Timestamp>(seq) * 1000, p);
+      e.set_sequence(seq++);
+      std::vector<Match> out;
+      matcher_.OnEvent(std::make_shared<const Event>(std::move(e)), &out);
+      for (auto& m : out) all.push_back(std::move(m));
+    }
+    return all;
+  }
+
+  const MatcherStats& stats() const { return stats_; }
+
+ private:
+  CompiledQueryPtr plan_;
+  MatcherStats stats_;
+  uint64_t next_match_id_ = 0;
+  Matcher matcher_;
+};
+
+// -- Optional components ----------------------------------------------------
+
+TEST(OptionalTest, BindsWhenPresent) {
+  Rig rig(
+      "SELECT a.price, o.price, c.price FROM Stock MATCH PATTERN SEQ(a, o?, c) "
+      "WHERE a.price < 10 AND o.price > 500 AND c.price > 20 AND c.price < 400");
+  // 5, 600 (optional spike), 25.
+  const auto matches = rig.PushPrices({5, 600, 25});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].row[1], Value::Float(600));
+  EXPECT_EQ(matches[0].row[2], Value::Float(25));
+}
+
+TEST(OptionalTest, SkippedWhenAbsent) {
+  Rig rig(
+      "SELECT a.price, o.price, c.price FROM Stock MATCH PATTERN SEQ(a, o?, c) "
+      "WHERE a.price < 10 AND o.price > 500 AND c.price > 20 AND c.price < 400");
+  const auto matches = rig.PushPrices({5, 25});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_TRUE(matches[0].row[1].is_null());  // o absent -> NULL
+  EXPECT_EQ(matches[0].row[2], Value::Float(25));
+  // The optional variable's binding is empty.
+  EXPECT_TRUE(matches[0].bindings[1].empty());
+}
+
+TEST(OptionalTest, GreedyPreferenceUnderSkipTillNext) {
+  // An event satisfying both o and c binds o (earliest component wins);
+  // the match then needs a later c.
+  Rig rig(
+      "SELECT o.price, c.price FROM Stock MATCH PATTERN SEQ(a, o?, c) "
+      "WHERE a.price < 10 AND o.price > 20 AND c.price > 20");
+  const auto matches = rig.PushPrices({5, 30, 40});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].row[0], Value::Float(30));  // o took the first 30
+  EXPECT_EQ(matches[0].row[1], Value::Float(40));
+}
+
+TEST(OptionalTest, SkipTillAnyExploresBothReadings) {
+  Rig rig(
+      "SELECT o.price, c.price FROM Stock MATCH PATTERN SEQ(a, o?, c) "
+      "USING SKIP_TILL_ANY_MATCH "
+      "WHERE a.price < 10 AND o.price > 20 AND c.price > 20");
+  const auto matches = rig.PushPrices({5, 30, 40});
+  // {o=30,c=40}, {o absent,c=30}, {o absent,c=40}: 3 readings.
+  ASSERT_EQ(matches.size(), 3u);
+}
+
+TEST(OptionalTest, LeadingOptionalCanStartTheRunOrBeSkipped) {
+  Rig rig(
+      "SELECT o.price, c.price FROM Stock MATCH PATTERN SEQ(o?, c) "
+      "WHERE o.price < 10 AND c.price > 20");
+  // Two starts: 5 begins a run at o; 25 begins its own run directly at c
+  // (skipping the leading optional). Both complete on 25.
+  const auto with_o = rig.PushPrices({5, 25});
+  ASSERT_EQ(with_o.size(), 2u);
+  EXPECT_EQ(with_o[0].row[0], Value::Float(5));
+  EXPECT_TRUE(with_o[1].row[0].is_null());
+
+  Rig rig2(
+      "SELECT o.price, c.price FROM Stock MATCH PATTERN SEQ(o?, c) "
+      "WHERE o.price < 10 AND c.price > 20");
+  // No o candidate: 25 starts and completes the match alone.
+  const auto without_o = rig2.PushPrices({15, 25});
+  ASSERT_EQ(without_o.size(), 1u);
+  EXPECT_TRUE(without_o[0].row[0].is_null());
+}
+
+TEST(OptionalTest, ChainedOptionalsAllSkippable) {
+  Rig rig(
+      "SELECT o1.price, o2.price, c.price FROM Stock "
+      "MATCH PATTERN SEQ(a, o1?, o2?, c) "
+      "WHERE a.price < 10 AND o1.price > 100 AND o2.price > 200 "
+      "  AND c.price > 20 AND c.price < 100");
+  const auto matches = rig.PushPrices({5, 25});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_TRUE(matches[0].row[0].is_null());
+  EXPECT_TRUE(matches[0].row[1].is_null());
+  EXPECT_EQ(matches[0].row[2], Value::Float(25));
+}
+
+// -- Kleene star and bounds ---------------------------------------------------
+
+TEST(KleeneStarTest, ZeroIterationsAllowed) {
+  Rig rig(
+      "SELECT COUNT(b), c.price FROM Stock MATCH PATTERN SEQ(a, b*, c) "
+      "WHERE a.price < 10 AND b[i].price > 100 AND c.price > 20 "
+      "  AND c.price < 100");
+  // No b candidates: a=5, c=25 matches with COUNT(b)=0.
+  const auto matches = rig.PushPrices({5, 25});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].row[0], Value::Int(0));
+}
+
+TEST(KleeneStarTest, IterationsStillAccumulate) {
+  Rig rig(
+      "SELECT COUNT(b), c.price FROM Stock MATCH PATTERN SEQ(a, b*, c) "
+      "WHERE a.price < 10 AND b[i].price > 100 AND c.price > 20 "
+      "  AND c.price < 100");
+  const auto matches = rig.PushPrices({5, 150, 160, 25});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].row[0], Value::Int(2));
+}
+
+TEST(KleeneBoundsTest, MinimumGatesClosing) {
+  Rig rig(
+      "SELECT COUNT(b) FROM Stock MATCH PATTERN SEQ(a, b{3,}, c) "
+      "WHERE a.price > 99 AND b[i].price < a.price AND c.price > a.price");
+  // Only 2 b-iterations before the c candidate: transition blocked; after a
+  // third, the next c closes.
+  const auto matches = rig.PushPrices({100, 50, 40, 110, 30, 120});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_GE(matches[0].row[0].AsInt(), 3);
+}
+
+TEST(KleeneBoundsTest, MaximumStopsExtension) {
+  Rig rig(
+      "SELECT COUNT(b), c.price FROM Stock MATCH PATTERN SEQ(a, b{1,2}, c) "
+      "WHERE a.price > 99 AND b[i].price < a.price AND c.price > a.price");
+  // Three candidates below a, but max 2 iterations; the third (30) is
+  // neither an extension nor a c -> ignored under skip-till-next.
+  const auto matches = rig.PushPrices({100, 50, 40, 30, 110});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].row[0], Value::Int(2));
+  EXPECT_EQ(matches[0].row[1], Value::Float(110));
+}
+
+TEST(KleeneBoundsTest, ExactCount) {
+  Rig rig(
+      "SELECT COUNT(b) FROM Stock MATCH PATTERN SEQ(a, b{2}, c) "
+      "WHERE a.price > 99 AND b[i].price < a.price AND c.price > a.price");
+  const auto matches = rig.PushPrices({100, 50, 40, 110});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].row[0], Value::Int(2));
+
+  Rig rig_short(
+      "SELECT COUNT(b) FROM Stock MATCH PATTERN SEQ(a, b{2}, c) "
+      "WHERE a.price > 99 AND b[i].price < a.price AND c.price > a.price");
+  EXPECT_TRUE(rig_short.PushPrices({100, 50, 110}).empty());
+}
+
+TEST(KleeneBoundsTest, SkipTillAnyRespectsBounds) {
+  Rig rig(
+      "SELECT COUNT(b) FROM Stock MATCH PATTERN SEQ(a, b{2,3}, c) "
+      "USING SKIP_TILL_ANY_MATCH "
+      "WHERE a.price > 99 AND b[i].price < a.price AND b[i].price > 10 "
+      "  AND c.price > a.price");
+  // Candidates {50, 40, 30}: subsets of size 2..3 = C(3,2)+C(3,3) = 4.
+  const auto matches = rig.PushPrices({100, 50, 40, 30, 110});
+  ASSERT_EQ(matches.size(), 4u);
+  for (const Match& m : matches) {
+    EXPECT_GE(m.row[0].AsInt(), 2);
+    EXPECT_LE(m.row[0].AsInt(), 3);
+  }
+}
+
+// -- Count-based WITHIN --------------------------------------------------------
+
+TEST(WithinEventsTest, ExpiresRunsBySequenceDistance) {
+  Rig rig(
+      "SELECT a.price, c.price FROM Stock MATCH PATTERN SEQ(a, c) "
+      "WHERE a.price < 10 AND c.price > 20 "
+      "WITHIN 3 EVENTS");
+  // a at seq 0; c at seq 4 is > 3 events away -> expired.
+  EXPECT_TRUE(rig.PushPrices({5, 11, 12, 13, 25}).empty());
+  EXPECT_EQ(rig.stats().runs_expired, 1u);
+
+  Rig rig2(
+      "SELECT a.price, c.price FROM Stock MATCH PATTERN SEQ(a, c) "
+      "WHERE a.price < 10 AND c.price > 20 "
+      "WITHIN 3 EVENTS");
+  // c at seq 3 is exactly 3 events away -> inclusive, matches.
+  EXPECT_EQ(rig2.PushPrices({5, 11, 12, 25}).size(), 1u);
+}
+
+// -- Parser / analyzer acceptance for the new syntax --------------------------
+
+TEST(ExtendedSyntaxTest, ParseAndUnparseRoundTrip) {
+  for (const std::string text : {
+           "SELECT c.price FROM Stock MATCH PATTERN SEQ(a?, c)",
+           "SELECT c.price FROM Stock MATCH PATTERN SEQ(b*, c)",
+           "SELECT c.price FROM Stock MATCH PATTERN SEQ(b{2,5}, c)",
+           "SELECT c.price FROM Stock MATCH PATTERN SEQ(b{3}, c)",
+           "SELECT c.price FROM Stock MATCH PATTERN SEQ(b{2,}, c)",
+           "SELECT c.price FROM Stock MATCH PATTERN SEQ(a, c) WITHIN 5 EVENTS",
+       }) {
+    auto plan = CompileQueryText(text, StockSchema());
+    ASSERT_TRUE(plan.ok()) << text << ": " << plan.status().ToString();
+    // Unparse -> reparse -> same canonical text.
+    const std::string canonical = (*plan)->analyzed.ast.ToString();
+    auto again = CompileQueryText(canonical, StockSchema());
+    ASSERT_TRUE(again.ok()) << canonical << ": " << again.status().ToString();
+    EXPECT_EQ((*again)->analyzed.ast.ToString(), canonical);
+  }
+}
+
+TEST(ExtendedSyntaxTest, AnalyzerRejections) {
+  for (const std::string text : {
+           // Trailing skippable components.
+           "SELECT a.price FROM Stock MATCH PATTERN SEQ(a, o?)",
+           "SELECT a.price FROM Stock MATCH PATTERN SEQ(a, b*)",
+           "SELECT a.price FROM Stock MATCH PATTERN SEQ(a, b{0,3})",
+           // All-skippable patterns.
+           "SELECT o.price FROM Stock MATCH PATTERN SEQ(o?)",
+           // Bad bounds.
+           "SELECT c.price FROM Stock MATCH PATTERN SEQ(b{5,2}, c)",
+           "SELECT c.price FROM Stock MATCH PATTERN SEQ(b{0,0}, c)",
+           // Negated optional.
+           "SELECT c.price FROM Stock MATCH PATTERN SEQ(a, !n?, c)",
+       }) {
+    auto plan = CompileQueryText(text, StockSchema());
+    EXPECT_FALSE(plan.ok()) << text;
+  }
+}
+
+TEST(ExtendedSyntaxTest, OptionalVarUsableInSelect) {
+  auto plan = CompileQueryText(
+      "SELECT o.price FROM Stock MATCH PATTERN SEQ(a, o?, c)", StockSchema());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+}
+
+TEST(ExtendedSyntaxTest, BoundedKleeneIsKleeneForTypechecking) {
+  // Iteration refs and aggregates work on {m,n} variables.
+  EXPECT_TRUE(CompileQueryText(
+                  "SELECT MIN(b.price) FROM Stock MATCH PATTERN SEQ(a, b{2,4}, c) "
+                  "WHERE b[i].price < b[i-1].price",
+                  StockSchema())
+                  .ok());
+  // Plain VarRef on them is still rejected.
+  EXPECT_FALSE(CompileQueryText(
+                   "SELECT b.price FROM Stock MATCH PATTERN SEQ(a, b{2,4}, c)",
+                   StockSchema())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace cepr

@@ -1,0 +1,311 @@
+#include "engine/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+using testing::StockSchema;
+using testing::Tick;
+
+// Test rig: a matcher over one compiled query, fed Stock ticks.
+class Rig {
+ public:
+  explicit Rig(const std::string& query_text,
+               MatcherOptions options = MatcherOptions{})
+      : plan_(CompileQueryText(query_text, StockSchema()).value()),
+        matcher_(plan_, options, nullptr, &stats_, &next_match_id_) {}
+
+  // Pushes one event; returns matches it produced.
+  std::vector<Match> Push(Event event, uint64_t sequence) {
+    event.set_sequence(sequence);
+    std::vector<Match> out;
+    matcher_.OnEvent(std::make_shared<const Event>(std::move(event)), &out);
+    return out;
+  }
+
+  // Pushes a price series (1ms apart) and returns all matches.
+  std::vector<Match> PushPrices(const std::vector<double>& prices) {
+    std::vector<Match> all;
+    uint64_t seq = 0;
+    for (double p : prices) {
+      auto out = Push(Tick(static_cast<Timestamp>(seq) * 1000, p), seq);
+      for (auto& m : out) all.push_back(std::move(m));
+      ++seq;
+    }
+    return all;
+  }
+
+  const MatcherStats& stats() const { return stats_; }
+  size_t active_runs() const { return matcher_.active_runs(); }
+  const CompiledQueryPtr& plan() const { return plan_; }
+
+ private:
+  CompiledQueryPtr plan_;
+  MatcherStats stats_;
+  uint64_t next_match_id_ = 0;
+  Matcher matcher_;
+};
+
+TEST(MatcherTest, SimpleTwoStepSequence) {
+  Rig rig(
+      "SELECT a.price, c.price FROM Stock MATCH PATTERN SEQ(a, c) "
+      "WHERE a.price < 10 AND c.price > 20");
+  const auto matches = rig.PushPrices({5, 15, 25});
+  // a=5 -> c=25 (15 is skipped by skip-till-next).
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].row[0], Value::Float(5));
+  EXPECT_EQ(matches[0].row[1], Value::Float(25));
+}
+
+TEST(MatcherTest, EveryQualifyingStartCreatesARun) {
+  Rig rig(
+      "SELECT a.price, c.price FROM Stock MATCH PATTERN SEQ(a, c) "
+      "WHERE a.price < 10 AND c.price > 20");
+  const auto matches = rig.PushPrices({5, 6, 25});
+  // Two starts (5 and 6) both complete with 25.
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(rig.stats().runs_created, 2u);
+  EXPECT_EQ(rig.stats().runs_completed, 2u);
+}
+
+TEST(MatcherTest, KleeneBindsGreedilyUnderSkipTillNext) {
+  Rig rig(
+      "SELECT COUNT(b), MIN(b.price), c.price "
+      "FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "WHERE b[i].price < b[i-1].price AND b[1].price < a.price "
+      "  AND c.price > a.price");
+  const auto matches = rig.PushPrices({100, 90, 80, 70, 110});
+  // One run from a=100: b = 90,80,70 then c=110. (Runs from 90/80/70 as `a`
+  // also exist but their c must beat them; 110 qualifies for all four.)
+  ASSERT_GE(matches.size(), 1u);
+  const Match& m = matches[0];
+  EXPECT_EQ(m.row[0], Value::Int(3));
+  EXPECT_EQ(m.row[1], Value::Float(70));
+  EXPECT_EQ(m.row[2], Value::Float(110));
+}
+
+TEST(MatcherTest, TrailingKleeneEmitsPerExtension) {
+  Rig rig(
+      "SELECT COUNT(b) FROM Stock MATCH PATTERN SEQ(a, b+) "
+      "WHERE a.price > 99 AND b[i].price < a.price");
+  const auto matches = rig.PushPrices({100, 50, 40, 30});
+  // Each extension of b produces a (growing) match: counts 1, 2, 3.
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0].row[0], Value::Int(1));
+  EXPECT_EQ(matches[1].row[0], Value::Int(2));
+  EXPECT_EQ(matches[2].row[0], Value::Int(3));
+}
+
+TEST(MatcherTest, WithinExpiresRuns) {
+  Rig rig(
+      "SELECT a.price, c.price FROM Stock MATCH PATTERN SEQ(a, c) "
+      "WHERE a.price < 10 AND c.price > 20 "
+      "WITHIN 5 MILLISECONDS");
+  // Events are 1ms apart: a=5 at t=0 expires before c=25 at t=6ms.
+  const auto matches = rig.PushPrices({5, 11, 12, 13, 14, 15, 25});
+  EXPECT_TRUE(matches.empty());
+  EXPECT_EQ(rig.stats().runs_expired, 1u);
+}
+
+TEST(MatcherTest, WithinBoundaryIsInclusive) {
+  Rig rig(
+      "SELECT a.price FROM Stock MATCH PATTERN SEQ(a, c) "
+      "WHERE a.price < 10 AND c.price > 20 "
+      "WITHIN 2 MILLISECONDS");
+  // c arrives exactly 2ms after a: span == WITHIN passes.
+  const auto matches = rig.PushPrices({5, 11, 25});
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST(MatcherTest, StrictContiguityKillsOnGap) {
+  Rig rig(
+      "SELECT a.price, c.price FROM Stock MATCH PATTERN SEQ(a, c) "
+      "USING STRICT "
+      "WHERE a.price < 10 AND c.price > 20");
+  // 5, 15, 25: the 15 between a and c kills the strict run.
+  EXPECT_TRUE(rig.PushPrices({5, 15, 25}).empty());
+  EXPECT_GE(rig.stats().runs_killed_strict, 1u);
+
+  Rig rig2(
+      "SELECT a.price, c.price FROM Stock MATCH PATTERN SEQ(a, c) "
+      "USING STRICT "
+      "WHERE a.price < 10 AND c.price > 20");
+  EXPECT_EQ(rig2.PushPrices({5, 25}).size(), 1u);
+}
+
+TEST(MatcherTest, StrictContiguityAllowsKleeneRuns) {
+  Rig rig(
+      "SELECT COUNT(b) FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "USING STRICT "
+      "WHERE a.price > 99 AND b[i].price < b[i-1].price "
+      "  AND b[1].price < a.price AND c.price > a.price");
+  const auto matches = rig.PushPrices({100, 90, 80, 110});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].row[0], Value::Int(2));
+}
+
+TEST(MatcherTest, SkipTillAnyEnumeratesSubsequences) {
+  Rig rig(
+      "SELECT a.price, c.price FROM Stock MATCH PATTERN SEQ(a, c) "
+      "USING SKIP_TILL_ANY_MATCH "
+      "WHERE a.price < 10 AND c.price > 20");
+  const auto matches = rig.PushPrices({5, 25, 30});
+  // a=5 pairs with both 25 and 30.
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].row[1], Value::Float(25));
+  EXPECT_EQ(matches[1].row[1], Value::Float(30));
+}
+
+TEST(MatcherTest, SkipTillAnyKleeneSubsets) {
+  Rig rig(
+      "SELECT COUNT(b) FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "USING SKIP_TILL_ANY_MATCH "
+      "WHERE a.price > 99 AND b[i].price < a.price AND b[i].price > 10 "
+      "  AND c.price > a.price");
+  // a=100; b-candidates: 50, 40; c=110.
+  // Subsets of {50,40} with >=1 element: {50},{40},{50,40} -> 3 matches.
+  const auto matches = rig.PushPrices({100, 50, 40, 110});
+  ASSERT_EQ(matches.size(), 3u);
+  int total = 0;
+  for (const auto& m : matches) total += static_cast<int>(m.row[0].AsInt());
+  EXPECT_EQ(total, 1 + 1 + 2);
+}
+
+TEST(MatcherTest, NegationKillsWaitingRuns) {
+  Rig rig(
+      "SELECT a.price, c.price FROM Stock MATCH PATTERN SEQ(a, !n, c) "
+      "WHERE a.price < 10 AND n.price > 500 AND c.price > 20 AND c.price < 400");
+  // Without the spike: match. With a >500 spike between: killed.
+  EXPECT_EQ(rig.PushPrices({5, 25}).size(), 1u);
+
+  Rig rig2(
+      "SELECT a.price, c.price FROM Stock MATCH PATTERN SEQ(a, !n, c) "
+      "WHERE a.price < 10 AND n.price > 500 AND c.price > 20 AND c.price < 400");
+  EXPECT_TRUE(rig2.PushPrices({5, 600, 25}).empty());
+  EXPECT_EQ(rig2.stats().runs_killed_negation, 1u);
+}
+
+TEST(MatcherTest, NegationEventCanStillBeTheNextComponent) {
+  // An event matching both c's begin predicate and n's predicate binds c —
+  // it is not "between" a and c.
+  Rig rig(
+      "SELECT c.price FROM Stock MATCH PATTERN SEQ(a, !n, c) "
+      "WHERE a.price < 10 AND n.price > 20 AND c.price > 20");
+  const auto matches = rig.PushPrices({5, 25});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].row[0], Value::Float(25));
+}
+
+TEST(MatcherTest, ExitPredicateGatesTransitionWithoutKillingRun) {
+  Rig rig(
+      "SELECT COUNT(b), c.price FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "WHERE a.price > 99 AND b[i].price < a.price "
+      "  AND COUNT(b) >= 3 AND c.price > a.price");
+  // First candidate c (at count=2) must NOT close the pattern; after a third
+  // b the next c can.
+  const auto matches = rig.PushPrices({100, 50, 40, 110, 30, 120});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_GE(matches[0].row[0].AsInt(), 3);
+  EXPECT_EQ(matches[0].row[1], Value::Float(120));
+}
+
+TEST(MatcherTest, TypeTagsFilterComponents) {
+  Rig rig(
+      "SELECT a.price, c.price FROM Stock MATCH PATTERN SEQ(Buy a, Sell c)");
+  uint64_t seq = 0;
+  std::vector<Match> all;
+  auto push = [&](const std::string& tag, double price) {
+    Event e = Tick(static_cast<Timestamp>(seq) * 1000, price);
+    e.set_type_tag(tag);
+    auto out = rig.Push(std::move(e), seq++);
+    for (auto& m : out) all.push_back(std::move(m));
+  };
+  push("Sell", 1);  // cannot start (needs Buy)
+  push("Buy", 2);
+  push("Hold", 3);  // ignored
+  push("Sell", 4);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].row[0], Value::Float(2));
+  EXPECT_EQ(all[0].row[1], Value::Float(4));
+}
+
+TEST(MatcherTest, CapacityDropsOldestRun) {
+  MatcherOptions options;
+  options.max_active_runs = 2;
+  Rig rig(
+      "SELECT a.price, c.price FROM Stock MATCH PATTERN SEQ(a, c) "
+      "WHERE a.price < 10 AND c.price > 20",
+      options);
+  // Three starts with capacity 2: the first run (a=1) is dropped.
+  const auto matches = rig.PushPrices({1, 2, 3, 25});
+  EXPECT_EQ(rig.stats().runs_dropped_capacity, 1u);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].row[0], Value::Float(2));
+  EXPECT_EQ(matches[1].row[0], Value::Float(3));
+}
+
+TEST(MatcherTest, MatchMetadataSpansAndIds) {
+  Rig rig(
+      "SELECT a.price FROM Stock MATCH PATTERN SEQ(a, c) "
+      "WHERE a.price < 10 AND c.price > 20");
+  const auto matches = rig.PushPrices({5, 6, 25});
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].id, 0u);
+  EXPECT_EQ(matches[1].id, 1u);
+  EXPECT_EQ(matches[0].first_ts, 0);
+  EXPECT_EQ(matches[0].last_ts, 2000);
+  EXPECT_EQ(matches[1].first_ts, 1000);
+}
+
+TEST(MatcherTest, MatchBindingsExposeEvents) {
+  Rig rig(
+      "SELECT COUNT(b) FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "WHERE a.price > 99 AND b[i].price < a.price AND c.price > a.price");
+  const auto matches = rig.PushPrices({100, 50, 40, 110});
+  ASSERT_EQ(matches.size(), 1u);
+  const Match& m = matches[0];
+  ASSERT_EQ(m.bindings.size(), 3u);
+  EXPECT_EQ(m.bindings[0].size(), 1u);  // a
+  EXPECT_EQ(m.bindings[1].size(), 2u);  // b
+  EXPECT_EQ(m.bindings[2].size(), 1u);  // c
+  EXPECT_EQ(m.bindings[1][1]->ValueOf("price").value(), Value::Float(40));
+}
+
+TEST(MatcherTest, UnrankedScoreIsZero) {
+  Rig rig("SELECT a.price FROM Stock MATCH PATTERN SEQ(a)");
+  const auto matches = rig.PushPrices({5});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].score, 0.0);
+}
+
+TEST(MatcherTest, RankedScoreEvaluatedAtDetection) {
+  Rig rig(
+      "SELECT a.price FROM Stock MATCH PATTERN SEQ(a, c) "
+      "WHERE c.price > a.price "
+      "RANK BY c.price - a.price DESC");
+  const auto matches = rig.PushPrices({10, 25});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_DOUBLE_EQ(matches[0].score, 15.0);
+}
+
+TEST(MatcherTest, SingleComponentPatternMatchesEveryQualifyingEvent) {
+  Rig rig("SELECT a.price FROM Stock MATCH PATTERN SEQ(a) WHERE a.price > 10");
+  const auto matches = rig.PushPrices({5, 15, 20});
+  EXPECT_EQ(matches.size(), 2u);
+  EXPECT_EQ(rig.active_runs(), 0u);  // single-step runs retire immediately
+}
+
+TEST(MatcherTest, PeakRunsTracked) {
+  Rig rig(
+      "SELECT a.price FROM Stock MATCH PATTERN SEQ(a, c) "
+      "WHERE a.price < 10 AND c.price > 1000");  // c never fires
+  rig.PushPrices({1, 2, 3, 4});
+  EXPECT_EQ(rig.stats().peak_active_runs, 4u);
+  EXPECT_EQ(rig.active_runs(), 4u);
+}
+
+}  // namespace
+}  // namespace cepr

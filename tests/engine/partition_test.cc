@@ -1,0 +1,111 @@
+#include "engine/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+using testing::StockSchema;
+using testing::Tick;
+
+std::vector<Match> FeedTicks(PartitionedMatcher* pm,
+                       const std::vector<std::pair<std::string, double>>& ticks) {
+  std::vector<Match> all;
+  uint64_t seq = 0;
+  for (const auto& [symbol, price] : ticks) {
+    Event e = Tick(static_cast<Timestamp>(seq) * 1000, price, 100, symbol);
+    e.set_sequence(seq++);
+    std::vector<Match> out;
+    pm->OnEvent(std::make_shared<const Event>(std::move(e)), &out);
+    for (auto& m : out) all.push_back(std::move(m));
+  }
+  return all;
+}
+
+TEST(PartitionTest, UnpartitionedUsesOneMatcher) {
+  auto plan = CompileQueryText(
+      "SELECT a.price, c.price FROM Stock MATCH PATTERN SEQ(a, c) "
+      "WHERE a.price < 10 AND c.price > 20",
+      StockSchema());
+  PartitionedMatcher pm(plan.value(), MatcherOptions{}, nullptr);
+  const auto matches =
+      FeedTicks(&pm, {{"A", 5.0}, {"B", 25.0}});  // symbols mix freely
+  EXPECT_EQ(pm.num_partitions(), 1u);
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST(PartitionTest, PartitionByKeepsSymbolsApart) {
+  auto plan = CompileQueryText(
+      "SELECT a.symbol, a.price, c.price FROM Stock MATCH PATTERN SEQ(a, c) "
+      "PARTITION BY symbol "
+      "WHERE a.price < 10 AND c.price > 20",
+      StockSchema());
+  PartitionedMatcher pm(plan.value(), MatcherOptions{}, nullptr);
+  // A starts at 5; B's 25 must NOT complete A's run.
+  auto matches = FeedTicks(&pm, {{"A", 5.0}, {"B", 25.0}, {"A", 30.0}});
+  EXPECT_EQ(pm.num_partitions(), 2u);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].row[0], Value::String("A"));
+  EXPECT_EQ(matches[0].row[2], Value::Float(30.0));
+}
+
+TEST(PartitionTest, MatchIdsGloballyOrdered) {
+  auto plan = CompileQueryText(
+      "SELECT a.symbol FROM Stock MATCH PATTERN SEQ(a) WHERE a.price > 0",
+      StockSchema());
+  auto plan2 = plan.value();
+  // Re-compile with PARTITION BY to exercise the shared id counter.
+  auto partitioned = CompileQueryText(
+      "SELECT a.symbol FROM Stock MATCH PATTERN SEQ(a) PARTITION BY symbol "
+      "WHERE a.price > 0",
+      StockSchema());
+  PartitionedMatcher pm(partitioned.value(), MatcherOptions{}, nullptr);
+  const auto matches = FeedTicks(&pm, {{"A", 1}, {"B", 2}, {"A", 3}, {"C", 4}});
+  ASSERT_EQ(matches.size(), 4u);
+  for (size_t i = 0; i < matches.size(); ++i) {
+    EXPECT_EQ(matches[i].id, i);
+  }
+}
+
+TEST(PartitionTest, StatsAggregateAcrossPartitions) {
+  auto plan = CompileQueryText(
+      "SELECT a.symbol FROM Stock MATCH PATTERN SEQ(a, c) "
+      "PARTITION BY symbol WHERE a.price < 10 AND c.price > 1000",
+      StockSchema());
+  PartitionedMatcher pm(plan.value(), MatcherOptions{}, nullptr);
+  FeedTicks(&pm, {{"A", 1}, {"B", 2}, {"C", 3}});
+  EXPECT_EQ(pm.num_partitions(), 3u);
+  EXPECT_EQ(pm.stats().runs_created, 3u);
+  EXPECT_EQ(pm.active_runs(), 3u);
+  EXPECT_GT(pm.MemoryEstimate(), 0u);
+}
+
+TEST(PartitionTest, IntegerPartitionKeys) {
+  // Partition on the INT volume attribute to exercise non-string keys.
+  auto plan = CompileQueryText(
+      "SELECT a.volume FROM Stock MATCH PATTERN SEQ(a, c) "
+      "PARTITION BY volume WHERE c.price > a.price",
+      StockSchema());
+  PartitionedMatcher pm(plan.value(), MatcherOptions{}, nullptr);
+  std::vector<Match> all;
+  uint64_t seq = 0;
+  auto push = [&](double price, int64_t volume) {
+    Event e = Tick(static_cast<Timestamp>(seq) * 1000, price, volume);
+    e.set_sequence(seq++);
+    std::vector<Match> out;
+    pm.OnEvent(std::make_shared<const Event>(std::move(e)), &out);
+    for (auto& m : out) all.push_back(std::move(m));
+  };
+  push(10, 1);
+  push(20, 2);  // different partition: no completion
+  EXPECT_TRUE(all.empty());
+  push(30, 1);  // completes the volume=1 run
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].row[0], Value::Int(1));
+  EXPECT_EQ(pm.num_partitions(), 2u);
+}
+
+}  // namespace
+}  // namespace cepr

@@ -1,0 +1,54 @@
+#include "engine/window.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+using testing::StockSchema;
+
+CompiledQueryPtr Plan(const std::string& text) {
+  return CompileQueryText(text, StockSchema()).value();
+}
+
+TEST(WindowTest, SingleModeForOnComplete) {
+  auto a = ReportWindowAssigner::ForQuery(
+      *Plan("SELECT * FROM Stock MATCH PATTERN SEQ(a) EMIT ON COMPLETE"));
+  EXPECT_EQ(a.mode(), ReportWindowAssigner::Mode::kSingle);
+  EXPECT_EQ(a.WindowOf(0, 0), 0);
+  EXPECT_EQ(a.WindowOf(123456789, 999), 0);
+}
+
+TEST(WindowTest, TimeModeTumblesWithWithinSpan) {
+  auto a = ReportWindowAssigner::ForQuery(
+      *Plan("SELECT * FROM Stock MATCH PATTERN SEQ(a) "
+            "WITHIN 1 SECONDS EMIT ON WINDOW CLOSE"));
+  EXPECT_EQ(a.mode(), ReportWindowAssigner::Mode::kTime);
+  EXPECT_EQ(a.WindowOf(0, 0), 0);
+  EXPECT_EQ(a.WindowOf(999999, 0), 0);
+  EXPECT_EQ(a.WindowOf(1000000, 0), 1);
+  EXPECT_EQ(a.WindowOf(2500000, 0), 2);
+  EXPECT_EQ(a.WindowStart(2), 2000000);
+  EXPECT_EQ(a.WindowEnd(2), 3000000);
+}
+
+TEST(WindowTest, CountMode) {
+  auto a = ReportWindowAssigner::ForQuery(
+      *Plan("SELECT * FROM Stock MATCH PATTERN SEQ(a) EMIT EVERY 100 EVENTS"));
+  EXPECT_EQ(a.mode(), ReportWindowAssigner::Mode::kCount);
+  EXPECT_EQ(a.WindowOf(9999999, 0), 0);
+  EXPECT_EQ(a.WindowOf(0, 99), 0);
+  EXPECT_EQ(a.WindowOf(0, 100), 1);
+  EXPECT_EQ(a.WindowOf(0, 250), 2);
+}
+
+TEST(WindowTest, ToStringDescribesMode) {
+  auto a = ReportWindowAssigner::ForQuery(
+      *Plan("SELECT * FROM Stock MATCH PATTERN SEQ(a) EMIT EVERY 5 EVENTS"));
+  EXPECT_NE(a.ToString().find("every 5 events"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cepr

@@ -1,0 +1,83 @@
+#include "event/event.h"
+
+#include <gtest/gtest.h>
+
+namespace cepr {
+namespace {
+
+SchemaPtr TestSchema() {
+  return Schema::Make("Stock",
+                      {Attribute{"symbol", ValueType::kString, std::nullopt},
+                       Attribute{"price", ValueType::kFloat, std::nullopt}})
+      .value();
+}
+
+TEST(EventTest, BasicFields) {
+  auto schema = TestSchema();
+  Event e(schema, 1234, {Value::String("IBM"), Value::Float(42.0)});
+  EXPECT_EQ(e.timestamp(), 1234);
+  EXPECT_EQ(e.schema(), schema);
+  EXPECT_EQ(e.value(0), Value::String("IBM"));
+  EXPECT_EQ(e.value(1), Value::Float(42.0));
+  EXPECT_EQ(e.sequence(), 0u);
+  EXPECT_TRUE(e.type_tag().empty());
+}
+
+TEST(EventTest, ValueOfByName) {
+  Event e(TestSchema(), 0, {Value::String("IBM"), Value::Float(42.0)});
+  EXPECT_EQ(e.ValueOf("price").value(), Value::Float(42.0));
+  EXPECT_EQ(e.ValueOf("SYMBOL").value(), Value::String("IBM"));
+  EXPECT_FALSE(e.ValueOf("missing").ok());
+}
+
+TEST(EventTest, SettersWork) {
+  Event e(TestSchema(), 0, {Value::Null(), Value::Null()});
+  e.set_sequence(7);
+  e.set_type_tag("Buy");
+  e.set_timestamp(99);
+  EXPECT_EQ(e.sequence(), 7u);
+  EXPECT_EQ(e.type_tag(), "Buy");
+  EXPECT_EQ(e.timestamp(), 99);
+}
+
+TEST(EventTest, ToStringIncludesSchemaAndValues) {
+  Event e(TestSchema(), 5, {Value::String("A"), Value::Float(1.5)});
+  e.set_type_tag("Buy");
+  const std::string s = e.ToString();
+  EXPECT_NE(s.find("Stock/Buy@5"), std::string::npos);
+  EXPECT_NE(s.find("symbol='A'"), std::string::npos);
+  EXPECT_NE(s.find("price=1.5"), std::string::npos);
+}
+
+TEST(EventBuilderTest, BuildsBySettingNames) {
+  auto schema = TestSchema();
+  const Event e = EventBuilder(schema)
+                      .Set("price", Value::Float(10.5))
+                      .Set("symbol", Value::String("X"))
+                      .At(777)
+                      .Tagged("Sell")
+                      .Build();
+  EXPECT_EQ(e.timestamp(), 777);
+  EXPECT_EQ(e.type_tag(), "Sell");
+  EXPECT_EQ(e.value(0), Value::String("X"));
+  EXPECT_EQ(e.value(1), Value::Float(10.5));
+}
+
+TEST(EventBuilderTest, UnsetAttributesAreNull) {
+  const Event e = EventBuilder(TestSchema()).Set("price", Value::Float(1)).Build();
+  EXPECT_TRUE(e.value(0).is_null());
+  EXPECT_FALSE(e.value(1).is_null());
+}
+
+TEST(EventBuilderTest, ReusableForMultipleBuilds) {
+  EventBuilder b(TestSchema());
+  b.Set("price", Value::Float(1));
+  const Event e1 = b.At(1).Build();
+  const Event e2 = b.At(2).Build();
+  EXPECT_EQ(e1.timestamp(), 1);
+  EXPECT_EQ(e2.timestamp(), 2);
+  EXPECT_EQ(e1.value(1), e2.value(1));
+}
+
+}  // namespace
+}  // namespace cepr

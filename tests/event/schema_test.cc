@@ -1,0 +1,81 @@
+#include "event/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace cepr {
+namespace {
+
+std::vector<Attribute> StockAttrs() {
+  return {Attribute{"symbol", ValueType::kString, std::nullopt},
+          Attribute{"price", ValueType::kFloat, AttributeRange{1.0, 1000.0}},
+          Attribute{"volume", ValueType::kInt, std::nullopt}};
+}
+
+TEST(SchemaTest, MakeAndInspect) {
+  auto schema = Schema::Make("Stock", StockAttrs());
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ((*schema)->name(), "Stock");
+  EXPECT_EQ((*schema)->num_attributes(), 3u);
+  EXPECT_EQ((*schema)->attribute(1).name, "price");
+  ASSERT_TRUE((*schema)->attribute(1).range.has_value());
+  EXPECT_EQ((*schema)->attribute(1).range->hi, 1000.0);
+}
+
+TEST(SchemaTest, IndexOfIsCaseInsensitive) {
+  auto schema = Schema::Make("Stock", StockAttrs()).value();
+  EXPECT_EQ(schema->IndexOf("price").value(), 1u);
+  EXPECT_EQ(schema->IndexOf("PRICE").value(), 1u);
+  EXPECT_EQ(schema->IndexOf("Volume").value(), 2u);
+  EXPECT_FALSE(schema->IndexOf("missing").ok());
+}
+
+TEST(SchemaTest, RejectsEmptyStreamName) {
+  EXPECT_FALSE(Schema::Make("", StockAttrs()).ok());
+}
+
+TEST(SchemaTest, RejectsEmptyAttributeName) {
+  EXPECT_FALSE(
+      Schema::Make("S", {Attribute{"", ValueType::kInt, std::nullopt}}).ok());
+}
+
+TEST(SchemaTest, RejectsDuplicateAttributesCaseInsensitively) {
+  auto result = Schema::Make("S", {Attribute{"x", ValueType::kInt, std::nullopt},
+                                   Attribute{"X", ValueType::kFloat, std::nullopt}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsNullTypedAttribute) {
+  EXPECT_FALSE(
+      Schema::Make("S", {Attribute{"x", ValueType::kNull, std::nullopt}}).ok());
+}
+
+TEST(SchemaTest, RejectsRangeOnNonNumeric) {
+  EXPECT_FALSE(Schema::Make("S", {Attribute{"s", ValueType::kString,
+                                            AttributeRange{0, 1}}})
+                   .ok());
+}
+
+TEST(SchemaTest, RejectsEmptyRange) {
+  EXPECT_FALSE(
+      Schema::Make("S", {Attribute{"x", ValueType::kFloat, AttributeRange{5, 1}}})
+          .ok());
+}
+
+TEST(SchemaTest, ToStringShowsTypesAndRanges) {
+  auto schema = Schema::Make("Stock", StockAttrs()).value();
+  const std::string s = schema->ToString();
+  EXPECT_NE(s.find("Stock("), std::string::npos);
+  EXPECT_NE(s.find("symbol STRING"), std::string::npos);
+  EXPECT_NE(s.find("price FLOAT RANGE [1.0, 1000.0]"), std::string::npos);
+  EXPECT_NE(s.find("volume INT"), std::string::npos);
+}
+
+TEST(SchemaTest, ZeroAttributeSchemaAllowed) {
+  auto schema = Schema::Make("Heartbeat", {});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ((*schema)->num_attributes(), 0u);
+}
+
+}  // namespace
+}  // namespace cepr

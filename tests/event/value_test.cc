@@ -1,0 +1,105 @@
+#include "event/value.h"
+
+#include <gtest/gtest.h>
+
+namespace cepr {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int(-9).AsInt(), -9);
+  EXPECT_DOUBLE_EQ(Value::Float(2.5).AsFloat(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, AsNumericCoversIntAndFloat) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsNumeric().value(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Float(3.5).AsNumeric().value(), 3.5);
+  EXPECT_FALSE(Value::String("x").AsNumeric().ok());
+  EXPECT_FALSE(Value::Null().AsNumeric().ok());
+  EXPECT_FALSE(Value::Bool(true).AsNumeric().ok());
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value::Int(2), Value::Float(2.0));
+  EXPECT_EQ(Value::Float(2.0), Value::Int(2));
+  EXPECT_NE(Value::Int(2), Value::Float(2.5));
+}
+
+TEST(ValueTest, SameTypeEquality) {
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+  EXPECT_NE(Value::String("a"), Value::String("b"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value::Bool(false), Value::Bool(false));
+  EXPECT_NE(Value::Bool(false), Value::Bool(true));
+}
+
+TEST(ValueTest, CrossTypeInequality) {
+  EXPECT_NE(Value::String("1"), Value::Int(1));
+  EXPECT_NE(Value::Bool(true), Value::Int(1));
+  EXPECT_NE(Value::Null(), Value::Int(0));
+}
+
+TEST(ValueTest, OrderingNumeric) {
+  EXPECT_LT(Value::Int(1), Value::Float(1.5));
+  EXPECT_LT(Value::Float(1.5), Value::Int(2));
+  EXPECT_FALSE(Value::Int(2) < Value::Int(2));
+}
+
+TEST(ValueTest, OrderingStrings) {
+  EXPECT_LT(Value::String("abc"), Value::String("abd"));
+  EXPECT_FALSE(Value::String("b") < Value::String("a"));
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null(), Value::Int(-1000000));
+  EXPECT_LT(Value::Null(), Value::String(""));
+  EXPECT_FALSE(Value::Int(0) < Value::Null());
+}
+
+TEST(ValueTest, ToStringLiteralSyntax) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "TRUE");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Float(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+}
+
+TEST(ValueTest, ToStringEscapesQuotes) {
+  EXPECT_EQ(Value::String("it's").ToString(), "'it''s'");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Float(5.0).Hash());
+  EXPECT_EQ(Value::String("key").Hash(), Value::String("key").Hash());
+}
+
+TEST(ValueTypeTest, Names) {
+  EXPECT_STREQ(ValueTypeToString(ValueType::kInt), "INT");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kFloat), "FLOAT");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kString), "STRING");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kBool), "BOOL");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kNull), "NULL");
+}
+
+TEST(ValueTypeTest, FromStringAliases) {
+  EXPECT_EQ(ValueTypeFromString("int").value(), ValueType::kInt);
+  EXPECT_EQ(ValueTypeFromString("INTEGER").value(), ValueType::kInt);
+  EXPECT_EQ(ValueTypeFromString("BIGINT").value(), ValueType::kInt);
+  EXPECT_EQ(ValueTypeFromString("double").value(), ValueType::kFloat);
+  EXPECT_EQ(ValueTypeFromString("REAL").value(), ValueType::kFloat);
+  EXPECT_EQ(ValueTypeFromString("varchar").value(), ValueType::kString);
+  EXPECT_EQ(ValueTypeFromString("TEXT").value(), ValueType::kString);
+  EXPECT_EQ(ValueTypeFromString("BOOLEAN").value(), ValueType::kBool);
+  EXPECT_FALSE(ValueTypeFromString("blob").ok());
+}
+
+}  // namespace
+}  // namespace cepr

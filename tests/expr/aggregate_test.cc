@@ -1,0 +1,134 @@
+#include "expr/aggregate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "expr/typecheck.h"
+#include "lang/parser.h"
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+using testing::AbcLayout;
+using testing::Tick;
+
+ExprPtr Resolved(const std::string& text) {
+  auto layout = AbcLayout();
+  auto e = ParseExpression(text).value();
+  auto st = TypeCheck(e.get(), layout, ExprContext::kOutput);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return e;
+}
+
+TEST(AssignAggSlotsTest, DedupesIdenticalAggregates) {
+  ExprPtr e1 = Resolved("MIN(b.price) + MIN(b.price)");
+  std::vector<Expr*> exprs = {e1.get()};
+  const auto specs = AssignAggSlots(exprs);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(e1->children[0]->agg_slot, 0);
+  EXPECT_EQ(e1->children[1]->agg_slot, 0);
+}
+
+TEST(AssignAggSlotsTest, SumAndAvgShareASlot) {
+  ExprPtr e = Resolved("SUM(b.volume) + AVG(b.volume)");
+  std::vector<Expr*> exprs = {e.get()};
+  const auto specs = AssignAggSlots(exprs);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].kind, AggStorageKind::kSum);
+  EXPECT_EQ(e->children[0]->agg_slot, e->children[1]->agg_slot);
+}
+
+TEST(AssignAggSlotsTest, DistinctAggregatesGetDistinctSlots) {
+  ExprPtr e = Resolved("MIN(b.price) + MAX(b.price) + SUM(b.price)");
+  std::vector<Expr*> exprs = {e.get()};
+  const auto specs = AssignAggSlots(exprs);
+  EXPECT_EQ(specs.size(), 3u);
+}
+
+TEST(AssignAggSlotsTest, DifferentAttributesDifferentSlots) {
+  ExprPtr e = Resolved("MIN(b.price) + MIN(b.volume)");
+  std::vector<Expr*> exprs = {e.get()};
+  EXPECT_EQ(AssignAggSlots(exprs).size(), 2u);
+}
+
+TEST(AssignAggSlotsTest, SharedAcrossExpressions) {
+  ExprPtr e1 = Resolved("MIN(b.price)");
+  ExprPtr e2 = Resolved("MIN(b.price) * 2");
+  std::vector<Expr*> exprs = {e1.get(), e2.get()};
+  const auto specs = AssignAggSlots(exprs);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(e1->agg_slot, 0);
+  EXPECT_EQ(e2->children[0]->agg_slot, 0);
+}
+
+TEST(AssignAggSlotsTest, CountFirstLastNeedNoSlot) {
+  ExprPtr e = Resolved("COUNT(b) + FIRST(b).volume + LAST(b).volume");
+  std::vector<Expr*> exprs = {e.get()};
+  EXPECT_TRUE(AssignAggSlots(exprs).empty());
+}
+
+TEST(AggStatesTest, InitialValuesPerKind) {
+  const std::vector<AggSpec> specs = {{AggStorageKind::kMin, 1, 1},
+                                      {AggStorageKind::kMax, 1, 1},
+                                      {AggStorageKind::kSum, 1, 1}};
+  AggStates states(&specs);
+  EXPECT_TRUE(std::isinf(states.value(0)));
+  EXPECT_GT(states.value(0), 0);  // +inf
+  EXPECT_TRUE(std::isinf(states.value(1)));
+  EXPECT_LT(states.value(1), 0);  // -inf
+  EXPECT_EQ(states.value(2), 0.0);
+}
+
+TEST(AggStatesTest, AcceptUpdatesOnlyMatchingVariable) {
+  const std::vector<AggSpec> specs = {{AggStorageKind::kSum, 1, 1},
+                                      {AggStorageKind::kSum, 2, 1}};
+  AggStates states(&specs);
+  states.Accept(1, Tick(0, 10.0));
+  EXPECT_EQ(states.value(0), 10.0);
+  EXPECT_EQ(states.value(1), 0.0);
+}
+
+TEST(AggStatesTest, IncrementalMinMaxSum) {
+  const std::vector<AggSpec> specs = {{AggStorageKind::kMin, 1, 1},
+                                      {AggStorageKind::kMax, 1, 1},
+                                      {AggStorageKind::kSum, 1, 1}};
+  AggStates states(&specs);
+  for (double p : {20.0, 5.0, 12.0}) states.Accept(1, Tick(0, p));
+  EXPECT_EQ(states.value(0), 5.0);
+  EXPECT_EQ(states.value(1), 20.0);
+  EXPECT_EQ(states.value(2), 37.0);
+}
+
+TEST(AggStatesTest, TimestampAggregation) {
+  const std::vector<AggSpec> specs = {{AggStorageKind::kMax, 1, kTimestampAttr}};
+  AggStates states(&specs);
+  states.Accept(1, Tick(100, 1.0));
+  states.Accept(1, Tick(250, 1.0));
+  EXPECT_EQ(states.value(0), 250.0);
+}
+
+TEST(AggStatesTest, NullCellsAreSkipped) {
+  const std::vector<AggSpec> specs = {{AggStorageKind::kSum, 1, 1}};
+  AggStates states(&specs);
+  Event with_null(testing::StockSchema(), 0,
+                  {Value::String("S"), Value::Null(), Value::Int(1)});
+  states.Accept(1, with_null);
+  EXPECT_EQ(states.value(0), 0.0);
+  states.Accept(1, Tick(1, 7.0));
+  EXPECT_EQ(states.value(0), 7.0);
+}
+
+TEST(AggStatesTest, CopyIsIndependent) {
+  const std::vector<AggSpec> specs = {{AggStorageKind::kSum, 1, 1}};
+  AggStates a(&specs);
+  a.Accept(1, Tick(0, 5.0));
+  AggStates b = a;  // fork, as in SKIP_TILL_ANY_MATCH
+  b.Accept(1, Tick(1, 5.0));
+  EXPECT_EQ(a.value(0), 5.0);
+  EXPECT_EQ(b.value(0), 10.0);
+}
+
+}  // namespace
+}  // namespace cepr

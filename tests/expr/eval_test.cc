@@ -1,0 +1,198 @@
+#include "expr/eval.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "expr/aggregate.h"
+#include "expr/typecheck.h"
+#include "lang/parser.h"
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+using testing::AbcLayout;
+using testing::FakeContext;
+using testing::Tick;
+
+// Parses, type checks (output context unless the text is boolean), assigns
+// aggregate slots, and evaluates against `ctx`.
+Value Eval(const std::string& text, const FakeContext& ctx,
+           ExprContext context = ExprContext::kOutput) {
+  auto layout = AbcLayout();
+  auto e = ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  auto st = TypeCheck(e->get(), layout, context);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  std::vector<Expr*> exprs = {e->get()};
+  AssignAggSlots(exprs);
+  auto v = Evaluate(**e, ctx);
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  return v.ok() ? *v : Value::Null();
+}
+
+TEST(EvalTest, Literals) {
+  FakeContext ctx(3);
+  EXPECT_EQ(Eval("42", ctx), Value::Int(42));
+  EXPECT_EQ(Eval("2.5", ctx), Value::Float(2.5));
+  EXPECT_EQ(Eval("'hi'", ctx), Value::String("hi"));
+  EXPECT_EQ(Eval("TRUE", ctx), Value::Bool(true));
+  EXPECT_EQ(Eval("NULL", ctx), Value::Null());
+}
+
+TEST(EvalTest, Arithmetic) {
+  FakeContext ctx(3);
+  EXPECT_EQ(Eval("2 + 3 * 4", ctx), Value::Int(14));
+  EXPECT_EQ(Eval("(2 + 3) * 4", ctx), Value::Int(20));
+  EXPECT_EQ(Eval("7 - 10", ctx), Value::Int(-3));
+  EXPECT_EQ(Eval("7 / 2", ctx), Value::Float(3.5));
+  EXPECT_EQ(Eval("7 % 3", ctx), Value::Int(1));
+  EXPECT_EQ(Eval("-(3 + 4)", ctx), Value::Int(-7));
+  EXPECT_EQ(Eval("2.5 + 1", ctx), Value::Float(3.5));
+}
+
+TEST(EvalTest, DivisionAndModByZeroYieldNull) {
+  FakeContext ctx(3);
+  EXPECT_TRUE(Eval("1 / 0", ctx).is_null());
+  EXPECT_TRUE(Eval("1 % 0", ctx).is_null());
+}
+
+TEST(EvalTest, Comparisons) {
+  FakeContext ctx(3);
+  EXPECT_EQ(Eval("1 < 2", ctx, ExprContext::kPredicate), Value::Bool(true));
+  EXPECT_EQ(Eval("2 <= 2", ctx, ExprContext::kPredicate), Value::Bool(true));
+  EXPECT_EQ(Eval("1 > 2", ctx, ExprContext::kPredicate), Value::Bool(false));
+  EXPECT_EQ(Eval("2 >= 3", ctx, ExprContext::kPredicate), Value::Bool(false));
+  EXPECT_EQ(Eval("2 = 2.0", ctx, ExprContext::kPredicate), Value::Bool(true));
+  EXPECT_EQ(Eval("2 != 2.0", ctx, ExprContext::kPredicate), Value::Bool(false));
+  EXPECT_EQ(Eval("'abc' < 'abd'", ctx, ExprContext::kPredicate), Value::Bool(true));
+  EXPECT_EQ(Eval("'b' >= 'b'", ctx, ExprContext::kPredicate), Value::Bool(true));
+}
+
+TEST(EvalTest, ThreeValuedLogic) {
+  FakeContext ctx(3);
+  // FALSE dominates AND; TRUE dominates OR, even against NULL.
+  EXPECT_EQ(Eval("FALSE AND (NULL = 1)", ctx, ExprContext::kPredicate),
+            Value::Bool(false));
+  EXPECT_EQ(Eval("TRUE OR (NULL = 1)", ctx, ExprContext::kPredicate),
+            Value::Bool(true));
+  EXPECT_TRUE(Eval("TRUE AND (NULL = 1)", ctx, ExprContext::kPredicate).is_null());
+  EXPECT_TRUE(Eval("FALSE OR (NULL = 1)", ctx, ExprContext::kPredicate).is_null());
+  EXPECT_EQ(Eval("NOT (1 > 2)", ctx, ExprContext::kPredicate), Value::Bool(true));
+}
+
+TEST(EvalTest, NullPropagatesThroughArithmetic) {
+  FakeContext ctx(3);  // a unbound -> a.price is NULL
+  EXPECT_TRUE(Eval("a.price + 1", ctx).is_null());
+  EXPECT_TRUE(Eval("-a.price", ctx).is_null());
+  EXPECT_TRUE(Eval("ABS(a.price)", ctx).is_null());
+}
+
+TEST(EvalTest, NullEqualsNullIsTrue) {
+  FakeContext ctx(3);
+  EXPECT_EQ(Eval("NULL = NULL", ctx, ExprContext::kPredicate), Value::Bool(true));
+  EXPECT_EQ(Eval("NULL != NULL", ctx, ExprContext::kPredicate), Value::Bool(false));
+  EXPECT_TRUE(Eval("a.price = NULL", ctx, ExprContext::kPredicate).is_null() ||
+              Eval("a.price = NULL", ctx, ExprContext::kPredicate) ==
+                  Value::Bool(true));
+}
+
+TEST(EvalTest, VarRefReadsBoundEvent) {
+  FakeContext ctx(3);
+  ctx.Bind(0, Tick(1000, 42.5, 7, "IBM"));
+  EXPECT_EQ(Eval("a.price", ctx), Value::Float(42.5));
+  EXPECT_EQ(Eval("a.symbol", ctx), Value::String("IBM"));
+  EXPECT_EQ(Eval("a.volume", ctx), Value::Int(7));
+  EXPECT_EQ(Eval("a.ts", ctx), Value::Int(1000));
+}
+
+TEST(EvalTest, IterRefsAddressKleeneBinding) {
+  FakeContext ctx(3);
+  ctx.Bind(1, Tick(1, 10)).Bind(1, Tick(2, 20)).Bind(1, Tick(3, 30));
+  const Event cand = Tick(4, 40);
+  ctx.Candidate(1, &cand);
+  EXPECT_EQ(Eval("b[i].price = 40", ctx, ExprContext::kPredicate),
+            Value::Bool(true));
+  EXPECT_EQ(Eval("b[i-1].price = 30", ctx, ExprContext::kPredicate),
+            Value::Bool(true));
+  EXPECT_EQ(Eval("b[1].price = 10", ctx, ExprContext::kPredicate),
+            Value::Bool(true));
+  EXPECT_EQ(Eval("b[i].price > b[i-1].price AND b[i-1].price > b[1].price", ctx,
+                 ExprContext::kPredicate),
+            Value::Bool(true));
+}
+
+// Helper: wraps a predicate evaluation with proper resolution.
+bool Predicate(const std::string& text, const FakeContext& ctx) {
+  auto layout = AbcLayout();
+  auto e = ParseExpression(text).value();
+  EXPECT_TRUE(TypeCheck(e.get(), layout, ExprContext::kPredicate).ok());
+  std::vector<Expr*> exprs = {e.get()};
+  AssignAggSlots(exprs);
+  auto r = EvaluatePredicate(*e, ctx);
+  EXPECT_TRUE(r.ok());
+  return r.ok() && r.value();
+}
+
+TEST(EvalTest, EvaluatePredicateNullIsFalse) {
+  FakeContext ctx(3);  // everything unbound
+  EXPECT_FALSE(Predicate("a.price > 10", ctx));
+  ctx.Bind(0, Tick(1, 50));
+  EXPECT_TRUE(Predicate("a.price > 10", ctx));
+}
+
+TEST(EvalTest, AggregatesFromContext) {
+  FakeContext ctx(3);
+  ctx.Bind(1, Tick(1, 10, 5)).Bind(1, Tick(2, 20, 6));
+  // MIN/MAX/SUM read their slot; FIRST/LAST/COUNT read bindings directly.
+  EXPECT_EQ(Eval("COUNT(b)", ctx), Value::Int(2));
+  EXPECT_EQ(Eval("FIRST(b).price", ctx), Value::Float(10));
+  EXPECT_EQ(Eval("LAST(b).price", ctx), Value::Float(20));
+
+  // Slot 0 will be assigned to the single aggregate in each expression.
+  ctx.Slot(0, 10.0);
+  EXPECT_EQ(Eval("MIN(b.price)", ctx), Value::Float(10));
+  ctx.Slot(0, 30.0);
+  EXPECT_EQ(Eval("SUM(b.volume)", ctx), Value::Int(30));
+  EXPECT_EQ(Eval("AVG(b.volume)", ctx), Value::Float(15.0));
+}
+
+TEST(EvalTest, AggregatesOnEmptyKleeneAreNull) {
+  FakeContext ctx(3);
+  ctx.Slot(0, 0.0);
+  EXPECT_TRUE(Eval("MIN(b.price)", ctx).is_null());
+  EXPECT_TRUE(Eval("AVG(b.price)", ctx).is_null());
+  EXPECT_EQ(Eval("COUNT(b)", ctx), Value::Int(0));
+  EXPECT_TRUE(Eval("FIRST(b).price", ctx).is_null());
+}
+
+TEST(EvalTest, ScalarFunctions) {
+  FakeContext ctx(3);
+  EXPECT_EQ(Eval("ABS(-5)", ctx), Value::Int(5));
+  EXPECT_EQ(Eval("ABS(-2.5)", ctx), Value::Float(2.5));
+  EXPECT_EQ(Eval("SQRT(9)", ctx), Value::Float(3.0));
+  EXPECT_TRUE(Eval("SQRT(-1)", ctx).is_null());
+  EXPECT_TRUE(Eval("LOG(0)", ctx).is_null());
+  EXPECT_EQ(Eval("EXP(0)", ctx), Value::Float(1.0));
+  EXPECT_EQ(Eval("FLOOR(2.7)", ctx), Value::Int(2));
+  EXPECT_EQ(Eval("CEIL(2.1)", ctx), Value::Int(3));
+  EXPECT_EQ(Eval("ROUND(2.5)", ctx), Value::Int(3));
+  EXPECT_EQ(Eval("LEAST(3, 7)", ctx), Value::Int(3));
+  EXPECT_EQ(Eval("GREATEST(3.5, 7)", ctx), Value::Float(7.0));
+  EXPECT_EQ(Eval("POW(2, 10)", ctx), Value::Float(1024.0));
+}
+
+TEST(EvalTest, EvaluateScoreMapsNullToNegInfinity) {
+  FakeContext ctx(3);
+  auto layout = AbcLayout();
+  auto e = ParseExpression("a.price * 2").value();
+  ASSERT_TRUE(TypeCheck(e.get(), layout, ExprContext::kOutput).ok());
+  // a unbound -> NULL -> -inf.
+  EXPECT_EQ(EvaluateScore(*e, ctx), -std::numeric_limits<double>::infinity());
+  ctx.Bind(0, Tick(1, 21));
+  EXPECT_DOUBLE_EQ(EvaluateScore(*e, ctx), 42.0);
+}
+
+}  // namespace
+}  // namespace cepr

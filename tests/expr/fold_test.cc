@@ -1,0 +1,114 @@
+#include "expr/fold.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/matcher.h"
+#include "expr/typecheck.h"
+#include "lang/parser.h"
+#include "plan/compiler.h"
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+using testing::AbcLayout;
+using testing::StockSchema;
+
+// Parses, resolves and folds an expression; returns its rendered form.
+std::string Fold(const std::string& text,
+                 ExprContext context = ExprContext::kOutput) {
+  auto layout = AbcLayout();
+  auto e = ParseExpression(text).value();
+  auto st = TypeCheck(e.get(), layout, context);
+  EXPECT_TRUE(st.ok()) << text << ": " << st.ToString();
+  return FoldConstants(std::move(e))->ToString();
+}
+
+TEST(FoldTest, ArithmeticCollapses) {
+  EXPECT_EQ(Fold("2 * 3 + 1"), "7");
+  EXPECT_EQ(Fold("10 / 4"), "2.5");
+  EXPECT_EQ(Fold("-(3 - 5)"), "2");
+  EXPECT_EQ(Fold("POW(2, 10)"), "1024.0");
+  EXPECT_EQ(Fold("UPPER('ibm')"), "'IBM'");
+  EXPECT_EQ(Fold("LENGTH(CONCAT('ab', 'c'))"), "3");
+}
+
+TEST(FoldTest, ComparisonsCollapse) {
+  EXPECT_EQ(Fold("1 > 2", ExprContext::kPredicate), "FALSE");
+  EXPECT_EQ(Fold("'a' < 'b'", ExprContext::kPredicate), "TRUE");
+}
+
+TEST(FoldTest, RuntimeSemanticsPreserved) {
+  // Folding uses the runtime evaluator: 1/0 folds to NULL, not an error.
+  EXPECT_EQ(Fold("1 / 0"), "NULL");
+  EXPECT_EQ(Fold("SQRT(-1)"), "NULL");
+}
+
+TEST(FoldTest, ReferencesBlockFolding) {
+  EXPECT_EQ(Fold("a.price + 1"), "(a.price + 1)");
+  // But constant subtrees under references still fold.
+  EXPECT_EQ(Fold("a.price + 2 * 3"), "(a.price + 6)");
+  EXPECT_EQ(Fold("MIN(b.price) * (1 + 1)"), "(MIN(b.price) * 2)");
+}
+
+TEST(FoldTest, BooleanIdentities) {
+  EXPECT_EQ(Fold("TRUE AND a.price > 1", ExprContext::kPredicate),
+            "(a.price > 1)");
+  EXPECT_EQ(Fold("a.price > 1 AND FALSE", ExprContext::kPredicate), "FALSE");
+  EXPECT_EQ(Fold("FALSE OR a.price > 1", ExprContext::kPredicate),
+            "(a.price > 1)");
+  EXPECT_EQ(Fold("a.price > 1 OR TRUE", ExprContext::kPredicate), "TRUE");
+  EXPECT_EQ(Fold("NOT (1 > 2)", ExprContext::kPredicate), "TRUE");
+}
+
+TEST(FoldTest, NestedIdentitiesCascade) {
+  EXPECT_EQ(Fold("(1 < 2 AND a.price > 1) OR (2 < 1)",
+                 ExprContext::kPredicate),
+            "(a.price > 1)");
+}
+
+TEST(FoldTest, CaseArmsPrune) {
+  // FALSE arms disappear; a leading TRUE arm collapses the whole CASE.
+  EXPECT_EQ(Fold("CASE WHEN 1 > 2 THEN 10 WHEN a.price > 1 THEN 20 "
+                 "ELSE 30 END"),
+            "CASE WHEN (a.price > 1) THEN 20 ELSE 30 END");
+  EXPECT_EQ(Fold("CASE WHEN 1 < 2 THEN 10 WHEN a.price > 1 THEN 20 END"),
+            "10");
+  EXPECT_EQ(Fold("CASE WHEN 1 > 2 THEN 10 ELSE 30 END"), "30");
+  EXPECT_EQ(Fold("CASE WHEN 1 > 2 THEN 10 END"), "NULL");
+}
+
+TEST(FoldTest, CompilerAppliesFolding) {
+  // A constant-true conjunct vanishes from the compiled predicate sets; the
+  // remaining conjunct is pre-simplified.
+  auto plan = CompileQueryText(
+                  "SELECT a.price FROM Stock MATCH PATTERN SEQ(a, c) "
+                  "WHERE 1 < 2 AND a.price > 2 * 5 AND c.price > a.price",
+                  StockSchema())
+                  .value();
+  // Folding happens before decomposition: the TRUE conjunct is absorbed by
+  // the AND identity, leaving one pre-simplified predicate per component.
+  const auto& comp0 = plan->pattern.components[0];
+  ASSERT_EQ(comp0.begin_preds.size(), 1u);
+  EXPECT_EQ(comp0.begin_preds[0]->ToString(), "(a.price > 10)");
+  ASSERT_EQ(plan->pattern.components[1].begin_preds.size(), 1u);
+}
+
+TEST(FoldTest, ConstantFalseWhereYieldsNoMatches) {
+  // Degenerate but legal: the folded FALSE start-gate blocks every run.
+  auto plan = CompileQueryText(
+                  "SELECT a.price FROM Stock MATCH PATTERN SEQ(a) "
+                  "WHERE a.price > 0 AND 1 > 2",
+                  StockSchema())
+                  .value();
+  ::cepr::MatcherStats stats;
+  uint64_t ids = 0;
+  ::cepr::Matcher matcher(plan, ::cepr::MatcherOptions{}, nullptr, &stats, &ids);
+  std::vector<Match> out;
+  matcher.OnEvent(std::make_shared<const Event>(testing::Tick(0, 50)), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.runs_created, 0u);
+}
+
+}  // namespace
+}  // namespace cepr

@@ -1,0 +1,187 @@
+#include "expr/typecheck.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+using testing::AbcLayout;
+
+// Parses an expression and type checks it against SEQ(a, b+, c) / Stock.
+Result<ExprPtr> Check(const std::string& text,
+                      ExprContext context = ExprContext::kPredicate) {
+  auto layout = AbcLayout();
+  CEPR_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression(text));
+  CEPR_RETURN_IF_ERROR(TypeCheck(e.get(), layout, context));
+  return e;
+}
+
+ValueType TypeOf(const std::string& text,
+                 ExprContext context = ExprContext::kOutput) {
+  auto r = Check(text, context);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? (*r)->result_type : ValueType::kNull;
+}
+
+TEST(TypeCheckTest, LiteralTypes) {
+  EXPECT_EQ(TypeOf("42"), ValueType::kInt);
+  EXPECT_EQ(TypeOf("2.5"), ValueType::kFloat);
+  EXPECT_EQ(TypeOf("'x'"), ValueType::kString);
+  EXPECT_EQ(TypeOf("TRUE"), ValueType::kBool);
+}
+
+TEST(TypeCheckTest, VarRefResolvesSchemaType) {
+  auto e = Check("a.price > 0");
+  ASSERT_TRUE(e.ok()) << e.status();
+  const Expr& ref = *(*e)->children[0];
+  EXPECT_EQ(ref.var_index, 0);
+  EXPECT_EQ(ref.attr_index, 1);
+  EXPECT_EQ(ref.result_type, ValueType::kFloat);
+}
+
+TEST(TypeCheckTest, TimestampPseudoAttribute) {
+  auto e = Check("a.ts", ExprContext::kOutput);
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_EQ((*e)->attr_index, kTimestampAttr);
+  EXPECT_EQ((*e)->result_type, ValueType::kInt);
+}
+
+TEST(TypeCheckTest, UnknownVariableFails) {
+  auto r = Check("z.price > 0");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TypeCheckTest, UnknownAttributeFails) {
+  EXPECT_FALSE(Check("a.missing > 0").ok());
+}
+
+TEST(TypeCheckTest, KleeneVarNeedsIterationOrAggregate) {
+  auto r = Check("b.price > 0");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+  EXPECT_TRUE(Check("b[i].price > 0").ok());
+  EXPECT_TRUE(Check("MIN(b.price) > 0").ok());
+}
+
+TEST(TypeCheckTest, IterRefOnSingleVarFails) {
+  EXPECT_FALSE(Check("a[i].price > 0").ok());
+}
+
+TEST(TypeCheckTest, IterRefForbiddenInOutputContext) {
+  EXPECT_FALSE(Check("b[i].price", ExprContext::kOutput).ok());
+  EXPECT_FALSE(Check("b[i-1].price", ExprContext::kOutput).ok());
+  EXPECT_TRUE(Check("FIRST(b).price", ExprContext::kOutput).ok());
+}
+
+TEST(TypeCheckTest, AggregateTypes) {
+  EXPECT_EQ(TypeOf("MIN(b.price)"), ValueType::kFloat);
+  EXPECT_EQ(TypeOf("MAX(b.volume)"), ValueType::kInt);
+  EXPECT_EQ(TypeOf("SUM(b.volume)"), ValueType::kInt);
+  EXPECT_EQ(TypeOf("AVG(b.volume)"), ValueType::kFloat);
+  EXPECT_EQ(TypeOf("COUNT(b)"), ValueType::kInt);
+  EXPECT_EQ(TypeOf("FIRST(b).symbol"), ValueType::kString);
+  EXPECT_EQ(TypeOf("LAST(b).price"), ValueType::kFloat);
+}
+
+TEST(TypeCheckTest, AggregateOverSingleVarFails) {
+  EXPECT_FALSE(Check("MIN(a.price) > 0").ok());
+  EXPECT_FALSE(Check("COUNT(a) > 0").ok());
+}
+
+TEST(TypeCheckTest, NumericAggregateOverStringFails) {
+  EXPECT_FALSE(Check("MIN(b.symbol) > 'a'").ok());
+  EXPECT_TRUE(Check("FIRST(b).symbol = 'a'").ok());
+}
+
+TEST(TypeCheckTest, ArithmeticPromotion) {
+  EXPECT_EQ(TypeOf("a.volume + a.volume"), ValueType::kInt);
+  EXPECT_EQ(TypeOf("a.volume + a.price"), ValueType::kFloat);
+  EXPECT_EQ(TypeOf("a.volume / a.volume"), ValueType::kFloat);  // / is FLOAT
+  EXPECT_EQ(TypeOf("a.volume % 10"), ValueType::kInt);
+}
+
+TEST(TypeCheckTest, ModNeedsInts) {
+  EXPECT_FALSE(Check("a.price % 10 = 0").ok());
+}
+
+TEST(TypeCheckTest, ArithmeticOnStringsFails) {
+  EXPECT_FALSE(Check("a.symbol + 1 > 0").ok());
+}
+
+TEST(TypeCheckTest, ComparisonYieldsBool) {
+  EXPECT_EQ(TypeOf("a.price < 10"), ValueType::kBool);
+  EXPECT_EQ(TypeOf("a.symbol = 'IBM'"), ValueType::kBool);
+}
+
+TEST(TypeCheckTest, OrderingStringsAllowedNumbersVsStringsNot) {
+  EXPECT_TRUE(Check("a.symbol < 'M'").ok());
+  EXPECT_FALSE(Check("a.symbol < 5").ok());
+  EXPECT_FALSE(Check("a.price = 'x'").ok());
+}
+
+TEST(TypeCheckTest, NullComparableWithAnything) {
+  EXPECT_TRUE(Check("a.price = NULL").ok());
+  EXPECT_TRUE(Check("a.symbol != NULL").ok());
+}
+
+TEST(TypeCheckTest, BooleanConnectivesNeedBools) {
+  EXPECT_TRUE(Check("a.price > 1 AND a.volume < 5").ok());
+  EXPECT_FALSE(Check("a.price AND a.volume < 5").ok());
+  EXPECT_FALSE(Check("NOT a.price").ok());
+  EXPECT_TRUE(Check("NOT (a.price > 1)").ok());
+}
+
+TEST(TypeCheckTest, PredicateRootMustBeBool) {
+  auto r = Check("a.price + 1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("predicate must be BOOL"),
+            std::string::npos);
+}
+
+TEST(TypeCheckTest, OutputContextAllowsAnyType) {
+  EXPECT_TRUE(Check("a.price + 1", ExprContext::kOutput).ok());
+  EXPECT_TRUE(Check("a.symbol", ExprContext::kOutput).ok());
+}
+
+TEST(TypeCheckTest, ScalarFunctionTypes) {
+  EXPECT_EQ(TypeOf("ABS(a.volume)"), ValueType::kInt);
+  EXPECT_EQ(TypeOf("ABS(a.price)"), ValueType::kFloat);
+  EXPECT_EQ(TypeOf("SQRT(a.price)"), ValueType::kFloat);
+  EXPECT_EQ(TypeOf("FLOOR(a.price)"), ValueType::kInt);
+  EXPECT_EQ(TypeOf("LEAST(a.volume, 10)"), ValueType::kInt);
+  EXPECT_EQ(TypeOf("GREATEST(a.price, 10)"), ValueType::kFloat);
+  EXPECT_EQ(TypeOf("POW(a.price, 2)"), ValueType::kFloat);
+}
+
+TEST(TypeCheckTest, ScalarFunctionArityChecked) {
+  EXPECT_FALSE(Check("POW(a.price)", ExprContext::kOutput).ok());
+  EXPECT_FALSE(Check("ABS(a.price, 2)", ExprContext::kOutput).ok());
+}
+
+TEST(TypeCheckTest, ScalarFunctionNeedsNumeric) {
+  EXPECT_FALSE(Check("ABS(a.symbol)", ExprContext::kOutput).ok());
+}
+
+TEST(TypeCheckTest, NegatedVarAllowedInPredicateNotOutput) {
+  BindingLayout layout({PatternVar{"a", false, false, ""},
+                        PatternVar{"n", false, true, ""},
+                        PatternVar{"c", false, false, ""}},
+                       testing::StockSchema());
+  auto e = ParseExpression("n.price > a.price").value();
+  EXPECT_TRUE(TypeCheck(e.get(), layout, ExprContext::kPredicate).ok());
+  auto e2 = ParseExpression("n.price").value();
+  EXPECT_FALSE(TypeCheck(e2.get(), layout, ExprContext::kOutput).ok());
+}
+
+TEST(TypeCheckTest, UnaryMinusTypes) {
+  EXPECT_EQ(TypeOf("-a.volume"), ValueType::kInt);
+  EXPECT_EQ(TypeOf("-a.price"), ValueType::kFloat);
+  EXPECT_FALSE(Check("-a.symbol = 'x'").ok());
+}
+
+}  // namespace
+}  // namespace cepr

@@ -1,0 +1,232 @@
+// Whole-system scenarios over the three demo domains (stock, health,
+// traffic), exercising Engine + language + matcher + ranking together.
+
+#include <gtest/gtest.h>
+
+#include "runtime/engine.h"
+#include "workload/health.h"
+#include "workload/stock.h"
+#include "workload/traffic.h"
+
+namespace cepr {
+namespace {
+
+TEST(EndToEndTest, StockCrashRecoveryRanked) {
+  Engine engine;
+  StockOptions gen_options;
+  gen_options.num_symbols = 5;
+  gen_options.v_probability = 0.02;
+  StockGenerator gen(gen_options);
+  ASSERT_TRUE(engine.RegisterSchema(gen.schema()).ok());
+
+  CollectSink sink;
+  ASSERT_TRUE(engine
+                  .RegisterQuery(
+                      "crash",
+                      "SELECT a.symbol, a.price, MIN(b.price), c.price "
+                      "FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+                      "PARTITION BY symbol "
+                      "WHERE b[i].price < b[i-1].price "
+                      "  AND b[1].price < a.price AND c.price > a.price "
+                      "WITHIN 100 MILLISECONDS "
+                      "RANK BY (a.price - MIN(b.price)) / a.price DESC "
+                      "LIMIT 3 EMIT ON WINDOW CLOSE",
+                      QueryOptions{}, &sink)
+                  .ok());
+
+  for (Event& e : gen.Take(10000)) ASSERT_TRUE(engine.Push(std::move(e)).ok());
+  engine.Finish();
+
+  ASSERT_FALSE(sink.results().empty());
+  // Per window: at most 3 results, ranks 0..2 in order, scores non-increasing.
+  int64_t window = -1;
+  size_t expected_rank = 0;
+  double prev_score = 0;
+  for (const RankedResult& r : sink.results()) {
+    if (r.window_id != window) {
+      window = r.window_id;
+      expected_rank = 0;
+    } else {
+      EXPECT_LE(r.match.score, prev_score);
+    }
+    EXPECT_EQ(r.rank, expected_rank++);
+    EXPECT_LE(r.rank, 2u);
+    EXPECT_GT(r.match.score, 0.0);
+    prev_score = r.match.score;
+  }
+}
+
+TEST(EndToEndTest, HealthDeteriorationAlarm) {
+  Engine engine;
+  HealthOptions gen_options;
+  gen_options.num_patients = 5;
+  gen_options.episode_probability = 0.01;
+  HealthGenerator gen(gen_options);
+  ASSERT_TRUE(engine.RegisterSchema(gen.schema()).ok());
+
+  CollectSink sink;
+  // Sustained heart-rate climb with sagging SpO2, ranked by severity.
+  ASSERT_TRUE(engine
+                  .RegisterQuery(
+                      "alarm",
+                      "SELECT a.patient, MAX(r.heart_rate), MIN(r.spo2) "
+                      "FROM Vitals MATCH PATTERN SEQ(a, r+) "
+                      "PARTITION BY patient "
+                      "WHERE r[i].heart_rate > r[i-1].heart_rate + 5 "
+                      "  AND r[1].heart_rate > a.heart_rate + 5 "
+                      "  AND COUNT(r) >= 3 "
+                      "WITHIN 1 SECONDS "
+                      "RANK BY MAX(r.heart_rate) - a.heart_rate DESC "
+                      "LIMIT 5 EMIT ON WINDOW CLOSE",
+                      QueryOptions{}, &sink)
+                  .ok());
+
+  for (Event& e : gen.Take(20000)) ASSERT_TRUE(engine.Push(std::move(e)).ok());
+  engine.Finish();
+
+  ASSERT_FALSE(sink.results().empty()) << "no deterioration episodes detected";
+  for (const RankedResult& r : sink.results()) {
+    EXPECT_GT(r.match.score, 10.0);  // at least 3 climbs of >5 bpm
+  }
+}
+
+TEST(EndToEndTest, TrafficJamDetection) {
+  Engine engine;
+  TrafficOptions gen_options;
+  gen_options.num_sensors = 4;
+  gen_options.jam_probability = 0.01;
+  TrafficGenerator gen(gen_options);
+  ASSERT_TRUE(engine.RegisterSchema(gen.schema()).ok());
+
+  CollectSink sink;
+  ASSERT_TRUE(engine
+                  .RegisterQuery(
+                      "jam",
+                      "SELECT a.sensor, a.speed, MIN(d.speed), COUNT(d) "
+                      "FROM Traffic MATCH PATTERN SEQ(a, d+) "
+                      "PARTITION BY sensor "
+                      "WHERE a.speed > 60 "
+                      "  AND d[i].speed < d[i-1].speed * 0.9 "
+                      "  AND d[1].speed < a.speed * 0.9 "
+                      "  AND COUNT(d) >= 3 "
+                      "WITHIN 2 SECONDS "
+                      "RANK BY a.speed - MIN(d.speed) DESC "
+                      "LIMIT 3 EMIT ON WINDOW CLOSE",
+                      QueryOptions{}, &sink)
+                  .ok());
+
+  for (Event& e : gen.Take(20000)) ASSERT_TRUE(engine.Push(std::move(e)).ok());
+  engine.Finish();
+
+  ASSERT_FALSE(sink.results().empty()) << "no jams detected";
+  for (const RankedResult& r : sink.results()) {
+    // Speed collapsed by the score amount.
+    EXPECT_GT(r.match.score, 10.0);
+  }
+}
+
+TEST(EndToEndTest, EmitEveryNEventsWindows) {
+  Engine engine;
+  StockOptions gen_options;
+  gen_options.v_probability = 0.05;
+  gen_options.num_symbols = 1;
+  StockGenerator gen(gen_options);
+  ASSERT_TRUE(engine.RegisterSchema(gen.schema()).ok());
+  CollectSink sink;
+  ASSERT_TRUE(engine
+                  .RegisterQuery(
+                      "q",
+                      "SELECT a.price FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+                      "WHERE b[i].price < b[i-1].price "
+                      "  AND b[1].price < a.price AND c.price > a.price "
+                      "WITHIN 100 MILLISECONDS "
+                      "RANK BY a.price - MIN(b.price) DESC "
+                      "LIMIT 2 EMIT EVERY 500 EVENTS",
+                      QueryOptions{}, &sink)
+                  .ok());
+  for (Event& e : gen.Take(5000)) ASSERT_TRUE(engine.Push(std::move(e)).ok());
+  engine.Finish();
+
+  ASSERT_FALSE(sink.results().empty());
+  // Window ids correspond to 500-event blocks; at most 2 results per block.
+  std::map<int64_t, int> per_window;
+  for (const RankedResult& r : sink.results()) ++per_window[r.window_id];
+  for (const auto& [window, count] : per_window) {
+    EXPECT_LE(count, 2) << "window " << window;
+    EXPECT_LT(window, 10) << "window id out of range for 5000 events";
+  }
+  EXPECT_GT(per_window.size(), 1u);
+}
+
+TEST(EndToEndTest, EagerEmissionConvergesToTrueTopK) {
+  // EMIT ON COMPLETE streams provisional results; the last emission for the
+  // stream's single window must be the true best score.
+  Engine engine;
+  StockOptions gen_options;
+  gen_options.v_probability = 0.05;
+  gen_options.num_symbols = 1;
+  StockGenerator gen(gen_options);
+  ASSERT_TRUE(engine.RegisterSchema(gen.schema()).ok());
+  CollectSink eager_sink;
+  CollectSink buffered_sink;
+  const std::string base =
+      "SELECT a.price FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "WHERE b[i].price < b[i-1].price "
+      "  AND b[1].price < a.price AND c.price > a.price "
+      "WITHIN 100 MILLISECONDS "
+      "RANK BY (a.price - MIN(b.price)) / a.price DESC LIMIT 1 ";
+  ASSERT_TRUE(engine
+                  .RegisterQuery("eager", base + "EMIT ON COMPLETE",
+                                 QueryOptions{}, &eager_sink)
+                  .ok());
+  ASSERT_TRUE(engine
+                  .RegisterQuery("buffered", base + "EMIT EVERY 4000 EVENTS",
+                                 QueryOptions{}, &buffered_sink)
+                  .ok());
+  for (Event& e : gen.Take(4000)) ASSERT_TRUE(engine.Push(std::move(e)).ok());
+  engine.Finish();
+
+  ASSERT_FALSE(eager_sink.results().empty());
+  ASSERT_EQ(buffered_sink.results().size(), 1u);
+  const RankedResult& final_eager = eager_sink.results().back();
+  EXPECT_TRUE(final_eager.provisional);
+  EXPECT_DOUBLE_EQ(final_eager.match.score,
+                   buffered_sink.results()[0].match.score);
+  // Provisional scores improve monotonically at rank 0 emissions.
+  double best = -1;
+  for (const RankedResult& r : eager_sink.results()) {
+    if (r.rank == 0) {
+      EXPECT_GE(r.match.score, best);
+      best = r.match.score;
+    }
+  }
+}
+
+TEST(EndToEndTest, CapacityBoundHoldsUnderSkipTillAny) {
+  Engine engine;
+  StockOptions gen_options;
+  gen_options.num_symbols = 1;
+  gen_options.v_probability = 0.1;
+  StockGenerator gen(gen_options);
+  ASSERT_TRUE(engine.RegisterSchema(gen.schema()).ok());
+  CollectSink sink;
+  QueryOptions options;
+  options.matcher.max_active_runs = 256;
+  ASSERT_TRUE(engine
+                  .RegisterQuery(
+                      "q",
+                      "SELECT a.price FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+                      "USING SKIP_TILL_ANY_MATCH "
+                      "WHERE b[i].price < a.price AND c.price > a.price "
+                      "WITHIN 50 MILLISECONDS",
+                      options, &sink)
+                  .ok());
+  for (Event& e : gen.Take(3000)) ASSERT_TRUE(engine.Push(std::move(e)).ok());
+  engine.Finish();
+  const QueryMetrics m = engine.GetQuery("q").value()->metrics();
+  EXPECT_LE(m.matcher.peak_active_runs, 256u);
+  EXPECT_GT(m.matcher.runs_forked, 0u);
+}
+
+}  // namespace
+}  // namespace cepr

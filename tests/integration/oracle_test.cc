@@ -1,0 +1,147 @@
+// Oracle test: an independent brute-force enumerator of SKIP_TILL_ANY_MATCH
+// semantics, compared against the engine on small random streams.
+//
+// The oracle enumerates every subsequence assignment of events to the
+// pattern SEQ(a, b+, c) directly from the semantic definition (no automata,
+// no incremental aggregates) and applies the WHERE conjuncts literally.
+// Any divergence indicates an engine bug in run forking, predicate
+// evaluation order, or aggregate maintenance.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "runtime/engine.h"
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+using testing::StockSchema;
+using testing::Tick;
+
+// The query under test. Score: dip depth (absolute).
+constexpr char kQuery[] =
+    "SELECT a.price FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+    "USING SKIP_TILL_ANY_MATCH "
+    "WHERE a.price > 50 "
+    "  AND b[i].price < b[i-1].price AND b[1].price < a.price "
+    "  AND c.price > a.price "
+    "WITHIN 10 MILLISECONDS";
+
+// One oracle match: indexes of (a, b..., c) into the stream.
+using OracleMatch = std::vector<size_t>;
+
+// Brute-force enumeration per the declarative semantics.
+std::set<OracleMatch> OracleMatches(const std::vector<double>& prices,
+                                    Timestamp step_us, Timestamp within_us) {
+  std::set<OracleMatch> out;
+  const size_t n = prices.size();
+  for (size_t ai = 0; ai < n; ++ai) {
+    if (!(prices[ai] > 50)) continue;
+    // Depth-first extension of strictly-decreasing b sequences after a.
+    struct Frame {
+      OracleMatch b;  // chosen b indexes
+    };
+    std::vector<OracleMatch> stack;
+    for (size_t b1 = ai + 1; b1 < n; ++b1) {
+      if (prices[b1] < prices[ai]) stack.push_back({b1});
+    }
+    while (!stack.empty()) {
+      OracleMatch b = std::move(stack.back());
+      stack.pop_back();
+      // Try to close with any later c.
+      for (size_t ci = b.back() + 1; ci < n; ++ci) {
+        if (prices[ci] > prices[ai] &&
+            static_cast<Timestamp>(ci - ai) * step_us <= within_us) {
+          OracleMatch m;
+          m.push_back(ai);
+          m.insert(m.end(), b.begin(), b.end());
+          m.push_back(ci);
+          out.insert(std::move(m));
+        }
+      }
+      // Extend b with any later, strictly smaller event (within the span).
+      for (size_t bn = b.back() + 1; bn < n; ++bn) {
+        if (prices[bn] < prices[b.back()] &&
+            static_cast<Timestamp>(bn - ai) * step_us <= within_us) {
+          OracleMatch next = b;
+          next.push_back(bn);
+          stack.push_back(std::move(next));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::set<OracleMatch> EngineMatches(const std::vector<double>& prices,
+                                    Timestamp step_us) {
+  Engine engine;
+  EXPECT_TRUE(engine.RegisterSchema(StockSchema()).ok());
+  CollectSink sink;
+  QueryOptions options;
+  options.matcher.max_active_runs = 1 << 22;
+  auto st = engine.RegisterQuery("q", kQuery, options, &sink);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  for (size_t i = 0; i < prices.size(); ++i) {
+    EXPECT_TRUE(
+        engine.Push(Tick(static_cast<Timestamp>(i) * step_us, prices[i])).ok());
+  }
+  engine.Finish();
+
+  std::set<OracleMatch> out;
+  for (const RankedResult& r : sink.results()) {
+    OracleMatch m;
+    for (const auto& binding : r.match.bindings) {
+      for (const auto& e : binding) m.push_back(e->sequence());
+    }
+    out.insert(std::move(m));
+  }
+  return out;
+}
+
+void CompareOnStream(const std::vector<double>& prices, const char* label) {
+  constexpr Timestamp kStep = 1000;          // 1ms apart
+  constexpr Timestamp kWithin = 10 * 1000;   // WITHIN 10ms
+  const auto expected = OracleMatches(prices, kStep, kWithin);
+  const auto actual = EngineMatches(prices, kStep);
+  EXPECT_EQ(expected.size(), actual.size()) << label;
+  for (const auto& m : expected) {
+    EXPECT_TRUE(actual.count(m)) << label << ": engine missed an oracle match";
+  }
+  for (const auto& m : actual) {
+    EXPECT_TRUE(expected.count(m)) << label << ": engine emitted a bogus match";
+  }
+}
+
+TEST(OracleTest, HandPickedStreams) {
+  CompareOnStream({100, 90, 80, 110}, "simple dip");
+  CompareOnStream({100, 90, 95, 85, 110}, "interleaved");
+  CompareOnStream({60, 55, 70, 65, 75, 52, 90}, "multiple starts");
+  CompareOnStream({100, 100, 100}, "flat (no matches)");
+  CompareOnStream({40, 30, 45}, "below anchor threshold");
+  CompareOnStream({100, 90, 80, 70, 60, 110}, "long dip");
+}
+
+class OracleRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OracleRandomTest, RandomStreamsAgree) {
+  ::cepr::Random rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> prices;
+    const size_t len = 8 + rng.Uniform(8);  // small enough for brute force
+    prices.reserve(len);
+    for (size_t i = 0; i < len; ++i) prices.push_back(rng.UniformDouble(40, 120));
+    CompareOnStream(prices, ("seed=" + std::to_string(GetParam()) + " trial=" +
+                             std::to_string(trial))
+                                .c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleRandomTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace cepr

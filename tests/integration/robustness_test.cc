@@ -1,0 +1,128 @@
+// Robustness: the language front-end must reject malformed input with a
+// Status (never crash, never accept garbage), across systematic mutations
+// of a known-good query and randomly generated token soup.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "lang/parser.h"
+#include "runtime/engine.h"
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+constexpr char kGoodQuery[] =
+    "SELECT a.price, MIN(b.price) FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+    "USING SKIP_TILL_NEXT_MATCH PARTITION BY symbol "
+    "WHERE b[i].price < b[i-1].price AND c.price > a.price "
+    "WITHIN 10 SECONDS RANK BY a.price - MIN(b.price) DESC LIMIT 5 "
+    "EMIT ON WINDOW CLOSE";
+
+TEST(RobustnessTest, TruncationsNeverCrash) {
+  const std::string text = kGoodQuery;
+  int accepted = 0;
+  for (size_t len = 0; len <= text.size(); ++len) {
+    auto r = ParseQuery(text.substr(0, len));
+    if (r.ok()) ++accepted;
+  }
+  // Only prefixes that end at a clause boundary can parse (each boundary
+  // contributes one accepted length per trailing-whitespace position); the
+  // majority must fail cleanly, and none may crash.
+  EXPECT_LT(accepted, static_cast<int>(text.size()) / 3);
+  EXPECT_GT(accepted, 0);  // the full query itself parses
+}
+
+TEST(RobustnessTest, SingleCharacterDeletionsNeverCrash) {
+  const std::string text = kGoodQuery;
+  for (size_t i = 0; i < text.size(); ++i) {
+    std::string mutated = text;
+    mutated.erase(i, 1);
+    auto r = ParseQuery(mutated);  // may pass or fail; must not crash
+    if (r.ok()) {
+      // If it parsed, it must also unparse and reparse.
+      auto again = ParseQuery(r->ToString());
+      EXPECT_TRUE(again.ok()) << "unparse broke at deletion " << i;
+    }
+  }
+}
+
+TEST(RobustnessTest, RandomTokenSoupNeverCrashes) {
+  static const char* kTokens[] = {
+      "SELECT", "FROM",  "MATCH", "PATTERN", "SEQ",   "(",     ")",    ",",
+      "WHERE",  "RANK",  "BY",    "LIMIT",   "EMIT",  "ON",    "+",    "-",
+      "*",      "/",     "a",     "b",       "price", "Stock", "42",   "2.5",
+      "'x'",    "[",     "]",     "i",       "!",     ".",     "AND",  "OR",
+      "NOT",    "MIN",   "DESC",  "WITHIN",  "SECONDS", ";",   "<",    ">=",
+  };
+  Random rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string soup;
+    const size_t len = 1 + rng.Uniform(25);
+    for (size_t i = 0; i < len; ++i) {
+      soup += kTokens[rng.Uniform(sizeof(kTokens) / sizeof(kTokens[0]))];
+      soup += " ";
+    }
+    auto q = ParseQuery(soup);
+    auto s = ParseStatement(soup);
+    auto e = ParseExpression(soup);
+    // Whatever parsed must stringify without crashing.
+    if (q.ok()) (void)q->ToString();
+    if (e.ok()) (void)(*e)->ToString();
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessTest, RandomBytesNeverCrashLexer) {
+  Random rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string bytes;
+    const size_t len = rng.Uniform(64);
+    for (size_t i = 0; i < len; ++i) {
+      bytes += static_cast<char>(rng.Uniform(128));
+    }
+    (void)ParseQuery(bytes);
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessTest, ParsedGarbageStillRejectedSemantically) {
+  // Structurally valid but semantically broken queries must fail in the
+  // analyzer/compiler with a Status, not crash the engine.
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterSchema(testing::StockSchema()).ok());
+  const char* bad[] = {
+      "SELECT z.price FROM Stock MATCH PATTERN SEQ(a)",
+      "SELECT a.nosuch FROM Stock MATCH PATTERN SEQ(a)",
+      "SELECT a.price FROM Stock MATCH PATTERN SEQ(a, a)",
+      "SELECT a.price FROM Stock MATCH PATTERN SEQ(!a, b)",
+      "SELECT a.price FROM Stock MATCH PATTERN SEQ(a) RANK BY a.symbol DESC",
+      "SELECT b[i].price FROM Stock MATCH PATTERN SEQ(a, b+)",
+      "SELECT a.price FROM Stock MATCH PATTERN SEQ(a) EMIT ON WINDOW CLOSE",
+      "SELECT a.price FROM Nowhere MATCH PATTERN SEQ(a)",
+  };
+  int i = 0;
+  for (const char* text : bad) {
+    auto s = engine.RegisterQuery("bad" + std::to_string(i++), text,
+                                  QueryOptions{}, nullptr);
+    EXPECT_FALSE(s.ok()) << text;
+  }
+  EXPECT_TRUE(engine.QueryNames().empty());
+}
+
+TEST(RobustnessTest, DeepExpressionNestingParses) {
+  // 200 nested parentheses: recursion depth must be handled (or cleanly
+  // rejected); it must not smash the stack.
+  std::string expr(200, '(');
+  expr += "1";
+  expr += std::string(200, ')');
+  auto r = ParseExpression(expr);
+  EXPECT_TRUE(r.ok());
+
+  std::string chain = "1";
+  for (int i = 0; i < 500; ++i) chain += " + 1";
+  EXPECT_TRUE(ParseExpression(chain).ok());
+}
+
+}  // namespace
+}  // namespace cepr

@@ -1,0 +1,141 @@
+// Cross-strategy properties of the matcher, checked on synthetic streams:
+//  * STRICT matches are a subset of SKIP_TILL_NEXT matches, which are a
+//    subset of SKIP_TILL_ANY matches (comparing bound event sequences);
+//  * every emitted match satisfies the WHERE semantics (re-validated
+//    directly against the bound events);
+//  * WITHIN holds for every match span.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "runtime/engine.h"
+#include "workload/stock.h"
+
+namespace cepr {
+namespace {
+
+constexpr char kWhereClause[] =
+    "WHERE b[i].price < b[i-1].price AND b[1].price < a.price "
+    "  AND c.price > a.price "
+    "WITHIN 10 MILLISECONDS";
+
+std::string Query(const std::string& strategy) {
+  return "SELECT a.price FROM Stock MATCH PATTERN SEQ(a, b+, c) USING " +
+         strategy + " " + kWhereClause;
+}
+
+std::vector<RankedResult> RunStrategy(const std::string& strategy,
+                                      int num_events, uint64_t seed) {
+  Engine engine;
+  StockOptions gen_options;
+  gen_options.num_symbols = 1;
+  gen_options.v_probability = 0.05;
+  gen_options.base.seed = seed;
+  StockGenerator gen(gen_options);
+  EXPECT_TRUE(engine.RegisterSchema(gen.schema()).ok());
+  CollectSink sink;
+  QueryOptions options;
+  MatcherOptions mopts;
+  mopts.max_active_runs = 1 << 20;  // no capacity drops in this test
+  options.matcher = mopts;
+  auto st = engine.RegisterQuery("q", Query(strategy), options, &sink);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  for (Event& e : gen.Take(static_cast<size_t>(num_events))) {
+    EXPECT_TRUE(engine.Push(std::move(e)).ok());
+  }
+  engine.Finish();
+  return sink.results();
+}
+
+// A match's identity: the sequence numbers of all bound events.
+std::vector<uint64_t> Signature(const Match& m) {
+  std::vector<uint64_t> sig;
+  for (const auto& binding : m.bindings) {
+    for (const auto& e : binding) sig.push_back(e->sequence());
+  }
+  return sig;
+}
+
+std::set<std::vector<uint64_t>> Signatures(const std::vector<RankedResult>& rs) {
+  std::set<std::vector<uint64_t>> out;
+  for (const RankedResult& r : rs) out.insert(Signature(r.match));
+  return out;
+}
+
+class StrategySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StrategySweep, InclusionHierarchy) {
+  const uint64_t seed = GetParam();
+  const auto strict = Signatures(RunStrategy("STRICT", 800, seed));
+  const auto next = Signatures(RunStrategy("SKIP_TILL_NEXT_MATCH", 800, seed));
+  const auto any = Signatures(RunStrategy("SKIP_TILL_ANY_MATCH", 800, seed));
+
+  EXPECT_FALSE(any.empty()) << "workload produced no matches; weak test";
+  for (const auto& sig : strict) {
+    EXPECT_TRUE(any.count(sig)) << "strict match missing from skip-till-any";
+  }
+  for (const auto& sig : next) {
+    EXPECT_TRUE(any.count(sig)) << "skip-till-next match missing from any";
+  }
+  EXPECT_LE(strict.size(), next.size());
+  EXPECT_LE(next.size(), any.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategySweep, ::testing::Values(1, 7, 42));
+
+TEST(StrategySemanticsTest, MatchesSatisfyWhereSemantics) {
+  for (const std::string strategy :
+       {"STRICT", "SKIP_TILL_NEXT_MATCH", "SKIP_TILL_ANY_MATCH"}) {
+    const auto results = RunStrategy(strategy, 800, 11);
+    for (const RankedResult& r : results) {
+      const auto& a = r.match.bindings[0];
+      const auto& b = r.match.bindings[1];
+      const auto& c = r.match.bindings[2];
+      ASSERT_EQ(a.size(), 1u);
+      ASSERT_GE(b.size(), 1u);
+      ASSERT_EQ(c.size(), 1u);
+      const double a_price = a[0]->value(1).AsFloat();
+      // b[1].price < a.price
+      EXPECT_LT(b[0]->value(1).AsFloat(), a_price) << strategy;
+      // b strictly decreasing
+      for (size_t i = 1; i < b.size(); ++i) {
+        EXPECT_LT(b[i]->value(1).AsFloat(), b[i - 1]->value(1).AsFloat())
+            << strategy;
+      }
+      // c.price > a.price
+      EXPECT_GT(c[0]->value(1).AsFloat(), a_price) << strategy;
+      // WITHIN span
+      EXPECT_LE(r.match.last_ts - r.match.first_ts, 10 * 1000) << strategy;
+      // events in sequence order
+      uint64_t prev = a[0]->sequence();
+      for (const auto& e : b) {
+        EXPECT_GT(e->sequence(), prev) << strategy;
+        prev = e->sequence();
+      }
+      EXPECT_GT(c[0]->sequence(), prev) << strategy;
+    }
+  }
+}
+
+TEST(StrategySemanticsTest, StrictMatchesAreContiguous) {
+  const auto results = RunStrategy("STRICT", 2000, 5);
+  for (const RankedResult& r : results) {
+    std::vector<uint64_t> sig = Signature(r.match);
+    for (size_t i = 1; i < sig.size(); ++i) {
+      EXPECT_EQ(sig[i], sig[i - 1] + 1) << "strict match has a gap";
+    }
+  }
+}
+
+TEST(StrategySemanticsTest, SkipTillAnyMatchesAreUnique) {
+  const auto results = RunStrategy("SKIP_TILL_ANY_MATCH", 600, 3);
+  std::set<std::vector<uint64_t>> seen;
+  for (const RankedResult& r : results) {
+    EXPECT_TRUE(seen.insert(Signature(r.match)).second)
+        << "duplicate match emitted";
+  }
+}
+
+}  // namespace
+}  // namespace cepr

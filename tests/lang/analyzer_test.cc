@@ -1,0 +1,145 @@
+#include "lang/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+using testing::StockSchema;
+
+Result<AnalyzedQuery> AnalyzeText(const std::string& text) {
+  CEPR_ASSIGN_OR_RETURN(QueryAst ast, ParseQuery(text));
+  return Analyze(std::move(ast), StockSchema());
+}
+
+TEST(AnalyzerTest, ResolvesFullQuery) {
+  auto a = AnalyzeText(
+      "SELECT a.price AS p0, MIN(b.price), COUNT(b) "
+      "FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "PARTITION BY symbol "
+      "WHERE b[i].price < a.price "
+      "WITHIN 1 MINUTES "
+      "RANK BY a.price - MIN(b.price) DESC LIMIT 3 EMIT ON WINDOW CLOSE");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a->layout.num_vars(), 3u);
+  EXPECT_EQ(a->partition_attr_index, 0);
+  EXPECT_EQ(a->output_names,
+            (std::vector<std::string>{"p0", "min_b_price", "count_b"}));
+  EXPECT_EQ(a->output_types,
+            (std::vector<ValueType>{ValueType::kFloat, ValueType::kFloat,
+                                    ValueType::kInt}));
+  EXPECT_EQ(a->ast.rank_by->result_type, ValueType::kFloat);
+}
+
+TEST(AnalyzerTest, SelectStarExpansion) {
+  auto a = AnalyzeText("SELECT * FROM Stock MATCH PATTERN SEQ(a, b+, c)");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  // a: 3 attrs, b: COUNT, c: 3 attrs.
+  ASSERT_EQ(a->output_names.size(), 7u);
+  EXPECT_EQ(a->output_names[0], "a_symbol");
+  EXPECT_EQ(a->output_names[3], "count_b");
+  EXPECT_EQ(a->output_names[4], "c_symbol");
+}
+
+TEST(AnalyzerTest, SelectStarSkipsNegatedVars) {
+  auto a = AnalyzeText("SELECT * FROM Stock MATCH PATTERN SEQ(a, !n, c)");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  for (const std::string& name : a->output_names) {
+    EXPECT_EQ(name.find("n_"), std::string::npos) << name;
+  }
+}
+
+TEST(AnalyzerTest, EmptyPatternRejected) {
+  // Unparseable anyway, but the analyzer also guards directly.
+  QueryAst ast;
+  ast.stream_name = "Stock";
+  EXPECT_FALSE(Analyze(std::move(ast), StockSchema()).ok());
+}
+
+TEST(AnalyzerTest, DuplicateVariablesRejected) {
+  auto a = AnalyzeText("SELECT * FROM Stock MATCH PATTERN SEQ(a, a)");
+  ASSERT_FALSE(a.ok());
+  EXPECT_NE(a.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(AnalyzerTest, NegationPlacementRules) {
+  EXPECT_FALSE(AnalyzeText("SELECT * FROM Stock MATCH PATTERN SEQ(!n, c)").ok());
+  EXPECT_FALSE(AnalyzeText("SELECT * FROM Stock MATCH PATTERN SEQ(a, !n)").ok());
+  EXPECT_FALSE(
+      AnalyzeText("SELECT * FROM Stock MATCH PATTERN SEQ(a, !n+, c)").ok());
+  EXPECT_FALSE(
+      AnalyzeText("SELECT * FROM Stock MATCH PATTERN SEQ(a, !m, !n, c)").ok());
+  EXPECT_TRUE(AnalyzeText("SELECT * FROM Stock MATCH PATTERN SEQ(a, !n, c)").ok());
+}
+
+TEST(AnalyzerTest, AllNegatedRejected) {
+  // No positive anchor at all (also caught by the edge rules).
+  EXPECT_FALSE(AnalyzeText("SELECT * FROM Stock MATCH PATTERN SEQ(!n)").ok());
+}
+
+TEST(AnalyzerTest, UnknownPartitionAttributeRejected) {
+  auto a = AnalyzeText(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a) PARTITION BY nosuch");
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AnalyzerTest, WherePredicateMustTypeCheck) {
+  EXPECT_FALSE(
+      AnalyzeText("SELECT * FROM Stock MATCH PATTERN SEQ(a) WHERE a.price").ok());
+  EXPECT_FALSE(
+      AnalyzeText("SELECT * FROM Stock MATCH PATTERN SEQ(a) WHERE z.price > 0")
+          .ok());
+}
+
+TEST(AnalyzerTest, RankByMustBeNumeric) {
+  auto str = AnalyzeText(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a) RANK BY a.symbol DESC");
+  ASSERT_FALSE(str.ok());
+  EXPECT_NE(str.status().message().find("numeric"), std::string::npos);
+
+  auto boolean = AnalyzeText(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a) RANK BY a.price > 2 DESC");
+  EXPECT_FALSE(boolean.ok());
+}
+
+TEST(AnalyzerTest, WindowCloseRequiresWithin) {
+  auto a = AnalyzeText(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a) EMIT ON WINDOW CLOSE");
+  ASSERT_FALSE(a.ok());
+  EXPECT_NE(a.status().message().find("WITHIN"), std::string::npos);
+
+  EXPECT_TRUE(AnalyzeText("SELECT * FROM Stock MATCH PATTERN SEQ(a) "
+                          "WITHIN 1 SECONDS EMIT ON WINDOW CLOSE")
+                  .ok());
+}
+
+TEST(AnalyzerTest, DerivedOutputNamesForExpressions) {
+  auto a = AnalyzeText(
+      "SELECT a.price + 1, a.price FROM Stock MATCH PATTERN SEQ(a)");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->output_names[0], "col0");
+  EXPECT_EQ(a->output_names[1], "a_price");
+}
+
+TEST(AnalyzerTest, SelectCannotReferenceIterations) {
+  auto a = AnalyzeText(
+      "SELECT b[i].price FROM Stock MATCH PATTERN SEQ(a, b+, c)");
+  EXPECT_FALSE(a.ok());
+}
+
+TEST(AnalyzerTest, LayoutMarksKleeneAndNegated) {
+  auto a = AnalyzeText("SELECT * FROM Stock MATCH PATTERN SEQ(a, b+, !n, c)");
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(a->layout.var(0).is_kleene);
+  EXPECT_TRUE(a->layout.var(1).is_kleene);
+  EXPECT_TRUE(a->layout.var(2).is_negated);
+  EXPECT_FALSE(a->layout.var(3).is_negated);
+  EXPECT_EQ(a->layout.VarIndex("B").value(), 1);  // case-insensitive
+}
+
+}  // namespace
+}  // namespace cepr

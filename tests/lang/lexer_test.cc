@@ -1,0 +1,145 @@
+#include "lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace cepr {
+namespace {
+
+std::vector<TokenKind> KindsOf(const std::string& text) {
+  auto tokens = Lex(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> kinds;
+  if (tokens.ok()) {
+    for (const Token& t : *tokens) kinds.push_back(t.kind);
+  }
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInputIsJustEof) {
+  EXPECT_EQ(KindsOf(""), (std::vector<TokenKind>{TokenKind::kEof}));
+  EXPECT_EQ(KindsOf("   \n\t "), (std::vector<TokenKind>{TokenKind::kEof}));
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  for (const std::string text : {"SELECT", "select", "SeLeCt"}) {
+    auto kinds = KindsOf(text);
+    ASSERT_EQ(kinds.size(), 2u);
+    EXPECT_EQ(kinds[0], TokenKind::kSelect);
+  }
+}
+
+TEST(LexerTest, IdentifiersKeepSpelling) {
+  auto tokens = Lex("MyStream_2").value();
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "MyStream_2");
+}
+
+TEST(LexerTest, SoftKeywordsLexAsIdentifiers) {
+  // WINDOW, CLOSE, EVERY etc. are soft: usable as attribute names.
+  auto tokens = Lex("window close every events range").value();
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kIdentifier);
+  }
+}
+
+TEST(LexerTest, IntegerAndFloatLiterals) {
+  auto tokens = Lex("42 3.5 1e3 2.5e-2 7").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.5);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 1000.0);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 0.025);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kInteger);
+}
+
+TEST(LexerTest, DotAfterIntegerStaysSeparate) {
+  // "b[1].price": the 1 must not eat the dot.
+  auto kinds = KindsOf("1 . x");
+  EXPECT_EQ(kinds[0], TokenKind::kInteger);
+  EXPECT_EQ(kinds[1], TokenKind::kDot);
+  auto tokens = Lex("b[1].price").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kLBracket);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kRBracket);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kDot);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = Lex("'hello' 'it''s'").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto r = Lex("'oops");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, OperatorsSingleAndDouble) {
+  EXPECT_EQ(KindsOf("< <= > >= = != <> ! + - * / %"),
+            (std::vector<TokenKind>{
+                TokenKind::kLt, TokenKind::kLe, TokenKind::kGt, TokenKind::kGe,
+                TokenKind::kEq, TokenKind::kNe, TokenKind::kNe, TokenKind::kBang,
+                TokenKind::kPlus, TokenKind::kMinus, TokenKind::kStar,
+                TokenKind::kSlash, TokenKind::kPercent, TokenKind::kEof}));
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto kinds = KindsOf("SELECT -- the select keyword\n42");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{TokenKind::kSelect,
+                                           TokenKind::kInteger, TokenKind::kEof}));
+}
+
+TEST(LexerTest, CommentAtEndOfInput) {
+  EXPECT_EQ(KindsOf("-- only a comment"),
+            (std::vector<TokenKind>{TokenKind::kEof}));
+}
+
+TEST(LexerTest, MinusMinusInExpressionIsComment) {
+  // "a --b" is "a" then comment; users must write "a - -b".
+  auto kinds = KindsOf("1 - -2");
+  EXPECT_EQ(kinds.size(), 5u);
+}
+
+TEST(LexerTest, IllegalCharacterReported) {
+  auto r = Lex("price @ 4");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("illegal character"), std::string::npos);
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = Lex("SELECT\n  price").value();
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(LexerTest, ErrorsIncludePosition) {
+  auto r = Lex("a\n  $");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(LexerTest, DescribeRendersTokens) {
+  auto tokens = Lex("x 5 2.5 'y' SELECT").value();
+  EXPECT_EQ(tokens[0].Describe(), "identifier 'x'");
+  EXPECT_EQ(tokens[1].Describe(), "integer 5");
+  EXPECT_EQ(tokens[2].Describe(), "float 2.5");
+  EXPECT_EQ(tokens[3].Describe(), "string 'y'");
+  EXPECT_EQ(tokens[4].Describe(), "'SELECT'");
+}
+
+TEST(LexerTest, HugeIntegerOverflowFails) {
+  EXPECT_FALSE(Lex("99999999999999999999999999").ok());
+}
+
+}  // namespace
+}  // namespace cepr

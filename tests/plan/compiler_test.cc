@@ -1,0 +1,172 @@
+#include "plan/compiler.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+using testing::StockSchema;
+
+Result<CompiledQueryPtr> CompileText(const std::string& text) {
+  return CompileQueryText(text, StockSchema());
+}
+
+TEST(CompilerTest, ComponentsExcludeNegations) {
+  auto q = CompileText(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a, b+, !n, c)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const CompiledPattern& p = (*q)->pattern;
+  ASSERT_EQ(p.components.size(), 3u);  // a, b, c
+  EXPECT_FALSE(p.components[0].is_kleene);
+  EXPECT_TRUE(p.components[1].is_kleene);
+  // The watcher for !n hangs off c (the component it precedes).
+  EXPECT_FALSE(p.components[1].negation_before.has_value());
+  ASSERT_TRUE(p.components[2].negation_before.has_value());
+  EXPECT_EQ(p.components[2].negation_before->var_index, 2);
+  // Variable positions: a->0, b->1, n->-1, c->2.
+  EXPECT_EQ(p.position_of_var, (std::vector<int>{0, 1, -1, 2}));
+}
+
+TEST(CompilerTest, PredicatePushdownByLatestVariable) {
+  auto q = CompileText(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "WHERE a.price > 10 AND b[i].price < a.price AND c.price > a.price");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const CompiledPattern& p = (*q)->pattern;
+  ASSERT_EQ(p.components[0].begin_preds.size(), 1u);
+  EXPECT_EQ(p.components[0].begin_preds[0]->ToString(), "(a.price > 10)");
+  ASSERT_EQ(p.components[1].iter_preds.size(), 1u);
+  EXPECT_EQ(p.components[1].iter_preds[0]->ToString(), "(b[i].price < a.price)");
+  ASSERT_EQ(p.components[2].begin_preds.size(), 1u);
+  EXPECT_EQ(p.components[2].begin_preds[0]->ToString(), "(c.price > a.price)");
+}
+
+TEST(CompilerTest, AggregateOnlyKleeneConstraintBecomesExitPred) {
+  auto q = CompileText(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "WHERE SUM(b.volume) > 100");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const CompiledComponent& b = (*q)->pattern.components[1];
+  EXPECT_TRUE(b.iter_preds.empty());
+  ASSERT_EQ(b.exit_preds.size(), 1u);
+  EXPECT_EQ(b.exit_preds[0]->ToString(), "(SUM(b.volume) > 100)");
+}
+
+TEST(CompilerTest, IterPredUsesPrevFlagged) {
+  auto q = CompileText(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "WHERE b[i].price < b[i-1].price AND b[i].volume > 0");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const CompiledComponent& b = (*q)->pattern.components[1];
+  ASSERT_EQ(b.iter_preds.size(), 2u);
+  ASSERT_EQ(b.iter_pred_uses_prev.size(), 2u);
+  EXPECT_TRUE(b.iter_pred_uses_prev[0]);
+  EXPECT_FALSE(b.iter_pred_uses_prev[1]);
+}
+
+TEST(CompilerTest, ConstantConjunctGuardsFirstComponent) {
+  auto q = CompileText(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a, c) WHERE 1 < 2");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ((*q)->pattern.components[0].begin_preds.size(), 1u);
+}
+
+TEST(CompilerTest, NegationPredicatesAttachToWatcher) {
+  auto q = CompileText(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a, !n, c) "
+      "WHERE n.price > a.price AND c.volume > 0");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const CompiledComponent& c = (*q)->pattern.components[1];
+  ASSERT_TRUE(c.negation_before.has_value());
+  ASSERT_EQ(c.negation_before->preds.size(), 1u);
+  EXPECT_EQ(c.negation_before->preds[0]->ToString(), "(n.price > a.price)");
+  EXPECT_EQ(c.begin_preds.size(), 1u);
+}
+
+TEST(CompilerTest, NegationCannotSeeLaterVariables) {
+  auto q = CompileText(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a, !n, c) "
+      "WHERE n.price > c.price");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("not yet bound"), std::string::npos);
+}
+
+TEST(CompilerTest, CurrentIterationOfEarlierKleeneRejected) {
+  auto q = CompileText(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "WHERE b[i].price < c.price");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("current-iteration"), std::string::npos);
+}
+
+TEST(CompilerTest, AggSlotsSharedBetweenWhereAndRank) {
+  auto q = CompileText(
+      "SELECT MIN(b.price) FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "WHERE MIN(b.price) > 2 "
+      "RANK BY MIN(b.price) DESC");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ((*q)->pattern.agg_specs.size(), 1u);
+  EXPECT_EQ((*q)->score->agg_slot, 0);
+}
+
+TEST(CompilerTest, PrunableWithDeclaredRanges) {
+  auto q = CompileText(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "RANK BY (a.price - MIN(b.price)) / a.price DESC LIMIT 5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE((*q)->score_prunable);
+}
+
+TEST(CompilerTest, NotPrunableWithoutRanges) {
+  auto schema =
+      Schema::Make("Bare", {Attribute{"x", ValueType::kFloat, std::nullopt}})
+          .value();
+  auto q = CompileQueryText(
+      "SELECT * FROM Bare MATCH PATTERN SEQ(a, b+) RANK BY MAX(b.x) DESC",
+      schema);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_FALSE((*q)->score_prunable);
+}
+
+TEST(CompilerTest, CountScoreNotPrunableDescButPrunableAsc) {
+  // COUNT is unbounded above, so a DESC rank has no finite upper bound, but
+  // an ASC rank does have a finite lower bound.
+  auto desc = CompileText(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a, b+) RANK BY COUNT(b) DESC");
+  ASSERT_TRUE(desc.ok());
+  EXPECT_FALSE((*desc)->score_prunable);
+  auto asc = CompileText(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a, b+) RANK BY COUNT(b) ASC");
+  ASSERT_TRUE(asc.ok());
+  EXPECT_TRUE((*asc)->score_prunable);
+}
+
+TEST(CompilerTest, AttrRangesMirrorSchema) {
+  auto q = CompileText("SELECT * FROM Stock MATCH PATTERN SEQ(a)");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ((*q)->attr_ranges.size(), 3u);
+  EXPECT_EQ((*q)->attr_ranges[1].lo, 1.0);      // price
+  EXPECT_EQ((*q)->attr_ranges[1].hi, 1000.0);
+  EXPECT_EQ((*q)->attr_ranges[2].hi, 10000.0);  // volume
+  // symbol (STRING, no range) is whole.
+  EXPECT_TRUE(std::isinf((*q)->attr_ranges[0].hi));
+}
+
+TEST(CompilerTest, DescribeMentionsKeyPieces) {
+  auto q = CompileText(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "WHERE b[i].price < a.price "
+      "RANK BY COUNT(b) ASC LIMIT 2 EMIT EVERY 10 EVENTS");
+  ASSERT_TRUE(q.ok());
+  const std::string desc = (*q)->Describe();
+  EXPECT_NE(desc.find("component 1: b+"), std::string::npos);
+  EXPECT_NE(desc.find("rank by"), std::string::npos);
+  EXPECT_NE(desc.find("limit: 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cepr

@@ -1,0 +1,109 @@
+#include "plan/nfa.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "plan/compiler.h"
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+using testing::StockSchema;
+
+CompiledQueryPtr Plan(const std::string& text) {
+  auto q = CompileQueryText(text, StockSchema());
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return q.value();
+}
+
+size_t CountEdges(const NfaPlan& nfa, NfaEdgeKind kind) {
+  size_t n = 0;
+  for (const NfaEdge& e : nfa.edges()) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+TEST(NfaTest, LinearPatternShape) {
+  auto q = Plan("SELECT * FROM Stock MATCH PATTERN SEQ(a, b, c)");
+  const NfaPlan& nfa = q->nfa;
+  ASSERT_EQ(nfa.states().size(), 4u);  // q0..q3
+  EXPECT_EQ(nfa.accepting_state(), 3);
+  EXPECT_EQ(CountEdges(nfa, NfaEdgeKind::kBegin), 3u);
+  EXPECT_EQ(CountEdges(nfa, NfaEdgeKind::kTake), 0u);
+  EXPECT_EQ(CountEdges(nfa, NfaEdgeKind::kKill), 0u);
+}
+
+TEST(NfaTest, KleeneAddsSelfLoop) {
+  auto q = Plan("SELECT * FROM Stock MATCH PATTERN SEQ(a, b+, c)");
+  const NfaPlan& nfa = q->nfa;
+  EXPECT_EQ(CountEdges(nfa, NfaEdgeKind::kTake), 1u);
+  // The take edge loops on the state after b began.
+  for (const NfaEdge& e : nfa.edges()) {
+    if (e.kind == NfaEdgeKind::kTake) {
+      EXPECT_EQ(e.from_state, e.to_state);
+      EXPECT_EQ(e.from_state, 2);
+      EXPECT_EQ(e.component, 1);
+    }
+  }
+  EXPECT_EQ(nfa.states()[2].open_kleene_component, 1);
+}
+
+TEST(NfaTest, NegationAddsKillEdge) {
+  auto q = Plan("SELECT * FROM Stock MATCH PATTERN SEQ(a, !n, c)");
+  const NfaPlan& nfa = q->nfa;
+  ASSERT_EQ(CountEdges(nfa, NfaEdgeKind::kKill), 1u);
+  for (const NfaEdge& e : nfa.edges()) {
+    if (e.kind == NfaEdgeKind::kKill) {
+      EXPECT_EQ(e.from_state, 1);  // while waiting to begin c
+      EXPECT_EQ(e.to_state, -1);
+    }
+  }
+}
+
+TEST(NfaTest, EdgeLabelsCarryGuards) {
+  auto q = Plan(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a, c) WHERE c.price > a.price");
+  bool found = false;
+  for (const NfaEdge& e : q->nfa.edges()) {
+    if (e.kind == NfaEdgeKind::kBegin && e.component == 1) {
+      EXPECT_NE(e.label.find("(c.price > a.price)"), std::string::npos);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NfaTest, StateNamesSequential) {
+  auto q = Plan("SELECT * FROM Stock MATCH PATTERN SEQ(a, b)");
+  ASSERT_EQ(q->nfa.states().size(), 3u);
+  EXPECT_EQ(q->nfa.states()[0].name, "q0");
+  EXPECT_EQ(q->nfa.states()[2].name, "q2");
+  EXPECT_TRUE(q->nfa.states()[2].accepting);
+  EXPECT_FALSE(q->nfa.states()[0].accepting);
+}
+
+TEST(NfaTest, ToDotIsWellFormed) {
+  auto q = Plan(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a, b+, !n, c) "
+      "WHERE b[i].price < a.price");
+  const std::string dot = q->nfa.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("q0 -> q1"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("kill"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(NfaTest, SingleComponentPattern) {
+  auto q = Plan("SELECT * FROM Stock MATCH PATTERN SEQ(a)");
+  EXPECT_EQ(q->nfa.states().size(), 2u);
+  EXPECT_EQ(q->nfa.accepting_state(), 1);
+}
+
+}  // namespace
+}  // namespace cepr

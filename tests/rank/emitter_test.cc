@@ -1,0 +1,104 @@
+#include "rank/emitter.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+using testing::StockSchema;
+
+Match M(uint64_t id, double score, Timestamp last_ts) {
+  Match m;
+  m.id = id;
+  m.score = score;
+  m.last_ts = last_ts;
+  return m;
+}
+
+TEST(EmitterTest, TimeWindowsCloseOnEventProgress) {
+  auto plan = CompileQueryText(
+                  "SELECT a.price FROM Stock MATCH PATTERN SEQ(a) "
+                  "WITHIN 1 SECONDS RANK BY a.price DESC LIMIT 2 "
+                  "EMIT ON WINDOW CLOSE",
+                  StockSchema())
+                  .value();
+  Emitter emitter(plan, RankerPolicy::kHeap);
+  std::vector<RankedResult> out;
+
+  // Two matches in window 0 (ts < 1s).
+  emitter.OnEvent(100000, 0, {M(0, 5, 100000)}, &out);
+  emitter.OnEvent(200000, 1, {M(1, 9, 200000)}, &out);
+  EXPECT_TRUE(out.empty());
+
+  // An event in window 1 with no matches closes window 0.
+  emitter.OnEvent(1100000, 2, {}, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].match.score, 9);
+  EXPECT_EQ(out[0].window_id, 0);
+
+  emitter.Finish(&out);
+  EXPECT_EQ(out.size(), 2u);  // window 1 held nothing
+}
+
+TEST(EmitterTest, CountWindowsUseOrdinals) {
+  auto plan = CompileQueryText(
+                  "SELECT a.price FROM Stock MATCH PATTERN SEQ(a) "
+                  "RANK BY a.price DESC LIMIT 1 EMIT EVERY 10 EVENTS",
+                  StockSchema())
+                  .value();
+  Emitter emitter(plan, RankerPolicy::kHeap);
+  std::vector<RankedResult> out;
+  for (uint64_t i = 0; i < 25; ++i) {
+    emitter.OnEvent(static_cast<Timestamp>(i), i,
+                    {M(i, static_cast<double>(i % 10), 0)}, &out);
+  }
+  emitter.Finish(&out);
+  // Three windows (0-9, 10-19, 20-24), top-1 each.
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].window_id, 0);
+  EXPECT_EQ(out[1].window_id, 1);
+  EXPECT_EQ(out[2].window_id, 2);
+  EXPECT_EQ(out[0].match.score, 9);
+  EXPECT_EQ(out[2].match.score, 4);  // last partial window holds 20..24
+}
+
+TEST(EmitterTest, SingleWindowFlushesOnlyAtFinish) {
+  auto plan = CompileQueryText(
+                  "SELECT a.price FROM Stock MATCH PATTERN SEQ(a) "
+                  "RANK BY a.price DESC LIMIT 2 EMIT ON COMPLETE",
+                  StockSchema())
+                  .value();
+  // Use the naive-sort policy: buffered even in eager mode, so everything
+  // arrives at Finish in exact order.
+  Emitter emitter(plan, RankerPolicy::kNaiveSort);
+  std::vector<RankedResult> out;
+  emitter.OnEvent(0, 0, {M(0, 1, 0), M(1, 7, 0), M(2, 4, 0)}, &out);
+  EXPECT_TRUE(out.empty());
+  emitter.Finish(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].match.score, 7);
+  EXPECT_EQ(out[1].match.score, 4);
+}
+
+TEST(EmitterTest, PrunerExposedOnlyWhenEngaged) {
+  auto prunable = CompileQueryText(
+                      "SELECT a.price FROM Stock MATCH PATTERN SEQ(a) "
+                      "RANK BY a.price DESC LIMIT 2 EMIT ON COMPLETE",
+                      StockSchema())
+                      .value();
+  EXPECT_NE(Emitter(prunable, RankerPolicy::kPruned).pruner(), nullptr);
+  EXPECT_EQ(Emitter(prunable, RankerPolicy::kHeap).pruner(), nullptr);
+
+  auto count_window = CompileQueryText(
+                          "SELECT a.price FROM Stock MATCH PATTERN SEQ(a) "
+                          "RANK BY a.price DESC LIMIT 2 EMIT EVERY 5 EVENTS",
+                          StockSchema())
+                          .value();
+  // Count windows cannot prune soundly: no pruner.
+  EXPECT_EQ(Emitter(count_window, RankerPolicy::kPruned).pruner(), nullptr);
+}
+
+}  // namespace
+}  // namespace cepr

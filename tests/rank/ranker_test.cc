@@ -1,0 +1,183 @@
+#include "rank/ranker.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+using testing::StockSchema;
+
+CompiledQueryPtr Plan(const std::string& text) {
+  return CompileQueryText(text, StockSchema()).value();
+}
+
+Match M(uint64_t id, double score) {
+  Match m;
+  m.id = id;
+  m.score = score;
+  return m;
+}
+
+constexpr char kBufferedQuery[] =
+    "SELECT a.price FROM Stock MATCH PATTERN SEQ(a) "
+    "WITHIN 1 SECONDS RANK BY a.price DESC LIMIT 2 EMIT ON WINDOW CLOSE";
+
+TEST(RankerTest, BufferedHeapEmitsOrderedOnWindowClose) {
+  Ranker ranker(Plan(kBufferedQuery), RankerPolicy::kHeap);
+  std::vector<RankedResult> out;
+  ranker.OnMatch(M(0, 10), 0, &out);
+  ranker.OnMatch(M(1, 30), 0, &out);
+  ranker.OnMatch(M(2, 20), 0, &out);
+  EXPECT_TRUE(out.empty());  // buffered until the window closes
+
+  ranker.AdvanceTo(1, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].match.score, 30);
+  EXPECT_EQ(out[0].rank, 0u);
+  EXPECT_EQ(out[0].window_id, 0);
+  EXPECT_FALSE(out[0].provisional);
+  EXPECT_EQ(out[1].match.score, 20);
+  EXPECT_EQ(out[1].rank, 1u);
+}
+
+TEST(RankerTest, NaiveSortMatchesHeapOutput) {
+  Ranker heap(Plan(kBufferedQuery), RankerPolicy::kHeap);
+  Ranker naive(Plan(kBufferedQuery), RankerPolicy::kNaiveSort);
+  std::vector<RankedResult> heap_out;
+  std::vector<RankedResult> naive_out;
+  for (uint64_t i = 0; i < 50; ++i) {
+    const double score = static_cast<double>((i * 37) % 11);
+    heap.OnMatch(M(i, score), 0, &heap_out);
+    naive.OnMatch(M(i, score), 0, &naive_out);
+  }
+  heap.Finish(&heap_out);
+  naive.Finish(&naive_out);
+  ASSERT_EQ(heap_out.size(), naive_out.size());
+  for (size_t i = 0; i < heap_out.size(); ++i) {
+    EXPECT_EQ(heap_out[i].match.id, naive_out[i].match.id);
+    EXPECT_EQ(heap_out[i].rank, naive_out[i].rank);
+  }
+}
+
+TEST(RankerTest, WindowsCloseIndependently) {
+  Ranker ranker(Plan(kBufferedQuery), RankerPolicy::kHeap);
+  std::vector<RankedResult> out;
+  ranker.OnMatch(M(0, 5), 0, &out);
+  ranker.OnMatch(M(1, 50), 1, &out);  // moving to window 1 closes window 0
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].window_id, 0);
+  EXPECT_EQ(out[0].match.score, 5);
+
+  out.clear();
+  ranker.Finish(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].window_id, 1);
+  EXPECT_EQ(out[0].match.score, 50);
+}
+
+TEST(RankerTest, AdvanceWithoutMatchesClosesWindow) {
+  Ranker ranker(Plan(kBufferedQuery), RankerPolicy::kHeap);
+  std::vector<RankedResult> out;
+  ranker.OnMatch(M(0, 5), 0, &out);
+  ranker.AdvanceTo(3, &out);  // time passes with no matches
+  ASSERT_EQ(out.size(), 1u);
+  ranker.Finish(&out);
+  EXPECT_EQ(out.size(), 1u);  // nothing buffered in window 3
+}
+
+TEST(RankerTest, PassthroughEmitsDetectionOrderWithLimit) {
+  auto plan = Plan(
+      "SELECT a.price FROM Stock MATCH PATTERN SEQ(a) "
+      "WITHIN 1 SECONDS LIMIT 2 EMIT ON WINDOW CLOSE");
+  Ranker ranker(plan, RankerPolicy::kPassthrough);
+  std::vector<RankedResult> out;
+  for (uint64_t i = 0; i < 5; ++i) ranker.OnMatch(M(i, 0), 0, &out);
+  ASSERT_EQ(out.size(), 2u);  // first two, eagerly
+  EXPECT_EQ(out[0].match.id, 0u);
+  EXPECT_EQ(out[1].match.id, 1u);
+  // New window resets the limit budget.
+  ranker.OnMatch(M(7, 0), 1, &out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(RankerTest, UnrankedQueryDegeneratesToPassthrough) {
+  auto plan = Plan("SELECT a.price FROM Stock MATCH PATTERN SEQ(a)");
+  Ranker ranker(plan, RankerPolicy::kHeap);
+  EXPECT_EQ(ranker.policy(), RankerPolicy::kPassthrough);
+}
+
+TEST(RankerTest, EagerEmissionStreamsProvisionalResults) {
+  auto plan = Plan(
+      "SELECT a.price FROM Stock MATCH PATTERN SEQ(a) "
+      "RANK BY a.price DESC LIMIT 2 EMIT ON COMPLETE");
+  Ranker ranker(plan, RankerPolicy::kHeap);
+  std::vector<RankedResult> out;
+  ranker.OnMatch(M(0, 10), 0, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].provisional);
+  EXPECT_EQ(out[0].rank, 0u);
+
+  ranker.OnMatch(M(1, 30), 0, &out);  // better: enters at rank 0
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].rank, 0u);
+
+  ranker.OnMatch(M(2, 5), 0, &out);  // below top-2: not emitted
+  EXPECT_EQ(out.size(), 2u);
+
+  ranker.OnMatch(M(3, 20), 0, &out);  // displaces 10, rank 1
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2].rank, 1u);
+
+  // Finish does not re-emit in eager mode.
+  ranker.Finish(&out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(RankerTest, PrunerOnlyForPrunedPolicyWithPrunableScore) {
+  auto plan = Plan(kBufferedQuery);
+  EXPECT_EQ(Ranker(plan, RankerPolicy::kHeap).pruner(), nullptr);
+  EXPECT_NE(Ranker(plan, RankerPolicy::kPruned).pruner(), nullptr);
+
+  // Unbounded DESC score (COUNT) cannot be pruned.
+  auto unbounded = Plan(
+      "SELECT COUNT(b) FROM Stock MATCH PATTERN SEQ(a, b+) "
+      "RANK BY COUNT(b) DESC LIMIT 2");
+  EXPECT_EQ(Ranker(unbounded, RankerPolicy::kPruned).pruner(), nullptr);
+
+  // No LIMIT: the top-k never fills, so pruning can never trigger.
+  auto no_limit = Plan(
+      "SELECT a.price FROM Stock MATCH PATTERN SEQ(a) RANK BY a.price DESC");
+  EXPECT_EQ(Ranker(no_limit, RankerPolicy::kPruned).pruner(), nullptr);
+}
+
+TEST(RankerTest, PrunerThresholdTracksTopK) {
+  auto plan = Plan(kBufferedQuery);  // LIMIT 2 DESC
+  Ranker ranker(plan, RankerPolicy::kPruned);
+  const ScorePruner* pruner = ranker.score_pruner();
+  ASSERT_NE(pruner, nullptr);
+  EXPECT_FALSE(pruner->active());
+
+  std::vector<RankedResult> out;
+  ranker.OnMatch(M(0, 10), 0, &out);
+  EXPECT_FALSE(pruner->active());  // not full yet
+  ranker.OnMatch(M(1, 30), 0, &out);
+  EXPECT_TRUE(pruner->active());
+  ranker.OnMatch(M(2, 20), 0, &out);
+  EXPECT_TRUE(pruner->active());
+
+  // Window close resets the bar.
+  ranker.AdvanceTo(1, &out);
+  EXPECT_FALSE(pruner->active());
+}
+
+TEST(RankerTest, MatchesSeenCountsAll) {
+  Ranker ranker(Plan(kBufferedQuery), RankerPolicy::kHeap);
+  std::vector<RankedResult> out;
+  for (uint64_t i = 0; i < 7; ++i) ranker.OnMatch(M(i, i), 0, &out);
+  EXPECT_EQ(ranker.matches_seen(), 7u);
+}
+
+}  // namespace
+}  // namespace cepr

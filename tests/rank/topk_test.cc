@@ -1,0 +1,149 @@
+#include "rank/topk.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace cepr {
+namespace {
+
+Match M(uint64_t id, double score) {
+  Match m;
+  m.id = id;
+  m.score = score;
+  return m;
+}
+
+TEST(OutranksTest, ScoreThenIdTieBreak) {
+  EXPECT_TRUE(OutranksMatch(M(5, 10), M(1, 5), /*desc=*/true));
+  EXPECT_FALSE(OutranksMatch(M(5, 10), M(1, 5), /*desc=*/false));
+  // Equal scores: earlier id wins in both directions.
+  EXPECT_TRUE(OutranksMatch(M(1, 5), M(2, 5), true));
+  EXPECT_TRUE(OutranksMatch(M(1, 5), M(2, 5), false));
+  EXPECT_FALSE(OutranksMatch(M(2, 5), M(1, 5), true));
+}
+
+TEST(TopKTest, KeepsBestK) {
+  TopK topk(3, /*desc=*/true);
+  for (int i = 0; i < 10; ++i) topk.Offer(M(i, i));
+  EXPECT_EQ(topk.size(), 3u);
+  const auto drained = topk.Drain();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0].score, 9);
+  EXPECT_EQ(drained[1].score, 8);
+  EXPECT_EQ(drained[2].score, 7);
+}
+
+TEST(TopKTest, AscendingKeepsSmallest) {
+  TopK topk(2, /*desc=*/false);
+  for (double s : {5.0, 1.0, 3.0, 0.5}) topk.Offer(M(0, s));
+  const auto drained = topk.Drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].score, 0.5);
+  EXPECT_EQ(drained[1].score, 1.0);
+}
+
+TEST(TopKTest, OfferReportsAcceptance) {
+  TopK topk(2, true);
+  EXPECT_TRUE(topk.Offer(M(0, 10)));
+  EXPECT_TRUE(topk.Offer(M(1, 20)));
+  EXPECT_FALSE(topk.Offer(M(2, 5)));   // below both
+  EXPECT_TRUE(topk.Offer(M(3, 15)));   // displaces 10
+  const auto drained = topk.Drain();
+  EXPECT_EQ(drained[0].score, 20);
+  EXPECT_EQ(drained[1].score, 15);
+}
+
+TEST(TopKTest, ThresholdIsWorstRetained) {
+  TopK topk(3, true);
+  topk.Offer(M(0, 10));
+  topk.Offer(M(1, 30));
+  topk.Offer(M(2, 20));
+  EXPECT_TRUE(topk.full());
+  EXPECT_EQ(topk.threshold(), 10.0);
+  topk.Offer(M(3, 25));
+  EXPECT_EQ(topk.threshold(), 20.0);
+}
+
+TEST(TopKTest, EqualScoreRejectedWhenFull) {
+  // A later match with a score equal to the k-th best must not displace it.
+  TopK topk(1, true);
+  EXPECT_TRUE(topk.Offer(M(1, 10)));
+  EXPECT_FALSE(topk.Offer(M(2, 10)));
+  const auto drained = topk.Drain();
+  EXPECT_EQ(drained[0].id, 1u);
+}
+
+TEST(TopKTest, ZeroKRejectsEverything) {
+  TopK topk(0, true);
+  EXPECT_FALSE(topk.Offer(M(0, 100)));
+  EXPECT_TRUE(topk.empty());
+  EXPECT_TRUE(topk.Drain().empty());
+}
+
+TEST(TopKTest, UnlimitedNeverFull) {
+  TopK topk(TopK::kUnlimited, true);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(topk.Offer(M(i, i)));
+  EXPECT_FALSE(topk.full());
+  EXPECT_EQ(topk.size(), 1000u);
+}
+
+TEST(TopKTest, DrainEmpties) {
+  TopK topk(5, true);
+  topk.Offer(M(0, 1));
+  EXPECT_EQ(topk.Drain().size(), 1u);
+  EXPECT_TRUE(topk.empty());
+  EXPECT_TRUE(topk.Drain().empty());
+}
+
+TEST(TopKTest, RankOfScoreCountsBetter) {
+  TopK topk(5, true);
+  for (double s : {10.0, 20.0, 30.0}) topk.Offer(M(0, s));
+  EXPECT_EQ(topk.RankOfScore(35), 0u);
+  EXPECT_EQ(topk.RankOfScore(25), 1u);
+  EXPECT_EQ(topk.RankOfScore(5), 3u);
+}
+
+TEST(TopKTest, DrainOrderDeterministicUnderTies) {
+  TopK topk(4, true);
+  topk.Offer(M(3, 5));
+  topk.Offer(M(1, 5));
+  topk.Offer(M(2, 5));
+  topk.Offer(M(0, 5));
+  const auto drained = topk.Drain();
+  for (size_t i = 0; i < drained.size(); ++i) EXPECT_EQ(drained[i].id, i);
+}
+
+// Property: TopK agrees with sort-then-truncate on random inputs.
+class TopKPropertyTest : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(TopKPropertyTest, AgreesWithSortTruncate) {
+  const auto [k, desc] = GetParam();
+  Random rng(static_cast<uint64_t>(k) * 7 + desc);
+  std::vector<Match> all;
+  TopK topk(static_cast<size_t>(k), desc);
+  for (uint64_t i = 0; i < 500; ++i) {
+    const Match m = M(i, static_cast<double>(rng.Uniform(50)));  // many ties
+    all.push_back(m);
+    topk.Offer(m);
+  }
+  std::sort(all.begin(), all.end(), [desc](const Match& a, const Match& b) {
+    return OutranksMatch(a, b, desc);
+  });
+  all.resize(static_cast<size_t>(k));
+  const auto drained = topk.Drain();
+  ASSERT_EQ(drained.size(), all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(drained[i].id, all[i].id) << "k=" << k << " desc=" << desc;
+    EXPECT_EQ(drained[i].score, all[i].score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TopKPropertyTest,
+                         ::testing::Combine(::testing::Values(1, 5, 32, 100),
+                                            ::testing::Bool()));
+
+}  // namespace
+}  // namespace cepr

@@ -1,0 +1,127 @@
+#include "runtime/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+using testing::StockSchema;
+using testing::Tick;
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "cepr_csv_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, EventsRoundTrip) {
+  std::vector<Event> events;
+  events.push_back(Tick(1000, 42.5, 7, "IBM"));
+  Event tagged = Tick(2000, 10.0, 8, "MSFT");
+  tagged.set_type_tag("Buy");
+  events.push_back(tagged);
+
+  ASSERT_TRUE(WriteEventsCsv(path_, events).ok());
+  auto readback = ReadEventsCsv(path_, StockSchema());
+  ASSERT_TRUE(readback.ok()) << readback.status().ToString();
+  ASSERT_EQ(readback->size(), 2u);
+  EXPECT_EQ((*readback)[0].timestamp(), 1000);
+  EXPECT_EQ((*readback)[0].value(0), Value::String("IBM"));
+  EXPECT_EQ((*readback)[0].value(1), Value::Float(42.5));
+  EXPECT_EQ((*readback)[0].value(2), Value::Int(7));
+  EXPECT_EQ((*readback)[1].type_tag(), "Buy");
+}
+
+TEST_F(CsvTest, QuotedCellsRoundTrip) {
+  std::vector<Event> events;
+  events.push_back(Tick(0, 1.0, 1, "has,comma"));
+  events.push_back(Tick(1, 2.0, 2, "has\"quote"));
+  ASSERT_TRUE(WriteEventsCsv(path_, events).ok());
+  auto readback = ReadEventsCsv(path_, StockSchema());
+  ASSERT_TRUE(readback.ok()) << readback.status().ToString();
+  EXPECT_EQ((*readback)[0].value(0), Value::String("has,comma"));
+  EXPECT_EQ((*readback)[1].value(0), Value::String("has\"quote"));
+}
+
+TEST_F(CsvTest, EmptyNumericCellBecomesNull) {
+  std::ofstream out(path_);
+  out << "ts,type,symbol,price,volume\n";
+  out << "5,,IBM,,3\n";
+  out.close();
+  auto readback = ReadEventsCsv(path_, StockSchema());
+  ASSERT_TRUE(readback.ok()) << readback.status().ToString();
+  EXPECT_TRUE((*readback)[0].value(1).is_null());
+  EXPECT_EQ((*readback)[0].value(2), Value::Int(3));
+}
+
+TEST_F(CsvTest, BadCellsReportLineNumbers) {
+  std::ofstream out(path_);
+  out << "ts,type,symbol,price,volume\n";
+  out << "5,,IBM,notanumber,3\n";
+  out.close();
+  auto readback = ReadEventsCsv(path_, StockSchema());
+  ASSERT_FALSE(readback.ok());
+  EXPECT_NE(readback.status().message().find("line 2"), std::string::npos);
+}
+
+TEST_F(CsvTest, ArityMismatchRejected) {
+  std::ofstream out(path_);
+  out << "ts,type,symbol,price,volume\n";
+  out << "5,,IBM,1.0\n";
+  out.close();
+  EXPECT_FALSE(ReadEventsCsv(path_, StockSchema()).ok());
+}
+
+TEST_F(CsvTest, MissingHeaderRejected) {
+  std::ofstream out(path_);
+  out << "5,,IBM,1.0,3\n";
+  out.close();
+  EXPECT_FALSE(ReadEventsCsv(path_, StockSchema()).ok());
+}
+
+TEST_F(CsvTest, MissingFileReported) {
+  EXPECT_EQ(ReadEventsCsv("/nonexistent/nope.csv", StockSchema()).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, ResultSinkWritesRows) {
+  CsvResultSink sink(path_, {"price", "depth"});
+  ASSERT_TRUE(sink.status().ok());
+  RankedResult r;
+  r.window_id = 3;
+  r.rank = 1;
+  r.provisional = true;
+  r.match.id = 9;
+  r.match.first_ts = 100;
+  r.match.last_ts = 200;
+  r.match.score = 2.5;
+  r.match.row = {Value::Float(42.0), Value::Int(7)};
+  sink.OnResult(r);
+
+  // Flush by destroying... CsvResultSink flushes via ofstream dtor; copy
+  // semantics: read after scope.
+  {
+    CsvResultSink scoped(path_, {"price", "depth"});
+    scoped.OnResult(r);
+  }
+  std::ifstream in(path_);
+  std::string header;
+  std::string line;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(header, "window,rank,provisional,score,first_ts,last_ts,price,depth");
+  EXPECT_EQ(line, "3,1,1,2.5,100,200,42.0,7");
+}
+
+}  // namespace
+}  // namespace cepr

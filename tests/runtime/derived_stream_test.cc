@@ -1,0 +1,151 @@
+// Derived streams (EMIT ... INTO): query results re-enter the engine as
+// events, composing hierarchical patterns.
+
+#include <gtest/gtest.h>
+
+#include "runtime/engine.h"
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+using testing::Tick;
+
+constexpr char kDdl[] =
+    "CREATE STREAM Stock (symbol STRING, price FLOAT RANGE [1, 1000], "
+    "volume INT RANGE [1, 10000])";
+
+// Level-1 query: every up-tick pair becomes a "Rise" event.
+constexpr char kRises[] =
+    "SELECT a.price AS low, c.price AS high "
+    "FROM Stock MATCH PATTERN SEQ(a, c) "
+    "USING STRICT "
+    "WHERE c.price > a.price "
+    "WITHIN 1 SECONDS "
+    "EMIT ON COMPLETE INTO Rise";
+
+// Level-2 query over the derived stream: three consecutive rises.
+constexpr char kRallies[] =
+    "SELECT COUNT(r) AS rises, LAST(r).high AS peak "
+    "FROM Rise MATCH PATTERN SEQ(r{3}, x) "
+    "WHERE r[i].low >= r[i-1].low AND x.high > 0 "
+    "WITHIN 10 SECONDS";
+
+class DerivedStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(engine_.ExecuteDdl(kDdl).ok()); }
+
+  Status PushPrices(const std::vector<double>& prices) {
+    auto schema = engine_.GetSchema("Stock").value();
+    Timestamp ts = 0;
+    for (double p : prices) {
+      CEPR_RETURN_IF_ERROR(engine_.Push(Event(
+          schema, ts, {Value::String("S"), Value::Float(p), Value::Int(1)})));
+      ts += 100 * 1000;
+    }
+    return Status::OK();
+  }
+
+  Engine engine_;
+};
+
+TEST_F(DerivedStreamTest, CreatesDerivedSchemaFromOutputs) {
+  ASSERT_TRUE(
+      engine_.RegisterQuery("rises", kRises, QueryOptions{}, nullptr).ok());
+  auto derived = engine_.GetSchema("Rise");
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ((*derived)->num_attributes(), 2u);
+  EXPECT_EQ((*derived)->attribute(0).name, "low");
+  EXPECT_EQ((*derived)->attribute(0).type, ValueType::kFloat);
+  EXPECT_EQ((*derived)->attribute(1).name, "high");
+}
+
+TEST_F(DerivedStreamTest, ResultsFlowIntoDownstreamQuery) {
+  CollectSink rises;
+  CollectSink rallies;
+  ASSERT_TRUE(
+      engine_.RegisterQuery("rises", kRises, QueryOptions{}, &rises).ok());
+  auto st = engine_.RegisterQuery("rallies", kRallies, QueryOptions{}, &rallies);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  // Strictly rising prices: each adjacent pair is a Rise; four rises make
+  // (at least) one 3+1 rally on the derived stream.
+  ASSERT_TRUE(PushPrices({10, 11, 12, 13, 14, 15}).ok());
+  engine_.Finish();
+
+  EXPECT_EQ(rises.results().size(), 5u);
+  ASSERT_FALSE(rallies.results().empty());
+  EXPECT_EQ(rallies.results()[0].match.row[0], Value::Int(3));
+}
+
+TEST_F(DerivedStreamTest, SelfLoopRejected) {
+  auto st = engine_.RegisterQuery(
+      "loop",
+      "SELECT a.price FROM Stock MATCH PATTERN SEQ(a) EMIT ON COMPLETE "
+      "INTO Stock",
+      QueryOptions{}, nullptr);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("own input stream"), std::string::npos);
+}
+
+TEST_F(DerivedStreamTest, ExistingStreamShapeValidated) {
+  ASSERT_TRUE(engine_.ExecuteDdl("CREATE STREAM Rise (wrong INT)").ok());
+  auto st = engine_.RegisterQuery("rises", kRises, QueryOptions{}, nullptr);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DerivedStreamTest, CompositionCycleIsBounded) {
+  // A -> B and B -> A: the depth guard must stop the recursion with a
+  // warning rather than hanging or crashing. Build the cycle via manual
+  // schemas so both registrations succeed.
+  ASSERT_TRUE(engine_.ExecuteDdl("CREATE STREAM A (x FLOAT)").ok());
+  ASSERT_TRUE(
+      engine_
+          .RegisterQuery("ab",
+                         "SELECT a.x AS x FROM A MATCH PATTERN SEQ(a) "
+                         "EMIT ON COMPLETE INTO B",
+                         QueryOptions{}, nullptr)
+          .ok());
+  ASSERT_TRUE(
+      engine_
+          .RegisterQuery("ba",
+                         "SELECT b.x AS x FROM B MATCH PATTERN SEQ(b) "
+                         "EMIT ON COMPLETE INTO A",
+                         QueryOptions{}, nullptr)
+          .ok());
+  auto schema = engine_.GetSchema("A").value();
+  EXPECT_TRUE(engine_.Push(Event(schema, 0, {Value::Float(1)})).ok());
+  // Each bounce increments the ingest counter until the depth cap.
+  EXPECT_GT(engine_.events_ingested(), 2u);
+  EXPECT_LE(engine_.events_ingested(), 10u);
+}
+
+TEST_F(DerivedStreamTest, BufferedRankedResultsClampTimestamps) {
+  // Ranked window emission is score-ordered, so derived events may arrive
+  // with non-monotone last_ts; the derived stream clamps instead of
+  // rejecting, and the downstream query still runs.
+  CollectSink downstream;
+  ASSERT_TRUE(engine_
+                  .RegisterQuery(
+                      "ranked",
+                      "SELECT a.price AS p, c.price AS q "
+                      "FROM Stock MATCH PATTERN SEQ(a, c) "
+                      "WHERE c.price > a.price "
+                      "WITHIN 2 SECONDS "
+                      "RANK BY c.price - a.price DESC "
+                      "EMIT ON WINDOW CLOSE INTO Gains",
+                      QueryOptions{}, nullptr)
+                  .ok());
+  ASSERT_TRUE(engine_
+                  .RegisterQuery("watch",
+                                 "SELECT g.p FROM Gains MATCH PATTERN SEQ(g)",
+                                 QueryOptions{}, &downstream)
+                  .ok());
+  ASSERT_TRUE(PushPrices({10, 11, 30, 12}).ok());
+  engine_.Finish();
+  EXPECT_FALSE(downstream.results().empty());
+}
+
+}  // namespace
+}  // namespace cepr

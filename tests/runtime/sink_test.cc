@@ -1,0 +1,80 @@
+#include "runtime/sink.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cepr {
+namespace {
+
+RankedResult SampleResult() {
+  RankedResult r;
+  r.window_id = 2;
+  r.rank = 0;
+  r.provisional = false;
+  r.match.id = 5;
+  r.match.score = 3.25;
+  r.match.row = {Value::Float(42.0), Value::String("IBM")};
+  return r;
+}
+
+TEST(CollectSinkTest, BuffersAndClears) {
+  CollectSink sink;
+  sink.OnResult(SampleResult());
+  sink.OnResult(SampleResult());
+  EXPECT_EQ(sink.results().size(), 2u);
+  EXPECT_EQ(sink.results()[0].match.id, 5u);
+  sink.Clear();
+  EXPECT_TRUE(sink.results().empty());
+}
+
+TEST(CallbackSinkTest, ForwardsEachResult) {
+  int calls = 0;
+  double last_score = 0;
+  CallbackSink sink([&](const RankedResult& r) {
+    ++calls;
+    last_score = r.match.score;
+  });
+  sink.OnResult(SampleResult());
+  EXPECT_EQ(calls, 1);
+  EXPECT_DOUBLE_EQ(last_score, 3.25);
+}
+
+TEST(NullSinkTest, CountsSilently) {
+  NullSink sink;
+  for (int i = 0; i < 7; ++i) sink.OnResult(SampleResult());
+  EXPECT_EQ(sink.count(), 7u);
+}
+
+TEST(PrintSinkTest, FormatsRankWindowAndColumns) {
+  std::ostringstream os;
+  PrintSink sink(os, {"price", "symbol"}, "myquery");
+  sink.OnResult(SampleResult());
+  const std::string line = os.str();
+  EXPECT_NE(line.find("[myquery]"), std::string::npos);
+  EXPECT_NE(line.find("w2"), std::string::npos);
+  EXPECT_NE(line.find("#1"), std::string::npos);
+  EXPECT_NE(line.find("score=3.25"), std::string::npos);
+  EXPECT_NE(line.find("price=42.0"), std::string::npos);
+  EXPECT_NE(line.find("symbol='IBM'"), std::string::npos);
+}
+
+TEST(PrintSinkTest, ProvisionalResultsFlagged) {
+  std::ostringstream os;
+  PrintSink sink(os, {});
+  RankedResult r = SampleResult();
+  r.provisional = true;
+  sink.OnResult(r);
+  EXPECT_NE(os.str().find("#1?"), std::string::npos);
+}
+
+TEST(PrintSinkTest, MissingColumnNamesStillPrintValues) {
+  std::ostringstream os;
+  PrintSink sink(os, {"only_one"});
+  sink.OnResult(SampleResult());  // two row values, one name
+  EXPECT_NE(os.str().find("only_one=42.0"), std::string::npos);
+  EXPECT_NE(os.str().find("'IBM'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cepr

@@ -1,0 +1,172 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/health.h"
+#include "workload/stock.h"
+#include "workload/traffic.h"
+
+namespace cepr {
+namespace {
+
+TEST(StockGeneratorTest, DeterministicForSeed) {
+  StockOptions options;
+  StockGenerator g1(options);
+  StockGenerator g2(options);
+  for (int i = 0; i < 200; ++i) {
+    const Event a = g1.Next();
+    const Event b = g2.Next();
+    EXPECT_EQ(a.timestamp(), b.timestamp());
+    EXPECT_EQ(a.value(0), b.value(0));
+    EXPECT_EQ(a.value(1), b.value(1));
+  }
+}
+
+TEST(StockGeneratorTest, TimestampsStrictlyIncrease) {
+  StockGenerator gen(StockOptions{});
+  Timestamp prev = -1;
+  for (const Event& e : gen.Take(1000)) {
+    EXPECT_GT(e.timestamp(), prev);
+    prev = e.timestamp();
+  }
+}
+
+TEST(StockGeneratorTest, PricesWithinDeclaredRange) {
+  StockOptions options;
+  options.volatility = 0.2;  // stress the clamp
+  StockGenerator gen(options);
+  for (const Event& e : gen.Take(5000)) {
+    const double p = e.value(1).AsFloat();
+    EXPECT_GE(p, 1.0);
+    EXPECT_LE(p, 1000.0);
+    const int64_t v = e.value(2).AsInt();
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 10000);
+  }
+}
+
+TEST(StockGeneratorTest, SymbolsRespectCount) {
+  StockOptions options;
+  options.num_symbols = 3;
+  StockGenerator gen(options);
+  for (const Event& e : gen.Take(500)) {
+    const std::string& s = e.value(0).AsString();
+    EXPECT_TRUE(s == "S0" || s == "S1" || s == "S2") << s;
+  }
+}
+
+TEST(StockGeneratorTest, PlantedVsCreateDownRuns) {
+  StockOptions options;
+  options.num_symbols = 1;
+  options.v_probability = 0.05;
+  options.v_depth = 4;
+  options.volatility = 0.0;  // only scripted moves change the price
+  StockGenerator gen(options);
+  // With zero noise, any 4-run of strictly falling prices is a planted V.
+  int down_runs = 0;
+  double prev = 0;
+  int streak = 0;
+  for (const Event& e : gen.Take(5000)) {
+    const double p = e.value(1).AsFloat();
+    if (prev > 0 && p < prev) {
+      ++streak;
+      if (streak == 4) ++down_runs;
+    } else {
+      streak = 0;
+    }
+    prev = p;
+  }
+  EXPECT_GT(down_runs, 10);
+}
+
+TEST(StockGeneratorTest, VProbabilityZeroMeansNoScripts) {
+  StockOptions options;
+  options.num_symbols = 1;
+  options.v_probability = 0.0;
+  options.volatility = 0.0;
+  StockGenerator gen(options);
+  // Mean reversion only: tiny moves, no 2% drops.
+  double prev = gen.Next().value(1).AsFloat();
+  for (const Event& e : gen.Take(100)) {
+    const double p = e.value(1).AsFloat();
+    EXPECT_LT(std::abs(p - prev) / prev, 0.01);
+    prev = p;
+  }
+}
+
+TEST(HealthGeneratorTest, VitalsWithinPhysiologicalRanges) {
+  HealthGenerator gen(HealthOptions{});
+  for (const Event& e : gen.Take(5000)) {
+    EXPECT_GE(e.value(1).AsFloat(), 30.0);
+    EXPECT_LE(e.value(1).AsFloat(), 220.0);
+    EXPECT_GE(e.value(2).AsFloat(), 50.0);
+    EXPECT_LE(e.value(2).AsFloat(), 100.0);
+  }
+}
+
+TEST(HealthGeneratorTest, EpisodesRampHeartRate) {
+  HealthOptions options;
+  options.num_patients = 1;
+  options.episode_probability = 0.05;
+  options.episode_length = 5;
+  HealthGenerator gen(options);
+  // Count runs of >=3 consecutive increases of >5 bpm: only episodes do that.
+  int ramps = 0;
+  double prev = 0;
+  int streak = 0;
+  for (const Event& e : gen.Take(5000)) {
+    const double hr = e.value(1).AsFloat();
+    if (prev > 0 && hr - prev > 5.0) {
+      if (++streak == 3) ++ramps;
+    } else {
+      streak = 0;
+    }
+    prev = hr;
+  }
+  EXPECT_GT(ramps, 5);
+}
+
+TEST(TrafficGeneratorTest, ReadingsWithinRanges) {
+  TrafficGenerator gen(TrafficOptions{});
+  for (const Event& e : gen.Take(5000)) {
+    EXPECT_GE(e.value(1).AsFloat(), 0.0);
+    EXPECT_LE(e.value(1).AsFloat(), 130.0);
+    EXPECT_GE(e.value(2).AsFloat(), 0.0);
+    EXPECT_LE(e.value(2).AsFloat(), 1.0);
+  }
+}
+
+TEST(TrafficGeneratorTest, JamsDepressSpeed) {
+  TrafficOptions options;
+  options.num_sensors = 1;
+  options.jam_probability = 0.02;
+  options.jam_length = 6;
+  TrafficGenerator gen(options);
+  int slow = 0;
+  for (const Event& e : gen.Take(5000)) {
+    if (e.value(1).AsFloat() < 40.0) ++slow;
+  }
+  EXPECT_GT(slow, 50);  // jams visibly depress speed
+}
+
+TEST(GeneratorTest, TakeProducesExactlyN) {
+  StockGenerator gen(StockOptions{});
+  EXPECT_EQ(gen.Take(0).size(), 0u);
+  EXPECT_EQ(gen.Take(17).size(), 17u);
+}
+
+TEST(GeneratorTest, SchemasHaveDeclaredRanges) {
+  // Ranges power the ranking pruner; all three demo schemas declare them.
+  for (const SchemaPtr& schema :
+       {StockGenerator::MakeSchema(), HealthGenerator::MakeSchema(),
+        TrafficGenerator::MakeSchema()}) {
+    int ranged = 0;
+    for (const Attribute& attr : schema->attributes()) {
+      if (attr.range.has_value()) ++ranged;
+    }
+    EXPECT_GT(ranged, 0) << schema->name();
+  }
+}
+
+}  // namespace
+}  // namespace cepr
