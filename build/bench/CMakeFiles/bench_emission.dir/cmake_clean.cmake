@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emission.dir/bench_emission.cc.o"
+  "CMakeFiles/bench_emission.dir/bench_emission.cc.o.d"
+  "bench_emission"
+  "bench_emission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

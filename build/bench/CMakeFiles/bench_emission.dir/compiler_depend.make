@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_emission.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_strategy.dir/bench_strategy.cc.o"
+  "CMakeFiles/bench_strategy.dir/bench_strategy.cc.o.d"
+  "bench_strategy"
+  "bench_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

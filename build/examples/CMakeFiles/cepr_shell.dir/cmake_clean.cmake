@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepr_shell.dir/cepr_shell.cpp.o"
+  "CMakeFiles/cepr_shell.dir/cepr_shell.cpp.o.d"
+  "cepr_shell"
+  "cepr_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepr_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_events.dir/composite_events.cpp.o"
+  "CMakeFiles/composite_events.dir/composite_events.cpp.o.d"
+  "composite_events"
+  "composite_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

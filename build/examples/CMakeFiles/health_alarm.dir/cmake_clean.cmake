@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/health_alarm.dir/health_alarm.cpp.o"
+  "CMakeFiles/health_alarm.dir/health_alarm.cpp.o.d"
+  "health_alarm"
+  "health_alarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/health_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_crash.dir/stock_crash.cpp.o"
+  "CMakeFiles/stock_crash.dir/stock_crash.cpp.o.d"
+  "stock_crash"
+  "stock_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

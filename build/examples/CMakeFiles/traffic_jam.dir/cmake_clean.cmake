@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_jam.dir/traffic_jam.cpp.o"
+  "CMakeFiles/traffic_jam.dir/traffic_jam.cpp.o.d"
+  "traffic_jam"
+  "traffic_jam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_jam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cepr_shell_smoke "sh" "-c" "printf 'CREATE STREAM T (x FLOAT RANGE [0, 100]);\\nSELECT a.x FROM T MATCH PATTERN SEQ(a) WHERE a.x > 1;\\n\\\\streams\\n\\\\queries\\n\\\\stats q1\\n\\\\quit\\n' | /root/repo/build/examples/cepr_shell")
+set_tests_properties(cepr_shell_smoke PROPERTIES  PASS_REGULAR_EXPRESSION "registered query q1" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")

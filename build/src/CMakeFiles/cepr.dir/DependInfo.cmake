@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/cepr.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/cepr.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/cepr.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/cepr.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/cepr.dir/common/random.cc.o" "gcc" "src/CMakeFiles/cepr.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/cepr.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cepr.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/cepr.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/cepr.dir/common/strings.cc.o.d"
+  "/root/repo/src/engine/matcher.cc" "src/CMakeFiles/cepr.dir/engine/matcher.cc.o" "gcc" "src/CMakeFiles/cepr.dir/engine/matcher.cc.o.d"
+  "/root/repo/src/engine/partition.cc" "src/CMakeFiles/cepr.dir/engine/partition.cc.o" "gcc" "src/CMakeFiles/cepr.dir/engine/partition.cc.o.d"
+  "/root/repo/src/engine/run.cc" "src/CMakeFiles/cepr.dir/engine/run.cc.o" "gcc" "src/CMakeFiles/cepr.dir/engine/run.cc.o.d"
+  "/root/repo/src/engine/window.cc" "src/CMakeFiles/cepr.dir/engine/window.cc.o" "gcc" "src/CMakeFiles/cepr.dir/engine/window.cc.o.d"
+  "/root/repo/src/event/event.cc" "src/CMakeFiles/cepr.dir/event/event.cc.o" "gcc" "src/CMakeFiles/cepr.dir/event/event.cc.o.d"
+  "/root/repo/src/event/schema.cc" "src/CMakeFiles/cepr.dir/event/schema.cc.o" "gcc" "src/CMakeFiles/cepr.dir/event/schema.cc.o.d"
+  "/root/repo/src/event/value.cc" "src/CMakeFiles/cepr.dir/event/value.cc.o" "gcc" "src/CMakeFiles/cepr.dir/event/value.cc.o.d"
+  "/root/repo/src/expr/aggregate.cc" "src/CMakeFiles/cepr.dir/expr/aggregate.cc.o" "gcc" "src/CMakeFiles/cepr.dir/expr/aggregate.cc.o.d"
+  "/root/repo/src/expr/eval.cc" "src/CMakeFiles/cepr.dir/expr/eval.cc.o" "gcc" "src/CMakeFiles/cepr.dir/expr/eval.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/cepr.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/cepr.dir/expr/expr.cc.o.d"
+  "/root/repo/src/expr/fold.cc" "src/CMakeFiles/cepr.dir/expr/fold.cc.o" "gcc" "src/CMakeFiles/cepr.dir/expr/fold.cc.o.d"
+  "/root/repo/src/expr/interval.cc" "src/CMakeFiles/cepr.dir/expr/interval.cc.o" "gcc" "src/CMakeFiles/cepr.dir/expr/interval.cc.o.d"
+  "/root/repo/src/expr/typecheck.cc" "src/CMakeFiles/cepr.dir/expr/typecheck.cc.o" "gcc" "src/CMakeFiles/cepr.dir/expr/typecheck.cc.o.d"
+  "/root/repo/src/lang/analyzer.cc" "src/CMakeFiles/cepr.dir/lang/analyzer.cc.o" "gcc" "src/CMakeFiles/cepr.dir/lang/analyzer.cc.o.d"
+  "/root/repo/src/lang/ast.cc" "src/CMakeFiles/cepr.dir/lang/ast.cc.o" "gcc" "src/CMakeFiles/cepr.dir/lang/ast.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/CMakeFiles/cepr.dir/lang/lexer.cc.o" "gcc" "src/CMakeFiles/cepr.dir/lang/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/CMakeFiles/cepr.dir/lang/parser.cc.o" "gcc" "src/CMakeFiles/cepr.dir/lang/parser.cc.o.d"
+  "/root/repo/src/plan/compiler.cc" "src/CMakeFiles/cepr.dir/plan/compiler.cc.o" "gcc" "src/CMakeFiles/cepr.dir/plan/compiler.cc.o.d"
+  "/root/repo/src/plan/nfa.cc" "src/CMakeFiles/cepr.dir/plan/nfa.cc.o" "gcc" "src/CMakeFiles/cepr.dir/plan/nfa.cc.o.d"
+  "/root/repo/src/plan/pattern.cc" "src/CMakeFiles/cepr.dir/plan/pattern.cc.o" "gcc" "src/CMakeFiles/cepr.dir/plan/pattern.cc.o.d"
+  "/root/repo/src/rank/emitter.cc" "src/CMakeFiles/cepr.dir/rank/emitter.cc.o" "gcc" "src/CMakeFiles/cepr.dir/rank/emitter.cc.o.d"
+  "/root/repo/src/rank/ranker.cc" "src/CMakeFiles/cepr.dir/rank/ranker.cc.o" "gcc" "src/CMakeFiles/cepr.dir/rank/ranker.cc.o.d"
+  "/root/repo/src/rank/score.cc" "src/CMakeFiles/cepr.dir/rank/score.cc.o" "gcc" "src/CMakeFiles/cepr.dir/rank/score.cc.o.d"
+  "/root/repo/src/rank/topk.cc" "src/CMakeFiles/cepr.dir/rank/topk.cc.o" "gcc" "src/CMakeFiles/cepr.dir/rank/topk.cc.o.d"
+  "/root/repo/src/runtime/csv.cc" "src/CMakeFiles/cepr.dir/runtime/csv.cc.o" "gcc" "src/CMakeFiles/cepr.dir/runtime/csv.cc.o.d"
+  "/root/repo/src/runtime/engine.cc" "src/CMakeFiles/cepr.dir/runtime/engine.cc.o" "gcc" "src/CMakeFiles/cepr.dir/runtime/engine.cc.o.d"
+  "/root/repo/src/runtime/metrics.cc" "src/CMakeFiles/cepr.dir/runtime/metrics.cc.o" "gcc" "src/CMakeFiles/cepr.dir/runtime/metrics.cc.o.d"
+  "/root/repo/src/runtime/query.cc" "src/CMakeFiles/cepr.dir/runtime/query.cc.o" "gcc" "src/CMakeFiles/cepr.dir/runtime/query.cc.o.d"
+  "/root/repo/src/runtime/sink.cc" "src/CMakeFiles/cepr.dir/runtime/sink.cc.o" "gcc" "src/CMakeFiles/cepr.dir/runtime/sink.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/cepr.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/cepr.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/health.cc" "src/CMakeFiles/cepr.dir/workload/health.cc.o" "gcc" "src/CMakeFiles/cepr.dir/workload/health.cc.o.d"
+  "/root/repo/src/workload/stock.cc" "src/CMakeFiles/cepr.dir/workload/stock.cc.o" "gcc" "src/CMakeFiles/cepr.dir/workload/stock.cc.o.d"
+  "/root/repo/src/workload/traffic.cc" "src/CMakeFiles/cepr.dir/workload/traffic.cc.o" "gcc" "src/CMakeFiles/cepr.dir/workload/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

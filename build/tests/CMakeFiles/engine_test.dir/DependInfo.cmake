@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/extended_pattern_test.cc" "tests/CMakeFiles/engine_test.dir/engine/extended_pattern_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/extended_pattern_test.cc.o.d"
+  "/root/repo/tests/engine/matcher_test.cc" "tests/CMakeFiles/engine_test.dir/engine/matcher_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/matcher_test.cc.o.d"
+  "/root/repo/tests/engine/partition_test.cc" "tests/CMakeFiles/engine_test.dir/engine/partition_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/partition_test.cc.o.d"
+  "/root/repo/tests/engine/run_test.cc" "tests/CMakeFiles/engine_test.dir/engine/run_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/run_test.cc.o.d"
+  "/root/repo/tests/engine/window_test.cc" "tests/CMakeFiles/engine_test.dir/engine/window_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/window_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cepr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

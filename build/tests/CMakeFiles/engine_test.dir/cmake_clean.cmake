@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_test.dir/engine/extended_pattern_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/extended_pattern_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/matcher_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/matcher_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/partition_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/partition_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/run_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/run_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/window_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/window_test.cc.o.d"
+  "engine_test"
+  "engine_test.pdb"
+  "engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

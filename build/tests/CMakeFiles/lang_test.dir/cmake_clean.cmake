@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_test.dir/lang/analyzer_test.cc.o"
+  "CMakeFiles/lang_test.dir/lang/analyzer_test.cc.o.d"
+  "CMakeFiles/lang_test.dir/lang/lexer_test.cc.o"
+  "CMakeFiles/lang_test.dir/lang/lexer_test.cc.o.d"
+  "CMakeFiles/lang_test.dir/lang/parser_test.cc.o"
+  "CMakeFiles/lang_test.dir/lang/parser_test.cc.o.d"
+  "lang_test"
+  "lang_test.pdb"
+  "lang_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

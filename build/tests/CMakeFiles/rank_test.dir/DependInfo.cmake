@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rank/emitter_test.cc" "tests/CMakeFiles/rank_test.dir/rank/emitter_test.cc.o" "gcc" "tests/CMakeFiles/rank_test.dir/rank/emitter_test.cc.o.d"
+  "/root/repo/tests/rank/pruner_test.cc" "tests/CMakeFiles/rank_test.dir/rank/pruner_test.cc.o" "gcc" "tests/CMakeFiles/rank_test.dir/rank/pruner_test.cc.o.d"
+  "/root/repo/tests/rank/ranker_test.cc" "tests/CMakeFiles/rank_test.dir/rank/ranker_test.cc.o" "gcc" "tests/CMakeFiles/rank_test.dir/rank/ranker_test.cc.o.d"
+  "/root/repo/tests/rank/topk_test.cc" "tests/CMakeFiles/rank_test.dir/rank/topk_test.cc.o" "gcc" "tests/CMakeFiles/rank_test.dir/rank/topk_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cepr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

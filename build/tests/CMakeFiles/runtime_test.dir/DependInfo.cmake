@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/csv_test.cc" "tests/CMakeFiles/runtime_test.dir/runtime/csv_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/csv_test.cc.o.d"
+  "/root/repo/tests/runtime/derived_stream_test.cc" "tests/CMakeFiles/runtime_test.dir/runtime/derived_stream_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/derived_stream_test.cc.o.d"
+  "/root/repo/tests/runtime/engine_test.cc" "tests/CMakeFiles/runtime_test.dir/runtime/engine_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/engine_test.cc.o.d"
+  "/root/repo/tests/runtime/sink_test.cc" "tests/CMakeFiles/runtime_test.dir/runtime/sink_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/sink_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cepr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_test.dir/runtime/csv_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/csv_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/derived_stream_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/derived_stream_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/engine_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/engine_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/sink_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/sink_test.cc.o.d"
+  "runtime_test"
+  "runtime_test.pdb"
+  "runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
