@@ -169,6 +169,7 @@ bool Matcher::MaybeEmit(Run* run, std::vector<Match>* out) {
     }
   }
   m.last_ts = last != nullptr ? last->timestamp() : run->first_ts();
+  m.last_sequence = last != nullptr ? last->sequence() : run->first_sequence();
   m.bindings = run->bindings();
 
   m.row.reserve(plan_->analyzed.ast.select.size());

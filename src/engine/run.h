@@ -18,9 +18,16 @@ using EventPtr = std::shared_ptr<const Event>;
 
 /// A completed pattern instance, ready for ranking and emission.
 struct Match {
-  /// Detection sequence number (per query, monotonically increasing); the
-  /// deterministic tie-break for equal scores.
+  /// Detection sequence number (monotonically increasing within one
+  /// matcher scope — per query single-threaded, per shard under sharded
+  /// execution). Secondary tie-break for equal scores.
   uint64_t id = 0;
+  /// Stream sequence number of the detecting (last bound) event. Primary
+  /// tie-break for equal scores: it is a global stream property, so the
+  /// ranked order is identical whether partitions run on one thread or
+  /// are sharded across workers. Matches detected by the same event live
+  /// in one matcher, where `id` finishes the job.
+  uint64_t last_sequence = 0;
   /// Timestamps of the first and last bound event.
   Timestamp first_ts = 0;
   Timestamp last_ts = 0;

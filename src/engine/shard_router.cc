@@ -1,0 +1,24 @@
+#include "engine/shard_router.h"
+
+namespace cepr {
+
+ShardRouter::ShardRouter(const CompiledQuery& plan, size_t num_shards,
+                         size_t query_index)
+    : partition_attr_(plan.partition_attr_index),
+      num_shards_(num_shards == 0 ? 1 : num_shards),
+      pinned_(query_index % (num_shards == 0 ? 1 : num_shards)) {}
+
+uint64_t ShardRouter::Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+size_t ShardRouter::ShardOf(const Event& event) const {
+  if (partition_attr_ < 0) return pinned_;
+  const Value& key = event.value(static_cast<size_t>(partition_attr_));
+  return static_cast<size_t>(Mix(key.Hash()) % num_shards_);
+}
+
+}  // namespace cepr

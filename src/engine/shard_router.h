@@ -1,0 +1,41 @@
+#ifndef CEPR_ENGINE_SHARD_ROUTER_H_
+#define CEPR_ENGINE_SHARD_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "event/event.h"
+#include "plan/compiler.h"
+
+namespace cepr {
+
+/// Maps one query's events to worker shards. PARTITION BY keys are hashed
+/// (with an avalanche mix, so clustered key hashes still spread) across the
+/// shard count: a partition is owned by exactly one shard for the stream's
+/// lifetime, which is what makes per-shard matcher state sound — runs of a
+/// key never migrate. Unpartitioned queries are pinned to one shard chosen
+/// by query ordinal, since their single matcher must see every event in
+/// order.
+class ShardRouter {
+ public:
+  /// `query_index` spreads the pinned shard of unpartitioned queries.
+  ShardRouter(const CompiledQuery& plan, size_t num_shards, size_t query_index);
+
+  /// Shard owning this event's partition (the pin for unpartitioned plans).
+  size_t ShardOf(const Event& event) const;
+
+  bool partitioned() const { return partition_attr_ >= 0; }
+  size_t num_shards() const { return num_shards_; }
+
+  /// 64-bit avalanche mix (splitmix64 finalizer); exposed for tests.
+  static uint64_t Mix(uint64_t x);
+
+ private:
+  int partition_attr_;
+  size_t num_shards_;
+  size_t pinned_;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_ENGINE_SHARD_ROUTER_H_

@@ -1,0 +1,61 @@
+#include "rank/merge.h"
+
+#include <algorithm>
+
+#include "rank/topk.h"
+
+namespace cepr {
+
+bool DetectedBefore(const Match& a, const Match& b) {
+  if (a.last_sequence != b.last_sequence) {
+    return a.last_sequence < b.last_sequence;
+  }
+  return a.id < b.id;
+}
+
+std::vector<RankedResult> MergeShardResults(
+    std::vector<std::vector<RankedResult>> shard_lists,
+    const ShardMergeOptions& options) {
+  const auto outranks = [&options](const RankedResult& a,
+                                   const RankedResult& b) {
+    return options.by_score ? OutranksMatch(a.match, b.match, options.desc)
+                            : DetectedBefore(a.match, b.match);
+  };
+
+  // Heap of (shard, cursor) keyed by each shard's current head; the lists
+  // are already ordered, so repeatedly taking the best head is a full
+  // ordered merge in O(total log shards).
+  struct Cursor {
+    size_t shard;
+    size_t index;
+  };
+  std::vector<Cursor> heads;
+  heads.reserve(shard_lists.size());
+  for (size_t s = 0; s < shard_lists.size(); ++s) {
+    if (!shard_lists[s].empty()) heads.push_back(Cursor{s, 0});
+  }
+  // std::push_heap keeps the comparator-max at the root; we want the best
+  // head there, so "less" = is outranked by.
+  const auto head_less = [&](const Cursor& a, const Cursor& b) {
+    return outranks(shard_lists[b.shard][b.index],
+                    shard_lists[a.shard][a.index]);
+  };
+  std::make_heap(heads.begin(), heads.end(), head_less);
+
+  std::vector<RankedResult> merged;
+  while (!heads.empty() && merged.size() < options.limit) {
+    std::pop_heap(heads.begin(), heads.end(), head_less);
+    Cursor cur = heads.back();
+    heads.pop_back();
+    RankedResult& r = shard_lists[cur.shard][cur.index];
+    r.rank = merged.size();
+    merged.push_back(std::move(r));
+    if (++cur.index < shard_lists[cur.shard].size()) {
+      heads.push_back(cur);
+      std::push_heap(heads.begin(), heads.end(), head_less);
+    }
+  }
+  return merged;
+}
+
+}  // namespace cepr

@@ -1,0 +1,42 @@
+#ifndef CEPR_RANK_MERGE_H_
+#define CEPR_RANK_MERGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "rank/ranker.h"
+
+namespace cepr {
+
+/// How per-shard result lists of one report window are combined.
+struct ShardMergeOptions {
+  /// True for ranked queries (order by OutranksMatch); false for
+  /// passthrough emission (order by detection position).
+  bool by_score = true;
+  /// RANK BY direction (ignored for passthrough).
+  bool desc = true;
+  /// LIMIT k; TopK::kUnlimited keeps everything.
+  size_t limit = static_cast<size_t>(-1);
+};
+
+/// Deterministic detection-order comparator used for passthrough merges:
+/// (detecting event's stream sequence, matcher-local id). True iff `a`
+/// was detected before `b`.
+bool DetectedBefore(const Match& a, const Match& b);
+
+/// K-way merge of one report window's per-shard emissions into the single
+/// globally ordered top-k the serial engine would have produced.
+///
+/// Each inner vector is one shard's already-ordered output for the window
+/// (its local top-k for ranked queries, its local first-k for passthrough).
+/// Because every match's global rank is at least its shard-local rank, the
+/// union of shard-local top-k lists is a superset of the global top-k, so
+/// merging and cutting to `limit` is exact. Ranks are reassigned 0..m-1;
+/// window ids and provisional flags pass through.
+std::vector<RankedResult> MergeShardResults(
+    std::vector<std::vector<RankedResult>> shard_lists,
+    const ShardMergeOptions& options);
+
+}  // namespace cepr
+
+#endif  // CEPR_RANK_MERGE_H_

@@ -6,7 +6,12 @@ namespace cepr {
 
 bool OutranksMatch(const Match& a, const Match& b, bool desc) {
   if (a.score != b.score) return desc ? a.score > b.score : a.score < b.score;
-  return a.id < b.id;  // earlier detection wins ties
+  // Earlier detection wins ties. The detecting event's stream sequence is
+  // the primary key so the order is shard-independent; the per-matcher id
+  // settles matches detected by the same event (single-threaded, ids grow
+  // in exactly this order, so the total order is unchanged).
+  if (a.last_sequence != b.last_sequence) return a.last_sequence < b.last_sequence;
+  return a.id < b.id;
 }
 
 TopK::TopK(size_t k, bool desc) : k_(k), desc_(desc) {}

@@ -10,7 +10,9 @@ namespace cepr {
 
 /// Deterministic total order on matches used everywhere in the ranking
 /// layer: primarily by score (direction per query), ties broken by earlier
-/// detection id. Returns true iff `a` outranks `b`.
+/// detection — (detecting event's stream sequence, matcher-local id), a
+/// key that is identical under serial and sharded execution. Returns true
+/// iff `a` outranks `b`.
 bool OutranksMatch(const Match& a, const Match& b, bool desc);
 
 /// Bounded top-k accumulator over matches: a size-k binary heap with the

@@ -15,4 +15,20 @@ std::string QueryMetrics::ToString() const {
   return out;
 }
 
+std::string ShardStats::ToString() const {
+  std::string out;
+  out += "events=" + std::to_string(events);
+  out += " matches=" + std::to_string(matches);
+  out += " barriers=" + std::to_string(barriers);
+  out += " batches=" + std::to_string(batches_published);
+  out += " queue_high_water=" + std::to_string(queue_high_water);
+  out += " enqueue_stalls=" + std::to_string(enqueue_stalls);
+  return out;
+}
+
+std::string MergeStats::ToString() const {
+  return "windows_merged=" + std::to_string(windows_merged) +
+         " results_emitted=" + std::to_string(results_emitted);
+}
+
 }  // namespace cepr

@@ -33,6 +33,39 @@ struct QueryMetrics {
   std::string ToString() const;
 };
 
+/// Per-worker-shard counters of the sharded engine. Written by the shard
+/// thread (and the router, for the queue-side counters); read after the
+/// shard has quiesced or via the engine's snapshot path.
+struct ShardStats {
+  /// Event messages processed by this shard (across all queries).
+  uint64_t events = 0;
+  /// Matches detected on this shard.
+  uint64_t matches = 0;
+  /// Window-barrier messages processed.
+  uint64_t barriers = 0;
+  /// Result batches published to the merge stage (one per window a shard
+  /// closed with results).
+  uint64_t batches_published = 0;
+  /// Peak ingest-queue occupancy observed by the router (backpressure
+  /// early-warning: capacity means stalls).
+  size_t queue_high_water = 0;
+  /// Push attempts that found the queue full (each is one producer
+  /// yield/park cycle).
+  uint64_t enqueue_stalls = 0;
+
+  std::string ToString() const;
+};
+
+/// Engine-wide counters of the sharded engine's merge stage.
+struct MergeStats {
+  /// Report windows combined across shards.
+  uint64_t windows_merged = 0;
+  /// Results delivered to sinks after merging.
+  uint64_t results_emitted = 0;
+
+  std::string ToString() const;
+};
+
 }  // namespace cepr
 
 #endif  // CEPR_RUNTIME_METRICS_H_

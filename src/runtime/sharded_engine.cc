@@ -1,0 +1,434 @@
+#include "runtime/sharded_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "lang/parser.h"
+#include "plan/compiler.h"
+
+namespace cepr {
+
+namespace {
+constexpr int64_t kAckedAll = std::numeric_limits<int64_t>::max();
+}  // namespace
+
+ShardedEngine::ShardedEngine(ShardedEngineOptions options)
+    : options_(options),
+      num_shards_(options.num_shards != 0
+                      ? options.num_shards
+                      : std::max(1u, std::thread::hardware_concurrency())) {}
+
+ShardedEngine::~ShardedEngine() {
+  if (started_ && !finished_) {
+    // Stop workers without delivering: the user's sinks may already be
+    // gone. Finish() is the orderly path.
+    for (auto& shard : shards_) {
+      Message finish;
+      finish.kind = Message::Kind::kFinish;
+      Enqueue(shard.get(), std::move(finish));
+    }
+    for (auto& shard : shards_) {
+      if (shard->thread.joinable()) shard->thread.join();
+    }
+  }
+}
+
+Status ShardedEngine::ExecuteDdl(std::string_view ddl_text) {
+  CEPR_ASSIGN_OR_RETURN(CreateStreamAst ast, ParseCreateStream(ddl_text));
+  CEPR_ASSIGN_OR_RETURN(SchemaPtr schema,
+                        Schema::Make(ast.name, std::move(ast.attributes)));
+  return RegisterSchema(std::move(schema));
+}
+
+Status ShardedEngine::RegisterSchema(SchemaPtr schema) {
+  if (schema == nullptr) return Status::InvalidArgument("schema is null");
+  const std::string key = ToLower(schema->name());
+  if (streams_.count(key) > 0) {
+    return Status::AlreadyExists("stream '" + schema->name() +
+                                 "' is already registered");
+  }
+  StreamState state;
+  state.schema = std::move(schema);
+  streams_.emplace(key, std::move(state));
+  return Status::OK();
+}
+
+Result<SchemaPtr> ShardedEngine::GetSchema(std::string_view stream_name) const {
+  const auto it = streams_.find(ToLower(stream_name));
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream named '" + std::string(stream_name) +
+                            "'");
+  }
+  return it->second.schema;
+}
+
+Status ShardedEngine::RegisterQuery(std::string name,
+                                    std::string_view query_text,
+                                    const QueryOptions& options, Sink* sink) {
+  if (started_) {
+    return Status::InvalidArgument(
+        "sharded engine: queries must be registered before the first Push");
+  }
+  const std::string key = ToLower(name);
+  if (query_index_.count(key) > 0) {
+    return Status::AlreadyExists("query '" + name + "' is already registered");
+  }
+  CEPR_ASSIGN_OR_RETURN(QueryAst ast, ParseQuery(query_text));
+  CEPR_ASSIGN_OR_RETURN(SchemaPtr schema, GetSchema(ast.stream_name));
+  CEPR_ASSIGN_OR_RETURN(AnalyzedQuery analyzed, Analyze(std::move(ast), schema));
+  CEPR_ASSIGN_OR_RETURN(CompiledQueryPtr plan, Compile(std::move(analyzed)));
+
+  if (plan->emit == EmitPolicy::kOnComplete) {
+    return Status::InvalidArgument(
+        "sharded engine: EMIT ON COMPLETE (eager emission) is "
+        "order-dependent across shards; use EMIT ON WINDOW CLOSE or "
+        "EMIT EVERY n EVENTS");
+  }
+  if (!plan->into_stream.empty()) {
+    return Status::InvalidArgument(
+        "sharded engine: EMIT INTO derived streams are not supported "
+        "(re-ingestion would create cross-shard feedback)");
+  }
+
+  ShardMergeOptions merge;
+  merge.by_score =
+      plan->score != nullptr && options.ranker != RankerPolicy::kPassthrough;
+  merge.desc = plan->rank_desc;
+  merge.limit = plan->limit < 0 ? static_cast<size_t>(-1)
+                                : static_cast<size_t>(plan->limit);
+
+  QueryState q{std::move(name),
+               plan,
+               options,
+               sink,
+               ShardRouter(*plan, num_shards_, queries_.size()),
+               ReportWindowAssigner::ForQuery(*plan),
+               merge,
+               /*ordinal=*/0,
+               /*current_window=*/0,
+               /*merged_upto=*/0,
+               /*pending=*/{},
+               /*results_delivered=*/0};
+  q.pending.resize(num_shards_);
+  query_index_.emplace(key, static_cast<uint32_t>(queries_.size()));
+  queries_.push_back(std::move(q));
+  return Status::OK();
+}
+
+std::vector<std::string> ShardedEngine::QueryNames() const {
+  std::vector<std::string> names;
+  names.reserve(queries_.size());
+  for (const auto& q : queries_) names.push_back(q.name);
+  return names;
+}
+
+void ShardedEngine::StartWorkers() {
+  shards_.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->queue = std::make_unique<SpscQueue<Message>>(options_.queue_capacity);
+    shard->published.resize(queries_.size());
+    shard->acked_window =
+        std::make_unique<std::atomic<int64_t>[]>(queries_.size());
+    shard->cells.reserve(queries_.size());
+    for (const QueryState& q : queries_) {
+      shard->acked_window[shard->cells.size()].store(
+          0, std::memory_order_relaxed);
+      QueryCell cell;
+      cell.emitter = std::make_unique<Emitter>(q.plan, q.options.ranker);
+      cell.matcher = std::make_unique<PartitionedMatcher>(
+          q.plan, q.options.matcher, cell.emitter->pruner());
+      shard->cells.push_back(std::move(cell));
+    }
+    shards_.push_back(std::move(shard));
+  }
+  for (size_t s = 0; s < num_shards_; ++s) {
+    shards_[s]->thread = std::thread([this, s] { ShardMain(s); });
+  }
+  started_ = true;
+}
+
+void ShardedEngine::Enqueue(Shard* shard, Message msg) {
+  while (!shard->queue->TryPush(msg)) {
+    ++shard->enqueue_stalls;
+    std::this_thread::yield();
+  }
+  shard->queue_high_water =
+      std::max(shard->queue_high_water, shard->queue->size());
+  if (shard->parked.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(shard->park_mu);
+    shard->park_cv.notify_one();
+  }
+}
+
+void ShardedEngine::PublishResults(Shard* shard, uint32_t query,
+                                   std::vector<RankedResult> results) {
+  if (results.empty()) return;
+  shard->stats.batches_published++;
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto& out = shard->published[query];
+  for (RankedResult& r : results) out.push_back(std::move(r));
+}
+
+void ShardedEngine::ShardMain(size_t shard_index) {
+  Shard* shard = shards_[shard_index].get();
+  std::vector<RankedResult> scratch;
+  Message msg;
+  for (;;) {
+    if (!shard->queue->TryPop(&msg)) {
+      // Spin briefly, then park with a bounded wait (the router nudges on
+      // push; the timeout self-heals a missed nudge).
+      bool got = false;
+      for (int spin = 0; spin < 64 && !got; ++spin) {
+        std::this_thread::yield();
+        got = shard->queue->TryPop(&msg);
+      }
+      if (!got) {
+        std::unique_lock<std::mutex> lock(shard->park_mu);
+        shard->parked.store(true, std::memory_order_release);
+        shard->park_cv.wait_for(lock, std::chrono::microseconds(200),
+                                [&] { return !shard->queue->Empty(); });
+        shard->parked.store(false, std::memory_order_release);
+        continue;
+      }
+    }
+
+    QueryCell& cell = shard->cells[msg.query];
+    scratch.clear();
+    switch (msg.kind) {
+      case Message::Kind::kEvent: {
+        shard->stats.events++;
+        std::vector<Match> matches;
+        cell.matcher->OnEvent(msg.event, &matches);
+        shard->stats.matches += matches.size();
+        cell.emitter->OnEvent(msg.ts, msg.ordinal, std::move(matches),
+                              &scratch);
+        PublishResults(shard, msg.query, std::move(scratch));
+        break;
+      }
+      case Message::Kind::kBarrier: {
+        // Advance this shard's windows to the barrier position (an empty
+        // event batch closes any window the stream has moved past), then
+        // acknowledge so the router may merge.
+        shard->stats.barriers++;
+        cell.emitter->OnEvent(msg.ts, msg.ordinal, {}, &scratch);
+        const int64_t window = shard->cells[msg.query].emitter->windows().WindowOf(
+            msg.ts, msg.ordinal);
+        PublishResults(shard, msg.query, std::move(scratch));
+        shard->acked_window[msg.query].store(window, std::memory_order_release);
+        break;
+      }
+      case Message::Kind::kFinish: {
+        for (uint32_t q = 0; q < shard->cells.size(); ++q) {
+          scratch.clear();
+          shard->cells[q].emitter->Finish(&scratch);
+          PublishResults(shard, q, std::move(scratch));
+          shard->acked_window[q].store(kAckedAll, std::memory_order_release);
+        }
+        return;
+      }
+    }
+  }
+}
+
+Status ShardedEngine::Push(Event event) {
+  if (finished_) {
+    return Status::InvalidArgument("sharded engine is finished");
+  }
+  if (event.schema() == nullptr) {
+    return Status::InvalidArgument("event has no schema");
+  }
+  const auto it = streams_.find(ToLower(event.schema()->name()));
+  if (it == streams_.end()) {
+    return Status::NotFound("event stream '" + event.schema()->name() +
+                            "' is not registered");
+  }
+  StreamState& state = it->second;
+  if (event.schema() != state.schema) {
+    return Status::InvalidArgument(
+        "event schema object does not match the registered schema for "
+        "stream '" +
+        state.schema->name() + "'");
+  }
+  if (event.values().size() != state.schema->num_attributes()) {
+    return Status::InvalidArgument("event arity mismatch for stream '" +
+                                   state.schema->name() + "'");
+  }
+  if (state.saw_event && event.timestamp() < state.watermark) {
+    if (options_.reject_out_of_order) {
+      return Status::InvalidArgument(
+          "out-of-order event on stream '" + state.schema->name() + "': ts " +
+          std::to_string(event.timestamp()) + " < watermark " +
+          std::to_string(state.watermark));
+    }
+    event.set_timestamp(state.watermark);
+  }
+  state.watermark = event.timestamp();
+  state.saw_event = true;
+  event.set_sequence(state.next_sequence++);
+  ++events_ingested_;
+
+  if (!started_) StartWorkers();
+
+  const auto shared = std::make_shared<const Event>(std::move(event));
+  for (uint32_t qi = 0; qi < queries_.size(); ++qi) {
+    QueryState& q = queries_[qi];
+    if (q.plan->schema() != state.schema) continue;
+
+    const uint64_t ordinal = q.ordinal++;
+    const Timestamp ts = shared->timestamp();
+    const int64_t window = q.windows.WindowOf(ts, ordinal);
+    if (window > q.current_window) {
+      // The stream crossed a report-window boundary: tell every shard so
+      // each closes and publishes its slice of the old window(s).
+      for (auto& shard : shards_) {
+        Message barrier;
+        barrier.kind = Message::Kind::kBarrier;
+        barrier.query = qi;
+        barrier.ordinal = ordinal;
+        barrier.ts = ts;
+        Enqueue(shard.get(), std::move(barrier));
+      }
+      q.current_window = window;
+    }
+
+    Message msg;
+    msg.kind = Message::Kind::kEvent;
+    msg.query = qi;
+    msg.event = shared;
+    msg.ordinal = ordinal;
+    msg.ts = ts;
+    Enqueue(shards_[q.router.ShardOf(*shared)].get(), std::move(msg));
+
+    DrainReady(&q, qi, /*final=*/false);
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::PushAll(std::vector<Event> events) {
+  for (Event& e : events) {
+    CEPR_RETURN_IF_ERROR(Push(std::move(e)));
+  }
+  return Status::OK();
+}
+
+void ShardedEngine::DrainReady(QueryState* q, uint32_t query_index,
+                               bool final) {
+  int64_t complete = kAckedAll;
+  if (!final) {
+    for (auto& shard : shards_) {
+      complete = std::min(
+          complete,
+          shard->acked_window[query_index].load(std::memory_order_acquire));
+    }
+    if (complete <= q->merged_upto) return;
+  }
+
+  // Pull each shard's published prefix below the completion point. The
+  // published deques are window-ordered, so this is a front splice.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard* shard = shards_[s].get();
+    std::lock_guard<std::mutex> lock(shard->mu);
+    auto& published = shard->published[query_index];
+    while (!published.empty() &&
+           (final || published.front().window_id < complete)) {
+      q->pending[s].push_back(std::move(published.front()));
+      published.pop_front();
+    }
+  }
+
+  // Merge window by window, in ascending window order (windows nobody
+  // produced results for are skipped — the serial engine emits nothing for
+  // them either).
+  for (;;) {
+    int64_t window = kAckedAll;
+    for (const auto& pending : q->pending) {
+      if (!pending.empty()) window = std::min(window, pending.front().window_id);
+    }
+    if (window == kAckedAll || (!final && window >= complete)) break;
+
+    std::vector<std::vector<RankedResult>> lists(q->pending.size());
+    for (size_t s = 0; s < q->pending.size(); ++s) {
+      auto& pending = q->pending[s];
+      while (!pending.empty() && pending.front().window_id == window) {
+        lists[s].push_back(std::move(pending.front()));
+        pending.pop_front();
+      }
+    }
+    std::vector<RankedResult> merged = MergeShardResults(std::move(lists), q->merge);
+    merge_stats_.windows_merged++;
+    merge_stats_.results_emitted += merged.size();
+    q->results_delivered += merged.size();
+    if (q->sink != nullptr) {
+      for (const RankedResult& r : merged) q->sink->OnResult(r);
+    }
+  }
+  if (!final) q->merged_upto = complete;
+}
+
+void ShardedEngine::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!started_) return;  // no events: nothing buffered anywhere
+  for (auto& shard : shards_) {
+    Message finish;
+    finish.kind = Message::Kind::kFinish;
+    Enqueue(shard.get(), std::move(finish));
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  for (uint32_t qi = 0; qi < queries_.size(); ++qi) {
+    DrainReady(&queries_[qi], qi, /*final=*/true);
+  }
+}
+
+std::vector<ShardStats> ShardedEngine::shard_stats() const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats s = shard->stats;
+    s.queue_high_water = shard->queue_high_water;
+    s.enqueue_stalls = shard->enqueue_stalls;
+    out.push_back(s);
+  }
+  return out;
+}
+
+Result<QueryMetrics> ShardedEngine::GetQueryMetrics(
+    std::string_view name) const {
+  const auto it = query_index_.find(ToLower(name));
+  if (it == query_index_.end()) {
+    return Status::NotFound("no query named '" + std::string(name) + "'");
+  }
+  const uint32_t qi = it->second;
+  QueryMetrics m;
+  m.events = queries_[qi].ordinal;
+  m.results = queries_[qi].results_delivered;
+  for (const auto& shard : shards_) {
+    const QueryCell& cell = shard->cells[qi];
+    const MatcherStats& s = cell.matcher->stats();
+    m.matches += s.matches;
+    m.matcher.events += s.events;
+    m.matcher.runs_created += s.runs_created;
+    m.matcher.runs_forked += s.runs_forked;
+    m.matcher.runs_completed += s.runs_completed;
+    m.matcher.runs_expired += s.runs_expired;
+    m.matcher.runs_killed_strict += s.runs_killed_strict;
+    m.matcher.runs_killed_negation += s.runs_killed_negation;
+    m.matcher.runs_pruned_score += s.runs_pruned_score;
+    m.matcher.runs_dropped_capacity += s.runs_dropped_capacity;
+    m.matcher.matches += s.matches;
+    m.matcher.peak_active_runs += s.peak_active_runs;  // summed across shards
+    if (cell.emitter->score_pruner() != nullptr) {
+      m.prune_checks += cell.emitter->score_pruner()->checks();
+      m.prunes += cell.emitter->score_pruner()->prunes();
+    }
+  }
+  return m;
+}
+
+}  // namespace cepr

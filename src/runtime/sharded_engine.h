@@ -1,0 +1,196 @@
+#ifndef CEPR_RUNTIME_SHARDED_ENGINE_H_
+#define CEPR_RUNTIME_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_queue.h"
+#include "engine/shard_router.h"
+#include "rank/merge.h"
+#include "runtime/query.h"
+
+namespace cepr {
+
+/// Knobs for the sharded execution mode.
+struct ShardedEngineOptions {
+  /// Worker shard count; 0 = std::thread::hardware_concurrency().
+  size_t num_shards = 0;
+  /// Per-shard ingest ring capacity (rounded up to a power of two). A full
+  /// ring backpressures the ingest thread (yield-spin until space frees).
+  size_t queue_capacity = 4096;
+  /// Same semantics as EngineOptions::reject_out_of_order.
+  bool reject_out_of_order = true;
+};
+
+/// Parallel counterpart of Engine: PARTITION BY keys are hashed across N
+/// worker shards, each owning its partitions' matcher runs, report windows
+/// and pruning state, fed through bounded SPSC rings. Ranked emission stays
+/// exactly equivalent to the single-threaded engine: every shard keeps a
+/// window-local top-k, and when all shards have moved past a report window
+/// (tracked by router-broadcast window barriers) the per-shard ordered
+/// lists are k-way merged under the deterministic (score, detecting-event
+/// sequence, matcher id) order and cut to LIMIT — byte-identical to the
+/// serial result (tested property; see docs/ARCHITECTURE.md).
+///
+/// Threading contract: one ingest thread drives ExecuteDdl / RegisterQuery
+/// / Push / Finish (never concurrently); sinks are invoked on that ingest
+/// thread, so they need no synchronization. Shard threads never touch user
+/// code.
+///
+/// Restrictions versus Engine (rejected at RegisterQuery):
+///  * EMIT ON COMPLETE (eager provisional emission is inherently
+///    order-dependent across partitions — use a buffered policy);
+///  * EMIT INTO derived streams (re-ingestion would create cross-shard
+///    feedback);
+///  * queries must be registered before the first Push.
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(ShardedEngineOptions options = {});
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // -- Streams (pre-start, ingest thread) -----------------------------------
+
+  Status ExecuteDdl(std::string_view ddl_text);
+  Status RegisterSchema(SchemaPtr schema);
+  Result<SchemaPtr> GetSchema(std::string_view stream_name) const;
+
+  // -- Queries (pre-start, ingest thread) -----------------------------------
+
+  /// Compiles and registers `query_text`. `sink` may be null and must
+  /// outlive the engine otherwise; it is called on the ingest thread.
+  Status RegisterQuery(std::string name, std::string_view query_text,
+                       const QueryOptions& options, Sink* sink);
+  std::vector<std::string> QueryNames() const;
+
+  // -- Ingest (single thread) -----------------------------------------------
+
+  /// Validates, stamps and routes one event to its owning shard per query.
+  /// Merged results that became complete are delivered to sinks inline.
+  /// Starts the worker threads on the first call.
+  Status Push(Event event);
+  Status PushAll(std::vector<Event> events);
+
+  /// End of stream: flushes every shard, joins the workers, merges and
+  /// delivers all remaining windows. The engine is terminal afterwards
+  /// (further Push calls fail).
+  void Finish();
+
+  // -- Introspection --------------------------------------------------------
+
+  size_t num_shards() const { return num_shards_; }
+  uint64_t events_ingested() const { return events_ingested_; }
+
+  /// Per-shard counters; exact once Finish has returned (mid-run snapshots
+  /// of the shard-thread-owned fields are best-effort).
+  std::vector<ShardStats> shard_stats() const;
+  const MergeStats& merge_stats() const { return merge_stats_; }
+
+  /// Aggregated per-query metrics (summed across shards); valid after
+  /// Finish.
+  Result<QueryMetrics> GetQueryMetrics(std::string_view name) const;
+
+ private:
+  struct Message {
+    enum class Kind : uint8_t { kEvent, kBarrier, kFinish };
+    Kind kind = Kind::kEvent;
+    uint32_t query = 0;
+    EventPtr event;        // kEvent
+    uint64_t ordinal = 0;  // kEvent / kBarrier: per-query global ordinal
+    Timestamp ts = 0;      // kEvent / kBarrier
+  };
+
+  /// One (shard, query) execution cell, owned by the shard thread.
+  struct QueryCell {
+    std::unique_ptr<Emitter> emitter;
+    std::unique_ptr<PartitionedMatcher> matcher;
+  };
+
+  struct Shard {
+    std::unique_ptr<SpscQueue<Message>> queue;
+    std::thread thread;
+    std::vector<QueryCell> cells;  // per query
+
+    /// Results of closed windows, per query, window-ordered; guarded by
+    /// `mu`. The shard appends on window close, the router moves them out.
+    std::mutex mu;
+    std::vector<std::deque<RankedResult>> published;
+    /// Per query: every window id < this value is closed & published
+    /// (store-release after publishing, load-acquire by the router).
+    std::unique_ptr<std::atomic<int64_t>[]> acked_window;
+
+    /// Consumer parking: the shard sleeps (bounded wait) when its ring is
+    /// empty; the router nudges it on push.
+    std::mutex park_mu;
+    std::condition_variable park_cv;
+    std::atomic<bool> parked{false};
+
+    ShardStats stats;  // shard-thread-owned fields (events/matches/...)
+    /// Router-owned queue-side counters (separate writer, merged into
+    /// shard_stats() on read).
+    size_t queue_high_water = 0;
+    uint64_t enqueue_stalls = 0;
+  };
+
+  struct StreamState {
+    SchemaPtr schema;
+    uint64_t next_sequence = 0;
+    Timestamp watermark = 0;
+    bool saw_event = false;
+  };
+
+  struct QueryState {
+    std::string name;
+    CompiledQueryPtr plan;
+    QueryOptions options;
+    Sink* sink = nullptr;
+    ShardRouter router;
+    ReportWindowAssigner windows;
+    ShardMergeOptions merge;
+
+    uint64_t ordinal = 0;        // events routed to this query
+    int64_t current_window = 0;  // last window broadcast via barrier
+    int64_t merged_upto = 0;     // windows < this delivered to the sink
+    /// Per shard: published results pulled from the shard, not yet merged.
+    std::vector<std::deque<RankedResult>> pending;
+    uint64_t results_delivered = 0;
+  };
+
+  void StartWorkers();
+  void ShardMain(size_t shard_index);
+  /// Blocking enqueue with backpressure accounting and consumer nudge.
+  void Enqueue(Shard* shard, Message msg);
+  /// Closes windows the shard's emitter has moved past and publishes the
+  /// results (shard thread).
+  void PublishResults(Shard* shard, uint32_t query,
+                      std::vector<RankedResult> results);
+  /// Merges and delivers every window all shards have moved past; `final`
+  /// ignores acks (only valid once workers have joined).
+  void DrainReady(QueryState* q, uint32_t query_index, bool final);
+
+  ShardedEngineOptions options_;
+  size_t num_shards_;
+  std::map<std::string, StreamState, std::less<>> streams_;
+  std::vector<QueryState> queries_;
+  std::map<std::string, uint32_t, std::less<>> query_index_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool started_ = false;
+  bool finished_ = false;
+  uint64_t events_ingested_ = 0;
+  MergeStats merge_stats_;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_RUNTIME_SHARDED_ENGINE_H_

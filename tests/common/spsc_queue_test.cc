@@ -1,0 +1,100 @@
+#include "common/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace cepr {
+namespace {
+
+TEST(SpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscQueue<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscQueueTest, PushPopSingleThread) {
+  SpscQueue<int> q(4);
+  EXPECT_TRUE(q.Empty());
+  int v = 0;
+  EXPECT_FALSE(q.TryPop(&v));
+
+  for (int i = 0; i < 4; ++i) {
+    int item = i;
+    EXPECT_TRUE(q.TryPush(item)) << i;
+  }
+  int overflow = 99;
+  EXPECT_FALSE(q.TryPush(overflow));  // full
+  EXPECT_EQ(q.size(), 4u);
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.TryPop(&v));
+    EXPECT_EQ(v, i);  // FIFO
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(SpscQueueTest, WrapsAroundManyTimes) {
+  SpscQueue<int> q(8);
+  int v = 0;
+  for (int round = 0; round < 1000; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      int item = round * 5 + i;
+      ASSERT_TRUE(q.TryPush(item));
+    }
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(q.TryPop(&v));
+      EXPECT_EQ(v, round * 5 + i);
+    }
+  }
+}
+
+TEST(SpscQueueTest, MoveOnlyPayload) {
+  SpscQueue<std::unique_ptr<int>> q(4);
+  auto item = std::make_unique<int>(42);
+  ASSERT_TRUE(q.TryPush(item));
+  EXPECT_EQ(item, nullptr);  // moved out
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.TryPop(&out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+// Cross-thread stress: one producer, one consumer, a deliberately tiny
+// ring so every path (full, empty, wrap) is exercised millions of times.
+// Run under ThreadSanitizer to validate the memory ordering (see
+// docs/OPERATIONS.md for the sanitizer build).
+TEST(SpscQueueStressTest, SequenceSurvivesConcurrency) {
+  constexpr uint64_t kItems = 1u << 20;
+  SpscQueue<uint64_t> q(16);
+
+  std::thread producer([&q] {
+    for (uint64_t i = 0; i < kItems; ++i) {
+      uint64_t item = i;
+      while (!q.TryPush(item)) std::this_thread::yield();
+    }
+  });
+
+  uint64_t received = 0;
+  uint64_t checksum = 0;
+  while (received < kItems) {
+    uint64_t v = 0;
+    if (q.TryPop(&v)) {
+      ASSERT_EQ(v, received);  // exact FIFO, no loss, no duplication
+      checksum += v;
+      ++received;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(checksum, kItems * (kItems - 1) / 2);
+}
+
+}  // namespace
+}  // namespace cepr

@@ -1,0 +1,120 @@
+#include "rank/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cepr {
+namespace {
+
+RankedResult MakeResult(double score, uint64_t last_sequence, uint64_t id,
+                        int64_t window_id = 0) {
+  RankedResult r;
+  r.window_id = window_id;
+  r.match.score = score;
+  r.match.last_sequence = last_sequence;
+  r.match.id = id;
+  return r;
+}
+
+std::vector<double> Scores(const std::vector<RankedResult>& results) {
+  std::vector<double> out;
+  for (const auto& r : results) out.push_back(r.match.score);
+  return out;
+}
+
+TEST(MergeTest, MergesSortedShardListsByScore) {
+  ShardMergeOptions options;
+  options.by_score = true;
+  options.desc = true;
+  std::vector<std::vector<RankedResult>> shards(3);
+  shards[0] = {MakeResult(9.0, 1, 0), MakeResult(5.0, 4, 0)};
+  shards[1] = {MakeResult(8.0, 2, 0), MakeResult(2.0, 6, 0)};
+  shards[2] = {MakeResult(7.0, 3, 0)};
+
+  const auto merged = MergeShardResults(std::move(shards), options);
+  EXPECT_EQ(Scores(merged), (std::vector<double>{9, 8, 7, 5, 2}));
+  for (size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].rank, i);  // ranks reassigned globally
+  }
+}
+
+TEST(MergeTest, CutsToLimit) {
+  ShardMergeOptions options;
+  options.by_score = true;
+  options.desc = true;
+  options.limit = 2;
+  std::vector<std::vector<RankedResult>> shards(2);
+  shards[0] = {MakeResult(9.0, 1, 0), MakeResult(5.0, 4, 0)};
+  shards[1] = {MakeResult(8.0, 2, 0), MakeResult(7.0, 3, 0)};
+
+  const auto merged = MergeShardResults(std::move(shards), options);
+  EXPECT_EQ(Scores(merged), (std::vector<double>{9, 8}));
+}
+
+TEST(MergeTest, AscendingDirection) {
+  ShardMergeOptions options;
+  options.by_score = true;
+  options.desc = false;
+  std::vector<std::vector<RankedResult>> shards(2);
+  shards[0] = {MakeResult(1.0, 1, 0), MakeResult(6.0, 4, 0)};
+  shards[1] = {MakeResult(3.0, 2, 0)};
+
+  const auto merged = MergeShardResults(std::move(shards), options);
+  EXPECT_EQ(Scores(merged), (std::vector<double>{1, 3, 6}));
+}
+
+TEST(MergeTest, EqualScoresTieBreakOnDetectionPosition) {
+  ShardMergeOptions options;
+  options.by_score = true;
+  options.desc = true;
+  std::vector<std::vector<RankedResult>> shards(2);
+  // Same score everywhere: detection position (detecting event's stream
+  // sequence) must decide, exactly as the serial engine's ranker does.
+  shards[0] = {MakeResult(5.0, /*last_sequence=*/20, /*id=*/0)};
+  shards[1] = {MakeResult(5.0, /*last_sequence=*/10, /*id=*/7)};
+
+  const auto merged = MergeShardResults(std::move(shards), options);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].match.last_sequence, 10u);
+  EXPECT_EQ(merged[1].match.last_sequence, 20u);
+}
+
+TEST(MergeTest, PassthroughMergesByDetectionOrder) {
+  ShardMergeOptions options;
+  options.by_score = false;  // detection-order (passthrough) semantics
+  std::vector<std::vector<RankedResult>> shards(2);
+  shards[0] = {MakeResult(1.0, 3, 0), MakeResult(9.0, 8, 1)};
+  shards[1] = {MakeResult(4.0, 5, 0)};
+
+  const auto merged = MergeShardResults(std::move(shards), options);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].match.last_sequence, 3u);
+  EXPECT_EQ(merged[1].match.last_sequence, 5u);
+  EXPECT_EQ(merged[2].match.last_sequence, 8u);
+}
+
+TEST(MergeTest, EmptyShardsAndEmptyInput) {
+  ShardMergeOptions options;
+  EXPECT_TRUE(MergeShardResults({}, options).empty());
+  std::vector<std::vector<RankedResult>> shards(4);  // all empty
+  shards[2] = {MakeResult(1.0, 1, 0)};
+  const auto merged = MergeShardResults(std::move(shards), options);
+  EXPECT_EQ(merged.size(), 1u);
+}
+
+TEST(DetectedBeforeTest, OrdersBySequenceThenId) {
+  Match a;
+  a.last_sequence = 5;
+  a.id = 9;
+  Match b;
+  b.last_sequence = 5;
+  b.id = 2;
+  EXPECT_TRUE(DetectedBefore(b, a));
+  EXPECT_FALSE(DetectedBefore(a, b));
+  b.last_sequence = 6;
+  EXPECT_TRUE(DetectedBefore(a, b));
+}
+
+}  // namespace
+}  // namespace cepr
