@@ -1,26 +1,35 @@
-// Terminal stand-in for the CEPR demo's interactive monitor UI: runs all
-// three domain streams side by side, registers one ranked query per domain,
-// and periodically repaints a dashboard with each query's current top
-// results, live metrics, and the compiled NFA of a selected query.
+// Live monitoring demo: all three domain streams run through the sharded
+// engine while a background monitor thread polls Engine::Snapshot() — the
+// thread-safe metrics API — and repaints a dashboard with each query's
+// counters, latency percentiles, per-shard queue pressure, and the current
+// top ranked results. On exit it dumps the final snapshot as JSON (the wire
+// format an external poller would scrape).
 //
-// Usage: monitor [rounds] [events_per_round]
+// Usage: monitor [rounds] [events_per_round] [num_shards]
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <mutex>
+#include <sstream>
+#include <thread>
 #include <vector>
 
-#include "runtime/engine.h"
+#include "runtime/sharded_engine.h"
 #include "workload/health.h"
 #include "workload/stock.h"
 #include "workload/traffic.h"
 
 namespace {
 
-// Keeps the latest closed-window results per query for repainting.
+// Keeps the latest closed-window results per query. Results arrive on the
+// ingest thread while the monitor thread repaints, so access is locked.
 class PanelSink : public cepr::Sink {
  public:
   void OnResult(const cepr::RankedResult& result) override {
+    std::lock_guard<std::mutex> lock(mu_);
     if (result.window_id != window_) {
       window_ = result.window_id;
       rows_.clear();
@@ -28,34 +37,59 @@ class PanelSink : public cepr::Sink {
     rows_.push_back(result);
   }
 
-  const std::vector<cepr::RankedResult>& rows() const { return rows_; }
-  int64_t window() const { return window_; }
+  // Copies under the lock; the monitor paints from the copy.
+  std::vector<cepr::RankedResult> rows() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rows_;
+  }
+  int64_t window() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return window_;
+  }
 
  private:
+  mutable std::mutex mu_;
   std::vector<cepr::RankedResult> rows_;
   int64_t window_ = -1;
 };
 
-void Paint(const cepr::Engine& engine, const char* name, const PanelSink& panel) {
-  const auto* query = engine.GetQuery(name).value();
-  const cepr::QueryMetrics metrics = query->metrics();
-  std::cout << "┌─ " << name << " ── window " << panel.window()
-            << " ── events " << metrics.events << ", matches "
-            << metrics.matches << ", active runs " << query->active_runs()
-            << "\n";
-  if (panel.rows().empty()) {
-    std::cout << "│  (no ranked results yet)\n";
+void PaintQuery(const cepr::MetricsSnapshot::QueryEntry& entry,
+                const PanelSink& panel) {
+  const cepr::QueryMetrics& m = entry.metrics;
+  std::ostringstream out;
+  out << "┌─ " << entry.name << " ── window " << panel.window()
+      << " ── events " << m.events << ", matches " << m.matches
+      << ", results " << m.results;
+  if (m.event_processing_ns.count() > 0) {
+    out << ", p99 " << static_cast<int64_t>(m.event_processing_ns.Percentile(99))
+        << "ns";
   }
-  for (const cepr::RankedResult& r : panel.rows()) {
-    std::cout << "│  #" << (r.rank + 1) << "  score=" << std::setw(10)
-              << r.match.score << "  ";
+  out << "\n";
+  const std::vector<cepr::RankedResult> rows = panel.rows();
+  if (rows.empty()) out << "│  (no ranked results yet)\n";
+  for (const cepr::RankedResult& r : rows) {
+    out << "│  #" << (r.rank + 1) << "  score=" << std::setw(10)
+        << r.match.score << "  ";
     for (size_t i = 0; i < r.match.row.size(); ++i) {
-      if (i > 0) std::cout << ", ";
-      std::cout << r.match.row[i].ToString();
+      if (i > 0) out << ", ";
+      out << r.match.row[i].ToString();
     }
-    std::cout << "\n";
+    out << "\n";
   }
-  std::cout << "└─\n";
+  out << "└─\n";
+  std::cout << out.str();
+}
+
+void PaintShards(const cepr::MetricsSnapshot& snap) {
+  std::ostringstream out;
+  out << "shards:";
+  for (size_t s = 0; s < snap.shards.size(); ++s) {
+    const cepr::ShardStats& st = snap.shards[s];
+    out << "  [" << s << "] ev=" << st.events << " hw=" << st.queue_high_water
+        << " stalls=" << st.enqueue_stalls;
+  }
+  out << "  merge: " << snap.merge.ToString() << "\n";
+  std::cout << out.str();
 }
 
 }  // namespace
@@ -63,6 +97,7 @@ void Paint(const cepr::Engine& engine, const char* name, const PanelSink& panel)
 int main(int argc, char** argv) {
   const int rounds = argc > 1 ? std::atoi(argv[1]) : 5;
   const size_t per_round = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20000;
+  const size_t num_shards = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 4;
 
   cepr::StockGenerator stock([] {
     cepr::StockOptions o;
@@ -80,7 +115,9 @@ int main(int argc, char** argv) {
     return o;
   }());
 
-  cepr::Engine engine;
+  cepr::ShardedEngineOptions engine_options;
+  engine_options.num_shards = num_shards;
+  cepr::ShardedEngine engine(engine_options);
   for (const auto& schema :
        {stock.schema(), health.schema(), traffic.schema()}) {
     auto s = engine.RegisterSchema(schema);
@@ -136,10 +173,28 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Show the plan view the demo exposed for the selected query.
-  auto plan = cepr::CompileQueryText(specs[0].text, stock.schema());
-  std::cout << "NFA of query 'crashes' (Graphviz):\n"
-            << (*plan)->nfa.ToDot() << "\n";
+  // The monitor thread: polls the engine concurrently with ingest — no
+  // coordination with the ingest loop beyond the stop flag. Snapshot() is
+  // safe to call from here at any time (see docs/OPERATIONS.md).
+  std::atomic<bool> stop{false};
+  std::thread monitor([&] {
+    int repaint = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      const cepr::MetricsSnapshot snap = engine.Snapshot();
+      std::cout << "═══ live snapshot " << ++repaint << " ── ingested "
+                << snap.events_ingested << " ═══\n";
+      for (const auto& entry : snap.queries) {
+        const PanelSink* panel = nullptr;
+        for (const Spec& spec : specs) {
+          if (entry.name == spec.name) panel = spec.sink;
+        }
+        if (panel != nullptr) PaintQuery(entry, *panel);
+      }
+      PaintShards(snap);
+      std::cout << "\n";
+    }
+  });
 
   for (int round = 1; round <= rounds; ++round) {
     for (size_t i = 0; i < per_round; ++i) {
@@ -149,15 +204,19 @@ int main(int argc, char** argv) {
       if (s.ok()) s = engine.Push(traffic.Next());
       if (!s.ok()) {
         std::cerr << s << "\n";
+        stop.store(true, std::memory_order_release);
+        monitor.join();
         return 1;
       }
     }
-    std::cout << "═══ monitor refresh " << round << "/" << rounds << " ═══\n";
-    Paint(engine, "crashes", stock_panel);
-    Paint(engine, "alarms", health_panel);
-    Paint(engine, "jams", traffic_panel);
-    std::cout << "\n";
   }
   engine.Finish();
+  stop.store(true, std::memory_order_release);
+  monitor.join();
+
+  // Final state, both human- and machine-readable.
+  const cepr::MetricsSnapshot final_snap = engine.Snapshot();
+  std::cout << "═══ final ═══\n" << final_snap.ToString() << "\n\n"
+            << "JSON: " << final_snap.ToJson() << "\n";
   return 0;
 }

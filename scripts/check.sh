@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 gate: plain build + full test suite, then a ThreadSanitizer build
+# running the concurrency-sensitive suites (SPSC ring, sharded engine, and
+# the live-metrics race test). Run from the repo root:
+#
+#   scripts/check.sh            # both stages
+#   scripts/check.sh --plain    # skip the TSan stage
+#   scripts/check.sh --tsan     # TSan stage only
+#
+# The TSan stage uses its own build tree (build-tsan) so it never dirties
+# the primary build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_plain=1
+run_tsan=1
+case "${1:-}" in
+  --plain) run_tsan=0 ;;
+  --tsan) run_plain=0 ;;
+  "") ;;
+  *) echo "usage: $0 [--plain|--tsan]" >&2; exit 2 ;;
+esac
+
+if [[ $run_plain -eq 1 ]]; then
+  echo "== plain build + full suite =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$(nproc)"
+  ctest --test-dir build --output-on-failure -j "$(nproc)"
+fi
+
+if [[ $run_tsan -eq 1 ]]; then
+  echo "== TSan build + concurrency suites =="
+  cmake -B build-tsan -S . -DCEPR_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target common_test integration_test
+  ./build-tsan/tests/common_test --gtest_filter='SpscQueue*'
+  ./build-tsan/tests/integration_test \
+    --gtest_filter='Sharded*:ShardedMetricsRaceTest.*'
+fi
+
+echo "check.sh: all stages passed"

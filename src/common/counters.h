@@ -1,0 +1,68 @@
+#ifndef CEPR_COMMON_COUNTERS_H_
+#define CEPR_COMMON_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace cepr {
+
+/// Single-writer counter that any thread may read without a data race.
+///
+/// The writer side uses plain load+store (no read-modify-write), which is
+/// only correct under the engine's threading model: every counter has
+/// exactly one designated writer thread (a shard thread, or the ingest
+/// thread for the router-side counters). Readers see each counter
+/// atomically but observe no ordering *between* counters — snapshots are
+/// per-counter exact, cross-counter approximately consistent.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(const RelaxedCounter&) = delete;
+  RelaxedCounter& operator=(const RelaxedCounter&) = delete;
+
+  /// Writer thread only.
+  void Add(uint64_t n) {
+    value_.store(value_.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Writer thread only: returns the pre-increment value (the engine's
+  /// per-query ordinal allocator).
+  uint64_t PostIncrement() {
+    const uint64_t v = value_.load(std::memory_order_relaxed);
+    value_.store(v + 1, std::memory_order_relaxed);
+    return v;
+  }
+
+  /// Any thread.
+  uint64_t Load() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Single-writer running maximum, readable from any thread.
+class RelaxedMax {
+ public:
+  RelaxedMax() = default;
+  RelaxedMax(const RelaxedMax&) = delete;
+  RelaxedMax& operator=(const RelaxedMax&) = delete;
+
+  /// Writer thread only.
+  void Observe(uint64_t v) {
+    if (v > value_.load(std::memory_order_relaxed)) {
+      value_.store(v, std::memory_order_relaxed);
+    }
+  }
+
+  /// Any thread.
+  uint64_t Load() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_COMMON_COUNTERS_H_

@@ -99,4 +99,13 @@ std::string Histogram::Summary() const {
   return os.str();
 }
 
+std::string Histogram::ToJson() const {
+  std::ostringstream os;
+  os << "{\"count\":" << count_ << ",\"mean\":" << mean()
+     << ",\"p50\":" << Percentile(50) << ",\"p95\":" << Percentile(95)
+     << ",\"p99\":" << Percentile(99) << ",\"min\":" << min_
+     << ",\"max\":" << max_ << "}";
+  return os.str();
+}
+
 }  // namespace cepr

@@ -34,6 +34,10 @@ class Histogram {
   /// One-line summary: count/mean/p50/p95/p99/max.
   std::string Summary() const;
 
+  /// Compact JSON object with the same fields as Summary plus min, e.g.
+  /// {"count":3,"mean":2.0,"p50":2.0,"p95":3.0,"p99":3.0,"min":1,"max":3}.
+  std::string ToJson() const;
+
  private:
   static constexpr int kNumBuckets = 64 * 4;  // 4 sub-buckets per power of two
 

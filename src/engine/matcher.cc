@@ -24,8 +24,38 @@ std::string MatcherStats::ToString() const {
   return out;
 }
 
+void MatcherStats::Accumulate(const MatcherStats& other) {
+  events += other.events;
+  runs_created += other.runs_created;
+  runs_forked += other.runs_forked;
+  runs_completed += other.runs_completed;
+  runs_expired += other.runs_expired;
+  runs_killed_strict += other.runs_killed_strict;
+  runs_killed_negation += other.runs_killed_negation;
+  runs_pruned_score += other.runs_pruned_score;
+  runs_dropped_capacity += other.runs_dropped_capacity;
+  matches += other.matches;
+  peak_active_runs += other.peak_active_runs;
+}
+
+MatcherStats AtomicMatcherStats::Snapshot() const {
+  MatcherStats s;
+  s.events = events.Load();
+  s.runs_created = runs_created.Load();
+  s.runs_forked = runs_forked.Load();
+  s.runs_completed = runs_completed.Load();
+  s.runs_expired = runs_expired.Load();
+  s.runs_killed_strict = runs_killed_strict.Load();
+  s.runs_killed_negation = runs_killed_negation.Load();
+  s.runs_pruned_score = runs_pruned_score.Load();
+  s.runs_dropped_capacity = runs_dropped_capacity.Load();
+  s.matches = matches.Load();
+  s.peak_active_runs = static_cast<size_t>(peak_active_runs.Load());
+  return s;
+}
+
 Matcher::Matcher(CompiledQueryPtr plan, const MatcherOptions& options,
-                 const RunPruner* pruner, MatcherStats* stats,
+                 const RunPruner* pruner, AtomicMatcherStats* stats,
                  uint64_t* next_match_id)
     : plan_(std::move(plan)),
       options_(options),
@@ -179,14 +209,14 @@ bool Matcher::MaybeEmit(Run* run, std::vector<Match>* out) {
   }
   m.score = plan_->score != nullptr ? EvaluateScore(*plan_->score, *run) : 0.0;
 
-  ++stats_->matches;
+  stats_->matches.Increment();
   out->push_back(std::move(m));
   return true;
 }
 
 bool Matcher::MaybePruneAndCount(const Run& run) {
   if (pruner_ != nullptr && pruner_->ShouldPrune(run)) {
-    ++stats_->runs_pruned_score;
+    stats_->runs_pruned_score.Increment();
     return true;
   }
   return false;
@@ -197,7 +227,7 @@ Matcher::RunFate Matcher::ProcessRun(Run* run, const EventPtr& event,
                                      std::vector<std::unique_ptr<Run>>* forks) {
   // 1. WITHIN expiry: this and all later events are out of the run's span.
   if (Expired(*run, *event)) {
-    ++stats_->runs_expired;
+    stats_->runs_expired.Increment();
     return RunFate::kRemove;
   }
 
@@ -209,7 +239,7 @@ Matcher::RunFate Matcher::ProcessRun(Run* run, const EventPtr& event,
     // "ignore".
     for (const int comp : begin_options) {
       auto fork = run->Clone(next_run_id_++);
-      ++stats_->runs_forked;
+      stats_->runs_forked.Increment();
       fork->BeginComponent(comp, event);
       bool retire = false;
       if (fork->complete()) {
@@ -221,18 +251,18 @@ Matcher::RunFate Matcher::ProcessRun(Run* run, const EventPtr& event,
       if (!retire && !MaybePruneAndCount(*fork)) {
         forks->push_back(std::move(fork));
       } else if (retire) {
-        ++stats_->runs_completed;
+        stats_->runs_completed.Increment();
       }
     }
     if (CanExtend(run, *event)) {
       auto fork = run->Clone(next_run_id_++);
-      ++stats_->runs_forked;
+      stats_->runs_forked.Increment();
       fork->ExtendKleene(event);
       if (fork->complete()) MaybeEmit(fork.get(), out);
       if (!MaybePruneAndCount(*fork)) forks->push_back(std::move(fork));
     }
     if (NegationKills(run, *event)) {
-      ++stats_->runs_killed_negation;
+      stats_->runs_killed_negation.Increment();
       return RunFate::kRemove;
     }
     return RunFate::kKeep;
@@ -245,7 +275,7 @@ Matcher::RunFate Matcher::ProcessRun(Run* run, const EventPtr& event,
     if (run->complete()) {
       MaybeEmit(run, out);
       if (!run->kleene_open()) {
-        ++stats_->runs_completed;
+        stats_->runs_completed.Increment();
         return RunFate::kRemove;
       }
     }
@@ -253,7 +283,7 @@ Matcher::RunFate Matcher::ProcessRun(Run* run, const EventPtr& event,
     return RunFate::kKeep;
   }
   if (NegationKills(run, *event)) {
-    ++stats_->runs_killed_negation;
+    stats_->runs_killed_negation.Increment();
     return RunFate::kRemove;
   }
   if (CanExtend(run, *event)) {
@@ -263,7 +293,7 @@ Matcher::RunFate Matcher::ProcessRun(Run* run, const EventPtr& event,
     return RunFate::kKeep;
   }
   if (plan_->strategy == SelectionStrategy::kStrictContiguity) {
-    ++stats_->runs_killed_strict;
+    stats_->runs_killed_strict.Increment();
     return RunFate::kRemove;
   }
   return RunFate::kKeep;
@@ -286,26 +316,26 @@ void Matcher::TryStartRun(const EventPtr& event, std::vector<Match>* out) {
                              : probe->Clone(next_run_id_);
     ++next_run_id_;
     run->BeginComponent(begin_options[i], event);
-    ++stats_->runs_created;
+    stats_->runs_created.Increment();
     if (run->complete()) {
       // Pattern fully begun by its first event.
       MaybeEmit(run.get(), out);
       if (!run->kleene_open()) {
-        ++stats_->runs_completed;
+        stats_->runs_completed.Increment();
         continue;
       }
     }
     if (MaybePruneAndCount(*run)) continue;
     if (runs_.size() >= options_.max_active_runs) {
       runs_.erase(runs_.begin());  // drop the oldest run
-      ++stats_->runs_dropped_capacity;
+      stats_->runs_dropped_capacity.Increment();
     }
     runs_.push_back(std::move(run));
   }
 }
 
 void Matcher::OnEvent(const EventPtr& event, std::vector<Match>* out) {
-  ++stats_->events;
+  stats_->events.Increment();
   std::vector<std::unique_ptr<Run>> forks;
 
   size_t write = 0;
@@ -321,13 +351,13 @@ void Matcher::OnEvent(const EventPtr& event, std::vector<Match>* out) {
   for (auto& fork : forks) {
     if (runs_.size() >= options_.max_active_runs) {
       runs_.erase(runs_.begin());
-      ++stats_->runs_dropped_capacity;
+      stats_->runs_dropped_capacity.Increment();
     }
     runs_.push_back(std::move(fork));
   }
 
   TryStartRun(event, out);
-  stats_->peak_active_runs = std::max(stats_->peak_active_runs, runs_.size());
+  stats_->peak_active_runs.Observe(runs_.size());
 }
 
 size_t Matcher::MemoryEstimate() const {

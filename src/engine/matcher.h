@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/counters.h"
 #include "engine/run.h"
 #include "plan/compiler.h"
 
@@ -21,7 +22,9 @@ class RunPruner {
   virtual bool ShouldPrune(const Run& run) const = 0;
 };
 
-/// Counters shared by all partitions of one query.
+/// Plain-value snapshot of the matcher counters of one query (or one
+/// (shard, query) cell in the sharded engine). Copyable and summable; this
+/// is what metrics readers receive.
 struct MatcherStats {
   uint64_t events = 0;
   uint64_t runs_created = 0;
@@ -35,7 +38,30 @@ struct MatcherStats {
   uint64_t matches = 0;
   size_t peak_active_runs = 0;
 
+  /// Field-wise accumulation (peak_active_runs adds too: per-shard peaks
+  /// are disjoint run sets, so the sum is the engine-wide upper bound).
+  void Accumulate(const MatcherStats& other);
+
   std::string ToString() const;
+};
+
+/// Live counters shared by all partition matchers of one query, written by
+/// the single thread driving those matchers and snapshottable from any
+/// thread (single-writer relaxed atomics; see common/counters.h).
+struct AtomicMatcherStats {
+  RelaxedCounter events;
+  RelaxedCounter runs_created;
+  RelaxedCounter runs_forked;
+  RelaxedCounter runs_completed;
+  RelaxedCounter runs_expired;
+  RelaxedCounter runs_killed_strict;
+  RelaxedCounter runs_killed_negation;
+  RelaxedCounter runs_pruned_score;
+  RelaxedCounter runs_dropped_capacity;
+  RelaxedCounter matches;
+  RelaxedMax peak_active_runs;
+
+  MatcherStats Snapshot() const;
 };
 
 struct MatcherOptions {
@@ -62,7 +88,8 @@ class Matcher {
   /// `pruner` may be null (no score pruning). `stats` and `next_match_id`
   /// are owned by the caller and shared across partition matchers.
   Matcher(CompiledQueryPtr plan, const MatcherOptions& options,
-          const RunPruner* pruner, MatcherStats* stats, uint64_t* next_match_id);
+          const RunPruner* pruner, AtomicMatcherStats* stats,
+          uint64_t* next_match_id);
 
   Matcher(Matcher&&) = default;
   Matcher& operator=(Matcher&&) = default;
@@ -106,8 +133,8 @@ class Matcher {
 
   CompiledQueryPtr plan_;
   MatcherOptions options_;
-  const RunPruner* pruner_;  // not owned; may be null
-  MatcherStats* stats_;      // not owned
+  const RunPruner* pruner_;     // not owned; may be null
+  AtomicMatcherStats* stats_;   // not owned
   uint64_t* next_match_id_;  // not owned
   uint64_t next_run_id_ = 0;
   std::vector<std::unique_ptr<Run>> runs_;

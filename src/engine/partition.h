@@ -21,7 +21,9 @@ class PartitionedMatcher {
   /// Feeds one event to its partition; matches are appended to `out`.
   void OnEvent(const EventPtr& event, std::vector<Match>* out);
 
-  const MatcherStats& stats() const { return stats_; }
+  /// Counter snapshot; safe to call from any thread while the owning
+  /// thread keeps matching (per-counter exact, cross-counter approximate).
+  MatcherStats stats() const { return stats_.Snapshot(); }
   size_t num_partitions() const;
   size_t active_runs() const;
   size_t MemoryEstimate() const;
@@ -36,7 +38,7 @@ class PartitionedMatcher {
   CompiledQueryPtr plan_;
   MatcherOptions options_;
   const RunPruner* pruner_;
-  MatcherStats stats_;
+  AtomicMatcherStats stats_;
   uint64_t next_match_id_ = 0;
 
   std::unique_ptr<Matcher> single_;  // used when unpartitioned

@@ -8,6 +8,7 @@ Emitter::Emitter(CompiledQueryPtr plan, RankerPolicy policy)
 
 void Emitter::OnEvent(Timestamp ts, uint64_t ordinal, std::vector<Match> matches,
                       std::vector<RankedResult>* out) {
+  last_event_ts_ = ts;
   const int64_t window = windows_.WindowOf(ts, ordinal);
   ranker_.AdvanceTo(window, out);
   for (Match& m : matches) {

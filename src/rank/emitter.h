@@ -32,9 +32,15 @@ class Emitter {
   const Ranker& ranker() const { return ranker_; }
   const ReportWindowAssigner& windows() const { return windows_; }
 
+  /// Event-time position of the stream as this emitter last saw it; the
+  /// reference point for emission-delay metrics (how long a match waited
+  /// in a buffered window before leaving).
+  Timestamp last_event_ts() const { return last_event_ts_; }
+
  private:
   ReportWindowAssigner windows_;
   Ranker ranker_;
+  Timestamp last_event_ts_ = 0;
 };
 
 }  // namespace cepr

@@ -12,10 +12,10 @@ bool ScorePruner::ShouldPrune(const Run& run) const {
     // would be unsound. Only runs trapped in the current window qualify.
     if (within_ <= 0 || run.first_ts() + within_ >= window_end_) return false;
   }
-  ++checks_;
+  checks_.Increment();
   const Interval bound = DeriveBounds(*score_, run);
   const bool prune = desc_ ? bound.hi <= threshold_ : bound.lo >= threshold_;
-  if (prune) ++prunes_;
+  if (prune) prunes_.Increment();
   return prune;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/counters.h"
 #include "engine/matcher.h"
 #include "expr/interval.h"
 
@@ -56,9 +57,11 @@ class ScorePruner : public RunPruner {
   bool active() const { return active_; }
   PruneScope scope() const { return scope_; }
 
-  /// Instrumentation for the pruning experiment (E3).
-  uint64_t checks() const { return checks_; }
-  uint64_t prunes() const { return prunes_; }
+  /// Instrumentation for the pruning experiment (E3) and the metrics
+  /// snapshots; readable from any thread (single-writer relaxed atomics —
+  /// only the thread driving the matcher increments them).
+  uint64_t checks() const { return checks_.Load(); }
+  uint64_t prunes() const { return prunes_.Load(); }
 
   bool ShouldPrune(const Run& run) const override;
 
@@ -70,8 +73,8 @@ class ScorePruner : public RunPruner {
   bool active_ = false;
   double threshold_ = 0.0;
   Timestamp window_end_ = 0;
-  mutable uint64_t checks_ = 0;
-  mutable uint64_t prunes_ = 0;
+  mutable RelaxedCounter checks_;
+  mutable RelaxedCounter prunes_;
 };
 
 }  // namespace cepr

@@ -1,5 +1,8 @@
 #include "runtime/csv.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -39,7 +42,49 @@ std::string CsvCell(const Value& v) {
   return "";
 }
 
-// Splits one CSV line honoring double-quoted cells.
+// True iff `text` ends inside an unterminated double-quoted cell (same
+// quote state machine as SplitCsvLine: "" inside quotes is an escaped
+// quote, not a close-then-open).
+bool EndsInsideQuote(const std::string& text) {
+  bool quoted = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '"') continue;
+    if (quoted && i + 1 < text.size() && text[i + 1] == '"') {
+      ++i;  // escaped quote
+    } else {
+      quoted = !quoted;
+    }
+  }
+  return quoted;
+}
+
+// Reads one logical CSV record: a physical line, plus continuation lines
+// while a quoted cell is still open (quoted cells may embed newlines —
+// WriteEventsCsv produces them, RFC 4180 allows them). `line_no` advances
+// by the number of physical lines consumed. Returns false at EOF with no
+// input; `*unterminated` is set when EOF hits inside an open quote.
+bool ReadCsvRecord(std::istream& in, std::string* record, int* line_no,
+                   bool* unterminated) {
+  record->clear();
+  *unterminated = false;
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  ++*line_no;
+  *record = std::move(line);
+  while (EndsInsideQuote(*record)) {
+    if (!std::getline(in, line)) {
+      *unterminated = true;
+      return true;
+    }
+    ++*line_no;
+    *record += '\n';
+    *record += line;
+  }
+  return true;
+}
+
+// Splits one CSV record honoring double-quoted cells (which may contain
+// commas, escaped quotes, and newlines).
 std::vector<std::string> SplitCsvLine(const std::string& line) {
   std::vector<std::string> cells;
   std::string cur;
@@ -80,19 +125,31 @@ Result<Value> ParseCell(const std::string& text, ValueType type, int line_no) {
                              ": bad BOOL cell '" + text + "'");
     case ValueType::kInt: {
       char* end = nullptr;
+      errno = 0;
       const long long v = std::strtoll(text.c_str(), &end, 10);
       if (end == nullptr || *end != '\0') {
         return Status::IoError("line " + std::to_string(line_no) +
                                ": bad INT cell '" + text + "'");
       }
+      if (errno == ERANGE) {
+        // Silent saturation to LLONG_MIN/MAX would corrupt the stream.
+        return Status::IoError("line " + std::to_string(line_no) +
+                               ": INT cell out of range '" + text + "'");
+      }
       return Value::Int(v);
     }
     case ValueType::kFloat: {
       char* end = nullptr;
+      errno = 0;
       const double v = std::strtod(text.c_str(), &end);
       if (end == nullptr || *end != '\0') {
         return Status::IoError("line " + std::to_string(line_no) +
                                ": bad FLOAT cell '" + text + "'");
+      }
+      if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+        // Overflow only; denormal underflow still returns a usable value.
+        return Status::IoError("line " + std::to_string(line_no) +
+                               ": FLOAT cell out of range '" + text + "'");
       }
       return Value::Float(v);
     }
@@ -130,37 +187,51 @@ Result<std::vector<Event>> ReadEventsCsv(const std::string& path, SchemaPtr sche
   if (!in.is_open()) return Status::IoError("cannot open " + path);
 
   std::vector<Event> events;
-  std::string line;
+  std::string record;
   int line_no = 0;
+  bool unterminated = false;
   bool header_seen = false;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
+  while (ReadCsvRecord(in, &record, &line_no, &unterminated)) {
+    // First physical line of this record, for error messages (`line_no`
+    // has already advanced past any quoted-cell continuation lines).
+    const int record_line =
+        line_no - static_cast<int>(std::count(record.begin(), record.end(), '\n'));
+    if (unterminated) {
+      return Status::IoError(path + " line " + std::to_string(record_line) +
+                             ": unterminated quoted cell at end of file");
+    }
+    if (record.empty()) continue;
     if (!header_seen) {
       header_seen = true;  // header validated loosely: must start with "ts"
-      if (!StartsWith(line, "ts")) {
+      if (!StartsWith(record, "ts")) {
         return Status::IoError(path + ": missing 'ts,type,...' header");
       }
       continue;
     }
-    const std::vector<std::string> cells = SplitCsvLine(line);
+    const std::vector<std::string> cells = SplitCsvLine(record);
     if (cells.size() != schema->num_attributes() + 2) {
-      return Status::IoError(path + " line " + std::to_string(line_no) +
+      return Status::IoError(path + " line " + std::to_string(record_line) +
                              ": expected " +
                              std::to_string(schema->num_attributes() + 2) +
                              " cells, got " + std::to_string(cells.size()));
     }
     char* end = nullptr;
+    errno = 0;
     const long long ts = std::strtoll(cells[0].c_str(), &end, 10);
     if (end == nullptr || *end != '\0') {
-      return Status::IoError(path + " line " + std::to_string(line_no) +
+      return Status::IoError(path + " line " + std::to_string(record_line) +
                              ": bad timestamp '" + cells[0] + "'");
+    }
+    if (errno == ERANGE) {
+      return Status::IoError(path + " line " + std::to_string(record_line) +
+                             ": timestamp out of range '" + cells[0] + "'");
     }
     std::vector<Value> values;
     values.reserve(schema->num_attributes());
     for (size_t i = 0; i < schema->num_attributes(); ++i) {
       CEPR_ASSIGN_OR_RETURN(
-          Value v, ParseCell(cells[i + 2], schema->attribute(i).type, line_no));
+          Value v,
+          ParseCell(cells[i + 2], schema->attribute(i).type, record_line));
       values.push_back(std::move(v));
     }
     Event e(schema, ts, std::move(values));

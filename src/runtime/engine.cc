@@ -143,6 +143,22 @@ std::vector<std::string> Engine::QueryNames() const {
   return names;
 }
 
+Result<QueryMetrics> Engine::GetQueryMetrics(std::string_view name) const {
+  CEPR_ASSIGN_OR_RETURN(const RunningQuery* query, GetQuery(name));
+  return query->metrics();
+}
+
+MetricsSnapshot Engine::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.events_ingested = events_ingested_;
+  snap.num_shards = 1;
+  snap.queries.reserve(queries_.size());
+  for (const auto& [key, query] : queries_) {
+    snap.queries.push_back({query->name(), query->metrics()});
+  }
+  return snap;
+}
+
 Status Engine::Push(Event event) {
   if (event.schema() == nullptr) {
     return Status::InvalidArgument("event has no schema");

@@ -58,6 +58,15 @@ class Engine {
   Result<const RunningQuery*> GetQuery(std::string_view name) const;
   std::vector<std::string> QueryNames() const;
 
+  /// One query's metrics snapshot (same shape as ShardedEngine's). Like
+  /// every Engine call this runs on the single driving thread.
+  Result<QueryMetrics> GetQueryMetrics(std::string_view name) const;
+
+  /// Engine-wide metrics snapshot: every query's counters and latency
+  /// histograms, in name order (facade parity with
+  /// ShardedEngine::Snapshot; num_shards is 1 and the shard list empty).
+  MetricsSnapshot Snapshot() const;
+
   // -- Ingest ---------------------------------------------------------------
 
   /// Ingests one event: validates its schema is registered, enforces

@@ -2,6 +2,52 @@
 
 namespace cepr {
 
+namespace {
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MatcherJson(const MatcherStats& m) {
+  std::string out = "{";
+  out += "\"events\":" + std::to_string(m.events);
+  out += ",\"runs_created\":" + std::to_string(m.runs_created);
+  out += ",\"runs_forked\":" + std::to_string(m.runs_forked);
+  out += ",\"runs_completed\":" + std::to_string(m.runs_completed);
+  out += ",\"runs_expired\":" + std::to_string(m.runs_expired);
+  out += ",\"runs_killed_strict\":" + std::to_string(m.runs_killed_strict);
+  out += ",\"runs_killed_negation\":" + std::to_string(m.runs_killed_negation);
+  out += ",\"runs_pruned_score\":" + std::to_string(m.runs_pruned_score);
+  out += ",\"runs_dropped_capacity\":" + std::to_string(m.runs_dropped_capacity);
+  out += ",\"matches\":" + std::to_string(m.matches);
+  out += ",\"peak_active_runs\":" + std::to_string(m.peak_active_runs);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
 std::string QueryMetrics::ToString() const {
   std::string out;
   out += "events=" + std::to_string(events);
@@ -12,6 +58,20 @@ std::string QueryMetrics::ToString() const {
   out += " prunes=" + std::to_string(prunes);
   out += "\n  processing_ns: " + event_processing_ns.Summary();
   out += "\n  emission_delay_us: " + emission_delay_us.Summary();
+  return out;
+}
+
+std::string QueryMetrics::ToJson() const {
+  std::string out = "{";
+  out += "\"events\":" + std::to_string(events);
+  out += ",\"matches\":" + std::to_string(matches);
+  out += ",\"results\":" + std::to_string(results);
+  out += ",\"prune_checks\":" + std::to_string(prune_checks);
+  out += ",\"prunes\":" + std::to_string(prunes);
+  out += ",\"matcher\":" + MatcherJson(matcher);
+  out += ",\"processing_ns\":" + event_processing_ns.ToJson();
+  out += ",\"emission_delay_us\":" + emission_delay_us.ToJson();
+  out += "}";
   return out;
 }
 
@@ -26,9 +86,71 @@ std::string ShardStats::ToString() const {
   return out;
 }
 
+std::string ShardStats::ToJson() const {
+  std::string out = "{";
+  out += "\"events\":" + std::to_string(events);
+  out += ",\"matches\":" + std::to_string(matches);
+  out += ",\"barriers\":" + std::to_string(barriers);
+  out += ",\"batches_published\":" + std::to_string(batches_published);
+  out += ",\"queue_high_water\":" + std::to_string(queue_high_water);
+  out += ",\"enqueue_stalls\":" + std::to_string(enqueue_stalls);
+  out += "}";
+  return out;
+}
+
 std::string MergeStats::ToString() const {
   return "windows_merged=" + std::to_string(windows_merged) +
          " results_emitted=" + std::to_string(results_emitted);
+}
+
+std::string MergeStats::ToJson() const {
+  return "{\"windows_merged\":" + std::to_string(windows_merged) +
+         ",\"results_emitted\":" + std::to_string(results_emitted) + "}";
+}
+
+ShardStats MetricsCell::Snapshot() const {
+  ShardStats s;
+  s.events = events.Load();
+  s.matches = matches.Load();
+  s.barriers = barriers.Load();
+  s.batches_published = batches_published.Load();
+  s.queue_high_water = static_cast<size_t>(queue_high_water.Load());
+  s.enqueue_stalls = enqueue_stalls.Load();
+  return s;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  out += "events_ingested=" + std::to_string(events_ingested);
+  out += " num_shards=" + std::to_string(num_shards);
+  for (const QueryEntry& q : queries) {
+    out += "\nquery " + q.name + ": " + q.metrics.ToString();
+  }
+  for (size_t s = 0; s < shards.size(); ++s) {
+    out += "\nshard " + std::to_string(s) + ": " + shards[s].ToString();
+  }
+  if (!shards.empty()) out += "\nmerge: " + merge.ToString();
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  out += "\"events_ingested\":" + std::to_string(events_ingested);
+  out += ",\"num_shards\":" + std::to_string(num_shards);
+  out += ",\"queries\":[";
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(queries[i].name) +
+           "\",\"metrics\":" + queries[i].metrics.ToJson() + "}";
+  }
+  out += "],\"shards\":[";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (i > 0) out += ",";
+    out += shards[i].ToJson();
+  }
+  out += "],\"merge\":" + merge.ToJson();
+  out += "}";
+  return out;
 }
 
 }  // namespace cepr

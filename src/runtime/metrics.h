@@ -2,15 +2,19 @@
 #define CEPR_RUNTIME_METRICS_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <vector>
 
+#include "common/counters.h"
 #include "common/histogram.h"
 #include "engine/matcher.h"
 
 namespace cepr {
 
-/// Per-query runtime metrics, maintained by RunningQuery and read by the
-/// monitor example and benchmarks.
+/// Per-query runtime metrics, maintained by RunningQuery (serial engine) or
+/// aggregated across shards (sharded engine) and read by the monitor
+/// example, tests and benchmarks. Plain-value snapshot type.
 struct QueryMetrics {
   /// Events routed to this query.
   uint64_t events = 0;
@@ -22,7 +26,8 @@ struct QueryMetrics {
   Histogram event_processing_ns;
   /// Event-time delay between a match's last event and its emission point
   /// (microseconds); 0 for eager emission, up to a window span for
-  /// buffered emission.
+  /// buffered emission. In the sharded engine this is recorded at the
+  /// shard-local emission point, before the merge stage cuts to LIMIT.
   Histogram emission_delay_us;
   /// Snapshot of the matcher counters (runs created/pruned/...).
   MatcherStats matcher;
@@ -31,11 +36,12 @@ struct QueryMetrics {
   uint64_t prunes = 0;
 
   std::string ToString() const;
+  std::string ToJson() const;
 };
 
-/// Per-worker-shard counters of the sharded engine. Written by the shard
-/// thread (and the router, for the queue-side counters); read after the
-/// shard has quiesced or via the engine's snapshot path.
+/// Plain-value snapshot of one worker shard's counters. Safe to take at any
+/// time via MetricsCell::Snapshot(): each counter is exact at some recent
+/// instant, counters are only approximately consistent with each other.
 struct ShardStats {
   /// Event messages processed by this shard (across all queries).
   uint64_t events = 0;
@@ -54,6 +60,7 @@ struct ShardStats {
   uint64_t enqueue_stalls = 0;
 
   std::string ToString() const;
+  std::string ToJson() const;
 };
 
 /// Engine-wide counters of the sharded engine's merge stage.
@@ -64,6 +71,73 @@ struct MergeStats {
   uint64_t results_emitted = 0;
 
   std::string ToString() const;
+  std::string ToJson() const;
+};
+
+/// Live per-shard metrics cell: the write side of the monitoring subsystem.
+///
+/// Scalar counters are single-writer relaxed atomics (common/counters.h):
+/// the shard thread owns events/matches/barriers/batches_published, the
+/// ingest (router) thread owns queue_high_water/enqueue_stalls. Either side
+/// may be read from any thread at any time without synchronization.
+///
+/// The per-query latency histograms are recorded thread-locally by the
+/// owning shard thread and guarded by `mu` so snapshotters can copy them
+/// while the stream is running; the lock is uncontended except during a
+/// poll.
+struct MetricsCell {
+  // -- shard-thread-written --------------------------------------------------
+  RelaxedCounter events;
+  RelaxedCounter matches;
+  RelaxedCounter barriers;
+  RelaxedCounter batches_published;
+  // -- ingest/router-thread-written -----------------------------------------
+  RelaxedMax queue_high_water;
+  RelaxedCounter enqueue_stalls;
+
+  /// Per-query wall-clock/event-time distributions (indexed by query id,
+  /// sized before the shard thread starts).
+  struct Timings {
+    Histogram processing_ns;
+    Histogram emission_delay_us;
+  };
+  mutable std::mutex mu;
+  std::vector<Timings> timings;
+
+  /// Scalar counters only; histograms are merged by the engine's snapshot
+  /// path under `mu`.
+  ShardStats Snapshot() const;
+};
+
+/// One coherent view of an engine's counters, taken by
+/// Engine::Snapshot() / ShardedEngine::Snapshot(). On the sharded engine it
+/// may be taken from a monitor thread while the ingest and shard threads
+/// are running: every counter is exact at some instant during the call
+/// (per-counter atomic), while relations *between* counters (e.g.
+/// shard events vs. query events) are approximately consistent and become
+/// exact once Finish() has returned.
+struct MetricsSnapshot {
+  /// Total events the engine accepted.
+  uint64_t events_ingested = 0;
+  /// Worker shard count (1 for the serial engine).
+  size_t num_shards = 1;
+  /// Per-query aggregated metrics, in registration order.
+  struct QueryEntry {
+    std::string name;
+    QueryMetrics metrics;
+  };
+  std::vector<QueryEntry> queries;
+  /// Per-shard counters (empty for the serial engine).
+  std::vector<ShardStats> shards;
+  /// Merge-stage counters (zeros for the serial engine).
+  MergeStats merge;
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+  /// Single JSON object, the wire format for external monitors:
+  /// {"events_ingested":N,"num_shards":N,"queries":[{"name":...},...],
+  ///  "shards":[...],"merge":{...}}.
+  std::string ToJson() const;
 };
 
 }  // namespace cepr

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "lang/parser.h"
 #include "plan/compiler.h"
@@ -22,7 +24,7 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
                       : std::max(1u, std::thread::hardware_concurrency())) {}
 
 ShardedEngine::~ShardedEngine() {
-  if (started_ && !finished_) {
+  if (WorkersStarted() && !finished_) {
     // Stop workers without delivering: the user's sinks may already be
     // gone. Finish() is the orderly path.
     for (auto& shard : shards_) {
@@ -68,7 +70,7 @@ Result<SchemaPtr> ShardedEngine::GetSchema(std::string_view stream_name) const {
 Status ShardedEngine::RegisterQuery(std::string name,
                                     std::string_view query_text,
                                     const QueryOptions& options, Sink* sink) {
-  if (started_) {
+  if (WorkersStarted()) {
     return Status::InvalidArgument(
         "sharded engine: queries must be registered before the first Push");
   }
@@ -100,19 +102,11 @@ Status ShardedEngine::RegisterQuery(std::string name,
   merge.limit = plan->limit < 0 ? static_cast<size_t>(-1)
                                 : static_cast<size_t>(plan->limit);
 
-  QueryState q{std::move(name),
-               plan,
-               options,
-               sink,
-               ShardRouter(*plan, num_shards_, queries_.size()),
-               ReportWindowAssigner::ForQuery(*plan),
-               merge,
-               /*ordinal=*/0,
-               /*current_window=*/0,
-               /*merged_upto=*/0,
-               /*pending=*/{},
-               /*results_delivered=*/0};
-  q.pending.resize(num_shards_);
+  auto q = std::make_unique<QueryState>(
+      std::move(name), plan, options, sink,
+      ShardRouter(*plan, num_shards_, queries_.size()),
+      ReportWindowAssigner::ForQuery(*plan), merge);
+  q->pending.resize(num_shards_);
   query_index_.emplace(key, static_cast<uint32_t>(queries_.size()));
   queries_.push_back(std::move(q));
   return Status::OK();
@@ -121,7 +115,7 @@ Status ShardedEngine::RegisterQuery(std::string name,
 std::vector<std::string> ShardedEngine::QueryNames() const {
   std::vector<std::string> names;
   names.reserve(queries_.size());
-  for (const auto& q : queries_) names.push_back(q.name);
+  for (const auto& q : queries_) names.push_back(q->name);
   return names;
 }
 
@@ -133,14 +127,15 @@ void ShardedEngine::StartWorkers() {
     shard->published.resize(queries_.size());
     shard->acked_window =
         std::make_unique<std::atomic<int64_t>[]>(queries_.size());
+    shard->metrics.timings.resize(queries_.size());
     shard->cells.reserve(queries_.size());
-    for (const QueryState& q : queries_) {
+    for (const auto& q : queries_) {
       shard->acked_window[shard->cells.size()].store(
           0, std::memory_order_relaxed);
       QueryCell cell;
-      cell.emitter = std::make_unique<Emitter>(q.plan, q.options.ranker);
+      cell.emitter = std::make_unique<Emitter>(q->plan, q->options.ranker);
       cell.matcher = std::make_unique<PartitionedMatcher>(
-          q.plan, q.options.matcher, cell.emitter->pruner());
+          q->plan, q->options.matcher, cell.emitter->pruner());
       shard->cells.push_back(std::move(cell));
     }
     shards_.push_back(std::move(shard));
@@ -148,16 +143,15 @@ void ShardedEngine::StartWorkers() {
   for (size_t s = 0; s < num_shards_; ++s) {
     shards_[s]->thread = std::thread([this, s] { ShardMain(s); });
   }
-  started_ = true;
+  started_.store(true, std::memory_order_release);
 }
 
 void ShardedEngine::Enqueue(Shard* shard, Message msg) {
   while (!shard->queue->TryPush(msg)) {
-    ++shard->enqueue_stalls;
+    shard->metrics.enqueue_stalls.Increment();
     std::this_thread::yield();
   }
-  shard->queue_high_water =
-      std::max(shard->queue_high_water, shard->queue->size());
+  shard->metrics.queue_high_water.Observe(shard->queue->size());
   if (shard->parked.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(shard->park_mu);
     shard->park_cv.notify_one();
@@ -167,7 +161,7 @@ void ShardedEngine::Enqueue(Shard* shard, Message msg) {
 void ShardedEngine::PublishResults(Shard* shard, uint32_t query,
                                    std::vector<RankedResult> results) {
   if (results.empty()) return;
-  shard->stats.batches_published++;
+  shard->metrics.batches_published.Increment();
   std::lock_guard<std::mutex> lock(shard->mu);
   auto& out = shard->published[query];
   for (RankedResult& r : results) out.push_back(std::move(r));
@@ -196,16 +190,21 @@ void ShardedEngine::ShardMain(size_t shard_index) {
       }
     }
 
-    QueryCell& cell = shard->cells[msg.query];
+    // NOTE: the (shard, query) cell is bound inside the kEvent/kBarrier
+    // arms only — a kFinish message carries a default-initialized `query`
+    // index, and a shard with zero registered queries has no cell 0 at all.
     scratch.clear();
     switch (msg.kind) {
       case Message::Kind::kEvent: {
-        shard->stats.events++;
+        QueryCell& cell = shard->cells[msg.query];
+        Stopwatch timer;
+        shard->metrics.events.Increment();
         std::vector<Match> matches;
         cell.matcher->OnEvent(msg.event, &matches);
-        shard->stats.matches += matches.size();
+        shard->metrics.matches.Add(matches.size());
         cell.emitter->OnEvent(msg.ts, msg.ordinal, std::move(matches),
                               &scratch);
+        RecordTimings(shard, msg.query, timer.ElapsedNanos(), scratch);
         PublishResults(shard, msg.query, std::move(scratch));
         break;
       }
@@ -213,10 +212,12 @@ void ShardedEngine::ShardMain(size_t shard_index) {
         // Advance this shard's windows to the barrier position (an empty
         // event batch closes any window the stream has moved past), then
         // acknowledge so the router may merge.
-        shard->stats.barriers++;
+        QueryCell& cell = shard->cells[msg.query];
+        shard->metrics.barriers.Increment();
         cell.emitter->OnEvent(msg.ts, msg.ordinal, {}, &scratch);
-        const int64_t window = shard->cells[msg.query].emitter->windows().WindowOf(
-            msg.ts, msg.ordinal);
+        const int64_t window =
+            cell.emitter->windows().WindowOf(msg.ts, msg.ordinal);
+        RecordTimings(shard, msg.query, /*processing_ns=*/-1, scratch);
         PublishResults(shard, msg.query, std::move(scratch));
         shard->acked_window[msg.query].store(window, std::memory_order_release);
         break;
@@ -225,12 +226,26 @@ void ShardedEngine::ShardMain(size_t shard_index) {
         for (uint32_t q = 0; q < shard->cells.size(); ++q) {
           scratch.clear();
           shard->cells[q].emitter->Finish(&scratch);
+          RecordTimings(shard, q, /*processing_ns=*/-1, scratch);
           PublishResults(shard, q, std::move(scratch));
           shard->acked_window[q].store(kAckedAll, std::memory_order_release);
         }
         return;
       }
     }
+  }
+}
+
+void ShardedEngine::RecordTimings(Shard* shard, uint32_t query,
+                                  int64_t processing_ns,
+                                  const std::vector<RankedResult>& emitted) {
+  if (processing_ns < 0 && emitted.empty()) return;
+  const Timestamp now = shard->cells[query].emitter->last_event_ts();
+  std::lock_guard<std::mutex> lock(shard->metrics.mu);
+  MetricsCell::Timings& t = shard->metrics.timings[query];
+  if (processing_ns >= 0) t.processing_ns.Record(processing_ns);
+  for (const RankedResult& r : emitted) {
+    t.emission_delay_us.Record(now - r.match.last_ts);
   }
 }
 
@@ -269,16 +284,16 @@ Status ShardedEngine::Push(Event event) {
   state.watermark = event.timestamp();
   state.saw_event = true;
   event.set_sequence(state.next_sequence++);
-  ++events_ingested_;
+  events_ingested_.Increment();
 
-  if (!started_) StartWorkers();
+  if (!WorkersStarted()) StartWorkers();
 
   const auto shared = std::make_shared<const Event>(std::move(event));
   for (uint32_t qi = 0; qi < queries_.size(); ++qi) {
-    QueryState& q = queries_[qi];
+    QueryState& q = *queries_[qi];
     if (q.plan->schema() != state.schema) continue;
 
-    const uint64_t ordinal = q.ordinal++;
+    const uint64_t ordinal = q.ordinal.PostIncrement();
     const Timestamp ts = shared->timestamp();
     const int64_t window = q.windows.WindowOf(ts, ordinal);
     if (window > q.current_window) {
@@ -359,9 +374,9 @@ void ShardedEngine::DrainReady(QueryState* q, uint32_t query_index,
       }
     }
     std::vector<RankedResult> merged = MergeShardResults(std::move(lists), q->merge);
-    merge_stats_.windows_merged++;
-    merge_stats_.results_emitted += merged.size();
-    q->results_delivered += merged.size();
+    merge_windows_.Increment();
+    merge_results_.Add(merged.size());
+    q->results_delivered.Add(merged.size());
     if (q->sink != nullptr) {
       for (const RankedResult& r : merged) q->sink->OnResult(r);
     }
@@ -372,7 +387,7 @@ void ShardedEngine::DrainReady(QueryState* q, uint32_t query_index,
 void ShardedEngine::Finish() {
   if (finished_) return;
   finished_ = true;
-  if (!started_) return;  // no events: nothing buffered anywhere
+  if (!WorkersStarted()) return;  // no events: nothing buffered anywhere
   for (auto& shard : shards_) {
     Message finish;
     finish.kind = Message::Kind::kFinish;
@@ -382,20 +397,48 @@ void ShardedEngine::Finish() {
     if (shard->thread.joinable()) shard->thread.join();
   }
   for (uint32_t qi = 0; qi < queries_.size(); ++qi) {
-    DrainReady(&queries_[qi], qi, /*final=*/true);
+    DrainReady(queries_[qi].get(), qi, /*final=*/true);
   }
 }
 
 std::vector<ShardStats> ShardedEngine::shard_stats() const {
   std::vector<ShardStats> out;
+  if (!WorkersStarted()) return out;
   out.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    ShardStats s = shard->stats;
-    s.queue_high_water = shard->queue_high_water;
-    s.enqueue_stalls = shard->enqueue_stalls;
-    out.push_back(s);
+    out.push_back(shard->metrics.Snapshot());
   }
   return out;
+}
+
+MergeStats ShardedEngine::merge_stats() const {
+  MergeStats m;
+  m.windows_merged = merge_windows_.Load();
+  m.results_emitted = merge_results_.Load();
+  return m;
+}
+
+QueryMetrics ShardedEngine::AggregateQueryMetrics(uint32_t query_index) const {
+  const QueryState& q = *queries_[query_index];
+  QueryMetrics m;
+  m.events = q.ordinal.Load();
+  m.results = q.results_delivered.Load();
+  if (!WorkersStarted()) return m;
+  for (const auto& shard : shards_) {
+    const QueryCell& cell = shard->cells[query_index];
+    const MatcherStats s = cell.matcher->stats();
+    m.matches += s.matches;
+    m.matcher.Accumulate(s);
+    if (cell.emitter->score_pruner() != nullptr) {
+      m.prune_checks += cell.emitter->score_pruner()->checks();
+      m.prunes += cell.emitter->score_pruner()->prunes();
+    }
+    std::lock_guard<std::mutex> lock(shard->metrics.mu);
+    const MetricsCell::Timings& t = shard->metrics.timings[query_index];
+    m.event_processing_ns.Merge(t.processing_ns);
+    m.emission_delay_us.Merge(t.emission_delay_us);
+  }
+  return m;
 }
 
 Result<QueryMetrics> ShardedEngine::GetQueryMetrics(
@@ -404,31 +447,20 @@ Result<QueryMetrics> ShardedEngine::GetQueryMetrics(
   if (it == query_index_.end()) {
     return Status::NotFound("no query named '" + std::string(name) + "'");
   }
-  const uint32_t qi = it->second;
-  QueryMetrics m;
-  m.events = queries_[qi].ordinal;
-  m.results = queries_[qi].results_delivered;
-  for (const auto& shard : shards_) {
-    const QueryCell& cell = shard->cells[qi];
-    const MatcherStats& s = cell.matcher->stats();
-    m.matches += s.matches;
-    m.matcher.events += s.events;
-    m.matcher.runs_created += s.runs_created;
-    m.matcher.runs_forked += s.runs_forked;
-    m.matcher.runs_completed += s.runs_completed;
-    m.matcher.runs_expired += s.runs_expired;
-    m.matcher.runs_killed_strict += s.runs_killed_strict;
-    m.matcher.runs_killed_negation += s.runs_killed_negation;
-    m.matcher.runs_pruned_score += s.runs_pruned_score;
-    m.matcher.runs_dropped_capacity += s.runs_dropped_capacity;
-    m.matcher.matches += s.matches;
-    m.matcher.peak_active_runs += s.peak_active_runs;  // summed across shards
-    if (cell.emitter->score_pruner() != nullptr) {
-      m.prune_checks += cell.emitter->score_pruner()->checks();
-      m.prunes += cell.emitter->score_pruner()->prunes();
-    }
+  return AggregateQueryMetrics(it->second);
+}
+
+MetricsSnapshot ShardedEngine::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.events_ingested = events_ingested_.Load();
+  snap.num_shards = num_shards_;
+  snap.queries.reserve(queries_.size());
+  for (uint32_t qi = 0; qi < queries_.size(); ++qi) {
+    snap.queries.push_back({queries_[qi]->name, AggregateQueryMetrics(qi)});
   }
-  return m;
+  snap.shards = shard_stats();
+  snap.merge = merge_stats();
+  return snap;
 }
 
 }  // namespace cepr

@@ -13,9 +13,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/counters.h"
 #include "common/spsc_queue.h"
 #include "engine/shard_router.h"
 #include "rank/merge.h"
+#include "runtime/metrics.h"
 #include "runtime/query.h"
 
 namespace cepr {
@@ -44,7 +46,10 @@ struct ShardedEngineOptions {
 /// Threading contract: one ingest thread drives ExecuteDdl / RegisterQuery
 /// / Push / Finish (never concurrently); sinks are invoked on that ingest
 /// thread, so they need no synchronization. Shard threads never touch user
-/// code.
+/// code. The introspection block (Snapshot / shard_stats / merge_stats /
+/// GetQueryMetrics / events_ingested) may additionally run on any number of
+/// monitor threads concurrently with ingest — see runtime/metrics.h for the
+/// consistency model.
 ///
 /// Restrictions versus Engine (rejected at RegisterQuery):
 ///  * EMIT ON COMPLETE (eager provisional emission is inherently
@@ -88,18 +93,27 @@ class ShardedEngine {
   void Finish();
 
   // -- Introspection --------------------------------------------------------
+  //
+  // Every reader below is safe to call from ANY thread — including a
+  // monitor thread polling while the ingest and shard threads are running —
+  // once query registration is done. Each counter is exact at some instant
+  // during the call; relations between counters are approximately
+  // consistent mid-run and exact once Finish() has returned.
 
   size_t num_shards() const { return num_shards_; }
-  uint64_t events_ingested() const { return events_ingested_; }
+  uint64_t events_ingested() const { return events_ingested_.Load(); }
 
-  /// Per-shard counters; exact once Finish has returned (mid-run snapshots
-  /// of the shard-thread-owned fields are best-effort).
+  /// Per-shard counter snapshot.
   std::vector<ShardStats> shard_stats() const;
-  const MergeStats& merge_stats() const { return merge_stats_; }
+  MergeStats merge_stats() const;
 
-  /// Aggregated per-query metrics (summed across shards); valid after
-  /// Finish.
+  /// Aggregated per-query metrics (counters and latency histograms summed
+  /// across shards).
   Result<QueryMetrics> GetQueryMetrics(std::string_view name) const;
+
+  /// One engine-wide snapshot: every query, every shard, the merge stage.
+  /// The live-monitoring entry point (see docs/OPERATIONS.md).
+  MetricsSnapshot Snapshot() const;
 
  private:
   struct Message {
@@ -111,7 +125,9 @@ class ShardedEngine {
     Timestamp ts = 0;      // kEvent / kBarrier
   };
 
-  /// One (shard, query) execution cell, owned by the shard thread.
+  /// One (shard, query) execution cell, owned by the shard thread. The
+  /// matcher/pruner counters inside are single-writer atomics, so the
+  /// snapshot path may read them while the shard is matching.
   struct QueryCell {
     std::unique_ptr<Emitter> emitter;
     std::unique_ptr<PartitionedMatcher> matcher;
@@ -136,11 +152,9 @@ class ShardedEngine {
     std::condition_variable park_cv;
     std::atomic<bool> parked{false};
 
-    ShardStats stats;  // shard-thread-owned fields (events/matches/...)
-    /// Router-owned queue-side counters (separate writer, merged into
-    /// shard_stats() on read).
-    size_t queue_high_water = 0;
-    uint64_t enqueue_stalls = 0;
+    /// Live counters + per-query latency histograms; shard-thread and
+    /// router-side writers, snapshottable from any thread.
+    MetricsCell metrics;
   };
 
   struct StreamState {
@@ -151,6 +165,18 @@ class ShardedEngine {
   };
 
   struct QueryState {
+    QueryState(std::string name_in, CompiledQueryPtr plan_in,
+               const QueryOptions& options_in, Sink* sink_in,
+               ShardRouter router_in, ReportWindowAssigner windows_in,
+               ShardMergeOptions merge_in)
+        : name(std::move(name_in)),
+          plan(std::move(plan_in)),
+          options(options_in),
+          sink(sink_in),
+          router(std::move(router_in)),
+          windows(windows_in),
+          merge(merge_in) {}
+
     std::string name;
     CompiledQueryPtr plan;
     QueryOptions options;
@@ -159,12 +185,14 @@ class ShardedEngine {
     ReportWindowAssigner windows;
     ShardMergeOptions merge;
 
-    uint64_t ordinal = 0;        // events routed to this query
+    /// Events routed to this query; ingest-thread-written, snapshot-read.
+    RelaxedCounter ordinal;
     int64_t current_window = 0;  // last window broadcast via barrier
     int64_t merged_upto = 0;     // windows < this delivered to the sink
     /// Per shard: published results pulled from the shard, not yet merged.
     std::vector<std::deque<RankedResult>> pending;
-    uint64_t results_delivered = 0;
+    /// Results handed to the sink; ingest-thread-written, snapshot-read.
+    RelaxedCounter results_delivered;
   };
 
   void StartWorkers();
@@ -175,20 +203,36 @@ class ShardedEngine {
   /// results (shard thread).
   void PublishResults(Shard* shard, uint32_t query,
                       std::vector<RankedResult> results);
+  /// Records one event's processing time (skipped when negative: barriers
+  /// and finish flushes) and the emission delays of `emitted` into the
+  /// shard's metrics cell (shard thread).
+  void RecordTimings(Shard* shard, uint32_t query, int64_t processing_ns,
+                     const std::vector<RankedResult>& emitted);
   /// Merges and delivers every window all shards have moved past; `final`
   /// ignores acks (only valid once workers have joined).
   void DrainReady(QueryState* q, uint32_t query_index, bool final);
+  /// Sums matcher/pruner counters and latency histograms across shards.
+  QueryMetrics AggregateQueryMetrics(uint32_t query_index) const;
+  /// True once StartWorkers has fully populated shards_ (acquire-load, so
+  /// snapshot readers may walk the shard vector).
+  bool WorkersStarted() const {
+    return started_.load(std::memory_order_acquire);
+  }
 
   ShardedEngineOptions options_;
   size_t num_shards_;
   std::map<std::string, StreamState, std::less<>> streams_;
-  std::vector<QueryState> queries_;
+  std::vector<std::unique_ptr<QueryState>> queries_;
   std::map<std::string, uint32_t, std::less<>> query_index_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  bool started_ = false;
+  /// Set (release) after shards_ and their threads exist; snapshot readers
+  /// gate on it before touching shard state.
+  std::atomic<bool> started_{false};
   bool finished_ = false;
-  uint64_t events_ingested_ = 0;
-  MergeStats merge_stats_;
+  /// Ingest-thread-written, snapshot-read.
+  RelaxedCounter events_ingested_;
+  RelaxedCounter merge_windows_;
+  RelaxedCounter merge_results_;
 };
 
 }  // namespace cepr

@@ -109,5 +109,25 @@ TEST(HistogramTest, SummaryMentionsCount) {
   EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
 }
 
+TEST(HistogramTest, ToJsonCarriesSummaryStats) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  const std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean\":15"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"min\":10"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max\":20"), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(HistogramTest, EmptyToJsonIsZeros) {
+  const Histogram h;
+  const std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"count\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean\":0"), std::string::npos) << json;
+}
+
 }  // namespace
 }  // namespace cepr

@@ -32,11 +32,11 @@ class Rig {
     return all;
   }
 
-  const MatcherStats& stats() const { return stats_; }
+  MatcherStats stats() const { return stats_.Snapshot(); }
 
  private:
   CompiledQueryPtr plan_;
-  MatcherStats stats_;
+  AtomicMatcherStats stats_;
   uint64_t next_match_id_ = 0;
   Matcher matcher_;
 };

@@ -38,13 +38,13 @@ class Rig {
     return all;
   }
 
-  const MatcherStats& stats() const { return stats_; }
+  MatcherStats stats() const { return stats_.Snapshot(); }
   size_t active_runs() const { return matcher_.active_runs(); }
   const CompiledQueryPtr& plan() const { return plan_; }
 
  private:
   CompiledQueryPtr plan_;
-  MatcherStats stats_;
+  AtomicMatcherStats stats_;
   uint64_t next_match_id_ = 0;
   Matcher matcher_;
 };

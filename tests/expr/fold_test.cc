@@ -101,13 +101,13 @@ TEST(FoldTest, ConstantFalseWhereYieldsNoMatches) {
                   "WHERE a.price > 0 AND 1 > 2",
                   StockSchema())
                   .value();
-  ::cepr::MatcherStats stats;
+  ::cepr::AtomicMatcherStats stats;
   uint64_t ids = 0;
   ::cepr::Matcher matcher(plan, ::cepr::MatcherOptions{}, nullptr, &stats, &ids);
   std::vector<Match> out;
   matcher.OnEvent(std::make_shared<const Event>(testing::Tick(0, 50)), &out);
   EXPECT_TRUE(out.empty());
-  EXPECT_EQ(stats.runs_created, 0u);
+  EXPECT_EQ(stats.runs_created.Load(), 0u);
 }
 
 }  // namespace

@@ -106,7 +106,7 @@ TEST(ScorePrunerTest, MatcherIntegrationCountsPrunes) {
   auto plan = DipPlan();
   ScorePruner pruner(plan->score, true, PruneScope::kGlobal, 0);
   pruner.SetThreshold(1e9);
-  MatcherStats stats;
+  AtomicMatcherStats stats;
   uint64_t next_id = 0;
   Matcher matcher(plan, MatcherOptions{}, &pruner, &stats, &next_id);
 
@@ -118,8 +118,8 @@ TEST(ScorePrunerTest, MatcherIntegrationCountsPrunes) {
   }
   EXPECT_TRUE(out.empty());
   EXPECT_EQ(matcher.active_runs(), 0u);
-  EXPECT_EQ(stats.runs_pruned_score, stats.runs_created);
-  EXPECT_GT(stats.runs_created, 0u);
+  EXPECT_EQ(stats.runs_pruned_score.Load(), stats.runs_created.Load());
+  EXPECT_GT(stats.runs_created.Load(), 0u);
 }
 
 }  // namespace

@@ -53,6 +53,80 @@ TEST_F(CsvTest, QuotedCellsRoundTrip) {
   EXPECT_EQ((*readback)[1].value(0), Value::String("has\"quote"));
 }
 
+TEST_F(CsvTest, EmbeddedNewlineRoundTrip) {
+  // The writer quotes cells containing '\n'; the reader must continue the
+  // record across physical lines instead of failing on the fragment.
+  std::vector<Event> events;
+  events.push_back(Tick(0, 1.0, 1, "line one\nline two"));
+  events.push_back(Tick(1, 2.0, 2, "a\nb\nc"));
+  events.push_back(Tick(2, 3.0, 3, "mix,\"of\nall\" three"));
+  ASSERT_TRUE(WriteEventsCsv(path_, events).ok());
+  auto readback = ReadEventsCsv(path_, StockSchema());
+  ASSERT_TRUE(readback.ok()) << readback.status().ToString();
+  ASSERT_EQ(readback->size(), 3u);
+  EXPECT_EQ((*readback)[0].value(0), Value::String("line one\nline two"));
+  EXPECT_EQ((*readback)[1].value(0), Value::String("a\nb\nc"));
+  EXPECT_EQ((*readback)[2].value(0), Value::String("mix,\"of\nall\" three"));
+  EXPECT_EQ((*readback)[2].timestamp(), 2);
+}
+
+TEST_F(CsvTest, MultiLineRecordErrorsReportFirstLine) {
+  std::ofstream out(path_);
+  out << "ts,type,symbol,price,volume\n";
+  out << "5,,\"two\nlines\",notanumber,3\n";
+  out.close();
+  auto readback = ReadEventsCsv(path_, StockSchema());
+  ASSERT_FALSE(readback.ok());
+  EXPECT_NE(readback.status().message().find("line 2"), std::string::npos)
+      << readback.status().message();
+}
+
+TEST_F(CsvTest, UnterminatedQuoteRejected) {
+  std::ofstream out(path_);
+  out << "ts,type,symbol,price,volume\n";
+  out << "5,,\"never closed,1.0,3\n";
+  out.close();
+  auto readback = ReadEventsCsv(path_, StockSchema());
+  ASSERT_FALSE(readback.ok());
+  EXPECT_NE(readback.status().message().find("unterminated"), std::string::npos)
+      << readback.status().message();
+}
+
+TEST_F(CsvTest, IntOverflowRejected) {
+  std::ofstream out(path_);
+  out << "ts,type,symbol,price,volume\n";
+  out << "5,,IBM,1.0,99999999999999999999999\n";  // > INT64_MAX
+  out.close();
+  auto readback = ReadEventsCsv(path_, StockSchema());
+  ASSERT_FALSE(readback.ok());
+  EXPECT_EQ(readback.status().code(), StatusCode::kIoError);
+  EXPECT_NE(readback.status().message().find("out of range"), std::string::npos)
+      << readback.status().message();
+}
+
+TEST_F(CsvTest, FloatOverflowRejected) {
+  std::ofstream out(path_);
+  out << "ts,type,symbol,price,volume\n";
+  out << "5,,IBM,1e999,3\n";  // > DBL_MAX
+  out.close();
+  auto readback = ReadEventsCsv(path_, StockSchema());
+  ASSERT_FALSE(readback.ok());
+  EXPECT_NE(readback.status().message().find("out of range"), std::string::npos)
+      << readback.status().message();
+}
+
+TEST_F(CsvTest, TimestampOverflowRejected) {
+  std::ofstream out(path_);
+  out << "ts,type,symbol,price,volume\n";
+  out << "99999999999999999999999,,IBM,1.0,3\n";
+  out.close();
+  auto readback = ReadEventsCsv(path_, StockSchema());
+  ASSERT_FALSE(readback.ok());
+  EXPECT_NE(readback.status().message().find("timestamp out of range"),
+            std::string::npos)
+      << readback.status().message();
+}
+
 TEST_F(CsvTest, EmptyNumericCellBecomesNull) {
   std::ofstream out(path_);
   out << "ts,type,symbol,price,volume\n";
