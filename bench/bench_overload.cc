@@ -1,0 +1,125 @@
+// E13 — Overload protection: run budgets and load shedding.
+//
+// An adversarial single-partition stream drives the live-run population
+// well past any sane budget: every event opens a run, the Kleene body
+// absorbs ~99% of events, and runs only complete at rare high-volume
+// marker events (volume > 9900, ~1%), so dozens of runs are live at any
+// instant. Sweeping the per-partition cap across the three shed policies
+// measures the two sides of the trade:
+//  * throughput — shedding bounds matcher state as the budget tightens;
+//  * result quality — top-k recall against the unbounded baseline.
+// RANK BY a.price gives every run a point score bound at creation, and
+// completion (the volume marker) is independent of that score — the
+// regime where keeping the strongest bounds (kShedLowestScoreBound) is
+// the optimal policy, and the ranking-blind kRejectNew / kShedOldest
+// discard future top-k matches.
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+#include <tuple>
+
+#include "bench_util.h"
+
+namespace cepr {
+namespace bench {
+namespace {
+
+constexpr size_t kEvents = 100000;
+constexpr int kLimit = 10;
+
+std::string OverloadQuery() {
+  return "SELECT a.symbol, a.price FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+         "PARTITION BY symbol "
+         "WHERE b[i].volume <= 9900 AND c.volume > 9900 "
+         "WITHIN 100 MILLISECONDS "
+         "RANK BY a.price DESC LIMIT " + std::to_string(kLimit) +
+         " EMIT ON WINDOW CLOSE";
+}
+
+// Identity of one emitted result, stable across engine instances.
+using ResultKey = std::tuple<int64_t, Timestamp, Timestamp, double>;
+
+std::set<ResultKey> Keys(const std::vector<RankedResult>& results) {
+  std::set<ResultKey> keys;
+  for (const RankedResult& r : results) {
+    keys.insert({r.window_id, r.match.first_ts, r.match.last_ts,
+                 r.match.score});
+  }
+  return keys;
+}
+
+// The single-symbol stream concentrates every run in one partition, so
+// max_runs_per_partition is the whole budget.
+const std::vector<Event>& OverloadStream() {
+  return StockStream(kEvents, 0.02, /*num_symbols=*/1);
+}
+
+std::vector<RankedResult> RunWithBudget(size_t budget, ShedPolicy policy,
+                                        uint64_t* sheds) {
+  EngineOptions engine_options;
+  engine_options.max_runs_per_partition = budget;
+  engine_options.shed_policy = policy;
+  auto engine = std::make_unique<Engine>(engine_options);
+  const Status s = engine->RegisterSchema(StockGenerator::MakeSchema());
+  CEPR_CHECK(s.ok()) << s.ToString();
+  CollectSink sink;
+  const Status q =
+      engine->RegisterQuery("q", OverloadQuery(), QueryOptions{}, &sink);
+  CEPR_CHECK(q.ok()) << q.ToString();
+  Replay(engine.get(), OverloadStream());
+  if (sheds != nullptr) {
+    *sheds = engine->GetQuery("q").value()->metrics().matcher
+                 .runs_dropped_capacity;
+  }
+  return sink.results();
+}
+
+const std::set<ResultKey>& BaselineKeys() {
+  static const std::set<ResultKey>* cache = new std::set<ResultKey>(
+      Keys(RunWithBudget(0, ShedPolicy::kShedOldest, nullptr)));
+  return *cache;
+}
+
+void BM_OverloadShed(benchmark::State& state) {
+  const size_t budget = static_cast<size_t>(state.range(0));  // 0 = unbounded
+  const ShedPolicy policy = static_cast<ShedPolicy>(state.range(1));
+  const std::set<ResultKey>& baseline = BaselineKeys();
+
+  std::vector<RankedResult> results;
+  uint64_t sheds = 0;
+  for (auto _ : state) {
+    results = RunWithBudget(budget, policy, &sheds);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kEvents) * state.iterations());
+
+  size_t hits = 0;
+  for (const ResultKey& key : Keys(results)) {
+    if (baseline.count(key) > 0) ++hits;
+  }
+  state.counters["recall"] =
+      baseline.empty() ? 1.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(baseline.size());
+  state.counters["sheds"] = static_cast<double>(sheds);
+}
+
+void OverloadArgs(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"budget", "policy"});
+  b->Args({0, static_cast<int>(ShedPolicy::kShedOldest)});  // baseline
+  for (int budget : {20, 40, 80, 160}) {
+    for (ShedPolicy policy :
+         {ShedPolicy::kRejectNew, ShedPolicy::kShedOldest,
+          ShedPolicy::kShedLowestScoreBound}) {
+      b->Args({budget, static_cast<int>(policy)});
+    }
+  }
+}
+
+BENCHMARK(BM_OverloadShed)->Apply(OverloadArgs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace cepr
+
+BENCHMARK_MAIN();

@@ -1,25 +1,30 @@
 #!/usr/bin/env bash
 # Tier-1 gate: plain build + full test suite, then a ThreadSanitizer build
 # running the concurrency-sensitive suites (SPSC ring, sharded engine, and
-# the live-metrics race test). Run from the repo root:
+# the live-metrics race test), then an AddressSanitizer build running the
+# memory-churn-heavy suites (robustness fuzz, overload shedding, fault
+# injection, CSV parsing). Run from the repo root:
 #
-#   scripts/check.sh            # both stages
-#   scripts/check.sh --plain    # skip the TSan stage
+#   scripts/check.sh            # all stages
+#   scripts/check.sh --plain    # plain stage only
 #   scripts/check.sh --tsan     # TSan stage only
+#   scripts/check.sh --asan     # ASan stage only
 #
-# The TSan stage uses its own build tree (build-tsan) so it never dirties
-# the primary build.
+# The sanitizer stages use their own build trees (build-tsan, build-asan)
+# so they never dirty the primary build.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_plain=1
 run_tsan=1
+run_asan=1
 case "${1:-}" in
-  --plain) run_tsan=0 ;;
-  --tsan) run_plain=0 ;;
+  --plain) run_tsan=0; run_asan=0 ;;
+  --tsan) run_plain=0; run_asan=0 ;;
+  --asan) run_plain=0; run_tsan=0 ;;
   "") ;;
-  *) echo "usage: $0 [--plain|--tsan]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--plain|--tsan|--asan]" >&2; exit 2 ;;
 esac
 
 if [[ $run_plain -eq 1 ]]; then
@@ -35,7 +40,16 @@ if [[ $run_tsan -eq 1 ]]; then
   cmake --build build-tsan -j "$(nproc)" --target common_test integration_test
   ./build-tsan/tests/common_test --gtest_filter='SpscQueue*'
   ./build-tsan/tests/integration_test \
-    --gtest_filter='Sharded*:ShardedMetricsRaceTest.*'
+    --gtest_filter='Sharded*:ShardedMetricsRaceTest.*:ShardCounts/ShardedFault*'
+fi
+
+if [[ $run_asan -eq 1 ]]; then
+  echo "== ASan build + robustness suites =="
+  cmake -B build-asan -S . -DCEPR_SANITIZE=address -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  cmake --build build-asan -j "$(nproc)" --target integration_test runtime_test
+  ./build-asan/tests/integration_test \
+    --gtest_filter='Robustness*:Overload*:FaultInjection*:ShardedFault*:ShardCounts/ShardedFault*'
+  ./build-asan/tests/runtime_test --gtest_filter='Csv*'
 fi
 
 echo "check.sh: all stages passed"

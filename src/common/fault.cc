@@ -1,0 +1,103 @@
+#include "common/fault.h"
+
+#include <algorithm>
+
+namespace cepr {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche mixing of (seed, point, key) so
+// rate-armed points fire on an arbitrary-looking but fully deterministic
+// subset of keys.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashPointName(std::string_view point) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a
+  for (char c : point) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* FaultPolicyToString(FaultPolicy policy) {
+  switch (policy) {
+    case FaultPolicy::kFailFast:
+      return "FailFast";
+    case FaultPolicy::kSkipAndCount:
+      return "SkipAndCount";
+  }
+  return "Unknown";
+}
+
+FaultInjector::FaultInjector(uint64_t seed) : seed_(seed) {}
+
+FaultInjector::Point* FaultInjector::FindOrCreate(std::string_view point) {
+  auto it = points_.find(point);
+  if (it == points_.end()) {
+    it = points_.emplace(std::string(point), std::make_unique<Point>()).first;
+  }
+  return it->second.get();
+}
+
+const FaultInjector::Point* FaultInjector::Find(std::string_view point) const {
+  const auto it = points_.find(point);
+  return it == points_.end() ? nullptr : it->second.get();
+}
+
+void FaultInjector::ArmKeys(std::string_view point, std::vector<uint64_t> keys) {
+  Point* p = FindOrCreate(point);
+  std::sort(keys.begin(), keys.end());
+  p->keys = std::move(keys);
+  p->rate_based = false;
+  p->armed.store(true, std::memory_order_release);
+}
+
+void FaultInjector::ArmRate(std::string_view point, double probability) {
+  Point* p = FindOrCreate(point);
+  p->keys.clear();
+  p->rate_based = true;
+  p->probability = probability;
+  p->armed.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm(std::string_view point) {
+  if (Point* p = FindOrCreate(point)) {
+    p->armed.store(false, std::memory_order_release);
+  }
+}
+
+void FaultInjector::Rearm(std::string_view point) {
+  if (Point* p = FindOrCreate(point)) {
+    p->armed.store(true, std::memory_order_release);
+  }
+}
+
+bool FaultInjector::ShouldFire(std::string_view point, uint64_t key) const {
+  const Point* p = Find(point);
+  if (p == nullptr || !p->armed.load(std::memory_order_acquire)) return false;
+  bool fire;
+  if (p->rate_based) {
+    const uint64_t h = Mix64(seed_ ^ Mix64(HashPointName(point)) ^ Mix64(key));
+    // Map the hash to [0, 1); fire iff it lands under the probability.
+    fire = static_cast<double>(h >> 11) * 0x1.0p-53 < p->probability;
+  } else {
+    fire = std::binary_search(p->keys.begin(), p->keys.end(), key);
+  }
+  if (fire) p->fires.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+uint64_t FaultInjector::fires(std::string_view point) const {
+  const Point* p = Find(point);
+  return p == nullptr ? 0 : p->fires.load(std::memory_order_relaxed);
+}
+
+}  // namespace cepr

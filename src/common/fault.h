@@ -1,0 +1,95 @@
+#ifndef CEPR_COMMON_FAULT_H_
+#define CEPR_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cepr {
+
+/// What an engine does when a runtime fault surfaces mid-stream (an eval
+/// error, a poison event, a bad CSV record): stop, or contain and count.
+enum class FaultPolicy {
+  /// Propagate the first error to the caller; the stream stops there.
+  kFailFast,
+  /// Quarantine the offending event/run/record, count it, keep flowing.
+  kSkipAndCount,
+};
+
+/// Stable name ("FailFast" / "SkipAndCount") for logs and dumps.
+const char* FaultPolicyToString(FaultPolicy policy);
+
+/// Well-known fault-point names. A point name plus a deterministic key
+/// (stream sequence number, CSV line, shard index) identifies one potential
+/// fault site, so serial and sharded executions of the same stream see the
+/// same fault schedule.
+namespace fault_points {
+/// Ingest found a shard's SPSC ring full (key: shard index).
+inline constexpr const char kShardRingFull[] = "shard.ring_full";
+/// Predicate evaluation faults on this event (key: stream sequence).
+inline constexpr const char kEvalPoison[] = "eval.poison";
+/// CSV record fails to parse (key: first physical line of the record).
+inline constexpr const char kCsvBadRecord[] = "csv.bad_record";
+/// A shard's consumer loop wedges, sleeping instead of draining its ring
+/// (key: shard index). Releasable mid-run via Disarm().
+inline constexpr const char kShardStall[] = "shard.stall";
+}  // namespace fault_points
+
+/// Deterministic, seeded fault-injection harness. Engines and the CSV
+/// reader consult an optional injector at named points; tests arm points
+/// with either an explicit key list or a seeded per-key firing rate.
+///
+/// Determinism contract: whether ShouldFire(point, key) fires depends only
+/// on (seed, point, armed configuration, key) — never on call order, thread
+/// or wall clock. Feeding the same event stream through the serial and the
+/// sharded engine therefore injects faults at exactly the same events.
+///
+/// Thread safety: ArmKeys/ArmRate mutate the point table and must finish
+/// before the injector is handed to a running engine. ShouldFire and
+/// fires() are safe from any thread afterwards, and Disarm/Rearm only flip
+/// an atomic, so a test may release a wedged shard mid-run.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0);
+
+  /// Arms `point` to fire exactly on the given keys.
+  void ArmKeys(std::string_view point, std::vector<uint64_t> keys);
+
+  /// Arms `point` to fire on each key independently with `probability`
+  /// (derived from the seed; deterministic per key).
+  void ArmRate(std::string_view point, double probability);
+
+  /// Stops / resumes firing without forgetting the configuration.
+  void Disarm(std::string_view point);
+  void Rearm(std::string_view point);
+
+  /// True iff `point` is armed and its configuration selects `key`. Counts
+  /// the firing.
+  bool ShouldFire(std::string_view point, uint64_t key) const;
+
+  /// Times `point` has fired so far.
+  uint64_t fires(std::string_view point) const;
+
+ private:
+  struct Point {
+    std::atomic<bool> armed{true};
+    std::vector<uint64_t> keys;  // sorted; used when !rate_based
+    bool rate_based = false;
+    double probability = 0.0;
+    mutable std::atomic<uint64_t> fires{0};
+  };
+
+  Point* FindOrCreate(std::string_view point);
+  const Point* Find(std::string_view point) const;
+
+  uint64_t seed_;
+  std::map<std::string, std::unique_ptr<Point>, std::less<>> points_;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_COMMON_FAULT_H_

@@ -19,6 +19,8 @@ enum class StatusCode {
   kUnimplemented,     // feature not (yet) supported
   kInternal,          // invariant violation inside the engine
   kIoError,           // file / csv I/O failure
+  kResourceExhausted, // a configured budget (runs, memory) is spent
+  kUnavailable,       // a component is wedged / not responding (retryable)
 };
 
 /// Returns a stable human-readable name ("ParseError" etc.) for a code.
@@ -73,6 +75,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff this status represents success.

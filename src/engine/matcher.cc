@@ -19,6 +19,8 @@ std::string MatcherStats::ToString() const {
   out += " killed_negation=" + std::to_string(runs_killed_negation);
   out += " pruned_score=" + std::to_string(runs_pruned_score);
   out += " dropped_capacity=" + std::to_string(runs_dropped_capacity);
+  out += " events_quarantined=" + std::to_string(events_quarantined);
+  out += " runs_poisoned=" + std::to_string(runs_poisoned);
   out += " matches=" + std::to_string(matches);
   out += " peak_runs=" + std::to_string(peak_active_runs);
   return out;
@@ -34,6 +36,8 @@ void MatcherStats::Accumulate(const MatcherStats& other) {
   runs_killed_negation += other.runs_killed_negation;
   runs_pruned_score += other.runs_pruned_score;
   runs_dropped_capacity += other.runs_dropped_capacity;
+  events_quarantined += other.events_quarantined;
+  runs_poisoned += other.runs_poisoned;
   matches += other.matches;
   peak_active_runs += other.peak_active_runs;
 }
@@ -49,19 +53,56 @@ MatcherStats AtomicMatcherStats::Snapshot() const {
   s.runs_killed_negation = runs_killed_negation.Load();
   s.runs_pruned_score = runs_pruned_score.Load();
   s.runs_dropped_capacity = runs_dropped_capacity.Load();
+  s.events_quarantined = events_quarantined.Load();
+  s.runs_poisoned = runs_poisoned.Load();
   s.matches = matches.Load();
   s.peak_active_runs = static_cast<size_t>(peak_active_runs.Load());
   return s;
 }
 
+const char* ShedPolicyToString(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kRejectNew:
+      return "RejectNew";
+    case ShedPolicy::kShedOldest:
+      return "ShedOldest";
+    case ShedPolicy::kShedLowestScoreBound:
+      return "ShedLowestScoreBound";
+  }
+  return "Unknown";
+}
+
+MatcherOptions MergeEngineCaps(MatcherOptions base, size_t max_runs_per_partition,
+                               size_t max_total_runs, ShedPolicy shed_policy,
+                               FaultPolicy fault_policy,
+                               const FaultInjector* fault_injector) {
+  if (max_runs_per_partition > 0) {
+    base.max_active_runs = std::min(base.max_active_runs, max_runs_per_partition);
+  }
+  if (max_total_runs > 0) {
+    base.max_total_runs = base.max_total_runs > 0
+                              ? std::min(base.max_total_runs, max_total_runs)
+                              : max_total_runs;
+  }
+  if (shed_policy != ShedPolicy::kShedOldest) base.shed_policy = shed_policy;
+  if (fault_policy != FaultPolicy::kFailFast) base.fault_policy = fault_policy;
+  if (fault_injector != nullptr) base.fault_injector = fault_injector;
+  return base;
+}
+
 Matcher::Matcher(CompiledQueryPtr plan, const MatcherOptions& options,
                  const RunPruner* pruner, AtomicMatcherStats* stats,
-                 uint64_t* next_match_id)
+                 uint64_t* next_match_id, size_t* live_runs)
     : plan_(std::move(plan)),
       options_(options),
       pruner_(pruner),
       stats_(stats),
-      next_match_id_(next_match_id) {}
+      next_match_id_(next_match_id),
+      live_runs_(live_runs) {}
+
+Matcher::~Matcher() {
+  if (live_runs_ != nullptr) *live_runs_ -= runs_.size();
+}
 
 bool Matcher::TypeMatches(const std::string& tag, const Event& event) const {
   return tag.empty() || EqualsIgnoreCase(tag, event.type_tag());
@@ -326,16 +367,113 @@ void Matcher::TryStartRun(const EventPtr& event, std::vector<Match>* out) {
       }
     }
     if (MaybePruneAndCount(*run)) continue;
-    if (runs_.size() >= options_.max_active_runs) {
-      runs_.erase(runs_.begin());  // drop the oldest run
-      stats_->runs_dropped_capacity.Increment();
-    }
-    runs_.push_back(std::move(run));
+    InsertRun(std::move(run));
   }
 }
 
-void Matcher::OnEvent(const EventPtr& event, std::vector<Match>* out) {
+void Matcher::RemoveRunAt(size_t index) {
+  runs_.erase(runs_.begin() + static_cast<std::ptrdiff_t>(index));
+  if (live_runs_ != nullptr) --*live_runs_;
+}
+
+double Matcher::BoundStrength(const Run& run) const {
+  const Interval bound = DeriveBounds(*plan_->score, run);
+  return plan_->rank_desc ? bound.hi : -bound.lo;
+}
+
+bool Matcher::ShedOne(const Run& incoming) {
+  stats_->runs_dropped_capacity.Increment();
+  if (runs_.empty()) return false;  // nothing local to evict (shared budget)
+  switch (options_.shed_policy) {
+    case ShedPolicy::kRejectNew:
+      return false;
+    case ShedPolicy::kShedOldest:
+      RemoveRunAt(0);
+      return true;
+    case ShedPolicy::kShedLowestScoreBound: {
+      if (plan_->score == nullptr) {  // unranked: no bounds to compare
+        RemoveRunAt(0);
+        return true;
+      }
+      size_t weakest = 0;
+      double weakest_strength = BoundStrength(*runs_[0]);
+      for (size_t i = 1; i < runs_.size(); ++i) {
+        const double strength = BoundStrength(*runs_[i]);
+        if (strength < weakest_strength) {
+          weakest = i;
+          weakest_strength = strength;
+        }
+      }
+      if (BoundStrength(incoming) < weakest_strength) return false;
+      RemoveRunAt(weakest);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Matcher::InsertRun(std::unique_ptr<Run> run) {
+  const bool partition_full = runs_.size() >= options_.max_active_runs;
+  const bool total_full = options_.max_total_runs > 0 &&
+                          live_runs_ != nullptr &&
+                          *live_runs_ >= options_.max_total_runs;
+  if ((partition_full || total_full) && !ShedOne(*run)) {
+    return;  // the incoming run was the shed victim
+  }
+  runs_.push_back(std::move(run));
+  if (live_runs_ != nullptr) ++*live_runs_;
+}
+
+bool Matcher::WouldEvaluate(Run* run, const Event& event) const {
+  const auto& components = plan_->pattern.components;
+  const int open = run->open_component();
+  if (open >= 0 &&
+      TypeMatches(components[static_cast<size_t>(open)].type_tag, event)) {
+    return true;
+  }
+  // A beginnable component (reachable through skippable prefixes) or its
+  // negation watcher would also evaluate predicates against the event.
+  const int next = run->next_component();
+  if (next < 0 || next >= static_cast<int>(components.size())) return false;
+  const CompiledComponent& comp = components[static_cast<size_t>(next)];
+  if (TypeMatches(comp.type_tag, event)) return true;
+  return comp.negation_before.has_value() &&
+         TypeMatches(comp.negation_before->type_tag, event);
+}
+
+void Matcher::QuarantineEvent(const Event& event) {
+  stats_->events_quarantined.Increment();
+  size_t write = 0;
+  for (size_t read = 0; read < runs_.size(); ++read) {
+    if (WouldEvaluate(runs_[read].get(), event)) {
+      stats_->runs_poisoned.Increment();
+      continue;  // the run's predicate evaluation faulted with the event
+    }
+    if (write != read) runs_[write] = std::move(runs_[read]);
+    ++write;
+  }
+  if (live_runs_ != nullptr) *live_runs_ -= runs_.size() - write;
+  runs_.resize(write);
+}
+
+Status Matcher::OnEvent(const EventPtr& event, std::vector<Match>* out) {
   stats_->events.Increment();
+
+  // Deterministic injected eval fault: the same (seed, sequence) pair fires
+  // identically under serial and sharded execution.
+  if (options_.fault_injector != nullptr &&
+      options_.fault_injector->ShouldFire(fault_points::kEvalPoison,
+                                          event->sequence())) {
+    if (options_.fault_policy == FaultPolicy::kFailFast) {
+      return Status::Internal("predicate evaluation fault on poison event "
+                              "(stream sequence " +
+                              std::to_string(event->sequence()) + ")");
+    }
+    QuarantineEvent(*event);
+    stats_->peak_active_runs.Observe(runs_.size());
+    return Status::OK();
+  }
+
   std::vector<std::unique_ptr<Run>> forks;
 
   size_t write = 0;
@@ -346,18 +484,14 @@ void Matcher::OnEvent(const EventPtr& event, std::vector<Match>* out) {
       ++write;
     }
   }
+  if (live_runs_ != nullptr) *live_runs_ -= runs_.size() - write;
   runs_.resize(write);
 
-  for (auto& fork : forks) {
-    if (runs_.size() >= options_.max_active_runs) {
-      runs_.erase(runs_.begin());
-      stats_->runs_dropped_capacity.Increment();
-    }
-    runs_.push_back(std::move(fork));
-  }
+  for (auto& fork : forks) InsertRun(std::move(fork));
 
   TryStartRun(event, out);
   stats_->peak_active_runs.Observe(runs_.size());
+  return Status::OK();
 }
 
 size_t Matcher::MemoryEstimate() const {

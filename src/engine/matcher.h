@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/counters.h"
+#include "common/fault.h"
+#include "common/status.h"
 #include "engine/run.h"
 #include "plan/compiler.h"
 
@@ -34,7 +36,9 @@ struct MatcherStats {
   uint64_t runs_killed_strict = 0;    // strict contiguity violation
   uint64_t runs_killed_negation = 0;  // negation watcher fired
   uint64_t runs_pruned_score = 0;     // ranking upper-bound prune
-  uint64_t runs_dropped_capacity = 0; // max_active_runs overflow
+  uint64_t runs_dropped_capacity = 0; // run-budget load shedding (any policy)
+  uint64_t events_quarantined = 0;    // poison events skipped (kSkipAndCount)
+  uint64_t runs_poisoned = 0;         // runs discarded by a poison event
   uint64_t matches = 0;
   size_t peak_active_runs = 0;
 
@@ -58,17 +62,62 @@ struct AtomicMatcherStats {
   RelaxedCounter runs_killed_negation;
   RelaxedCounter runs_pruned_score;
   RelaxedCounter runs_dropped_capacity;
+  RelaxedCounter events_quarantined;
+  RelaxedCounter runs_poisoned;
   RelaxedCounter matches;
   RelaxedMax peak_active_runs;
 
   MatcherStats Snapshot() const;
 };
 
-struct MatcherOptions {
-  /// Hard cap on simultaneously active runs per partition; the oldest run
-  /// is dropped (and counted) beyond it. Bounds SKIP_TILL_ANY_MATCH blowup.
-  size_t max_active_runs = 100000;
+/// What to shed when a run budget (per-partition `max_active_runs` or
+/// shared `max_total_runs`) is full and a new run wants in. Every shed —
+/// whichever policy — increments `runs_dropped_capacity`.
+enum class ShedPolicy {
+  /// Reject the incoming run; established runs keep their slots.
+  kRejectNew,
+  /// Drop the oldest run of the overflowing partition (FIFO; the legacy
+  /// `max_active_runs` behavior and the default).
+  kShedOldest,
+  /// Drop whichever run — the incoming one included — has the weakest
+  /// attainable score bound (DeriveBounds over the run's BoundEnv, the same
+  /// machinery the ranking pruner uses), so under overload the emitted
+  /// top-k degrades gracefully: the runs that could still place high
+  /// survive. O(active runs) per shed; falls back to kShedOldest for
+  /// unranked queries.
+  kShedLowestScoreBound,
 };
+
+/// Stable name ("RejectNew" / "ShedOldest" / "ShedLowestScoreBound").
+const char* ShedPolicyToString(ShedPolicy policy);
+
+struct MatcherOptions {
+  /// Hard cap on simultaneously active runs per partition; beyond it one
+  /// run is shed per `shed_policy` (and counted). Bounds
+  /// SKIP_TILL_ANY_MATCH blowup on hostile data.
+  size_t max_active_runs = 100000;
+  /// Cap on live runs across every partition sharing one budget counter
+  /// (all matchers of a serial Engine; all cells of one shard in the
+  /// sharded engine). 0 = unlimited.
+  size_t max_total_runs = 0;
+  /// Which run to shed when either budget is full.
+  ShedPolicy shed_policy = ShedPolicy::kShedOldest;
+  /// What to do when runtime evaluation faults on an event (see
+  /// common/fault.h).
+  FaultPolicy fault_policy = FaultPolicy::kFailFast;
+  /// Optional fault-injection harness (tests/bench); not owned, may be
+  /// null, must outlive the matcher.
+  const FaultInjector* fault_injector = nullptr;
+};
+
+/// Overlays engine-wide overload/fault options onto a query's own
+/// MatcherOptions at registration time: caps combine to the smaller
+/// non-zero value; the policies and the injector are taken from the engine
+/// when it sets a non-default / non-null value.
+MatcherOptions MergeEngineCaps(MatcherOptions base, size_t max_runs_per_partition,
+                               size_t max_total_runs, ShedPolicy shed_policy,
+                               FaultPolicy fault_policy,
+                               const FaultInjector* fault_injector);
 
 /// Executes one compiled pattern over one partition's event sequence,
 /// maintaining the active-run set and emitting Match objects.
@@ -87,15 +136,24 @@ class Matcher {
  public:
   /// `pruner` may be null (no score pruning). `stats` and `next_match_id`
   /// are owned by the caller and shared across partition matchers.
+  /// `live_runs` (nullable) is the shared budget counter `max_total_runs`
+  /// is enforced against; the matcher keeps it in sync with its run set.
   Matcher(CompiledQueryPtr plan, const MatcherOptions& options,
           const RunPruner* pruner, AtomicMatcherStats* stats,
-          uint64_t* next_match_id);
+          uint64_t* next_match_id, size_t* live_runs = nullptr);
+
+  /// Releases this matcher's runs from the shared budget counter (a query
+  /// may be removed while the engine keeps running).
+  ~Matcher();
 
   Matcher(Matcher&&) = default;
   Matcher& operator=(Matcher&&) = default;
 
-  /// Feeds one event; completed matches are appended to `out`.
-  void OnEvent(const EventPtr& event, std::vector<Match>* out);
+  /// Feeds one event; completed matches are appended to `out`. Fails only
+  /// on a runtime fault under FaultPolicy::kFailFast (the run set is left
+  /// coherent either way; under kSkipAndCount faults are quarantined and
+  /// counted instead).
+  Status OnEvent(const EventPtr& event, std::vector<Match>* out);
 
   size_t active_runs() const { return runs_.size(); }
   /// Rough bytes held by active runs.
@@ -131,11 +189,31 @@ class Matcher {
   /// Score-prunes `run` if the pruner says so (counting it); true = pruned.
   bool MaybePruneAndCount(const Run& run);
 
+  /// Admits `run` into the active set, shedding per `shed_policy` when a
+  /// budget is full (the victim may be `run` itself). Takes ownership.
+  void InsertRun(std::unique_ptr<Run> run);
+  /// Frees one slot for `incoming` and counts the shed; false = the
+  /// incoming run is the victim.
+  bool ShedOne(const Run& incoming);
+  /// Larger = more worth keeping: the score bound's best attainable end
+  /// (hi for RANK BY ... DESC, -lo for ASC).
+  double BoundStrength(const Run& run) const;
+  /// Erases runs_[index], keeping the shared live-run counter in sync.
+  void RemoveRunAt(size_t index);
+  /// Whether `event` would reach predicate evaluation for this run (it
+  /// type-matches the open Kleene component, a beginnable next component,
+  /// or that component's negation watcher) — i.e. a poison event faults it.
+  bool WouldEvaluate(Run* run, const Event& event) const;
+  /// kSkipAndCount handling of an injected eval fault: quarantines the
+  /// event and every run it would have faulted.
+  void QuarantineEvent(const Event& event);
+
   CompiledQueryPtr plan_;
   MatcherOptions options_;
   const RunPruner* pruner_;     // not owned; may be null
   AtomicMatcherStats* stats_;   // not owned
   uint64_t* next_match_id_;  // not owned
+  size_t* live_runs_;        // not owned; may be null (no shared budget)
   uint64_t next_run_id_ = 0;
   std::vector<std::unique_ptr<Run>> runs_;
   /// Scratch buffer reused across BeginOptions calls (single-threaded).

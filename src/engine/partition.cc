@@ -4,11 +4,15 @@ namespace cepr {
 
 PartitionedMatcher::PartitionedMatcher(CompiledQueryPtr plan,
                                        const MatcherOptions& options,
-                                       const RunPruner* pruner)
-    : plan_(std::move(plan)), options_(options), pruner_(pruner) {
+                                       const RunPruner* pruner,
+                                       size_t* live_runs)
+    : plan_(std::move(plan)),
+      options_(options),
+      pruner_(pruner),
+      live_runs_(live_runs != nullptr ? live_runs : &own_live_runs_) {
   if (plan_->partition_attr_index < 0) {
     single_ = std::make_unique<Matcher>(plan_, options_, pruner_, &stats_,
-                                        &next_match_id_);
+                                        &next_match_id_, live_runs_);
   }
 }
 
@@ -20,14 +24,16 @@ Matcher* PartitionedMatcher::MatcherFor(const Event& event) {
   if (it == by_key_.end()) {
     it = by_key_
              .emplace(key, std::make_unique<Matcher>(plan_, options_, pruner_,
-                                                     &stats_, &next_match_id_))
+                                                     &stats_, &next_match_id_,
+                                                     live_runs_))
              .first;
   }
   return it->second.get();
 }
 
-void PartitionedMatcher::OnEvent(const EventPtr& event, std::vector<Match>* out) {
-  MatcherFor(*event)->OnEvent(event, out);
+Status PartitionedMatcher::OnEvent(const EventPtr& event,
+                                   std::vector<Match>* out) {
+  return MatcherFor(*event)->OnEvent(event, out);
 }
 
 size_t PartitionedMatcher::num_partitions() const {

@@ -15,11 +15,15 @@ namespace cepr {
 /// Match ids stay globally ordered across partitions (shared counter).
 class PartitionedMatcher {
  public:
+  /// `live_runs` (nullable) is the shared counter MatcherOptions::
+  /// max_total_runs budgets against; when null the budget spans just this
+  /// query's partitions (an internal counter is used).
   PartitionedMatcher(CompiledQueryPtr plan, const MatcherOptions& options,
-                     const RunPruner* pruner);
+                     const RunPruner* pruner, size_t* live_runs = nullptr);
 
   /// Feeds one event to its partition; matches are appended to `out`.
-  void OnEvent(const EventPtr& event, std::vector<Match>* out);
+  /// Fails only on a runtime fault under FaultPolicy::kFailFast.
+  Status OnEvent(const EventPtr& event, std::vector<Match>* out);
 
   /// Counter snapshot; safe to call from any thread while the owning
   /// thread keeps matching (per-counter exact, cross-counter approximate).
@@ -40,6 +44,8 @@ class PartitionedMatcher {
   const RunPruner* pruner_;
   AtomicMatcherStats stats_;
   uint64_t next_match_id_ = 0;
+  size_t own_live_runs_ = 0;       // used when the caller shares no counter
+  size_t* live_runs_ = nullptr;    // not owned; never null after ctor
 
   std::unique_ptr<Matcher> single_;  // used when unpartitioned
   std::unordered_map<Value, std::unique_ptr<Matcher>, ValueHash> by_key_;

@@ -182,7 +182,52 @@ Status WriteEventsCsv(const std::string& path, const std::vector<Event>& events)
   return Status::OK();
 }
 
+namespace {
+
+// Parses one data record (already split from the stream) into an Event;
+// record-level errors come back as a Status the caller may skip past.
+Result<Event> ParseCsvRecord(const std::string& path, const std::string& record,
+                             const SchemaPtr& schema, int record_line) {
+  const std::vector<std::string> cells = SplitCsvLine(record);
+  if (cells.size() != schema->num_attributes() + 2) {
+    return Status::IoError(path + " line " + std::to_string(record_line) +
+                           ": expected " +
+                           std::to_string(schema->num_attributes() + 2) +
+                           " cells, got " + std::to_string(cells.size()));
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long long ts = std::strtoll(cells[0].c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return Status::IoError(path + " line " + std::to_string(record_line) +
+                           ": bad timestamp '" + cells[0] + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::IoError(path + " line " + std::to_string(record_line) +
+                           ": timestamp out of range '" + cells[0] + "'");
+  }
+  std::vector<Value> values;
+  values.reserve(schema->num_attributes());
+  for (size_t i = 0; i < schema->num_attributes(); ++i) {
+    CEPR_ASSIGN_OR_RETURN(
+        Value v, ParseCell(cells[i + 2], schema->attribute(i).type, record_line));
+    values.push_back(std::move(v));
+  }
+  Event e(schema, ts, std::move(values));
+  if (!cells[1].empty()) e.set_type_tag(cells[1]);
+  return e;
+}
+
+}  // namespace
+
 Result<std::vector<Event>> ReadEventsCsv(const std::string& path, SchemaPtr schema) {
+  return ReadEventsCsv(path, std::move(schema), CsvReadOptions{}, nullptr);
+}
+
+Result<std::vector<Event>> ReadEventsCsv(const std::string& path,
+                                         SchemaPtr schema,
+                                         const CsvReadOptions& options,
+                                         CsvReadStats* stats) {
   std::ifstream in(path);
   if (!in.is_open()) return Status::IoError("cannot open " + path);
 
@@ -197,6 +242,8 @@ Result<std::vector<Event>> ReadEventsCsv(const std::string& path, SchemaPtr sche
     const int record_line =
         line_no - static_cast<int>(std::count(record.begin(), record.end(), '\n'));
     if (unterminated) {
+      // Structural, not record-level: the rest of the file cannot be
+      // delimited reliably, so even skip-and-count stops here.
       return Status::IoError(path + " line " + std::to_string(record_line) +
                              ": unterminated quoted cell at end of file");
     }
@@ -208,35 +255,29 @@ Result<std::vector<Event>> ReadEventsCsv(const std::string& path, SchemaPtr sche
       }
       continue;
     }
-    const std::vector<std::string> cells = SplitCsvLine(record);
-    if (cells.size() != schema->num_attributes() + 2) {
-      return Status::IoError(path + " line " + std::to_string(record_line) +
-                             ": expected " +
-                             std::to_string(schema->num_attributes() + 2) +
-                             " cells, got " + std::to_string(cells.size()));
+    Result<Event> parsed =
+        options.fault_injector != nullptr &&
+                options.fault_injector->ShouldFire(
+                    fault_points::kCsvBadRecord,
+                    static_cast<uint64_t>(record_line))
+            ? Result<Event>(Status::IoError(
+                  path + " line " + std::to_string(record_line) +
+                  ": injected bad record"))
+            : ParseCsvRecord(path, record, schema, record_line);
+    if (!parsed.ok()) {
+      if (options.fault_policy != FaultPolicy::kSkipAndCount) {
+        return parsed.status();
+      }
+      if (stats != nullptr) {
+        ++stats->records_skipped;
+        if (stats->skipped.size() < CsvReadStats::kMaxAttributed) {
+          stats->skipped.push_back({record_line, parsed.status().message()});
+        }
+      }
+      continue;
     }
-    char* end = nullptr;
-    errno = 0;
-    const long long ts = std::strtoll(cells[0].c_str(), &end, 10);
-    if (end == nullptr || *end != '\0') {
-      return Status::IoError(path + " line " + std::to_string(record_line) +
-                             ": bad timestamp '" + cells[0] + "'");
-    }
-    if (errno == ERANGE) {
-      return Status::IoError(path + " line " + std::to_string(record_line) +
-                             ": timestamp out of range '" + cells[0] + "'");
-    }
-    std::vector<Value> values;
-    values.reserve(schema->num_attributes());
-    for (size_t i = 0; i < schema->num_attributes(); ++i) {
-      CEPR_ASSIGN_OR_RETURN(
-          Value v,
-          ParseCell(cells[i + 2], schema->attribute(i).type, record_line));
-      values.push_back(std::move(v));
-    }
-    Event e(schema, ts, std::move(values));
-    if (!cells[1].empty()) e.set_type_tag(cells[1]);
-    events.push_back(std::move(e));
+    if (stats != nullptr) ++stats->records_read;
+    events.push_back(std::move(parsed).value());
   }
   return events;
 }

@@ -1,10 +1,12 @@
 #ifndef CEPR_RUNTIME_CSV_H_
 #define CEPR_RUNTIME_CSV_H_
 
+#include <cstdint>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/result.h"
 #include "event/event.h"
 #include "runtime/sink.h"
@@ -15,12 +17,46 @@ namespace cepr {
 /// cells containing separators or quotes are double-quoted.
 Status WriteEventsCsv(const std::string& path, const std::vector<Event>& events);
 
+/// Record-level fault handling for ReadEventsCsv.
+struct CsvReadOptions {
+  /// kFailFast (default) aborts the whole file on the first bad record;
+  /// kSkipAndCount skips the record, attributes it to its line number in
+  /// CsvReadStats, and keeps reading. Structural errors (unopenable file,
+  /// missing header, unterminated quote at EOF) are always fatal.
+  FaultPolicy fault_policy = FaultPolicy::kFailFast;
+  /// Optional injection harness; fault_points::kCsvBadRecord keyed by the
+  /// record's first physical line number makes that record fail to parse.
+  /// Not owned; may be null.
+  const FaultInjector* fault_injector = nullptr;
+};
+
+/// Counters filled by the skip-and-count read path.
+struct CsvReadStats {
+  uint64_t records_read = 0;     // events successfully parsed
+  uint64_t records_skipped = 0;  // bad records dropped (kSkipAndCount)
+  struct SkippedRecord {
+    int line = 0;  // first physical line of the record
+    std::string error;
+  };
+  /// Line-attributed skip reasons, capped at kMaxAttributed (the counter
+  /// above keeps the true total).
+  static constexpr size_t kMaxAttributed = 64;
+  std::vector<SkippedRecord> skipped;
+};
+
 /// Reads events from a CSV produced by WriteEventsCsv (or hand-written with
 /// the same header): the first column is the microsecond timestamp, the
 /// second the optional event-type tag (may be empty), and the remaining
 /// columns must match `schema`'s attributes by position. Cell text is
 /// parsed per the attribute type; empty numeric cells become NULL.
 Result<std::vector<Event>> ReadEventsCsv(const std::string& path, SchemaPtr schema);
+
+/// As above with record-level fault policy; `stats` (nullable) receives
+/// read/skip counters either way.
+Result<std::vector<Event>> ReadEventsCsv(const std::string& path,
+                                         SchemaPtr schema,
+                                         const CsvReadOptions& options,
+                                         CsvReadStats* stats = nullptr);
 
 /// Sink that appends ranked results to a CSV file:
 /// "window,rank,provisional,score,first_ts,last_ts,<output columns...>".

@@ -64,9 +64,13 @@ Status Engine::RegisterQuery(std::string name, std::string_view query_text,
     CEPR_ASSIGN_OR_RETURN(forward, MakeForwarder(plan));
   }
 
-  queries_.emplace(key, std::make_unique<RunningQuery>(std::move(name),
-                                                       std::move(plan), options,
-                                                       sink, std::move(forward)));
+  QueryOptions effective = options;
+  effective.matcher = MergeEngineCaps(
+      options.matcher, options_.max_runs_per_partition, options_.max_total_runs,
+      options_.shed_policy, options_.fault_policy, options_.fault_injector);
+  queries_.emplace(key, std::make_unique<RunningQuery>(
+                            std::move(name), std::move(plan), effective, sink,
+                            std::move(forward), &live_runs_));
   return Status::OK();
 }
 
@@ -151,6 +155,7 @@ Result<QueryMetrics> Engine::GetQueryMetrics(std::string_view name) const {
 MetricsSnapshot Engine::Snapshot() const {
   MetricsSnapshot snap;
   snap.events_ingested = events_ingested_;
+  snap.events_quarantined = events_quarantined_;
   snap.num_shards = 1;
   snap.queries.reserve(queries_.size());
   for (const auto& [key, query] : queries_) {
@@ -202,7 +207,13 @@ Status Engine::Push(Event event) {
   const auto shared = std::make_shared<const Event>(std::move(event));
   for (auto& [key, query] : queries_) {
     if (query->plan()->schema() == state.schema) {
-      query->OnEvent(shared);
+      const Status s = query->OnEvent(shared);
+      if (!s.ok()) {
+        // Only kFailFast faults surface here (kSkipAndCount is contained
+        // inside the matcher); the event was ingested, the stream stops.
+        --push_depth_;
+        return s;
+      }
     }
   }
   --push_depth_;
@@ -210,8 +221,17 @@ Status Engine::Push(Event event) {
 }
 
 Status Engine::PushAll(std::vector<Event> events) {
-  for (Event& e : events) {
-    CEPR_RETURN_IF_ERROR(Push(std::move(e)));
+  for (size_t i = 0; i < events.size(); ++i) {
+    Status s = Push(std::move(events[i]));
+    if (s.ok()) continue;
+    if (options_.fault_policy == FaultPolicy::kSkipAndCount) {
+      ++events_quarantined_;
+      continue;
+    }
+    return Status(s.code(), "PushAll: event at index " + std::to_string(i) +
+                                " of " + std::to_string(events.size()) +
+                                " failed (prefix [0, " + std::to_string(i) +
+                                ") already ingested): " + s.message());
   }
   return Status::OK();
 }

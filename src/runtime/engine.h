@@ -16,6 +16,27 @@ struct EngineOptions {
   /// Reject events whose timestamp regresses below the stream's watermark.
   /// When false, late events are clamped to the watermark instead.
   bool reject_out_of_order = true;
+
+  // -- Overload protection ---------------------------------------------------
+  // Engine-wide caps overlaying each query's own MatcherOptions (see
+  // MergeEngineCaps): caps combine to the smaller non-zero value, the
+  // policies win when set to a non-default value. 0 = no engine-wide cap.
+
+  /// Cap on live matcher runs per (query, partition).
+  size_t max_runs_per_partition = 0;
+  /// Cap on live matcher runs across every query and partition.
+  size_t max_total_runs = 0;
+  /// Which run to shed when a budget is full.
+  ShedPolicy shed_policy = ShedPolicy::kShedOldest;
+
+  // -- Fault containment -----------------------------------------------------
+
+  /// What runtime faults (eval errors, poison events, failed batch
+  /// entries) do to the stream: stop it, or quarantine-and-count.
+  FaultPolicy fault_policy = FaultPolicy::kFailFast;
+  /// Optional deterministic fault-injection harness (tests/bench); not
+  /// owned, must outlive the engine.
+  const FaultInjector* fault_injector = nullptr;
 };
 
 /// The CEPR system facade: stream registry, query registry, and the ingest
@@ -74,7 +95,10 @@ class Engine {
   /// number, and routes it to every query on that stream.
   Status Push(Event event);
 
-  /// Ingests a batch in order.
+  /// Ingests a batch in order. On failure the Status names the failing
+  /// index and the already-ingested prefix; under
+  /// FaultPolicy::kSkipAndCount failing events are skipped (counted in
+  /// events_quarantined) and the rest of the batch proceeds.
   Status PushAll(std::vector<Event> events);
 
   /// Signals end-of-stream: every query flushes its buffered windows.
@@ -82,6 +106,10 @@ class Engine {
 
   /// Total events accepted.
   uint64_t events_ingested() const { return events_ingested_; }
+  /// Events dropped at ingest under FaultPolicy::kSkipAndCount.
+  uint64_t events_quarantined() const { return events_quarantined_; }
+  /// Live matcher runs across all queries (what max_total_runs caps).
+  size_t live_runs() const { return live_runs_; }
 
  private:
   struct StreamState {
@@ -102,6 +130,10 @@ class Engine {
   std::map<std::string, StreamState, std::less<>> streams_;
   std::map<std::string, std::unique_ptr<RunningQuery>, std::less<>> queries_;
   uint64_t events_ingested_ = 0;
+  uint64_t events_quarantined_ = 0;
+  /// Engine-wide live-run counter shared by every matcher (the
+  /// max_total_runs budget); single-threaded like the rest of the engine.
+  size_t live_runs_ = 0;
   /// Depth of nested Push calls through derived streams; bounds query
   /// composition cycles.
   int push_depth_ = 0;

@@ -40,6 +40,8 @@ std::string MatcherJson(const MatcherStats& m) {
   out += ",\"runs_killed_negation\":" + std::to_string(m.runs_killed_negation);
   out += ",\"runs_pruned_score\":" + std::to_string(m.runs_pruned_score);
   out += ",\"runs_dropped_capacity\":" + std::to_string(m.runs_dropped_capacity);
+  out += ",\"events_quarantined\":" + std::to_string(m.events_quarantined);
+  out += ",\"runs_poisoned\":" + std::to_string(m.runs_poisoned);
   out += ",\"matches\":" + std::to_string(m.matches);
   out += ",\"peak_active_runs\":" + std::to_string(m.peak_active_runs);
   out += "}";
@@ -83,6 +85,8 @@ std::string ShardStats::ToString() const {
   out += " batches=" + std::to_string(batches_published);
   out += " queue_high_water=" + std::to_string(queue_high_water);
   out += " enqueue_stalls=" + std::to_string(enqueue_stalls);
+  out += " stall_us=" + std::to_string(stall_us);
+  out += " stalls_tripped=" + std::to_string(stalls_tripped);
   return out;
 }
 
@@ -94,6 +98,8 @@ std::string ShardStats::ToJson() const {
   out += ",\"batches_published\":" + std::to_string(batches_published);
   out += ",\"queue_high_water\":" + std::to_string(queue_high_water);
   out += ",\"enqueue_stalls\":" + std::to_string(enqueue_stalls);
+  out += ",\"stall_us\":" + std::to_string(stall_us);
+  out += ",\"stalls_tripped\":" + std::to_string(stalls_tripped);
   out += "}";
   return out;
 }
@@ -116,12 +122,15 @@ ShardStats MetricsCell::Snapshot() const {
   s.batches_published = batches_published.Load();
   s.queue_high_water = static_cast<size_t>(queue_high_water.Load());
   s.enqueue_stalls = enqueue_stalls.Load();
+  s.stall_us = stall_us.Load();
+  s.stalls_tripped = stalls_tripped.Load();
   return s;
 }
 
 std::string MetricsSnapshot::ToString() const {
   std::string out;
   out += "events_ingested=" + std::to_string(events_ingested);
+  out += " events_quarantined=" + std::to_string(events_quarantined);
   out += " num_shards=" + std::to_string(num_shards);
   for (const QueryEntry& q : queries) {
     out += "\nquery " + q.name + ": " + q.metrics.ToString();
@@ -136,6 +145,7 @@ std::string MetricsSnapshot::ToString() const {
 std::string MetricsSnapshot::ToJson() const {
   std::string out = "{";
   out += "\"events_ingested\":" + std::to_string(events_ingested);
+  out += ",\"events_quarantined\":" + std::to_string(events_quarantined);
   out += ",\"num_shards\":" + std::to_string(num_shards);
   out += ",\"queries\":[";
   for (size_t i = 0; i < queries.size(); ++i) {

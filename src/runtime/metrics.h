@@ -58,6 +58,12 @@ struct ShardStats {
   /// Push attempts that found the queue full (each is one producer
   /// yield/park cycle).
   uint64_t enqueue_stalls = 0;
+  /// Cumulative microseconds the ingest thread spent waiting on this
+  /// shard's full ring.
+  uint64_t stall_us = 0;
+  /// Times the stall budget tripped on this shard (Push failed with
+  /// kUnavailable because the shard looked dead/wedged).
+  uint64_t stalls_tripped = 0;
 
   std::string ToString() const;
   std::string ToJson() const;
@@ -94,6 +100,8 @@ struct MetricsCell {
   // -- ingest/router-thread-written -----------------------------------------
   RelaxedMax queue_high_water;
   RelaxedCounter enqueue_stalls;
+  RelaxedCounter stall_us;
+  RelaxedCounter stalls_tripped;
 
   /// Per-query wall-clock/event-time distributions (indexed by query id,
   /// sized before the shard thread starts).
@@ -119,6 +127,10 @@ struct MetricsCell {
 struct MetricsSnapshot {
   /// Total events the engine accepted.
   uint64_t events_ingested = 0;
+  /// Events dropped at ingest under FaultPolicy::kSkipAndCount (batch
+  /// entries that failed validation or hit a fail-point). Matcher-level
+  /// quarantines live in each query's MatcherStats.
+  uint64_t events_quarantined = 0;
   /// Worker shard count (1 for the serial engine).
   size_t num_shards = 1;
   /// Per-query aggregated metrics, in registration order.

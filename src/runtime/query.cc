@@ -5,29 +5,33 @@
 namespace cepr {
 
 RunningQuery::RunningQuery(std::string name, CompiledQueryPtr plan,
-                           QueryOptions options, Sink* sink, ForwardFn forward)
+                           QueryOptions options, Sink* sink, ForwardFn forward,
+                           size_t* live_runs)
     : name_(std::move(name)),
       plan_(std::move(plan)),
       options_(options),
       sink_(sink),
       forward_(std::move(forward)),
       emitter_(plan_, options.ranker),
-      matcher_(plan_, options.matcher, emitter_.pruner()) {}
+      matcher_(plan_, options.matcher, emitter_.pruner(), live_runs) {}
 
-void RunningQuery::OnEvent(const EventPtr& event) {
+Status RunningQuery::OnEvent(const EventPtr& event) {
   Stopwatch timer;
   ++metrics_.events;
   last_event_ts_ = event->timestamp();
 
   std::vector<Match> matches;
-  matcher_.OnEvent(event, &matches);
+  const Status matched = matcher_.OnEvent(event, &matches);
   metrics_.matches += matches.size();
 
+  // The emitter advances even on a fault so the window state stays
+  // coherent; `matches` is empty in that case.
   std::vector<RankedResult> results;
   emitter_.OnEvent(event->timestamp(), ordinal_++, std::move(matches), &results);
   Deliver(std::move(results));
 
   metrics_.event_processing_ns.Record(timer.ElapsedNanos());
+  return matched;
 }
 
 void RunningQuery::Finish() {

@@ -30,11 +30,16 @@ class RunningQuery {
   /// event (EMIT ... INTO); installed by the Engine.
   using ForwardFn = std::function<void(const RankedResult&)>;
 
+  /// `live_runs` (nullable) is the engine-wide budget counter shared by
+  /// all queries (see MatcherOptions::max_total_runs).
   RunningQuery(std::string name, CompiledQueryPtr plan, QueryOptions options,
-               Sink* sink, ForwardFn forward = nullptr);
+               Sink* sink, ForwardFn forward = nullptr,
+               size_t* live_runs = nullptr);
 
   /// Feeds one event (already validated against the query's stream).
-  void OnEvent(const EventPtr& event);
+  /// Fails only on a runtime fault under FaultPolicy::kFailFast; the
+  /// window/ranking state stays coherent either way.
+  Status OnEvent(const EventPtr& event);
 
   /// End of stream: flushes buffered windows to the sink.
   void Finish();

@@ -26,11 +26,13 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
 ShardedEngine::~ShardedEngine() {
   if (WorkersStarted() && !finished_) {
     // Stop workers without delivering: the user's sinks may already be
-    // gone. Finish() is the orderly path.
+    // gone. Finish() is the orderly path. The abort flag (instead of a
+    // kFinish message) guarantees teardown even when a shard's ring is
+    // full or its consumer is wedged in an injected stall.
+    abort_.store(true, std::memory_order_release);
     for (auto& shard : shards_) {
-      Message finish;
-      finish.kind = Message::Kind::kFinish;
-      Enqueue(shard.get(), std::move(finish));
+      std::lock_guard<std::mutex> lock(shard->park_mu);
+      shard->park_cv.notify_one();
     }
     for (auto& shard : shards_) {
       if (shard->thread.joinable()) shard->thread.join();
@@ -123,6 +125,7 @@ void ShardedEngine::StartWorkers() {
   shards_.reserve(num_shards_);
   for (size_t s = 0; s < num_shards_; ++s) {
     auto shard = std::make_unique<Shard>();
+    shard->index = s;
     shard->queue = std::make_unique<SpscQueue<Message>>(options_.queue_capacity);
     shard->published.resize(queries_.size());
     shard->acked_window =
@@ -134,8 +137,19 @@ void ShardedEngine::StartWorkers() {
           0, std::memory_order_relaxed);
       QueryCell cell;
       cell.emitter = std::make_unique<Emitter>(q->plan, q->options.ranker);
+      MatcherOptions matcher_options = MergeEngineCaps(
+          q->options.matcher, options_.max_runs_per_partition,
+          options_.max_total_runs, options_.shed_policy, options_.fault_policy,
+          options_.fault_injector);
+      if (matcher_options.max_total_runs > 0) {
+        // Each shard enforces its even share of the engine-wide budget
+        // against its own live-run counter (shard threads never touch each
+        // other's state).
+        matcher_options.max_total_runs =
+            std::max<size_t>(1, matcher_options.max_total_runs / num_shards_);
+      }
       cell.matcher = std::make_unique<PartitionedMatcher>(
-          q->plan, q->options.matcher, cell.emitter->pruner());
+          q->plan, matcher_options, cell.emitter->pruner(), &shard->live_runs);
       shard->cells.push_back(std::move(cell));
     }
     shards_.push_back(std::move(shard));
@@ -146,16 +160,49 @@ void ShardedEngine::StartWorkers() {
   started_.store(true, std::memory_order_release);
 }
 
-void ShardedEngine::Enqueue(Shard* shard, Message msg) {
-  while (!shard->queue->TryPush(msg)) {
+Status ShardedEngine::Enqueue(Shard* shard, Message msg) {
+  // Injected ring-full probe: behaves as one failed push attempt so the
+  // backpressure accounting is exercised deterministically.
+  if (options_.fault_injector != nullptr &&
+      options_.fault_injector->ShouldFire(fault_points::kShardRingFull,
+                                          shard->index)) {
     shard->metrics.enqueue_stalls.Increment();
-    std::this_thread::yield();
+  }
+  if (!shard->queue->TryPush(msg)) {
+    // Full ring: backpressure with a bounded patience. Yield-spin briefly
+    // (the consumer usually frees a slot within microseconds), then back
+    // off to short sleeps; past the stall budget the shard is presumed
+    // dead and the push fails rather than hanging the ingest thread.
+    Stopwatch stall;
+    const int64_t budget_us = options_.enqueue_stall_budget_ms * 1000;
+    uint64_t attempts = 0;
+    do {
+      shard->metrics.enqueue_stalls.Increment();
+      if (++attempts <= 256) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      if (budget_us > 0 && stall.ElapsedMicros() > budget_us) {
+        shard->metrics.stall_us.Add(
+            static_cast<uint64_t>(stall.ElapsedMicros()));
+        shard->metrics.stalls_tripped.Increment();
+        return Status::Unavailable(
+            "shard " + std::to_string(shard->index) + " ingest ring (" +
+            std::to_string(shard->queue->capacity()) +
+            " slots) stayed full for " +
+            std::to_string(options_.enqueue_stall_budget_ms) +
+            " ms; consumer presumed dead or wedged");
+      }
+    } while (!shard->queue->TryPush(msg));
+    shard->metrics.stall_us.Add(static_cast<uint64_t>(stall.ElapsedMicros()));
   }
   shard->metrics.queue_high_water.Observe(shard->queue->size());
   if (shard->parked.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(shard->park_mu);
     shard->park_cv.notify_one();
   }
+  return Status::OK();
 }
 
 void ShardedEngine::PublishResults(Shard* shard, uint32_t query,
@@ -172,6 +219,17 @@ void ShardedEngine::ShardMain(size_t shard_index) {
   std::vector<RankedResult> scratch;
   Message msg;
   for (;;) {
+    if (abort_.load(std::memory_order_acquire)) return;
+    // Injected wedge: the consumer sleeps instead of draining its ring
+    // until the point is disarmed (or the engine aborts). Exercises the
+    // producer-side stall budget.
+    if (options_.fault_injector != nullptr) {
+      while (options_.fault_injector->ShouldFire(fault_points::kShardStall,
+                                                 shard_index)) {
+        if (abort_.load(std::memory_order_acquire)) return;
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
     if (!shard->queue->TryPop(&msg)) {
       // Spin briefly, then park with a bounded wait (the router nudges on
       // push; the timeout self-heals a missed nudge).
@@ -184,7 +242,10 @@ void ShardedEngine::ShardMain(size_t shard_index) {
         std::unique_lock<std::mutex> lock(shard->park_mu);
         shard->parked.store(true, std::memory_order_release);
         shard->park_cv.wait_for(lock, std::chrono::microseconds(200),
-                                [&] { return !shard->queue->Empty(); });
+                                [&] {
+                                  return !shard->queue->Empty() ||
+                                         abort_.load(std::memory_order_acquire);
+                                });
         shard->parked.store(false, std::memory_order_release);
         continue;
       }
@@ -196,16 +257,21 @@ void ShardedEngine::ShardMain(size_t shard_index) {
     scratch.clear();
     switch (msg.kind) {
       case Message::Kind::kEvent: {
+        // A faulted (kFailFast) engine only drains: events are dropped so
+        // the rings empty out, while barriers and finish flushes keep the
+        // merge machinery consistent.
+        if (faulted_.load(std::memory_order_acquire)) break;
         QueryCell& cell = shard->cells[msg.query];
         Stopwatch timer;
         shard->metrics.events.Increment();
         std::vector<Match> matches;
-        cell.matcher->OnEvent(msg.event, &matches);
+        const Status matched = cell.matcher->OnEvent(msg.event, &matches);
         shard->metrics.matches.Add(matches.size());
         cell.emitter->OnEvent(msg.ts, msg.ordinal, std::move(matches),
                               &scratch);
         RecordTimings(shard, msg.query, timer.ElapsedNanos(), scratch);
         PublishResults(shard, msg.query, std::move(scratch));
+        if (!matched.ok()) RecordFault(matched);
         break;
       }
       case Message::Kind::kBarrier: {
@@ -249,9 +315,25 @@ void ShardedEngine::RecordTimings(Shard* shard, uint32_t query,
   }
 }
 
+void ShardedEngine::RecordFault(const Status& status) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  if (first_fault_.ok()) {
+    first_fault_ = status;
+    faulted_.store(true, std::memory_order_release);
+  }
+}
+
+Status ShardedEngine::first_fault() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return first_fault_;
+}
+
 Status ShardedEngine::Push(Event event) {
   if (finished_) {
     return Status::InvalidArgument("sharded engine is finished");
+  }
+  if (faulted_.load(std::memory_order_acquire)) {
+    return first_fault();
   }
   if (event.schema() == nullptr) {
     return Status::InvalidArgument("event has no schema");
@@ -298,14 +380,18 @@ Status ShardedEngine::Push(Event event) {
     const int64_t window = q.windows.WindowOf(ts, ordinal);
     if (window > q.current_window) {
       // The stream crossed a report-window boundary: tell every shard so
-      // each closes and publishes its slice of the old window(s).
+      // each closes and publishes its slice of the old window(s). If a
+      // shard refuses the barrier (stall budget tripped) the broadcast is
+      // abandoned mid-way; current_window stays put, so a later Push
+      // re-broadcasts — re-processing a barrier at the same position is a
+      // no-op on shards that already advanced.
       for (auto& shard : shards_) {
         Message barrier;
         barrier.kind = Message::Kind::kBarrier;
         barrier.query = qi;
         barrier.ordinal = ordinal;
         barrier.ts = ts;
-        Enqueue(shard.get(), std::move(barrier));
+        CEPR_RETURN_IF_ERROR(Enqueue(shard.get(), std::move(barrier)));
       }
       q.current_window = window;
     }
@@ -316,7 +402,8 @@ Status ShardedEngine::Push(Event event) {
     msg.event = shared;
     msg.ordinal = ordinal;
     msg.ts = ts;
-    Enqueue(shards_[q.router.ShardOf(*shared)].get(), std::move(msg));
+    CEPR_RETURN_IF_ERROR(
+        Enqueue(shards_[q.router.ShardOf(*shared)].get(), std::move(msg)));
 
     DrainReady(&q, qi, /*final=*/false);
   }
@@ -324,8 +411,21 @@ Status ShardedEngine::Push(Event event) {
 }
 
 Status ShardedEngine::PushAll(std::vector<Event> events) {
-  for (Event& e : events) {
-    CEPR_RETURN_IF_ERROR(Push(std::move(e)));
+  for (size_t i = 0; i < events.size(); ++i) {
+    Status s = Push(std::move(events[i]));
+    if (s.ok()) continue;
+    if (options_.fault_policy == FaultPolicy::kSkipAndCount &&
+        s.code() != StatusCode::kUnavailable) {
+      // Contained per-event failure: count it and keep the batch flowing.
+      // A tripped stall budget (kUnavailable) is an engine-level outage,
+      // not a poison event — it always surfaces.
+      events_quarantined_.Increment();
+      continue;
+    }
+    return Status(s.code(), "PushAll: event at index " + std::to_string(i) +
+                                " of " + std::to_string(events.size()) +
+                                " failed (prefix [0, " + std::to_string(i) +
+                                ") already ingested): " + s.message());
   }
   return Status::OK();
 }
@@ -388,10 +488,26 @@ void ShardedEngine::Finish() {
   if (finished_) return;
   finished_ = true;
   if (!WorkersStarted()) return;  // no events: nothing buffered anywhere
+  bool degraded = false;
   for (auto& shard : shards_) {
     Message finish;
     finish.kind = Message::Kind::kFinish;
-    Enqueue(shard.get(), std::move(finish));
+    const Status s = Enqueue(shard.get(), std::move(finish));
+    if (!s.ok()) {
+      // A wedged shard will not take its finish message; degrade to an
+      // abort so Finish still terminates. Healthy shards flush normally
+      // first (each got its kFinish before the abort flag goes up).
+      CEPR_LOG(WARNING) << "Finish: " << s.ToString()
+                        << "; aborting instead of flushing";
+      degraded = true;
+    }
+  }
+  if (degraded) {
+    abort_.store(true, std::memory_order_release);
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->park_mu);
+      shard->park_cv.notify_one();
+    }
   }
   for (auto& shard : shards_) {
     if (shard->thread.joinable()) shard->thread.join();
@@ -453,6 +569,7 @@ Result<QueryMetrics> ShardedEngine::GetQueryMetrics(
 MetricsSnapshot ShardedEngine::Snapshot() const {
   MetricsSnapshot snap;
   snap.events_ingested = events_ingested_.Load();
+  snap.events_quarantined = events_quarantined_.Load();
   snap.num_shards = num_shards_;
   snap.queries.reserve(queries_.size());
   for (uint32_t qi = 0; qi < queries_.size(); ++qi) {

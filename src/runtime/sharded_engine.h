@@ -27,10 +27,28 @@ struct ShardedEngineOptions {
   /// Worker shard count; 0 = std::thread::hardware_concurrency().
   size_t num_shards = 0;
   /// Per-shard ingest ring capacity (rounded up to a power of two). A full
-  /// ring backpressures the ingest thread (yield-spin until space frees).
+  /// ring backpressures the ingest thread (bounded wait; see
+  /// enqueue_stall_budget_ms).
   size_t queue_capacity = 4096;
   /// Same semantics as EngineOptions::reject_out_of_order.
   bool reject_out_of_order = true;
+  /// Longest one enqueue may wait on a full shard ring before giving up:
+  /// past the budget the shard is presumed dead/wedged and Push fails with
+  /// kUnavailable naming it (counted in ShardStats::stalls_tripped).
+  /// <= 0 waits forever (the legacy unbounded yield-spin).
+  int64_t enqueue_stall_budget_ms = 2000;
+
+  // -- Overload protection / fault containment -------------------------------
+  // Same semantics as the EngineOptions fields (see runtime/engine.h).
+  // max_total_runs is split evenly across shards: each shard enforces
+  // max(1, max_total_runs / num_shards) over its own cells, so the
+  // engine-wide total stays within ~one shard's share of the cap.
+
+  size_t max_runs_per_partition = 0;
+  size_t max_total_runs = 0;
+  ShedPolicy shed_policy = ShedPolicy::kShedOldest;
+  FaultPolicy fault_policy = FaultPolicy::kFailFast;
+  const FaultInjector* fault_injector = nullptr;  // not owned; may be null
 };
 
 /// Parallel counterpart of Engine: PARTITION BY keys are hashed across N
@@ -83,8 +101,14 @@ class ShardedEngine {
 
   /// Validates, stamps and routes one event to its owning shard per query.
   /// Merged results that became complete are delivered to sinks inline.
-  /// Starts the worker threads on the first call.
+  /// Starts the worker threads on the first call. Fails with kUnavailable
+  /// when a shard's ring stays full past the stall budget (shard presumed
+  /// wedged), and surfaces the first shard-side fault under
+  /// FaultPolicy::kFailFast (see first_fault()).
   Status Push(Event event);
+  /// Batch Push with the same partial-failure semantics as
+  /// Engine::PushAll: the Status names the failing index; under
+  /// FaultPolicy::kSkipAndCount failing events are skipped and counted.
   Status PushAll(std::vector<Event> events);
 
   /// End of stream: flushes every shard, joins the workers, merges and
@@ -102,6 +126,12 @@ class ShardedEngine {
 
   size_t num_shards() const { return num_shards_; }
   uint64_t events_ingested() const { return events_ingested_.Load(); }
+  /// Events dropped at ingest under FaultPolicy::kSkipAndCount.
+  uint64_t events_quarantined() const { return events_quarantined_.Load(); }
+
+  /// The first shard-side runtime fault (OK while none): under kFailFast
+  /// the faulted engine drops further events and every Push returns this.
+  Status first_fault() const;
 
   /// Per-shard counter snapshot.
   std::vector<ShardStats> shard_stats() const;
@@ -134,9 +164,13 @@ class ShardedEngine {
   };
 
   struct Shard {
+    size_t index = 0;
     std::unique_ptr<SpscQueue<Message>> queue;
     std::thread thread;
     std::vector<QueryCell> cells;  // per query
+    /// Shard-local live-run counter (this shard's slice of the
+    /// max_total_runs budget); shard-thread-only.
+    size_t live_runs = 0;
 
     /// Results of closed windows, per query, window-ordered; guarded by
     /// `mu`. The shard appends on window close, the router moves them out.
@@ -198,7 +232,11 @@ class ShardedEngine {
   void StartWorkers();
   void ShardMain(size_t shard_index);
   /// Blocking enqueue with backpressure accounting and consumer nudge.
-  void Enqueue(Shard* shard, Message msg);
+  /// Fails with kUnavailable once the stall budget is spent on a full ring.
+  Status Enqueue(Shard* shard, Message msg);
+  /// Records the first shard-side fault and flips the engine into the
+  /// faulted state (shard threads; first writer wins).
+  void RecordFault(const Status& status);
   /// Closes windows the shard's emitter has moved past and publishes the
   /// results (shard thread).
   void PublishResults(Shard* shard, uint32_t query,
@@ -229,8 +267,19 @@ class ShardedEngine {
   /// gate on it before touching shard state.
   std::atomic<bool> started_{false};
   bool finished_ = false;
+  /// Emergency-stop flag: shard threads exit their loop (and any injected
+  /// stall) as soon as they see it. Set by the destructor, and by Finish()
+  /// when a wedged shard will not accept its kFinish message.
+  std::atomic<bool> abort_{false};
+  /// Fault containment under kFailFast: the first shard-side error, and an
+  /// acquire-checked flag the ingest path reads per Push. Once faulted,
+  /// shard threads drop further events (barriers still flow).
+  mutable std::mutex fault_mu_;
+  Status first_fault_;
+  std::atomic<bool> faulted_{false};
   /// Ingest-thread-written, snapshot-read.
   RelaxedCounter events_ingested_;
+  RelaxedCounter events_quarantined_;
   RelaxedCounter merge_windows_;
   RelaxedCounter merge_results_;
 };

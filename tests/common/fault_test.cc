@@ -1,0 +1,110 @@
+// FaultInjector: the fault schedule must be a pure function of (seed,
+// point, configuration, key) — determinism is what lets the integration
+// suite replay identical fault schedules into the serial and sharded
+// engines and demand identical outcomes.
+
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cepr {
+namespace {
+
+TEST(FaultInjectorTest, UnarmedPointsNeverFire) {
+  FaultInjector injector(42);
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_FALSE(injector.ShouldFire(fault_points::kEvalPoison, key));
+    EXPECT_FALSE(injector.ShouldFire("no.such.point", key));
+  }
+  EXPECT_EQ(injector.fires(fault_points::kEvalPoison), 0u);
+}
+
+TEST(FaultInjectorTest, KeyedPointFiresExactlyOnListedKeys) {
+  FaultInjector injector(1);
+  injector.ArmKeys(fault_points::kEvalPoison, {3, 7, 7, 500});
+  for (uint64_t key = 0; key < 600; ++key) {
+    const bool expected = key == 3 || key == 7 || key == 500;
+    EXPECT_EQ(injector.ShouldFire(fault_points::kEvalPoison, key), expected)
+        << "key " << key;
+  }
+  // The duplicate key in the arm list doesn't double-fire: 600 probes hit
+  // 3 distinct listed keys.
+  EXPECT_EQ(injector.fires(fault_points::kEvalPoison), 3u);
+}
+
+TEST(FaultInjectorTest, RateModeIsDeterministicPerSeed) {
+  FaultInjector a(99);
+  FaultInjector b(99);
+  FaultInjector c(100);
+  a.ArmRate(fault_points::kCsvBadRecord, 0.2);
+  b.ArmRate(fault_points::kCsvBadRecord, 0.2);
+  c.ArmRate(fault_points::kCsvBadRecord, 0.2);
+
+  int fires = 0;
+  bool differs_across_seeds = false;
+  for (uint64_t key = 0; key < 2000; ++key) {
+    const bool fa = a.ShouldFire(fault_points::kCsvBadRecord, key);
+    const bool fb = b.ShouldFire(fault_points::kCsvBadRecord, key);
+    EXPECT_EQ(fa, fb) << "same seed must agree at key " << key;
+    if (fa != c.ShouldFire(fault_points::kCsvBadRecord, key)) {
+      differs_across_seeds = true;
+    }
+    if (fa) ++fires;
+  }
+  EXPECT_TRUE(differs_across_seeds);
+  // 20% of 2000 with generous slack: the hash must not degenerate.
+  EXPECT_GT(fires, 300);
+  EXPECT_LT(fires, 500);
+}
+
+TEST(FaultInjectorTest, RateModeIsIndependentPerPoint) {
+  FaultInjector injector(7);
+  injector.ArmRate(fault_points::kEvalPoison, 0.5);
+  injector.ArmRate(fault_points::kShardStall, 0.5);
+  bool differs = false;
+  for (uint64_t key = 0; key < 256 && !differs; ++key) {
+    differs = injector.ShouldFire(fault_points::kEvalPoison, key) !=
+              injector.ShouldFire(fault_points::kShardStall, key);
+  }
+  EXPECT_TRUE(differs) << "points share one schedule; hashes not mixed in";
+}
+
+TEST(FaultInjectorTest, RateZeroAndOneAreAbsolute) {
+  FaultInjector injector(5);
+  injector.ArmRate("never", 0.0);
+  injector.ArmRate("always", 1.0);
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_FALSE(injector.ShouldFire("never", key));
+    EXPECT_TRUE(injector.ShouldFire("always", key));
+  }
+}
+
+TEST(FaultInjectorTest, DisarmAndRearmMidRun) {
+  FaultInjector injector(11);
+  injector.ArmKeys(fault_points::kShardStall, {0, 1, 2});
+  EXPECT_TRUE(injector.ShouldFire(fault_points::kShardStall, 1));
+  injector.Disarm(fault_points::kShardStall);
+  EXPECT_FALSE(injector.ShouldFire(fault_points::kShardStall, 1));
+  injector.Rearm(fault_points::kShardStall);
+  EXPECT_TRUE(injector.ShouldFire(fault_points::kShardStall, 1));
+  // Disarm/Rearm of an unknown point is a harmless no-op.
+  injector.Disarm("no.such.point");
+  injector.Rearm("no.such.point");
+}
+
+TEST(FaultInjectorTest, FiresCountsOnlyActualFires) {
+  FaultInjector injector(3);
+  injector.ArmKeys(fault_points::kShardRingFull, {10});
+  for (uint64_t key = 0; key < 20; ++key) {
+    (void)injector.ShouldFire(fault_points::kShardRingFull, key);
+  }
+  EXPECT_EQ(injector.fires(fault_points::kShardRingFull), 1u);
+  injector.Disarm(fault_points::kShardRingFull);
+  (void)injector.ShouldFire(fault_points::kShardRingFull, 10);
+  EXPECT_EQ(injector.fires(fault_points::kShardRingFull), 1u);
+}
+
+}  // namespace
+}  // namespace cepr

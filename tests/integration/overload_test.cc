@@ -1,0 +1,208 @@
+// Overload protection: run budgets must hold the live-run population at
+// the configured cap under adversarial Kleene streams, every shed must be
+// counted and surfaced, and the ranking-aware shed policy must keep enough
+// of the strongest runs that the top-k output survives the budget.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/engine.h"
+#include "testing/helpers.h"
+#include "workload/stock.h"
+
+namespace cepr {
+namespace {
+
+using testing::StockSchema;
+using testing::Tick;
+
+// Every event starts a run, forks every open run (ANY_MATCH, no
+// predicates) and completes runs: the unbounded live-run population grows
+// exponentially in window size. This is the stream run budgets exist for.
+constexpr char kExplosionQuery[] =
+    "SELECT a.price FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+    "USING SKIP_TILL_ANY_MATCH PARTITION BY symbol "
+    "WITHIN 10 SECONDS RANK BY a.price DESC LIMIT 5 EMIT ON WINDOW CLOSE";
+
+TEST(OverloadTest, KleeneExplosionHeldAtPartitionCap) {
+  EngineOptions engine_options;
+  engine_options.max_runs_per_partition = 64;
+  Engine engine(engine_options);
+  ASSERT_TRUE(engine.RegisterSchema(StockSchema()).ok());
+  CollectSink sink;
+  ASSERT_TRUE(
+      engine.RegisterQuery("q", kExplosionQuery, QueryOptions{}, &sink).ok());
+
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(engine.Push(Tick(i * 1000, 100.0 + i)).ok());
+    ASSERT_LE(engine.live_runs(), 64u) << "cap breached at event " << i;
+  }
+  engine.Finish();
+
+  auto metrics = engine.GetQueryMetrics("q");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->matcher.events, 300u);
+  EXPECT_LE(metrics->matcher.peak_active_runs, 64u);
+  EXPECT_GT(metrics->matcher.runs_dropped_capacity, 0u)
+      << "an explosion under a cap must shed";
+  EXPECT_FALSE(sink.results().empty()) << "shedding must not mute the query";
+}
+
+TEST(OverloadTest, GlobalBudgetCapsAcrossPartitions) {
+  EngineOptions engine_options;
+  engine_options.max_total_runs = 40;
+  Engine engine(engine_options);
+  ASSERT_TRUE(engine.RegisterSchema(StockSchema()).ok());
+  CollectSink sink;
+  ASSERT_TRUE(
+      engine.RegisterQuery("q", kExplosionQuery, QueryOptions{}, &sink).ok());
+
+  static const char* kSymbols[] = {"A", "B", "C", "D"};
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(
+        engine.Push(Tick(i * 1000, 100.0 + i, 100, kSymbols[i % 4])).ok());
+    ASSERT_LE(engine.live_runs(), 40u) << "global budget breached at " << i;
+  }
+  engine.Finish();
+
+  auto metrics = engine.GetQueryMetrics("q");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(metrics->matcher.runs_dropped_capacity, 0u);
+}
+
+TEST(OverloadTest, ShedsSurfacedInSnapshotJson) {
+  EngineOptions engine_options;
+  engine_options.max_runs_per_partition = 8;
+  Engine engine(engine_options);
+  ASSERT_TRUE(engine.RegisterSchema(StockSchema()).ok());
+  ASSERT_TRUE(
+      engine.RegisterQuery("q", kExplosionQuery, QueryOptions{}, nullptr).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine.Push(Tick(i * 1000, 50.0)).ok());
+  }
+  engine.Finish();
+
+  const std::string json = engine.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"runs_dropped_capacity\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"runs_dropped_capacity\":0"), std::string::npos)
+      << "sheds happened but the snapshot reports zero: " << json;
+  EXPECT_NE(json.find("\"events_quarantined\":"), std::string::npos);
+}
+
+// Deterministic stream where the shed policies keep observably different
+// runs. Prices 50, 40, 30 each start a run (and the lower ones extend the
+// earlier runs' Kleene bodies); 60 completes whatever survived. Cap 2:
+//  * kRejectNew keeps the two oldest runs   -> matches {a=50, a=40};
+//  * kShedOldest keeps the two newest       -> the a=50 run is gone;
+//  * kShedLowestScoreBound (RANK BY a.price DESC) keeps the two strongest
+//    bounds {50, 40} and rejects the weaker newcomer, like kRejectNew.
+constexpr char kPolicyQuery[] =
+    "SELECT a.price FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+    "PARTITION BY symbol "
+    "WHERE b[i].price < a.price AND c.price > a.price "
+    "WITHIN 10 SECONDS RANK BY a.price DESC LIMIT 10 EMIT ON WINDOW CLOSE";
+
+std::vector<double> RunPolicy(ShedPolicy policy) {
+  EngineOptions engine_options;
+  engine_options.max_runs_per_partition = 2;
+  engine_options.shed_policy = policy;
+  Engine engine(engine_options);
+  EXPECT_TRUE(engine.RegisterSchema(StockSchema()).ok());
+  CollectSink sink;
+  EXPECT_TRUE(
+      engine.RegisterQuery("q", kPolicyQuery, QueryOptions{}, &sink).ok());
+  const double prices[] = {50, 40, 30, 60};
+  Timestamp ts = 0;
+  for (double price : prices) {
+    EXPECT_TRUE(engine.Push(Tick(ts += 1000, price)).ok());
+  }
+  engine.Finish();
+  std::vector<double> a_prices;
+  for (const RankedResult& r : sink.results()) {
+    a_prices.push_back(r.match.row[0].AsFloat());
+  }
+  return a_prices;
+}
+
+TEST(OverloadTest, RejectNewKeepsOldestRuns) {
+  EXPECT_EQ(RunPolicy(ShedPolicy::kRejectNew),
+            (std::vector<double>{50, 40}));
+}
+
+TEST(OverloadTest, ShedOldestKeepsNewestRuns) {
+  EXPECT_EQ(RunPolicy(ShedPolicy::kShedOldest), (std::vector<double>{40}));
+}
+
+TEST(OverloadTest, ShedLowestBoundKeepsStrongestRuns) {
+  EXPECT_EQ(RunPolicy(ShedPolicy::kShedLowestScoreBound),
+            (std::vector<double>{50, 40}));
+}
+
+// The acceptance property for ranking-aware shedding: on an adversarial
+// single-partition stream, a modest budget (here 8*k, well past the >= 4*k
+// floor) with kShedLowestScoreBound must reproduce the unbounded engine's
+// top-k exactly. RANK BY a.price gives every run a point score bound at
+// birth, so the retained set is exactly the budget-many strongest
+// candidates; the slack over 4*k absorbs retained runs that never
+// complete near window boundaries.
+std::vector<RankedResult> RunBudgeted(const SchemaPtr& schema,
+                                      const std::vector<Event>& events,
+                                      const std::string& query,
+                                      size_t budget, ShedPolicy policy,
+                                      uint64_t* sheds) {
+  EngineOptions engine_options;
+  engine_options.max_runs_per_partition = budget;
+  engine_options.shed_policy = policy;
+  Engine engine(engine_options);
+  EXPECT_TRUE(engine.RegisterSchema(schema).ok());
+  CollectSink sink;
+  const Status s = engine.RegisterQuery("q", query, QueryOptions{}, &sink);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  for (const Event& e : events) {
+    EXPECT_TRUE(engine.Push(Event(e)).ok());
+  }
+  engine.Finish();
+  if (sheds != nullptr) {
+    *sheds = engine.GetQueryMetrics("q")->matcher.runs_dropped_capacity;
+  }
+  return sink.results();
+}
+
+TEST(OverloadTest, LowestBoundShedPreservesTopKOfUnboundedBaseline) {
+  StockOptions options;
+  options.num_symbols = 1;  // single partition: worst case for one budget
+  options.v_probability = 0.03;
+  options.base.interval_micros = 1000;
+  StockGenerator gen(options);
+  const std::vector<Event> events = gen.Take(4000);
+
+  const std::string query =
+      "SELECT a.symbol, a.price FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "PARTITION BY symbol "
+      "WHERE b[i].price < b[i-1].price AND c.price > a.price "
+      "WITHIN 100 MILLISECONDS "
+      "RANK BY a.price DESC LIMIT 5 EMIT ON WINDOW CLOSE";
+
+  const std::vector<RankedResult> unbounded = RunBudgeted(
+      gen.schema(), events, query, 0, ShedPolicy::kShedOldest, nullptr);
+  ASSERT_FALSE(unbounded.empty());
+
+  uint64_t sheds = 0;
+  const std::vector<RankedResult> budgeted =
+      RunBudgeted(gen.schema(), events, query, 40,
+                  ShedPolicy::kShedLowestScoreBound, &sheds);
+  EXPECT_GT(sheds, 0u) << "budget never bound: test is vacuous";
+
+  ASSERT_EQ(unbounded.size(), budgeted.size());
+  for (size_t i = 0; i < unbounded.size(); ++i) {
+    EXPECT_EQ(unbounded[i].window_id, budgeted[i].window_id) << "@" << i;
+    EXPECT_EQ(unbounded[i].rank, budgeted[i].rank) << "@" << i;
+    EXPECT_EQ(unbounded[i].match.score, budgeted[i].match.score) << "@" << i;
+    EXPECT_EQ(unbounded[i].match.row, budgeted[i].match.row) << "@" << i;
+  }
+}
+
+}  // namespace
+}  // namespace cepr

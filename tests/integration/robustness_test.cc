@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
 #include "common/random.h"
 #include "lang/parser.h"
 #include "runtime/engine.h"
@@ -108,6 +109,69 @@ TEST(RobustnessTest, ParsedGarbageStillRejectedSemantically) {
     EXPECT_FALSE(s.ok()) << text;
   }
   EXPECT_TRUE(engine.QueryNames().empty());
+}
+
+TEST(RobustnessTest, EngineSurvivesAdversarialStreamFuzz) {
+  // Seeded random streams straight through Engine::Push: out-of-order
+  // bursts (cleanly rejected), duplicate timestamps, NULL-heavy payloads,
+  // and a 2% injected poison rate under kSkipAndCount. The engine must
+  // never crash and its counters must stay mutually consistent.
+  static const uint64_t kSeeds[] = {1, 2, 3};
+  for (uint64_t seed : kSeeds) {
+    Random rng(seed);
+    FaultInjector injector(seed);
+    injector.ArmRate(fault_points::kEvalPoison, 0.02);
+
+    EngineOptions engine_options;
+    engine_options.fault_policy = FaultPolicy::kSkipAndCount;
+    engine_options.fault_injector = &injector;
+    engine_options.max_runs_per_partition = 128;
+    Engine engine(engine_options);
+    ASSERT_TRUE(engine.RegisterSchema(testing::StockSchema()).ok());
+    CollectSink sink;
+    ASSERT_TRUE(
+        engine.RegisterQuery("q", kGoodQuery, QueryOptions{}, &sink).ok());
+
+    static const char* kSymbols[] = {"A", "B", "C"};
+    Timestamp ts = 0;
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;
+    for (int i = 0; i < 3000; ++i) {
+      const uint64_t roll = rng.Uniform(100);
+      Timestamp event_ts = ts;  // roll in [5, 25): duplicate timestamp
+      if (roll < 5) {
+        event_ts = ts > 100000 ? ts - 100000 : 0;  // out-of-order burst
+      } else if (roll >= 25) {
+        ts += 1 + static_cast<Timestamp>(rng.Uniform(2000));
+        event_ts = ts;
+      }
+      std::vector<Value> values;
+      values.push_back(Value::String(kSymbols[rng.Uniform(3)]));
+      values.push_back(rng.Uniform(4) == 0
+                           ? Value::Null()
+                           : Value::Float(rng.UniformDouble(1, 1000)));
+      values.push_back(rng.Uniform(4) == 0
+                           ? Value::Null()
+                           : Value::Int(rng.UniformInt(1, 10000)));
+      const Status s = engine.Push(
+          Event(testing::StockSchema(), event_ts, std::move(values)));
+      if (s.ok()) {
+        ++accepted;
+      } else {
+        ++rejected;  // must be a clean rejection, never a crash
+      }
+    }
+    engine.Finish();
+
+    EXPECT_GT(rejected, 0u) << "no out-of-order burst materialized";
+    EXPECT_EQ(engine.events_ingested(), accepted);
+    auto metrics = engine.GetQueryMetrics("q");
+    ASSERT_TRUE(metrics.ok());
+    EXPECT_EQ(metrics->matcher.events, accepted);
+    EXPECT_EQ(metrics->matcher.events_quarantined,
+              injector.fires(fault_points::kEvalPoison))
+        << "every injected poison must be quarantined, nothing else";
+  }
 }
 
 TEST(RobustnessTest, DeepExpressionNestingParses) {

@@ -168,6 +168,80 @@ TEST_F(CsvTest, MissingFileReported) {
             StatusCode::kIoError);
 }
 
+TEST_F(CsvTest, SkipAndCountSkipsBadRecordsWithLineAttribution) {
+  std::ofstream out(path_);
+  out << "ts,type,symbol,price,volume\n";   // line 1
+  out << "1000,,IBM,10.5,3\n";              // line 2: good
+  out << "2000,,IBM,extra,cell,oops,7\n";   // line 3: cell-count mismatch
+  out << "3000,,IBM,notafloat,4\n";         // line 4: bad FLOAT cell
+  out << "4000,,MSFT,20.0,5\n";             // line 5: good
+  out.close();
+
+  CsvReadOptions options;
+  options.fault_policy = FaultPolicy::kSkipAndCount;
+  CsvReadStats stats;
+  auto readback = ReadEventsCsv(path_, StockSchema(), options, &stats);
+  ASSERT_TRUE(readback.ok()) << readback.status().ToString();
+  ASSERT_EQ(readback->size(), 2u);
+  EXPECT_EQ((*readback)[0].timestamp(), 1000);
+  EXPECT_EQ((*readback)[1].timestamp(), 4000);
+  EXPECT_EQ(stats.records_read, 2u);
+  EXPECT_EQ(stats.records_skipped, 2u);
+  ASSERT_EQ(stats.skipped.size(), 2u);
+  EXPECT_EQ(stats.skipped[0].line, 3);
+  EXPECT_EQ(stats.skipped[1].line, 4);
+  EXPECT_FALSE(stats.skipped[0].error.empty());
+
+  // The same file under the default policy still fails fast, at line 3.
+  auto strict = ReadEventsCsv(path_, StockSchema());
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("line 3"), std::string::npos);
+}
+
+TEST_F(CsvTest, SkipAndCountKeepsStructuralErrorsFatal) {
+  std::ofstream out(path_);
+  out << "ts,type,symbol,price,volume\n";
+  out << "1000,,IBM,10.5,3\n";
+  out << "2000,,\"never closed,1.0,2\n";  // unterminated quote at EOF
+  out.close();
+  CsvReadOptions options;
+  options.fault_policy = FaultPolicy::kSkipAndCount;
+  EXPECT_FALSE(ReadEventsCsv(path_, StockSchema(), options, nullptr).ok())
+      << "a broken framing cannot be skipped past";
+}
+
+TEST_F(CsvTest, InjectedBadRecordsSkipDeterministically) {
+  std::ofstream out(path_);
+  out << "ts,type,symbol,price,volume\n";
+  for (int i = 0; i < 10; ++i) {  // data lines 2..11
+    out << i * 1000 << ",,IBM,1.0,1\n";
+  }
+  out.close();
+
+  FaultInjector injector(77);
+  injector.ArmKeys(fault_points::kCsvBadRecord, {3, 7});
+  CsvReadOptions options;
+  options.fault_policy = FaultPolicy::kSkipAndCount;
+  options.fault_injector = &injector;
+
+  for (int round = 0; round < 2; ++round) {  // identical on replay
+    CsvReadStats stats;
+    auto readback = ReadEventsCsv(path_, StockSchema(), options, &stats);
+    ASSERT_TRUE(readback.ok()) << readback.status().ToString();
+    EXPECT_EQ(readback->size(), 8u);
+    EXPECT_EQ(stats.records_skipped, 2u);
+    ASSERT_EQ(stats.skipped.size(), 2u);
+    EXPECT_EQ(stats.skipped[0].line, 3);
+    EXPECT_EQ(stats.skipped[1].line, 7);
+  }
+
+  // Under kFailFast the first injected record aborts the read.
+  options.fault_policy = FaultPolicy::kFailFast;
+  auto strict = ReadEventsCsv(path_, StockSchema(), options, nullptr);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("injected"), std::string::npos);
+}
+
 TEST_F(CsvTest, ResultSinkWritesRows) {
   CsvResultSink sink(path_, {"price", "depth"});
   ASSERT_TRUE(sink.status().ok());

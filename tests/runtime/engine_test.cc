@@ -186,5 +186,42 @@ TEST_F(EngineTest, NullSinkAllowed) {
   engine_.Finish();
 }
 
+// Batch with an out-of-order event at index 2 (ts regresses below the
+// watermark set by index 1): the canonical mid-batch failure.
+std::vector<Event> BatchWithBadThird() {
+  std::vector<Event> batch;
+  batch.push_back(Tick(1000, 100));
+  batch.push_back(Tick(2000, 90));
+  batch.push_back(Tick(500, 105));  // regression: fails validation
+  batch.push_back(Tick(3000, 110));
+  return batch;
+}
+
+TEST(EnginePushAllTest, FailFastNamesFailingIndexAndKeepsPrefix) {
+  Engine engine;  // kFailFast is the default
+  ASSERT_TRUE(engine.RegisterSchema(testing::StockSchema()).ok());
+  const Status s = engine.PushAll(BatchWithBadThird());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("index 2 of 4"), std::string::npos)
+      << s.ToString();
+  EXPECT_EQ(engine.events_ingested(), 2u) << "prefix before the failure stays";
+  EXPECT_EQ(engine.events_quarantined(), 0u);
+  // The engine is still usable: the watermark is at index 1's timestamp.
+  EXPECT_TRUE(engine.Push(Tick(2500, 120)).ok());
+  engine.Finish();
+}
+
+TEST(EnginePushAllTest, SkipAndCountSkipsBadEventsAndContinuesBatch) {
+  EngineOptions engine_options;
+  engine_options.fault_policy = FaultPolicy::kSkipAndCount;
+  Engine engine(engine_options);
+  ASSERT_TRUE(engine.RegisterSchema(testing::StockSchema()).ok());
+  const Status s = engine.PushAll(BatchWithBadThird());
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(engine.events_ingested(), 3u) << "good suffix must be ingested";
+  EXPECT_EQ(engine.events_quarantined(), 1u);
+  engine.Finish();
+}
+
 }  // namespace
 }  // namespace cepr
