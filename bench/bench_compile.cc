@@ -84,4 +84,4 @@ BENCHMARK(BM_CompileHundredDistinctQueries)->Unit(benchmark::kMillisecond);
 }  // namespace bench
 }  // namespace cepr
 
-BENCHMARK_MAIN();
+CEPR_BENCH_MAIN();

@@ -103,4 +103,4 @@ BENCHMARK(BM_FlatSingleLevel)->Unit(benchmark::kMillisecond);
 }  // namespace bench
 }  // namespace cepr
 
-BENCHMARK_MAIN();
+CEPR_BENCH_MAIN();

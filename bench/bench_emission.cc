@@ -50,4 +50,4 @@ BENCHMARK(BM_Emission)
 }  // namespace bench
 }  // namespace cepr
 
-BENCHMARK_MAIN();
+CEPR_BENCH_MAIN();

@@ -62,4 +62,4 @@ BENCHMARK(BM_MultiQuery)
 }  // namespace bench
 }  // namespace cepr
 
-BENCHMARK_MAIN();
+CEPR_BENCH_MAIN();

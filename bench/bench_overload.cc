@@ -122,4 +122,4 @@ BENCHMARK(BM_OverloadShed)->Apply(OverloadArgs)->Unit(benchmark::kMillisecond);
 }  // namespace bench
 }  // namespace cepr
 
-BENCHMARK_MAIN();
+CEPR_BENCH_MAIN();

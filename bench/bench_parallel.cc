@@ -199,4 +199,4 @@ BENCHMARK(BM_ParallelSnapshotOverhead)
 }  // namespace bench
 }  // namespace cepr
 
-BENCHMARK_MAIN();
+CEPR_BENCH_MAIN();

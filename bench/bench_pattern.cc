@@ -121,4 +121,4 @@ BENCHMARK(BM_NegationCost)
 }  // namespace bench
 }  // namespace cepr
 
-BENCHMARK_MAIN();
+CEPR_BENCH_MAIN();

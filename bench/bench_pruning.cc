@@ -124,4 +124,4 @@ BENCHMARK(BM_PruningDisengaged)
 }  // namespace bench
 }  // namespace cepr
 
-BENCHMARK_MAIN();
+CEPR_BENCH_MAIN();

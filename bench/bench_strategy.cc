@@ -56,4 +56,4 @@ BENCHMARK(BM_Strategy)
 }  // namespace bench
 }  // namespace cepr
 
-BENCHMARK_MAIN();
+CEPR_BENCH_MAIN();

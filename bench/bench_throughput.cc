@@ -94,4 +94,4 @@ BENCHMARK(BM_ThroughputVsDensity)
 }  // namespace bench
 }  // namespace cepr
 
-BENCHMARK_MAIN();
+CEPR_BENCH_MAIN();

@@ -86,4 +86,4 @@ BENCHMARK(BM_TopKUnlimited)->Arg(0)->Arg(1)->ArgName("naive")->Unit(
 }  // namespace bench
 }  // namespace cepr
 
-BENCHMARK_MAIN();
+CEPR_BENCH_MAIN();

@@ -1,9 +1,12 @@
 #ifndef CEPR_BENCH_BENCH_UTIL_H_
 #define CEPR_BENCH_BENCH_UTIL_H_
 
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include <benchmark/benchmark.h>
 
 #include "common/logging.h"
 #include "runtime/engine.h"
@@ -11,6 +14,42 @@
 
 namespace cepr {
 namespace bench {
+
+/// Shared benchmark entry point with two convenience flags on top of the
+/// google-benchmark set: `--quick` (short min-time per benchmark, for CI
+/// smoke runs) and `--json` (machine-readable output for artifacts).
+/// Everything else is forwarded to the library untouched.
+inline int BenchMain(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  std::vector<std::string> translated;
+  translated.reserve(args.size() + 2);
+  translated.push_back(args.empty() ? "bench" : args[0]);
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--quick") {
+      translated.push_back("--benchmark_min_time=0.05");
+    } else if (args[i] == "--json") {
+      translated.push_back("--benchmark_format=json");
+    } else {
+      translated.push_back(args[i]);
+    }
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(translated.size());
+  for (std::string& arg : translated) cargs.push_back(arg.data());
+  int cargc = static_cast<int>(cargs.size());
+  ::benchmark::Initialize(&cargc, cargs.data());
+  if (::benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+/// Drop-in replacement for BENCHMARK_MAIN() that routes through BenchMain.
+#define CEPR_BENCH_MAIN()                                            \
+  int main(int argc, char** argv) {                                  \
+    return ::cepr::bench::BenchMain(argc, argv);                     \
+  }                                                                  \
+  static_assert(true, "require a trailing semicolon")
 
 /// The canonical CEPR evaluation query: dip-and-recovery over Stock,
 /// ranked by relative dip depth.

@@ -61,4 +61,4 @@ BENCHMARK(BM_WindowSpan)
 }  // namespace bench
 }  // namespace cepr
 
-BENCHMARK_MAIN();
+CEPR_BENCH_MAIN();

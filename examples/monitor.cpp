@@ -64,7 +64,10 @@ void PaintQuery(const cepr::MetricsSnapshot::QueryEntry& entry,
     out << ", p99 " << static_cast<int64_t>(m.event_processing_ns.Percentile(99))
         << "ns";
   }
-  out << "\n";
+  out << "\n│  hot path: cloned " << m.matcher.runs_cloned << ", binding nodes "
+      << m.matcher.binding_nodes_allocated << ", predcache "
+      << m.matcher.predcache_hits << "/"
+      << (m.matcher.predcache_hits + m.matcher.predcache_misses) << " hits\n";
   const std::vector<cepr::RankedResult> rows = panel.rows();
   if (rows.empty()) out << "│  (no ranked results yet)\n";
   for (const cepr::RankedResult& r : rows) {

@@ -1,0 +1,94 @@
+#ifndef CEPR_COMMON_ARENA_H_
+#define CEPR_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace cepr {
+
+/// Chunked fixed-size object pool with an intrusive freelist. New() returns
+/// a constructed T from recycled or chunk storage; Delete() destroys it and
+/// recycles the slot. Single-threaded by design (each matcher tree owns its
+/// pool), which is what makes the freelist and the counters cheap.
+///
+/// Constructed with pooled=false the pool degrades to plain new/delete —
+/// the ablation mode that isolates the arena's contribution from the
+/// copy-on-write win (see docs/BENCHMARKS.md E14).
+///
+/// All objects must be Delete()d before the pool dies: the destructor only
+/// reclaims raw chunk storage and never runs destructors of live objects.
+template <typename T>
+class ObjectPool {
+ public:
+  explicit ObjectPool(bool pooled = true, size_t chunk_capacity = 1024)
+      : pooled_(pooled), chunk_capacity_(chunk_capacity) {}
+
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  template <typename... Args>
+  T* New(Args&&... args) {
+    ++constructed_;
+    if (!pooled_) return new T(std::forward<Args>(args)...);
+    if (free_ == nullptr) Refill();
+    Slot* slot = free_;
+    free_ = slot->next_free;
+    return new (slot->storage) T(std::forward<Args>(args)...);
+  }
+
+  void Delete(T* obj) {
+    if (obj == nullptr) return;
+    if (!pooled_) {
+      delete obj;
+      return;
+    }
+    obj->~T();
+    Slot* slot = reinterpret_cast<Slot*>(obj);
+    slot->next_free = free_;
+    free_ = slot;
+  }
+
+  bool pooled() const { return pooled_; }
+
+  /// Lifetime count of New() calls — the "objects allocated" metric. The
+  /// count is mode-independent of where the storage came from, so it is
+  /// comparable across pooled and passthrough configurations.
+  uint64_t constructed() const { return constructed_; }
+
+  /// Constructions since the previous call (single-threaded metrics
+  /// attribution: the matcher consumes the delta at the end of each event).
+  uint64_t TakeConstructedDelta() {
+    const uint64_t delta = constructed_ - consumed_;
+    consumed_ = constructed_;
+    return delta;
+  }
+
+ private:
+  union Slot {
+    Slot* next_free;
+    alignas(T) unsigned char storage[sizeof(T)];
+  };
+
+  void Refill() {
+    chunks_.push_back(std::make_unique<Slot[]>(chunk_capacity_));
+    Slot* chunk = chunks_.back().get();
+    for (size_t i = chunk_capacity_; i > 0; --i) {
+      chunk[i - 1].next_free = free_;
+      free_ = &chunk[i - 1];
+    }
+  }
+
+  bool pooled_;
+  size_t chunk_capacity_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  Slot* free_ = nullptr;
+  uint64_t constructed_ = 0;
+  uint64_t consumed_ = 0;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_COMMON_ARENA_H_

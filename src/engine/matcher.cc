@@ -22,6 +22,10 @@ std::string MatcherStats::ToString() const {
   out += " events_quarantined=" + std::to_string(events_quarantined);
   out += " runs_poisoned=" + std::to_string(runs_poisoned);
   out += " matches=" + std::to_string(matches);
+  out += " cloned=" + std::to_string(runs_cloned);
+  out += " binding_nodes=" + std::to_string(binding_nodes_allocated);
+  out += " predcache_hits=" + std::to_string(predcache_hits);
+  out += " predcache_misses=" + std::to_string(predcache_misses);
   out += " peak_runs=" + std::to_string(peak_active_runs);
   return out;
 }
@@ -39,6 +43,10 @@ void MatcherStats::Accumulate(const MatcherStats& other) {
   events_quarantined += other.events_quarantined;
   runs_poisoned += other.runs_poisoned;
   matches += other.matches;
+  runs_cloned += other.runs_cloned;
+  binding_nodes_allocated += other.binding_nodes_allocated;
+  predcache_hits += other.predcache_hits;
+  predcache_misses += other.predcache_misses;
   peak_active_runs += other.peak_active_runs;
 }
 
@@ -56,6 +64,10 @@ MatcherStats AtomicMatcherStats::Snapshot() const {
   s.events_quarantined = events_quarantined.Load();
   s.runs_poisoned = runs_poisoned.Load();
   s.matches = matches.Load();
+  s.runs_cloned = runs_cloned.Load();
+  s.binding_nodes_allocated = binding_nodes_allocated.Load();
+  s.predcache_hits = predcache_hits.Load();
+  s.predcache_misses = predcache_misses.Load();
   s.peak_active_runs = static_cast<size_t>(peak_active_runs.Load());
   return s;
 }
@@ -92,13 +104,21 @@ MatcherOptions MergeEngineCaps(MatcherOptions base, size_t max_runs_per_partitio
 
 Matcher::Matcher(CompiledQueryPtr plan, const MatcherOptions& options,
                  const RunPruner* pruner, AtomicMatcherStats* stats,
-                 uint64_t* next_match_id, size_t* live_runs)
+                 uint64_t* next_match_id, size_t* live_runs, RunMemory* memory)
     : plan_(std::move(plan)),
       options_(options),
       pruner_(pruner),
       stats_(stats),
       next_match_id_(next_match_id),
-      live_runs_(live_runs) {}
+      live_runs_(live_runs),
+      memory_(memory),
+      pred_cache_(static_cast<size_t>(plan_->pattern.num_event_preds), -1) {
+  if (memory_ == nullptr) {
+    owned_memory_ = std::make_unique<RunMemory>(
+        plan_.get(), options_.cow_bindings, options_.use_arena);
+    memory_ = owned_memory_.get();
+  }
+}
 
 Matcher::~Matcher() {
   if (live_runs_ != nullptr) *live_runs_ -= runs_.size();
@@ -108,15 +128,38 @@ bool Matcher::TypeMatches(const std::string& tag, const Event& event) const {
   return tag.empty() || EqualsIgnoreCase(tag, event.type_tag());
 }
 
+bool Matcher::EvalPred(const Run& run, const Expr& pred, int cache_id,
+                       int var_index, const Event& event) const {
+  if (cache_id < 0 || !options_.predicate_cache) {
+    // Correlated conjunct (or cache disabled): evaluate against the run,
+    // which answers `var_index` with the installed candidate.
+    auto r = EvaluatePredicate(pred, run);
+    return r.ok() && r.value();
+  }
+  int8_t& slot = pred_cache_[static_cast<size_t>(cache_id)];
+  if (slot < 0) {
+    // First consult this event: compute once under an EventOnlyContext —
+    // provably the same verdict a run evaluation would produce (the
+    // conjunct references nothing but the candidate event).
+    EventOnlyContext ctx(var_index, &event);
+    auto r = EvaluatePredicate(pred, ctx);
+    slot = (r.ok() && r.value()) ? 1 : 0;
+    stats_->predcache_misses.Increment();
+  } else {
+    stats_->predcache_hits.Increment();
+  }
+  return slot == 1;
+}
+
 bool Matcher::PassesBegin(Run* run, int comp_index, const Event& event) const {
   const CompiledComponent& comp =
       plan_->pattern.components[static_cast<size_t>(comp_index)];
   if (comp.is_kleene) return PassesIter(run, comp_index, event);
   run->SetCandidate(comp.var_index, &event);
   bool ok = true;
-  for (const ExprPtr& pred : comp.begin_preds) {
-    auto r = EvaluatePredicate(*pred, *run);
-    if (!r.ok() || !r.value()) {
+  for (size_t i = 0; i < comp.begin_preds.size(); ++i) {
+    if (!EvalPred(*run, *comp.begin_preds[i], comp.begin_pred_cache_ids[i],
+                  comp.var_index, event)) {
       ok = false;
       break;
     }
@@ -134,8 +177,8 @@ bool Matcher::PassesIter(Run* run, int comp_index, const Event& event) const {
   for (size_t i = 0; i < comp.iter_preds.size(); ++i) {
     // Conjuncts referencing v[i-1] are vacuous for the first iteration.
     if (first_iteration && comp.iter_pred_uses_prev[i]) continue;
-    auto r = EvaluatePredicate(*comp.iter_preds[i], *run);
-    if (!r.ok() || !r.value()) {
+    if (!EvalPred(*run, *comp.iter_preds[i], comp.iter_pred_cache_ids[i],
+                  comp.var_index, event)) {
       ok = false;
       break;
     }
@@ -215,9 +258,9 @@ bool Matcher::NegationKills(Run* run, const Event& event) const {
   if (!TypeMatches(neg.type_tag, event)) return false;
   run->SetCandidate(neg.var_index, &event);
   bool kills = true;
-  for (const ExprPtr& pred : neg.preds) {
-    auto r = EvaluatePredicate(*pred, *run);
-    if (!r.ok() || !r.value()) {
+  for (size_t i = 0; i < neg.preds.size(); ++i) {
+    if (!EvalPred(*run, *neg.preds[i], neg.pred_cache_ids[i], neg.var_index,
+                  event)) {
       kills = false;
       break;
     }
@@ -233,15 +276,12 @@ bool Matcher::MaybeEmit(Run* run, std::vector<Match>* out) {
   Match m;
   m.id = (*next_match_id_)++;
   m.first_ts = run->first_ts();
-  const Event* last = nullptr;
-  for (const auto& binding : run->bindings()) {
-    for (const auto& ev : binding) {
-      if (last == nullptr || ev->sequence() > last->sequence()) last = ev.get();
-    }
-  }
+  const Event* last = run->LastBoundEvent();
   m.last_ts = last != nullptr ? last->timestamp() : run->first_ts();
   m.last_sequence = last != nullptr ? last->sequence() : run->first_sequence();
-  m.bindings = run->bindings();
+  // Materialize to plain vectors: the match owns its bindings outright and
+  // may cross threads / outlive the matcher's arena.
+  m.bindings = run->MaterializeBindings();
 
   m.row.reserve(plan_->analyzed.ast.select.size());
   for (const SelectItemAst& item : plan_->analyzed.ast.select) {
@@ -263,9 +303,16 @@ bool Matcher::MaybePruneAndCount(const Run& run) {
   return false;
 }
 
+RunHandle Matcher::CloneRun(const Run& src, uint64_t new_id) {
+  RunHandle run = memory_->runs.Acquire(new_id);
+  run->CopyStateFrom(src, new_id);
+  stats_->runs_cloned.Increment();
+  return run;
+}
+
 Matcher::RunFate Matcher::ProcessRun(Run* run, const EventPtr& event,
                                      std::vector<Match>* out,
-                                     std::vector<std::unique_ptr<Run>>* forks) {
+                                     std::vector<RunHandle>* forks) {
   // 1. WITHIN expiry: this and all later events are out of the run's span.
   if (Expired(*run, *event)) {
     stats_->runs_expired.Increment();
@@ -279,7 +326,7 @@ Matcher::RunFate Matcher::ProcessRun(Run* run, const EventPtr& event,
     // Explore every enabled action on a fork; the original run represents
     // "ignore".
     for (const int comp : begin_options) {
-      auto fork = run->Clone(next_run_id_++);
+      RunHandle fork = CloneRun(*run, next_run_id_++);
       stats_->runs_forked.Increment();
       fork->BeginComponent(comp, event);
       bool retire = false;
@@ -296,7 +343,7 @@ Matcher::RunFate Matcher::ProcessRun(Run* run, const EventPtr& event,
       }
     }
     if (CanExtend(run, *event)) {
-      auto fork = run->Clone(next_run_id_++);
+      RunHandle fork = CloneRun(*run, next_run_id_++);
       stats_->runs_forked.Increment();
       fork->ExtendKleene(event);
       if (fork->complete()) MaybeEmit(fork.get(), out);
@@ -341,7 +388,7 @@ Matcher::RunFate Matcher::ProcessRun(Run* run, const EventPtr& event,
 }
 
 void Matcher::TryStartRun(const EventPtr& event, std::vector<Match>* out) {
-  auto probe = std::make_unique<Run>(plan_.get(), next_run_id_);
+  RunHandle probe = memory_->runs.Acquire(next_run_id_);
   std::vector<int>& begin_options = scratch_options_;
   BeginOptions(probe.get(), *event, &begin_options);
   if (begin_options.empty()) return;
@@ -352,9 +399,8 @@ void Matcher::TryStartRun(const EventPtr& event, std::vector<Match>* out) {
       plan_->strategy == SelectionStrategy::kSkipTillAny ? begin_options.size()
                                                          : 1;
   for (size_t i = 0; i < start_count; ++i) {
-    std::unique_ptr<Run> run =
-        i + 1 == start_count ? std::move(probe)
-                             : probe->Clone(next_run_id_);
+    RunHandle run = i + 1 == start_count ? std::move(probe)
+                                         : CloneRun(*probe, next_run_id_);
     ++next_run_id_;
     run->BeginComponent(begin_options[i], event);
     stats_->runs_created.Increment();
@@ -412,7 +458,7 @@ bool Matcher::ShedOne(const Run& incoming) {
   return false;
 }
 
-void Matcher::InsertRun(std::unique_ptr<Run> run) {
+void Matcher::InsertRun(RunHandle run) {
   const bool partition_full = runs_.size() >= options_.max_active_runs;
   const bool total_full = options_.max_total_runs > 0 &&
                           live_runs_ != nullptr &&
@@ -474,7 +520,12 @@ Status Matcher::OnEvent(const EventPtr& event, std::vector<Match>* out) {
     return Status::OK();
   }
 
-  std::vector<std::unique_ptr<Run>> forks;
+  // Forget the previous event's cached event-only verdicts.
+  if (options_.predicate_cache && !pred_cache_.empty()) {
+    std::fill(pred_cache_.begin(), pred_cache_.end(), int8_t{-1});
+  }
+
+  std::vector<RunHandle> forks;
 
   size_t write = 0;
   for (size_t read = 0; read < runs_.size(); ++read) {
@@ -491,6 +542,10 @@ Status Matcher::OnEvent(const EventPtr& event, std::vector<Match>* out) {
 
   TryStartRun(event, out);
   stats_->peak_active_runs.Observe(runs_.size());
+  // Attribute the binding cells this event made to the shared counter (the
+  // arena is shared across the query's partition matchers; consuming the
+  // delta per event keeps the single-writer discipline).
+  stats_->binding_nodes_allocated.Add(memory_->arena.TakeConstructedDelta());
   return Status::OK();
 }
 

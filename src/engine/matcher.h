@@ -40,6 +40,12 @@ struct MatcherStats {
   uint64_t events_quarantined = 0;    // poison events skipped (kSkipAndCount)
   uint64_t runs_poisoned = 0;         // runs discarded by a poison event
   uint64_t matches = 0;
+  // -- hot-path memory / evaluation counters (see docs/ARCHITECTURE.md,
+  //    "Run-state memory model") ------------------------------------------
+  uint64_t runs_cloned = 0;               // run copies (forks + multi-starts)
+  uint64_t binding_nodes_allocated = 0;   // binding-list cells constructed
+  uint64_t predcache_hits = 0;            // event-only verdicts served cached
+  uint64_t predcache_misses = 0;          // event-only verdicts computed
   size_t peak_active_runs = 0;
 
   /// Field-wise accumulation (peak_active_runs adds too: per-shard peaks
@@ -65,6 +71,10 @@ struct AtomicMatcherStats {
   RelaxedCounter events_quarantined;
   RelaxedCounter runs_poisoned;
   RelaxedCounter matches;
+  RelaxedCounter runs_cloned;
+  RelaxedCounter binding_nodes_allocated;
+  RelaxedCounter predcache_hits;
+  RelaxedCounter predcache_misses;
   RelaxedMax peak_active_runs;
 
   MatcherStats Snapshot() const;
@@ -108,6 +118,20 @@ struct MatcherOptions {
   /// Optional fault-injection harness (tests/bench); not owned, may be
   /// null, must outlive the matcher.
   const FaultInjector* fault_injector = nullptr;
+
+  // -- Hot-path ablation switches (E14). Defaults are the fast path; each
+  //    may be disabled independently to isolate its contribution. All four
+  //    combinations are observationally identical (same matches, scores,
+  //    tie-broken order) — enforced by CowEquivalence tests. --------------
+  /// Copy-on-write persistent bindings: forking shares the parent's chains
+  /// (O(components)). false = legacy node-by-node deep copy (O(events)).
+  bool cow_bindings = true;
+  /// Pool Run objects and binding nodes in per-query freelists; false =
+  /// plain new/delete per object.
+  bool use_arena = true;
+  /// Evaluate event-only predicates once per event and share the verdict
+  /// across the partition's runs; false = re-evaluate per run.
+  bool predicate_cache = true;
 };
 
 /// Overlays engine-wide overload/fault options onto a query's own
@@ -138,9 +162,13 @@ class Matcher {
   /// are owned by the caller and shared across partition matchers.
   /// `live_runs` (nullable) is the shared budget counter `max_total_runs`
   /// is enforced against; the matcher keeps it in sync with its run set.
+  /// `memory` (nullable) is the shared run arena/pool of the query scope
+  /// (PartitionedMatcher owns one for all its partitions); when null the
+  /// matcher owns a private one.
   Matcher(CompiledQueryPtr plan, const MatcherOptions& options,
           const RunPruner* pruner, AtomicMatcherStats* stats,
-          uint64_t* next_match_id, size_t* live_runs = nullptr);
+          uint64_t* next_match_id, size_t* live_runs = nullptr,
+          RunMemory* memory = nullptr);
 
   /// Releases this matcher's runs from the shared budget counter (a query
   /// may be removed while the engine keeps running).
@@ -163,10 +191,21 @@ class Matcher {
   enum class RunFate { kKeep, kRemove };
 
   RunFate ProcessRun(Run* run, const EventPtr& event, std::vector<Match>* out,
-                     std::vector<std::unique_ptr<Run>>* forks);
+                     std::vector<RunHandle>* forks);
   void TryStartRun(const EventPtr& event, std::vector<Match>* out);
 
+  /// Acquires a pooled run and copies `src`'s state into it (counted).
+  RunHandle CloneRun(const Run& src, uint64_t new_id);
+
   bool TypeMatches(const std::string& tag, const Event& event) const;
+  /// Evaluates one edge-predicate conjunct for `run` with `event` as the
+  /// candidate for `var_index`. Event-only conjuncts (cache_id >= 0) are
+  /// answered from the per-event cache when the predicate cache is on —
+  /// evaluated at most once per event under an EventOnlyContext and shared
+  /// across every run of the partition; correlated conjuncts (and all
+  /// conjuncts with the cache disabled) evaluate against the run.
+  bool EvalPred(const Run& run, const Expr& pred, int cache_id, int var_index,
+                const Event& event) const;
   bool PassesBegin(Run* run, int comp_index, const Event& event) const;
   bool PassesIter(Run* run, int comp_index, const Event& event) const;
   /// Exit predicates + the minimum-iteration bound of component
@@ -191,7 +230,7 @@ class Matcher {
 
   /// Admits `run` into the active set, shedding per `shed_policy` when a
   /// budget is full (the victim may be `run` itself). Takes ownership.
-  void InsertRun(std::unique_ptr<Run> run);
+  void InsertRun(RunHandle run);
   /// Frees one slot for `incoming` and counts the shed; false = the
   /// incoming run is the victim.
   bool ShedOne(const Run& incoming);
@@ -214,10 +253,20 @@ class Matcher {
   AtomicMatcherStats* stats_;   // not owned
   uint64_t* next_match_id_;  // not owned
   size_t* live_runs_;        // not owned; may be null (no shared budget)
+  /// Owned fallback when no shared RunMemory is passed in; held by pointer
+  /// so run-held arena addresses survive a Matcher move. Declared before
+  /// runs_ so destruction recycles runs into a still-live pool.
+  std::unique_ptr<RunMemory> owned_memory_;
+  RunMemory* memory_;  // never null after ctor
   uint64_t next_run_id_ = 0;
-  std::vector<std::unique_ptr<Run>> runs_;
+  std::vector<RunHandle> runs_;
   /// Scratch buffer reused across BeginOptions calls (single-threaded).
   std::vector<int> scratch_options_;
+  /// Per-event verdict cache for event-only predicates, indexed by
+  /// compiler-assigned cache id: -1 unknown, 0 false, 1 true. Reset at the
+  /// top of OnEvent; filled lazily during predicate evaluation (const
+  /// methods), hence mutable.
+  mutable std::vector<int8_t> pred_cache_;
 };
 
 }  // namespace cepr

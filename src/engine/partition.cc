@@ -9,10 +9,11 @@ PartitionedMatcher::PartitionedMatcher(CompiledQueryPtr plan,
     : plan_(std::move(plan)),
       options_(options),
       pruner_(pruner),
-      live_runs_(live_runs != nullptr ? live_runs : &own_live_runs_) {
+      live_runs_(live_runs != nullptr ? live_runs : &own_live_runs_),
+      memory_(plan_.get(), options_.cow_bindings, options_.use_arena) {
   if (plan_->partition_attr_index < 0) {
     single_ = std::make_unique<Matcher>(plan_, options_, pruner_, &stats_,
-                                        &next_match_id_, live_runs_);
+                                        &next_match_id_, live_runs_, &memory_);
   }
 }
 
@@ -25,7 +26,7 @@ Matcher* PartitionedMatcher::MatcherFor(const Event& event) {
     it = by_key_
              .emplace(key, std::make_unique<Matcher>(plan_, options_, pruner_,
                                                      &stats_, &next_match_id_,
-                                                     live_runs_))
+                                                     live_runs_, &memory_))
              .first;
   }
   return it->second.get();

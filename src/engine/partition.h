@@ -47,6 +47,11 @@ class PartitionedMatcher {
   size_t own_live_runs_ = 0;       // used when the caller shares no counter
   size_t* live_runs_ = nullptr;    // not owned; never null after ctor
 
+  /// Run arena + freelist shared by every partition matcher of this query
+  /// scope (all driven by one thread). Declared before the matchers so it
+  /// outlives their run sets during destruction.
+  RunMemory memory_;
+
   std::unique_ptr<Matcher> single_;  // used when unpartitioned
   std::unordered_map<Value, std::unique_ptr<Matcher>, ValueHash> by_key_;
 };

@@ -16,19 +16,57 @@ std::string Match::ToString() const {
   return out;
 }
 
-Run::Run(const CompiledQuery* plan, uint64_t id)
+Run::Run(const CompiledQuery* plan, uint64_t id, BindingArena* arena,
+         bool cow_bindings)
     : plan_(plan),
+      arena_(arena),
+      cow_(cow_bindings),
       id_(id),
       bindings_(plan->layout().num_vars()),
-      aggs_(&plan->pattern.agg_specs) {}
+      aggs_(&plan->pattern.agg_specs) {
+  for (BindingList& list : bindings_) list.InitArena(arena_);
+}
+
+Run::Run(const CompiledQuery* plan, uint64_t id)
+    : Run(plan, id, nullptr, /*cow_bindings=*/true) {
+  own_arena_ = std::make_shared<BindingArena>();
+  arena_ = own_arena_.get();
+  for (BindingList& list : bindings_) list.InitArena(arena_);
+}
+
+void Run::CopyStateFrom(const Run& src, uint64_t new_id) {
+  id_ = new_id;
+  next_component_ = src.next_component_;
+  aggs_ = src.aggs_;
+  first_ts_ = src.first_ts_;
+  first_sequence_ = src.first_sequence_;
+  candidate_var_ = -1;
+  candidate_ = nullptr;
+  for (size_t v = 0; v < bindings_.size(); ++v) {
+    bindings_[v].Clear();
+    if (cow_) {
+      bindings_[v].CopySharedFrom(src.bindings_[v]);
+    } else {
+      bindings_[v].CopyDeepFrom(src.bindings_[v]);
+    }
+  }
+}
+
+void Run::Reset(uint64_t new_id) {
+  id_ = new_id;
+  next_component_ = 0;
+  for (BindingList& list : bindings_) list.Clear();
+  aggs_.Reset();
+  first_ts_ = 0;
+  first_sequence_ = 0;
+  candidate_var_ = -1;
+  candidate_ = nullptr;
+}
 
 std::unique_ptr<Run> Run::Clone(uint64_t new_id) const {
-  auto copy = std::make_unique<Run>(plan_, new_id);
-  copy->next_component_ = next_component_;
-  copy->bindings_ = bindings_;
-  copy->aggs_ = aggs_;
-  copy->first_ts_ = first_ts_;
-  copy->first_sequence_ = first_sequence_;
+  auto copy = std::make_unique<Run>(plan_, new_id, arena_, cow_);
+  copy->own_arena_ = own_arena_;  // keep a test-owned arena alive
+  copy->CopyStateFrom(*this, new_id);
   return copy;
 }
 
@@ -40,10 +78,10 @@ int Run::open_component() const {
   return plan_->pattern.components[static_cast<size_t>(last)].is_kleene ? last : -1;
 }
 
-void Run::BeginComponent(int comp, EventPtr event) {
+void Run::BeginComponent(int comp, const EventPtr& event) {
   CEPR_DCHECK(comp >= next_component_);  // may skip over skippable comps
   const CompiledComponent& cc = plan_->pattern.components[static_cast<size_t>(comp)];
-  auto& binding = bindings_[static_cast<size_t>(cc.var_index)];
+  BindingList& binding = bindings_[static_cast<size_t>(cc.var_index)];
   CEPR_DCHECK(binding.empty());
   // The begin that takes the run out of its initial state binds the run's
   // first event (even if it skipped leading skippable components).
@@ -52,40 +90,58 @@ void Run::BeginComponent(int comp, EventPtr event) {
     first_sequence_ = event->sequence();
   }
   aggs_.Accept(cc.var_index, *event);
-  binding.push_back(std::move(event));
+  binding.Append(event);
   next_component_ = comp + 1;
 }
 
-void Run::ExtendKleene(EventPtr event) {
+void Run::ExtendKleene(const EventPtr& event) {
   const int open = open_component();
   CEPR_DCHECK(open >= 0);
   const CompiledComponent& cc = plan_->pattern.components[static_cast<size_t>(open)];
   aggs_.Accept(cc.var_index, *event);
-  bindings_[static_cast<size_t>(cc.var_index)].push_back(std::move(event));
+  bindings_[static_cast<size_t>(cc.var_index)].Append(event);
+}
+
+std::vector<std::vector<EventPtr>> Run::MaterializeBindings() const {
+  std::vector<std::vector<EventPtr>> out(bindings_.size());
+  for (size_t v = 0; v < bindings_.size(); ++v) {
+    bindings_[v].AppendTo(&out[v]);
+  }
+  return out;
+}
+
+const Event* Run::LastBoundEvent() const {
+  // Within one variable the last-appended event has the highest sequence,
+  // so the per-list tails cover the whole binding set.
+  const Event* last = nullptr;
+  for (const BindingList& list : bindings_) {
+    const Event* tail = list.back_event();
+    if (tail != nullptr && (last == nullptr || tail->sequence() > last->sequence())) {
+      last = tail;
+    }
+  }
+  return last;
 }
 
 size_t Run::MemoryEstimate() const {
   size_t bytes = sizeof(Run) + aggs_.size() * sizeof(double);
-  for (const auto& b : bindings_) {
-    bytes += b.capacity() * sizeof(EventPtr);
+  for (const BindingList& list : bindings_) {
+    bytes += list.size() * sizeof(BindingNode);
   }
   return bytes;
 }
 
 const Event* Run::SingleEvent(int var_index) const {
   if (var_index == candidate_var_) return candidate_;
-  const auto& b = bindings_[static_cast<size_t>(var_index)];
-  return b.empty() ? nullptr : b.front().get();
+  return bindings_[static_cast<size_t>(var_index)].front_event();
 }
 
 const Event* Run::KleeneFirst(int var_index) const {
-  const auto& b = bindings_[static_cast<size_t>(var_index)];
-  return b.empty() ? nullptr : b.front().get();
+  return bindings_[static_cast<size_t>(var_index)].front_event();
 }
 
 const Event* Run::KleeneLast(int var_index) const {
-  const auto& b = bindings_[static_cast<size_t>(var_index)];
-  return b.empty() ? nullptr : b.back().get();
+  return bindings_[static_cast<size_t>(var_index)].back_event();
 }
 
 const Event* Run::KleeneCurrent(int var_index) const {
@@ -119,6 +175,39 @@ bool Run::IsClosed(int var_index) const {
     return !plan_->pattern.components[static_cast<size_t>(pos)].is_kleene;
   }
   return false;
+}
+
+void RunRecycler::operator()(Run* run) const {
+  if (pool != nullptr) {
+    pool->Recycle(run);
+  } else {
+    delete run;
+  }
+}
+
+RunPool::~RunPool() {
+  for (Run* run : free_) delete run;
+}
+
+RunHandle RunPool::Acquire(uint64_t id) {
+  if (!free_.empty()) {
+    Run* run = free_.back();
+    free_.pop_back();
+    run->Reset(id);
+    return RunHandle(run, RunRecycler{this});
+  }
+  return RunHandle(new Run(plan_, id, arena_, cow_), RunRecycler{this});
+}
+
+void RunPool::Recycle(Run* run) {
+  if (!pooled_) {
+    delete run;
+    return;
+  }
+  // Release binding nodes back to the arena now; the Run object itself is
+  // shelved with its capacities intact.
+  run->Reset(0);
+  free_.push_back(run);
 }
 
 }  // namespace cepr

@@ -5,16 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "engine/binding.h"
 #include "expr/eval.h"
 #include "expr/interval.h"
 #include "plan/compiler.h"
 
 namespace cepr {
-
-/// Events are shared immutably between the ingest path, active runs and
-/// emitted matches; a run holding an EventPtr keeps that event alive, so no
-/// separate window buffer eviction is needed.
-using EventPtr = std::shared_ptr<const Event>;
 
 /// A completed pattern instance, ready for ranking and emission.
 struct Match {
@@ -33,6 +29,9 @@ struct Match {
   Timestamp last_ts = 0;
   /// Bound events per layout variable (empty for negated variables; one
   /// entry for single variables; one per iteration for Kleene variables).
+  /// Materialized from the run's persistent binding lists at emission time,
+  /// so matches own plain vectors and may safely cross threads (sharded
+  /// merge) and outlive the matcher's arena.
   std::vector<std::vector<EventPtr>> bindings;
   /// SELECT outputs, evaluated at detection time.
   std::vector<Value> row;
@@ -46,12 +45,34 @@ struct Match {
 /// component is being filled, the events bound so far, and the incremental
 /// aggregate accumulators — and exposes itself as the EvalContext for edge
 /// predicates and as the BoundEnv for the ranking pruner.
+///
+/// Bindings are persistent copy-on-write cons lists (engine/binding.h):
+/// forking a run copies O(components) list heads and shares every already-
+/// bound event with the parent, instead of deep-copying the whole binding
+/// matrix. The legacy deep-copy behavior survives as an ablation mode
+/// (cow_bindings = false) with identical observable semantics.
 class Run : public EvalContext, public BoundEnv {
  public:
+  /// Engine path: nodes come from `arena` (owned by the enclosing
+  /// PartitionedMatcher / Matcher and outliving every run).
+  Run(const CompiledQuery* plan, uint64_t id, BindingArena* arena,
+      bool cow_bindings = true);
+
+  /// Test convenience: the run owns a private arena (shared with any runs
+  /// Clone() derives from it, so destruction order does not matter).
   Run(const CompiledQuery* plan, uint64_t id);
 
-  /// Deep copy used for forking under SKIP_TILL_ANY_MATCH (binding vectors
-  /// are copies; the events themselves are shared).
+  /// Fork helper: copies `src`'s state into this (freshly acquired or
+  /// Reset) run — O(components) pointer copies under copy-on-write,
+  /// node-by-node rebuild in the deep-copy ablation mode.
+  void CopyStateFrom(const Run& src, uint64_t new_id);
+
+  /// Returns this run to its initial state, keeping allocated capacity
+  /// (vector storage, aggregate slots) — the RunPool recycling hook.
+  void Reset(uint64_t new_id);
+
+  /// Copy used for forking under SKIP_TILL_ANY_MATCH (events are shared;
+  /// list structure is shared or rebuilt per the copy-on-write mode).
   std::unique_ptr<Run> Clone(uint64_t new_id) const;
 
   uint64_t id() const { return id_; }
@@ -82,10 +103,10 @@ class Run : public EvalContext, public BoundEnv {
   /// advances the state past it. `comp` may be ahead of next_component()
   /// when intervening skippable components (optional / zero-minimum
   /// Kleene) are being skipped; their bindings stay empty.
-  void BeginComponent(int comp, EventPtr event);
+  void BeginComponent(int comp, const EventPtr& event);
 
   /// Appends one more iteration to the open Kleene component.
-  void ExtendKleene(EventPtr event);
+  void ExtendKleene(const EventPtr& event);
 
   /// Installs / clears a candidate event for predicate evaluation: while
   /// set, SingleEvent(var) and KleeneCurrent(var) return it for `var`.
@@ -98,9 +119,19 @@ class Run : public EvalContext, public BoundEnv {
     candidate_ = nullptr;
   }
 
-  const std::vector<std::vector<EventPtr>>& bindings() const { return bindings_; }
+  const BindingList& binding(int var_index) const {
+    return bindings_[static_cast<size_t>(var_index)];
+  }
 
-  /// Rough bytes held by this run (for the memory experiment).
+  /// Bound events per layout variable as plain vectors (Match::bindings).
+  std::vector<std::vector<EventPtr>> MaterializeBindings() const;
+
+  /// The bound event with the highest stream sequence (the detecting
+  /// event), or nullptr for a fresh run.
+  const Event* LastBoundEvent() const;
+
+  /// Rough bytes held by this run (for the memory experiment). Shared
+  /// binding cells are attributed to every run referencing them.
   size_t MemoryEstimate() const;
 
   // -- EvalContext -----------------------------------------------------------
@@ -118,15 +149,74 @@ class Run : public EvalContext, public BoundEnv {
 
  private:
   const CompiledQuery* plan_;  // not owned; outlives all runs
+  /// Set only by the test-convenience constructor; shared with clones so
+  /// the arena survives as long as any run referencing its nodes.
+  std::shared_ptr<BindingArena> own_arena_;
+  BindingArena* arena_;  // not owned (or == own_arena_.get())
+  bool cow_ = true;
   uint64_t id_;
   int next_component_ = 0;
-  std::vector<std::vector<EventPtr>> bindings_;  // indexed by layout var
+  std::vector<BindingList> bindings_;  // indexed by layout var
   AggStates aggs_;
   Timestamp first_ts_ = 0;
   uint64_t first_sequence_ = 0;
 
   int candidate_var_ = -1;
   const Event* candidate_ = nullptr;  // not owned; valid during one test
+};
+
+class RunPool;
+
+/// unique_ptr deleter that recycles runs into their pool (or plain-deletes
+/// when no pool is attached).
+struct RunRecycler {
+  RunPool* pool = nullptr;
+  void operator()(Run* run) const;
+};
+
+/// Owning handle to an active run; destruction returns the run (and, right
+/// away, its binding nodes) to the per-matcher pool.
+using RunHandle = std::unique_ptr<Run, RunRecycler>;
+
+/// Freelist of Run objects for one query's matchers: recycled runs keep
+/// their vector capacities and aggregate slots, so the fork/kill cycle of
+/// SKIP_TILL_ANY_MATCH stops allocating per run. With pooled = false the
+/// pool degrades to plain new/delete (the no-arena ablation mode).
+class RunPool {
+ public:
+  RunPool(const CompiledQuery* plan, BindingArena* arena, bool cow_bindings,
+          bool pooled)
+      : plan_(plan), arena_(arena), cow_(cow_bindings), pooled_(pooled) {}
+  ~RunPool();
+
+  RunPool(const RunPool&) = delete;
+  RunPool& operator=(const RunPool&) = delete;
+
+  /// A reset run with the given id (recycled when available).
+  RunHandle Acquire(uint64_t id);
+
+  /// RunRecycler entry point: clears the run's bindings (nodes go back to
+  /// the arena immediately) and shelves the object for reuse.
+  void Recycle(Run* run);
+
+ private:
+  const CompiledQuery* plan_;  // not owned
+  BindingArena* arena_;        // not owned; outlives the pool's runs
+  bool cow_;
+  bool pooled_;
+  std::vector<Run*> free_;  // owned
+};
+
+/// The run-state memory of one query scope (one per serial query; one per
+/// (shard, query) cell under sharded execution): the binding-node arena and
+/// the run freelist, shared by every partition matcher of that scope.
+/// Declared before the matchers it serves so it outlives their run sets.
+struct RunMemory {
+  RunMemory(const CompiledQuery* plan, bool cow_bindings, bool use_arena)
+      : arena(use_arena), runs(plan, &arena, cow_bindings, use_arena) {}
+
+  BindingArena arena;
+  RunPool runs;
 };
 
 }  // namespace cepr

@@ -53,7 +53,13 @@ std::vector<AggSpec> AssignAggSlots(const std::vector<Expr*>& exprs) {
 
 AggStates::AggStates(const std::vector<AggSpec>* specs) : specs_(specs) {
   values_.reserve(specs->size());
-  for (const AggSpec& spec : *specs) {
+  Reset();
+}
+
+void AggStates::Reset() {
+  if (specs_ == nullptr) return;
+  values_.clear();
+  for (const AggSpec& spec : *specs_) {
     switch (spec.kind) {
       case AggStorageKind::kMin:
         values_.push_back(std::numeric_limits<double>::infinity());

@@ -45,6 +45,10 @@ class AggStates {
   /// values are skipped (cannot occur after type checking, except NULL).
   void Accept(int var_index, const Event& event);
 
+  /// Restores every accumulator to its identity value (+inf/-inf/0) without
+  /// shrinking storage — run-pool reuse (see engine/run.h RunPool).
+  void Reset();
+
   /// Current accumulated value of slot i (+inf/-inf/0 when no event has
   /// been accepted yet, per storage kind).
   double value(size_t i) const { return values_[i]; }

@@ -35,6 +35,42 @@ class EvalContext {
   virtual double AggValue(int agg_slot) const = 0;
 };
 
+/// Minimal EvalContext for event-only predicates (see IsEventOnlyPredicate):
+/// the candidate event answers for `var_index` — both as a single binding
+/// and as the current Kleene iteration — and everything else is unbound.
+/// Evaluating an event-only predicate here yields exactly the value a Run
+/// with the candidate installed would produce, which is what lets the
+/// matcher evaluate it once per event and share the verdict across runs.
+class EventOnlyContext : public EvalContext {
+ public:
+  EventOnlyContext(int var_index, const Event* event)
+      : var_(var_index), event_(event) {}
+
+  const Event* SingleEvent(int var_index) const override {
+    return var_index == var_ ? event_ : nullptr;
+  }
+  const Event* KleeneFirst(int) const override { return nullptr; }
+  const Event* KleeneLast(int) const override { return nullptr; }
+  const Event* KleeneCurrent(int var_index) const override {
+    return var_index == var_ ? event_ : nullptr;
+  }
+  int64_t KleeneCount(int) const override { return 0; }
+  double AggValue(int) const override { return 0.0; }
+
+ private:
+  int var_;
+  const Event* event_;  // not owned; valid during one evaluation
+};
+
+/// True iff `expr`'s value depends only on the candidate event under test
+/// for variable `var_index`: every binding reference is that variable's own
+/// event (a plain reference for single variables, a current-iteration
+/// `v[i]` reference for Kleene variables) and the tree contains no
+/// aggregates and no prev/first iteration references. Such a predicate is
+/// run-independent, so the compiler assigns it a cache id and the matcher
+/// memoizes its verdict per event (the per-event predicate cache).
+bool IsEventOnlyPredicate(const Expr& expr, int var_index, bool is_kleene);
+
 /// Evaluates a resolved, type-checked expression. NULL propagates through
 /// arithmetic and comparisons (a NULL operand yields NULL); AND/OR use
 /// three-valued logic (FALSE AND NULL = FALSE, TRUE OR NULL = TRUE).

@@ -225,6 +225,41 @@ Result<CompiledQueryPtr> Compile(AnalyzedQuery analyzed) {
     }
   }
 
+  // -- Event-only predicate classification ------------------------------------
+  // A conjunct whose only binding reference is the candidate event itself
+  // (the component's own variable for begin predicates, v[i] for iteration
+  // predicates, the negated variable for watcher predicates) evaluates to
+  // the same verdict for every run testing one event. Each such conjunct
+  // gets a dense cache id; the matcher evaluates it once per event under an
+  // EventOnlyContext and shares the cached verdict across the partition's
+  // runs. Exit predicates are never event-only (they constrain aggregates /
+  // iteration counts of the run).
+  int num_event_preds = 0;
+  const auto classify = [&num_event_preds](const std::vector<ExprPtr>& preds,
+                                           int var_index, bool is_kleene,
+                                           std::vector<int>* ids) {
+    ids->assign(preds.size(), -1);
+    for (size_t i = 0; i < preds.size(); ++i) {
+      if (IsEventOnlyPredicate(*preds[i], var_index, is_kleene)) {
+        (*ids)[i] = num_event_preds++;
+      }
+    }
+  };
+  for (CompiledComponent& comp : pattern.components) {
+    classify(comp.begin_preds, comp.var_index, comp.is_kleene,
+             &comp.begin_pred_cache_ids);
+    classify(comp.iter_preds, comp.var_index, comp.is_kleene,
+             &comp.iter_pred_cache_ids);
+    if (comp.negation_before.has_value()) {
+      CompiledNegation& neg = *comp.negation_before;
+      // The negated variable binds the candidate with single-variable
+      // semantics (current-iteration references are rejected above).
+      classify(neg.preds, neg.var_index, /*is_kleene=*/false,
+               &neg.pred_cache_ids);
+    }
+  }
+  pattern.num_event_preds = num_event_preds;
+
   // -- Aggregate slot assignment ----------------------------------------------
   std::vector<Expr*> all_exprs;
   for (CompiledComponent& comp : pattern.components) {

@@ -21,6 +21,10 @@ struct CompiledNegation {
   /// Conjuncts referencing the negated variable (as candidate) and any
   /// earlier, already-bound variables.
   std::vector<ExprPtr> preds;
+  /// Parallel to `preds`: per-event predicate-cache id for conjuncts the
+  /// compiler classified event-only (IsEventOnlyPredicate), -1 for
+  /// correlated ones.
+  std::vector<int> pred_cache_ids;
 };
 
 /// One positive component of the compiled pattern, with the WHERE conjuncts
@@ -36,15 +40,23 @@ struct CompiledComponent {
   std::string type_tag;  // optional event-type filter
 
   /// Single components: conjuncts whose latest reference is this variable;
-  /// evaluated with the candidate event bound to it.
+  /// evaluated with the candidate event bound to it. The parallel
+  /// `begin_pred_cache_ids` vector carries the per-event predicate-cache id
+  /// of each conjunct the compiler classified event-only (its value depends
+  /// only on the candidate event, so the matcher evaluates it once per
+  /// event and shares the verdict across runs), or -1 for correlated
+  /// conjuncts that must be evaluated against each run's bindings.
   std::vector<ExprPtr> begin_preds;
+  std::vector<int> begin_pred_cache_ids;
 
   /// Kleene components: conjuncts containing a current-iteration reference
   /// (v[i]); evaluated against every candidate iteration. Parallel flags
   /// mark conjuncts that reference v[i-1] and are therefore vacuously true
-  /// for the first iteration.
+  /// for the first iteration; parallel cache ids as for begin_preds
+  /// (event-only iter conjuncts never reference v[i-1]).
   std::vector<ExprPtr> iter_preds;
   std::vector<bool> iter_pred_uses_prev;
+  std::vector<int> iter_pred_cache_ids;
 
   /// Kleene components: conjuncts whose latest reference is this variable
   /// but that do not look at the current iteration (aggregate constraints
@@ -75,6 +87,10 @@ struct CompiledPattern {
   /// Position of each layout variable among the positive components, or -1
   /// for negated variables.
   std::vector<int> position_of_var;
+
+  /// Number of event-only predicates across all components (dense cache-id
+  /// space 0..num_event_preds-1); sizes the matcher's per-event cache.
+  int num_event_preds = 0;
 
   /// Debug rendering of components and their predicate groups.
   std::string ToString(const BindingLayout& layout) const;

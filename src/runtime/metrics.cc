@@ -43,6 +43,10 @@ std::string MatcherJson(const MatcherStats& m) {
   out += ",\"events_quarantined\":" + std::to_string(m.events_quarantined);
   out += ",\"runs_poisoned\":" + std::to_string(m.runs_poisoned);
   out += ",\"matches\":" + std::to_string(m.matches);
+  out += ",\"runs_cloned\":" + std::to_string(m.runs_cloned);
+  out += ",\"binding_nodes_allocated\":" + std::to_string(m.binding_nodes_allocated);
+  out += ",\"predcache_hits\":" + std::to_string(m.predcache_hits);
+  out += ",\"predcache_misses\":" + std::to_string(m.predcache_misses);
   out += ",\"peak_active_runs\":" + std::to_string(m.peak_active_runs);
   out += "}";
   return out;

@@ -146,6 +146,86 @@ TEST(RunTest, MemoryEstimateGrowsWithBindings) {
   EXPECT_GT(run.MemoryEstimate(), empty);
 }
 
+TEST(BindingListTest, SharedForkKeepsPrefixAliveAfterClear) {
+  BindingArena arena;
+  BindingList a;
+  a.InitArena(&arena);
+  a.Append(Ev(1000, 10));
+  a.Append(Ev(2000, 20));
+  a.Append(Ev(3000, 30));
+
+  BindingList b;
+  b.InitArena(&arena);
+  b.CopySharedFrom(a);
+  b.Append(Ev(4000, 40));
+  // The fork added exactly one node; the prefix is shared, not copied.
+  EXPECT_EQ(arena.constructed(), 4u);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.front_event()->timestamp(), 1000);
+  EXPECT_EQ(b.back_event()->timestamp(), 4000);
+
+  // Dropping the fork releases only its unshared suffix.
+  b.Clear();
+  ASSERT_EQ(a.size(), 3u);
+  std::vector<EventPtr> events;
+  a.AppendTo(&events);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0]->timestamp(), 1000);
+  EXPECT_EQ(events[1]->timestamp(), 2000);
+  EXPECT_EQ(events[2]->timestamp(), 3000);
+}
+
+TEST(RunTest, DeepCopyModeMatchesCowObservationally) {
+  auto plan = AbcPlan();
+  BindingArena cow_arena;
+  BindingArena deep_arena;
+  for (bool cow : {true, false}) {
+    BindingArena* arena = cow ? &cow_arena : &deep_arena;
+    ::cepr::Run run(plan.get(), 0, arena, cow);
+    run.BeginComponent(0, Ev(0, 100));
+    run.BeginComponent(1, Ev(1000, 50));
+    run.ExtendKleene(Ev(2000, 40));
+
+    auto clone = run.Clone(1);
+    clone->ExtendKleene(Ev(3000, 30));
+    EXPECT_EQ(run.KleeneCount(1), 2) << "cow=" << cow;
+    EXPECT_EQ(clone->KleeneCount(1), 3) << "cow=" << cow;
+    EXPECT_EQ(clone->AggValue(0), 30.0) << "cow=" << cow;
+    const auto original = run.MaterializeBindings();
+    const auto forked = clone->MaterializeBindings();
+    ASSERT_EQ(original.size(), forked.size());
+    for (size_t v = 0; v < original.size(); ++v) {
+      // The fork's bindings start with exactly the original's events.
+      ASSERT_GE(forked[v].size(), original[v].size());
+      for (size_t i = 0; i < original[v].size(); ++i) {
+        EXPECT_EQ(forked[v][i].get(), original[v][i].get());
+      }
+    }
+    EXPECT_EQ(clone->LastBoundEvent()->timestamp(), 3000);
+  }
+  // COW forking allocated one node per bound event + one for the fork's
+  // extension; deep copy re-allocated the whole matrix for the clone.
+  EXPECT_EQ(cow_arena.constructed(), 4u);
+  EXPECT_EQ(deep_arena.constructed(), 7u);
+}
+
+TEST(RunPoolTest, RecycleReusesRunObject) {
+  auto plan = AbcPlan();
+  RunMemory memory(plan.get(), /*cow_bindings=*/true, /*use_arena=*/true);
+  RunHandle run = memory.runs.Acquire(1);
+  run->BeginComponent(0, Ev(0, 100));
+  run->BeginComponent(1, Ev(1000, 50));
+  const ::cepr::Run* address = run.get();
+  run.reset();  // recycles into the pool (and frees the binding nodes)
+
+  RunHandle reused = memory.runs.Acquire(2);
+  EXPECT_EQ(reused.get(), address);
+  EXPECT_EQ(reused->id(), 2u);
+  EXPECT_EQ(reused->next_component(), 0);
+  EXPECT_EQ(reused->KleeneCount(1), 0);
+  EXPECT_EQ(reused->SingleEvent(0), nullptr);
+}
+
 TEST(MatchTest, ToStringMentionsScoreAndRow) {
   Match m;
   m.id = 3;

@@ -1,0 +1,281 @@
+// Property suite for the hot-path ablation modes: copy-on-write bindings,
+// the run/binding arena, and the per-event predicate cache are pure
+// optimizations, so every combination must produce byte-identical ranked
+// output to the legacy deep-copy configuration — serial and sharded, on
+// fork-heavy SKIP_TILL_ANY_MATCH workloads, under load shedding, and under
+// a deterministic injected fault schedule (docs/ARCHITECTURE.md,
+// "Run-state memory model").
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "runtime/engine.h"
+#include "runtime/sharded_engine.h"
+#include "workload/health.h"
+#include "workload/stock.h"
+
+namespace cepr {
+namespace {
+
+struct Mode {
+  const char* label;
+  bool cow_bindings;
+  bool use_arena;
+  bool predicate_cache;
+};
+
+// Mode 0 is the legacy baseline; mode 3 is the full fast path (the
+// default). Layered so each step isolates one mechanism (E14's axes).
+constexpr Mode kModes[] = {
+    {"legacy-deep-copy", false, false, false},
+    {"cow", true, false, false},
+    {"cow+arena", true, true, false},
+    {"cow+arena+predcache", true, true, true},
+};
+
+struct Workload {
+  const char* label;
+  SchemaPtr schema;
+  std::vector<Event> events;
+  std::string query;
+  QueryOptions options;  // matcher ablation flags overwritten per mode
+};
+
+// Fork-heavy: SKIP_TILL_ANY_MATCH forks a run at every Kleene extension,
+// and the mixed event-only ("< 90") / correlated conjuncts exercise both
+// predicate-cache paths. The tight run cap with bound-based shedding makes
+// DeriveBounds run against COW bindings constantly.
+Workload SkipTillAnyWorkload(uint64_t seed, size_t n = 2500) {
+  StockOptions options;
+  options.base.seed = seed;
+  options.num_symbols = 4;
+  options.v_probability = 0.05;
+  options.base.interval_micros = 1000;
+  StockGenerator gen(options);
+  Workload w{"skip-any", gen.schema(), gen.Take(n),
+             "SELECT a.symbol, a.price, MIN(b.price), c.price "
+             "FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+             "USING SKIP_TILL_ANY_MATCH "
+             "PARTITION BY symbol "
+             "WHERE b[i].price < b[i-1].price AND b[i].price < 900 "
+             "  AND b[1].price < a.price AND c.price > a.price "
+             "WITHIN 100 MILLISECONDS "
+             "RANK BY (a.price - MIN(b.price)) / a.price DESC "
+             "LIMIT 10 EMIT ON WINDOW CLOSE",
+             QueryOptions{}};
+  w.options.matcher.max_active_runs = 64;
+  w.options.matcher.shed_policy = ShedPolicy::kShedLowestScoreBound;
+  return w;
+}
+
+// Negation + event-only begin predicate; default caps.
+Workload NegationWorkload(uint64_t seed, size_t n = 4000) {
+  StockOptions options;
+  options.base.seed = seed;
+  options.num_symbols = 4;
+  options.v_probability = 0.04;
+  options.base.interval_micros = 1000;
+  StockGenerator gen(options);
+  return Workload{"negation", gen.schema(), gen.Take(n),
+                  "SELECT a.symbol, a.price, c.price "
+                  "FROM Stock MATCH PATTERN SEQ(a, !n, c) "
+                  "PARTITION BY symbol "
+                  "WHERE a.price > 20 AND n.price > a.price "
+                  "  AND c.price < a.price "
+                  "WITHIN 20 MILLISECONDS "
+                  "RANK BY a.price - c.price DESC "
+                  "LIMIT 5 EMIT ON WINDOW CLOSE",
+                  QueryOptions{}};
+}
+
+// Long Kleene chains (health vitals episodes) — deep shared prefixes.
+Workload KleeneWorkload(uint64_t seed, size_t n = 4000) {
+  HealthOptions options;
+  options.base.seed = seed;
+  options.num_patients = 6;
+  options.episode_probability = 0.015;
+  HealthGenerator gen(options);
+  return Workload{"kleene", gen.schema(), gen.Take(n),
+                  "SELECT a.patient, a.heart_rate, MAX(r.heart_rate) "
+                  "FROM Vitals MATCH PATTERN SEQ(a, r+) "
+                  "PARTITION BY patient "
+                  "WHERE r[i].heart_rate > r[i-1].heart_rate "
+                  "  AND r[1].heart_rate > a.heart_rate "
+                  "WITHIN 30 SECONDS "
+                  "RANK BY MAX(r.heart_rate) - a.heart_rate DESC "
+                  "LIMIT 5 EMIT ON WINDOW CLOSE",
+                  QueryOptions{}};
+}
+
+QueryOptions WithMode(QueryOptions options, const Mode& mode) {
+  options.matcher.cow_bindings = mode.cow_bindings;
+  options.matcher.use_arena = mode.use_arena;
+  options.matcher.predicate_cache = mode.predicate_cache;
+  return options;
+}
+
+std::vector<RankedResult> RunSerial(const Workload& w, const Mode& mode,
+                                    const FaultInjector* injector = nullptr) {
+  EngineOptions engine_options;
+  if (injector != nullptr) {
+    engine_options.fault_policy = FaultPolicy::kSkipAndCount;
+    engine_options.fault_injector = injector;
+  }
+  Engine engine(engine_options);
+  EXPECT_TRUE(engine.RegisterSchema(w.schema).ok());
+  CollectSink sink;
+  const Status s =
+      engine.RegisterQuery("q", w.query, WithMode(w.options, mode), &sink);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  for (const Event& e : w.events) {
+    const Status push = engine.Push(Event(e));
+    EXPECT_TRUE(push.ok()) << push.ToString();
+  }
+  engine.Finish();
+  return sink.results();
+}
+
+std::vector<RankedResult> RunSharded(const Workload& w, const Mode& mode,
+                                     size_t num_shards,
+                                     const FaultInjector* injector = nullptr) {
+  ShardedEngineOptions engine_options;
+  engine_options.num_shards = num_shards;
+  if (injector != nullptr) {
+    engine_options.fault_policy = FaultPolicy::kSkipAndCount;
+    engine_options.fault_injector = injector;
+  }
+  ShardedEngine engine(engine_options);
+  EXPECT_TRUE(engine.RegisterSchema(w.schema).ok());
+  CollectSink sink;
+  const Status s =
+      engine.RegisterQuery("q", w.query, WithMode(w.options, mode), &sink);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  for (const Event& e : w.events) {
+    const Status push = engine.Push(Event(e));
+    EXPECT_TRUE(push.ok()) << push.ToString();
+  }
+  engine.Finish();
+  return sink.results();
+}
+
+void ExpectIdentical(const std::vector<RankedResult>& expected,
+                     const std::vector<RankedResult>& actual,
+                     const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].window_id, actual[i].window_id) << label << " @" << i;
+    EXPECT_EQ(expected[i].rank, actual[i].rank) << label << " @" << i;
+    EXPECT_EQ(expected[i].provisional, actual[i].provisional)
+        << label << " @" << i;
+    EXPECT_EQ(expected[i].match.first_ts, actual[i].match.first_ts)
+        << label << " @" << i;
+    EXPECT_EQ(expected[i].match.last_ts, actual[i].match.last_ts)
+        << label << " @" << i;
+    EXPECT_EQ(expected[i].match.last_sequence, actual[i].match.last_sequence)
+        << label << " @" << i;
+    EXPECT_DOUBLE_EQ(expected[i].match.score, actual[i].match.score)
+        << label << " @" << i;
+    EXPECT_EQ(expected[i].match.row, actual[i].match.row) << label << " @" << i;
+  }
+}
+
+// Every ablation mode, serial and sharded at every shard count, must equal
+// the legacy deep-copy serial baseline.
+void CheckAllModes(const Workload& w) {
+  const auto baseline = RunSerial(w, kModes[0]);
+  EXPECT_FALSE(baseline.empty())
+      << w.label << ": workload produced no results; weak test";
+  for (const Mode& mode : kModes) {
+    ExpectIdentical(baseline, RunSerial(w, mode),
+                    std::string(w.label) + " serial " + mode.label);
+    for (size_t shards : {1u, 2u, 4u}) {
+      ExpectIdentical(baseline, RunSharded(w, mode, shards),
+                      std::string(w.label) + " shards=" +
+                          std::to_string(shards) + " " + mode.label);
+    }
+  }
+}
+
+TEST(CowEquivalenceTest, SkipTillAnyForkHeavyWithShedding) {
+  for (uint64_t seed : {42u, 7u}) CheckAllModes(SkipTillAnyWorkload(seed));
+}
+
+TEST(CowEquivalenceTest, NegationPatterns) {
+  CheckAllModes(NegationWorkload(42));
+}
+
+TEST(CowEquivalenceTest, LongKleeneChains) {
+  CheckAllModes(KleeneWorkload(42));
+}
+
+TEST(CowEquivalenceTest, IdenticalUnderInjectedFaults) {
+  // The PR3 fault schedule: the same poisoned events must be quarantined
+  // and the surviving output must stay identical in every mode. Each run
+  // gets its own injector so fire counts don't leak across runs.
+  const Workload w = SkipTillAnyWorkload(42);
+  const std::vector<uint64_t> poison_keys = {7, 100, 101, 555, 1500, 3999};
+
+  FaultInjector baseline_injector(1);
+  baseline_injector.ArmKeys(fault_points::kEvalPoison, poison_keys);
+  const auto baseline = RunSerial(w, kModes[0], &baseline_injector);
+  EXPECT_FALSE(baseline.empty()) << "faulted workload produced no results";
+
+  for (const Mode& mode : kModes) {
+    FaultInjector serial_injector(1);
+    serial_injector.ArmKeys(fault_points::kEvalPoison, poison_keys);
+    ExpectIdentical(baseline, RunSerial(w, mode, &serial_injector),
+                    std::string("faulted serial ") + mode.label);
+
+    FaultInjector sharded_injector(1);
+    sharded_injector.ArmKeys(fault_points::kEvalPoison, poison_keys);
+    ExpectIdentical(baseline, RunSharded(w, mode, 2, &sharded_injector),
+                    std::string("faulted shards=2 ") + mode.label);
+  }
+}
+
+// The new hot-path counters are deterministic per partition, so the
+// sharded engine's totals must equal the serial engine's for any shard
+// count — the same invariant the other matcher counters already obey.
+TEST(CowEquivalenceTest, HotPathCountersMatchSerialTotals) {
+  const Workload w = SkipTillAnyWorkload(42);
+
+  const auto run = [&w](auto& engine) -> MatcherStats {
+    EXPECT_TRUE(engine.RegisterSchema(w.schema).ok());
+    CollectSink sink;
+    EXPECT_TRUE(engine.RegisterQuery("q", w.query, w.options, &sink).ok());
+    for (const Event& e : w.events) {
+      EXPECT_TRUE(engine.Push(Event(e)).ok());
+    }
+    engine.Finish();
+    return engine.GetQueryMetrics("q")->matcher;
+  };
+
+  Engine serial;
+  const MatcherStats serial_stats = run(serial);
+  EXPECT_GT(serial_stats.runs_cloned, 0u);
+  EXPECT_GT(serial_stats.binding_nodes_allocated, 0u);
+  EXPECT_GT(serial_stats.predcache_hits, 0u);
+  EXPECT_GT(serial_stats.predcache_misses, 0u);
+
+  for (size_t shards : {1u, 2u, 4u}) {
+    ShardedEngineOptions options;
+    options.num_shards = shards;
+    ShardedEngine sharded(options);
+    const MatcherStats sharded_stats = run(sharded);
+    EXPECT_EQ(serial_stats.runs_cloned, sharded_stats.runs_cloned)
+        << "shards=" << shards;
+    EXPECT_EQ(serial_stats.binding_nodes_allocated,
+              sharded_stats.binding_nodes_allocated)
+        << "shards=" << shards;
+    EXPECT_EQ(serial_stats.predcache_hits, sharded_stats.predcache_hits)
+        << "shards=" << shards;
+    EXPECT_EQ(serial_stats.predcache_misses, sharded_stats.predcache_misses)
+        << "shards=" << shards;
+  }
+}
+
+}  // namespace
+}  // namespace cepr

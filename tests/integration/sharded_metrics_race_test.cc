@@ -193,6 +193,11 @@ TEST(ShardedMetricsRaceTest, PostFinishSnapshotMatchesSerialEngine) {
   EXPECT_EQ(pm.matcher.runs_dropped_capacity,
             sm.matcher.runs_dropped_capacity);
   EXPECT_EQ(pm.matcher.matches, sm.matcher.matches);
+  EXPECT_EQ(pm.matcher.runs_cloned, sm.matcher.runs_cloned);
+  EXPECT_EQ(pm.matcher.binding_nodes_allocated,
+            sm.matcher.binding_nodes_allocated);
+  EXPECT_EQ(pm.matcher.predcache_hits, sm.matcher.predcache_hits);
+  EXPECT_EQ(pm.matcher.predcache_misses, sm.matcher.predcache_misses);
   EXPECT_GE(pm.matcher.peak_active_runs, sm.matcher.peak_active_runs);
 
   // Every event is timed exactly once, on whichever engine ran it.

@@ -103,6 +103,45 @@ TEST(CompilerTest, CurrentIterationOfEarlierKleeneRejected) {
   EXPECT_NE(q.status().message().find("current-iteration"), std::string::npos);
 }
 
+TEST(CompilerTest, EventOnlyPredicatesGetCacheIds) {
+  auto q = CompileText(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "WHERE a.price > 10 AND b[i].price < 90 AND b[i].price < a.price "
+      "  AND c.price > a.price AND COUNT(b) >= 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const CompiledPattern& p = (*q)->pattern;
+  // "a.price > 10" touches only the candidate event of a: cacheable.
+  ASSERT_EQ(p.components[0].begin_pred_cache_ids.size(),
+            p.components[0].begin_preds.size());
+  EXPECT_GE(p.components[0].begin_pred_cache_ids[0], 0);
+  // "b[i].price < 90" is event-only; "b[i].price < a.price" correlates
+  // with an earlier binding and must be re-evaluated per run.
+  ASSERT_EQ(p.components[1].iter_pred_cache_ids.size(), 2u);
+  const int cached =
+      p.components[1].iter_preds[0]->ToString() == "(b[i].price < 90)" ? 0 : 1;
+  EXPECT_GE(p.components[1].iter_pred_cache_ids[static_cast<size_t>(cached)], 0);
+  EXPECT_EQ(p.components[1].iter_pred_cache_ids[static_cast<size_t>(1 - cached)],
+            -1);
+  // "c.price > a.price" is correlated.
+  EXPECT_EQ(p.components[2].begin_pred_cache_ids[0], -1);
+  // Cache ids are dense: one slot per event-only conjunct.
+  EXPECT_EQ(p.num_event_preds, 2);
+}
+
+TEST(CompilerTest, NegationPredicatesClassifiedToo) {
+  auto q = CompileText(
+      "SELECT * FROM Stock MATCH PATTERN SEQ(a, !n, c) "
+      "WHERE n.price > 100 AND c.price > a.price");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const CompiledPattern& p = (*q)->pattern;
+  ASSERT_TRUE(p.components[1].negation_before.has_value());
+  const CompiledNegation& neg = *p.components[1].negation_before;
+  ASSERT_EQ(neg.pred_cache_ids.size(), neg.preds.size());
+  ASSERT_EQ(neg.preds.size(), 1u);
+  EXPECT_GE(neg.pred_cache_ids[0], 0);
+  EXPECT_EQ(p.num_event_preds, 1);
+}
+
 TEST(CompilerTest, AggSlotsSharedBetweenWhereAndRank) {
   auto q = CompileText(
       "SELECT MIN(b.price) FROM Stock MATCH PATTERN SEQ(a, b+, c) "
