@@ -1,0 +1,174 @@
+// E15 — Out-of-order ingest: the watermark-driven reorder buffer.
+//
+// Two sweeps over the dip-and-recovery workload:
+//  * BM_DisorderIngest — ingest throughput as the disorder fraction and
+//    the lateness bound grow, with every event's displacement kept inside
+//    the bound. Recall against the in-order baseline must stay 1.0 (the
+//    buffer reconstructs the exact stream: identical matches, scores and
+//    tie-order), so the counters isolate the pure cost of buffering:
+//    events_reordered and the buffer's peak depth.
+//  * BM_LatenessRecall — a stream with a fixed 50 ms disorder span pushed
+//    through LatePolicy::kDropAndCount engines with tighter bounds. Events
+//    whose displacement exceeds the bound are dropped (counted), and
+//    recall climbs back to 1.0 as the bound reaches the disorder span —
+//    the lateness/completeness trade the operator actually tunes.
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+
+namespace cepr {
+namespace bench {
+namespace {
+
+constexpr size_t kEvents = 100000;
+
+// Identity of one emitted result, stable across engine instances.
+using ResultKey = std::tuple<int64_t, Timestamp, Timestamp, double>;
+
+std::set<ResultKey> Keys(const std::vector<RankedResult>& results) {
+  std::set<ResultKey> keys;
+  for (const RankedResult& r : results) {
+    keys.insert({r.window_id, r.match.first_ts, r.match.last_ts,
+                 r.match.score});
+  }
+  return keys;
+}
+
+// Shuffles `fraction` of each event-time block of span <= bound (partial
+// Fisher-Yates), so every displacement stays within the bound.
+std::vector<Event> BlockShuffle(const std::vector<Event>& events,
+                                Timestamp bound, double fraction,
+                                uint64_t seed) {
+  std::vector<Event> out;
+  out.reserve(events.size());
+  for (const Event& e : events) out.push_back(Event(e));
+  if (bound <= 0 || fraction <= 0) return out;
+  Random rng(seed);
+  for (size_t lo = 0; lo < out.size();) {
+    size_t hi = lo;
+    while (hi + 1 < out.size() &&
+           out[hi + 1].timestamp() - out[lo].timestamp() <= bound) {
+      ++hi;
+    }
+    const size_t span = hi - lo + 1;
+    const size_t moves = static_cast<size_t>(fraction * span);
+    for (size_t m = 0; m < moves && hi > lo; ++m) {
+      const size_t i = hi - (m % span);
+      if (i <= lo) break;
+      const size_t j = lo + rng.Uniform(static_cast<uint64_t>(i - lo + 1));
+      std::swap(out[i], out[j]);
+    }
+    lo = hi + 1;
+  }
+  return out;
+}
+
+std::vector<RankedResult> Run(const std::vector<Event>& arrivals,
+                              Timestamp lateness, LatePolicy policy,
+                              ReorderStats* stats) {
+  EngineOptions engine_options;
+  engine_options.max_lateness_micros = lateness;
+  engine_options.late_policy = policy;
+  Engine engine(engine_options);
+  Status s = engine.RegisterSchema(StockGenerator::MakeSchema());
+  CEPR_CHECK(s.ok()) << s.ToString();
+  CollectSink sink;
+  s = engine.RegisterQuery("q", DipQuery(10), QueryOptions{}, &sink);
+  CEPR_CHECK(s.ok()) << s.ToString();
+  for (const Event& e : arrivals) {
+    s = engine.Push(Event(e));
+    CEPR_CHECK(s.ok()) << s.ToString();
+  }
+  engine.Finish();
+  if (stats != nullptr) *stats = engine.Snapshot().reorder;
+  return sink.results();
+}
+
+const std::set<ResultKey>& BaselineKeys() {
+  static const std::set<ResultKey>* cache = new std::set<ResultKey>(Keys(
+      Run(StockStream(kEvents, 0.02), 0, LatePolicy::kReject, nullptr)));
+  return *cache;
+}
+
+double Recall(const std::vector<RankedResult>& results) {
+  const std::set<ResultKey>& baseline = BaselineKeys();
+  if (baseline.empty()) return 1.0;
+  size_t hits = 0;
+  for (const ResultKey& key : Keys(results)) {
+    if (baseline.count(key) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(baseline.size());
+}
+
+// args: {lateness_ms, disorder_pct}; disorder displacement == the bound.
+void BM_DisorderIngest(benchmark::State& state) {
+  const Timestamp lateness = state.range(0) * 1000;
+  const double fraction = static_cast<double>(state.range(1)) / 100.0;
+  const std::vector<Event> arrivals =
+      BlockShuffle(StockStream(kEvents, 0.02), lateness, fraction, 42);
+
+  std::vector<RankedResult> results;
+  ReorderStats stats;
+  for (auto _ : state) {
+    results = Run(arrivals, lateness, LatePolicy::kReject, &stats);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kEvents) * state.iterations());
+  state.counters["recall"] = Recall(results);
+  state.counters["reordered"] = static_cast<double>(stats.events_reordered);
+  state.counters["buffer_peak"] =
+      static_cast<double>(stats.reorder_buffer_peak);
+}
+
+// args: {lateness_ms}; the stream's disorder span is fixed at 50 ms, so
+// bounds below that drop stragglers and trade recall for freshness.
+void BM_LatenessRecall(benchmark::State& state) {
+  constexpr Timestamp kDisorderSpan = 50000;
+  const Timestamp lateness = state.range(0) * 1000;
+  const std::vector<Event> arrivals =
+      BlockShuffle(StockStream(kEvents, 0.02), kDisorderSpan, 1.0, 7);
+
+  std::vector<RankedResult> results;
+  ReorderStats stats;
+  for (auto _ : state) {
+    results = Run(arrivals, lateness, LatePolicy::kDropAndCount, &stats);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kEvents) * state.iterations());
+  state.counters["recall"] = Recall(results);
+  state.counters["dropped"] = static_cast<double>(stats.events_late_dropped);
+  state.counters["buffer_peak"] =
+      static_cast<double>(stats.reorder_buffer_peak);
+}
+
+void DisorderArgs(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"lateness_ms", "disorder_pct"});
+  b->Args({0, 0});  // strict in-order baseline
+  for (int lateness_ms : {5, 20, 50}) {
+    for (int pct : {10, 50, 100}) {
+      b->Args({lateness_ms, pct});
+    }
+  }
+}
+
+BENCHMARK(BM_DisorderIngest)
+    ->Apply(DisorderArgs)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LatenessRecall)
+    ->ArgName("lateness_ms")
+    ->Arg(0)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace cepr
+
+CEPR_BENCH_MAIN();

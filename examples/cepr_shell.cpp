@@ -117,6 +117,8 @@ class Shell {
                    "  \\plan <query>             show the compiled plan + NFA\n"
                    "  \\stats [query]            runtime metrics\n"
                    "  \\streams  \\queries        registries\n"
+                   "  \\lateness <stream> <micros> [reject|drop|clamp]\n"
+                   "                            tolerate out-of-order events\n"
                    "  \\drop <query>             remove a query (flushes it)\n"
                    "  \\finish                   close all open windows\n"
                    "  \\quit\n";
@@ -163,10 +165,42 @@ class Shell {
       in >> name;
       if (name.empty()) {
         std::cout << "events ingested: " << engine_.events_ingested() << "\n";
+        const cepr::ReorderStats reorder = engine_.Snapshot().reorder;
+        if (reorder.events_reordered > 0 || reorder.events_late_dropped > 0 ||
+            reorder.events_clamped > 0) {
+          std::cout << "reordered: " << reorder.events_reordered
+                    << "  late dropped: " << reorder.events_late_dropped
+                    << "  clamped: " << reorder.events_clamped
+                    << "  buffer peak: " << reorder.reorder_buffer_peak << "\n";
+        }
         for (const auto& qname : engine_.QueryNames()) PrintStats(qname);
       } else {
         PrintStats(name);
       }
+      return true;
+    }
+    if (op == "\\lateness") {
+      std::string stream;
+      std::string policy = "reject";
+      cepr::Timestamp micros = -1;
+      in >> stream >> micros >> policy;
+      cepr::ReorderConfig config;
+      config.max_lateness_micros = micros;
+      if (policy == "reject") {
+        config.late_policy = cepr::LatePolicy::kReject;
+      } else if (policy == "drop") {
+        config.late_policy = cepr::LatePolicy::kDropAndCount;
+      } else if (policy == "clamp") {
+        config.late_policy = cepr::LatePolicy::kClamp;
+      } else {
+        micros = -1;  // force the usage message
+      }
+      if (stream.empty() || micros < 0) {
+        std::cout << "usage: \\lateness <stream> <micros> [reject|drop|clamp]\n";
+        return true;
+      }
+      const Status s = engine_.ConfigureStreamIngest(stream, config);
+      std::cout << (s.ok() ? "ingest configured" : s.ToString()) << "\n";
       return true;
     }
     if (op == "\\drop") {

@@ -92,6 +92,10 @@ void PaintShards(const cepr::MetricsSnapshot& snap) {
         << " stalls=" << st.enqueue_stalls;
   }
   out << "  merge: " << snap.merge.ToString() << "\n";
+  out << "ingest: reordered=" << snap.reorder.events_reordered
+      << " late_dropped=" << snap.reorder.events_late_dropped
+      << " clamped=" << snap.reorder.events_clamped
+      << " buffer_peak=" << snap.reorder.reorder_buffer_peak << "\n";
   std::cout << out.str();
 }
 

@@ -40,7 +40,7 @@ if [[ $run_tsan -eq 1 ]]; then
   cmake --build build-tsan -j "$(nproc)" --target common_test integration_test
   ./build-tsan/tests/common_test --gtest_filter='SpscQueue*'
   ./build-tsan/tests/integration_test \
-    --gtest_filter='Sharded*:ShardedMetricsRaceTest.*:ShardCounts/ShardedFault*:CowEquivalenceTest.HotPathCountersMatchSerialTotals'
+    --gtest_filter='Sharded*:ShardedMetricsRaceTest.*:ShardCounts/ShardedFault*:CowEquivalenceTest.HotPathCountersMatchSerialTotals:Disorder*:ShardCounts/Disorder*'
 fi
 
 if [[ $run_asan -eq 1 ]]; then
@@ -48,8 +48,8 @@ if [[ $run_asan -eq 1 ]]; then
   cmake -B build-asan -S . -DCEPR_SANITIZE=address -DCMAKE_BUILD_TYPE=Debug >/dev/null
   cmake --build build-asan -j "$(nproc)" --target integration_test runtime_test
   ./build-asan/tests/integration_test \
-    --gtest_filter='Robustness*:Overload*:FaultInjection*:ShardedFault*:ShardCounts/ShardedFault*:CowEquivalence*'
-  ./build-asan/tests/runtime_test --gtest_filter='Csv*'
+    --gtest_filter='Robustness*:Overload*:FaultInjection*:ShardedFault*:ShardCounts/ShardedFault*:CowEquivalence*:Disorder*:ShardCounts/Disorder*'
+  ./build-asan/tests/runtime_test --gtest_filter='Csv*:ReorderBuffer*'
 fi
 
 echo "check.sh: all stages passed"

@@ -11,9 +11,11 @@
 
 namespace cepr {
 
-/// Event time in microseconds since an arbitrary epoch. CEPR assumes
-/// in-order (timestamp-monotone) arrival per stream, which the runtime
-/// enforces; the matcher relies on it for window expiry.
+/// Event time in microseconds since an arbitrary epoch. The matcher
+/// requires timestamp-monotone input per stream (window expiry relies on
+/// it); the ingest layer enforces this, either strictly (the default) or
+/// by reordering bounded disorder behind a watermark — see
+/// runtime/reorder.h and EngineOptions::max_lateness_micros.
 using Timestamp = int64_t;
 
 constexpr Timestamp kMicrosPerSecond = 1000 * 1000;

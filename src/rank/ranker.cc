@@ -76,27 +76,32 @@ void Ranker::OnMatch(Match match, int64_t window_id,
 
     case RankerPolicy::kHeap:
     case RankerPolicy::kPruned: {
-      const double score = match.score;
       Match copy_for_eager;
       if (eager_) copy_for_eager = match;  // shallow-ish: shared EventPtrs
       const bool accepted = topk_->Offer(std::move(match));
       if (accepted && eager_) {
         RankedResult r;
         r.window_id = window_id;
-        r.rank = topk_->RankOfScore(score);
+        // Rank under the full tie-break order, so equal-score matches get
+        // the same provisional ranks Drain() would assign.
+        r.rank = topk_->RankOf(copy_for_eager);
         r.provisional = true;
         r.match = std::move(copy_for_eager);
         out->push_back(std::move(r));
       }
       if (pruner_ != nullptr) {
-        if (topk_->full()) {
+        // A full heap with a real worst score is the only state that sets
+        // a bar (k = 0 keeps full() true on an empty heap — no bar).
+        const std::optional<double> bar =
+            topk_->full() ? topk_->threshold() : std::nullopt;
+        if (bar.has_value()) {
           // For time windows the pruner also needs the current window's
           // event-time end; window ids are ts / span.
           const Timestamp window_end =
               pruner_->scope() == PruneScope::kTimeWindow
                   ? (current_window_ + 1) * plan_->within_micros
                   : std::numeric_limits<Timestamp>::max();
-          pruner_->SetThreshold(topk_->threshold(), window_end);
+          pruner_->SetThreshold(*bar, window_end);
         } else {
           pruner_->ClearThreshold();
         }

@@ -40,15 +40,15 @@ bool TopK::Offer(Match m) {
   return true;
 }
 
-double TopK::threshold() const {
-  return heap_.empty() ? 0.0 : heap_.front().score;
+std::optional<double> TopK::threshold() const {
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front().score;
 }
 
-size_t TopK::RankOfScore(double score) const {
+size_t TopK::RankOf(const Match& m) const {
   size_t better = 0;
-  for (const Match& m : heap_) {
-    const bool outranks = desc_ ? m.score > score : m.score < score;
-    if (outranks) ++better;
+  for (const Match& held : heap_) {
+    if (OutranksMatch(held, m, desc_)) ++better;
   }
   return better;
 }

@@ -2,6 +2,7 @@
 #define CEPR_RANK_TOPK_H_
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "engine/run.h"
@@ -35,11 +36,16 @@ class TopK {
   bool full() const { return k_ != kUnlimited && heap_.size() >= k_; }
 
   /// Score of the worst retained match — the entry bar when full().
-  double threshold() const;
+  /// nullopt while empty (an empty heap has no bar; 0.0 would be a real,
+  /// ambiguous score).
+  std::optional<double> threshold() const;
 
-  /// Current rank (0-based) the given score would receive, i.e. the number
-  /// of retained matches that outrank it. O(size).
-  size_t RankOfScore(double score) const;
+  /// Current rank (0-based) the given match would receive: the number of
+  /// retained matches that outrank it under the full OutranksMatch order
+  /// (score, then detecting-event sequence, then id), so ties resolve
+  /// exactly as Drain() would order them. A retained copy of `m` itself
+  /// contributes nothing (the order is irreflexive). O(size).
+  size_t RankOf(const Match& m) const;
 
   /// Removes and returns all matches, best first.
   std::vector<Match> Drain();

@@ -48,7 +48,10 @@ struct CsvReadStats {
 /// the same header): the first column is the microsecond timestamp, the
 /// second the optional event-type tag (may be empty), and the remaining
 /// columns must match `schema`'s attributes by position. Cell text is
-/// parsed per the attribute type; empty numeric cells become NULL.
+/// parsed per the attribute type; empty numeric cells become NULL. Rows
+/// need not be timestamp-sorted if the destination stream has a lateness
+/// bound configured (Engine::ConfigureStreamIngest); under the default
+/// strict ingest, unsorted rows fail at Push.
 Result<std::vector<Event>> ReadEventsCsv(const std::string& path, SchemaPtr schema);
 
 /// As above with record-level fault policy; `stats` (nullable) receives

@@ -9,6 +9,17 @@ namespace cepr {
 
 Engine::Engine(EngineOptions options) : options_(options) {}
 
+ReorderConfig Engine::DefaultReorderConfig() const {
+  ReorderConfig config;
+  config.max_lateness_micros = options_.max_lateness_micros;
+  config.late_policy =
+      options_.late_policy != LatePolicy::kReject
+          ? options_.late_policy
+          : (options_.reject_out_of_order ? LatePolicy::kReject
+                                          : LatePolicy::kClamp);
+  return config;
+}
+
 Status Engine::ExecuteDdl(std::string_view ddl_text) {
   CEPR_ASSIGN_OR_RETURN(CreateStreamAst ast, ParseCreateStream(ddl_text));
   CEPR_ASSIGN_OR_RETURN(SchemaPtr schema,
@@ -23,9 +34,27 @@ Status Engine::RegisterSchema(SchemaPtr schema) {
     return Status::AlreadyExists("stream '" + schema->name() +
                                  "' is already registered");
   }
-  StreamState state;
-  state.schema = std::move(schema);
-  streams_.emplace(key, std::move(state));
+  // StreamState is non-movable (the reorder buffer's atomic counters), so
+  // build it in place.
+  const auto [it, inserted] = streams_.try_emplace(key);
+  it->second.schema = std::move(schema);
+  it->second.reorder.set_config(DefaultReorderConfig());
+  return Status::OK();
+}
+
+Status Engine::ConfigureStreamIngest(std::string_view stream_name,
+                                     ReorderConfig config) {
+  const auto it = streams_.find(ToLower(stream_name));
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream named '" + std::string(stream_name) +
+                            "'");
+  }
+  if (it->second.reorder.saw_event()) {
+    return Status::InvalidArgument(
+        "stream '" + it->second.schema->name() +
+        "' already has events; configure ingest before the first Push");
+  }
+  it->second.reorder.set_config(config);
   return Status::OK();
 }
 
@@ -109,7 +138,10 @@ Result<RunningQuery::ForwardFn> Engine::MakeForwarder(
     CEPR_ASSIGN_OR_RETURN(derived,
                           Schema::Make(plan->into_stream, std::move(attributes)));
     CEPR_RETURN_IF_ERROR(RegisterSchema(derived));
-    streams_[ToLower(plan->into_stream)].clamp_out_of_order = true;
+    // Derived streams (EMIT INTO) receive score-ordered results whose event
+    // times may interleave; they clamp instead of rejecting.
+    streams_[ToLower(plan->into_stream)].reorder.set_config(
+        ReorderConfig{0, LatePolicy::kClamp});
   }
 
   return RunningQuery::ForwardFn([this, derived](const RankedResult& r) {
@@ -156,6 +188,9 @@ MetricsSnapshot Engine::Snapshot() const {
   MetricsSnapshot snap;
   snap.events_ingested = events_ingested_;
   snap.events_quarantined = events_quarantined_;
+  for (const auto& [key, state] : streams_) {
+    snap.reorder.Accumulate(state.reorder.stats());
+  }
   snap.num_shards = 1;
   snap.queries.reserve(queries_.size());
   for (const auto& [key, query] : queries_) {
@@ -184,39 +219,63 @@ Status Engine::Push(Event event) {
                                    state.schema->name() + "'");
   }
 
-  if (state.saw_event && event.timestamp() < state.watermark) {
-    if (options_.reject_out_of_order && !state.clamp_out_of_order) {
+  const Timestamp offered_ts = event.timestamp();
+  std::vector<Event> released;
+  switch (state.reorder.Offer(std::move(event), &released)) {
+    case ReorderBuffer::Verdict::kLateRejected:
       return Status::InvalidArgument(
           "out-of-order event on stream '" + state.schema->name() +
-          "': ts " + std::to_string(event.timestamp()) + " < watermark " +
-          std::to_string(state.watermark));
-    }
-    event.set_timestamp(state.watermark);
+          "': ts " + std::to_string(offered_ts) + " < watermark " +
+          std::to_string(state.reorder.watermark()) +
+          (state.reorder.config().max_lateness_micros > 0
+               ? " (missed the lateness bound of " +
+                     std::to_string(state.reorder.config().max_lateness_micros) +
+                     "us)"
+               : ""));
+    case ReorderBuffer::Verdict::kLateDropped:
+      // Counted in events_late_dropped; the stream proceeds.
+      return Status::OK();
+    case ReorderBuffer::Verdict::kAccepted:
+      break;
   }
-  state.watermark = event.timestamp();
-  state.saw_event = true;
-  event.set_sequence(state.next_sequence++);
-  ++events_ingested_;
+  return Route(state, std::move(released));
+}
 
-  if (push_depth_ >= kMaxPushDepth) {
-    return Status::InvalidArgument(
-        "derived-stream recursion exceeds depth " +
-        std::to_string(kMaxPushDepth) + " (query composition cycle?)");
-  }
-  ++push_depth_;
-  const auto shared = std::make_shared<const Event>(std::move(event));
-  for (auto& [key, query] : queries_) {
-    if (query->plan()->schema() == state.schema) {
-      const Status s = query->OnEvent(shared);
-      if (!s.ok()) {
-        // Only kFailFast faults surface here (kSkipAndCount is contained
-        // inside the matcher); the event was ingested, the stream stops.
-        --push_depth_;
-        return s;
+Status Engine::Route(StreamState& state, std::vector<Event> released) {
+  for (Event& event : released) {
+    event.set_sequence(state.next_sequence++);
+    ++events_ingested_;
+
+    if (push_depth_ >= kMaxPushDepth) {
+      return Status::InvalidArgument(
+          "derived-stream recursion exceeds depth " +
+          std::to_string(kMaxPushDepth) + " (query composition cycle?)");
+    }
+    ++push_depth_;
+    const auto shared = std::make_shared<const Event>(std::move(event));
+    for (auto& [key, query] : queries_) {
+      if (query->plan()->schema() == state.schema) {
+        const Status s = query->OnEvent(shared);
+        if (!s.ok()) {
+          // Only kFailFast faults surface here (kSkipAndCount is contained
+          // inside the matcher); the event was ingested, the stream stops.
+          --push_depth_;
+          return s;
+        }
       }
     }
+    --push_depth_;
   }
-  --push_depth_;
+  return Status::OK();
+}
+
+Status Engine::Flush() {
+  for (auto& [key, state] : streams_) {
+    if (state.reorder.resident() == 0) continue;
+    std::vector<Event> released;
+    state.reorder.Flush(&released);
+    CEPR_RETURN_IF_ERROR(Route(state, std::move(released)));
+  }
   return Status::OK();
 }
 
@@ -239,9 +298,16 @@ Status Engine::PushAll(std::vector<Event> events) {
 void Engine::Finish() {
   // Flushing a query may forward results into derived streams, waking
   // downstream queries that may themselves need another flush; iterate to a
-  // fixpoint (bounded by the composition-depth cap).
+  // fixpoint (bounded by the composition-depth cap). Each round first
+  // drains the reorder buffers so resident (still-unreleased) events reach
+  // the queries before their windows close.
   for (int round = 0; round <= kMaxPushDepth; ++round) {
     const uint64_t before = events_ingested_;
+    const Status flushed = Flush();
+    if (!flushed.ok()) {
+      CEPR_LOG(WARNING) << "Finish: reorder flush failed: "
+                        << flushed.ToString();
+    }
     for (auto& [key, query] : queries_) query->Finish();
     if (events_ingested_ == before) return;
   }

@@ -8,13 +8,26 @@
 #include <vector>
 
 #include "runtime/query.h"
+#include "runtime/reorder.h"
 
 namespace cepr {
 
 /// Engine-wide options.
 struct EngineOptions {
-  /// Reject events whose timestamp regresses below the stream's watermark.
-  /// When false, late events are clamped to the watermark instead.
+  // -- Event time / out-of-order ingest --------------------------------------
+
+  /// How far (event-time microseconds) an event may arrive behind the
+  /// highest timestamp seen on its stream and still be reordered into
+  /// place by the per-stream reorder buffer (see runtime/reorder.h).
+  /// 0 = strict in-order ingest, today's default.
+  Timestamp max_lateness_micros = 0;
+  /// Fate of events that miss the lateness bound. kClamp reproduces the
+  /// legacy `reject_out_of_order = false` timestamp-rewriting behavior
+  /// explicitly; kReject and kDropAndCount never mutate event time.
+  LatePolicy late_policy = LatePolicy::kReject;
+  /// Legacy switch, kept for compatibility: when false and `late_policy`
+  /// is left at its kReject default, late events are clamped (the
+  /// pre-reorder behavior). Prefer setting `late_policy` directly.
   bool reject_out_of_order = true;
 
   // -- Overload protection ---------------------------------------------------
@@ -65,6 +78,14 @@ class Engine {
   Result<SchemaPtr> GetSchema(std::string_view stream_name) const;
   std::vector<std::string> StreamNames() const;
 
+  /// Overrides one stream's disorder tolerance (lateness bound + late
+  /// policy), replacing the engine-wide default derived from
+  /// EngineOptions. Must be called before the stream's first event
+  /// (InvalidArgument otherwise) so the release frontier never changes
+  /// mid-stream; NotFound if the stream is not registered.
+  Status ConfigureStreamIngest(std::string_view stream_name,
+                               ReorderConfig config);
+
   // -- Queries -------------------------------------------------------------
 
   /// Compiles `query_text` against its FROM stream and starts it. `sink`
@@ -90,10 +111,19 @@ class Engine {
 
   // -- Ingest ---------------------------------------------------------------
 
-  /// Ingests one event: validates its schema is registered, enforces
-  /// per-stream timestamp monotonicity, assigns the per-stream sequence
-  /// number, and routes it to every query on that stream.
+  /// Ingests one event: validates its schema is registered, offers it to
+  /// the stream's reorder buffer, and routes every event the buffer
+  /// releases — stamped with the per-stream sequence number at release —
+  /// to every query on that stream. With the default zero lateness bound
+  /// the buffer is a pass-through and this is the classic strict-order
+  /// ingest path.
   Status Push(Event event);
+
+  /// Drains every stream's reorder buffer, routing the resident events
+  /// downstream in release order. After a flush, an arrival older than
+  /// anything flushed is late. Finish() calls this; exposed for callers
+  /// that need the buffered tail visible without ending the stream.
+  Status Flush();
 
   /// Ingests a batch in order. On failure the Status names the failing
   /// index and the already-ingested prefix; under
@@ -115,16 +145,23 @@ class Engine {
   struct StreamState {
     SchemaPtr schema;
     uint64_t next_sequence = 0;
-    Timestamp watermark = 0;
-    bool saw_event = false;
-    /// Derived streams (EMIT INTO) receive score-ordered results whose
-    /// event times may interleave; they clamp instead of rejecting.
-    bool clamp_out_of_order = false;
+    /// Bounded out-of-order ingest buffer; owns the stream's watermark.
+    /// Non-movable (single-writer atomic counters), so streams_ entries
+    /// are built in place with try_emplace.
+    ReorderBuffer reorder;
   };
 
   /// Builds the re-ingestion callback for an EMIT INTO query, creating or
   /// validating the derived stream's schema.
   Result<RunningQuery::ForwardFn> MakeForwarder(const CompiledQueryPtr& plan);
+
+  /// The per-stream ReorderConfig implied by EngineOptions (legacy
+  /// `reject_out_of_order = false` maps to LatePolicy::kClamp).
+  ReorderConfig DefaultReorderConfig() const;
+
+  /// Stamps each released event with the stream's sequence number and fans
+  /// it out to the stream's queries, in release order.
+  Status Route(StreamState& state, std::vector<Event> released);
 
   EngineOptions options_;
   std::map<std::string, StreamState, std::less<>> streams_;

@@ -135,6 +135,10 @@ std::string MetricsSnapshot::ToString() const {
   std::string out;
   out += "events_ingested=" + std::to_string(events_ingested);
   out += " events_quarantined=" + std::to_string(events_quarantined);
+  out += " events_reordered=" + std::to_string(reorder.events_reordered);
+  out += " events_late_dropped=" + std::to_string(reorder.events_late_dropped);
+  out += " events_clamped=" + std::to_string(reorder.events_clamped);
+  out += " reorder_buffer_peak=" + std::to_string(reorder.reorder_buffer_peak);
   out += " num_shards=" + std::to_string(num_shards);
   for (const QueryEntry& q : queries) {
     out += "\nquery " + q.name + ": " + q.metrics.ToString();
@@ -150,6 +154,12 @@ std::string MetricsSnapshot::ToJson() const {
   std::string out = "{";
   out += "\"events_ingested\":" + std::to_string(events_ingested);
   out += ",\"events_quarantined\":" + std::to_string(events_quarantined);
+  out += ",\"reorder\":{";
+  out += "\"events_reordered\":" + std::to_string(reorder.events_reordered);
+  out += ",\"events_late_dropped\":" + std::to_string(reorder.events_late_dropped);
+  out += ",\"events_clamped\":" + std::to_string(reorder.events_clamped);
+  out += ",\"reorder_buffer_peak\":" + std::to_string(reorder.reorder_buffer_peak);
+  out += "}";
   out += ",\"num_shards\":" + std::to_string(num_shards);
   out += ",\"queries\":[";
   for (size_t i = 0; i < queries.size(); ++i) {

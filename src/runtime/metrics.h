@@ -9,6 +9,7 @@
 #include "common/counters.h"
 #include "common/histogram.h"
 #include "engine/matcher.h"
+#include "runtime/reorder.h"
 
 namespace cepr {
 
@@ -131,6 +132,10 @@ struct MetricsSnapshot {
   /// entries that failed validation or hit a fail-point). Matcher-level
   /// quarantines live in each query's MatcherStats.
   uint64_t events_quarantined = 0;
+  /// Out-of-order ingest counters, aggregated across every stream's
+  /// reorder buffer (counts summed; reorder_buffer_peak is the deepest any
+  /// single stream's buffer got). See runtime/reorder.h.
+  ReorderStats reorder;
   /// Worker shard count (1 for the serial engine).
   size_t num_shards = 1;
   /// Per-query aggregated metrics, in registration order.

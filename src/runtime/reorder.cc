@@ -1,0 +1,101 @@
+#include "runtime/reorder.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cepr {
+
+const char* LatePolicyToString(LatePolicy policy) {
+  switch (policy) {
+    case LatePolicy::kReject:
+      return "Reject";
+    case LatePolicy::kDropAndCount:
+      return "DropAndCount";
+    case LatePolicy::kClamp:
+      return "Clamp";
+  }
+  return "?";
+}
+
+void ReorderStats::Accumulate(const ReorderStats& other) {
+  events_reordered += other.events_reordered;
+  events_late_dropped += other.events_late_dropped;
+  events_clamped += other.events_clamped;
+  reorder_buffer_peak = std::max(reorder_buffer_peak, other.reorder_buffer_peak);
+}
+
+Timestamp ReorderBuffer::watermark() const {
+  // Saturating high_ts - lateness, floored by anything already flushed out.
+  Timestamp wm = std::numeric_limits<Timestamp>::min();
+  if (saw_event_) {
+    wm = high_ts_ >= std::numeric_limits<Timestamp>::min() +
+                         config_.max_lateness_micros
+             ? high_ts_ - config_.max_lateness_micros
+             : std::numeric_limits<Timestamp>::min();
+  }
+  if (flushed_any_ && flushed_upto_ > wm) wm = flushed_upto_;
+  return wm;
+}
+
+ReorderBuffer::Verdict ReorderBuffer::Offer(Event event,
+                                            std::vector<Event>* released) {
+  const Timestamp ts = event.timestamp();
+  if (saw_event_ && ts < watermark()) {
+    switch (config_.late_policy) {
+      case LatePolicy::kReject:
+        return Verdict::kLateRejected;
+      case LatePolicy::kDropAndCount:
+        events_late_dropped_.Increment();
+        return Verdict::kLateDropped;
+      case LatePolicy::kClamp:
+        events_clamped_.Increment();
+        event.set_timestamp(watermark());
+        break;
+    }
+  } else if (saw_event_ && ts < high_ts_) {
+    events_reordered_.Increment();
+  }
+
+  Entry entry;
+  entry.ts = event.timestamp();
+  entry.arrival = next_arrival_++;
+  entry.event = std::move(event);
+  if (entry.ts > high_ts_ || !saw_event_) high_ts_ = entry.ts;
+  saw_event_ = true;
+  heap_.push_back(std::move(entry));
+  std::push_heap(heap_.begin(), heap_.end(), ReleasesLater);
+  buffer_peak_.Observe(heap_.size());
+
+  ReleaseRipe(released);
+  return Verdict::kAccepted;
+}
+
+void ReorderBuffer::ReleaseRipe(std::vector<Event>* released) {
+  const Timestamp frontier = watermark();
+  while (!heap_.empty() && heap_.front().ts <= frontier) {
+    std::pop_heap(heap_.begin(), heap_.end(), ReleasesLater);
+    released->push_back(std::move(heap_.back().event));
+    heap_.pop_back();
+  }
+}
+
+void ReorderBuffer::Flush(std::vector<Event>* released) {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), ReleasesLater);
+    flushed_upto_ = heap_.back().ts;
+    flushed_any_ = true;
+    released->push_back(std::move(heap_.back().event));
+    heap_.pop_back();
+  }
+}
+
+ReorderStats ReorderBuffer::stats() const {
+  ReorderStats s;
+  s.events_reordered = events_reordered_.Load();
+  s.events_late_dropped = events_late_dropped_.Load();
+  s.events_clamped = events_clamped_.Load();
+  s.reorder_buffer_peak = buffer_peak_.Load();
+  return s;
+}
+
+}  // namespace cepr

@@ -54,9 +54,38 @@ Status ShardedEngine::RegisterSchema(SchemaPtr schema) {
     return Status::AlreadyExists("stream '" + schema->name() +
                                  "' is already registered");
   }
-  StreamState state;
-  state.schema = std::move(schema);
-  streams_.emplace(key, std::move(state));
+  // StreamState is non-movable (the reorder buffer's atomic counters), so
+  // build it in place.
+  const auto [it, inserted] = streams_.try_emplace(key);
+  it->second.schema = std::move(schema);
+  it->second.reorder.set_config(DefaultReorderConfig());
+  return Status::OK();
+}
+
+ReorderConfig ShardedEngine::DefaultReorderConfig() const {
+  ReorderConfig config;
+  config.max_lateness_micros = options_.max_lateness_micros;
+  config.late_policy =
+      options_.late_policy != LatePolicy::kReject
+          ? options_.late_policy
+          : (options_.reject_out_of_order ? LatePolicy::kReject
+                                          : LatePolicy::kClamp);
+  return config;
+}
+
+Status ShardedEngine::ConfigureStreamIngest(std::string_view stream_name,
+                                            ReorderConfig config) {
+  const auto it = streams_.find(ToLower(stream_name));
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream named '" + std::string(stream_name) +
+                            "'");
+  }
+  if (it->second.reorder.saw_event()) {
+    return Status::InvalidArgument(
+        "stream '" + it->second.schema->name() +
+        "' already has events; configure ingest before the first Push");
+  }
+  it->second.reorder.set_config(config);
   return Status::OK();
 }
 
@@ -354,17 +383,32 @@ Status ShardedEngine::Push(Event event) {
     return Status::InvalidArgument("event arity mismatch for stream '" +
                                    state.schema->name() + "'");
   }
-  if (state.saw_event && event.timestamp() < state.watermark) {
-    if (options_.reject_out_of_order) {
+  const Timestamp offered_ts = event.timestamp();
+  std::vector<Event> released;
+  switch (state.reorder.Offer(std::move(event), &released)) {
+    case ReorderBuffer::Verdict::kLateRejected:
       return Status::InvalidArgument(
           "out-of-order event on stream '" + state.schema->name() + "': ts " +
-          std::to_string(event.timestamp()) + " < watermark " +
-          std::to_string(state.watermark));
-    }
-    event.set_timestamp(state.watermark);
+          std::to_string(offered_ts) + " < watermark " +
+          std::to_string(state.reorder.watermark()) +
+          (state.reorder.config().max_lateness_micros > 0
+               ? " (missed the lateness bound of " +
+                     std::to_string(state.reorder.config().max_lateness_micros) +
+                     "us)"
+               : ""));
+    case ReorderBuffer::Verdict::kLateDropped:
+      // Counted in events_late_dropped; the stream proceeds.
+      return Status::OK();
+    case ReorderBuffer::Verdict::kAccepted:
+      break;
   }
-  state.watermark = event.timestamp();
-  state.saw_event = true;
+  for (Event& e : released) {
+    CEPR_RETURN_IF_ERROR(RouteReleased(state, std::move(e)));
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::RouteReleased(StreamState& state, Event event) {
   event.set_sequence(state.next_sequence++);
   events_ingested_.Increment();
 
@@ -484,8 +528,30 @@ void ShardedEngine::DrainReady(QueryState* q, uint32_t query_index,
   if (!final) q->merged_upto = complete;
 }
 
+Status ShardedEngine::Flush() {
+  if (finished_) {
+    return Status::InvalidArgument("sharded engine is finished");
+  }
+  for (auto& [key, state] : streams_) {
+    if (state.reorder.resident() == 0) continue;
+    std::vector<Event> released;
+    state.reorder.Flush(&released);
+    for (Event& e : released) {
+      CEPR_RETURN_IF_ERROR(RouteReleased(state, std::move(e)));
+    }
+  }
+  return Status::OK();
+}
+
 void ShardedEngine::Finish() {
   if (finished_) return;
+  // Resident (still-unreleased) events must reach the shards before the
+  // kFinish flush closes their windows.
+  const Status drained = Flush();
+  if (!drained.ok()) {
+    CEPR_LOG(WARNING) << "Finish: reorder flush failed: "
+                      << drained.ToString();
+  }
   finished_ = true;
   if (!WorkersStarted()) return;  // no events: nothing buffered anywhere
   bool degraded = false;
@@ -570,6 +636,12 @@ MetricsSnapshot ShardedEngine::Snapshot() const {
   MetricsSnapshot snap;
   snap.events_ingested = events_ingested_.Load();
   snap.events_quarantined = events_quarantined_.Load();
+  // The reorder buffers live on the ingest thread but their counters are
+  // single-writer atomics, so a monitor-thread snapshot is safe (streams_
+  // itself is not mutated after the pre-start registration phase).
+  for (const auto& [key, state] : streams_) {
+    snap.reorder.Accumulate(state.reorder.stats());
+  }
   snap.num_shards = num_shards_;
   snap.queries.reserve(queries_.size());
   for (uint32_t qi = 0; qi < queries_.size(); ++qi) {

@@ -19,6 +19,7 @@
 #include "rank/merge.h"
 #include "runtime/metrics.h"
 #include "runtime/query.h"
+#include "runtime/reorder.h"
 
 namespace cepr {
 
@@ -30,6 +31,12 @@ struct ShardedEngineOptions {
   /// ring backpressures the ingest thread (bounded wait; see
   /// enqueue_stall_budget_ms).
   size_t queue_capacity = 4096;
+  /// Same semantics as the EngineOptions event-time fields: the per-stream
+  /// lateness bound and late policy applied by the reorder buffer on the
+  /// ingest thread, *before* the shard router — every shard sees the same
+  /// released order, so serial/sharded equivalence holds under disorder.
+  Timestamp max_lateness_micros = 0;
+  LatePolicy late_policy = LatePolicy::kReject;
   /// Same semantics as EngineOptions::reject_out_of_order.
   bool reject_out_of_order = true;
   /// Longest one enqueue may wait on a full shard ring before giving up:
@@ -89,6 +96,11 @@ class ShardedEngine {
   Status RegisterSchema(SchemaPtr schema);
   Result<SchemaPtr> GetSchema(std::string_view stream_name) const;
 
+  /// Overrides one stream's disorder tolerance, same contract as
+  /// Engine::ConfigureStreamIngest: before the stream's first event only.
+  Status ConfigureStreamIngest(std::string_view stream_name,
+                               ReorderConfig config);
+
   // -- Queries (pre-start, ingest thread) -----------------------------------
 
   /// Compiles and registers `query_text`. `sink` may be null and must
@@ -111,9 +123,13 @@ class ShardedEngine {
   /// FaultPolicy::kSkipAndCount failing events are skipped and counted.
   Status PushAll(std::vector<Event> events);
 
-  /// End of stream: flushes every shard, joins the workers, merges and
-  /// delivers all remaining windows. The engine is terminal afterwards
-  /// (further Push calls fail).
+  /// Drains every stream's reorder buffer to the shards in release order
+  /// (same contract as Engine::Flush). Ingest thread only.
+  Status Flush();
+
+  /// End of stream: drains the reorder buffers, flushes every shard, joins
+  /// the workers, merges and delivers all remaining windows. The engine is
+  /// terminal afterwards (further Push calls fail).
   void Finish();
 
   // -- Introspection --------------------------------------------------------
@@ -194,8 +210,10 @@ class ShardedEngine {
   struct StreamState {
     SchemaPtr schema;
     uint64_t next_sequence = 0;
-    Timestamp watermark = 0;
-    bool saw_event = false;
+    /// Bounded out-of-order ingest buffer, applied on the ingest thread
+    /// before the shard router. Non-movable (atomic counters): streams_
+    /// entries are built in place with try_emplace.
+    ReorderBuffer reorder;
   };
 
   struct QueryState {
@@ -231,6 +249,13 @@ class ShardedEngine {
 
   void StartWorkers();
   void ShardMain(size_t shard_index);
+  /// The per-stream ReorderConfig implied by ShardedEngineOptions (legacy
+  /// `reject_out_of_order = false` maps to LatePolicy::kClamp).
+  ReorderConfig DefaultReorderConfig() const;
+  /// Stamps one buffer-released event with the stream's sequence number
+  /// and routes it: per-query ordinal, window barriers, shard enqueue,
+  /// opportunistic merge drain (ingest thread).
+  Status RouteReleased(StreamState& state, Event event);
   /// Blocking enqueue with backpressure accounting and consumer nudge.
   /// Fails with kUnavailable once the stall budget is spent on a full ring.
   Status Enqueue(Shard* shard, Message msg);

@@ -256,6 +256,56 @@ TEST(ShardedEngineApiTest, RejectsRegistrationAfterStart) {
   EXPECT_FALSE(engine.Push(Event(w.events[1])).ok());  // terminal
 }
 
+TEST(ShardedEngineApiTest, OutOfOrderRejectionParityWithSerial) {
+  // Default strict ingest: a timestamp regression must be rejected by the
+  // serial and sharded engines identically (same code, stream untouched).
+  const Workload w = StockWorkload(10);
+  Engine serial;
+  ASSERT_TRUE(serial.RegisterSchema(w.schema).ok());
+  ShardedEngine sharded;
+  ASSERT_TRUE(sharded.RegisterSchema(w.schema).ok());
+
+  ASSERT_TRUE(serial.Push(Event(w.events[5])).ok());
+  ASSERT_TRUE(sharded.Push(Event(w.events[5])).ok());
+  const Status s1 = serial.Push(Event(w.events[0]));
+  const Status s2 = sharded.Push(Event(w.events[0]));
+  EXPECT_FALSE(s1.ok());
+  EXPECT_FALSE(s2.ok());
+  EXPECT_EQ(s1.code(), s2.code());
+  // The rejected event was not ingested on either side.
+  EXPECT_EQ(serial.events_ingested(), 1u);
+  EXPECT_EQ(sharded.events_ingested(), 1u);
+  sharded.Finish();
+}
+
+TEST(ShardedEngineApiTest, ConfigureStreamIngestClampParity) {
+  // Per-stream clamp opt-in (what EMIT INTO derived streams get on the
+  // serial engine) behaves identically on both engines: the regression is
+  // admitted, clamped, and counted.
+  const Workload w = StockWorkload(10);
+  Engine serial;
+  ASSERT_TRUE(serial.RegisterSchema(w.schema).ok());
+  ShardedEngine sharded;
+  ASSERT_TRUE(sharded.RegisterSchema(w.schema).ok());
+  const ReorderConfig clamp{0, LatePolicy::kClamp};
+  ASSERT_TRUE(serial.ConfigureStreamIngest("Stock", clamp).ok());
+  ASSERT_TRUE(sharded.ConfigureStreamIngest("Stock", clamp).ok());
+
+  ASSERT_TRUE(serial.Push(Event(w.events[5])).ok());
+  ASSERT_TRUE(sharded.Push(Event(w.events[5])).ok());
+  EXPECT_TRUE(serial.Push(Event(w.events[0])).ok());
+  EXPECT_TRUE(sharded.Push(Event(w.events[0])).ok());
+  EXPECT_EQ(serial.events_ingested(), 2u);
+  EXPECT_EQ(sharded.events_ingested(), 2u);
+  EXPECT_EQ(serial.Snapshot().reorder.events_clamped, 1u);
+  EXPECT_EQ(sharded.Snapshot().reorder.events_clamped, 1u);
+
+  // Reconfiguring after the first event is refused on both engines.
+  EXPECT_FALSE(serial.ConfigureStreamIngest("Stock", clamp).ok());
+  EXPECT_FALSE(sharded.ConfigureStreamIngest("Stock", clamp).ok());
+  sharded.Finish();
+}
+
 TEST(ShardedEngineApiTest, MetricsAddUpAfterFinish) {
   const Workload w = StockWorkload(3000);
   ShardedEngineOptions options;

@@ -82,6 +82,45 @@ TEST(EmitterTest, SingleWindowFlushesOnlyAtFinish) {
   EXPECT_EQ(out[1].match.score, 4);
 }
 
+TEST(EmitterTest, EagerProvisionalRanksBreakScoreTies) {
+  auto plan = CompileQueryText(
+                  "SELECT a.price FROM Stock MATCH PATTERN SEQ(a) "
+                  "RANK BY a.price DESC LIMIT 3 EMIT ON COMPLETE",
+                  StockSchema())
+                  .value();
+  Emitter emitter(plan, RankerPolicy::kHeap);
+  std::vector<RankedResult> out;
+
+  auto tied = [](uint64_t id, uint64_t seq) {
+    Match m;
+    m.id = id;
+    m.score = 7.0;
+    m.last_ts = static_cast<Timestamp>(seq);
+    m.last_sequence = seq;
+    return m;
+  };
+
+  // Three equal-score matches detected by successive events: each eager
+  // emission must rank after every earlier tied match (the OutranksMatch
+  // tie-break on detecting-event sequence), not all claim rank 0.
+  emitter.OnEvent(0, 0, {tied(0, 0)}, &out);
+  emitter.OnEvent(1, 1, {tied(1, 1)}, &out);
+  emitter.OnEvent(2, 2, {tied(2, 2)}, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].rank, 0u);
+  EXPECT_EQ(out[1].rank, 1u);
+  EXPECT_EQ(out[2].rank, 2u);
+  EXPECT_TRUE(out[0].provisional);
+
+  // A strictly better match slots in at rank 0; a fourth tied match loses
+  // every tie-break against a full heap and is not emitted at all.
+  emitter.OnEvent(3, 3, {M(3, 9, 3)}, &out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[3].rank, 0u);
+  emitter.OnEvent(4, 4, {tied(4, 4)}, &out);
+  EXPECT_EQ(out.size(), 4u);
+}
+
 TEST(EmitterTest, PrunerExposedOnlyWhenEngaged) {
   auto prunable = CompileQueryText(
                       "SELECT a.price FROM Stock MATCH PATTERN SEQ(a) "

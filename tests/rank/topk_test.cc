@@ -58,6 +58,7 @@ TEST(TopKTest, OfferReportsAcceptance) {
 
 TEST(TopKTest, ThresholdIsWorstRetained) {
   TopK topk(3, true);
+  EXPECT_EQ(topk.threshold(), std::nullopt);
   topk.Offer(M(0, 10));
   topk.Offer(M(1, 30));
   topk.Offer(M(2, 20));
@@ -65,6 +66,14 @@ TEST(TopKTest, ThresholdIsWorstRetained) {
   EXPECT_EQ(topk.threshold(), 10.0);
   topk.Offer(M(3, 25));
   EXPECT_EQ(topk.threshold(), 20.0);
+}
+
+TEST(TopKTest, ThresholdEmptyIsNullEvenWithZeroK) {
+  // k = 0 keeps full() true on an empty heap; the bar must still be null,
+  // not a fake 0.0 an ascending pruner would treat as a real bound.
+  TopK topk(0, /*desc=*/false);
+  EXPECT_TRUE(topk.full());
+  EXPECT_EQ(topk.threshold(), std::nullopt);
 }
 
 TEST(TopKTest, EqualScoreRejectedWhenFull) {
@@ -98,12 +107,29 @@ TEST(TopKTest, DrainEmpties) {
   EXPECT_TRUE(topk.Drain().empty());
 }
 
-TEST(TopKTest, RankOfScoreCountsBetter) {
+TEST(TopKTest, RankOfCountsOutrankingMatches) {
   TopK topk(5, true);
-  for (double s : {10.0, 20.0, 30.0}) topk.Offer(M(0, s));
-  EXPECT_EQ(topk.RankOfScore(35), 0u);
-  EXPECT_EQ(topk.RankOfScore(25), 1u);
-  EXPECT_EQ(topk.RankOfScore(5), 3u);
+  uint64_t id = 0;
+  for (double s : {10.0, 20.0, 30.0}) topk.Offer(M(id++, s));
+  EXPECT_EQ(topk.RankOf(M(10, 35)), 0u);
+  EXPECT_EQ(topk.RankOf(M(10, 25)), 1u);
+  EXPECT_EQ(topk.RankOf(M(10, 5)), 3u);
+}
+
+TEST(TopKTest, RankOfBreaksTiesByFullOrder) {
+  // Three retained matches share one score; rank under ties must follow
+  // the (score, sequence, id) order Drain() uses, not score alone.
+  TopK topk(5, true);
+  topk.Offer(M(0, 10));
+  topk.Offer(M(1, 10));
+  topk.Offer(M(2, 10));
+  // A new id-3 match at the same score ranks after all three...
+  EXPECT_EQ(topk.RankOf(M(3, 10)), 3u);
+  // ...and a retained match ranks by its own position: id 0 first, the
+  // in-heap copy never counts against itself.
+  EXPECT_EQ(topk.RankOf(M(0, 10)), 0u);
+  EXPECT_EQ(topk.RankOf(M(1, 10)), 1u);
+  EXPECT_EQ(topk.RankOf(M(2, 10)), 2u);
 }
 
 TEST(TopKTest, DrainOrderDeterministicUnderTies) {

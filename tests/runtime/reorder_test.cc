@@ -1,0 +1,223 @@
+#include "runtime/reorder.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+using testing::Tick;
+
+// Offers ticks at the given timestamps (price = ts so events are
+// distinguishable) and returns the released timestamps in release order.
+std::vector<Timestamp> OfferAll(ReorderBuffer* buffer,
+                                const std::vector<Timestamp>& timestamps,
+                                std::vector<ReorderBuffer::Verdict>* verdicts =
+                                    nullptr) {
+  std::vector<Event> released;
+  for (const Timestamp ts : timestamps) {
+    const auto verdict =
+        buffer->Offer(Tick(ts, static_cast<double>(ts % 1000 + 1)), &released);
+    if (verdicts != nullptr) verdicts->push_back(verdict);
+  }
+  std::vector<Timestamp> out;
+  out.reserve(released.size());
+  for (const Event& e : released) out.push_back(e.timestamp());
+  return out;
+}
+
+std::vector<Timestamp> FlushAll(ReorderBuffer* buffer) {
+  std::vector<Event> released;
+  buffer->Flush(&released);
+  std::vector<Timestamp> out;
+  out.reserve(released.size());
+  for (const Event& e : released) out.push_back(e.timestamp());
+  return out;
+}
+
+TEST(ReorderBufferTest, ZeroLatenessIsPassThrough) {
+  ReorderBuffer buffer;  // max_lateness 0, kReject
+  std::vector<ReorderBuffer::Verdict> verdicts;
+  const auto released = OfferAll(&buffer, {100, 200, 300}, &verdicts);
+  EXPECT_EQ(released, (std::vector<Timestamp>{100, 200, 300}));
+  EXPECT_EQ(buffer.resident(), 0u);
+  for (const auto v : verdicts) {
+    EXPECT_EQ(v, ReorderBuffer::Verdict::kAccepted);
+  }
+  EXPECT_EQ(buffer.watermark(), 300);
+}
+
+TEST(ReorderBufferTest, ZeroLatenessRejectsRegression) {
+  ReorderBuffer buffer;
+  std::vector<Event> released;
+  ASSERT_EQ(buffer.Offer(Tick(200, 1), &released),
+            ReorderBuffer::Verdict::kAccepted);
+  EXPECT_EQ(buffer.Offer(Tick(100, 1), &released),
+            ReorderBuffer::Verdict::kLateRejected);
+  // Equal timestamps are not a regression.
+  EXPECT_EQ(buffer.Offer(Tick(200, 1), &released),
+            ReorderBuffer::Verdict::kAccepted);
+  const ReorderStats stats = buffer.stats();
+  EXPECT_EQ(stats.events_reordered, 0u);
+  EXPECT_EQ(stats.events_late_dropped, 0u);
+}
+
+TEST(ReorderBufferTest, ReordersWithinBound) {
+  ReorderBuffer buffer(ReorderConfig{100, LatePolicy::kReject});
+  // 300 arrives before 250: 250 is within the bound (watermark 200), so it
+  // is reordered into place; only ts <= watermark releases.
+  std::vector<Timestamp> out = OfferAll(&buffer, {100, 300, 250});
+  EXPECT_EQ(out, (std::vector<Timestamp>{100}));
+  EXPECT_EQ(buffer.resident(), 2u);  // 250 and 300 held (watermark 200)
+  out = OfferAll(&buffer, {400});  // watermark 300: 250 and 300 release
+  EXPECT_EQ(out, (std::vector<Timestamp>{250, 300}));
+  EXPECT_EQ(buffer.resident(), 1u);  // 400 held
+  EXPECT_EQ(buffer.stats().events_reordered, 1u);
+  EXPECT_EQ(buffer.stats().reorder_buffer_peak, 3u);
+}
+
+TEST(ReorderBufferTest, EqualTimestampsReleaseInArrivalOrder) {
+  ReorderBuffer buffer(ReorderConfig{50, LatePolicy::kReject});
+  std::vector<Event> released;
+  ASSERT_EQ(buffer.Offer(Tick(100, 1.0), &released),
+            ReorderBuffer::Verdict::kAccepted);
+  ASSERT_EQ(buffer.Offer(Tick(100, 2.0), &released),
+            ReorderBuffer::Verdict::kAccepted);
+  ASSERT_EQ(buffer.Offer(Tick(100, 3.0), &released),
+            ReorderBuffer::Verdict::kAccepted);
+  buffer.Flush(&released);
+  ASSERT_EQ(released.size(), 3u);
+  EXPECT_EQ(released[0].values()[1].AsFloat(), 1.0);
+  EXPECT_EQ(released[1].values()[1].AsFloat(), 2.0);
+  EXPECT_EQ(released[2].values()[1].AsFloat(), 3.0);
+}
+
+TEST(ReorderBufferTest, LateUnderRejectLeavesStateUntouched) {
+  ReorderBuffer buffer(ReorderConfig{10, LatePolicy::kReject});
+  std::vector<Event> released;
+  ASSERT_EQ(buffer.Offer(Tick(1000, 1), &released),
+            ReorderBuffer::Verdict::kAccepted);
+  const size_t resident_before = buffer.resident();
+  EXPECT_EQ(buffer.Offer(Tick(100, 1), &released),
+            ReorderBuffer::Verdict::kLateRejected);
+  EXPECT_EQ(buffer.resident(), resident_before);
+  EXPECT_EQ(buffer.high_ts(), 1000);
+  EXPECT_EQ(buffer.stats().events_late_dropped, 0u);
+  EXPECT_EQ(buffer.stats().events_clamped, 0u);
+}
+
+TEST(ReorderBufferTest, LateUnderDropIsCountedNotMutated) {
+  ReorderBuffer buffer(ReorderConfig{10, LatePolicy::kDropAndCount});
+  std::vector<Event> released;
+  ASSERT_EQ(buffer.Offer(Tick(1000, 1), &released),
+            ReorderBuffer::Verdict::kAccepted);
+  EXPECT_EQ(buffer.Offer(Tick(100, 1), &released),
+            ReorderBuffer::Verdict::kLateDropped);
+  EXPECT_EQ(buffer.stats().events_late_dropped, 1u);
+  // Nothing extra released and nothing resident beyond the first event.
+  buffer.Flush(&released);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].timestamp(), 1000);
+}
+
+TEST(ReorderBufferTest, LateUnderClampRewritesToWatermark) {
+  ReorderBuffer buffer(ReorderConfig{10, LatePolicy::kClamp});
+  std::vector<Event> released;
+  ASSERT_EQ(buffer.Offer(Tick(1000, 1), &released),
+            ReorderBuffer::Verdict::kAccepted);
+  ASSERT_EQ(buffer.Offer(Tick(100, 1), &released),
+            ReorderBuffer::Verdict::kAccepted);
+  EXPECT_EQ(buffer.stats().events_clamped, 1u);
+  buffer.Flush(&released);
+  ASSERT_EQ(released.size(), 2u);
+  EXPECT_EQ(released[0].timestamp(), 990);   // clamped to watermark
+  EXPECT_EQ(released[1].timestamp(), 1000);
+}
+
+TEST(ReorderBufferTest, FlushAdvancesFrontier) {
+  ReorderBuffer buffer(ReorderConfig{1000, LatePolicy::kReject});
+  std::vector<Event> released;
+  ASSERT_EQ(buffer.Offer(Tick(500, 1), &released),
+            ReorderBuffer::Verdict::kAccepted);
+  EXPECT_EQ(FlushAll(&buffer), (std::vector<Timestamp>{500}));
+  // The flush released ts 500, so an arrival older than that is now late
+  // even though it is within the lateness bound of high_ts.
+  EXPECT_EQ(buffer.Offer(Tick(400, 1), &released),
+            ReorderBuffer::Verdict::kLateRejected);
+  EXPECT_EQ(buffer.Offer(Tick(500, 1), &released),
+            ReorderBuffer::Verdict::kAccepted);
+}
+
+TEST(ReorderBufferTest, ConfigAndPolicyNames) {
+  EXPECT_STREQ(LatePolicyToString(LatePolicy::kReject), "Reject");
+  EXPECT_STREQ(LatePolicyToString(LatePolicy::kDropAndCount), "DropAndCount");
+  EXPECT_STREQ(LatePolicyToString(LatePolicy::kClamp), "Clamp");
+  ReorderBuffer buffer;
+  EXPECT_EQ(buffer.config().max_lateness_micros, 0);
+  buffer.set_config(ReorderConfig{42, LatePolicy::kDropAndCount});
+  EXPECT_EQ(buffer.config().max_lateness_micros, 42);
+  EXPECT_EQ(buffer.config().late_policy, LatePolicy::kDropAndCount);
+}
+
+TEST(ReorderBufferTest, StatsAccumulateTakesMaxOfPeaks) {
+  ReorderStats a;
+  a.events_reordered = 3;
+  a.reorder_buffer_peak = 10;
+  ReorderStats b;
+  b.events_reordered = 2;
+  b.events_late_dropped = 1;
+  b.reorder_buffer_peak = 7;
+  a.Accumulate(b);
+  EXPECT_EQ(a.events_reordered, 5u);
+  EXPECT_EQ(a.events_late_dropped, 1u);
+  EXPECT_EQ(a.reorder_buffer_peak, 10u);
+}
+
+// Property: any arrival order whose displacement stays within the bound
+// releases the exact sorted sequence, stably by arrival on ties.
+TEST(ReorderBufferTest, ShuffleWithinBoundReleasesSorted) {
+  Random rng(20260805);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Timestamp bound = 10 + static_cast<Timestamp>(rng.Uniform(90));
+    // Strictly increasing timestamps, then block-shuffled within spans
+    // no larger than the bound so no event can miss it.
+    std::vector<Timestamp> timestamps;
+    Timestamp ts = 0;
+    for (int i = 0; i < 500; ++i) {
+      ts += 1 + static_cast<Timestamp>(rng.Uniform(3));
+      timestamps.push_back(ts);
+    }
+    std::vector<Timestamp> sorted = timestamps;
+    for (size_t lo = 0; lo < timestamps.size();) {
+      size_t hi = lo;
+      while (hi + 1 < timestamps.size() &&
+             timestamps[hi + 1] - timestamps[lo] <= bound) {
+        ++hi;
+      }
+      for (size_t i = hi; i > lo; --i) {
+        std::swap(timestamps[i],
+                  timestamps[lo + rng.Uniform(static_cast<uint64_t>(
+                                 i - lo + 1))]);
+      }
+      lo = hi + 1;
+    }
+
+    ReorderBuffer buffer(ReorderConfig{bound, LatePolicy::kReject});
+    std::vector<ReorderBuffer::Verdict> verdicts;
+    std::vector<Timestamp> released = OfferAll(&buffer, timestamps, &verdicts);
+    for (const auto v : verdicts) {
+      ASSERT_EQ(v, ReorderBuffer::Verdict::kAccepted) << "trial " << trial;
+    }
+    const std::vector<Timestamp> tail = FlushAll(&buffer);
+    released.insert(released.end(), tail.begin(), tail.end());
+    EXPECT_EQ(released, sorted) << "trial " << trial << " bound " << bound;
+  }
+}
+
+}  // namespace
+}  // namespace cepr
