@@ -165,7 +165,8 @@ class Shell {
       in >> name;
       if (name.empty()) {
         std::cout << "events ingested: " << engine_.events_ingested() << "\n";
-        const cepr::ReorderStats reorder = engine_.Snapshot().reorder;
+        const cepr::MetricsSnapshot snap = engine_.Snapshot();
+        const cepr::ReorderStats& reorder = snap.reorder;
         if (reorder.events_reordered > 0 || reorder.events_late_dropped > 0 ||
             reorder.events_clamped > 0) {
           std::cout << "reordered: " << reorder.events_reordered
@@ -173,6 +174,7 @@ class Shell {
                     << "  clamped: " << reorder.events_clamped
                     << "  buffer peak: " << reorder.reorder_buffer_peak << "\n";
         }
+        std::cout << "sharing: " << snap.sharing.ToString() << "\n";
         for (const auto& qname : engine_.QueryNames()) PrintStats(qname);
       } else {
         PrintStats(name);

@@ -96,6 +96,7 @@ void PaintShards(const cepr::MetricsSnapshot& snap) {
       << " late_dropped=" << snap.reorder.events_late_dropped
       << " clamped=" << snap.reorder.events_clamped
       << " buffer_peak=" << snap.reorder.reorder_buffer_peak << "\n";
+  out << "sharing: " << snap.sharing.ToString() << "\n";
   std::cout << out.str();
 }
 

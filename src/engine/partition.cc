@@ -32,20 +32,47 @@ Matcher* PartitionedMatcher::MatcherFor(const Event& event) {
   return it->second.get();
 }
 
+Matcher* PartitionedMatcher::ExistingMatcherFor(const Event& event) const {
+  if (single_ != nullptr) return single_.get();
+  const Value& key =
+      event.value(static_cast<size_t>(plan_->partition_attr_index));
+  auto it = by_key_.find(key);
+  return it == by_key_.end() ? nullptr : it->second.get();
+}
+
 Status PartitionedMatcher::OnEvent(const EventPtr& event,
                                    std::vector<Match>* out) {
-  return MatcherFor(*event)->OnEvent(event, out);
+  bool evaluated = false;
+  return OnEvent(event, out, /*candidate=*/true, &evaluated);
+}
+
+Status PartitionedMatcher::OnEvent(const EventPtr& event,
+                                   std::vector<Match>* out, bool candidate,
+                                   bool* evaluated) {
+  Matcher* m;
+  if (candidate) {
+    m = MatcherFor(*event);
+  } else {
+    // The predicate index proved the event cannot begin a run. If its
+    // partition has no matcher yet — or one with no live runs — the visit
+    // would be a pure no-op (nothing to extend, kill, or expire), so skip
+    // it without materializing the partition.
+    m = ExistingMatcherFor(*event);
+    if (m == nullptr || m->active_runs() == 0) {
+      *evaluated = false;
+      return Status::OK();
+    }
+  }
+  *evaluated = true;
+  const size_t before = m->active_runs();
+  const Status s = m->OnEvent(event, out);
+  query_runs_ += m->active_runs();  // delta update; modular arithmetic is
+  query_runs_ -= before;            // exact even when runs shrank
+  return s;
 }
 
 size_t PartitionedMatcher::num_partitions() const {
   return single_ != nullptr ? 1 : by_key_.size();
-}
-
-size_t PartitionedMatcher::active_runs() const {
-  if (single_ != nullptr) return single_->active_runs();
-  size_t total = 0;
-  for (const auto& [key, matcher] : by_key_) total += matcher->active_runs();
-  return total;
 }
 
 size_t PartitionedMatcher::MemoryEstimate() const {

@@ -25,11 +25,25 @@ class PartitionedMatcher {
   /// Fails only on a runtime fault under FaultPolicy::kFailFast.
   Status OnEvent(const EventPtr& event, std::vector<Match>* out);
 
+  /// Candidate-aware variant for the shared evaluation layer. When
+  /// `candidate` is false the caller's predicate index has proven the event
+  /// cannot begin a run here; if the event's partition also holds no live
+  /// runs the matcher visit is provably a no-op and is skipped entirely
+  /// (`*evaluated` reports whether a matcher actually ran, so callers can
+  /// keep per-event timing histograms comparable across modes). A
+  /// non-candidate event MUST still be evaluated while runs are live: it
+  /// can extend, kill, or expire them.
+  Status OnEvent(const EventPtr& event, std::vector<Match>* out,
+                 bool candidate, bool* evaluated);
+
   /// Counter snapshot; safe to call from any thread while the owning
   /// thread keeps matching (per-counter exact, cross-counter approximate).
   MatcherStats stats() const { return stats_.Snapshot(); }
   size_t num_partitions() const;
-  size_t active_runs() const;
+  /// Live runs across all partitions. O(1): maintained as a delta counter
+  /// around each matcher visit (runs only mutate inside OnEvent), so the
+  /// shared layer can consult it per event without walking partitions.
+  size_t active_runs() const { return query_runs_; }
   size_t MemoryEstimate() const;
 
  private:
@@ -38,12 +52,15 @@ class PartitionedMatcher {
   };
 
   Matcher* MatcherFor(const Event& event);
+  /// The event's partition matcher if it exists, without creating one.
+  Matcher* ExistingMatcherFor(const Event& event) const;
 
   CompiledQueryPtr plan_;
   MatcherOptions options_;
   const RunPruner* pruner_;
   AtomicMatcherStats stats_;
   uint64_t next_match_id_ = 0;
+  size_t query_runs_ = 0;  // cached sum of per-partition active runs
   size_t own_live_runs_ = 0;       // used when the caller shares no counter
   size_t* live_runs_ = nullptr;    // not owned; never null after ctor
 

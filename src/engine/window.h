@@ -27,6 +27,10 @@ class ReportWindowAssigner {
   static ReportWindowAssigner ForQuery(const CompiledQuery& query);
 
   Mode mode() const { return mode_; }
+  /// Window parameters, for grouping queries with coincident boundaries
+  /// (the shared layer's window groups): the kTime span / kCount size.
+  Timestamp span() const { return span_; }
+  int64_t every_n() const { return every_n_; }
 
   /// Window id for an input position (event timestamp + per-query event
   /// ordinal). Matches use the position of their detecting event.

@@ -1,5 +1,7 @@
 #include "plan/compiler.h"
 
+#include "plan/signature.h"
+
 #include <algorithm>
 #include <cmath>
 #include <utility>
@@ -308,6 +310,7 @@ Result<CompiledQueryPtr> Compile(AnalyzedQuery analyzed) {
   cq->score = cq->analyzed.ast.rank_by.get();
 
   cq->nfa = NfaPlan::Build(cq->pattern, cq->analyzed.layout);
+  ComputeTemplateSignature(cq.get());
   return CompiledQueryPtr(cq);
 }
 

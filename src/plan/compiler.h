@@ -35,6 +35,15 @@ struct CompiledQuery {
   /// Non-empty = results are re-ingested as events of this derived stream.
   std::string into_stream;
 
+  /// Canonical structural signature of the compiled pattern with every
+  /// literal constant, the LIMIT k and the partition attribute replaced by
+  /// numbered parameter slots. Queries with equal signatures differ only
+  /// in those slot values and can share one NFA template (see
+  /// plan/signature.h and docs/MULTIQUERY.md).
+  std::string template_signature;
+  /// The extracted constants, in slot order (?0, ?1, ...).
+  std::vector<Value> template_params;
+
   /// Declared value range per schema attribute (Whole() if undeclared).
   std::vector<Interval> attr_ranges;
   /// True iff the score's static upper bound (lower bound for ASC) is

@@ -1,0 +1,162 @@
+#include "plan/signature.h"
+
+namespace cepr {
+
+namespace {
+
+/// Canonical structural rendering of an expression tree: every literal is
+/// replaced by a numbered slot and appended to `params`; resolved variable
+/// and attribute indices (not names) identify references, so queries whose
+/// surface text differs but resolve identically canonicalize equally.
+void CanonExpr(const Expr& e, std::string* out, std::vector<Value>* params) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      *out += "?" + std::to_string(params->size());
+      params->push_back(e.literal);
+      return;
+    case ExprKind::kVarRef:
+      *out += "v" + std::to_string(e.var_index) + "." +
+              std::to_string(e.attr_index);
+      return;
+    case ExprKind::kIterRef:
+      *out += "i" + std::to_string(static_cast<int>(e.iter_kind)) + ":" +
+              std::to_string(e.var_index) + "." + std::to_string(e.attr_index);
+      return;
+    case ExprKind::kAggregate:
+      *out += "a" + std::to_string(static_cast<int>(e.agg_func)) + ":" +
+              std::to_string(e.var_index) + "." + std::to_string(e.attr_index);
+      return;
+    case ExprKind::kUnary:
+      *out += "u" + std::to_string(static_cast<int>(e.unary_op)) + "(";
+      CanonExpr(*e.children[0], out, params);
+      *out += ")";
+      return;
+    case ExprKind::kBinary:
+      *out += "b" + std::to_string(static_cast<int>(e.binary_op)) + "(";
+      CanonExpr(*e.children[0], out, params);
+      *out += ",";
+      CanonExpr(*e.children[1], out, params);
+      *out += ")";
+      return;
+    case ExprKind::kFunc:
+      *out += "f" + std::to_string(static_cast<int>(e.func)) + "(";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) *out += ",";
+        CanonExpr(*e.children[i], out, params);
+      }
+      *out += ")";
+      return;
+    case ExprKind::kCase:
+      *out += e.has_else ? "ce(" : "c(";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) *out += ",";
+        CanonExpr(*e.children[i], out, params);
+      }
+      *out += ")";
+      return;
+  }
+}
+
+void CanonPreds(const std::vector<ExprPtr>& preds, std::string* out,
+                std::vector<Value>* params) {
+  *out += "[";
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (i > 0) *out += ";";
+    CanonExpr(*preds[i], out, params);
+  }
+  *out += "]";
+}
+
+}  // namespace
+
+void ComputeTemplateSignature(CompiledQuery* cq) {
+  std::string sig;
+  std::vector<Value> params;
+
+  // Stream identity + window/strategy/emission structure. The WITHIN span
+  // and kCount window size shape run expiry and report windows, so they
+  // stay structural (queries with different spans do not share a template).
+  sig += "s:" + cq->schema()->name();
+  sig += "|st" + std::to_string(static_cast<int>(cq->strategy));
+  sig += "|em" + std::to_string(static_cast<int>(cq->emit));
+  sig += "/" + std::to_string(cq->emit_every_n);
+  sig += "|w" + std::to_string(cq->within_micros);
+  sig += "/" + std::to_string(cq->within_events);
+  if (!cq->into_stream.empty()) sig += "|into:" + cq->into_stream;
+
+  // Parameter slots for the per-query knobs that do NOT change the NFA:
+  // the top-k cutoff and the partition attribute.
+  sig += "|k?" + std::to_string(params.size());
+  params.push_back(Value::Int(cq->limit));
+  sig += "|p?" + std::to_string(params.size());
+  params.push_back(Value::Int(cq->partition_attr_index));
+
+  // Pattern skeleton: one segment per positive component, carrying its
+  // Kleene/optional structure, type tag, negation watcher, and the
+  // canonicalized predicate groups (literals slotted out).
+  for (const CompiledComponent& comp : cq->pattern.components) {
+    sig += "|C" + std::to_string(comp.var_index);
+    if (comp.is_kleene) {
+      sig += "k" + std::to_string(comp.min_iters) + ":" +
+             std::to_string(comp.max_iters);
+    }
+    if (comp.is_optional) sig += "o";
+    if (!comp.type_tag.empty()) sig += "t(" + comp.type_tag + ")";
+    sig += "b";
+    CanonPreds(comp.begin_preds, &sig, &params);
+    sig += "i";
+    CanonPreds(comp.iter_preds, &sig, &params);
+    sig += "x";
+    CanonPreds(comp.exit_preds, &sig, &params);
+    if (comp.negation_before.has_value()) {
+      const CompiledNegation& neg = *comp.negation_before;
+      sig += "n" + std::to_string(neg.var_index);
+      if (!neg.type_tag.empty()) sig += "t(" + neg.type_tag + ")";
+      CanonPreds(neg.preds, &sig, &params);
+    }
+  }
+
+  // Score shape (ASC/DESC structural; its constants are slots).
+  if (cq->score != nullptr) {
+    sig += cq->rank_desc ? "|rd:" : "|ra:";
+    CanonExpr(*cq->score, &sig, &params);
+  }
+
+  cq->template_signature = std::move(sig);
+  cq->template_params = std::move(params);
+}
+
+std::shared_ptr<const NfaTemplate> TemplateRegistry::Intern(
+    const CompiledQuery& q, bool* deduped) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (deduped != nullptr) *deduped = false;
+  auto it = by_signature_.find(q.template_signature);
+  if (it != by_signature_.end()) {
+    if (auto live = it->second.lock()) {
+      if (deduped != nullptr) *deduped = true;
+      return live;
+    }
+    by_signature_.erase(it);  // last query of the template is gone
+  }
+  auto made = std::make_shared<NfaTemplate>();
+  made->signature = q.template_signature;
+  made->nfa = NfaPlan::Build(q.pattern, q.analyzed.layout);
+  by_signature_.emplace(made->signature, made);
+  return made;
+}
+
+size_t TemplateRegistry::live_templates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t live = 0;
+  for (auto it = by_signature_.begin(); it != by_signature_.end();) {
+    if (it->second.expired()) {
+      it = by_signature_.erase(it);
+    } else {
+      ++live;
+      ++it;
+    }
+  }
+  return live;
+}
+
+}  // namespace cepr

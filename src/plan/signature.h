@@ -1,0 +1,65 @@
+#ifndef CEPR_PLAN_SIGNATURE_H_
+#define CEPR_PLAN_SIGNATURE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "plan/compiler.h"
+
+namespace cepr {
+
+/// Fills `cq->template_signature` and `cq->template_params`: a canonical
+/// rendering of the compiled pattern's *structure* — stream, variable
+/// layout, selection strategy, emission policy, window spans, type tags,
+/// and the shape of every pushed-down predicate and of the score
+/// expression — with every literal constant, the LIMIT k and the partition
+/// attribute replaced by numbered parameter slots (`?0`, `?1`, ...). Two
+/// queries that differ only in those constants render to the same
+/// signature and differ only in the extracted slot table, which is what
+/// lets the runtime share one NFA template between them (docs/MULTIQUERY.md).
+///
+/// Called by Compile() on every query; the signature depends only on
+/// compiler output, so equal signatures imply structurally identical
+/// matcher behavior modulo the slot values.
+void ComputeTemplateSignature(CompiledQuery* cq);
+
+/// One shared, immutable NFA skeleton: the unit of plan deduplication.
+/// Every live query whose compiled pattern canonicalizes to `signature`
+/// holds a shared_ptr to the same NfaTemplate; the template dies with its
+/// last query (hot remove included), and the registry holds only weak
+/// references so it never pins a template alive.
+///
+/// `nfa` is built from the first query interned under the signature, so
+/// its edge labels show that representative's constants where a slot
+/// (`?N`) conceptually sits.
+struct NfaTemplate {
+  std::string signature;
+  NfaPlan nfa;
+};
+
+/// Interns NFA templates by canonical signature. Single-writer (the
+/// engine's registration path); lookups prune dead weak references lazily.
+class TemplateRegistry {
+ public:
+  /// Returns the shared template for `q`'s signature, building it from `q`
+  /// on first use. `*deduped` (nullable) is set true iff an existing live
+  /// template was reused — the `queries_deduped` sharing counter.
+  std::shared_ptr<const NfaTemplate> Intern(const CompiledQuery& q,
+                                            bool* deduped);
+
+  /// Number of templates with at least one live query (prunes dead
+  /// entries). Diagnostics / refcount regression tests.
+  size_t live_templates() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::unordered_map<std::string, std::weak_ptr<const NfaTemplate>>
+      by_signature_;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_PLAN_SIGNATURE_H_

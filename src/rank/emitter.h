@@ -32,6 +32,12 @@ class Emitter {
   const Ranker& ranker() const { return ranker_; }
   const ReportWindowAssigner& windows() const { return windows_; }
 
+  /// True iff buffered matches await a window close (see
+  /// Ranker::has_buffered_results); the shared evaluation layer uses this
+  /// to decide which skipped queries need window advancement at a report
+  /// boundary.
+  bool has_buffered_results() const { return ranker_.has_buffered_results(); }
+
   /// Event-time position of the stream as this emitter last saw it; the
   /// reference point for emission-delay metrics (how long a match waited
   /// in a buffered window before leaving).

@@ -69,6 +69,15 @@ class Ranker {
   /// Matches accepted into ranked state so far (diagnostics).
   uint64_t matches_seen() const { return matches_seen_; }
 
+  /// True iff an open window holds buffered matches that only a future
+  /// AdvanceTo / Finish will release — i.e. window progress must not be
+  /// postponed past the next boundary. Eager and passthrough windows
+  /// already emitted everything; closing them is a pure state reset that
+  /// any later OnMatch/AdvanceTo performs equivalently.
+  bool has_buffered_results() const {
+    return window_open_ && !eager_ && policy_ != RankerPolicy::kPassthrough;
+  }
+
  private:
   void CloseWindow(std::vector<RankedResult>* out);
   void EmitOrdered(std::vector<Match> ordered, std::vector<RankedResult>* out);

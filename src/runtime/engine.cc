@@ -1,5 +1,8 @@
 #include "runtime/engine.h"
 
+#include <algorithm>
+#include <cstdint>
+
 #include "common/logging.h"
 #include "common/strings.h"
 #include "lang/parser.h"
@@ -97,10 +100,62 @@ Status Engine::RegisterQuery(std::string name, std::string_view query_text,
   effective.matcher = MergeEngineCaps(
       options.matcher, options_.max_runs_per_partition, options_.max_total_runs,
       options_.shed_policy, options_.fault_policy, options_.fault_injector);
-  queries_.emplace(key, std::make_unique<RunningQuery>(
-                            std::move(name), std::move(plan), effective, sink,
-                            std::move(forward), &live_runs_));
+  auto running = std::make_unique<RunningQuery>(std::move(name), plan,
+                                                effective, sink,
+                                                std::move(forward), &live_runs_);
+  if (options_.shared_eval) {
+    bool deduped = false;
+    running->set_nfa_template(template_registry_.Intern(*plan, &deduped));
+    if (deduped) ++queries_deduped_;
+    if (effective.matcher.fault_injector != nullptr) {
+      // Injected fault schedules count matcher visits; only full per-query
+      // visits reproduce the per-query path's positions exactly.
+      degraded_faults_ = true;
+    }
+    StreamState* stream = StreamOf(plan);
+    running->BindSharedStream(&stream->next_sequence, stream->next_sequence);
+    queries_.emplace(key, std::move(running));
+    RebuildSharedStream(*stream);
+  } else {
+    queries_.emplace(key, std::move(running));
+  }
   return Status::OK();
+}
+
+Engine::StreamState* Engine::StreamOf(const CompiledQueryPtr& plan) {
+  const auto it = streams_.find(ToLower(plan->schema()->name()));
+  return it == streams_.end() ? nullptr : &it->second;
+}
+
+void Engine::RebuildSharedStream(StreamState& state) {
+  SharedStreamState& sh = state.shared;
+  sh.by_slot.clear();
+  sh.index.Clear();
+  sh.hot.clear();
+  sh.window_groups.clear();
+  // queries_ is name-ordered, so slots come out name-sorted: the predicate
+  // index's ascending-slot candidate lists are already in visit order.
+  uint32_t slot = 0;
+  for (auto& [key, query] : queries_) {
+    if (query->plan()->schema() != state.schema) continue;
+    sh.by_slot.push_back(query.get());
+    sh.index.AddQuery(slot, query->plan().get());
+    if (query->active_runs() > 0) sh.hot.insert(slot);
+    const ReportWindowAssigner& w = query->emitter().windows();
+    if (w.mode() == ReportWindowAssigner::Mode::kTime) {
+      sh.window_groups[{0, w.span(), 0}].slots.push_back(slot);
+    } else if (w.mode() == ReportWindowAssigner::Mode::kCount) {
+      // Queries whose per-query ordinals agree mod n cross count-window
+      // boundaries at the same stream positions.
+      const int64_t n = w.every_n();
+      const int64_t off =
+          static_cast<int64_t>(query->registration_offset() %
+                               static_cast<uint64_t>(n));
+      sh.window_groups[{1, n, off}].slots.push_back(slot);
+    }
+    // kSingle windows never close on progress; no group needed.
+    ++slot;
+  }
 }
 
 Result<RunningQuery::ForwardFn> Engine::MakeForwarder(
@@ -160,7 +215,12 @@ Status Engine::RemoveQuery(std::string_view name) {
     return Status::NotFound("no query named '" + std::string(name) + "'");
   }
   it->second->Finish();
+  StreamState* stream =
+      options_.shared_eval ? StreamOf(it->second->plan()) : nullptr;
+  // Erasing drops the query's template reference: the last sharer of a
+  // signature frees the interned NfaTemplate (weak registry entry).
   queries_.erase(it);
+  if (stream != nullptr) RebuildSharedStream(*stream);
   return Status::OK();
 }
 
@@ -188,8 +248,14 @@ MetricsSnapshot Engine::Snapshot() const {
   MetricsSnapshot snap;
   snap.events_ingested = events_ingested_;
   snap.events_quarantined = events_quarantined_;
+  snap.sharing.shared_eval = shared_eval_active();
+  snap.sharing.queries_deduped = queries_deduped_;
+  snap.sharing.live_templates = template_registry_.live_templates();
   for (const auto& [key, state] : streams_) {
     snap.reorder.Accumulate(state.reorder.stats());
+    snap.sharing.predindex_probes += state.shared.index.probes();
+    snap.sharing.predindex_candidates += state.shared.index.candidates();
+    snap.sharing.shared_window_buffers += state.shared.window_groups.size();
   }
   snap.num_shards = 1;
   snap.queries.reserve(queries_.size());
@@ -253,20 +319,131 @@ Status Engine::Route(StreamState& state, std::vector<Event> released) {
     }
     ++push_depth_;
     const auto shared = std::make_shared<const Event>(std::move(event));
-    for (auto& [key, query] : queries_) {
-      if (query->plan()->schema() == state.schema) {
-        const Status s = query->OnEvent(shared);
-        if (!s.ok()) {
-          // Only kFailFast faults surface here (kSkipAndCount is contained
-          // inside the matcher); the event was ingested, the stream stops.
-          --push_depth_;
-          return s;
-        }
-      }
-    }
+    const Status s = shared_eval_active() ? RouteShared(state, shared)
+                                          : RouteAll(state, shared);
     --push_depth_;
+    // Only kFailFast faults surface here (kSkipAndCount is contained
+    // inside the matcher); the event was ingested, the stream stops.
+    if (!s.ok()) return s;
   }
   return Status::OK();
+}
+
+Status Engine::RouteAll(StreamState& state, const EventPtr& event) {
+  for (auto& [key, query] : queries_) {
+    if (query->plan()->schema() != state.schema) continue;
+    Status s;
+    if (options_.shared_eval) {
+      // Degraded shared mode: full visits, but ordinals stay derived from
+      // the stream position (the query never self-counts in shared mode).
+      bool evaluated = false;
+      s = query->OnEventAt(event,
+                           event->sequence() - query->registration_offset(),
+                           /*candidate=*/true, &evaluated);
+    } else {
+      s = query->OnEvent(event);
+    }
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status Engine::RouteShared(StreamState& state, const EventPtr& event) {
+  SharedStreamState& sh = state.shared;
+  const uint64_t seq = event->sequence();
+  const Timestamp ts = event->timestamp();
+
+  // Scratch is swapped out for the duration of the call: a query's EMIT
+  // INTO forwarding can re-enter Route (even for this stream, through a
+  // composition cycle) and must not clobber the vectors we iterate.
+  std::vector<uint32_t> cand;
+  cand.swap(sh.cand_scratch);
+  cand.clear();
+  std::vector<uint32_t> due;
+  due.swap(sh.due_scratch);
+  due.clear();
+
+  // 1. Which queries can this event begin a run for?
+  sh.index.Probe(*event, &cand);
+
+  // 2. Which skipped queries have a buffered report window closing here?
+  // One boundary check per window scheme, not per query.
+  for (auto& [group_key, group] : sh.window_groups) {
+    const int64_t boundary =
+        std::get<0>(group_key) == 0
+            ? ts / std::get<1>(group_key)
+            : static_cast<int64_t>(
+                  (seq - static_cast<uint64_t>(std::get<2>(group_key))) /
+                  static_cast<uint64_t>(std::get<1>(group_key)));
+    if (boundary <= group.last) continue;
+    group.last = boundary;
+    for (const uint32_t slot : group.slots) {
+      if (sh.by_slot[slot]->has_pending_window()) due.push_back(slot);
+    }
+  }
+  std::sort(due.begin(), due.end());
+
+  // 3. Visit candidates ∪ hot ∪ due ascending (= name order, the classic
+  // path's delivery interleaving). Build the list first: visits mutate the
+  // hot set.
+  struct Visit {
+    uint32_t slot;
+    bool candidate;
+    bool was_hot;
+  };
+  std::vector<Visit> visits;
+  visits.reserve(cand.size() + sh.hot.size() + due.size());
+  {
+    auto ci = cand.begin();
+    auto hi = sh.hot.begin();
+    auto di = due.begin();
+    while (ci != cand.end() || hi != sh.hot.end() || di != due.end()) {
+      uint32_t next = UINT32_MAX;
+      if (ci != cand.end()) next = std::min(next, *ci);
+      if (hi != sh.hot.end()) next = std::min(next, *hi);
+      if (di != due.end()) next = std::min(next, *di);
+      Visit v{next, false, false};
+      if (ci != cand.end() && *ci == next) {
+        v.candidate = true;
+        ++ci;
+      }
+      if (hi != sh.hot.end() && *hi == next) {
+        v.was_hot = true;
+        ++hi;
+      }
+      if (di != due.end() && *di == next) ++di;
+      visits.push_back(v);
+    }
+  }
+
+  Status failed = Status::OK();
+  for (const Visit& v : visits) {
+    RunningQuery* query = sh.by_slot[v.slot];
+    if (!v.candidate && !v.was_hot) {
+      // Window-due only: pure report-window progress, no matcher work.
+      query->AdvanceWindows(ts, seq - query->registration_offset());
+      continue;
+    }
+    bool evaluated = false;
+    const Status s = query->OnEventAt(
+        event, seq - query->registration_offset(), v.candidate, &evaluated);
+    const bool now_hot = query->active_runs() > 0;
+    if (now_hot != v.was_hot) {
+      if (now_hot) {
+        sh.hot.insert(v.slot);
+      } else {
+        sh.hot.erase(v.slot);
+      }
+    }
+    if (!s.ok()) {
+      failed = s;
+      break;
+    }
+  }
+
+  cand.swap(sh.cand_scratch);
+  due.swap(sh.due_scratch);
+  return failed;
 }
 
 Status Engine::Flush() {

@@ -3,10 +3,14 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <vector>
 
+#include "engine/predicate_index.h"
+#include "plan/signature.h"
 #include "runtime/query.h"
 #include "runtime/reorder.h"
 
@@ -50,6 +54,20 @@ struct EngineOptions {
   /// Optional deterministic fault-injection harness (tests/bench); not
   /// owned, must outlive the engine.
   const FaultInjector* fault_injector = nullptr;
+
+  // -- Shared multi-query evaluation ----------------------------------------
+
+  /// Route events through the shared evaluation layer: NFA templates are
+  /// interned per canonical signature, each stream's entry predicates are
+  /// indexed so an event dispatches only to queries it can affect, and
+  /// report-window boundaries are tracked once per (stream, window-scheme)
+  /// group. Ranked output per query is bit-identical to the per-query path
+  /// (docs/MULTIQUERY.md proves the skip conditions); `false` is the
+  /// ablation switch that preserves the classic visit-every-query routing.
+  /// Automatically degraded to full per-query visits while any registered
+  /// query has a fault injector armed, so injected fault schedules fire at
+  /// the exact event positions the per-query path would produce.
+  bool shared_eval = true;
 };
 
 /// The CEPR system facade: stream registry, query registry, and the ingest
@@ -141,7 +159,47 @@ class Engine {
   /// Live matcher runs across all queries (what max_total_runs caps).
   size_t live_runs() const { return live_runs_; }
 
+  /// Shared-layer introspection (tests, monitor). live_templates walks the
+  /// registry; the rest are cheap counter reads folded into Snapshot().
+  const TemplateRegistry& template_registry() const {
+    return template_registry_;
+  }
+  /// True while events actually route through the shared layer (i.e.
+  /// shared_eval is on and no fault injector has degraded it).
+  bool shared_eval_active() const {
+    return options_.shared_eval && !degraded_faults_;
+  }
+
  private:
+  /// Per-stream state of the shared evaluation layer. Queries are referred
+  /// to by dense per-stream slots assigned in name order (so the predicate
+  /// index's ascending-id output is exactly the per-query visit order the
+  /// classic path produces); membership changes re-slot via
+  /// RebuildSharedStream — hot add/remove is rare, events are not.
+  struct SharedStreamState {
+    /// Entry-predicate dispatch index; slot-keyed.
+    PredicateIndex index;
+    /// slot -> query, name-sorted (parallel to the slot numbering).
+    std::vector<RunningQuery*> by_slot;
+    /// Slots whose queries currently hold live matcher runs: these must be
+    /// visited even for non-candidate events (runs can extend/expire/die).
+    /// Updated after each visit — the only place run counts change.
+    std::set<uint32_t> hot;
+    /// One boundary tracker per distinct window scheme: every member
+    /// query's report windows close at the same events, so the crossing
+    /// check runs once per group instead of once per query.
+    /// Key: (mode, span-or-n, registration offset mod n).
+    struct WindowGroup {
+      int64_t last = INT64_MIN;  // last boundary counter observed
+      std::vector<uint32_t> slots;
+    };
+    std::map<std::tuple<int, int64_t, int64_t>, WindowGroup> window_groups;
+    /// Reusable per-event scratch (swapped out during a Route call so
+    /// nested derived-stream routing cannot clobber it).
+    std::vector<uint32_t> cand_scratch;
+    std::vector<uint32_t> due_scratch;
+  };
+
   struct StreamState {
     SchemaPtr schema;
     uint64_t next_sequence = 0;
@@ -149,6 +207,7 @@ class Engine {
     /// Non-movable (single-writer atomic counters), so streams_ entries
     /// are built in place with try_emplace.
     ReorderBuffer reorder;
+    SharedStreamState shared;
   };
 
   /// Builds the re-ingestion callback for an EMIT INTO query, creating or
@@ -162,10 +221,28 @@ class Engine {
   /// Stamps each released event with the stream's sequence number and fans
   /// it out to the stream's queries, in release order.
   Status Route(StreamState& state, std::vector<Event> released);
+  /// Classic path: every query of the stream, in name order. Used when
+  /// shared_eval is off (per-query counting) or degraded (explicit
+  /// ordinals, full visits).
+  Status RouteAll(StreamState& state, const EventPtr& event);
+  /// Shared path: predicate-index probe, then visit only candidate, hot
+  /// and window-due queries (in name order — same delivery interleaving as
+  /// RouteAll).
+  Status RouteShared(StreamState& state, const EventPtr& event);
+  /// Re-slots a stream's queries (name order), rebuilds its predicate
+  /// index, hot set and window groups. Called on query add/remove.
+  void RebuildSharedStream(StreamState& state);
+  StreamState* StreamOf(const CompiledQueryPtr& plan);
 
   EngineOptions options_;
   std::map<std::string, StreamState, std::less<>> streams_;
   std::map<std::string, std::unique_ptr<RunningQuery>, std::less<>> queries_;
+  TemplateRegistry template_registry_;
+  uint64_t queries_deduped_ = 0;
+  /// Sticky: set when any registered query arms a fault injector; the
+  /// engine then visits every query per event so fault schedules hit the
+  /// exact positions the per-query path produces.
+  bool degraded_faults_ = false;
   uint64_t events_ingested_ = 0;
   uint64_t events_quarantined_ = 0;
   /// Engine-wide live-run counter shared by every matcher (the

@@ -108,6 +108,29 @@ std::string ShardStats::ToJson() const {
   return out;
 }
 
+std::string SharingStats::ToString() const {
+  std::string out;
+  out += "shared_eval=" + std::string(shared_eval ? "on" : "off");
+  out += " queries_deduped=" + std::to_string(queries_deduped);
+  out += " live_templates=" + std::to_string(live_templates);
+  out += " predindex_probes=" + std::to_string(predindex_probes);
+  out += " predindex_candidates=" + std::to_string(predindex_candidates);
+  out += " shared_window_buffers=" + std::to_string(shared_window_buffers);
+  return out;
+}
+
+std::string SharingStats::ToJson() const {
+  std::string out = "{";
+  out += "\"shared_eval\":" + std::string(shared_eval ? "true" : "false");
+  out += ",\"queries_deduped\":" + std::to_string(queries_deduped);
+  out += ",\"live_templates\":" + std::to_string(live_templates);
+  out += ",\"predindex_probes\":" + std::to_string(predindex_probes);
+  out += ",\"predindex_candidates\":" + std::to_string(predindex_candidates);
+  out += ",\"shared_window_buffers\":" + std::to_string(shared_window_buffers);
+  out += "}";
+  return out;
+}
+
 std::string MergeStats::ToString() const {
   return "windows_merged=" + std::to_string(windows_merged) +
          " results_emitted=" + std::to_string(results_emitted);
@@ -140,6 +163,7 @@ std::string MetricsSnapshot::ToString() const {
   out += " events_clamped=" + std::to_string(reorder.events_clamped);
   out += " reorder_buffer_peak=" + std::to_string(reorder.reorder_buffer_peak);
   out += " num_shards=" + std::to_string(num_shards);
+  out += "\nsharing: " + sharing.ToString();
   for (const QueryEntry& q : queries) {
     out += "\nquery " + q.name + ": " + q.metrics.ToString();
   }
@@ -173,6 +197,7 @@ std::string MetricsSnapshot::ToJson() const {
     out += shards[i].ToJson();
   }
   out += "],\"merge\":" + merge.ToJson();
+  out += ",\"sharing\":" + sharing.ToJson();
   out += "}";
   return out;
 }

@@ -70,6 +70,32 @@ struct ShardStats {
   std::string ToJson() const;
 };
 
+/// Counters of the shared multi-query evaluation layer (docs/MULTIQUERY.md).
+/// All zeros when shared evaluation is disabled.
+struct SharingStats {
+  /// Whether the engine routed events through the shared layer. False
+  /// under `shared_eval = false` and when fault injection degraded the
+  /// engine to full per-query visits.
+  bool shared_eval = false;
+  /// Query registrations that reused an already-interned NFA template
+  /// (same canonical signature, different constants/k/partition slots).
+  uint64_t queries_deduped = 0;
+  /// Distinct live NFA templates across all registered queries.
+  uint64_t live_templates = 0;
+  /// Predicate-index probes (one per routed event on an indexed stream)
+  /// and the total candidate queries those probes produced. candidates /
+  /// probes = average fan-out per event; compare with the resident query
+  /// count to see what the index saves.
+  uint64_t predindex_probes = 0;
+  uint64_t predindex_candidates = 0;
+  /// Live shared window-boundary trackers (one per (stream, window-scheme)
+  /// group of queries whose report windows close at coincident events).
+  uint64_t shared_window_buffers = 0;
+
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
 /// Engine-wide counters of the sharded engine's merge stage.
 struct MergeStats {
   /// Report windows combined across shards.
@@ -148,6 +174,8 @@ struct MetricsSnapshot {
   std::vector<ShardStats> shards;
   /// Merge-stage counters (zeros for the serial engine).
   MergeStats merge;
+  /// Shared multi-query evaluation counters (zeros when disabled).
+  SharingStats sharing;
 
   /// Multi-line human-readable dump.
   std::string ToString() const;

@@ -34,6 +34,33 @@ Status RunningQuery::OnEvent(const EventPtr& event) {
   return matched;
 }
 
+Status RunningQuery::OnEventAt(const EventPtr& event, uint64_t ordinal,
+                               bool candidate, bool* evaluated) {
+  Stopwatch timer;
+  last_event_ts_ = event->timestamp();
+
+  std::vector<Match> matches;
+  const Status matched = matcher_.OnEvent(event, &matches, candidate, evaluated);
+  metrics_.matches += matches.size();
+
+  // The emitter advances unconditionally — even when the matcher visit was
+  // skipped or faulted — so window closes land at the same (ts, ordinal)
+  // positions the per-query path produces.
+  std::vector<RankedResult> results;
+  emitter_.OnEvent(event->timestamp(), ordinal, std::move(matches), &results);
+  Deliver(std::move(results));
+
+  if (*evaluated) metrics_.event_processing_ns.Record(timer.ElapsedNanos());
+  return matched;
+}
+
+void RunningQuery::AdvanceWindows(Timestamp ts, uint64_t ordinal) {
+  last_event_ts_ = ts;
+  std::vector<RankedResult> results;
+  emitter_.OnEvent(ts, ordinal, {}, &results);
+  Deliver(std::move(results));
+}
+
 void RunningQuery::Finish() {
   std::vector<RankedResult> results;
   emitter_.Finish(&results);
@@ -51,6 +78,12 @@ void RunningQuery::Deliver(std::vector<RankedResult> results) {
 
 QueryMetrics RunningQuery::metrics() const {
   QueryMetrics snapshot = metrics_;
+  if (stream_sequence_ != nullptr) {
+    // Shared evaluation: the engine does not visit this query per event,
+    // so count events from the stream position instead — every stream
+    // event since registration logically reached the query.
+    snapshot.events = *stream_sequence_ - registration_offset_;
+  }
   snapshot.matcher = matcher_.stats();
   if (emitter_.score_pruner() != nullptr) {
     snapshot.prune_checks = emitter_.score_pruner()->checks();

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "engine/partition.h"
+#include "plan/signature.h"
 #include "rank/emitter.h"
 #include "runtime/metrics.h"
 #include "runtime/sink.h"
@@ -41,15 +42,57 @@ class RunningQuery {
   /// window/ranking state stays coherent either way.
   Status OnEvent(const EventPtr& event);
 
+  /// Shared-evaluation entry: like OnEvent but with the per-query ordinal
+  /// supplied by the caller (stream sequence minus registration offset —
+  /// the shared layer does not visit this query on every event, so it
+  /// cannot count locally) and the predicate-index verdict. When
+  /// `candidate` is false and the event's partition holds no runs the
+  /// matcher visit is skipped (`*evaluated` = false); the emitter still
+  /// advances so report windows close at the same positions as the
+  /// per-query path. Timing is recorded only for evaluated events.
+  Status OnEventAt(const EventPtr& event, uint64_t ordinal, bool candidate,
+                   bool* evaluated);
+
+  /// Pure window progress for an event this query was not visited on:
+  /// closes any report window the position (ts, ordinal) moves past and
+  /// delivers its results, exactly as the matcher-visiting path would.
+  void AdvanceWindows(Timestamp ts, uint64_t ordinal);
+
+  /// True iff a buffered report window is open — i.e. skipping window
+  /// advancement on a boundary-crossing event would delay emission.
+  bool has_pending_window() const { return emitter_.has_buffered_results(); }
+
   /// End of stream: flushes buffered windows to the sink.
   void Finish();
 
   const std::string& name() const { return name_; }
   const CompiledQueryPtr& plan() const { return plan_; }
-  /// Snapshot of the metrics (matcher counters copied on call).
+  const Emitter& emitter() const { return emitter_; }
+  /// Snapshot of the metrics (matcher counters copied on call). Under
+  /// shared evaluation `events` is derived from the stream position (every
+  /// stream event logically reaches every query, visited or skipped).
   QueryMetrics metrics() const;
   size_t active_runs() const { return matcher_.active_runs(); }
   size_t MemoryEstimate() const { return matcher_.MemoryEstimate(); }
+
+  /// Shared-evaluation bookkeeping, installed at registration: the owning
+  /// stream's sequence counter and this query's registration offset
+  /// (`*stream_sequence - offset` = events logically seen).
+  void BindSharedStream(const uint64_t* stream_sequence, uint64_t offset) {
+    stream_sequence_ = stream_sequence;
+    registration_offset_ = offset;
+  }
+  uint64_t registration_offset() const { return registration_offset_; }
+
+  /// The interned NFA template this query shares (null when shared
+  /// evaluation is off). Held here so the template's refcount tracks query
+  /// lifetime — hot-removing the last sharer frees it.
+  void set_nfa_template(std::shared_ptr<const NfaTemplate> t) {
+    nfa_template_ = std::move(t);
+  }
+  const std::shared_ptr<const NfaTemplate>& nfa_template() const {
+    return nfa_template_;
+  }
 
  private:
   void Deliver(std::vector<RankedResult> results);
@@ -62,8 +105,11 @@ class RunningQuery {
   Emitter emitter_;
   PartitionedMatcher matcher_;
   QueryMetrics metrics_;
-  uint64_t ordinal_ = 0;        // events seen by this query
+  uint64_t ordinal_ = 0;        // events seen by this query (per-query path)
   Timestamp last_event_ts_ = 0; // emission-delay bookkeeping
+  const uint64_t* stream_sequence_ = nullptr;  // shared mode; not owned
+  uint64_t registration_offset_ = 0;
+  std::shared_ptr<const NfaTemplate> nfa_template_;
 };
 
 }  // namespace cepr

@@ -138,7 +138,18 @@ Status ShardedEngine::RegisterQuery(std::string name,
       ShardRouter(*plan, num_shards_, queries_.size()),
       ReportWindowAssigner::ForQuery(*plan), merge);
   q->pending.resize(num_shards_);
-  query_index_.emplace(key, static_cast<uint32_t>(queries_.size()));
+  const uint32_t qi = static_cast<uint32_t>(queries_.size());
+  if (options_.shared_eval) {
+    bool deduped = false;
+    q->nfa_template = template_registry_.Intern(*plan, &deduped);
+    if (deduped) queries_deduped_.Increment();
+    if (options.matcher.fault_injector != nullptr) query_injector_ = true;
+    // Index the query's entry predicates on its stream (registration is
+    // pre-start, so the global query index is a stable key).
+    const auto sit = streams_.find(ToLower(plan->schema()->name()));
+    if (sit != streams_.end()) sit->second.index.AddQuery(qi, plan.get());
+  }
+  query_index_.emplace(key, qi);
   queries_.push_back(std::move(q));
   return Status::OK();
 }
@@ -294,11 +305,19 @@ void ShardedEngine::ShardMain(size_t shard_index) {
         Stopwatch timer;
         shard->metrics.events.Increment();
         std::vector<Match> matches;
-        const Status matched = cell.matcher->OnEvent(msg.event, &matches);
+        // Non-candidate events still visit the matcher when this shard
+        // holds live runs for the query (runs can extend/expire/die); with
+        // no runs the visit is a proven no-op and is skipped. The emitter
+        // always runs so window closes land at identical positions.
+        bool evaluated = true;
+        const Status matched =
+            cell.matcher->OnEvent(msg.event, &matches, msg.candidate,
+                                  &evaluated);
         shard->metrics.matches.Add(matches.size());
         cell.emitter->OnEvent(msg.ts, msg.ordinal, std::move(matches),
                               &scratch);
-        RecordTimings(shard, msg.query, timer.ElapsedNanos(), scratch);
+        RecordTimings(shard, msg.query,
+                      evaluated ? timer.ElapsedNanos() : -1, scratch);
         PublishResults(shard, msg.query, std::move(scratch));
         if (!matched.ok()) RecordFault(matched);
         break;
@@ -415,6 +434,14 @@ Status ShardedEngine::RouteReleased(StreamState& state, Event event) {
   if (!WorkersStarted()) StartWorkers();
 
   const auto shared = std::make_shared<const Event>(std::move(event));
+  // One predicate-index probe per released event: the router tags each
+  // per-query message with the verdict so shards can skip matcher visits
+  // that are provably no-ops (docs/MULTIQUERY.md). Degraded (everything a
+  // candidate) while a fault injector is armed.
+  const bool use_index = shared_eval_active() && state.index.num_queries() > 0;
+  std::vector<uint32_t>& cand = state.cand_scratch;
+  cand.clear();
+  if (use_index) state.index.Probe(*shared, &cand);
   for (uint32_t qi = 0; qi < queries_.size(); ++qi) {
     QueryState& q = *queries_[qi];
     if (q.plan->schema() != state.schema) continue;
@@ -446,6 +473,8 @@ Status ShardedEngine::RouteReleased(StreamState& state, Event event) {
     msg.event = shared;
     msg.ordinal = ordinal;
     msg.ts = ts;
+    msg.candidate =
+        !use_index || std::binary_search(cand.begin(), cand.end(), qi);
     CEPR_RETURN_IF_ERROR(
         Enqueue(shards_[q.router.ShardOf(*shared)].get(), std::move(msg)));
 
@@ -649,6 +678,17 @@ MetricsSnapshot ShardedEngine::Snapshot() const {
   }
   snap.shards = shard_stats();
   snap.merge = merge_stats();
+  snap.sharing.shared_eval = shared_eval_active();
+  snap.sharing.queries_deduped = queries_deduped_.Load();
+  snap.sharing.live_templates = template_registry_.live_templates();
+  for (const auto& [key, state] : streams_) {
+    snap.sharing.predindex_probes += state.index.probes();
+    snap.sharing.predindex_candidates += state.index.candidates();
+  }
+  // Window boundaries are already tracked once per query on the router
+  // (the barrier broadcast), not per (query, shard): there is no separate
+  // shared window-buffer structure to count in this mode.
+  snap.sharing.shared_window_buffers = 0;
   return snap;
 }
 

@@ -15,7 +15,9 @@
 
 #include "common/counters.h"
 #include "common/spsc_queue.h"
+#include "engine/predicate_index.h"
 #include "engine/shard_router.h"
+#include "plan/signature.h"
 #include "rank/merge.h"
 #include "runtime/metrics.h"
 #include "runtime/query.h"
@@ -56,6 +58,18 @@ struct ShardedEngineOptions {
   ShedPolicy shed_policy = ShedPolicy::kShedOldest;
   FaultPolicy fault_policy = FaultPolicy::kFailFast;
   const FaultInjector* fault_injector = nullptr;  // not owned; may be null
+
+  /// Shared multi-query evaluation (docs/MULTIQUERY.md): NFA templates are
+  /// interned per canonical signature and the router probes each stream's
+  /// entry-predicate index once per event, tagging the per-query messages
+  /// so shards skip matcher visits that are provably no-ops. Per-query
+  /// ranked output is bit-identical either way; `false` is the ablation
+  /// switch. Degraded automatically (full visits) while any fault injector
+  /// is armed, so injected schedules fire at per-query-path positions.
+  /// Note the router still enqueues one message per (event, query) —
+  /// ordinal and barrier bookkeeping is per query — so ingest-side cost
+  /// stays O(queries) per event; the saving is shard-side matcher work.
+  bool shared_eval = true;
 };
 
 /// Parallel counterpart of Engine: PARTITION BY keys are hashed across N
@@ -161,6 +175,18 @@ class ShardedEngine {
   /// The live-monitoring entry point (see docs/OPERATIONS.md).
   MetricsSnapshot Snapshot() const;
 
+  /// Shared-layer introspection (tests, monitor), same contract as
+  /// Engine::template_registry / Engine::shared_eval_active.
+  const TemplateRegistry& template_registry() const {
+    return template_registry_;
+  }
+  /// True while the router probes predicate indexes and tags candidates
+  /// (shared_eval on and no fault injector armed anywhere).
+  bool shared_eval_active() const {
+    return options_.shared_eval && options_.fault_injector == nullptr &&
+           !query_injector_;
+  }
+
  private:
   struct Message {
     enum class Kind : uint8_t { kEvent, kBarrier, kFinish };
@@ -169,6 +195,10 @@ class ShardedEngine {
     EventPtr event;        // kEvent
     uint64_t ordinal = 0;  // kEvent / kBarrier: per-query global ordinal
     Timestamp ts = 0;      // kEvent / kBarrier
+    /// kEvent: router-side predicate-index verdict. False means the event
+    /// cannot begin a run for this query, so the shard may skip the
+    /// matcher when the event's partition holds no live runs.
+    bool candidate = true;
   };
 
   /// One (shard, query) execution cell, owned by the shard thread. The
@@ -214,6 +244,11 @@ class ShardedEngine {
     /// before the shard router. Non-movable (atomic counters): streams_
     /// entries are built in place with try_emplace.
     ReorderBuffer reorder;
+    /// Entry-predicate index over this stream's queries, keyed by global
+    /// query index (registration is pre-start, so indices are stable).
+    /// Probed once per released event on the ingest thread.
+    PredicateIndex index;
+    std::vector<uint32_t> cand_scratch;  // ingest-thread probe scratch
   };
 
   struct QueryState {
@@ -236,6 +271,9 @@ class ShardedEngine {
     ShardRouter router;
     ReportWindowAssigner windows;
     ShardMergeOptions merge;
+    /// Interned NFA template (shared_eval only): refcount tracks query
+    /// lifetime, equal pointers mean structurally shared plans.
+    std::shared_ptr<const NfaTemplate> nfa_template;
 
     /// Events routed to this query; ingest-thread-written, snapshot-read.
     RelaxedCounter ordinal;
@@ -287,6 +325,13 @@ class ShardedEngine {
   std::map<std::string, StreamState, std::less<>> streams_;
   std::vector<std::unique_ptr<QueryState>> queries_;
   std::map<std::string, uint32_t, std::less<>> query_index_;
+  /// Shared evaluation layer (pre-start writes, any-thread reads).
+  TemplateRegistry template_registry_;
+  RelaxedCounter queries_deduped_;
+  /// True when some registered query arms its own fault injector: the
+  /// router degrades to full per-query visits so injected schedules fire
+  /// at the exact positions the unshared path produces.
+  bool query_injector_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Set (release) after shards_ and their threads exist; snapshot readers
   /// gate on it before touching shard state.

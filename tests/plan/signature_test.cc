@@ -1,0 +1,156 @@
+#include "plan/signature.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "testing/helpers.h"
+
+namespace cepr {
+namespace {
+
+using testing::StockSchema;
+
+CompiledQueryPtr MustCompile(const std::string& text) {
+  auto q = CompileQueryText(text, StockSchema());
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+constexpr const char* kDipTemplate =
+    "SELECT a.symbol, a.price, MIN(b.price), c.price "
+    "FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+    "PARTITION BY symbol "
+    "WHERE b[i].price < b[i-1].price AND b[1].price < a.price "
+    "  AND c.price > a.price AND a.price > ";
+
+TEST(SignatureTest, ConstantsAreSlotted) {
+  const auto q1 = MustCompile(std::string(kDipTemplate) +
+                              "10 WITHIN 100 MILLISECONDS "
+                              "RANK BY (a.price - MIN(b.price)) / a.price DESC "
+                              "LIMIT 5 EMIT ON WINDOW CLOSE");
+  const auto q2 = MustCompile(std::string(kDipTemplate) +
+                              "250 WITHIN 100 MILLISECONDS "
+                              "RANK BY (a.price - MIN(b.price)) / a.price DESC "
+                              "LIMIT 5 EMIT ON WINDOW CLOSE");
+  ASSERT_FALSE(q1->template_signature.empty());
+  EXPECT_EQ(q1->template_signature, q2->template_signature);
+  // The differing anchor threshold lives in the slot table, not the
+  // signature.
+  EXPECT_NE(q1->template_params, q2->template_params);
+  EXPECT_NE(q1->template_signature.find('?'), std::string::npos);
+}
+
+TEST(SignatureTest, LimitIsSlotted) {
+  const auto q1 = MustCompile(std::string(kDipTemplate) +
+                              "10 WITHIN 100 MILLISECONDS "
+                              "RANK BY a.price DESC LIMIT 5 EMIT ON WINDOW CLOSE");
+  const auto q2 = MustCompile(std::string(kDipTemplate) +
+                              "10 WITHIN 100 MILLISECONDS "
+                              "RANK BY a.price DESC LIMIT 50 EMIT ON WINDOW CLOSE");
+  EXPECT_EQ(q1->template_signature, q2->template_signature);
+}
+
+TEST(SignatureTest, StructureIsNotSlotted) {
+  const std::string base = std::string(kDipTemplate) +
+                           "10 WITHIN 100 MILLISECONDS "
+                           "RANK BY a.price DESC LIMIT 5 EMIT ON WINDOW CLOSE";
+  const auto q = MustCompile(base);
+  // Different strategy.
+  const auto strategy = MustCompile(
+      "SELECT a.symbol, a.price, MIN(b.price), c.price "
+      "FROM Stock MATCH PATTERN SEQ(a, b+, c) USING SKIP_TILL_ANY_MATCH "
+      "PARTITION BY symbol "
+      "WHERE b[i].price < b[i-1].price AND b[1].price < a.price "
+      "  AND c.price > a.price AND a.price > 10 "
+      "WITHIN 100 MILLISECONDS "
+      "RANK BY a.price DESC LIMIT 5 EMIT ON WINDOW CLOSE");
+  EXPECT_NE(q->template_signature, strategy->template_signature);
+  // Different rank direction.
+  const auto asc = MustCompile(std::string(kDipTemplate) +
+                               "10 WITHIN 100 MILLISECONDS "
+                               "RANK BY a.price ASC LIMIT 5 EMIT ON WINDOW CLOSE");
+  EXPECT_NE(q->template_signature, asc->template_signature);
+  // Different predicate shape (>= instead of >).
+  const auto shape = MustCompile(
+      "SELECT a.symbol, a.price, MIN(b.price), c.price "
+      "FROM Stock MATCH PATTERN SEQ(a, b+, c) "
+      "PARTITION BY symbol "
+      "WHERE b[i].price < b[i-1].price AND b[1].price < a.price "
+      "  AND c.price > a.price AND a.price >= 10 "
+      "WITHIN 100 MILLISECONDS "
+      "RANK BY a.price DESC LIMIT 5 EMIT ON WINDOW CLOSE");
+  EXPECT_NE(q->template_signature, shape->template_signature);
+}
+
+TEST(SignatureTest, WindowSpanIsStructural) {
+  const auto q1 = MustCompile(std::string(kDipTemplate) +
+                              "10 WITHIN 100 MILLISECONDS "
+                              "RANK BY a.price DESC LIMIT 5 EMIT ON WINDOW CLOSE");
+  const auto q2 = MustCompile(std::string(kDipTemplate) +
+                              "10 WITHIN 200 MILLISECONDS "
+                              "RANK BY a.price DESC LIMIT 5 EMIT ON WINDOW CLOSE");
+  // WITHIN changes when runs expire, which changes matcher behavior in
+  // ways a slot cannot capture: it must split the template.
+  EXPECT_NE(q1->template_signature, q2->template_signature);
+}
+
+TEST(TemplateRegistryTest, DedupesEqualSignatures) {
+  const auto q1 = MustCompile(std::string(kDipTemplate) +
+                              "10 WITHIN 100 MILLISECONDS "
+                              "RANK BY a.price DESC LIMIT 5 EMIT ON WINDOW CLOSE");
+  const auto q2 = MustCompile(std::string(kDipTemplate) +
+                              "990 WITHIN 100 MILLISECONDS "
+                              "RANK BY a.price DESC LIMIT 7 EMIT ON WINDOW CLOSE");
+  TemplateRegistry registry;
+  bool deduped = true;
+  const auto t1 = registry.Intern(*q1, &deduped);
+  ASSERT_NE(t1, nullptr);
+  EXPECT_FALSE(deduped);
+  const auto t2 = registry.Intern(*q2, &deduped);
+  EXPECT_TRUE(deduped);
+  EXPECT_EQ(t1.get(), t2.get());
+  EXPECT_EQ(registry.live_templates(), 1u);
+}
+
+TEST(TemplateRegistryTest, DistinctSignaturesGetDistinctTemplates) {
+  const auto q1 = MustCompile(std::string(kDipTemplate) +
+                              "10 WITHIN 100 MILLISECONDS "
+                              "RANK BY a.price DESC LIMIT 5 EMIT ON WINDOW CLOSE");
+  const auto q2 = MustCompile(
+      "SELECT a.symbol FROM Stock MATCH PATTERN SEQ(a, b) "
+      "WHERE b.price > a.price WITHIN 10 MILLISECONDS "
+      "RANK BY b.price DESC LIMIT 5 EMIT ON WINDOW CLOSE");
+  TemplateRegistry registry;
+  bool deduped = false;
+  const auto t1 = registry.Intern(*q1, &deduped);
+  const auto t2 = registry.Intern(*q2, &deduped);
+  EXPECT_FALSE(deduped);
+  EXPECT_NE(t1.get(), t2.get());
+  EXPECT_EQ(registry.live_templates(), 2u);
+}
+
+TEST(TemplateRegistryTest, TemplateDiesWithLastHolder) {
+  const auto q = MustCompile(std::string(kDipTemplate) +
+                             "10 WITHIN 100 MILLISECONDS "
+                             "RANK BY a.price DESC LIMIT 5 EMIT ON WINDOW CLOSE");
+  TemplateRegistry registry;
+  bool deduped = false;
+  auto t1 = registry.Intern(*q, &deduped);
+  auto t2 = registry.Intern(*q, &deduped);
+  EXPECT_TRUE(deduped);
+  EXPECT_EQ(registry.live_templates(), 1u);
+  t1.reset();
+  EXPECT_EQ(registry.live_templates(), 1u);  // t2 still holds it
+  t2.reset();
+  EXPECT_EQ(registry.live_templates(), 0u);
+  // Re-interning after death builds a fresh template (no dangling entry).
+  auto t3 = registry.Intern(*q, &deduped);
+  EXPECT_FALSE(deduped);
+  ASSERT_NE(t3, nullptr);
+  EXPECT_EQ(registry.live_templates(), 1u);
+}
+
+}  // namespace
+}  // namespace cepr
