@@ -1,18 +1,21 @@
-// E14 — hot-path ablation: copy-on-write run state, the run/binding arena,
-// and the per-event predicate cache, measured on a fork-heavy
-// SKIP_TILL_ANY_MATCH workload (every Kleene extension forks a run, so
-// run-clone cost dominates the matcher). Reports throughput and heap
-// allocations per event for the four layered configurations:
+// E14/E17 — hot-path ablation: copy-on-write run state, the run/binding
+// arena, the per-event predicate cache, the bytecode VM and batched
+// columnar ingest, measured on a fork-heavy SKIP_TILL_ANY_MATCH workload
+// (every Kleene extension forks a run, so run-clone and predicate cost
+// dominate the matcher). Reports throughput and heap allocations per event
+// for the layered configurations:
 //
-//   legacy_deep_copy   cow_bindings=0 use_arena=0 predicate_cache=0
-//   cow                cow_bindings=1
-//   cow_arena          cow_bindings=1 use_arena=1
-//   cow_arena_predcache  all three on (the engine default)
+//   legacy_deep_copy     cow_bindings=0 use_arena=0 predicate_cache=0
+//   cow                  cow_bindings=1
+//   cow_arena            cow_bindings=1 use_arena=1
+//   cow_arena_predcache  all three on
+//   full_bytecode        + bytecode_eval=1 (the engine default)
+//   full_bytecode_batch  + PushAll batched ingest (ProbeBatch screening)
 //
 // Before timing, every mode's ranked output — serial and sharded(2) — is
 // checked bit-identical against the legacy baseline, so the numbers can
 // only come from configurations proven observationally equivalent.
-// Numbers are recorded in docs/BENCHMARKS.md (E14).
+// Numbers are recorded in docs/BENCHMARKS.md (E14, E17).
 
 #include <atomic>
 #include <cstdlib>
@@ -54,12 +57,17 @@ struct Mode {
   bool cow_bindings;
   bool use_arena;
   bool predicate_cache;
+  bool bytecode_eval;
+  bool batch_ingest;  // replay via PushAll (batched screening) vs Push
 };
 
-constexpr Mode kLegacy = {"legacy_deep_copy", false, false, false};
-constexpr Mode kCow = {"cow", true, false, false};
-constexpr Mode kCowArena = {"cow_arena", true, true, false};
-constexpr Mode kFull = {"cow_arena_predcache", true, true, true};
+constexpr Mode kLegacy = {"legacy_deep_copy", false, false, false, false, false};
+constexpr Mode kCow = {"cow", true, false, false, false, false};
+constexpr Mode kCowArena = {"cow_arena", true, true, false, false, false};
+constexpr Mode kFull = {"cow_arena_predcache", true, true, true, false, false};
+constexpr Mode kBytecode = {"full_bytecode", true, true, true, true, false};
+constexpr Mode kBytecodeBatch = {"full_bytecode_batch", true, true, true, true,
+                                 true};
 
 // Fork-heavy dip query: SKIP_TILL_ANY_MATCH + a mixed event-only /
 // correlated WHERE. The run cap keeps the fork population bounded the same
@@ -82,6 +90,7 @@ QueryOptions HotOptions(const Mode& mode) {
   options.matcher.cow_bindings = mode.cow_bindings;
   options.matcher.use_arena = mode.use_arena;
   options.matcher.predicate_cache = mode.predicate_cache;
+  options.matcher.bytecode_eval = mode.bytecode_eval;
   return options;
 }
 
@@ -95,7 +104,11 @@ std::vector<RankedResult> RunSerialMode(const Mode& mode, size_t n) {
   const Status s =
       engine->RegisterQuery("q", HotQuery(), HotOptions(mode), &sink);
   CEPR_CHECK(s.ok()) << s.ToString();
-  Replay(engine.get(), HotStream(n));
+  if (mode.batch_ingest) {
+    ReplayBatch(engine.get(), HotStream(n));
+  } else {
+    Replay(engine.get(), HotStream(n));
+  }
   return sink.results();
 }
 
@@ -108,9 +121,14 @@ std::vector<RankedResult> RunShardedMode(const Mode& mode, size_t n) {
   const Status s =
       engine.RegisterQuery("q", HotQuery(), HotOptions(mode), &sink);
   CEPR_CHECK(s.ok()) << s.ToString();
-  for (const Event& e : HotStream(n)) {
-    const Status push = engine.Push(Event(e));
+  if (mode.batch_ingest) {
+    const Status push = engine.PushAll(std::vector<Event>(HotStream(n)));
     CEPR_CHECK(push.ok()) << push.ToString();
+  } else {
+    for (const Event& e : HotStream(n)) {
+      const Status push = engine.Push(Event(e));
+      CEPR_CHECK(push.ok()) << push.ToString();
+    }
   }
   engine.Finish();
   return sink.results();
@@ -142,7 +160,8 @@ void VerifyModesOnce() {
     constexpr size_t kVerifyEvents = 4000;
     const auto baseline = RunSerialMode(kLegacy, kVerifyEvents);
     CEPR_CHECK(!baseline.empty()) << "verification workload had no results";
-    for (const Mode& mode : {kLegacy, kCow, kCowArena, kFull}) {
+    for (const Mode& mode :
+         {kLegacy, kCow, kCowArena, kFull, kBytecode, kBytecodeBatch}) {
       CheckIdentical(baseline, RunSerialMode(mode, kVerifyEvents),
                      std::string("serial ") + mode.label);
       CheckIdentical(baseline, RunShardedMode(mode, kVerifyEvents),
@@ -169,7 +188,11 @@ void BM_HotPath(benchmark::State& state, const Mode& mode) {
     state.ResumeTiming();
 
     const uint64_t before = g_allocs.load(std::memory_order_relaxed);
-    Replay(engine.get(), events);
+    if (mode.batch_ingest) {
+      ReplayBatch(engine.get(), events);
+    } else {
+      Replay(engine.get(), events);
+    }
     allocs += g_allocs.load(std::memory_order_relaxed) - before;
     matches += sink.results().size();
   }
@@ -188,6 +211,10 @@ BENCHMARK_CAPTURE(BM_HotPath, cow, kCow)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_HotPath, cow_arena, kCowArena)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_HotPath, cow_arena_predcache, kFull)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_HotPath, full_bytecode, kBytecode)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_HotPath, full_bytecode_batch, kBytecodeBatch)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -119,6 +119,15 @@ inline void Replay(Engine* engine, const std::vector<Event>& events) {
   engine->Finish();
 }
 
+/// Replay through PushAll: same-stream runs flow through the batched
+/// columnar ingest path (EngineOptions::batch_ingest) instead of per-event
+/// Push.
+inline void ReplayBatch(Engine* engine, const std::vector<Event>& events) {
+  const Status s = engine->PushAll(std::vector<Event>(events));
+  CEPR_CHECK(s.ok()) << s.ToString();
+  engine->Finish();
+}
+
 }  // namespace bench
 }  // namespace cepr
 

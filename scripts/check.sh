@@ -3,15 +3,18 @@
 # running the concurrency-sensitive suites (SPSC ring, sharded engine, and
 # the live-metrics race test), then an AddressSanitizer build running the
 # memory-churn-heavy suites (robustness fuzz, overload shedding, fault
-# injection, CSV parsing). Run from the repo root:
+# injection, CSV parsing), then a UBSan build running the arithmetic-heavy
+# suites (evaluator/VM extremes, the bytecode differential fuzzer, rank
+# math). Run from the repo root:
 #
 #   scripts/check.sh            # all stages
 #   scripts/check.sh --plain    # plain stage only
 #   scripts/check.sh --tsan     # TSan stage only
 #   scripts/check.sh --asan     # ASan stage only
+#   scripts/check.sh --ubsan    # UBSan stage only
 #
-# The sanitizer stages use their own build trees (build-tsan, build-asan)
-# so they never dirty the primary build.
+# The sanitizer stages use their own build trees (build-tsan, build-asan,
+# build-ubsan) so they never dirty the primary build.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,12 +22,14 @@ cd "$(dirname "$0")/.."
 run_plain=1
 run_tsan=1
 run_asan=1
+run_ubsan=1
 case "${1:-}" in
-  --plain) run_tsan=0; run_asan=0 ;;
-  --tsan) run_plain=0; run_asan=0 ;;
-  --asan) run_plain=0; run_tsan=0 ;;
+  --plain) run_tsan=0; run_asan=0; run_ubsan=0 ;;
+  --tsan) run_plain=0; run_asan=0; run_ubsan=0 ;;
+  --asan) run_plain=0; run_tsan=0; run_ubsan=0 ;;
+  --ubsan) run_plain=0; run_tsan=0; run_asan=0 ;;
   "") ;;
-  *) echo "usage: $0 [--plain|--tsan|--asan]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--plain|--tsan|--asan|--ubsan]" >&2; exit 2 ;;
 esac
 
 if [[ $run_plain -eq 1 ]]; then
@@ -50,6 +55,19 @@ if [[ $run_asan -eq 1 ]]; then
   ./build-asan/tests/integration_test \
     --gtest_filter='Robustness*:Overload*:FaultInjection*:ShardedFault*:ShardCounts/ShardedFault*:CowEquivalence*:Disorder*:ShardCounts/Disorder*'
   ./build-asan/tests/runtime_test --gtest_filter='Csv*:ReorderBuffer*'
+fi
+
+if [[ $run_ubsan -eq 1 ]]; then
+  echo "== UBSan build + arithmetic suites =="
+  cmake -B build-ubsan -S . -DCEPR_SANITIZE=undefined -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  cmake --build build-ubsan -j "$(nproc)" --target expr_test rank_test integration_test
+  ./build-ubsan/tests/expr_test
+  ./build-ubsan/tests/rank_test
+  # SkipTillAnyForkHeavyWithShedding is ~15x the cost of the other five
+  # combined under UBSan (fork-heavy matching, not arithmetic) and the plain
+  # and ASan stages already run it; keep the UBSan stage focused.
+  ./build-ubsan/tests/integration_test \
+    --gtest_filter='CowEquivalenceTest.*:-CowEquivalenceTest.SkipTillAnyForkHeavyWithShedding'
 fi
 
 echo "check.sh: all stages passed"

@@ -128,12 +128,15 @@ bool Matcher::TypeMatches(const std::string& tag, const Event& event) const {
   return tag.empty() || EqualsIgnoreCase(tag, event.type_tag());
 }
 
-bool Matcher::EvalPred(const Run& run, const Expr& pred, int cache_id,
-                       int var_index, const Event& event) const {
+bool Matcher::EvalPred(const Run& run, const Expr& pred,
+                       const BytecodeProgram* prog, int cache_id, int var_index,
+                       const Event& event) const {
+  const bool use_vm = prog != nullptr && options_.bytecode_eval;
   if (cache_id < 0 || !options_.predicate_cache) {
     // Correlated conjunct (or cache disabled): evaluate against the run,
     // which answers `var_index` with the installed candidate.
-    auto r = EvaluatePredicate(pred, run);
+    auto r = use_vm ? VmEvaluatePredicate(*prog, run, &vm_)
+                    : EvaluatePredicate(pred, run);
     return r.ok() && r.value();
   }
   int8_t& slot = pred_cache_[static_cast<size_t>(cache_id)];
@@ -142,7 +145,8 @@ bool Matcher::EvalPred(const Run& run, const Expr& pred, int cache_id,
     // provably the same verdict a run evaluation would produce (the
     // conjunct references nothing but the candidate event).
     EventOnlyContext ctx(var_index, &event);
-    auto r = EvaluatePredicate(pred, ctx);
+    auto r = use_vm ? VmEvaluatePredicate(*prog, ctx, &vm_)
+                    : EvaluatePredicate(pred, ctx);
     slot = (r.ok() && r.value()) ? 1 : 0;
     stats_->predcache_misses.Increment();
   } else {
@@ -158,8 +162,8 @@ bool Matcher::PassesBegin(Run* run, int comp_index, const Event& event) const {
   run->SetCandidate(comp.var_index, &event);
   bool ok = true;
   for (size_t i = 0; i < comp.begin_preds.size(); ++i) {
-    if (!EvalPred(*run, *comp.begin_preds[i], comp.begin_pred_cache_ids[i],
-                  comp.var_index, event)) {
+    if (!EvalPred(*run, *comp.begin_preds[i], comp.begin_pred_progs[i].get(),
+                  comp.begin_pred_cache_ids[i], comp.var_index, event)) {
       ok = false;
       break;
     }
@@ -177,8 +181,8 @@ bool Matcher::PassesIter(Run* run, int comp_index, const Event& event) const {
   for (size_t i = 0; i < comp.iter_preds.size(); ++i) {
     // Conjuncts referencing v[i-1] are vacuous for the first iteration.
     if (first_iteration && comp.iter_pred_uses_prev[i]) continue;
-    if (!EvalPred(*run, *comp.iter_preds[i], comp.iter_pred_cache_ids[i],
-                  comp.var_index, event)) {
+    if (!EvalPred(*run, *comp.iter_preds[i], comp.iter_pred_progs[i].get(),
+                  comp.iter_pred_cache_ids[i], comp.var_index, event)) {
       ok = false;
       break;
     }
@@ -193,8 +197,11 @@ bool Matcher::PassesExit(Run* run, int comp_index) const {
   if (comp.is_kleene && run->KleeneCount(comp.var_index) < comp.min_iters) {
     return false;
   }
-  for (const ExprPtr& pred : comp.exit_preds) {
-    auto r = EvaluatePredicate(*pred, *run);
+  for (size_t i = 0; i < comp.exit_preds.size(); ++i) {
+    const BytecodeProgram* prog = comp.exit_pred_progs[i].get();
+    auto r = prog != nullptr && options_.bytecode_eval
+                 ? VmEvaluatePredicate(*prog, *run, &vm_)
+                 : EvaluatePredicate(*comp.exit_preds[i], *run);
     if (!r.ok() || !r.value()) return false;
   }
   return true;
@@ -259,8 +266,8 @@ bool Matcher::NegationKills(Run* run, const Event& event) const {
   run->SetCandidate(neg.var_index, &event);
   bool kills = true;
   for (size_t i = 0; i < neg.preds.size(); ++i) {
-    if (!EvalPred(*run, *neg.preds[i], neg.pred_cache_ids[i], neg.var_index,
-                  event)) {
+    if (!EvalPred(*run, *neg.preds[i], neg.pred_progs[i].get(),
+                  neg.pred_cache_ids[i], neg.var_index, event)) {
       kills = false;
       break;
     }
@@ -284,11 +291,20 @@ bool Matcher::MaybeEmit(Run* run, std::vector<Match>* out) {
   m.bindings = run->MaterializeBindings();
 
   m.row.reserve(plan_->analyzed.ast.select.size());
-  for (const SelectItemAst& item : plan_->analyzed.ast.select) {
-    auto v = Evaluate(*item.expr, *run);
+  for (size_t i = 0; i < plan_->analyzed.ast.select.size(); ++i) {
+    const BytecodeProgram* prog = plan_->select_progs[i].get();
+    auto v = prog != nullptr && options_.bytecode_eval
+                 ? VmEvaluate(*prog, *run, &vm_)
+                 : Evaluate(*plan_->analyzed.ast.select[i].expr, *run);
     m.row.push_back(v.ok() ? std::move(v).value() : Value::Null());
   }
-  m.score = plan_->score != nullptr ? EvaluateScore(*plan_->score, *run) : 0.0;
+  if (plan_->score == nullptr) {
+    m.score = 0.0;
+  } else if (plan_->score_prog != nullptr && options_.bytecode_eval) {
+    m.score = VmEvaluateScore(*plan_->score_prog, *run, &vm_);
+  } else {
+    m.score = EvaluateScore(*plan_->score, *run);
+  }
 
   stats_->matches.Increment();
   out->push_back(std::move(m));

@@ -10,6 +10,7 @@
 #include "common/fault.h"
 #include "common/status.h"
 #include "engine/run.h"
+#include "expr/vm.h"
 #include "plan/compiler.h"
 
 namespace cepr {
@@ -132,6 +133,11 @@ struct MatcherOptions {
   /// Evaluate event-only predicates once per event and share the verdict
   /// across the partition's runs; false = re-evaluate per run.
   bool predicate_cache = true;
+  /// Execute predicates / SELECT items / scores through the flat bytecode
+  /// VM (expr/vm.h) instead of the recursive AST walk; false = legacy AST
+  /// evaluation. Bit-identical output either way (the VM mirrors the AST
+  /// evaluator's semantics exactly; enforced by BytecodeEquivalence tests).
+  bool bytecode_eval = true;
 };
 
 /// Overlays engine-wide overload/fault options onto a query's own
@@ -204,8 +210,10 @@ class Matcher {
   /// evaluated at most once per event under an EventOnlyContext and shared
   /// across every run of the partition; correlated conjuncts (and all
   /// conjuncts with the cache disabled) evaluate against the run.
-  bool EvalPred(const Run& run, const Expr& pred, int cache_id, int var_index,
-                const Event& event) const;
+  /// `prog` is the conjunct's compiled bytecode (nullptr = AST fallback),
+  /// used when options_.bytecode_eval is on.
+  bool EvalPred(const Run& run, const Expr& pred, const BytecodeProgram* prog,
+                int cache_id, int var_index, const Event& event) const;
   bool PassesBegin(Run* run, int comp_index, const Event& event) const;
   bool PassesIter(Run* run, int comp_index, const Event& event) const;
   /// Exit predicates + the minimum-iteration bound of component
@@ -267,6 +275,9 @@ class Matcher {
   /// top of OnEvent; filled lazily during predicate evaluation (const
   /// methods), hence mutable.
   mutable std::vector<int8_t> pred_cache_;
+  /// Reusable register file for the bytecode VM (single-threaded; mutable
+  /// because predicate evaluation happens in const methods).
+  mutable VmState vm_;
 };
 
 }  // namespace cepr

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "common/counters.h"
+#include "engine/window.h"
 #include "event/event.h"
+#include "expr/vm.h"
 #include "plan/compiler.h"
 
 namespace cepr {
@@ -61,12 +63,26 @@ class PredicateIndex {
   /// id order. Counts one probe and the candidates it produced.
   void Probe(const Event& event, std::vector<QueryId>* out) const;
 
+  /// Batched Probe: fills `out` (resized to batch.size()) so that out[row]
+  /// is exactly what Probe(batch.event(row), ...) would append — same ids,
+  /// same ascending order. Range guards run as tight scans over the batch's
+  /// numeric columns into per-row candidate bitmaps; equality and residual
+  /// guards iterate column-major so index structures stay cache-hot across
+  /// the batch. Counts batch.size() probes plus the batch counters
+  /// (`batch_scan_events`, `bitmap_hits`).
+  void ProbeBatch(const EventBatch& batch,
+                  std::vector<std::vector<QueryId>>* out) const;
+
   size_t num_queries() const { return queries_.size(); }
   /// Queries a probe can never rule out (no indexable entry conjunct).
   size_t num_always_candidates() const { return always_.size(); }
 
   uint64_t probes() const { return probes_.Load(); }
   uint64_t candidates() const { return candidates_.Load(); }
+  /// Events screened through ProbeBatch (a subset of probes()).
+  uint64_t batch_scan_events() const { return batch_scan_events_.Load(); }
+  /// Candidate (event, query) pairs ProbeBatch marked in its bitmaps.
+  uint64_t bitmap_hits() const { return bitmap_hits_.Load(); }
 
  private:
   struct ValueHash {
@@ -79,11 +95,14 @@ class PredicateIndex {
     QueryId query = 0;
   };
   /// All event-only begin conjuncts of one start component, evaluated
-  /// under an EventOnlyContext at probe time.
+  /// under an EventOnlyContext at probe time. `progs` parallels `preds`:
+  /// the compiler's bytecode programs where compilation succeeded (nullptr
+  /// entries fall back to the AST evaluator — both are bit-identical).
   struct ResidualEntry {
     QueryId query = 0;
     int var_index = -1;
     std::vector<const Expr*> preds;
+    std::vector<const BytecodeProgram*> progs;
   };
   struct RangeLists {
     /// Sorted ascending by threshold.
@@ -94,6 +113,7 @@ class PredicateIndex {
   void IndexQuery(QueryId id, const CompiledQuery& plan);
   void Rebuild();
   void MarkCandidate(QueryId id, std::vector<QueryId>* out) const;
+  bool EvalResidual(const ResidualEntry& r, const Event& event) const;
 
   /// Live queries (id -> plan), the rebuild source of truth.
   std::map<QueryId, const CompiledQuery*> queries_;
@@ -111,8 +131,17 @@ class PredicateIndex {
   mutable std::unordered_map<QueryId, uint64_t> stamp_;
   mutable uint64_t epoch_ = 0;
 
+  /// Register file for residual bytecode evaluation (single-threaded like
+  /// the rest of the probe path).
+  mutable VmState vm_;
+  /// ProbeBatch scratch: row-major candidate bitmaps, one word-span per
+  /// event of the batch.
+  mutable std::vector<uint64_t> bitmap_scratch_;
+
   mutable RelaxedCounter probes_;
   mutable RelaxedCounter candidates_;
+  mutable RelaxedCounter batch_scan_events_;
+  mutable RelaxedCounter bitmap_hits_;
 };
 
 }  // namespace cepr

@@ -1,0 +1,125 @@
+#ifndef CEPR_EXPR_BYTECODE_H_
+#define CEPR_EXPR_BYTECODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "event/value.h"
+#include "expr/expr.h"
+
+namespace cepr {
+
+/// Flat register bytecode for expression trees — the compiled form the VM in
+/// expr/vm.h executes on the matcher hot path instead of the recursive
+/// EvalNode walk. Programs are compiled once per query (plan/compiler.cc)
+/// and are immutable afterwards; execution is read-only, so one program can
+/// be shared by every matcher evaluating the query.
+///
+/// The VM is REQUIRED to be bit-identical to the AST evaluator: same values,
+/// same NULL propagation, same three-valued AND/OR, same overflow-to-NULL
+/// arithmetic contract, and an error Status exactly where the AST evaluator
+/// produces one (tests/expr/bytecode_equivalence_test.cc enforces this
+/// differentially).
+///
+/// Register model: tree-shaped evaluation with a stack discipline — an
+/// expression's result lands in register `dst`, its children evaluate into
+/// `dst`, `dst+1`, ... so the register file is only as deep as the tree.
+/// Trees deeper than 255 registers do not compile (CompileToBytecode returns
+/// an error) and callers fall back to the AST evaluator.
+enum class OpCode : uint8_t {
+  // Loads.
+  kLoadConst,  // dst = constants[imm]
+  kLoadNull,   // dst = NULL
+  kLoadAttr,   // dst = attr imm2 of ctx.SingleEvent(imm); NULL if unbound
+  kLoadIter,   // dst = attr imm2 of Kleene{Current|Prev|First}(imm); a=IterKind
+
+  // Aggregates (mirror EvalAggregate's check order exactly).
+  kAggCount,    // dst = Int(ctx.KleeneCount(imm))
+  kAggFirst,    // dst = attr imm2 of ctx.KleeneFirst(imm)
+  kAggLast,     // dst = attr imm2 of ctx.KleeneLast(imm)
+  kAggAvg,      // imm=var, imm2=slot: count==0 -> NULL; slot<0 -> error
+  kAggSum,      // imm=var, imm2=slot, a=result ValueType
+  kAggExtreme,  // MIN/MAX: as kAggSum but non-finite accumulator -> NULL
+
+  // Unary.
+  kNot,  // dst = !regs[a] (NULL -> NULL, non-bool -> error)
+  kNeg,  // dst = -regs[a] (INT64_MIN -> NULL)
+
+  // Lazy AND/OR. `b` carries the short-circuit value (1 for OR, 0 for AND).
+  kShortCircuit,  // if regs[a] == Bool(b): pc = imm (result already in dst)
+  kAndOrMerge,    // dst = merge(regs[a], regs[b]); imm=1 for OR
+
+  // Comparisons (NULL -> NULL; int-int native, mixed numeric via double,
+  // string-string lexicographic, anything else -> error).
+  kCmpLt,
+  kCmpLe,
+  kCmpGt,
+  kCmpGe,
+  kEq,  // NULL=NULL is TRUE, NULL=x is NULL; numerics compare via double
+  kNe,
+
+  // Arithmetic (imm = static result ValueType; int overflow -> NULL).
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,  // by zero -> NULL; always float
+  kMod,  // by zero -> NULL; INT64_MIN % -1 == 0
+
+  // Control flow for CASE.
+  kJump,           // pc = imm
+  kJumpIfNotTrue,  // if regs[a] is not Bool(true): pc = imm
+  kPromoteFloat,   // if regs[a] is Int: regs[a] = Float (CASE promotion)
+
+  // Numeric scalar functions. Each arg was vetted by kFuncArgCheck first.
+  kFuncArgCheck,  // if regs[a] NULL: regs[dst]=NULL, pc=imm; non-numeric -> error
+  kAbs,           // imm = result ValueType
+  kSqrt,
+  kLog,
+  kExp,
+  kPow,
+  kFloor,
+  kCeil,
+  kRound,
+  kLeast,     // imm = result ValueType
+  kGreatest,  // imm = result ValueType
+
+  // String functions.
+  kUpperLower,    // b=1 for UPPER; NULL -> NULL
+  kLength,        // NULL -> NULL
+  kConcatInit,    // regs[dst] = ""
+  kConcatAppend,  // regs[dst] += regs[a]; if regs[a] NULL: dst=NULL, pc=imm
+  kSubstr,        // dst = substr(regs[a], regs[b], regs[imm2]); NULL args -> NULL
+};
+
+struct Insn {
+  OpCode op = OpCode::kLoadNull;
+  uint8_t dst = 0;
+  uint8_t a = 0;
+  uint8_t b = 0;
+  int32_t imm = 0;   // jump target / var_index / constant index / result type
+  int32_t imm2 = 0;  // attr_index / agg_slot / third register
+};
+
+struct BytecodeProgram {
+  std::vector<Insn> code;
+  std::vector<Value> constants;
+  /// Registers the VM must provide (max stack depth of the tree).
+  uint16_t num_regs = 0;
+};
+
+using BytecodeProgramPtr = std::shared_ptr<const BytecodeProgram>;
+
+/// Compiles a resolved, type-checked expression tree to bytecode. Fails
+/// (Status::Internal) only for trees too deep for the 8-bit register file;
+/// callers keep the AST path as fallback.
+Result<BytecodeProgram> CompileToBytecode(const Expr& expr);
+
+/// Convenience wrapper: compile to a shared immutable program, or nullptr if
+/// the tree does not compile (callers then use the AST evaluator).
+BytecodeProgramPtr CompileToBytecodeShared(const Expr& expr);
+
+}  // namespace cepr
+
+#endif  // CEPR_EXPR_BYTECODE_H_

@@ -19,9 +19,24 @@ double Num(const Value& v) {
   return v.type() == ValueType::kInt ? static_cast<double>(v.AsInt()) : v.AsFloat();
 }
 
+// Arithmetic contract (mirrored bit-for-bit by the bytecode VM in expr/vm.cc):
+// pure-integer +, -, *, %, ABS, LEAST/GREATEST and unary negation run natively
+// in int64 and yield NULL on overflow, matching the div/mod-by-zero
+// convention. INT64_MIN % -1 is 0. Repacking a double into an INT result
+// (FLOOR/CEIL/ROUND, int-typed aggregates, mixed-type LEAST/GREATEST) yields
+// NULL when the value is NaN or rounds outside the int64 range.
+
+// Exact double bounds of int64: -2^63 is representable, 2^63 is the first
+// double past INT64_MAX. The half-open test also rejects NaN.
+constexpr double kInt64LowerBound = -9223372036854775808.0;
+constexpr double kInt64UpperBound = 9223372036854775808.0;
+
 // Packages a double into the statically determined result type.
 Value MakeNumeric(double x, ValueType type) {
-  if (type == ValueType::kInt) return Value::Int(static_cast<int64_t>(llround(x)));
+  if (type == ValueType::kInt) {
+    if (!(x >= kInt64LowerBound && x < kInt64UpperBound)) return Value::Null();
+    return Value::Int(static_cast<int64_t>(llround(x)));
+  }
   return Value::Float(x);
 }
 
@@ -97,6 +112,21 @@ Result<Value> EvalBinary(const Expr& e, const EvalContext& ctx) {
         return Status::Internal("comparison on non-numeric at runtime: " +
                                 e.ToString());
       }
+      if (lhs.type() == ValueType::kInt && rhs.type() == ValueType::kInt) {
+        // Native compare: the double path is lossy beyond 2^53.
+        const int64_t a = lhs.AsInt();
+        const int64_t b = rhs.AsInt();
+        switch (e.binary_op) {
+          case BinaryOp::kLt:
+            return Value::Bool(a < b);
+          case BinaryOp::kLe:
+            return Value::Bool(a <= b);
+          case BinaryOp::kGt:
+            return Value::Bool(a > b);
+          default:
+            return Value::Bool(a >= b);
+        }
+      }
       const double a = Num(lhs);
       const double b = Num(rhs);
       switch (e.binary_op) {
@@ -116,6 +146,18 @@ Result<Value> EvalBinary(const Expr& e, const EvalContext& ctx) {
       if (!IsNumeric(lhs) || !IsNumeric(rhs)) {
         return Status::Internal("arithmetic on non-numeric at runtime: " +
                                 e.ToString());
+      }
+      if (lhs.type() == ValueType::kInt && rhs.type() == ValueType::kInt &&
+          e.result_type == ValueType::kInt) {
+        const int64_t a = lhs.AsInt();
+        const int64_t b = rhs.AsInt();
+        int64_t r = 0;
+        const bool overflow =
+            e.binary_op == BinaryOp::kAdd   ? __builtin_add_overflow(a, b, &r)
+            : e.binary_op == BinaryOp::kSub ? __builtin_sub_overflow(a, b, &r)
+                                            : __builtin_mul_overflow(a, b, &r);
+        if (overflow) return Value::Null();
+        return Value::Int(r);
       }
       const double a = Num(lhs);
       const double b = Num(rhs);
@@ -138,6 +180,9 @@ Result<Value> EvalBinary(const Expr& e, const EvalContext& ctx) {
         return Status::Internal("% on non-INT at runtime: " + e.ToString());
       }
       if (rhs.AsInt() == 0) return Value::Null();
+      // x % -1 is 0 for every x, but INT64_MIN % -1 overflows the hardware
+      // divide (SIGFPE on x86); answer directly.
+      if (rhs.AsInt() == -1) return Value::Int(0);
       return Value::Int(lhs.AsInt() % rhs.AsInt());
     }
     default:
@@ -204,7 +249,10 @@ Result<Value> EvalNode(const Expr& e, const EvalContext& ctx) {
         return Value::Bool(!v.AsBool());
       }
       if (!IsNumeric(v)) return Status::Internal("negation of non-numeric");
-      if (v.type() == ValueType::kInt) return Value::Int(-v.AsInt());
+      if (v.type() == ValueType::kInt) {
+        if (v.AsInt() == std::numeric_limits<int64_t>::min()) return Value::Null();
+        return Value::Int(-v.AsInt());
+      }
       return Value::Float(-v.AsFloat());
     }
 
@@ -291,37 +339,60 @@ Result<Value> EvalNode(const Expr& e, const EvalContext& ctx) {
           break;
       }
 
-      std::vector<double> args;
-      args.reserve(e.children.size());
+      std::vector<Value> vals;
+      vals.reserve(e.children.size());
       for (const auto& c : e.children) {
         CEPR_ASSIGN_OR_RETURN(const Value v, EvalNode(*c, ctx));
         if (v.is_null()) return Value::Null();
         if (!IsNumeric(v)) return Status::Internal("function arg non-numeric");
-        args.push_back(Num(v));
+        vals.push_back(v);
       }
+      const auto num = [&vals](size_t i) { return Num(vals[i]); };
+      const bool all_int = [&vals] {
+        for (const Value& v : vals) {
+          if (v.type() != ValueType::kInt) return false;
+        }
+        return true;
+      }();
       switch (e.func) {
         case ScalarFunc::kAbs:
-          return MakeNumeric(std::fabs(args[0]), e.result_type);
+          if (all_int && e.result_type == ValueType::kInt) {
+            const int64_t a = vals[0].AsInt();
+            if (a == std::numeric_limits<int64_t>::min()) return Value::Null();
+            return Value::Int(a < 0 ? -a : a);
+          }
+          return MakeNumeric(std::fabs(num(0)), e.result_type);
         case ScalarFunc::kSqrt:
-          if (args[0] < 0) return Value::Null();
-          return Value::Float(std::sqrt(args[0]));
+          if (num(0) < 0) return Value::Null();
+          return Value::Float(std::sqrt(num(0)));
         case ScalarFunc::kLog:
-          if (args[0] <= 0) return Value::Null();
-          return Value::Float(std::log(args[0]));
+          if (num(0) <= 0) return Value::Null();
+          return Value::Float(std::log(num(0)));
         case ScalarFunc::kExp:
-          return Value::Float(std::exp(args[0]));
+          return Value::Float(std::exp(num(0)));
         case ScalarFunc::kPow:
-          return Value::Float(std::pow(args[0], args[1]));
+          return Value::Float(std::pow(num(0), num(1)));
         case ScalarFunc::kFloor:
-          return Value::Int(static_cast<int64_t>(std::floor(args[0])));
+          // Already-integral operands pass through exactly; the double path
+          // would corrupt values beyond 2^53.
+          if (vals[0].type() == ValueType::kInt) return vals[0];
+          return MakeNumeric(std::floor(num(0)), ValueType::kInt);
         case ScalarFunc::kCeil:
-          return Value::Int(static_cast<int64_t>(std::ceil(args[0])));
+          if (vals[0].type() == ValueType::kInt) return vals[0];
+          return MakeNumeric(std::ceil(num(0)), ValueType::kInt);
         case ScalarFunc::kRound:
-          return Value::Int(static_cast<int64_t>(llround(args[0])));
+          if (vals[0].type() == ValueType::kInt) return vals[0];
+          return MakeNumeric(num(0), ValueType::kInt);
         case ScalarFunc::kLeast:
-          return MakeNumeric(std::min(args[0], args[1]), e.result_type);
+          if (all_int && e.result_type == ValueType::kInt) {
+            return Value::Int(std::min(vals[0].AsInt(), vals[1].AsInt()));
+          }
+          return MakeNumeric(std::min(num(0), num(1)), e.result_type);
         case ScalarFunc::kGreatest:
-          return MakeNumeric(std::max(args[0], args[1]), e.result_type);
+          if (all_int && e.result_type == ValueType::kInt) {
+            return Value::Int(std::max(vals[0].AsInt(), vals[1].AsInt()));
+          }
+          return MakeNumeric(std::max(num(0), num(1)), e.result_type);
         default:
           break;
       }

@@ -309,6 +309,43 @@ Result<CompiledQueryPtr> Compile(AnalyzedQuery analyzed) {
   // `score` points into analyzed.ast which was moved; re-point it.
   cq->score = cq->analyzed.ast.rank_by.get();
 
+  // -- Bytecode compilation ----------------------------------------------------
+  // Every predicate / select / score tree gets a flat program for the VM hot
+  // path (expr/vm.h). Must run after aggregate-slot assignment: programs
+  // bake in agg_slot indices. A nullptr program (tree too deep for the
+  // register file) falls back to the AST evaluator at that site.
+  int num_progs = 0;
+  const auto compile_group = [&num_progs](const std::vector<ExprPtr>& preds,
+                                          std::vector<BytecodeProgramPtr>* progs) {
+    progs->clear();
+    progs->reserve(preds.size());
+    for (const ExprPtr& p : preds) {
+      BytecodeProgramPtr prog = CompileToBytecodeShared(*p);
+      if (prog != nullptr) ++num_progs;
+      progs->push_back(std::move(prog));
+    }
+  };
+  for (CompiledComponent& comp : cq->pattern.components) {
+    compile_group(comp.begin_preds, &comp.begin_pred_progs);
+    compile_group(comp.iter_preds, &comp.iter_pred_progs);
+    compile_group(comp.exit_preds, &comp.exit_pred_progs);
+    if (comp.negation_before.has_value()) {
+      compile_group(comp.negation_before->preds,
+                    &comp.negation_before->pred_progs);
+    }
+  }
+  cq->select_progs.reserve(cq->analyzed.ast.select.size());
+  for (const SelectItemAst& item : cq->analyzed.ast.select) {
+    BytecodeProgramPtr prog = CompileToBytecodeShared(*item.expr);
+    if (prog != nullptr) ++num_progs;
+    cq->select_progs.push_back(std::move(prog));
+  }
+  if (cq->score != nullptr) {
+    cq->score_prog = CompileToBytecodeShared(*cq->score);
+    if (cq->score_prog != nullptr) ++num_progs;
+  }
+  cq->num_bytecode_programs = num_progs;
+
   cq->nfa = NfaPlan::Build(cq->pattern, cq->analyzed.layout);
   ComputeTemplateSignature(cq.get());
   return CompiledQueryPtr(cq);

@@ -44,6 +44,16 @@ struct CompiledQuery {
   /// The extracted constants, in slot order (?0, ?1, ...).
   std::vector<Value> template_params;
 
+  /// Compiled bytecode for SELECT items (parallel to analyzed.ast.select)
+  /// and the RANK BY score, used by the matcher when bytecode_eval is on;
+  /// nullptr entries fall back to the AST evaluator. Predicate programs
+  /// live on the pattern's components (see plan/pattern.h).
+  std::vector<BytecodeProgramPtr> select_progs;
+  BytecodeProgramPtr score_prog;
+  /// Total programs compiled for this query (predicates + selects + score);
+  /// surfaced as the `bytecode_compiled_preds` metric.
+  int num_bytecode_programs = 0;
+
   /// Declared value range per schema attribute (Whole() if undeclared).
   std::vector<Interval> attr_ranges;
   /// True iff the score's static upper bound (lower bound for ASC) is

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "expr/aggregate.h"
+#include "expr/bytecode.h"
 #include "expr/expr.h"
 #include "expr/typecheck.h"
 
@@ -25,6 +26,8 @@ struct CompiledNegation {
   /// compiler classified event-only (IsEventOnlyPredicate), -1 for
   /// correlated ones.
   std::vector<int> pred_cache_ids;
+  /// Parallel to `preds`: compiled bytecode (nullptr = AST fallback).
+  std::vector<BytecodeProgramPtr> pred_progs;
 };
 
 /// One positive component of the compiled pattern, with the WHERE conjuncts
@@ -48,6 +51,10 @@ struct CompiledComponent {
   /// conjuncts that must be evaluated against each run's bindings.
   std::vector<ExprPtr> begin_preds;
   std::vector<int> begin_pred_cache_ids;
+  /// Parallel to `begin_preds`: compiled bytecode for the matcher's fast
+  /// path when MatcherOptions::bytecode_eval is on (nullptr = AST fallback,
+  /// e.g. a tree too deep for the register file).
+  std::vector<BytecodeProgramPtr> begin_pred_progs;
 
   /// Kleene components: conjuncts containing a current-iteration reference
   /// (v[i]); evaluated against every candidate iteration. Parallel flags
@@ -57,6 +64,7 @@ struct CompiledComponent {
   std::vector<ExprPtr> iter_preds;
   std::vector<bool> iter_pred_uses_prev;
   std::vector<int> iter_pred_cache_ids;
+  std::vector<BytecodeProgramPtr> iter_pred_progs;
 
   /// Kleene components: conjuncts whose latest reference is this variable
   /// but that do not look at the current iteration (aggregate constraints
@@ -64,6 +72,7 @@ struct CompiledComponent {
   /// failure blocks the transition now but does not kill the run (more
   /// iterations may satisfy it later).
   std::vector<ExprPtr> exit_preds;
+  std::vector<BytecodeProgramPtr> exit_pred_progs;
 
   /// Watcher active while a run waits to begin this component.
   std::optional<CompiledNegation> negation_before;

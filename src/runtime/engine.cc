@@ -119,6 +119,7 @@ Status Engine::RegisterQuery(std::string name, std::string_view query_text,
   } else {
     queries_.emplace(key, std::move(running));
   }
+  RecomputeForwardTargets();
   return Status::OK();
 }
 
@@ -221,6 +222,7 @@ Status Engine::RemoveQuery(std::string_view name) {
   // signature frees the interned NfaTemplate (weak registry entry).
   queries_.erase(it);
   if (stream != nullptr) RebuildSharedStream(*stream);
+  RecomputeForwardTargets();
   return Status::OK();
 }
 
@@ -255,17 +257,22 @@ MetricsSnapshot Engine::Snapshot() const {
     snap.reorder.Accumulate(state.reorder.stats());
     snap.sharing.predindex_probes += state.shared.index.probes();
     snap.sharing.predindex_candidates += state.shared.index.candidates();
+    snap.sharing.batch_scan_events += state.shared.index.batch_scan_events();
+    snap.sharing.bitmap_hits += state.shared.index.bitmap_hits();
     snap.sharing.shared_window_buffers += state.shared.window_groups.size();
   }
   snap.num_shards = 1;
   snap.queries.reserve(queries_.size());
   for (const auto& [key, query] : queries_) {
+    snap.sharing.bytecode_compiled_preds += static_cast<uint64_t>(
+        query->plan()->num_bytecode_programs);
     snap.queries.push_back({query->name(), query->metrics()});
   }
   return snap;
 }
 
-Status Engine::Push(Event event) {
+Result<Engine::StreamState*> Engine::OfferEvent(Event event,
+                                                std::vector<Event>* released) {
   if (event.schema() == nullptr) {
     return Status::InvalidArgument("event has no schema");
   }
@@ -286,8 +293,7 @@ Status Engine::Push(Event event) {
   }
 
   const Timestamp offered_ts = event.timestamp();
-  std::vector<Event> released;
-  switch (state.reorder.Offer(std::move(event), &released)) {
+  switch (state.reorder.Offer(std::move(event), released)) {
     case ReorderBuffer::Verdict::kLateRejected:
       return Status::InvalidArgument(
           "out-of-order event on stream '" + state.schema->name() +
@@ -300,14 +306,34 @@ Status Engine::Push(Event event) {
                : ""));
     case ReorderBuffer::Verdict::kLateDropped:
       // Counted in events_late_dropped; the stream proceeds.
-      return Status::OK();
+      break;
     case ReorderBuffer::Verdict::kAccepted:
       break;
   }
-  return Route(state, std::move(released));
+  return &state;
+}
+
+Status Engine::Push(Event event) {
+  std::vector<Event> released;
+  CEPR_ASSIGN_OR_RETURN(StreamState * state,
+                        OfferEvent(std::move(event), &released));
+  return Route(*state, std::move(released));
+}
+
+bool Engine::RouteBatchable(const StreamState& state,
+                            size_t num_released) const {
+  // Batched screening needs the shared layer's probe, at least two events
+  // to amortize the column build, and a stream no query re-ingests into
+  // (forwarded events must interleave with the batch exactly as they would
+  // per event, so forward targets stay on the per-event path).
+  return options_.batch_ingest && num_released > 1 && shared_eval_active() &&
+         !state.forward_target;
 }
 
 Status Engine::Route(StreamState& state, std::vector<Event> released) {
+  if (RouteBatchable(state, released.size())) {
+    return RouteBatch(state, std::move(released));
+  }
   for (Event& event : released) {
     event.set_sequence(state.next_sequence++);
     ++events_ingested_;
@@ -348,10 +374,48 @@ Status Engine::RouteAll(StreamState& state, const EventPtr& event) {
   return Status::OK();
 }
 
+Status Engine::RouteBatch(StreamState& state, std::vector<Event> released) {
+  SharedStreamState& sh = state.shared;
+
+  // 1. One columnar screen for the whole release: cands[i] is exactly what
+  // the per-event Probe would return for released[i] (sequence numbers are
+  // not assigned yet, but probes never read them). The batch view borrows
+  // the events; it is fully consumed before the visit loop moves them out.
+  const EventBatch batch(released.data(), released.size(),
+                         state.schema->num_attributes());
+  std::vector<std::vector<uint32_t>> cands;
+  cands.swap(sh.batch_cand_scratch);
+  sh.index.ProbeBatch(batch, &cands);
+
+  // 2. The per-event visit loop, unchanged from the scalar path: sequence
+  // assignment, ingest accounting and delivery interleaving are identical.
+  Status failed = Status::OK();
+  for (size_t i = 0; i < released.size(); ++i) {
+    Event& event = released[i];
+    event.set_sequence(state.next_sequence++);
+    ++events_ingested_;
+
+    if (push_depth_ >= kMaxPushDepth) {
+      failed = Status::InvalidArgument(
+          "derived-stream recursion exceeds depth " +
+          std::to_string(kMaxPushDepth) + " (query composition cycle?)");
+      break;
+    }
+    ++push_depth_;
+    const auto shared = std::make_shared<const Event>(std::move(event));
+    const Status s = VisitShared(state, shared, cands[i]);
+    --push_depth_;
+    if (!s.ok()) {
+      failed = s;
+      break;
+    }
+  }
+  cands.swap(sh.batch_cand_scratch);
+  return failed;
+}
+
 Status Engine::RouteShared(StreamState& state, const EventPtr& event) {
   SharedStreamState& sh = state.shared;
-  const uint64_t seq = event->sequence();
-  const Timestamp ts = event->timestamp();
 
   // Scratch is swapped out for the duration of the call: a query's EMIT
   // INTO forwarding can re-enter Route (even for this stream, through a
@@ -359,12 +423,24 @@ Status Engine::RouteShared(StreamState& state, const EventPtr& event) {
   std::vector<uint32_t> cand;
   cand.swap(sh.cand_scratch);
   cand.clear();
-  std::vector<uint32_t> due;
-  due.swap(sh.due_scratch);
-  due.clear();
 
   // 1. Which queries can this event begin a run for?
   sh.index.Probe(*event, &cand);
+
+  const Status s = VisitShared(state, event, cand);
+  cand.swap(sh.cand_scratch);
+  return s;
+}
+
+Status Engine::VisitShared(StreamState& state, const EventPtr& event,
+                           const std::vector<uint32_t>& cand) {
+  SharedStreamState& sh = state.shared;
+  const uint64_t seq = event->sequence();
+  const Timestamp ts = event->timestamp();
+
+  std::vector<uint32_t> due;
+  due.swap(sh.due_scratch);
+  due.clear();
 
   // 2. Which skipped queries have a buffered report window closing here?
   // One boundary check per window scheme, not per query.
@@ -441,7 +517,6 @@ Status Engine::RouteShared(StreamState& state, const EventPtr& event) {
     }
   }
 
-  cand.swap(sh.cand_scratch);
   due.swap(sh.due_scratch);
   return failed;
 }
@@ -457,8 +532,44 @@ Status Engine::Flush() {
 }
 
 Status Engine::PushAll(std::vector<Event> events) {
+  // Maximal same-stream runs are screened in one columnar batch each
+  // (RouteBatch); the boundaries — a stream change, an offer error, a
+  // forward-target stream — flush the accumulated release so cross-stream
+  // ordering and error positions stay exactly those of per-event Push.
+  StreamState* current = nullptr;
+  std::vector<Event> pending;
+  const auto flush = [&]() -> Status {
+    if (current == nullptr || pending.empty()) return Status::OK();
+    StreamState& state = *current;
+    std::vector<Event> batch;
+    batch.swap(pending);
+    return Route(state, std::move(batch));
+  };
+
   for (size_t i = 0; i < events.size(); ++i) {
-    Status s = Push(std::move(events[i]));
+    std::vector<Event> released;
+    auto offered = OfferEvent(std::move(events[i]), &released);
+    Status s = offered.ok() ? Status::OK() : offered.status();
+    if (s.ok()) {
+      StreamState* state = offered.value();
+      if (state != current) {
+        CEPR_RETURN_IF_ERROR(flush());
+        current = state;
+      }
+      if (!released.empty() && !RouteBatchable(*state, /*num_released=*/2)) {
+        // Per-event streams (forward targets, batching off): route now,
+        // keeping release order against any accumulated batch.
+        CEPR_RETURN_IF_ERROR(flush());
+        s = Route(*state, std::move(released));
+      } else {
+        for (Event& e : released) pending.push_back(std::move(e));
+      }
+    } else {
+      // Offer-time failures (validation, late rejection) happen before any
+      // routing; the accumulated release still precedes them in stream
+      // order, so flush first.
+      CEPR_RETURN_IF_ERROR(flush());
+    }
     if (s.ok()) continue;
     if (options_.fault_policy == FaultPolicy::kSkipAndCount) {
       ++events_quarantined_;
@@ -469,7 +580,17 @@ Status Engine::PushAll(std::vector<Event> events) {
                                 " failed (prefix [0, " + std::to_string(i) +
                                 ") already ingested): " + s.message());
   }
-  return Status::OK();
+  return flush();
+}
+
+void Engine::RecomputeForwardTargets() {
+  for (auto& [key, state] : streams_) state.forward_target = false;
+  for (const auto& [key, query] : queries_) {
+    const std::string& target = query->plan()->into_stream;
+    if (target.empty()) continue;
+    const auto it = streams_.find(ToLower(target));
+    if (it != streams_.end()) it->second.forward_target = true;
+  }
 }
 
 void Engine::Finish() {

@@ -68,6 +68,15 @@ struct EngineOptions {
   /// query has a fault injector armed, so injected fault schedules fire at
   /// the exact event positions the per-query path would produce.
   bool shared_eval = true;
+
+  /// Screen multi-event ingests (PushAll, reorder-buffer release bursts)
+  /// through one columnar PredicateIndex::ProbeBatch per stream run instead
+  /// of a per-event probe. Routing, sequencing and delivery order are
+  /// unchanged — per-query output is bit-identical either way — so this is
+  /// purely the vectorized-screening ablation knob. Streams that are EMIT
+  /// INTO targets always take the per-event path (re-ingestion may land
+  /// mid-batch and must interleave exactly as it would per event).
+  bool batch_ingest = true;
 };
 
 /// The CEPR system facade: stream registry, query registry, and the ingest
@@ -198,11 +207,18 @@ class Engine {
     /// nested derived-stream routing cannot clobber it).
     std::vector<uint32_t> cand_scratch;
     std::vector<uint32_t> due_scratch;
+    /// Reusable batched-probe scratch: per-row candidate lists (swapped out
+    /// during RouteBatch for the same re-entrancy reason).
+    std::vector<std::vector<uint32_t>> batch_cand_scratch;
   };
 
   struct StreamState {
     SchemaPtr schema;
     uint64_t next_sequence = 0;
+    /// True while some registered query EMIT INTOs this stream: batched
+    /// routing is disabled so re-ingested events interleave exactly as in
+    /// the per-event path. Maintained by RecomputeForwardTargets.
+    bool forward_target = false;
     /// Bounded out-of-order ingest buffer; owns the stream's watermark.
     /// Non-movable (single-writer atomic counters), so streams_ entries
     /// are built in place with try_emplace.
@@ -218,6 +234,11 @@ class Engine {
   /// `reject_out_of_order = false` maps to LatePolicy::kClamp).
   ReorderConfig DefaultReorderConfig() const;
 
+  /// Validates `event` against the stream registry and offers it to the
+  /// stream's reorder buffer, appending whatever the buffer releases.
+  /// Returns the stream (kLateDropped included — released stays empty);
+  /// errors are Push's validation / late-rejection statuses.
+  Result<StreamState*> OfferEvent(Event event, std::vector<Event>* released);
   /// Stamps each released event with the stream's sequence number and fans
   /// it out to the stream's queries, in release order.
   Status Route(StreamState& state, std::vector<Event> released);
@@ -229,6 +250,18 @@ class Engine {
   /// and window-due queries (in name order — same delivery interleaving as
   /// RouteAll).
   Status RouteShared(StreamState& state, const EventPtr& event);
+  /// The visit half of RouteShared, with the candidate slots already
+  /// computed (per-event Probe or one batched ProbeBatch row).
+  Status VisitShared(StreamState& state, const EventPtr& event,
+                     const std::vector<uint32_t>& cand);
+  /// Batched shared path: one columnar ProbeBatch over the whole release,
+  /// then the per-event visit loop with precomputed candidates. Only
+  /// reached when RouteBatchable(state) held.
+  Status RouteBatch(StreamState& state, std::vector<Event> released);
+  bool RouteBatchable(const StreamState& state, size_t num_released) const;
+  /// Recomputes every stream's forward_target flag from the live queries'
+  /// EMIT INTO targets (query add/remove).
+  void RecomputeForwardTargets();
   /// Re-slots a stream's queries (name order), rebuilds its predicate
   /// index, hot set and window groups. Called on query add/remove.
   void RebuildSharedStream(StreamState& state);

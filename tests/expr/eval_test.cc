@@ -1,6 +1,7 @@
 #include "expr/eval.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -181,6 +182,125 @@ TEST(EvalTest, ScalarFunctions) {
   EXPECT_EQ(Eval("LEAST(3, 7)", ctx), Value::Int(3));
   EXPECT_EQ(Eval("GREATEST(3.5, 7)", ctx), Value::Float(7.0));
   EXPECT_EQ(Eval("POW(2, 10)", ctx), Value::Float(1024.0));
+}
+
+// Builds `lhs op rhs` over int64 literals out of reach of the parser
+// (INT64_MIN has no literal form) and evaluates it. Type checks the tree so
+// result_type is set the same way parsed expressions get it.
+Value EvalIntBinary(int64_t lhs, BinaryOp op, int64_t rhs) {
+  auto layout = AbcLayout();
+  auto e = Expr::Binary(op, Expr::Literal(Value::Int(lhs)),
+                        Expr::Literal(Value::Int(rhs)));
+  auto st = TypeCheck(e.get(), layout, ExprContext::kOutput);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  FakeContext ctx(3);
+  auto v = Evaluate(*e, ctx);
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  return v.ok() ? *v : Value::Bool(false);
+}
+
+constexpr int64_t kI64Min = std::numeric_limits<int64_t>::min();
+constexpr int64_t kI64Max = std::numeric_limits<int64_t>::max();
+
+// Regression: INT64_MIN % -1 used to execute a hardware divide whose
+// quotient overflows (SIGFPE on x86, UB everywhere). The contract is now
+// result 0, consistent with the mathematical remainder.
+TEST(EvalTest, ModByMinusOneIsZeroEvenAtInt64Min) {
+  EXPECT_EQ(EvalIntBinary(kI64Min, BinaryOp::kMod, -1), Value::Int(0));
+  EXPECT_EQ(EvalIntBinary(5, BinaryOp::kMod, -1), Value::Int(0));
+  EXPECT_EQ(EvalIntBinary(-7, BinaryOp::kMod, 3), Value::Int(-1));
+  // INT64_MIN / -1 overflows too; division is double-typed so it stays
+  // finite instead of trapping.
+  EXPECT_EQ(EvalIntBinary(kI64Min, BinaryOp::kDiv, -1),
+            Value::Float(9223372036854775808.0));
+}
+
+// Regression: int + - * used to round-trip through double (lossy beyond
+// 2^53) and overflow silently. They are now native int64 with overflow
+// mapped to NULL.
+TEST(EvalTest, IntegerArithmeticIsExactAndOverflowYieldsNull) {
+  const int64_t big = (int64_t{1} << 53) + 1;  // not representable as double
+  EXPECT_EQ(EvalIntBinary(big, BinaryOp::kAdd, 0), Value::Int(big));
+  EXPECT_EQ(EvalIntBinary(big, BinaryOp::kSub, 1),
+            Value::Int(int64_t{1} << 53));
+  EXPECT_EQ(EvalIntBinary(kI64Max, BinaryOp::kSub, kI64Max), Value::Int(0));
+  EXPECT_EQ(EvalIntBinary(3037000499, BinaryOp::kMul, 3037000499),
+            Value::Int(9223372030926249001));  // largest square below 2^63
+
+  EXPECT_TRUE(EvalIntBinary(kI64Max, BinaryOp::kAdd, 1).is_null());
+  EXPECT_TRUE(EvalIntBinary(kI64Min, BinaryOp::kSub, 1).is_null());
+  EXPECT_TRUE(EvalIntBinary(kI64Min, BinaryOp::kAdd, -1).is_null());
+  EXPECT_TRUE(EvalIntBinary(3037000500, BinaryOp::kMul, 3037000500).is_null());
+  EXPECT_TRUE(EvalIntBinary(kI64Min, BinaryOp::kMul, -1).is_null());
+}
+
+TEST(EvalTest, IntegerComparisonsAreExact) {
+  // (double)INT64_MAX == (double)(INT64_MAX - 1), so the old double-based
+  // comparison path called these equal.
+  EXPECT_EQ(EvalIntBinary(kI64Max, BinaryOp::kGt, kI64Max - 1),
+            Value::Bool(true));
+  EXPECT_EQ(EvalIntBinary(kI64Max - 1, BinaryOp::kLt, kI64Max),
+            Value::Bool(true));
+  EXPECT_EQ(EvalIntBinary(kI64Min, BinaryOp::kLe, kI64Min), Value::Bool(true));
+  // Equality intentionally keeps the double-compare semantics of
+  // Value::operator== (shared with hashing); it is not part of this fix.
+}
+
+TEST(EvalTest, NegationAndAbsOfInt64MinYieldNull) {
+  auto layout = AbcLayout();
+  FakeContext ctx(3);
+
+  auto neg = Expr::Unary(UnaryOp::kNeg, Expr::Literal(Value::Int(kI64Min)));
+  ASSERT_TRUE(TypeCheck(neg.get(), layout, ExprContext::kOutput).ok());
+  auto v = Evaluate(*neg, ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+
+  std::vector<ExprPtr> args;
+  args.push_back(Expr::Literal(Value::Int(kI64Min)));
+  auto abs = Expr::Func(ScalarFunc::kAbs, std::move(args));
+  ASSERT_TRUE(TypeCheck(abs.get(), layout, ExprContext::kOutput).ok());
+  v = Evaluate(*abs, ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(EvalTest, FloatToIntCastsGuardTheRepresentableRange) {
+  FakeContext ctx(3);
+  auto layout = AbcLayout();
+  const auto eval_func = [&](ScalarFunc f, double x) {
+    std::vector<ExprPtr> args;
+    args.push_back(Expr::Literal(Value::Float(x)));
+    auto e = Expr::Func(f, std::move(args));
+    EXPECT_TRUE(TypeCheck(e.get(), layout, ExprContext::kOutput).ok());
+    auto v = Evaluate(*e, ctx);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return v.ok() ? *v : Value::Bool(false);
+  };
+
+  EXPECT_TRUE(eval_func(ScalarFunc::kFloor, 1e300).is_null());
+  EXPECT_TRUE(eval_func(ScalarFunc::kCeil, -1e300).is_null());
+  EXPECT_TRUE(eval_func(ScalarFunc::kRound,
+                        std::numeric_limits<double>::quiet_NaN())
+                  .is_null());
+  EXPECT_TRUE(eval_func(ScalarFunc::kRound,
+                        std::numeric_limits<double>::infinity())
+                  .is_null());
+  // 2^63 is exactly the first unrepresentable value; one ULP below fits.
+  EXPECT_TRUE(eval_func(ScalarFunc::kFloor, 9223372036854775808.0).is_null());
+  EXPECT_EQ(eval_func(ScalarFunc::kFloor, 9223372036854774784.0),
+            Value::Int(9223372036854774784));
+  EXPECT_EQ(eval_func(ScalarFunc::kCeil, -9223372036854775808.0),
+            Value::Int(kI64Min));
+
+  // Int operands pass through the int-valued rounding functions unchanged.
+  std::vector<ExprPtr> args;
+  args.push_back(Expr::Literal(Value::Int(kI64Max)));
+  auto e = Expr::Func(ScalarFunc::kRound, std::move(args));
+  ASSERT_TRUE(TypeCheck(e.get(), layout, ExprContext::kOutput).ok());
+  auto v = Evaluate(*e, ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Int(kI64Max));
 }
 
 TEST(EvalTest, EvaluateScoreMapsNullToNegInfinity) {

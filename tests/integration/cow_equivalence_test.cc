@@ -25,15 +25,18 @@ struct Mode {
   bool cow_bindings;
   bool use_arena;
   bool predicate_cache;
+  bool bytecode_eval;
 };
 
-// Mode 0 is the legacy baseline; mode 3 is the full fast path (the
-// default). Layered so each step isolates one mechanism (E14's axes).
+// Mode 0 is the legacy baseline; the last mode is the full fast path (the
+// default). Layered so each step isolates one mechanism (E14/E17's axes) —
+// the final step swaps the recursive AST evaluator for the bytecode VM.
 constexpr Mode kModes[] = {
-    {"legacy-deep-copy", false, false, false},
-    {"cow", true, false, false},
-    {"cow+arena", true, true, false},
-    {"cow+arena+predcache", true, true, true},
+    {"legacy-deep-copy", false, false, false, false},
+    {"cow", true, false, false, false},
+    {"cow+arena", true, true, false, false},
+    {"cow+arena+predcache", true, true, true, false},
+    {"cow+arena+predcache+bytecode", true, true, true, true},
 };
 
 struct Workload {
@@ -114,6 +117,7 @@ QueryOptions WithMode(QueryOptions options, const Mode& mode) {
   options.matcher.cow_bindings = mode.cow_bindings;
   options.matcher.use_arena = mode.use_arena;
   options.matcher.predicate_cache = mode.predicate_cache;
+  options.matcher.bytecode_eval = mode.bytecode_eval;
   return options;
 }
 
@@ -233,6 +237,59 @@ TEST(CowEquivalenceTest, IdenticalUnderInjectedFaults) {
     sharded_injector.ArmKeys(fault_points::kEvalPoison, poison_keys);
     ExpectIdentical(baseline, RunSharded(w, mode, 2, &sharded_injector),
                     std::string("faulted shards=2 ") + mode.label);
+  }
+}
+
+// Batched columnar ingest (PushAll run accumulation + ProbeBatch screening)
+// is a pure screening optimization: for every mode, PushAll with
+// batch_ingest on must equal the per-event Push baseline exactly — serial
+// and sharded at every shard count.
+TEST(CowEquivalenceTest, BatchedIngestMatchesPerEvent) {
+  const Workload w = SkipTillAnyWorkload(42);
+  const auto baseline = RunSerial(w, kModes[0]);
+  ASSERT_FALSE(baseline.empty());
+
+  for (const Mode& mode : {kModes[0], kModes[4]}) {
+    for (bool batch : {false, true}) {
+      const std::string tag = std::string(mode.label) +
+                              (batch ? " batch" : " per-event") + " PushAll";
+      {
+        EngineOptions engine_options;
+        engine_options.batch_ingest = batch;
+        Engine engine(engine_options);
+        ASSERT_TRUE(engine.RegisterSchema(w.schema).ok());
+        CollectSink sink;
+        ASSERT_TRUE(
+            engine.RegisterQuery("q", w.query, WithMode(w.options, mode), &sink)
+                .ok());
+        std::vector<Event> events = w.events;
+        const Status s = engine.PushAll(std::move(events));
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        engine.Finish();
+        ExpectIdentical(baseline, sink.results(), "serial " + tag);
+        if (batch) {
+          EXPECT_GT(engine.Snapshot().sharing.batch_scan_events, 0u)
+              << "batch path did not engage; weak test";
+        }
+      }
+      for (size_t shards : {1u, 2u, 4u}) {
+        ShardedEngineOptions engine_options;
+        engine_options.num_shards = shards;
+        engine_options.batch_ingest = batch;
+        ShardedEngine engine(engine_options);
+        ASSERT_TRUE(engine.RegisterSchema(w.schema).ok());
+        CollectSink sink;
+        ASSERT_TRUE(
+            engine.RegisterQuery("q", w.query, WithMode(w.options, mode), &sink)
+                .ok());
+        std::vector<Event> events = w.events;
+        const Status s = engine.PushAll(std::move(events));
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        engine.Finish();
+        ExpectIdentical(baseline, sink.results(),
+                        "shards=" + std::to_string(shards) + " " + tag);
+      }
+    }
   }
 }
 

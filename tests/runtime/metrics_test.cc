@@ -62,6 +62,20 @@ TEST(MetricsJsonTest, MergeStatsFields) {
             "{\"windows_merged\":2,\"results_emitted\":5}");
 }
 
+TEST(MetricsJsonTest, SharingStatsCarriesHotPathCounters) {
+  SharingStats s;
+  s.batch_scan_events = 4;
+  s.bitmap_hits = 9;
+  s.bytecode_compiled_preds = 6;
+  const std::string json = s.ToJson();
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\"batch_scan_events\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"bitmap_hits\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"bytecode_compiled_preds\":6"), std::string::npos);
+  EXPECT_NE(s.ToString().find("bytecode_compiled_preds=6"),
+            std::string::npos);
+}
+
 TEST(MetricsJsonTest, QueryMetricsNestsHistograms) {
   QueryMetrics m;
   m.events = 4;
