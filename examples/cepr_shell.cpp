@@ -37,6 +37,32 @@ namespace {
 using cepr::Engine;
 using cepr::Status;
 
+// Print sink for \restore'd queries: the sink must exist while Restore is
+// still registering the query, before its compiled plan (and thus its
+// column labels) is reachable — so resolve the labels lazily on the first
+// result instead.
+class LazyPrintSink : public cepr::Sink {
+ public:
+  LazyPrintSink(Engine* engine, std::string name)
+      : engine_(engine), name_(std::move(name)) {}
+
+  void OnResult(const cepr::RankedResult& result) override {
+    if (inner_ == nullptr) {
+      std::vector<std::string> columns;
+      auto query = engine_->GetQuery(name_);
+      if (query.ok()) columns = (*query)->plan()->analyzed.output_names;
+      inner_ = std::make_unique<cepr::PrintSink>(std::cout, std::move(columns),
+                                                 name_);
+    }
+    inner_->OnResult(result);
+  }
+
+ private:
+  Engine* engine_;
+  std::string name_;
+  std::unique_ptr<cepr::PrintSink> inner_;
+};
+
 class Shell {
  public:
   int Run() {
@@ -57,7 +83,7 @@ class Shell {
         buffer.clear();
       }
     }
-    engine_.Finish();
+    engine_->Finish();
     return 0;
   }
 
@@ -71,13 +97,13 @@ class Shell {
       return;
     }
     if (statement->create_stream != nullptr) {
-      const Status s = engine_.ExecuteDdl(text);
+      const Status s = engine_->ExecuteDdl(text);
       std::cout << (s.ok() ? "stream created" : s.ToString()) << "\n";
       return;
     }
     // A query: compile a preview for the column names, then register with a
     // printing sink under an auto-assigned name.
-    auto schema = engine_.GetSchema(statement->query->stream_name);
+    auto schema = engine_->GetSchema(statement->query->stream_name);
     if (!schema.ok()) {
       std::cout << schema.status() << "\n";
       return;
@@ -91,7 +117,7 @@ class Shell {
     sinks_[name] = std::make_unique<cepr::PrintSink>(
         std::cout, (*preview)->analyzed.output_names, name);
     const Status s =
-        engine_.RegisterQuery(name, text, cepr::QueryOptions{}, sinks_[name].get());
+        engine_->RegisterQuery(name, text, cepr::QueryOptions{}, sinks_[name].get());
     if (!s.ok()) {
       std::cout << s << "\n";
       sinks_.erase(name);
@@ -106,7 +132,7 @@ class Shell {
     std::string op;
     in >> op;
     if (op == "\\quit" || op == "\\q") {
-      engine_.Finish();
+      engine_->Finish();
       return false;
     }
     if (op == "\\help") {
@@ -121,17 +147,20 @@ class Shell {
                    "                            tolerate out-of-order events\n"
                    "  \\drop <query>             remove a query (flushes it)\n"
                    "  \\finish                   close all open windows\n"
+                   "  \\wal <path>               journal arrivals to a write-ahead log\n"
+                   "  \\checkpoint <path>        atomic snapshot of all engine state\n"
+                   "  \\restore <snapshot> [wal] rebuild from a snapshot (+ WAL replay)\n"
                    "  \\quit\n";
       return true;
     }
     if (op == "\\streams") {
-      for (const auto& name : engine_.StreamNames()) {
-        std::cout << "  " << engine_.GetSchema(name).value()->ToString() << "\n";
+      for (const auto& name : engine_->StreamNames()) {
+        std::cout << "  " << engine_->GetSchema(name).value()->ToString() << "\n";
       }
       return true;
     }
     if (op == "\\queries") {
-      for (const auto& name : engine_.QueryNames()) std::cout << "  " << name << "\n";
+      for (const auto& name : engine_->QueryNames()) std::cout << "  " << name << "\n";
       return true;
     }
     if (op == "\\gen") {
@@ -151,7 +180,7 @@ class Shell {
     if (op == "\\plan") {
       std::string name;
       in >> name;
-      auto query = engine_.GetQuery(name);
+      auto query = engine_->GetQuery(name);
       if (!query.ok()) {
         std::cout << query.status() << "\n";
       } else {
@@ -164,8 +193,8 @@ class Shell {
       std::string name;
       in >> name;
       if (name.empty()) {
-        std::cout << "events ingested: " << engine_.events_ingested() << "\n";
-        const cepr::MetricsSnapshot snap = engine_.Snapshot();
+        std::cout << "events ingested: " << engine_->events_ingested() << "\n";
+        const cepr::MetricsSnapshot snap = engine_->Snapshot();
         const cepr::ReorderStats& reorder = snap.reorder;
         if (reorder.events_reordered > 0 || reorder.events_late_dropped > 0 ||
             reorder.events_clamped > 0) {
@@ -175,7 +204,12 @@ class Shell {
                     << "  buffer peak: " << reorder.reorder_buffer_peak << "\n";
         }
         std::cout << "sharing: " << snap.sharing.ToString() << "\n";
-        for (const auto& qname : engine_.QueryNames()) PrintStats(qname);
+        const cepr::DurabilityStats& d = snap.durability;
+        if (d.checkpoints_written > 0 || d.wal_records_appended > 0 ||
+            d.recovery_events_replayed > 0) {
+          std::cout << "durability: " << d.ToString() << "\n";
+        }
+        for (const auto& qname : engine_->QueryNames()) PrintStats(qname);
       } else {
         PrintStats(name);
       }
@@ -201,21 +235,79 @@ class Shell {
         std::cout << "usage: \\lateness <stream> <micros> [reject|drop|clamp]\n";
         return true;
       }
-      const Status s = engine_.ConfigureStreamIngest(stream, config);
+      const Status s = engine_->ConfigureStreamIngest(stream, config);
       std::cout << (s.ok() ? "ingest configured" : s.ToString()) << "\n";
       return true;
     }
     if (op == "\\drop") {
       std::string name;
       in >> name;
-      const Status s = engine_.RemoveQuery(name);
+      const Status s = engine_->RemoveQuery(name);
       std::cout << (s.ok() ? "dropped" : s.ToString()) << "\n";
       if (s.ok()) sinks_.erase(name);
       return true;
     }
     if (op == "\\finish") {
-      engine_.Finish();
+      engine_->Finish();
       std::cout << "flushed\n";
+      return true;
+    }
+    if (op == "\\wal") {
+      std::string path;
+      in >> path;
+      if (path.empty()) {
+        std::cout << "usage: \\wal <path>\n";
+        return true;
+      }
+      const Status s = engine_->OpenWal(path);
+      std::cout << (s.ok() ? "journaling to " + path : s.ToString()) << "\n";
+      return true;
+    }
+    if (op == "\\checkpoint") {
+      std::string path;
+      in >> path;
+      if (path.empty()) {
+        std::cout << "usage: \\checkpoint <path>\n";
+        return true;
+      }
+      const Status s = engine_->Checkpoint(path);
+      if (s.ok()) {
+        std::cout << "snapshot written (" << engine_->durability().checkpoint_bytes
+                  << " bytes)\n";
+      } else {
+        std::cout << s << "\n";
+      }
+      return true;
+    }
+    if (op == "\\restore") {
+      std::string snap;
+      std::string wal;
+      in >> snap >> wal;
+      if (snap.empty()) {
+        std::cout << "usage: \\restore <snapshot> [wal]\n";
+        return true;
+      }
+      // Restore wants a pristine engine; build one on the side and swap it
+      // in only on success, so a bad file leaves the current session alone.
+      auto fresh = std::make_unique<Engine>();
+      std::map<std::string, std::unique_ptr<cepr::Sink>> fresh_sinks;
+      Engine* eng = fresh.get();
+      const Status s = fresh->Restore(
+          snap, wal, [&](const std::string& name) -> cepr::Sink* {
+            auto [it, inserted] = fresh_sinks.emplace(
+                name, std::make_unique<LazyPrintSink>(eng, name));
+            return it->second.get();
+          });
+      if (!s.ok()) {
+        std::cout << s << "\n";
+        return true;
+      }
+      engine_ = std::move(fresh);
+      sinks_ = std::move(fresh_sinks);
+      std::cout << "restored: " << engine_->QueryNames().size() << " queries, "
+                << engine_->events_ingested() << " events ingested, "
+                << engine_->durability().recovery_events_replayed
+                << " replayed from wal\n";
       return true;
     }
     std::cout << "unknown command " << op << " (try \\help)\n";
@@ -223,7 +315,7 @@ class Shell {
   }
 
   void PrintStats(const std::string& name) {
-    auto query = engine_.GetQuery(name);
+    auto query = engine_->GetQuery(name);
     if (!query.ok()) {
       std::cout << query.status() << "\n";
       return;
@@ -251,13 +343,23 @@ class Shell {
         return;
       }
       // Auto-register the generator's schema on first use.
-      if (!engine_.GetSchema(gen->schema()->name()).ok()) {
-        (void)engine_.RegisterSchema(gen->schema());
+      if (!engine_->GetSchema(gen->schema()->name()).ok()) {
+        (void)engine_->RegisterSchema(gen->schema());
         std::cout << "registered stream " << gen->schema()->ToString() << "\n";
       }
     }
+    // Rebind to the engine's schema handle: after a \restore the engine
+    // holds its own deserialized Schema object, and ingest checks identity.
+    auto schema = engine_->GetSchema(gen->schema()->name());
+    if (!schema.ok()) {
+      std::cout << schema.status() << "\n";
+      return;
+    }
     for (size_t i = 0; i < n; ++i) {
-      const Status s = engine_.Push(gen->Next());
+      cepr::Event raw = gen->Next();
+      cepr::Event e(schema.value(), raw.timestamp(), raw.values());
+      e.set_type_tag(raw.type_tag());
+      const Status s = engine_->Push(std::move(e));
       if (!s.ok()) {
         std::cout << s << "\n";
         return;
@@ -267,7 +369,7 @@ class Shell {
   }
 
   void Load(const std::string& stream, const std::string& path) {
-    auto schema = engine_.GetSchema(stream);
+    auto schema = engine_->GetSchema(stream);
     if (!schema.ok()) {
       std::cout << schema.status() << "\n";
       return;
@@ -279,7 +381,7 @@ class Shell {
     }
     size_t pushed = 0;
     for (cepr::Event& e : *events) {
-      const Status s = engine_.Push(std::move(e));
+      const Status s = engine_->Push(std::move(e));
       if (!s.ok()) {
         std::cout << s << " (after " << pushed << " events)\n";
         return;
@@ -289,8 +391,10 @@ class Shell {
     std::cout << "pushed " << pushed << " events from " << path << "\n";
   }
 
-  Engine engine_;
-  std::map<std::string, std::unique_ptr<cepr::PrintSink>> sinks_;
+  // unique_ptr so \restore can swap in a pristine engine (Restore's
+  // contract) without tearing down the shell.
+  std::unique_ptr<Engine> engine_ = std::make_unique<Engine>();
+  std::map<std::string, std::unique_ptr<cepr::Sink>> sinks_;
   std::map<std::string, std::unique_ptr<cepr::WorkloadGenerator>> generators_;
   int next_query_id_ = 1;
 };

@@ -9,11 +9,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
 #include <mutex>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -97,6 +99,7 @@ void PaintShards(const cepr::MetricsSnapshot& snap) {
       << " clamped=" << snap.reorder.events_clamped
       << " buffer_peak=" << snap.reorder.reorder_buffer_peak << "\n";
   out << "sharing: " << snap.sharing.ToString() << "\n";
+  out << "durability: " << snap.durability.ToString() << "\n";
   std::cout << out.str();
 }
 
@@ -181,6 +184,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Durability, monitored live: journal every arrival and snapshot once per
+  // round while the monitor thread concurrently reads the counters.
+  const std::string wal_path = "/tmp/cepr_monitor.wal";
+  const std::string ckpt_path = "/tmp/cepr_monitor.ckpt";
+  std::remove(wal_path.c_str());
+  if (const cepr::Status s = engine.OpenWal(wal_path); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
   // The monitor thread: polls the engine concurrently with ingest — no
   // coordination with the ingest loop beyond the stop flag. Snapshot() is
   // safe to call from here at any time (see docs/OPERATIONS.md).
@@ -216,6 +229,12 @@ int main(int argc, char** argv) {
         monitor.join();
         return 1;
       }
+    }
+    if (const cepr::Status s = engine.Checkpoint(ckpt_path); !s.ok()) {
+      std::cerr << "checkpoint: " << s << "\n";
+      stop.store(true, std::memory_order_release);
+      monitor.join();
+      return 1;
     }
   }
   engine.Finish();

@@ -3,9 +3,10 @@
 # running the concurrency-sensitive suites (SPSC ring, sharded engine, and
 # the live-metrics race test), then an AddressSanitizer build running the
 # memory-churn-heavy suites (robustness fuzz, overload shedding, fault
-# injection, CSV parsing), then a UBSan build running the arithmetic-heavy
-# suites (evaluator/VM extremes, the bytecode differential fuzzer, rank
-# math). Run from the repo root:
+# injection, CSV parsing, crash recovery, torn-file fuzz), then a UBSan
+# build running the arithmetic-heavy suites (evaluator/VM extremes, the
+# bytecode differential fuzzer, rank math, snapshot/WAL decoding of
+# corrupted bytes). Run from the repo root:
 #
 #   scripts/check.sh            # all stages
 #   scripts/check.sh --plain    # plain stage only
@@ -44,8 +45,10 @@ if [[ $run_tsan -eq 1 ]]; then
   cmake -B build-tsan -S . -DCEPR_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug >/dev/null
   cmake --build build-tsan -j "$(nproc)" --target common_test integration_test
   ./build-tsan/tests/common_test --gtest_filter='SpscQueue*'
+  # The sharded recovery tests exercise the quiesce barrier (Checkpoint
+  # cuts while worker threads drain) — one shard count keeps the stage fast.
   ./build-tsan/tests/integration_test \
-    --gtest_filter='Sharded*:ShardedMetricsRaceTest.*:ShardCounts/ShardedFault*:CowEquivalenceTest.HotPathCountersMatchSerialTotals:Disorder*:ShardCounts/Disorder*'
+    --gtest_filter='Sharded*:ShardedMetricsRaceTest.*:ShardCounts/ShardedFault*:CowEquivalenceTest.HotPathCountersMatchSerialTotals:Disorder*:ShardCounts/Disorder*:Engines/RecoveryTest.*/sharded2'
 fi
 
 if [[ $run_asan -eq 1 ]]; then
@@ -53,21 +56,26 @@ if [[ $run_asan -eq 1 ]]; then
   cmake -B build-asan -S . -DCEPR_SANITIZE=address -DCMAKE_BUILD_TYPE=Debug >/dev/null
   cmake --build build-asan -j "$(nproc)" --target integration_test runtime_test
   ./build-asan/tests/integration_test \
-    --gtest_filter='Robustness*:Overload*:FaultInjection*:ShardedFault*:ShardCounts/ShardedFault*:CowEquivalence*:Disorder*:ShardCounts/Disorder*'
-  ./build-asan/tests/runtime_test --gtest_filter='Csv*:ReorderBuffer*'
+    --gtest_filter='Robustness*:Overload*:FaultInjection*:ShardedFault*:ShardCounts/ShardedFault*:CowEquivalence*:Disorder*:ShardCounts/Disorder*:*Recovery*'
+  ./build-asan/tests/runtime_test \
+    --gtest_filter='Csv*:ReorderBuffer*:Idempotence*:Snapshot*:TornFileFuzz*'
 fi
 
 if [[ $run_ubsan -eq 1 ]]; then
   echo "== UBSan build + arithmetic suites =="
   cmake -B build-ubsan -S . -DCEPR_SANITIZE=undefined -DCMAKE_BUILD_TYPE=Debug >/dev/null
-  cmake --build build-ubsan -j "$(nproc)" --target expr_test rank_test integration_test
+  cmake --build build-ubsan -j "$(nproc)" --target expr_test rank_test integration_test runtime_test
   ./build-ubsan/tests/expr_test
   ./build-ubsan/tests/rank_test
   # SkipTillAnyForkHeavyWithShedding is ~15x the cost of the other five
   # combined under UBSan (fork-heavy matching, not arithmetic) and the plain
   # and ASan stages already run it; keep the UBSan stage focused.
   ./build-ubsan/tests/integration_test \
-    --gtest_filter='CowEquivalenceTest.*:-CowEquivalenceTest.SkipTillAnyForkHeavyWithShedding'
+    --gtest_filter='CowEquivalenceTest.*:*Recovery*:-CowEquivalenceTest.SkipTillAnyForkHeavyWithShedding'
+  # Torn-file fuzzing decodes attacker-controlled lengths/offsets — exactly
+  # where unchecked size arithmetic would be UB.
+  ./build-ubsan/tests/runtime_test \
+    --gtest_filter='Idempotence*:Snapshot*:TornFileFuzz*'
 fi
 
 echo "check.sh: all stages passed"

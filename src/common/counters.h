@@ -35,6 +35,9 @@ class RelaxedCounter {
     return v;
   }
 
+  /// Writer thread only: overwrites the value (checkpoint restore).
+  void Store(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+
   /// Any thread.
   uint64_t Load() const { return value_.load(std::memory_order_relaxed); }
 
@@ -55,6 +58,9 @@ class RelaxedMax {
       value_.store(v, std::memory_order_relaxed);
     }
   }
+
+  /// Writer thread only: overwrites the value (checkpoint restore).
+  void Store(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
 
   /// Any thread.
   uint64_t Load() const { return value_.load(std::memory_order_relaxed); }

@@ -37,6 +37,15 @@ inline constexpr const char kCsvBadRecord[] = "csv.bad_record";
 /// A shard's consumer loop wedges, sleeping instead of draining its ring
 /// (key: shard index). Releasable mid-run via Disarm().
 inline constexpr const char kShardStall[] = "shard.stall";
+/// Process dies mid-checkpoint: the temp file is left partially written and
+/// never renamed over the live snapshot (key: checkpoint ordinal).
+inline constexpr const char kCkptKillMidWrite[] = "ckpt.kill_mid_write";
+/// Process dies mid-WAL-append: the journal ends in a torn partial frame
+/// (key: WAL record ordinal).
+inline constexpr const char kWalTornTail[] = "wal.torn_tail";
+/// Process dies mid-recovery, after the snapshot loaded but with the WAL
+/// only partially replayed (key: replayed-record ordinal).
+inline constexpr const char kRestorePartialReplay[] = "restore.partial_replay";
 }  // namespace fault_points
 
 /// Deterministic, seeded fault-injection harness. Engines and the CSV

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/binio.h"
+
 namespace cepr {
 
 Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
@@ -90,6 +92,44 @@ double Histogram::Percentile(double p) const {
     cumulative = next;
   }
   return static_cast<double>(max_);
+}
+
+void Histogram::Save(BinWriter* w) const {
+  w->U64(count_);
+  w->I64(min_);
+  w->I64(max_);
+  w->F64(sum_);
+  // Sparse bucket encoding: most histograms populate a handful of buckets.
+  uint32_t nonzero = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] != 0) ++nonzero;
+  }
+  w->U32(nonzero);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    w->U32(static_cast<uint32_t>(i));
+    w->U64(buckets_[i]);
+  }
+}
+
+bool Histogram::Load(BinReader* r) {
+  Reset();
+  uint32_t nonzero = 0;
+  if (!r->U64(&count_) || !r->I64(&min_) || !r->I64(&max_) || !r->F64(&sum_) ||
+      !r->U32(&nonzero)) {
+    return false;
+  }
+  for (uint32_t j = 0; j < nonzero; ++j) {
+    uint32_t idx = 0;
+    uint64_t n = 0;
+    if (!r->U32(&idx) || !r->U64(&n)) return false;
+    if (idx >= static_cast<uint32_t>(kNumBuckets)) {
+      r->Fail();
+      return false;
+    }
+    buckets_[idx] = n;
+  }
+  return true;
 }
 
 std::string Histogram::Summary() const {

@@ -7,6 +7,9 @@
 
 namespace cepr {
 
+class BinWriter;
+class BinReader;
+
 /// Fixed-memory histogram with exponentially sized buckets, used for latency
 /// and size distributions in the metrics and benchmark layers. Records
 /// non-negative integer values (e.g. nanoseconds); supports percentile
@@ -37,6 +40,10 @@ class Histogram {
   /// Compact JSON object with the same fields as Summary plus min, e.g.
   /// {"count":3,"mean":2.0,"p50":2.0,"p95":3.0,"p99":3.0,"min":1,"max":3}.
   std::string ToJson() const;
+
+  /// Checkpoint serialization: full bucket-exact state (runtime/checkpoint.*).
+  void Save(BinWriter* w) const;
+  bool Load(BinReader* r);
 
  private:
   static constexpr int kNumBuckets = 64 * 4;  // 4 sub-buckets per power of two

@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kCorrupt:
+      return "Corrupt";
   }
   return "Unknown";
 }

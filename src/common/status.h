@@ -21,6 +21,7 @@ enum class StatusCode {
   kIoError,           // file / csv I/O failure
   kResourceExhausted, // a configured budget (runs, memory) is spent
   kUnavailable,       // a component is wedged / not responding (retryable)
+  kCorrupt,           // a persisted file (checkpoint, WAL) failed validation
 };
 
 /// Returns a stable human-readable name ("ParseError" etc.) for a code.
@@ -81,6 +82,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corrupt(std::string msg) {
+    return Status(StatusCode::kCorrupt, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/binio.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "runtime/serde.h"
 
 namespace cepr {
 
@@ -50,6 +52,41 @@ void MatcherStats::Accumulate(const MatcherStats& other) {
   peak_active_runs += other.peak_active_runs;
 }
 
+void MatcherStats::Save(BinWriter* w) const {
+  w->U64(events);
+  w->U64(runs_created);
+  w->U64(runs_forked);
+  w->U64(runs_completed);
+  w->U64(runs_expired);
+  w->U64(runs_killed_strict);
+  w->U64(runs_killed_negation);
+  w->U64(runs_pruned_score);
+  w->U64(runs_dropped_capacity);
+  w->U64(events_quarantined);
+  w->U64(runs_poisoned);
+  w->U64(matches);
+  w->U64(runs_cloned);
+  w->U64(binding_nodes_allocated);
+  w->U64(predcache_hits);
+  w->U64(predcache_misses);
+  w->U64(static_cast<uint64_t>(peak_active_runs));
+}
+
+bool MatcherStats::Load(BinReader* r) {
+  uint64_t peak = 0;
+  const bool ok =
+      r->U64(&events) && r->U64(&runs_created) && r->U64(&runs_forked) &&
+      r->U64(&runs_completed) && r->U64(&runs_expired) &&
+      r->U64(&runs_killed_strict) && r->U64(&runs_killed_negation) &&
+      r->U64(&runs_pruned_score) && r->U64(&runs_dropped_capacity) &&
+      r->U64(&events_quarantined) && r->U64(&runs_poisoned) &&
+      r->U64(&matches) && r->U64(&runs_cloned) &&
+      r->U64(&binding_nodes_allocated) && r->U64(&predcache_hits) &&
+      r->U64(&predcache_misses) && r->U64(&peak);
+  if (ok) peak_active_runs = static_cast<size_t>(peak);
+  return ok;
+}
+
 MatcherStats AtomicMatcherStats::Snapshot() const {
   MatcherStats s;
   s.events = events.Load();
@@ -70,6 +107,26 @@ MatcherStats AtomicMatcherStats::Snapshot() const {
   s.predcache_misses = predcache_misses.Load();
   s.peak_active_runs = static_cast<size_t>(peak_active_runs.Load());
   return s;
+}
+
+void AtomicMatcherStats::Restore(const MatcherStats& s) {
+  events.Store(s.events);
+  runs_created.Store(s.runs_created);
+  runs_forked.Store(s.runs_forked);
+  runs_completed.Store(s.runs_completed);
+  runs_expired.Store(s.runs_expired);
+  runs_killed_strict.Store(s.runs_killed_strict);
+  runs_killed_negation.Store(s.runs_killed_negation);
+  runs_pruned_score.Store(s.runs_pruned_score);
+  runs_dropped_capacity.Store(s.runs_dropped_capacity);
+  events_quarantined.Store(s.events_quarantined);
+  runs_poisoned.Store(s.runs_poisoned);
+  matches.Store(s.matches);
+  runs_cloned.Store(s.runs_cloned);
+  binding_nodes_allocated.Store(s.binding_nodes_allocated);
+  predcache_hits.Store(s.predcache_hits);
+  predcache_misses.Store(s.predcache_misses);
+  peak_active_runs.Store(s.peak_active_runs);
 }
 
 const char* ShedPolicyToString(ShedPolicy policy) {
@@ -563,6 +620,30 @@ Status Matcher::OnEvent(const EventPtr& event, std::vector<Match>* out) {
   // delta per event keeps the single-writer discipline).
   stats_->binding_nodes_allocated.Add(memory_->arena.TakeConstructedDelta());
   return Status::OK();
+}
+
+void Matcher::SaveState(EventInterner* in, BinWriter* w) const {
+  w->U64(next_run_id_);
+  w->U32(static_cast<uint32_t>(runs_.size()));
+  for (const RunHandle& run : runs_) {
+    w->U64(run->id());
+    run->SaveState(in, w);
+  }
+}
+
+bool Matcher::LoadState(EventUninterner* in, BinReader* r) {
+  uint32_t count = 0;
+  if (!r->U64(&next_run_id_) || !r->U32(&count)) return false;
+  runs_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    if (!r->U64(&id)) return false;
+    RunHandle run = memory_->runs.Acquire(id);
+    if (!run->LoadState(in, r)) return false;
+    runs_.push_back(std::move(run));
+  }
+  if (live_runs_ != nullptr) *live_runs_ += runs_.size();
+  return true;
 }
 
 size_t Matcher::MemoryEstimate() const {

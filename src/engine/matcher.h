@@ -53,6 +53,10 @@ struct MatcherStats {
   /// are disjoint run sets, so the sum is the engine-wide upper bound).
   void Accumulate(const MatcherStats& other);
 
+  /// Checkpoint serialization (field-wise, fixed order).
+  void Save(BinWriter* w) const;
+  bool Load(BinReader* r);
+
   std::string ToString() const;
 };
 
@@ -79,6 +83,9 @@ struct AtomicMatcherStats {
   RelaxedMax peak_active_runs;
 
   MatcherStats Snapshot() const;
+  /// Checkpoint restore: overwrites every counter from a snapshot. Writer
+  /// thread only, while no other thread reads (engine quiesced).
+  void Restore(const MatcherStats& s);
 };
 
 /// What to shed when a run budget (per-partition `max_active_runs` or
@@ -192,6 +199,14 @@ class Matcher {
   size_t active_runs() const { return runs_.size(); }
   /// Rough bytes held by active runs.
   size_t MemoryEstimate() const;
+
+  /// Checkpoint serialization of the live-run set. Save writes the run-id
+  /// counter plus every active run in insertion order (the order ProcessRun
+  /// visits them — load-order fidelity keeps recovery bit-identical). Load
+  /// expects a freshly constructed matcher and acquires runs from the shared
+  /// pool, keeping the shared live-run budget counter in sync.
+  void SaveState(EventInterner* in, BinWriter* w) const;
+  bool LoadState(EventUninterner* in, BinReader* r);
 
  private:
   enum class RunFate { kKeep, kRemove };

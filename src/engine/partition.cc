@@ -1,5 +1,10 @@
 #include "engine/partition.h"
 
+#include <algorithm>
+
+#include "common/binio.h"
+#include "runtime/serde.h"
+
 namespace cepr {
 
 PartitionedMatcher::PartitionedMatcher(CompiledQueryPtr plan,
@@ -73,6 +78,58 @@ Status PartitionedMatcher::OnEvent(const EventPtr& event,
 
 size_t PartitionedMatcher::num_partitions() const {
   return single_ != nullptr ? 1 : by_key_.size();
+}
+
+void PartitionedMatcher::SaveState(EventInterner* in, BinWriter* w) const {
+  w->U64(next_match_id_);
+  stats_.Snapshot().Save(w);
+  w->Bool(single_ != nullptr);
+  if (single_ != nullptr) {
+    single_->SaveState(in, w);
+    return;
+  }
+  std::vector<const std::pair<const Value, std::unique_ptr<Matcher>>*> entries;
+  entries.reserve(by_key_.size());
+  for (const auto& entry : by_key_) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  w->U32(static_cast<uint32_t>(entries.size()));
+  for (const auto* entry : entries) {
+    SaveValue(w, entry->first);
+    entry->second->SaveState(in, w);
+  }
+}
+
+bool PartitionedMatcher::LoadState(EventUninterner* in, BinReader* r) {
+  MatcherStats stats;
+  bool unpartitioned = false;
+  if (!r->U64(&next_match_id_) || !stats.Load(r) || !r->Bool(&unpartitioned)) {
+    return false;
+  }
+  if (unpartitioned != (single_ != nullptr)) {
+    r->Fail();  // snapshot written under a different PARTITION BY shape
+    return false;
+  }
+  stats_.Restore(stats);
+  if (single_ != nullptr) {
+    if (!single_->LoadState(in, r)) return false;
+    query_runs_ = single_->active_runs();
+    return true;
+  }
+  uint32_t count = 0;
+  if (!r->U32(&count)) return false;
+  query_runs_ = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    Value key;
+    if (!LoadValue(r, &key)) return false;
+    auto matcher = std::make_unique<Matcher>(plan_, options_, pruner_, &stats_,
+                                             &next_match_id_, live_runs_,
+                                             &memory_);
+    if (!matcher->LoadState(in, r)) return false;
+    query_runs_ += matcher->active_runs();
+    by_key_.emplace(std::move(key), std::move(matcher));
+  }
+  return true;
 }
 
 size_t PartitionedMatcher::MemoryEstimate() const {

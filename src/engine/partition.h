@@ -46,6 +46,15 @@ class PartitionedMatcher {
   size_t active_runs() const { return query_runs_; }
   size_t MemoryEstimate() const;
 
+  /// Checkpoint serialization of the full matching state: match-id counter,
+  /// counter snapshot, and every partition's run set. Partitions are
+  /// written sorted by key (Value::operator<) so the byte stream is
+  /// identical regardless of hash-map iteration order; per-partition run
+  /// order is preserved exactly. Load expects a freshly constructed
+  /// instance driven by the same plan.
+  void SaveState(EventInterner* in, BinWriter* w) const;
+  bool LoadState(EventUninterner* in, BinReader* r);
+
  private:
   struct ValueHash {
     size_t operator()(const Value& v) const { return v.Hash(); }

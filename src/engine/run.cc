@@ -1,6 +1,7 @@
 #include "engine/run.h"
 
 #include "common/logging.h"
+#include "runtime/serde.h"
 
 namespace cepr {
 
@@ -129,6 +130,47 @@ size_t Run::MemoryEstimate() const {
     bytes += list.size() * sizeof(BindingNode);
   }
   return bytes;
+}
+
+void Run::SaveState(EventInterner* in, BinWriter* w) const {
+  w->U32(static_cast<uint32_t>(next_component_));
+  w->I64(first_ts_);
+  w->U64(first_sequence_);
+  w->U32(static_cast<uint32_t>(bindings_.size()));
+  for (const BindingList& list : bindings_) {
+    std::vector<EventPtr> events;
+    list.AppendTo(&events);
+    w->U32(static_cast<uint32_t>(events.size()));
+    for (const EventPtr& e : events) in->Save(e);
+  }
+}
+
+bool Run::LoadState(EventUninterner* in, BinReader* r) {
+  uint32_t next_component = 0;
+  uint32_t num_vars = 0;
+  if (!r->U32(&next_component) || !r->I64(&first_ts_) ||
+      !r->U64(&first_sequence_) || !r->U32(&num_vars)) {
+    return false;
+  }
+  if (num_vars != bindings_.size() ||
+      next_component > plan_->pattern.components.size()) {
+    r->Fail();  // snapshot written by a structurally different plan
+    return false;
+  }
+  next_component_ = static_cast<int>(next_component);
+  for (size_t v = 0; v < bindings_.size(); ++v) {
+    uint32_t n = 0;
+    if (!r->U32(&n)) return false;
+    for (uint32_t i = 0; i < n; ++i) {
+      EventPtr e;
+      if (!in->Load(&e)) return false;
+      // Mirror BeginComponent/ExtendKleene: fold, then bind. Per-slot fold
+      // order is per-variable append order, which this loop reproduces.
+      aggs_.Accept(static_cast<int>(v), *e);
+      bindings_[v].Append(e);
+    }
+  }
+  return true;
 }
 
 const Event* Run::SingleEvent(int var_index) const {

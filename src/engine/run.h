@@ -12,6 +12,11 @@
 
 namespace cepr {
 
+class BinWriter;
+class BinReader;
+class EventInterner;
+class EventUninterner;
+
 /// A completed pattern instance, ready for ranking and emission.
 struct Match {
   /// Detection sequence number (monotonically increasing within one
@@ -133,6 +138,15 @@ class Run : public EvalContext, public BoundEnv {
   /// Rough bytes held by this run (for the memory experiment). Shared
   /// binding cells are attributed to every run referencing them.
   size_t MemoryEstimate() const;
+
+  /// Checkpoint serialization. Save materializes each variable's binding
+  /// list in append order (events interned, so COW sharing costs one body);
+  /// Load — on a freshly Reset run — replays Append+Accept per variable,
+  /// refolding the aggregate accumulators in the exact order the original
+  /// BeginComponent/ExtendKleene calls folded them (bit-identical float
+  /// sums). Run id is owned by the enclosing matcher's serialization.
+  void SaveState(EventInterner* in, BinWriter* w) const;
+  bool LoadState(EventUninterner* in, BinReader* r);
 
   // -- EvalContext -----------------------------------------------------------
   const Event* SingleEvent(int var_index) const override;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/binio.h"
 #include "engine/window.h"
 #include "rank/ranker.h"
 
@@ -42,6 +43,16 @@ class Emitter {
   /// reference point for emission-delay metrics (how long a match waited
   /// in a buffered window before leaving).
   Timestamp last_event_ts() const { return last_event_ts_; }
+
+  /// Checkpoint serialization: the ranker's mutable state plus the
+  /// last-seen event time (the window assigner is stateless).
+  void SaveState(EventInterner* in, BinWriter* w) const {
+    w->I64(last_event_ts_);
+    ranker_.SaveState(in, w);
+  }
+  bool LoadState(EventUninterner* in, BinReader* r) {
+    return r->I64(&last_event_ts_) && ranker_.LoadState(in, r);
+  }
 
  private:
   ReportWindowAssigner windows_;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "runtime/serde.h"
 
 namespace cepr {
 
@@ -150,6 +151,74 @@ void Ranker::CloseWindow(std::vector<RankedResult>* out) {
   }
   passthrough_emitted_ = 0;
   window_open_ = false;
+}
+
+void Ranker::SaveState(EventInterner* in, BinWriter* w) const {
+  w->I64(current_window_);
+  w->Bool(window_open_);
+  w->U64(matches_seen_);
+  w->U64(passthrough_emitted_);
+  w->Bool(topk_ != nullptr);
+  if (topk_ != nullptr) topk_->SaveState(in, w);
+  w->U32(static_cast<uint32_t>(buffer_.size()));
+  for (const Match& m : buffer_) SaveMatch(in, w, m);
+  w->Bool(pruner_ != nullptr);
+  if (pruner_ != nullptr) {
+    w->U64(pruner_->checks());
+    w->U64(pruner_->prunes());
+  }
+}
+
+bool Ranker::LoadState(EventUninterner* in, BinReader* r) {
+  bool has_topk = false;
+  if (!r->I64(&current_window_) || !r->Bool(&window_open_) ||
+      !r->U64(&matches_seen_) || !r->U64(&passthrough_emitted_) ||
+      !r->Bool(&has_topk)) {
+    return false;
+  }
+  // Structural shape is derived from the plan; a mismatch means the
+  // snapshot was written by a different query.
+  if (has_topk != (topk_ != nullptr)) {
+    r->Fail();
+    return false;
+  }
+  if (topk_ != nullptr && !topk_->LoadState(in, r)) return false;
+  uint32_t buffered = 0;
+  if (!r->U32(&buffered)) return false;
+  buffer_.clear();
+  buffer_.reserve(buffered);
+  for (uint32_t i = 0; i < buffered; ++i) {
+    Match m;
+    if (!LoadMatch(in, r, &m)) return false;
+    buffer_.push_back(std::move(m));
+  }
+  bool has_pruner = false;
+  if (!r->Bool(&has_pruner)) return false;
+  if (has_pruner != (pruner_ != nullptr)) {
+    r->Fail();
+    return false;
+  }
+  if (pruner_ != nullptr) {
+    uint64_t checks = 0, prunes = 0;
+    if (!r->U64(&checks) || !r->U64(&prunes)) return false;
+    pruner_->RestoreCounters(checks, prunes);
+    // Reinstate the threshold exactly as the ranker's last action left it:
+    // OnMatch sets a bar iff the heap is full with a real worst score (and
+    // the window is still open — CloseWindow always clears).
+    const std::optional<double> bar =
+        window_open_ && topk_ != nullptr && topk_->full() ? topk_->threshold()
+                                                          : std::nullopt;
+    if (bar.has_value()) {
+      const Timestamp window_end =
+          pruner_->scope() == PruneScope::kTimeWindow
+              ? (current_window_ + 1) * plan_->within_micros
+              : std::numeric_limits<Timestamp>::max();
+      pruner_->SetThreshold(*bar, window_end);
+    } else {
+      pruner_->ClearThreshold();
+    }
+  }
+  return true;
 }
 
 void Ranker::EmitOrdered(std::vector<Match> ordered,

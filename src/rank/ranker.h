@@ -9,6 +9,11 @@
 
 namespace cepr {
 
+class BinWriter;
+class BinReader;
+class EventInterner;
+class EventUninterner;
+
 /// How a query's matches are ranked and retained. kHeap is CEPR's default;
 /// kNaiveSort and kPassthrough are the evaluation baselines; kPruned adds
 /// the partial-match upper-bound pruner on top of kHeap.
@@ -77,6 +82,14 @@ class Ranker {
   bool has_buffered_results() const {
     return window_open_ && !eager_ && policy_ != RankerPolicy::kPassthrough;
   }
+
+  /// Checkpoint serialization of the mutable ranking state: window cursor,
+  /// retained matches (heap or sort buffer) and pruner counters. Structural
+  /// configuration (policy, k, direction, pruner existence) is rebuilt from
+  /// the plan at construction; LoadState then reinstates the pruner
+  /// threshold exactly as the last OnMatch/CloseWindow left it.
+  void SaveState(EventInterner* in, BinWriter* w) const;
+  bool LoadState(EventUninterner* in, BinReader* r);
 
  private:
   void CloseWindow(std::vector<RankedResult>* out);

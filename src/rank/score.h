@@ -63,6 +63,13 @@ class ScorePruner : public RunPruner {
   uint64_t checks() const { return checks_.Load(); }
   uint64_t prunes() const { return prunes_.Load(); }
 
+  /// Checkpoint restore: reinstates the instrumentation counters (the
+  /// threshold itself is recomputed from the restored top-k heap).
+  void RestoreCounters(uint64_t checks, uint64_t prunes) {
+    checks_.Store(checks);
+    prunes_.Store(prunes);
+  }
+
   bool ShouldPrune(const Run& run) const override;
 
  private:

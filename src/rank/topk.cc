@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "runtime/serde.h"
+
 namespace cepr {
 
 bool OutranksMatch(const Match& a, const Match& b, bool desc) {
@@ -51,6 +53,24 @@ size_t TopK::RankOf(const Match& m) const {
     if (OutranksMatch(held, m, desc_)) ++better;
   }
   return better;
+}
+
+void TopK::SaveState(EventInterner* in, BinWriter* w) const {
+  w->U32(static_cast<uint32_t>(heap_.size()));
+  for (const Match& m : heap_) SaveMatch(in, w, m);
+}
+
+bool TopK::LoadState(EventUninterner* in, BinReader* r) {
+  heap_.clear();
+  uint32_t n = 0;
+  if (!r->U32(&n)) return false;
+  heap_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Match m;
+    if (!LoadMatch(in, r, &m)) return false;
+    heap_.push_back(std::move(m));
+  }
+  return true;
 }
 
 std::vector<Match> TopK::Drain() {

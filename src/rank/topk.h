@@ -9,6 +9,11 @@
 
 namespace cepr {
 
+class BinWriter;
+class BinReader;
+class EventInterner;
+class EventUninterner;
+
 /// Deterministic total order on matches used everywhere in the ranking
 /// layer: primarily by score (direction per query), ties broken by earlier
 /// detection — (detecting event's stream sequence, matcher-local id), a
@@ -49,6 +54,13 @@ class TopK {
 
   /// Removes and returns all matches, best first.
   std::vector<Match> Drain();
+
+  /// Checkpoint serialization of the retained matches, in raw heap-array
+  /// order (the array already satisfies the heap property, so a verbatim
+  /// restore reproduces every future Offer/Drain decision bit-exactly).
+  /// k and direction come from the plan at construction, not the file.
+  void SaveState(EventInterner* in, BinWriter* w) const;
+  bool LoadState(EventUninterner* in, BinReader* r);
 
  private:
   bool WorseInHeap(const Match& a, const Match& b) const;

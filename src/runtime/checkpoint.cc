@@ -1,0 +1,867 @@
+#include "runtime/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/binio.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "runtime/engine.h"
+#include "runtime/serde.h"
+#include "runtime/sharded_engine.h"
+
+namespace cepr {
+namespace {
+
+// POSIX plumbing, local to the snapshot path (the WAL keeps its own).
+bool ReadAllFd(int fd, std::string* out) {
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return true;
+    out->append(buf, static_cast<size_t>(n));
+  }
+}
+
+bool WriteAllFd(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// -- Option blocks (format v1) ---------------------------------------------
+// Fault injectors are runtime pointers and are never serialized: the
+// restoring engine's constructed options supply them (MergeEngineCaps runs
+// again at re-registration).
+
+void SaveQueryOptionsV1(BinWriter* w, const QueryOptions& o) {
+  w->U8(static_cast<uint8_t>(o.ranker));
+  w->U64(static_cast<uint64_t>(o.matcher.max_active_runs));
+  w->U64(static_cast<uint64_t>(o.matcher.max_total_runs));
+  w->U8(static_cast<uint8_t>(o.matcher.shed_policy));
+  w->U8(static_cast<uint8_t>(o.matcher.fault_policy));
+  w->Bool(o.matcher.cow_bindings);
+  w->Bool(o.matcher.use_arena);
+  w->Bool(o.matcher.predicate_cache);
+  w->Bool(o.matcher.bytecode_eval);
+}
+
+bool LoadQueryOptionsV1(BinReader* r, QueryOptions* o) {
+  uint8_t ranker = 0, shed = 0, fault = 0;
+  uint64_t max_active = 0, max_total = 0;
+  if (!r->U8(&ranker) || !r->U64(&max_active) || !r->U64(&max_total) ||
+      !r->U8(&shed) || !r->U8(&fault) || !r->Bool(&o->matcher.cow_bindings) ||
+      !r->Bool(&o->matcher.use_arena) || !r->Bool(&o->matcher.predicate_cache) ||
+      !r->Bool(&o->matcher.bytecode_eval)) {
+    return false;
+  }
+  if (ranker > static_cast<uint8_t>(RankerPolicy::kPruned) ||
+      shed > static_cast<uint8_t>(ShedPolicy::kShedLowestScoreBound) ||
+      fault > static_cast<uint8_t>(FaultPolicy::kSkipAndCount)) {
+    r->Fail();
+    return false;
+  }
+  o->ranker = static_cast<RankerPolicy>(ranker);
+  o->matcher.max_active_runs = static_cast<size_t>(max_active);
+  o->matcher.max_total_runs = static_cast<size_t>(max_total);
+  o->matcher.shed_policy = static_cast<ShedPolicy>(shed);
+  o->matcher.fault_policy = static_cast<FaultPolicy>(fault);
+  return true;
+}
+
+bool ValidatePoliciesV1(BinReader* r, uint8_t late, uint8_t shed,
+                        uint8_t fault) {
+  if (late > static_cast<uint8_t>(LatePolicy::kClamp) ||
+      shed > static_cast<uint8_t>(ShedPolicy::kShedLowestScoreBound) ||
+      fault > static_cast<uint8_t>(FaultPolicy::kSkipAndCount)) {
+    r->Fail();
+    return false;
+  }
+  return true;
+}
+
+// -- RankedResult (the sharded engine's published/pending deques) ----------
+
+void SaveRankedResult(EventInterner* in, BinWriter* w, const RankedResult& res) {
+  w->I64(res.window_id);
+  w->U64(static_cast<uint64_t>(res.rank));
+  w->Bool(res.provisional);
+  SaveMatch(in, w, res.match);
+}
+
+bool LoadRankedResult(EventUninterner* in, BinReader* r, RankedResult* out) {
+  uint64_t rank = 0;
+  if (!r->I64(&out->window_id) || !r->U64(&rank) ||
+      !r->Bool(&out->provisional)) {
+    return false;
+  }
+  out->rank = static_cast<size_t>(rank);
+  return LoadMatch(in, r, &out->match);
+}
+
+// Rebinds one schema-less WAL event to the registered schema for replay.
+Event RebindWalEvent(const SchemaPtr& schema, const Event& bare) {
+  Event event(schema, bare.timestamp(), bare.values());
+  event.set_type_tag(bare.type_tag());
+  return event;
+}
+
+}  // namespace
+
+namespace ckpt {
+
+Status WriteSnapshotFile(const std::string& path, EngineKind kind,
+                         const std::string& body,
+                         const FaultInjector* injector, uint64_t attempt,
+                         uint64_t* bytes_written) {
+  if (body.size() > 0xFFFFFFFFull) {
+    return Status::InvalidArgument("checkpoint: body too large (" +
+                                   std::to_string(body.size()) + " bytes)");
+  }
+  BinWriter w;
+  w.Raw(kMagic, sizeof(kMagic));
+  w.U32(kVersion);
+  w.U8(static_cast<uint8_t>(kind));
+  w.U32(static_cast<uint32_t>(body.size()));
+  w.U32(Crc32(body.data(), body.size()));
+  w.Raw(body.data(), body.size());
+  const std::string& image = w.buffer();
+
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("checkpoint: cannot create '" + tmp +
+                           "': " + std::strerror(errno));
+  }
+
+  if (injector != nullptr &&
+      injector->ShouldFire(fault_points::kCkptKillMidWrite, attempt)) {
+    // Simulated kill mid-write: part of the image reaches the temp file and
+    // the rename never happens, so the previous snapshot (if any) survives
+    // untouched — exactly what the atomic-publish protocol guarantees for a
+    // real crash.
+    WriteAllFd(fd, image.data(), image.size() / 2 + 1);
+    ::close(fd);
+    return Status::IoError("checkpoint: injected crash mid-write of '" + tmp +
+                           "' (attempt " + std::to_string(attempt) +
+                           "); snapshot not published");
+  }
+
+  if (!WriteAllFd(fd, image.data(), image.size())) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("checkpoint: write to '" + tmp + "' failed: " + err);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("checkpoint: fsync '" + tmp + "' failed: " + err);
+  }
+  if (::close(fd) != 0) {
+    return Status::IoError("checkpoint: close '" + tmp +
+                           "' failed: " + std::strerror(errno));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("checkpoint: rename '" + tmp + "' -> '" + path +
+                           "' failed: " + std::strerror(errno));
+  }
+  if (bytes_written != nullptr) *bytes_written = image.size();
+  return Status::OK();
+}
+
+Result<std::string> ReadSnapshotBody(const std::string& path,
+                                     EngineKind expected_kind) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("snapshot '" + path + "' does not exist");
+    }
+    return Status::IoError("snapshot: cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  std::string data;
+  const bool read_ok = ReadAllFd(fd, &data);
+  ::close(fd);
+  if (!read_ok) {
+    return Status::IoError("snapshot: cannot read '" + path +
+                           "': " + std::strerror(errno));
+  }
+
+  constexpr size_t kHeaderBytes = sizeof(kMagic) + 4 + 1 + 4 + 4;
+  if (data.size() < kHeaderBytes) {
+    return Status::Corrupt("snapshot '" + path + "': truncated header (" +
+                           std::to_string(data.size()) + " of " +
+                           std::to_string(kHeaderBytes) + " bytes)");
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corrupt("snapshot '" + path +
+                           "': bad magic at byte offset 0 "
+                           "(not a CEPR snapshot file)");
+  }
+  BinReader header(data.data() + sizeof(kMagic), data.size() - sizeof(kMagic));
+  uint32_t version = 0, body_len = 0, crc = 0;
+  uint8_t kind = 0;
+  header.U32(&version);
+  header.U8(&kind);
+  header.U32(&body_len);
+  header.U32(&crc);
+  if (version != kVersion) {
+    return Status::Corrupt(
+        "snapshot '" + path + "': unsupported format version " +
+        std::to_string(version) + " at byte offset 8 (this build reads " +
+        std::to_string(kVersion) + ")");
+  }
+  if (kind > static_cast<uint8_t>(EngineKind::kSharded)) {
+    return Status::Corrupt("snapshot '" + path + "': invalid engine kind " +
+                           std::to_string(kind) + " at byte offset 12");
+  }
+  if (static_cast<EngineKind>(kind) != expected_kind) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' was written by the " +
+        (static_cast<EngineKind>(kind) == EngineKind::kSerial ? "serial"
+                                                              : "sharded") +
+        " engine; restore it with the matching engine type");
+  }
+  if (data.size() - kHeaderBytes != body_len) {
+    return Status::Corrupt(
+        "snapshot '" + path + "': body length mismatch at byte offset 13 "
+        "(header says " + std::to_string(body_len) + " bytes, file holds " +
+        std::to_string(data.size() - kHeaderBytes) + ")");
+  }
+  if (Crc32(data.data() + kHeaderBytes, body_len) != crc) {
+    return Status::Corrupt("snapshot '" + path +
+                           "': body CRC mismatch over " +
+                           std::to_string(body_len) +
+                           " bytes at byte offset " +
+                           std::to_string(kHeaderBytes) +
+                           " (bit flip or partial overwrite)");
+  }
+  return data.substr(kHeaderBytes);
+}
+
+}  // namespace ckpt
+
+// ===========================================================================
+// Serial Engine durability
+// ===========================================================================
+
+Status Engine::OpenWal(const std::string& path) {
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("engine: WAL already open at '" +
+                                   wal_->path() + "'");
+  }
+  auto wal = std::make_unique<WalWriter>();
+  CEPR_RETURN_IF_ERROR(wal->Open(path, options_.fault_injector));
+  wal_ = std::move(wal);
+  return Status::OK();
+}
+
+Status Engine::SyncWal() {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->Sync();
+}
+
+Status Engine::Checkpoint(const std::string& path) {
+  // Records appended after this sync are past the cut and will be replayed.
+  if (wal_ != nullptr) CEPR_RETURN_IF_ERROR(wal_->Sync());
+  BinWriter w;
+  SaveBody(&w);
+  uint64_t bytes = 0;
+  CEPR_RETURN_IF_ERROR(ckpt::WriteSnapshotFile(
+      path, ckpt::EngineKind::kSerial, w.buffer(), options_.fault_injector,
+      checkpoint_attempts_++, &bytes));
+  ++durability_.checkpoints_written;
+  durability_.checkpoint_bytes = bytes;
+  return Status::OK();
+}
+
+void Engine::SaveBody(BinWriter* w) const {
+  // Engine options (scalars only; the fault injector is runtime wiring).
+  w->I64(options_.max_lateness_micros);
+  w->U8(static_cast<uint8_t>(options_.late_policy));
+  w->Bool(options_.reject_out_of_order);
+  w->U64(static_cast<uint64_t>(options_.max_runs_per_partition));
+  w->U64(static_cast<uint64_t>(options_.max_total_runs));
+  w->U8(static_cast<uint8_t>(options_.shed_policy));
+  w->U8(static_cast<uint8_t>(options_.fault_policy));
+  w->Bool(options_.shared_eval);
+  w->Bool(options_.batch_ingest);
+
+  // WAL cut: valid journal records at this snapshot. The journal is never
+  // truncated at a checkpoint; Restore replays everything past the cut.
+  w->U64(wal_ != nullptr ? wal_->records() : 0);
+
+  // Streams, in map (= name) order so the byte stream is deterministic.
+  w->U32(static_cast<uint32_t>(streams_.size()));
+  for (const auto& [key, state] : streams_) {
+    SaveSchema(w, *state.schema);
+    w->U64(state.next_sequence);
+    state.reorder.SaveState(w);
+  }
+
+  // Engine-wide counters.
+  w->U64(events_ingested_);
+  w->U64(events_quarantined_);
+  w->U64(queries_deduped_);
+  w->Bool(degraded_faults_);
+  w->U64(durability_.checkpoints_written);
+  w->U64(durability_.checkpoint_bytes);
+  w->U64(durability_.wal_records_appended);
+  w->U64(durability_.recovery_events_replayed);
+
+  // Queries: original registration inputs + the full pipeline state, in
+  // name order. Each query is one event-interning scope (its COW-shared
+  // events are written once and back-referenced).
+  w->U32(static_cast<uint32_t>(queries_.size()));
+  for (const auto& [key, query] : queries_) {
+    const auto rit = registrations_.find(key);
+    w->Str(query->name());
+    w->Str(rit != registrations_.end() ? rit->second.text : std::string());
+    SaveQueryOptionsV1(w, rit != registrations_.end() ? rit->second.options
+                                                      : QueryOptions{});
+    EventInterner interner(w);
+    query->SaveState(&interner, w);
+  }
+}
+
+Status Engine::LoadBody(BinReader* r, const SinkResolver& resolve,
+                        uint64_t* wal_cut) {
+  // Options: restored from the snapshot, except the fault injector (the
+  // constructed engine's wiring survives).
+  EngineOptions opts = options_;
+  uint8_t late = 0, shed = 0, fault = 0;
+  uint64_t mrp = 0, mtr = 0;
+  if (!r->I64(&opts.max_lateness_micros) || !r->U8(&late) ||
+      !r->Bool(&opts.reject_out_of_order) || !r->U64(&mrp) || !r->U64(&mtr) ||
+      !r->U8(&shed) || !r->U8(&fault) || !r->Bool(&opts.shared_eval) ||
+      !r->Bool(&opts.batch_ingest) || !ValidatePoliciesV1(r, late, shed, fault)) {
+    return r->ToStatus("snapshot: engine options");
+  }
+  opts.late_policy = static_cast<LatePolicy>(late);
+  opts.max_runs_per_partition = static_cast<size_t>(mrp);
+  opts.max_total_runs = static_cast<size_t>(mtr);
+  opts.shed_policy = static_cast<ShedPolicy>(shed);
+  opts.fault_policy = static_cast<FaultPolicy>(fault);
+  options_ = opts;
+
+  if (!r->U64(wal_cut)) return r->ToStatus("snapshot: wal cut");
+
+  uint32_t num_streams = 0;
+  if (!r->U32(&num_streams)) return r->ToStatus("snapshot: stream count");
+  for (uint32_t i = 0; i < num_streams; ++i) {
+    CEPR_ASSIGN_OR_RETURN(SchemaPtr schema, LoadSchema(r));
+    CEPR_RETURN_IF_ERROR(RegisterSchema(schema));
+    StreamState& state = streams_.find(ToLower(schema->name()))->second;
+    // LoadState overwrites the default reorder config with the saved one
+    // (per-stream ConfigureStreamIngest overrides survive a restore).
+    if (!r->U64(&state.next_sequence) ||
+        !state.reorder.LoadState(r, state.schema)) {
+      return r->ToStatus("snapshot: stream '" + schema->name() + "'");
+    }
+  }
+
+  uint64_t deduped = 0, d0 = 0, d1 = 0, d2 = 0, d3 = 0;
+  bool degraded = false;
+  if (!r->U64(&events_ingested_) || !r->U64(&events_quarantined_) ||
+      !r->U64(&deduped) || !r->Bool(&degraded) || !r->U64(&d0) ||
+      !r->U64(&d1) || !r->U64(&d2) || !r->U64(&d3)) {
+    return r->ToStatus("snapshot: engine counters");
+  }
+  durability_.checkpoints_written = d0;
+  durability_.checkpoint_bytes = d1;
+  durability_.wal_records_appended = d2;
+  durability_.recovery_events_replayed = d3;
+
+  uint32_t num_queries = 0;
+  if (!r->U32(&num_queries)) return r->ToStatus("snapshot: query count");
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    std::string name, text;
+    QueryOptions qopts;
+    if (!r->Str(&name) || !r->Str(&text) || !LoadQueryOptionsV1(r, &qopts)) {
+      return r->ToStatus("snapshot: query registration " + std::to_string(i));
+    }
+    // Re-register from the original inputs (plan recompiled against the
+    // restored schema), then load the saved pipeline state over the fresh
+    // instance.
+    CEPR_RETURN_IF_ERROR(
+        RegisterQuery(name, text, qopts, resolve ? resolve(name) : nullptr));
+    RunningQuery* query = queries_.find(ToLower(name))->second.get();
+    EventUninterner uninterner(r, query->plan()->schema());
+    if (!query->LoadState(&uninterner, r)) {
+      return r->ToStatus("snapshot: query '" + name + "' state");
+    }
+  }
+  // Re-registration recomputed these; the saved values are the exact ones.
+  queries_deduped_ = deduped;
+  degraded_faults_ = degraded_faults_ || degraded;
+  // The loaded registration offsets invalidate the window-group layout
+  // RegisterQuery built from the fresh queries; rebuild each stream's
+  // shared layer from the final state. (Group cursors restart at INT64_MIN;
+  // re-observing an old boundary only triggers AdvanceTo no-ops.)
+  if (options_.shared_eval) {
+    for (auto& [key, state] : streams_) RebuildSharedStream(state);
+  }
+  return r->ToStatus("snapshot: engine body");
+}
+
+Status Engine::ReplayWal(const std::string& wal_path, uint64_t skip) {
+  std::vector<WalRecord> records;
+  uint64_t dropped = 0;
+  CEPR_RETURN_IF_ERROR(WalReader::ReadAll(wal_path, &records, &dropped));
+  if (dropped > 0) {
+    CEPR_LOG(WARNING) << "wal replay: dropped " << dropped
+                      << " torn-tail byte(s) of '" << wal_path << "'";
+  }
+  if (records.size() < skip) {
+    return Status::Corrupt(
+        "wal '" + wal_path + "' holds " + std::to_string(records.size()) +
+        " records but the snapshot cut is " + std::to_string(skip) +
+        " (journal truncated after the checkpoint?)");
+  }
+
+  replaying_ = true;
+  durability_.recovery_events_replayed = 0;
+  Status failed = Status::OK();
+  for (size_t i = skip; i < records.size() && failed.ok(); ++i) {
+    if (options_.fault_injector != nullptr &&
+        options_.fault_injector->ShouldFire(fault_points::kRestorePartialReplay,
+                                            i - skip)) {
+      failed = Status::Unavailable(
+          "restore: injected crash after replaying " + std::to_string(i - skip) +
+          " of " + std::to_string(records.size() - skip) + " wal records");
+      break;
+    }
+    const WalRecord& rec = records[i];
+    if (rec.kind == WalRecord::Kind::kFlush) {
+      failed = Flush();
+      continue;
+    }
+    auto schema = GetSchema(rec.stream);
+    if (!schema.ok()) {
+      failed = Status::Corrupt("wal replay: record " + std::to_string(i) +
+                               " targets unregistered stream '" + rec.stream +
+                               "'");
+      break;
+    }
+    const Status s = Push(RebindWalEvent(schema.value(), rec.event));
+    ++durability_.recovery_events_replayed;
+    // kInvalidArgument is a reproduced late-rejection verdict: the original
+    // Push failed identically, so the engine states agree — keep replaying.
+    if (!s.ok() && s.code() != StatusCode::kInvalidArgument) failed = s;
+  }
+  replaying_ = false;
+  return failed;
+}
+
+Status Engine::Restore(const std::string& snapshot_path,
+                       const std::string& wal_path,
+                       const SinkResolver& resolve) {
+  if (!streams_.empty() || !queries_.empty() || events_ingested_ != 0 ||
+      wal_ != nullptr) {
+    return Status::InvalidArgument(
+        "Restore requires a pristine engine (no streams, no queries, nothing "
+        "ingested, no open WAL — pass the journal via wal_path)");
+  }
+  CEPR_ASSIGN_OR_RETURN(
+      std::string body,
+      ckpt::ReadSnapshotBody(snapshot_path, ckpt::EngineKind::kSerial));
+  BinReader reader(body);
+  uint64_t wal_cut = 0;
+  CEPR_RETURN_IF_ERROR(LoadBody(&reader, resolve, &wal_cut));
+  if (!reader.AtEnd()) {
+    return Status::Corrupt("snapshot '" + snapshot_path + "': " +
+                           std::to_string(reader.remaining()) +
+                           " trailing byte(s) after the engine body");
+  }
+  if (!wal_path.empty()) {
+    CEPR_RETURN_IF_ERROR(ReplayWal(wal_path, wal_cut));
+    // Reopen for continued appending: the restored engine journals new
+    // arrivals after the replayed tail.
+    auto wal = std::make_unique<WalWriter>();
+    CEPR_RETURN_IF_ERROR(wal->Open(wal_path, options_.fault_injector));
+    wal_ = std::move(wal);
+  }
+  return Status::OK();
+}
+
+// ===========================================================================
+// ShardedEngine durability
+// ===========================================================================
+
+Status ShardedEngine::OpenWal(const std::string& path) {
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("sharded engine: WAL already open at '" +
+                                   wal_->path() + "'");
+  }
+  auto wal = std::make_unique<WalWriter>();
+  CEPR_RETURN_IF_ERROR(wal->Open(path, options_.fault_injector));
+  wal_ = std::move(wal);
+  return Status::OK();
+}
+
+Status ShardedEngine::SyncWal() {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->Sync();
+}
+
+Status ShardedEngine::Checkpoint(const std::string& path) {
+  if (finished_) {
+    return Status::InvalidArgument(
+        "sharded engine is finished; checkpoint before Finish()");
+  }
+  if (wal_ != nullptr) CEPR_RETURN_IF_ERROR(wal_->Sync());
+  // The cut: drain every shard to the end of its ring so the cell state is
+  // complete and visible to this thread (window-barrier-style round trip).
+  CEPR_RETURN_IF_ERROR(Quiesce());
+  BinWriter w;
+  SaveBody(&w);
+  uint64_t bytes = 0;
+  CEPR_RETURN_IF_ERROR(ckpt::WriteSnapshotFile(
+      path, ckpt::EngineKind::kSharded, w.buffer(), options_.fault_injector,
+      checkpoint_attempts_++, &bytes));
+  ckpt_written_.Increment();
+  ckpt_bytes_.Store(bytes);
+  return Status::OK();
+}
+
+void ShardedEngine::SaveBody(BinWriter* w) const {
+  // Options scalars. num_shards is structural: per-shard run state cannot
+  // be re-hashed, so Restore validates the constructed engine matches.
+  w->U64(static_cast<uint64_t>(num_shards_));
+  w->U64(static_cast<uint64_t>(options_.queue_capacity));
+  w->I64(options_.max_lateness_micros);
+  w->U8(static_cast<uint8_t>(options_.late_policy));
+  w->Bool(options_.reject_out_of_order);
+  w->I64(options_.enqueue_stall_budget_ms);
+  w->U64(static_cast<uint64_t>(options_.max_runs_per_partition));
+  w->U64(static_cast<uint64_t>(options_.max_total_runs));
+  w->U8(static_cast<uint8_t>(options_.shed_policy));
+  w->U8(static_cast<uint8_t>(options_.fault_policy));
+  w->Bool(options_.shared_eval);
+  w->Bool(options_.batch_ingest);
+
+  w->U64(wal_ != nullptr ? wal_->records() : 0);
+
+  w->U32(static_cast<uint32_t>(streams_.size()));
+  for (const auto& [key, state] : streams_) {
+    SaveSchema(w, *state.schema);
+    w->U64(state.next_sequence);
+    state.reorder.SaveState(w);
+  }
+
+  w->U64(events_ingested_.Load());
+  w->U64(events_quarantined_.Load());
+  w->U64(queries_deduped_.Load());
+  w->Bool(query_injector_);
+  w->U64(merge_windows_.Load());
+  w->U64(merge_results_.Load());
+  w->U64(ckpt_written_.Load());
+  w->U64(ckpt_bytes_.Load());
+  w->U64(wal_appended_.Load());
+  w->U64(replayed_.Load());
+
+  // Queries (registration order) with their router-side merge state.
+  w->U32(static_cast<uint32_t>(queries_.size()));
+  for (const auto& q : queries_) {
+    w->Str(q->name);
+    w->Str(q->text);
+    SaveQueryOptionsV1(w, q->options);
+    w->U64(q->ordinal.Load());
+    w->I64(q->current_window);
+    w->I64(q->merged_upto);
+    w->U64(q->results_delivered.Load());
+    EventInterner interner(w);
+    for (const auto& pending : q->pending) {
+      w->U32(static_cast<uint32_t>(pending.size()));
+      for (const RankedResult& res : pending) {
+        SaveRankedResult(&interner, w, res);
+      }
+    }
+  }
+
+  // Shard-side cell state, present only once workers exist. The engine is
+  // quiesced (Checkpoint's contract), so every cell write is visible and
+  // no shard thread touches its cells while we read.
+  const bool started = WorkersStarted();
+  w->Bool(started);
+  if (!started) return;
+  for (const auto& shard : shards_) {
+    for (uint32_t qi = 0; qi < queries_.size(); ++qi) {
+      w->I64(shard->acked_window[qi].load(std::memory_order_acquire));
+      EventInterner interner(w);
+      {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        const auto& published = shard->published[qi];
+        w->U32(static_cast<uint32_t>(published.size()));
+        for (const RankedResult& res : published) {
+          SaveRankedResult(&interner, w, res);
+        }
+      }
+      const QueryCell& cell = shard->cells[qi];
+      cell.emitter->SaveState(&interner, w);
+      cell.matcher->SaveState(&interner, w);
+    }
+    const MetricsCell& m = shard->metrics;
+    w->U64(m.events.Load());
+    w->U64(m.matches.Load());
+    w->U64(m.barriers.Load());
+    w->U64(m.batches_published.Load());
+    w->U64(m.queue_high_water.Load());
+    w->U64(m.enqueue_stalls.Load());
+    w->U64(m.stall_us.Load());
+    w->U64(m.stalls_tripped.Load());
+    std::lock_guard<std::mutex> lock(m.mu);
+    for (const MetricsCell::Timings& t : m.timings) {
+      t.processing_ns.Save(w);
+      t.emission_delay_us.Save(w);
+    }
+  }
+}
+
+Status ShardedEngine::LoadBody(BinReader* r, const SinkResolver& resolve,
+                               uint64_t* wal_cut) {
+  ShardedEngineOptions opts = options_;
+  uint64_t snap_shards = 0, queue_cap = 0, mrp = 0, mtr = 0;
+  uint8_t late = 0, shed = 0, fault = 0;
+  if (!r->U64(&snap_shards) || !r->U64(&queue_cap) ||
+      !r->I64(&opts.max_lateness_micros) || !r->U8(&late) ||
+      !r->Bool(&opts.reject_out_of_order) ||
+      !r->I64(&opts.enqueue_stall_budget_ms) || !r->U64(&mrp) ||
+      !r->U64(&mtr) || !r->U8(&shed) || !r->U8(&fault) ||
+      !r->Bool(&opts.shared_eval) || !r->Bool(&opts.batch_ingest) ||
+      !ValidatePoliciesV1(r, late, shed, fault)) {
+    return r->ToStatus("snapshot: sharded engine options");
+  }
+  if (snap_shards != num_shards_) {
+    return Status::InvalidArgument(
+        "snapshot was written with " + std::to_string(snap_shards) +
+        " shards but this engine has " + std::to_string(num_shards_) +
+        "; construct the restoring engine with num_shards = " +
+        std::to_string(snap_shards) +
+        " (per-shard run state cannot be re-hashed)");
+  }
+  opts.num_shards = options_.num_shards;  // constructed value, already equal
+  opts.queue_capacity = static_cast<size_t>(queue_cap);
+  opts.late_policy = static_cast<LatePolicy>(late);
+  opts.max_runs_per_partition = static_cast<size_t>(mrp);
+  opts.max_total_runs = static_cast<size_t>(mtr);
+  opts.shed_policy = static_cast<ShedPolicy>(shed);
+  opts.fault_policy = static_cast<FaultPolicy>(fault);
+  options_ = opts;
+
+  if (!r->U64(wal_cut)) return r->ToStatus("snapshot: wal cut");
+
+  uint32_t num_streams = 0;
+  if (!r->U32(&num_streams)) return r->ToStatus("snapshot: stream count");
+  for (uint32_t i = 0; i < num_streams; ++i) {
+    CEPR_ASSIGN_OR_RETURN(SchemaPtr schema, LoadSchema(r));
+    CEPR_RETURN_IF_ERROR(RegisterSchema(schema));
+    StreamState& state = streams_.find(ToLower(schema->name()))->second;
+    if (!r->U64(&state.next_sequence) ||
+        !state.reorder.LoadState(r, state.schema)) {
+      return r->ToStatus("snapshot: stream '" + schema->name() + "'");
+    }
+  }
+
+  uint64_t ingested = 0, quarantined = 0, deduped = 0, mw = 0, mr = 0;
+  uint64_t d0 = 0, d1 = 0, d2 = 0, d3 = 0;
+  bool qinj = false;
+  if (!r->U64(&ingested) || !r->U64(&quarantined) || !r->U64(&deduped) ||
+      !r->Bool(&qinj) || !r->U64(&mw) || !r->U64(&mr) || !r->U64(&d0) ||
+      !r->U64(&d1) || !r->U64(&d2) || !r->U64(&d3)) {
+    return r->ToStatus("snapshot: sharded engine counters");
+  }
+  events_ingested_.Store(ingested);
+  events_quarantined_.Store(quarantined);
+  merge_windows_.Store(mw);
+  merge_results_.Store(mr);
+  ckpt_written_.Store(d0);
+  ckpt_bytes_.Store(d1);
+  wal_appended_.Store(d2);
+  replayed_.Store(d3);
+
+  uint32_t num_queries = 0;
+  if (!r->U32(&num_queries)) return r->ToStatus("snapshot: query count");
+  for (uint32_t qi = 0; qi < num_queries; ++qi) {
+    std::string name, text;
+    QueryOptions qopts;
+    if (!r->Str(&name) || !r->Str(&text) || !LoadQueryOptionsV1(r, &qopts)) {
+      return r->ToStatus("snapshot: query registration " +
+                         std::to_string(qi));
+    }
+    CEPR_RETURN_IF_ERROR(
+        RegisterQuery(name, text, qopts, resolve ? resolve(name) : nullptr));
+    QueryState& q = *queries_[qi];
+    uint64_t ordinal = 0, delivered = 0;
+    if (!r->U64(&ordinal) || !r->I64(&q.current_window) ||
+        !r->I64(&q.merged_upto) || !r->U64(&delivered)) {
+      return r->ToStatus("snapshot: query '" + name + "' router state");
+    }
+    q.ordinal.Store(ordinal);
+    q.results_delivered.Store(delivered);
+    EventUninterner uninterner(r, q.plan->schema());
+    for (size_t s = 0; s < num_shards_; ++s) {
+      uint32_t n = 0;
+      if (!r->U32(&n)) return r->ToStatus("snapshot: query pending count");
+      for (uint32_t j = 0; j < n; ++j) {
+        RankedResult res;
+        if (!LoadRankedResult(&uninterner, r, &res)) {
+          return r->ToStatus("snapshot: query '" + name + "' pending results");
+        }
+        q.pending[s].push_back(std::move(res));
+      }
+    }
+  }
+  // Re-registration recomputed these; the saved values are the exact ones.
+  queries_deduped_.Store(deduped);
+  query_injector_ = query_injector_ || qinj;
+
+  bool started = false;
+  if (!r->Bool(&started)) return r->ToStatus("snapshot: worker flag");
+  if (started) {
+    // Build the cells on this thread, load their state, then spawn the
+    // workers — std::thread creation publishes all prior writes to the new
+    // threads.
+    BuildShards();
+    for (auto& shard : shards_) {
+      for (uint32_t qi = 0; qi < queries_.size(); ++qi) {
+        int64_t acked = 0;
+        if (!r->I64(&acked)) return r->ToStatus("snapshot: shard ack");
+        shard->acked_window[qi].store(acked, std::memory_order_relaxed);
+        EventUninterner uninterner(r, queries_[qi]->plan->schema());
+        uint32_t n = 0;
+        if (!r->U32(&n)) return r->ToStatus("snapshot: shard publish count");
+        for (uint32_t j = 0; j < n; ++j) {
+          RankedResult res;
+          if (!LoadRankedResult(&uninterner, r, &res)) {
+            return r->ToStatus("snapshot: shard published results");
+          }
+          shard->published[qi].push_back(std::move(res));
+        }
+        QueryCell& cell = shard->cells[qi];
+        if (!cell.emitter->LoadState(&uninterner, r) ||
+            !cell.matcher->LoadState(&uninterner, r)) {
+          return r->ToStatus("snapshot: shard " +
+                             std::to_string(shard->index) + " query '" +
+                             queries_[qi]->name + "' cell state");
+        }
+      }
+      MetricsCell& m = shard->metrics;
+      uint64_t c[8] = {0};
+      for (auto& v : c) {
+        if (!r->U64(&v)) return r->ToStatus("snapshot: shard metrics");
+      }
+      m.events.Store(c[0]);
+      m.matches.Store(c[1]);
+      m.barriers.Store(c[2]);
+      m.batches_published.Store(c[3]);
+      m.queue_high_water.Store(c[4]);
+      m.enqueue_stalls.Store(c[5]);
+      m.stall_us.Store(c[6]);
+      m.stalls_tripped.Store(c[7]);
+      for (MetricsCell::Timings& t : m.timings) {
+        if (!t.processing_ns.Load(r) || !t.emission_delay_us.Load(r)) {
+          return r->ToStatus("snapshot: shard latency histograms");
+        }
+      }
+    }
+    SpawnWorkers();
+  }
+  return r->ToStatus("snapshot: sharded engine body");
+}
+
+Status ShardedEngine::ReplayWal(const std::string& wal_path, uint64_t skip) {
+  std::vector<WalRecord> records;
+  uint64_t dropped = 0;
+  CEPR_RETURN_IF_ERROR(WalReader::ReadAll(wal_path, &records, &dropped));
+  if (dropped > 0) {
+    CEPR_LOG(WARNING) << "wal replay: dropped " << dropped
+                      << " torn-tail byte(s) of '" << wal_path << "'";
+  }
+  if (records.size() < skip) {
+    return Status::Corrupt(
+        "wal '" + wal_path + "' holds " + std::to_string(records.size()) +
+        " records but the snapshot cut is " + std::to_string(skip) +
+        " (journal truncated after the checkpoint?)");
+  }
+
+  replaying_ = true;
+  replayed_.Store(0);
+  Status failed = Status::OK();
+  for (size_t i = skip; i < records.size() && failed.ok(); ++i) {
+    if (options_.fault_injector != nullptr &&
+        options_.fault_injector->ShouldFire(fault_points::kRestorePartialReplay,
+                                            i - skip)) {
+      failed = Status::Unavailable(
+          "restore: injected crash after replaying " + std::to_string(i - skip) +
+          " of " + std::to_string(records.size() - skip) + " wal records");
+      break;
+    }
+    const WalRecord& rec = records[i];
+    if (rec.kind == WalRecord::Kind::kFlush) {
+      failed = Flush();
+      continue;
+    }
+    auto schema = GetSchema(rec.stream);
+    if (!schema.ok()) {
+      failed = Status::Corrupt("wal replay: record " + std::to_string(i) +
+                               " targets unregistered stream '" + rec.stream +
+                               "'");
+      break;
+    }
+    const Status s = Push(RebindWalEvent(schema.value(), rec.event));
+    replayed_.Increment();
+    if (!s.ok() && s.code() != StatusCode::kInvalidArgument) failed = s;
+  }
+  replaying_ = false;
+  return failed;
+}
+
+Status ShardedEngine::Restore(const std::string& snapshot_path,
+                              const std::string& wal_path,
+                              const SinkResolver& resolve) {
+  if (!streams_.empty() || !queries_.empty() || WorkersStarted() ||
+      events_ingested_.Load() != 0 || wal_ != nullptr) {
+    return Status::InvalidArgument(
+        "Restore requires a pristine sharded engine (no streams, no queries, "
+        "workers not started, no open WAL — pass the journal via wal_path)");
+  }
+  CEPR_ASSIGN_OR_RETURN(
+      std::string body,
+      ckpt::ReadSnapshotBody(snapshot_path, ckpt::EngineKind::kSharded));
+  BinReader reader(body);
+  uint64_t wal_cut = 0;
+  CEPR_RETURN_IF_ERROR(LoadBody(&reader, resolve, &wal_cut));
+  if (!reader.AtEnd()) {
+    return Status::Corrupt("snapshot '" + snapshot_path + "': " +
+                           std::to_string(reader.remaining()) +
+                           " trailing byte(s) after the engine body");
+  }
+  if (!wal_path.empty()) {
+    CEPR_RETURN_IF_ERROR(ReplayWal(wal_path, wal_cut));
+    auto wal = std::make_unique<WalWriter>();
+    CEPR_RETURN_IF_ERROR(wal->Open(wal_path, options_.fault_injector));
+    wal_ = std::move(wal);
+  }
+  return Status::OK();
+}
+
+}  // namespace cepr

@@ -119,6 +119,10 @@ Status Engine::RegisterQuery(std::string name, std::string_view query_text,
   } else {
     queries_.emplace(key, std::move(running));
   }
+  // Keep the original (pre-merge) registration inputs: a checkpoint stores
+  // them so Restore can re-register the query under its own engine caps.
+  registrations_.insert_or_assign(
+      key, QueryRegistration{std::string(query_text), options});
   RecomputeForwardTargets();
   return Status::OK();
 }
@@ -220,6 +224,7 @@ Status Engine::RemoveQuery(std::string_view name) {
       options_.shared_eval ? StreamOf(it->second->plan()) : nullptr;
   // Erasing drops the query's template reference: the last sharer of a
   // signature frees the interned NfaTemplate (weak registry entry).
+  registrations_.erase(ToLower(name));
   queries_.erase(it);
   if (stream != nullptr) RebuildSharedStream(*stream);
   RecomputeForwardTargets();
@@ -262,6 +267,7 @@ MetricsSnapshot Engine::Snapshot() const {
     snap.sharing.shared_window_buffers += state.shared.window_groups.size();
   }
   snap.num_shards = 1;
+  snap.durability = durability_;
   snap.queries.reserve(queries_.size());
   for (const auto& [key, query] : queries_) {
     snap.sharing.bytecode_compiled_preds += static_cast<uint64_t>(
@@ -290,6 +296,19 @@ Result<Engine::StreamState*> Engine::OfferEvent(Event event,
   if (event.values().size() != state.schema->num_attributes()) {
     return Status::InvalidArgument("event arity mismatch for stream '" +
                                    state.schema->name() + "'");
+  }
+
+  // Journal the arrival before any state changes. Only top-level arrivals
+  // are logged: derived-stream re-ingestion (push_depth_ > 0) is
+  // regenerated deterministically by replaying its inputs, and replayed
+  // records must not re-journal themselves. Late-rejected events ARE
+  // journaled — the append precedes the verdict — so replay reproduces the
+  // identical rejection at the identical position. On an append failure
+  // (torn tail = simulated crash) the event is NOT applied: the dead
+  // process and the recovered one agree the arrival never happened.
+  if (wal_ != nullptr && !replaying_ && push_depth_ == 0) {
+    CEPR_RETURN_IF_ERROR(wal_->AppendEvent(state.schema->name(), event));
+    ++durability_.wal_records_appended;
   }
 
   const Timestamp offered_ts = event.timestamp();
@@ -522,6 +541,13 @@ Status Engine::VisitShared(StreamState& state, const EventPtr& event,
 }
 
 Status Engine::Flush() {
+  // A flush moves the release frontier, so replay must reproduce it at the
+  // same journal position (Finish's flush rounds included — the markers are
+  // idempotent against drained buffers).
+  if (wal_ != nullptr && !replaying_) {
+    CEPR_RETURN_IF_ERROR(wal_->AppendFlush());
+    ++durability_.wal_records_appended;
+  }
   for (auto& [key, state] : streams_) {
     if (state.reorder.resident() == 0) continue;
     std::vector<Event> released;

@@ -11,8 +11,10 @@
 
 #include "engine/predicate_index.h"
 #include "plan/signature.h"
+#include "runtime/checkpoint.h"
 #include "runtime/query.h"
 #include "runtime/reorder.h"
+#include "runtime/wal.h"
 
 namespace cepr {
 
@@ -161,6 +163,44 @@ class Engine {
   /// Signals end-of-stream: every query flushes its buffered windows.
   void Finish();
 
+  // -- Durability -----------------------------------------------------------
+
+  /// Opens (or resumes) a write-ahead journal at `path`: every top-level
+  /// arrival Push accepts — and every explicit Flush — is journaled before
+  /// it mutates engine state, so a crash loses nothing past the last valid
+  /// record. A pre-existing file is scanned and a torn tail truncated
+  /// (crash mid-append); appending resumes after the last valid record.
+  /// Derived-stream re-ingestion (EMIT INTO) is NOT journaled: replay
+  /// regenerates it deterministically.
+  Status OpenWal(const std::string& path);
+
+  /// Forces journaled records to stable storage. No-op without an open WAL.
+  Status SyncWal();
+
+  /// Writes a consistent snapshot of the full engine state — streams,
+  /// reorder buffers, queries with their live runs and ranking state,
+  /// counters — to `path`, atomically (temp + fsync + rename). With an open
+  /// WAL the snapshot records the journal position, so Restore replays only
+  /// the records that arrived after this cut.
+  Status Checkpoint(const std::string& path);
+
+  /// Rebuilds this engine from a snapshot, then replays the WAL tail past
+  /// the snapshot's cut through the normal ingest path. Must be called on a
+  /// pristine engine (no streams, no queries, nothing ingested) constructed
+  /// with the caller's fault injector if one is wanted; `resolve` supplies
+  /// each restored query's sink by name (see SinkResolver). Pass an empty
+  /// `wal_path` to restore from the snapshot alone. On success the engine
+  /// is live and the WAL (when given) is reopened for continued appending.
+  Status Restore(const std::string& snapshot_path, const std::string& wal_path,
+                 const SinkResolver& resolve);
+
+  /// Durability counters (folded into Snapshot().durability).
+  const DurabilityStats& durability() const { return durability_; }
+
+  /// Effective engine options (after a Restore these are the snapshot's,
+  /// except the fault injector, which stays the constructed one).
+  const EngineOptions& options() const { return options_; }
+
   /// Total events accepted.
   uint64_t events_ingested() const { return events_ingested_; }
   /// Events dropped at ingest under FaultPolicy::kSkipAndCount.
@@ -267,9 +307,29 @@ class Engine {
   void RebuildSharedStream(StreamState& state);
   StreamState* StreamOf(const CompiledQueryPtr& plan);
 
+  /// Serializes the full engine state as one snapshot body (the frame is
+  /// ckpt::WriteSnapshotFile's job); see docs/ARCHITECTURE.md.
+  void SaveBody(BinWriter* w) const;
+  /// Rebuilds the engine from a snapshot body: re-registers every stream
+  /// and query from its saved DDL/text, then loads the serialized state
+  /// over the fresh instances. Returns the WAL cut via *wal_cut.
+  Status LoadBody(BinReader* r, const SinkResolver& resolve,
+                  uint64_t* wal_cut);
+  /// Replays a journal tail through the normal ingest path, skipping the
+  /// first `skip` records (already captured by the snapshot).
+  Status ReplayWal(const std::string& wal_path, uint64_t skip);
+
   EngineOptions options_;
   std::map<std::string, StreamState, std::less<>> streams_;
   std::map<std::string, std::unique_ptr<RunningQuery>, std::less<>> queries_;
+  /// Original registration inputs, kept so a snapshot can re-register each
+  /// query from its text + pre-merge options (the engine-wide caps are
+  /// re-merged by the restoring engine).
+  struct QueryRegistration {
+    std::string text;
+    QueryOptions options;
+  };
+  std::map<std::string, QueryRegistration, std::less<>> registrations_;
   TemplateRegistry template_registry_;
   uint64_t queries_deduped_ = 0;
   /// Sticky: set when any registered query arms a fault injector; the
@@ -285,6 +345,14 @@ class Engine {
   /// composition cycles.
   int push_depth_ = 0;
   static constexpr int kMaxPushDepth = 8;
+
+  // -- Durability state -----------------------------------------------------
+  std::unique_ptr<WalWriter> wal_;
+  /// Set around ReplayWal so replayed arrivals are not re-journaled.
+  bool replaying_ = false;
+  /// Checkpoint ordinal: the `ckpt.kill_mid_write` fault key.
+  uint64_t checkpoint_attempts_ = 0;
+  DurabilityStats durability_;
 };
 
 }  // namespace cepr

@@ -138,6 +138,26 @@ std::string SharingStats::ToJson() const {
   return out;
 }
 
+std::string DurabilityStats::ToString() const {
+  std::string out;
+  out += "checkpoints_written=" + std::to_string(checkpoints_written);
+  out += " checkpoint_bytes=" + std::to_string(checkpoint_bytes);
+  out += " wal_records_appended=" + std::to_string(wal_records_appended);
+  out += " recovery_events_replayed=" + std::to_string(recovery_events_replayed);
+  return out;
+}
+
+std::string DurabilityStats::ToJson() const {
+  std::string out = "{";
+  out += "\"checkpoints_written\":" + std::to_string(checkpoints_written);
+  out += ",\"checkpoint_bytes\":" + std::to_string(checkpoint_bytes);
+  out += ",\"wal_records_appended\":" + std::to_string(wal_records_appended);
+  out += ",\"recovery_events_replayed\":" +
+         std::to_string(recovery_events_replayed);
+  out += "}";
+  return out;
+}
+
 std::string MergeStats::ToString() const {
   return "windows_merged=" + std::to_string(windows_merged) +
          " results_emitted=" + std::to_string(results_emitted);
@@ -171,6 +191,7 @@ std::string MetricsSnapshot::ToString() const {
   out += " reorder_buffer_peak=" + std::to_string(reorder.reorder_buffer_peak);
   out += " num_shards=" + std::to_string(num_shards);
   out += "\nsharing: " + sharing.ToString();
+  out += "\ndurability: " + durability.ToString();
   for (const QueryEntry& q : queries) {
     out += "\nquery " + q.name + ": " + q.metrics.ToString();
   }
@@ -205,6 +226,7 @@ std::string MetricsSnapshot::ToJson() const {
   }
   out += "],\"merge\":" + merge.ToJson();
   out += ",\"sharing\":" + sharing.ToJson();
+  out += ",\"durability\":" + durability.ToJson();
   out += "}";
   return out;
 }

@@ -105,6 +105,22 @@ struct SharingStats {
   std::string ToJson() const;
 };
 
+/// Counters of the durability layer (runtime/checkpoint.* + runtime/wal.*).
+/// All zeros until a WAL is opened or a checkpoint is written.
+struct DurabilityStats {
+  /// Snapshots successfully written (temp + fsync + rename completed).
+  uint64_t checkpoints_written = 0;
+  /// Bytes of the most recent successfully written snapshot.
+  uint64_t checkpoint_bytes = 0;
+  /// Event/flush records appended to the write-ahead journal.
+  uint64_t wal_records_appended = 0;
+  /// Events re-ingested from the journal during the last Restore().
+  uint64_t recovery_events_replayed = 0;
+
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
 /// Engine-wide counters of the sharded engine's merge stage.
 struct MergeStats {
   /// Report windows combined across shards.
@@ -185,6 +201,8 @@ struct MetricsSnapshot {
   MergeStats merge;
   /// Shared multi-query evaluation counters (zeros when disabled).
   SharingStats sharing;
+  /// Durability-layer counters (zeros until checkpoint/WAL use).
+  DurabilityStats durability;
 
   /// Multi-line human-readable dump.
   std::string ToString() const;

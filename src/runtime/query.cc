@@ -1,6 +1,8 @@
 #include "runtime/query.h"
 
+#include "common/binio.h"
 #include "common/stopwatch.h"
+#include "runtime/serde.h"
 
 namespace cepr {
 
@@ -74,6 +76,27 @@ void RunningQuery::Deliver(std::vector<RankedResult> results) {
     if (sink_ != nullptr) sink_->OnResult(r);
     if (forward_ != nullptr) forward_(r);
   }
+}
+
+void RunningQuery::SaveState(EventInterner* in, BinWriter* w) const {
+  w->U64(metrics_.events);
+  w->U64(metrics_.matches);
+  w->U64(metrics_.results);
+  metrics_.event_processing_ns.Save(w);
+  metrics_.emission_delay_us.Save(w);
+  w->U64(ordinal_);
+  w->I64(last_event_ts_);
+  w->U64(registration_offset_);
+  emitter_.SaveState(in, w);
+  matcher_.SaveState(in, w);
+}
+
+bool RunningQuery::LoadState(EventUninterner* in, BinReader* r) {
+  return r->U64(&metrics_.events) && r->U64(&metrics_.matches) &&
+         r->U64(&metrics_.results) && metrics_.event_processing_ns.Load(r) &&
+         metrics_.emission_delay_us.Load(r) && r->U64(&ordinal_) &&
+         r->I64(&last_event_ts_) && r->U64(&registration_offset_) &&
+         emitter_.LoadState(in, r) && matcher_.LoadState(in, r);
 }
 
 QueryMetrics RunningQuery::metrics() const {

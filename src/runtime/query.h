@@ -84,6 +84,15 @@ class RunningQuery {
   }
   uint64_t registration_offset() const { return registration_offset_; }
 
+  /// Checkpoint serialization of the query's full mutable pipeline state:
+  /// metric counters/histograms, the per-query event ordinal, the emitter's
+  /// ranking state and every partition's run set. Load expects a freshly
+  /// registered query with the same plan and options; the shared-stream
+  /// pointer installed by BindSharedStream is left untouched (the engine
+  /// rebinds it at re-registration).
+  void SaveState(EventInterner* in, BinWriter* w) const;
+  bool LoadState(EventUninterner* in, BinReader* r);
+
   /// The interned NFA template this query shares (null when shared
   /// evaluation is off). Held here so the template's refcount tracks query
   /// lifetime — hot-removing the last sharer frees it.

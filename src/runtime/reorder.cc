@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/binio.h"
+#include "runtime/serde.h"
+
 namespace cepr {
 
 const char* LatePolicyToString(LatePolicy policy) {
@@ -87,6 +90,64 @@ void ReorderBuffer::Flush(std::vector<Event>* released) {
     released->push_back(std::move(heap_.back().event));
     heap_.pop_back();
   }
+}
+
+void ReorderBuffer::SaveState(BinWriter* w) const {
+  w->I64(config_.max_lateness_micros);
+  w->U8(static_cast<uint8_t>(config_.late_policy));
+  w->Bool(saw_event_);
+  w->I64(high_ts_);
+  w->I64(flushed_upto_);
+  w->Bool(flushed_any_);
+  w->U64(next_arrival_);
+  // Raw array order: the vector already satisfies the heap property, so a
+  // verbatim restore reproduces every future pop order bit-exactly.
+  w->U32(static_cast<uint32_t>(heap_.size()));
+  for (const Entry& e : heap_) {
+    w->I64(e.ts);
+    w->U64(e.arrival);
+    SaveEventBody(w, e.event);
+  }
+  const ReorderStats s = stats();
+  w->U64(s.events_reordered);
+  w->U64(s.events_late_dropped);
+  w->U64(s.events_clamped);
+  w->U64(s.reorder_buffer_peak);
+}
+
+bool ReorderBuffer::LoadState(BinReader* r, const SchemaPtr& schema) {
+  uint8_t policy = 0;
+  uint32_t resident = 0;
+  heap_.clear();
+  if (!r->I64(&config_.max_lateness_micros) || !r->U8(&policy) ||
+      !r->Bool(&saw_event_) || !r->I64(&high_ts_) || !r->I64(&flushed_upto_) ||
+      !r->Bool(&flushed_any_) || !r->U64(&next_arrival_) || !r->U32(&resident)) {
+    return false;
+  }
+  if (policy > static_cast<uint8_t>(LatePolicy::kClamp)) {
+    r->Fail();
+    return false;
+  }
+  config_.late_policy = static_cast<LatePolicy>(policy);
+  heap_.reserve(resident);
+  for (uint32_t i = 0; i < resident; ++i) {
+    Entry e;
+    if (!r->I64(&e.ts) || !r->U64(&e.arrival) ||
+        !LoadEventBody(r, schema, &e.event)) {
+      return false;
+    }
+    heap_.push_back(std::move(e));
+  }
+  uint64_t reordered = 0, dropped = 0, clamped = 0, peak = 0;
+  if (!r->U64(&reordered) || !r->U64(&dropped) || !r->U64(&clamped) ||
+      !r->U64(&peak)) {
+    return false;
+  }
+  events_reordered_.Store(reordered);
+  events_late_dropped_.Store(dropped);
+  events_clamped_.Store(clamped);
+  buffer_peak_.Store(peak);
+  return true;
 }
 
 ReorderStats ReorderBuffer::stats() const {

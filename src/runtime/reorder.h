@@ -9,6 +9,9 @@
 
 namespace cepr {
 
+class BinWriter;
+class BinReader;
+
 /// What happens to an event that arrives after the stream's release
 /// watermark has moved past its timestamp (it missed the lateness bound).
 enum class LatePolicy : uint8_t {
@@ -115,6 +118,13 @@ class ReorderBuffer {
 
   /// Counter snapshot (any thread).
   ReorderStats stats() const;
+
+  /// Checkpoint serialization: config, frontier state, resident events (in
+  /// raw heap-array order, preserving arrival numbering exactly) and
+  /// counters. Load rebuilds the buffer byte-identically; `schema` re-binds
+  /// the resident events. Writer thread only.
+  void SaveState(BinWriter* w) const;
+  bool LoadState(BinReader* r, const SchemaPtr& schema);
 
  private:
   struct Entry {

@@ -137,6 +137,7 @@ Status ShardedEngine::RegisterQuery(std::string name,
       std::move(name), plan, options, sink,
       ShardRouter(*plan, num_shards_, queries_.size()),
       ReportWindowAssigner::ForQuery(*plan), merge);
+  q->text = std::string(query_text);
   q->pending.resize(num_shards_);
   const uint32_t qi = static_cast<uint32_t>(queries_.size());
   if (options_.shared_eval) {
@@ -162,6 +163,11 @@ std::vector<std::string> ShardedEngine::QueryNames() const {
 }
 
 void ShardedEngine::StartWorkers() {
+  BuildShards();
+  SpawnWorkers();
+}
+
+void ShardedEngine::BuildShards() {
   shards_.reserve(num_shards_);
   for (size_t s = 0; s < num_shards_; ++s) {
     auto shard = std::make_unique<Shard>();
@@ -194,10 +200,47 @@ void ShardedEngine::StartWorkers() {
     }
     shards_.push_back(std::move(shard));
   }
+}
+
+void ShardedEngine::SpawnWorkers() {
   for (size_t s = 0; s < num_shards_; ++s) {
     shards_[s]->thread = std::thread([this, s] { ShardMain(s); });
   }
   started_.store(true, std::memory_order_release);
+}
+
+Status ShardedEngine::Quiesce() {
+  // Nothing to drain before the first Push; after Finish the workers are
+  // joined (the join is the happens-before edge a quiesce would provide).
+  if (!WorkersStarted() || finished_) return Status::OK();
+  const uint64_t gen = ++quiesce_generation_;
+  for (auto& shard : shards_) {
+    Message msg;
+    msg.kind = Message::Kind::kQuiesce;
+    msg.ordinal = gen;
+    CEPR_RETURN_IF_ERROR(Enqueue(shard.get(), std::move(msg)));
+  }
+  // The ring is FIFO, so the acknowledgment means everything enqueued
+  // before the quiesce has been fully processed; the release/acquire pair
+  // on `quiesced` makes those cell writes visible to this thread.
+  Stopwatch wait;
+  const int64_t budget_us = options_.enqueue_stall_budget_ms * 1000;
+  for (auto& shard : shards_) {
+    while (shard->quiesced.load(std::memory_order_acquire) < gen) {
+      if (abort_.load(std::memory_order_acquire)) {
+        return Status::Unavailable("checkpoint quiesce: engine aborted");
+      }
+      if (budget_us > 0 && wait.ElapsedMicros() > budget_us) {
+        return Status::Unavailable(
+            "checkpoint quiesce: shard " + std::to_string(shard->index) +
+            " did not acknowledge within " +
+            std::to_string(options_.enqueue_stall_budget_ms) +
+            " ms; consumer presumed dead or wedged");
+      }
+      std::this_thread::yield();
+    }
+  }
+  return Status::OK();
 }
 
 Status ShardedEngine::Enqueue(Shard* shard, Message msg) {
@@ -336,6 +379,13 @@ void ShardedEngine::ShardMain(size_t shard_index) {
         shard->acked_window[msg.query].store(window, std::memory_order_release);
         break;
       }
+      case Message::Kind::kQuiesce: {
+        // FIFO ring: everything enqueued before this message is fully
+        // processed. Publish the generation (release) so the checkpointing
+        // ingest thread observes every cell write made up to here.
+        shard->quiesced.store(msg.ordinal, std::memory_order_release);
+        break;
+      }
       case Message::Kind::kFinish: {
         for (uint32_t q = 0; q < shard->cells.size(); ++q) {
           scratch.clear();
@@ -402,6 +452,13 @@ Result<ShardedEngine::StreamState*> ShardedEngine::OfferEvent(
   if (event.values().size() != state.schema->num_attributes()) {
     return Status::InvalidArgument("event arity mismatch for stream '" +
                                    state.schema->name() + "'");
+  }
+  // Journal the arrival before any state changes (same contract as the
+  // serial engine: late-rejected events are journaled — replay reproduces
+  // the verdict — and a failed append means the arrival never happened).
+  if (wal_ != nullptr && !replaying_) {
+    CEPR_RETURN_IF_ERROR(wal_->AppendEvent(state.schema->name(), event));
+    wal_appended_.Increment();
   }
   const Timestamp offered_ts = event.timestamp();
   switch (state.reorder.Offer(std::move(event), released)) {
@@ -638,6 +695,12 @@ Status ShardedEngine::Flush() {
   if (finished_) {
     return Status::InvalidArgument("sharded engine is finished");
   }
+  // A flush moves the release frontier; journal it so replay reproduces it
+  // at the same position.
+  if (wal_ != nullptr && !replaying_) {
+    CEPR_RETURN_IF_ERROR(wal_->AppendFlush());
+    wal_appended_.Increment();
+  }
   for (auto& [key, state] : streams_) {
     if (state.reorder.resident() == 0) continue;
     std::vector<Event> released;
@@ -776,6 +839,7 @@ MetricsSnapshot ShardedEngine::Snapshot() const {
   // (the barrier broadcast), not per (query, shard): there is no separate
   // shared window-buffer structure to count in this mode.
   snap.sharing.shared_window_buffers = 0;
+  snap.durability = durability();
   return snap;
 }
 

@@ -19,9 +19,11 @@
 #include "engine/shard_router.h"
 #include "plan/signature.h"
 #include "rank/merge.h"
+#include "runtime/checkpoint.h"
 #include "runtime/metrics.h"
 #include "runtime/query.h"
 #include "runtime/reorder.h"
+#include "runtime/wal.h"
 
 namespace cepr {
 
@@ -155,6 +157,42 @@ class ShardedEngine {
   /// terminal afterwards (further Push calls fail).
   void Finish();
 
+  // -- Durability (ingest thread) -------------------------------------------
+
+  /// Opens (or resumes) a write-ahead journal, same contract as
+  /// Engine::OpenWal: every accepted top-level arrival and every explicit
+  /// Flush is journaled before it mutates engine state.
+  Status OpenWal(const std::string& path);
+
+  /// Forces journaled records to stable storage. No-op without an open WAL.
+  Status SyncWal();
+
+  /// Writes a consistent snapshot of the full engine state to `path`
+  /// atomically. The cut is a quiesce point: every shard is drained to the
+  /// end of its ring (a window-barrier-style round trip), so the snapshot
+  /// captures each (shard, query) cell after exactly the events the ingest
+  /// thread has routed — the same cut a window barrier observes.
+  Status Checkpoint(const std::string& path);
+
+  /// Rebuilds this engine from a snapshot plus optional WAL tail, same
+  /// contract as Engine::Restore. The engine must be pristine and
+  /// constructed with the SAME shard count as the snapshot (the per-shard
+  /// run state cannot be re-hashed; kInvalidArgument names the counts
+  /// otherwise). Worker threads are respawned after the cell state loads.
+  Status Restore(const std::string& snapshot_path, const std::string& wal_path,
+                 const SinkResolver& resolve);
+
+  /// Durability counters (folded into Snapshot().durability). Safe from
+  /// any thread (relaxed atomics — a monitor may poll mid-checkpoint).
+  DurabilityStats durability() const {
+    DurabilityStats d;
+    d.checkpoints_written = ckpt_written_.Load();
+    d.checkpoint_bytes = ckpt_bytes_.Load();
+    d.wal_records_appended = wal_appended_.Load();
+    d.recovery_events_replayed = replayed_.Load();
+    return d;
+  }
+
   // -- Introspection --------------------------------------------------------
   //
   // Every reader below is safe to call from ANY thread — including a
@@ -198,11 +236,15 @@ class ShardedEngine {
 
  private:
   struct Message {
-    enum class Kind : uint8_t { kEvent, kBarrier, kFinish };
+    /// kQuiesce asks the shard to acknowledge that everything enqueued
+    /// before it has been fully processed (checkpoint cut); `ordinal`
+    /// carries the quiesce generation.
+    enum class Kind : uint8_t { kEvent, kBarrier, kFinish, kQuiesce };
     Kind kind = Kind::kEvent;
     uint32_t query = 0;
     EventPtr event;        // kEvent
-    uint64_t ordinal = 0;  // kEvent / kBarrier: per-query global ordinal
+    uint64_t ordinal = 0;  // kEvent / kBarrier: per-query global ordinal;
+                           // kQuiesce: generation
     Timestamp ts = 0;      // kEvent / kBarrier
     /// kEvent: router-side predicate-index verdict. False means the event
     /// cannot begin a run for this query, so the shard may skip the
@@ -241,6 +283,12 @@ class ShardedEngine {
     std::condition_variable park_cv;
     std::atomic<bool> parked{false};
 
+    /// Highest quiesce generation acknowledged (store-release after the
+    /// shard processed everything enqueued before the kQuiesce message;
+    /// acquire-load by the checkpointing ingest thread, which thereby
+    /// observes every cell write the shard made).
+    std::atomic<uint64_t> quiesced{0};
+
     /// Live counters + per-query latency histograms; shard-thread and
     /// router-side writers, snapshottable from any thread.
     MetricsCell metrics;
@@ -277,6 +325,8 @@ class ShardedEngine {
           merge(merge_in) {}
 
     std::string name;
+    /// Original query text, kept so a checkpoint can re-register the query.
+    std::string text;
     CompiledQueryPtr plan;
     QueryOptions options;
     Sink* sink = nullptr;
@@ -298,6 +348,18 @@ class ShardedEngine {
   };
 
   void StartWorkers();
+  /// StartWorkers is BuildShards + SpawnWorkers; Restore calls them
+  /// separately so the restored cell state is loaded on the ingest thread
+  /// between the two (the SPSC ring's release/acquire pair publishes those
+  /// writes to the shard thread before its first message).
+  void BuildShards();
+  void SpawnWorkers();
+  /// Checkpoint cut: enqueues a kQuiesce to every shard and waits until all
+  /// acknowledge, so every previously routed message is fully processed and
+  /// its cell writes are visible to the ingest thread. Fails with
+  /// kUnavailable past the enqueue stall budget (wedged shard). No-op
+  /// before the first Push or after Finish (joined threads happen-before).
+  Status Quiesce();
   void ShardMain(size_t shard_index);
   /// The per-stream ReorderConfig implied by ShardedEngineOptions (legacy
   /// `reject_out_of_order = false` maps to LatePolicy::kClamp).
@@ -378,6 +440,25 @@ class ShardedEngine {
   RelaxedCounter events_quarantined_;
   RelaxedCounter merge_windows_;
   RelaxedCounter merge_results_;
+
+  // -- Durability state (ingest thread; counters snapshot-read) -------------
+  /// Serializes the full engine state as one snapshot body. Workers must be
+  /// quiesced (or never started / joined) when called.
+  void SaveBody(BinWriter* w) const;
+  Status LoadBody(BinReader* r, const SinkResolver& resolve,
+                  uint64_t* wal_cut);
+  Status ReplayWal(const std::string& wal_path, uint64_t skip);
+
+  std::unique_ptr<WalWriter> wal_;
+  bool replaying_ = false;
+  uint64_t checkpoint_attempts_ = 0;  // ckpt.kill_mid_write fault key
+  uint64_t quiesce_generation_ = 0;
+  /// Relaxed atomics (not a plain DurabilityStats): a monitor thread may
+  /// read Snapshot().durability while the ingest thread checkpoints.
+  RelaxedCounter ckpt_written_;
+  RelaxedCounter ckpt_bytes_;
+  RelaxedCounter wal_appended_;
+  RelaxedCounter replayed_;
 };
 
 }  // namespace cepr

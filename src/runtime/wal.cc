@@ -1,0 +1,225 @@
+#include "runtime/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/binio.h"
+#include "runtime/serde.h"
+
+namespace cepr {
+namespace {
+
+// Frames larger than this are garbage (a bit-flipped length field), not
+// records; the scanner treats them as a torn/corrupt tail.
+constexpr uint32_t kMaxRecordBytes = 64u << 20;
+
+std::string EncodeRecord(const WalRecord& rec) {
+  BinWriter payload;
+  payload.U8(static_cast<uint8_t>(rec.kind));
+  if (rec.kind == WalRecord::Kind::kEvent) {
+    payload.Str(rec.stream);
+    SaveEventBody(&payload, rec.event);
+  }
+  return payload.Take();
+}
+
+// Decodes one payload; false = corrupt (unknown kind / malformed body).
+bool DecodeRecord(const std::string& payload, WalRecord* out) {
+  BinReader r(payload);
+  uint8_t kind = 0;
+  if (!r.U8(&kind)) return false;
+  if (kind > static_cast<uint8_t>(WalRecord::Kind::kFlush)) return false;
+  out->kind = static_cast<WalRecord::Kind>(kind);
+  if (out->kind == WalRecord::Kind::kEvent) {
+    if (!r.Str(&out->stream)) return false;
+    if (!LoadEventBody(&r, nullptr, &out->event)) return false;
+  }
+  return r.AtEnd();
+}
+
+// Reads the whole file behind `fd` into `out`. Returns false on read error.
+bool ReadFile(int fd, std::string* out) {
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return true;
+    out->append(buf, static_cast<size_t>(n));
+  }
+}
+
+bool WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Scans `data` frame by frame; returns the byte length of the valid prefix
+// and counts the records in it. Optionally collects decoded records.
+size_t ScanValid(const std::string& data, uint64_t* num_records,
+                 std::vector<WalRecord>* out) {
+  size_t pos = 0;
+  *num_records = 0;
+  while (data.size() - pos >= 8) {
+    BinReader header(data.data() + pos, 8);
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    header.U32(&len);
+    header.U32(&crc);
+    if (len > kMaxRecordBytes || data.size() - pos - 8 < len) break;
+    const char* payload = data.data() + pos + 8;
+    if (Crc32(payload, len) != crc) break;
+    WalRecord rec;
+    if (!DecodeRecord(std::string(payload, len), &rec)) break;
+    if (out != nullptr) out->push_back(std::move(rec));
+    pos += 8 + len;
+    ++*num_records;
+  }
+  return pos;
+}
+
+}  // namespace
+
+Status WalWriter::Open(const std::string& path, const FaultInjector* injector) {
+  if (is_open()) return Status::InvalidArgument("wal: already open");
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("wal: cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  std::string data;
+  if (!ReadFile(fd, &data)) {
+    ::close(fd);
+    return Status::IoError("wal: cannot read '" + path +
+                           "': " + std::strerror(errno));
+  }
+  uint64_t num_records = 0;
+  const size_t valid = ScanValid(data, &num_records, nullptr);
+  if (valid < data.size()) {
+    // Crash signature: a torn or corrupt tail. Drop it and resume after the
+    // last intact record.
+    if (::ftruncate(fd, static_cast<off_t>(valid)) != 0) {
+      ::close(fd);
+      return Status::IoError("wal: cannot truncate torn tail of '" + path +
+                             "' at byte " + std::to_string(valid) + ": " +
+                             std::strerror(errno));
+    }
+  }
+  if (::lseek(fd, static_cast<off_t>(valid), SEEK_SET) < 0) {
+    ::close(fd);
+    return Status::IoError("wal: cannot seek '" + path +
+                           "': " + std::strerror(errno));
+  }
+  fd_ = fd;
+  path_ = path;
+  records_ = num_records;
+  injector_ = injector;
+  torn_ = false;
+  return Status::OK();
+}
+
+Status WalWriter::AppendPayload(const std::string& payload) {
+  if (!is_open()) return Status::InvalidArgument("wal: not open");
+  if (torn_) {
+    return Status::Unavailable("wal: writer died mid-append (injected crash)");
+  }
+  BinWriter frame;
+  frame.U32(static_cast<uint32_t>(payload.size()));
+  frame.U32(Crc32(payload.data(), payload.size()));
+  frame.Raw(payload.data(), payload.size());
+  const std::string& bytes = frame.buffer();
+
+  if (injector_ != nullptr &&
+      injector_->ShouldFire(fault_points::kWalTornTail, records_)) {
+    // Simulated kill mid-write: half the frame reaches the file, then the
+    // process is gone. The record is NOT counted — it never became durable.
+    const size_t partial = bytes.size() / 2 + 1;
+    WriteAll(fd_, bytes.data(), partial);
+    torn_ = true;
+    return Status::Unavailable(
+        "wal: injected crash mid-append at record " + std::to_string(records_) +
+        " of '" + path_ + "' (torn tail)");
+  }
+
+  if (!WriteAll(fd_, bytes.data(), bytes.size())) {
+    return Status::IoError("wal: append to '" + path_ +
+                           "' failed: " + std::strerror(errno));
+  }
+  ++records_;
+  return Status::OK();
+}
+
+Status WalWriter::AppendEvent(const std::string& stream, const Event& event) {
+  WalRecord rec;
+  rec.kind = WalRecord::Kind::kEvent;
+  rec.stream = stream;
+  rec.event = event;
+  return AppendPayload(EncodeRecord(rec));
+}
+
+Status WalWriter::AppendFlush() {
+  WalRecord rec;
+  rec.kind = WalRecord::Kind::kFlush;
+  return AppendPayload(EncodeRecord(rec));
+}
+
+Status WalWriter::Sync() {
+  if (!is_open()) return Status::InvalidArgument("wal: not open");
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError("wal: fdatasync '" + path_ +
+                           "' failed: " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void WalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_.clear();
+  records_ = 0;
+  injector_ = nullptr;
+  torn_ = false;
+}
+
+Status WalReader::ReadAll(const std::string& path, std::vector<WalRecord>* out,
+                          uint64_t* dropped_bytes) {
+  out->clear();
+  if (dropped_bytes != nullptr) *dropped_bytes = 0;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("wal: cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  std::string data;
+  const bool read_ok = ReadFile(fd, &data);
+  ::close(fd);
+  if (!read_ok) {
+    return Status::IoError("wal: cannot read '" + path +
+                           "': " + std::strerror(errno));
+  }
+  uint64_t num_records = 0;
+  const size_t valid = ScanValid(data, &num_records, out);
+  if (dropped_bytes != nullptr) {
+    *dropped_bytes = static_cast<uint64_t>(data.size() - valid);
+  }
+  return Status::OK();
+}
+
+}  // namespace cepr
