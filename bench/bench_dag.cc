@@ -1,0 +1,176 @@
+// E19 — shared partial-match DAG vs per-run fan-out on the fork-heavy
+// trailing-Kleene workload (workload/forkheavy.h): SEQ(a, b+) under
+// SKIP_TILL_ANY_MATCH, where every qualifying event doubles each group's
+// suffix-subset population. The per-run path materializes that fan-out as
+// forked runs (state ~ 2^window, bounded here by a run cap that sheds
+// oldest-first); the DAG path adds one extend + one union node per group
+// per event (state ~ window) and enumerates matches lazily at window close.
+//
+// Sweeps window size x fork factor (anchor probability: fewer anchors =
+// longer doubling cascades) with shared_match_dag off/on. Key counters:
+//   events/s            throughput (items_per_second)
+//   peak_runs           max simultaneously live runs (per-run state)
+//   peak_dag_nodes      max simultaneously live DAG nodes (dag state)
+//   enumerated/cutoffs  lazy-enumeration work at window closes
+//   shed                runs dropped by the cap (per-run path only; >0
+//                       means the per-run numbers UNDERSTATE true cost)
+//
+// Before timing, dag-on output is checked bit-identical to dag-off at the
+// smallest window of each fork factor. Numbers land in docs/BENCHMARKS.md
+// (E19).
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "workload/forkheavy.h"
+
+namespace cepr {
+namespace bench {
+namespace {
+
+std::string DagQuery(int window_ms) {
+  return "SELECT a.price, SUM(b.price), COUNT(b) "
+         "FROM ForkTick MATCH PATTERN SEQ(a, b+) "
+         "USING SKIP_TILL_ANY_MATCH "
+         "PARTITION BY sym "
+         "WHERE a.anchor = 1 AND b[i].anchor = 0 "
+         "WITHIN " +
+         std::to_string(window_ms) +
+         " MILLISECONDS "
+         "RANK BY SUM(b.price) DESC "
+         "LIMIT 10 EMIT ON WINDOW CLOSE";
+}
+
+// One event per simulated millisecond: a window of W ms spans W events, so
+// the per-run path's worst-case fan-out per group is 2^(W-1).
+const std::vector<Event>& DagStream(size_t n, double anchor_probability) {
+  static std::vector<Event>* cache = nullptr;
+  static size_t cache_n = 0;
+  static double cache_p = -1;
+  if (cache == nullptr || cache_n != n || cache_p != anchor_probability) {
+    ForkHeavyOptions options;
+    options.num_streams = 1;
+    options.anchor_probability = anchor_probability;
+    ForkHeavyGenerator gen(options);
+    delete cache;
+    cache = new std::vector<Event>(gen.Take(n));
+    cache_n = n;
+    cache_p = anchor_probability;
+  }
+  return *cache;
+}
+
+QueryOptions DagOptions(bool dag) {
+  QueryOptions options;
+  options.matcher.shared_match_dag = dag;
+  // The cap keeps the per-run sweep finishable at the larger windows; it
+  // binds only there (`shed` counter), and shedding only ever UNDERSTATES
+  // the per-run cost the DAG avoids.
+  options.matcher.max_active_runs = 65536;
+  return options;
+}
+
+struct RunOutcome {
+  std::vector<RankedResult> results;
+  QueryMetrics metrics;
+};
+
+RunOutcome RunOnce(bool dag, int window_ms, double anchor_probability,
+                   size_t n) {
+  auto engine = std::make_unique<Engine>();
+  CEPR_CHECK(engine->RegisterSchema(ForkHeavyGenerator::MakeSchema()).ok());
+  CollectSink sink;
+  const Status s = engine->RegisterQuery("q", DagQuery(window_ms),
+                                         DagOptions(dag), &sink);
+  CEPR_CHECK(s.ok()) << s.ToString();
+  Replay(engine.get(), DagStream(n, anchor_probability));
+  RunOutcome out;
+  out.results = sink.results();
+  out.metrics = engine->GetQueryMetrics("q").value();
+  return out;
+}
+
+// Equivalence gate: dag on must equal dag off bit-for-bit before any number
+// is reported (checked once per fork factor, at a window both paths handle
+// comfortably).
+void VerifyOnce(double anchor_probability) {
+  static bool done[2] = {false, false};
+  bool& flag = done[anchor_probability < 0.2 ? 0 : 1];
+  if (flag) return;
+  flag = true;
+  constexpr size_t kVerifyEvents = 3000;
+  const RunOutcome off = RunOnce(false, 8, anchor_probability, kVerifyEvents);
+  const RunOutcome on = RunOnce(true, 8, anchor_probability, kVerifyEvents);
+  CEPR_CHECK(!off.results.empty()) << "verification workload had no results";
+  CEPR_CHECK(off.results.size() == on.results.size()) << "result count";
+  for (size_t i = 0; i < off.results.size(); ++i) {
+    const RankedResult& e = off.results[i];
+    const RankedResult& a = on.results[i];
+    CEPR_CHECK(e.window_id == a.window_id && e.rank == a.rank &&
+               e.match.last_sequence == a.match.last_sequence &&
+               e.match.score == a.match.score && e.match.row == a.match.row)
+        << "dag result " << i << " diverged";
+  }
+  CEPR_CHECK(on.metrics.matcher.dag_nodes_allocated > 0)
+      << "dag mode did not engage";
+}
+
+void BM_DagSweep(benchmark::State& state, bool dag) {
+  const int window_ms = static_cast<int>(state.range(0));
+  // Fork factor: anchor probability in permille (300 = light cascades,
+  // 100 = heavy doubling chains).
+  const double anchor_probability = static_cast<double>(state.range(1)) / 1e3;
+  constexpr size_t kEvents = 4000;
+  VerifyOnce(anchor_probability);
+  const std::vector<Event>& events = DagStream(kEvents, anchor_probability);
+
+  QueryMetrics last;
+  uint64_t results = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = std::make_unique<Engine>();
+    CEPR_CHECK(engine->RegisterSchema(ForkHeavyGenerator::MakeSchema()).ok());
+    CollectSink sink;
+    const Status s = engine->RegisterQuery("q", DagQuery(window_ms),
+                                           DagOptions(dag), &sink);
+    CEPR_CHECK(s.ok()) << s.ToString();
+    state.ResumeTiming();
+
+    Replay(engine.get(), events);
+
+    state.PauseTiming();
+    last = engine->GetQueryMetrics("q").value();
+    results += sink.results().size();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kEvents));
+  state.counters["peak_runs"] =
+      static_cast<double>(last.matcher.peak_active_runs);
+  state.counters["peak_dag_nodes"] =
+      static_cast<double>(last.matcher.peak_dag_nodes);
+  state.counters["enumerated"] = static_cast<double>(last.matches_enumerated);
+  state.counters["cutoffs"] = static_cast<double>(last.enumeration_cutoffs);
+  state.counters["shed"] =
+      static_cast<double>(last.matcher.runs_dropped_capacity);
+  state.counters["results"] =
+      static_cast<double>(results) / static_cast<double>(state.iterations());
+}
+
+// Window sweep (ms == events) x fork factor (anchor probability, permille).
+#define DAG_SWEEP_ARGS                                      \
+  ->Args({4, 300})->Args({8, 300})->Args({12, 300})         \
+      ->Args({16, 300})->Args({4, 100})->Args({8, 100})     \
+      ->Args({12, 100})->Args({16, 100})                    \
+      ->Unit(benchmark::kMillisecond)
+
+BENCHMARK_CAPTURE(BM_DagSweep, per_run, false) DAG_SWEEP_ARGS;
+BENCHMARK_CAPTURE(BM_DagSweep, shared_dag, true) DAG_SWEEP_ARGS;
+
+}  // namespace
+}  // namespace bench
+}  // namespace cepr
+
+CEPR_BENCH_MAIN();

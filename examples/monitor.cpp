@@ -70,6 +70,12 @@ void PaintQuery(const cepr::MetricsSnapshot::QueryEntry& entry,
       << m.matcher.binding_nodes_allocated << ", predcache "
       << m.matcher.predcache_hits << "/"
       << (m.matcher.predcache_hits + m.matcher.predcache_misses) << " hits\n";
+  if (m.matcher.dag_nodes_allocated > 0) {
+    out << "│  match dag: nodes " << m.matcher.dag_nodes_allocated << " (shared "
+        << m.matcher.dag_nodes_shared << ", peak " << m.matcher.peak_dag_nodes
+        << "), enumerated " << m.matches_enumerated << ", cutoffs "
+        << m.enumeration_cutoffs << "\n";
+  }
   const std::vector<cepr::RankedResult> rows = panel.rows();
   if (rows.empty()) out << "│  (no ranked results yet)\n";
   for (const cepr::RankedResult& r : rows) {

@@ -3,7 +3,8 @@
 # running the concurrency-sensitive suites (SPSC ring, sharded engine, and
 # the live-metrics race test), then an AddressSanitizer build running the
 # memory-churn-heavy suites (robustness fuzz, overload shedding, fault
-# injection, CSV parsing, crash recovery, torn-file fuzz), then a UBSan
+# injection, CSV parsing, crash recovery, torn-file fuzz, the refcounted
+# match-DAG store and its lazy enumerator), then a UBSan
 # build running the arithmetic-heavy suites (evaluator/VM extremes, the
 # bytecode differential fuzzer, rank math, snapshot/WAL decoding of
 # corrupted bytes). Run from the repo root:
@@ -48,17 +49,22 @@ if [[ $run_tsan -eq 1 ]]; then
   # The sharded recovery tests exercise the quiesce barrier (Checkpoint
   # cuts while worker threads drain) — one shard count keeps the stage fast.
   ./build-tsan/tests/integration_test \
-    --gtest_filter='Sharded*:ShardedMetricsRaceTest.*:ShardCounts/ShardedFault*:CowEquivalenceTest.HotPathCountersMatchSerialTotals:Disorder*:ShardCounts/Disorder*:Engines/RecoveryTest.*/sharded2'
+    --gtest_filter='Sharded*:ShardedMetricsRaceTest.*:ShardCounts/ShardedFault*:CowEquivalenceTest.HotPathCountersMatchSerialTotals:CowEquivalenceTest.SharedMatchDagMatchesPerRunPath:Disorder*:ShardCounts/Disorder*:Engines/RecoveryTest.*/sharded2'
 fi
 
 if [[ $run_asan -eq 1 ]]; then
   echo "== ASan build + robustness suites =="
   cmake -B build-asan -S . -DCEPR_SANITIZE=address -DCMAKE_BUILD_TYPE=Debug >/dev/null
-  cmake --build build-asan -j "$(nproc)" --target integration_test runtime_test
+  cmake --build build-asan -j "$(nproc)" --target integration_test runtime_test \
+    engine_test rank_test
   ./build-asan/tests/integration_test \
     --gtest_filter='Robustness*:Overload*:FaultInjection*:ShardedFault*:ShardCounts/ShardedFault*:CowEquivalence*:Disorder*:ShardCounts/Disorder*:*Recovery*'
   ./build-asan/tests/runtime_test \
     --gtest_filter='Csv*:ReorderBuffer*:Idempotence*:Snapshot*:TornFileFuzz*'
+  # The shared match DAG is manually refcounted arena memory — exactly what
+  # ASan exists to audit; the enumerator suite drives its free/reuse cycle.
+  ./build-asan/tests/engine_test --gtest_filter='MatchDag*'
+  ./build-asan/tests/rank_test --gtest_filter='Enumerator*'
 fi
 
 if [[ $run_ubsan -eq 1 ]]; then

@@ -1,0 +1,309 @@
+#include "engine/match_dag.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "runtime/serde.h"
+
+namespace cepr {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Identity interval of one accumulator slot, matching AggStates::Reset.
+Interval IdentityOf(AggStorageKind kind) {
+  switch (kind) {
+    case AggStorageKind::kMin:
+      return Interval::Point(kInf);
+    case AggStorageKind::kMax:
+      return Interval::Point(-kInf);
+    case AggStorageKind::kSum:
+      return Interval::Point(0.0);
+  }
+  return Interval::Whole();
+}
+
+}  // namespace
+
+bool MatchDagEligible(const CompiledQuery& query) {
+  // The DAG covers exactly the shape that explodes under per-run state:
+  // skip-till-any with a trailing unbounded Kleene-plus. Ranked, buffered
+  // emission is required because enumeration is deferred to window close.
+  if (query.strategy != SelectionStrategy::kSkipTillAny) return false;
+  if (query.score == nullptr) return false;
+  if (query.emit == EmitPolicy::kOnComplete) return false;
+  if (query.pattern.components.empty()) return false;
+  const CompiledComponent& last = query.pattern.components.back();
+  if (!last.is_kleene || last.is_optional) return false;
+  // min_iters == 1: every nonempty suffix path is accepting, so a group
+  // head encodes exactly the paths the per-run engine would emit. Other
+  // minimums would need per-path filtering the enumerator does not do.
+  if (last.min_iters != 1 || last.max_iters >= 0) return false;
+  // Exit predicates gate the close transition on aggregate state; the DAG
+  // shares suffixes across histories, so per-path gating is out.
+  if (!last.exit_preds.empty()) return false;
+  // A watcher on the trailing component would kill individual runs; groups
+  // have no individual runs to kill.
+  if (last.negation_before.has_value()) return false;
+  // Every iteration predicate must be event-only (run-independent): one
+  // verdict per event decides extension for the whole group. Correlated
+  // conjuncts (v[i-1], aggregates, earlier variables) need per-run state.
+  for (int cache_id : last.iter_pred_cache_ids) {
+    if (cache_id < 0) return false;
+  }
+  return true;
+}
+
+MatchDagStore::MatchDagStore(const CompiledQuery* plan) : plan_(plan) {
+  const auto& components = plan->pattern.components;
+  CEPR_CHECK(!components.empty());
+  trailing_var_ = components.back().var_index;
+  const auto& specs = plan->pattern.agg_specs;
+  dense_slot_of_.assign(specs.size(), -1);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].var_index != trailing_var_) continue;
+    dense_slot_of_[i] = static_cast<int>(dense_specs_.size());
+    dense_specs_.push_back(specs[i]);
+  }
+}
+
+MatchDagStore::~MatchDagStore() {
+  if (bottom_ != nullptr) {
+    // Drop the store's own reference. Every other owner (groups, sets,
+    // enumerator entries) must already have released theirs — same
+    // contract as ObjectPool ("all objects Delete()d before the pool
+    // dies"), checked here because a leak would be silent otherwise.
+    CEPR_CHECK(bottom_->refs == 1);
+    Unref(bottom_);
+    bottom_ = nullptr;
+  }
+  CEPR_CHECK(live_ == 0);
+}
+
+DagNode* MatchDagStore::NewNode(DagNode::Kind kind, const EventPtr& event,
+                                DagNode* prev, DagNode* other) {
+  DagNode* n = pool_.New(kind, event, prev, other);
+  ++allocated_;
+  ++live_;
+  return n;
+}
+
+DagNode* MatchDagStore::Bottom() {
+  if (bottom_ == nullptr) {
+    bottom_ = NewNode(DagNode::Kind::kBottom, EventPtr(), nullptr, nullptr);
+    bottom_->cmin = 0;
+    bottom_->cmax = 0;
+    bottom_->paths = 1.0;
+    bottom_->aggs.reserve(dense_specs_.size());
+    for (const AggSpec& spec : dense_specs_) {
+      bottom_->aggs.push_back(IdentityOf(spec.kind));
+    }
+  }
+  Ref(bottom_);
+  return bottom_;
+}
+
+DagNode* MatchDagStore::NewExtend(const EventPtr& event, DagNode* prev) {
+  DagNode* n = NewNode(DagNode::Kind::kExtend, event, prev, nullptr);
+  Ref(prev);
+  n->cmin = prev->cmin + 1;
+  n->cmax = prev->cmax + 1;
+  n->paths = prev->paths;
+  // Fold the event into every slot interval exactly the way
+  // AggStates::Accept folds it into a scalar: min/max/+ are monotone in
+  // both interval endpoints, so containment is preserved inductively. A
+  // NULL / non-numeric cell is skipped, as Accept skips it.
+  n->aggs = prev->aggs;
+  for (size_t i = 0; i < dense_specs_.size(); ++i) {
+    const AggSpec& spec = dense_specs_[i];
+    double x = 0.0;
+    if (spec.attr_index == kTimestampAttr) {
+      x = static_cast<double>(event->timestamp());
+    } else {
+      const Value& v = event->value(static_cast<size_t>(spec.attr_index));
+      auto num = v.AsNumeric();
+      if (!num.ok()) continue;
+      x = num.value();
+    }
+    Interval& iv = n->aggs[i];
+    switch (spec.kind) {
+      case AggStorageKind::kMin:
+        iv = {std::min(iv.lo, x), std::min(iv.hi, x)};
+        break;
+      case AggStorageKind::kMax:
+        iv = {std::max(iv.lo, x), std::max(iv.hi, x)};
+        break;
+      case AggStorageKind::kSum:
+        iv = {iv.lo + x, iv.hi + x};
+        break;
+    }
+  }
+  return n;
+}
+
+DagNode* MatchDagStore::NewUnion(DagNode* a, DagNode* b) {
+  DagNode* n = NewNode(DagNode::Kind::kUnion, EventPtr(), a, b);
+  Ref(a);
+  Ref(b);
+  n->cmin = std::min(a->cmin, b->cmin);
+  n->cmax = std::max(a->cmax, b->cmax);
+  n->paths = a->paths + b->paths;
+  n->aggs.reserve(a->aggs.size());
+  for (size_t i = 0; i < a->aggs.size(); ++i) {
+    n->aggs.push_back(Interval::Hull(a->aggs[i], b->aggs[i]));
+  }
+  return n;
+}
+
+void MatchDagStore::Unref(DagNode* n) {
+  if (n == nullptr) return;
+  unref_stack_.push_back(n);
+  while (!unref_stack_.empty()) {
+    DagNode* cur = unref_stack_.back();
+    unref_stack_.pop_back();
+    if (--cur->refs > 0) continue;
+    if (cur->prev != nullptr) unref_stack_.push_back(cur->prev);
+    if (cur->other != nullptr) unref_stack_.push_back(cur->other);
+    pool_.Delete(cur);
+    --live_;
+  }
+}
+
+void SaveDagGroupContext(EventInterner* in, BinWriter* w,
+                         const DagGroupContext& ctx) {
+  w->I64(ctx.first_ts);
+  w->U64(ctx.first_sequence);
+  w->U32(static_cast<uint32_t>(ctx.closed_bindings.size()));
+  for (const auto& var : ctx.closed_bindings) {
+    w->U32(static_cast<uint32_t>(var.size()));
+    for (const EventPtr& e : var) in->Save(e);
+  }
+}
+
+DagGroupContextPtr LoadDagGroupContext(const CompiledQuery* plan,
+                                       std::shared_ptr<MatchDagStore> store,
+                                       EventUninterner* in, BinReader* r) {
+  int64_t first_ts = 0;
+  uint64_t first_seq = 0;
+  uint32_t var_count = 0;
+  if (!r->I64(&first_ts) || !r->U64(&first_seq) || !r->U32(&var_count)) {
+    return nullptr;
+  }
+  auto ctx = std::make_shared<DagGroupContext>();
+  ctx->plan = plan;
+  ctx->store = std::move(store);
+  ctx->closed_bindings.resize(var_count);
+  for (uint32_t v = 0; v < var_count; ++v) {
+    uint32_t n = 0;
+    if (!r->U32(&n)) return nullptr;
+    ctx->closed_bindings[v].reserve(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      EventPtr e;
+      if (!in->Load(&e)) return nullptr;
+      ctx->closed_bindings[v].push_back(std::move(e));
+    }
+  }
+  // Refold the closed prefix in per-variable append order, exactly as
+  // StartGroup folded it (bit-identical float state).
+  ctx->base_aggs = AggStates(&plan->pattern.agg_specs);
+  for (size_t v = 0; v < ctx->closed_bindings.size(); ++v) {
+    for (const EventPtr& e : ctx->closed_bindings[v]) {
+      ctx->base_aggs.Accept(static_cast<int>(v), *e);
+    }
+  }
+  ctx->first_ts = first_ts;
+  ctx->first_sequence = first_seq;
+  return ctx;
+}
+
+void DagWriter::Save(const DagNode* node) {
+  // Collect the not-yet-written nodes reachable from `node`, children
+  // before parents, with an iterative post-order walk.
+  std::vector<const DagNode*> defs;
+  std::vector<std::pair<const DagNode*, bool>> stack;  // (node, expanded)
+  stack.emplace_back(node, false);
+  while (!stack.empty()) {
+    auto [cur, expanded] = stack.back();
+    stack.pop_back();
+    if (ids_.count(cur) != 0) continue;
+    if (expanded) {
+      ids_.emplace(cur, static_cast<uint32_t>(ids_.size()));
+      defs.push_back(cur);
+      continue;
+    }
+    stack.emplace_back(cur, true);
+    if (cur->prev != nullptr) stack.emplace_back(cur->prev, false);
+    if (cur->other != nullptr) stack.emplace_back(cur->other, false);
+  }
+  w_->U32(static_cast<uint32_t>(defs.size()));
+  for (const DagNode* def : defs) {
+    w_->U8(static_cast<uint8_t>(def->kind));
+    switch (def->kind) {
+      case DagNode::Kind::kBottom:
+        break;
+      case DagNode::Kind::kExtend:
+        in_->Save(def->event);
+        w_->U32(ids_.at(def->prev));
+        break;
+      case DagNode::Kind::kUnion:
+        w_->U32(ids_.at(def->prev));
+        w_->U32(ids_.at(def->other));
+        break;
+    }
+  }
+  w_->U32(ids_.at(node));
+}
+
+DagReader::~DagReader() {
+  for (DagNode* n : table_) store_->Unref(n);
+}
+
+DagNode* DagReader::Load() {
+  uint32_t num_defs = 0;
+  if (!r_->U32(&num_defs)) return nullptr;
+  for (uint32_t i = 0; i < num_defs; ++i) {
+    uint8_t kind = 0;
+    if (!r_->U8(&kind)) return nullptr;
+    DagNode* n = nullptr;
+    switch (static_cast<DagNode::Kind>(kind)) {
+      case DagNode::Kind::kBottom:
+        n = store_->Bottom();
+        break;
+      case DagNode::Kind::kExtend: {
+        EventPtr event;
+        uint32_t prev = 0;
+        if (!in_->Load(&event) || !r_->U32(&prev) || prev >= table_.size()) {
+          r_->Fail();
+          return nullptr;
+        }
+        n = store_->NewExtend(event, table_[prev]);
+        break;
+      }
+      case DagNode::Kind::kUnion: {
+        uint32_t left = 0;
+        uint32_t right = 0;
+        if (!r_->U32(&left) || !r_->U32(&right) || left >= table_.size() ||
+            right >= table_.size()) {
+          r_->Fail();
+          return nullptr;
+        }
+        n = store_->NewUnion(table_[left], table_[right]);
+        break;
+      }
+      default:
+        r_->Fail();
+        return nullptr;
+    }
+    table_.push_back(n);
+  }
+  uint32_t root = 0;
+  if (!r_->U32(&root) || root >= table_.size()) {
+    r_->Fail();
+    return nullptr;
+  }
+  return table_[root];
+}
+
+}  // namespace cepr

@@ -1,0 +1,298 @@
+#ifndef CEPR_ENGINE_MATCH_DAG_H_
+#define CEPR_ENGINE_MATCH_DAG_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/arena.h"
+#include "engine/binding.h"
+#include "expr/aggregate.h"
+#include "expr/interval.h"
+#include "plan/compiler.h"
+
+namespace cepr {
+
+class BinWriter;
+class BinReader;
+class EventInterner;
+class EventUninterner;
+
+/// Shared partial-match graph for the trailing-Kleene suffix of a
+/// SKIP_TILL_ANY_MATCH pattern (CORE-style tECS, arXiv 2111.04635).
+///
+/// Under skip-till-any a Kleene variable over t trailing events produces up
+/// to 2^t - 1 runs that differ only in which subset of those events they
+/// bound. The DAG represents that fan-out once: per qualifying event the
+/// matcher creates ONE extend node and ONE union node per group, so state
+/// grows linearly in window size while the encoded match count stays
+/// exponential. A root-to-bottom path through extend nodes spells one
+/// concrete Kleene binding (in reverse), and union nodes merge alternative
+/// histories that share their future.
+///
+/// Each node carries summaries over every path below it — iteration-count
+/// bounds, a path count, and one interval per aggregate slot of the
+/// trailing variable — maintained incrementally with the same monotone
+/// folds AggStates::Accept applies (so the intervals are sound containment
+/// bounds by induction). The lazy enumerator (rank/enumerator.h) turns
+/// those summaries into score bounds and materializes matches best-first.
+struct DagNode {
+  enum class Kind : uint8_t { kBottom = 0, kExtend = 1, kUnion = 2 };
+
+  DagNode(Kind k, const EventPtr& e, DagNode* p, DagNode* o)
+      : kind(k), event(e), prev(p), other(o) {}
+
+  Kind kind;
+  /// kExtend: the event this node appends to every path through `prev`.
+  EventPtr event;
+  /// kExtend: the continuation; kUnion: the left alternative.
+  DagNode* prev;
+  /// kUnion: the right alternative.
+  DagNode* other;
+  /// Direct owners (group heads, parent nodes, live LazyMatchSets,
+  /// enumerator frontier entries). Non-atomic by design: a DAG lives and
+  /// dies inside one matcher scope, driven by a single thread (serial
+  /// engine) or pinned to one shard thread.
+  uint32_t refs = 1;
+  /// Min/max number of extend nodes on any path from here to bottom — the
+  /// achievable Kleene iteration counts of the suffix.
+  uint64_t cmin = 0;
+  uint64_t cmax = 0;
+  /// Number of distinct root-to-bottom paths (saturates to +inf as a
+  /// double; used for diagnostics and the E19 measurement, never for
+  /// control flow).
+  double paths = 1.0;
+  /// One containment interval per trailing-variable aggregate slot (dense,
+  /// see MatchDagStore::dense_slot_of): every path through this node folds
+  /// its suffix events into a value inside the interval.
+  std::vector<Interval> aggs;
+};
+
+/// True iff the compiled query's shape is one the DAG representation
+/// covers: SKIP_TILL_ANY_MATCH, a ranked buffered emission, and a trailing
+/// unbounded Kleene-plus component whose iteration predicates are all
+/// event-only (run-independent), with no exit predicates and no trailing
+/// negation. Everything else falls back to the per-run path.
+bool MatchDagEligible(const CompiledQuery& query);
+
+/// Allocator and factory for one matcher scope's DAG nodes (one store per
+/// RunMemory, shared by every partition matcher of that scope and kept
+/// alive by in-flight LazyMatchSets via shared_ptr). Owns the node arena,
+/// the trailing-variable aggregate slot map, and the sharing counters.
+class MatchDagStore {
+ public:
+  explicit MatchDagStore(const CompiledQuery* plan);
+  ~MatchDagStore();
+
+  MatchDagStore(const MatchDagStore&) = delete;
+  MatchDagStore& operator=(const MatchDagStore&) = delete;
+
+  /// The shared terminal node (empty suffix). Returned with one reference
+  /// for the caller, like the factories below.
+  DagNode* Bottom();
+
+  /// A node representing "append `event` to every path through `prev`".
+  /// `prev` is borrowed (the new node takes its own reference); the
+  /// returned node carries one reference owned by the caller.
+  DagNode* NewExtend(const EventPtr& event, DagNode* prev);
+
+  /// A node merging the paths of `a` and `b` (both borrowed; the returned
+  /// node carries the caller's reference).
+  DagNode* NewUnion(DagNode* a, DagNode* b);
+
+  /// Reference maintenance for owners outside the factories (LazyMatchSet
+  /// copies, enumerator frontier entries, serde tables).
+  void Ref(DagNode* n) {
+    ++n->refs;
+    ++shared_;
+  }
+  void Unref(DagNode* n);
+
+  int trailing_var() const { return trailing_var_; }
+  /// Dense index of plan agg slot `agg_slot` among the trailing variable's
+  /// slots, or -1 (slots of earlier, closed variables are not tracked).
+  int dense_slot_of(int agg_slot) const {
+    return dense_slot_of_[static_cast<size_t>(agg_slot)];
+  }
+  /// Specs of the trailing variable's aggregate slots, parallel to every
+  /// node's `aggs` vector.
+  const std::vector<AggSpec>& dense_specs() const { return dense_specs_; }
+
+  // -- counters --------------------------------------------------------------
+  /// Lifetime node constructions / sharing events (Ref calls).
+  uint64_t nodes_allocated() const { return allocated_; }
+  uint64_t nodes_shared() const { return shared_; }
+  /// Currently live nodes (peak tracking happens in the matcher).
+  uint64_t live_nodes() const { return live_; }
+  /// Deltas since the previous Take* call (per-event metrics attribution).
+  uint64_t TakeAllocatedDelta() {
+    const uint64_t d = allocated_ - allocated_consumed_;
+    allocated_consumed_ = allocated_;
+    return d;
+  }
+  uint64_t TakeSharedDelta() {
+    const uint64_t d = shared_ - shared_consumed_;
+    shared_consumed_ = shared_;
+    return d;
+  }
+  /// Forgets pending deltas (after a checkpoint load, whose node
+  /// constructions replay saved state rather than new work).
+  void DiscardDeltas() {
+    allocated_consumed_ = allocated_;
+    shared_consumed_ = shared_;
+  }
+
+ private:
+  DagNode* NewNode(DagNode::Kind kind, const EventPtr& event, DagNode* prev,
+                   DagNode* other);
+
+  const CompiledQuery* plan_;  // not owned; outlives the store
+  int trailing_var_ = -1;
+  /// Specs of the trailing variable's aggregate slots, dense.
+  std::vector<AggSpec> dense_specs_;
+  std::vector<int> dense_slot_of_;  // plan slot -> dense index or -1
+  ObjectPool<DagNode> pool_;
+  DagNode* bottom_ = nullptr;  // lazily created; store holds one reference
+  std::vector<DagNode*> unref_stack_;  // scratch (avoids per-Unref allocs)
+  uint64_t allocated_ = 0;
+  uint64_t shared_ = 0;
+  uint64_t live_ = 0;
+  uint64_t allocated_consumed_ = 0;
+  uint64_t shared_consumed_ = 0;
+};
+
+/// The immutable prefix one DAG group shares across all its lazy matches:
+/// the events bound to every closed (non-trailing) variable, the aggregate
+/// accumulators folded over them in binding order (bit-identical to the
+/// owning run's folds), and the match-span anchors. Referenced by every
+/// LazyMatchSet of the group; holds the store so nodes outlive the matcher.
+struct DagGroupContext {
+  const CompiledQuery* plan = nullptr;  // not owned; query-lifetime
+  std::shared_ptr<MatchDagStore> store;
+  /// Bound events per layout variable; the trailing variable's entry stays
+  /// empty (its bindings are the DAG paths).
+  std::vector<std::vector<EventPtr>> closed_bindings;
+  /// Aggregates folded over closed_bindings only; the enumerator re-folds
+  /// each path's suffix on top of a copy.
+  AggStates base_aggs;
+  Timestamp first_ts = 0;
+  uint64_t first_sequence = 0;
+};
+
+using DagGroupContextPtr = std::shared_ptr<const DagGroupContext>;
+
+/// Checkpoint serialization of a group's immutable prefix context. Saves
+/// span anchors and closed bindings; base_aggs are refolded on load in the
+/// exact order StartGroup folded them (bit-identical float state).
+void SaveDagGroupContext(EventInterner* in, BinWriter* w,
+                         const DagGroupContext& ctx);
+/// Returns null on malformed input (the reader is left failed).
+DagGroupContextPtr LoadDagGroupContext(const CompiledQuery* plan,
+                                       std::shared_ptr<MatchDagStore> store,
+                                       EventUninterner* in, BinReader* r);
+
+/// A deferred set of matches: every root-to-bottom path of `node`, suffixed
+/// onto the group's closed prefix, detected by the event of stream sequence
+/// `last_sequence`. Owns one node reference (released on destruction) and
+/// keeps the group context (and thereby the store/arena) alive. Produced by
+/// the matcher instead of materialized Match objects; consumed by the lazy
+/// enumerator at window close.
+class LazyMatchSet {
+ public:
+  LazyMatchSet() = default;
+  /// Takes over one reference on `node` from the caller.
+  LazyMatchSet(DagGroupContextPtr group, DagNode* node, uint64_t base_id,
+               uint64_t last_sequence, Timestamp last_ts)
+      : group_(std::move(group)),
+        node_(node),
+        base_id_(base_id),
+        last_sequence_(last_sequence),
+        last_ts_(last_ts) {}
+  ~LazyMatchSet() { Release(); }
+
+  LazyMatchSet(LazyMatchSet&& other) noexcept { MoveFrom(&other); }
+  LazyMatchSet& operator=(LazyMatchSet&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+  LazyMatchSet(const LazyMatchSet&) = delete;
+  LazyMatchSet& operator=(const LazyMatchSet&) = delete;
+
+  const DagGroupContextPtr& group() const { return group_; }
+  DagNode* node() const { return node_; }
+  /// Matcher-issued detection id; enumerated matches of this set all carry
+  /// it (they are tie-broken by binding content, see OutranksMatch).
+  uint64_t base_id() const { return base_id_; }
+  uint64_t last_sequence() const { return last_sequence_; }
+  Timestamp last_ts() const { return last_ts_; }
+
+ private:
+  void Release() {
+    if (node_ != nullptr && group_ != nullptr) group_->store->Unref(node_);
+    node_ = nullptr;
+    group_.reset();
+  }
+  void MoveFrom(LazyMatchSet* other) {
+    group_ = std::move(other->group_);
+    node_ = other->node_;
+    base_id_ = other->base_id_;
+    last_sequence_ = other->last_sequence_;
+    last_ts_ = other->last_ts_;
+    other->node_ = nullptr;
+    other->group_.reset();
+  }
+
+  DagGroupContextPtr group_;
+  DagNode* node_ = nullptr;
+  uint64_t base_id_ = 0;
+  uint64_t last_sequence_ = 0;
+  Timestamp last_ts_ = 0;
+};
+
+/// Checkpoint serialization of DAG structure. One writer/reader serves a
+/// whole serialization scope (a matcher's groups plus the ranker's pending
+/// sets) so shared nodes are written once and restored shared:
+///
+///   Save(n):  [u32 num_new_defs][defs, children before parents][u32 ref]
+///   def:      [u8 kind] + kExtend: [interned event][u32 prev-ref]
+///                       + kUnion:  [u32 left-ref][u32 right-ref]
+///
+/// The reader rebuilds nodes through the store's factories, so counts,
+/// paths and aggregate intervals are recomputed bit-identically.
+class DagWriter {
+ public:
+  DagWriter(EventInterner* in, BinWriter* w) : in_(in), w_(w) {}
+  void Save(const DagNode* node);
+
+ private:
+  EventInterner* in_;
+  BinWriter* w_;
+  std::unordered_map<const DagNode*, uint32_t> ids_;
+};
+
+class DagReader {
+ public:
+  DagReader(EventUninterner* in, BinReader* r, MatchDagStore* store)
+      : in_(in), r_(r), store_(store) {}
+  /// Releases the table's creation references; nodes an owner Ref'd
+  /// explicitly survive.
+  ~DagReader();
+
+  /// Returns the restored node as a borrowed pointer (callers that keep it
+  /// must Ref it), or nullptr on malformed input (the reader is failed).
+  DagNode* Load();
+
+ private:
+  EventUninterner* in_;
+  BinReader* r_;
+  MatchDagStore* store_;
+  std::vector<DagNode*> table_;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_ENGINE_MATCH_DAG_H_

@@ -28,7 +28,10 @@ std::string MatcherStats::ToString() const {
   out += " binding_nodes=" + std::to_string(binding_nodes_allocated);
   out += " predcache_hits=" + std::to_string(predcache_hits);
   out += " predcache_misses=" + std::to_string(predcache_misses);
+  out += " dag_nodes=" + std::to_string(dag_nodes_allocated);
+  out += " dag_shared=" + std::to_string(dag_nodes_shared);
   out += " peak_runs=" + std::to_string(peak_active_runs);
+  out += " peak_dag_nodes=" + std::to_string(peak_dag_nodes);
   return out;
 }
 
@@ -49,7 +52,10 @@ void MatcherStats::Accumulate(const MatcherStats& other) {
   binding_nodes_allocated += other.binding_nodes_allocated;
   predcache_hits += other.predcache_hits;
   predcache_misses += other.predcache_misses;
+  dag_nodes_allocated += other.dag_nodes_allocated;
+  dag_nodes_shared += other.dag_nodes_shared;
   peak_active_runs += other.peak_active_runs;
+  peak_dag_nodes += other.peak_dag_nodes;
 }
 
 void MatcherStats::Save(BinWriter* w) const {
@@ -69,11 +75,15 @@ void MatcherStats::Save(BinWriter* w) const {
   w->U64(binding_nodes_allocated);
   w->U64(predcache_hits);
   w->U64(predcache_misses);
+  w->U64(dag_nodes_allocated);
+  w->U64(dag_nodes_shared);
   w->U64(static_cast<uint64_t>(peak_active_runs));
+  w->U64(static_cast<uint64_t>(peak_dag_nodes));
 }
 
 bool MatcherStats::Load(BinReader* r) {
   uint64_t peak = 0;
+  uint64_t peak_dag = 0;
   const bool ok =
       r->U64(&events) && r->U64(&runs_created) && r->U64(&runs_forked) &&
       r->U64(&runs_completed) && r->U64(&runs_expired) &&
@@ -82,8 +92,12 @@ bool MatcherStats::Load(BinReader* r) {
       r->U64(&events_quarantined) && r->U64(&runs_poisoned) &&
       r->U64(&matches) && r->U64(&runs_cloned) &&
       r->U64(&binding_nodes_allocated) && r->U64(&predcache_hits) &&
-      r->U64(&predcache_misses) && r->U64(&peak);
-  if (ok) peak_active_runs = static_cast<size_t>(peak);
+      r->U64(&predcache_misses) && r->U64(&dag_nodes_allocated) &&
+      r->U64(&dag_nodes_shared) && r->U64(&peak) && r->U64(&peak_dag);
+  if (ok) {
+    peak_active_runs = static_cast<size_t>(peak);
+    peak_dag_nodes = static_cast<size_t>(peak_dag);
+  }
   return ok;
 }
 
@@ -105,7 +119,10 @@ MatcherStats AtomicMatcherStats::Snapshot() const {
   s.binding_nodes_allocated = binding_nodes_allocated.Load();
   s.predcache_hits = predcache_hits.Load();
   s.predcache_misses = predcache_misses.Load();
+  s.dag_nodes_allocated = dag_nodes_allocated.Load();
+  s.dag_nodes_shared = dag_nodes_shared.Load();
   s.peak_active_runs = static_cast<size_t>(peak_active_runs.Load());
+  s.peak_dag_nodes = static_cast<size_t>(peak_dag_nodes.Load());
   return s;
 }
 
@@ -126,7 +143,10 @@ void AtomicMatcherStats::Restore(const MatcherStats& s) {
   binding_nodes_allocated.Store(s.binding_nodes_allocated);
   predcache_hits.Store(s.predcache_hits);
   predcache_misses.Store(s.predcache_misses);
+  dag_nodes_allocated.Store(s.dag_nodes_allocated);
+  dag_nodes_shared.Store(s.dag_nodes_shared);
   peak_active_runs.Store(s.peak_active_runs);
+  peak_dag_nodes.Store(s.peak_dag_nodes);
 }
 
 const char* ShedPolicyToString(ShedPolicy policy) {
@@ -179,6 +199,13 @@ Matcher::Matcher(CompiledQueryPtr plan, const MatcherOptions& options,
 
 Matcher::~Matcher() {
   if (live_runs_ != nullptr) *live_runs_ -= runs_.size();
+  ReleaseGroups();
+}
+
+void Matcher::ReleaseGroups() {
+  for (DagGroup& g : groups_) memory_->dag->Unref(g.head);
+  groups_.clear();
+  dag_group_owners_.clear();
 }
 
 bool Matcher::TypeMatches(const std::string& tag, const Event& event) const {
@@ -383,9 +410,158 @@ RunHandle Matcher::CloneRun(const Run& src, uint64_t new_id) {
   return run;
 }
 
+bool Matcher::GroupEventPasses(const Event& event) const {
+  const CompiledComponent& comp = plan_->pattern.components.back();
+  if (!TypeMatches(comp.type_tag, event)) return false;
+  for (size_t i = 0; i < comp.iter_preds.size(); ++i) {
+    // Every iteration conjunct is event-only under DAG eligibility, so an
+    // EventOnlyContext evaluation is provably the verdict any run would
+    // produce; share it through the per-event cache like EvalPred does.
+    const int cache_id = comp.iter_pred_cache_ids[i];
+    int8_t* slot = options_.predicate_cache
+                       ? &pred_cache_[static_cast<size_t>(cache_id)]
+                       : nullptr;
+    if (slot != nullptr && *slot >= 0) {
+      stats_->predcache_hits.Increment();
+      if (*slot == 0) return false;
+      continue;
+    }
+    const BytecodeProgram* prog = comp.iter_pred_progs[i].get();
+    EventOnlyContext ctx(comp.var_index, &event);
+    auto r = prog != nullptr && options_.bytecode_eval
+                 ? VmEvaluatePredicate(*prog, ctx, &vm_)
+                 : EvaluatePredicate(*comp.iter_preds[i], ctx);
+    const bool pass = r.ok() && r.value();
+    if (slot != nullptr) {
+      *slot = pass ? 1 : 0;
+      stats_->predcache_misses.Increment();
+    }
+    if (!pass) return false;
+  }
+  return true;
+}
+
+void Matcher::StartGroup(uint64_t owner, const Run& run, const EventPtr& event,
+                         std::vector<LazyMatchSet>* lazy_out) {
+  MatchDagStore* dag = memory_->dag.get();
+  auto ctx = std::make_shared<DagGroupContext>();
+  ctx->plan = plan_.get();
+  ctx->store = memory_->dag;
+  ctx->closed_bindings = run.MaterializeBindings();
+  // Refold the closed prefix in per-variable append order — the order the
+  // run's own accumulators folded it (bit-identical float state; same
+  // discipline as Run::LoadState).
+  ctx->base_aggs = AggStates(&plan_->pattern.agg_specs);
+  for (size_t v = 0; v < ctx->closed_bindings.size(); ++v) {
+    for (const EventPtr& e : ctx->closed_bindings[v]) {
+      ctx->base_aggs.Accept(static_cast<int>(v), *e);
+    }
+  }
+  const bool anchored = owner == kNoOwner;
+  ctx->first_ts = anchored ? event->timestamp() : run.first_ts();
+  ctx->first_sequence = anchored ? event->sequence() : run.first_sequence();
+
+  DagNode* bottom = dag->Bottom();
+  DagNode* ext = dag->NewExtend(event, bottom);
+  dag->Unref(bottom);
+  DagNode* head;
+  if (anchored) {
+    // The anchor is pinned: every path of this group starts with it, so
+    // first_ts is uniform (correct per-path expiry) and groups of later
+    // anchors cover the remaining suffix subsets without overlap.
+    dag->Ref(ext);  // the head keeps its own reference
+    head = ext;
+  } else {
+    // Owned groups keep the bottom branch open: later events may start the
+    // trailing binding fresh over the same prefix (the legacy begin-fork).
+    DagNode* b = dag->Bottom();
+    head = dag->NewUnion(b, ext);
+    dag->Unref(b);
+  }
+  // The set takes over ext's creation reference: all paths through ext —
+  // here just {event} — are exactly what the per-run engine emits now.
+  lazy_out->emplace_back(ctx, ext, (*next_match_id_)++, event->sequence(),
+                         event->timestamp());
+  stats_->matches.Increment();
+  groups_.push_back(DagGroup{owner, std::move(ctx), head});
+  if (owner != kNoOwner) dag_group_owners_.insert(owner);
+}
+
+void Matcher::ProcessGroups(const EventPtr& event,
+                            std::vector<LazyMatchSet>* lazy_out) {
+  if (groups_.empty()) return;
+  MatchDagStore* dag = memory_->dag.get();
+  // Expiry prepass: the same WITHIN-span condition the run loop applies,
+  // against the group's uniform first event.
+  size_t write = 0;
+  for (size_t read = 0; read < groups_.size(); ++read) {
+    DagGroup& g = groups_[read];
+    const bool expired =
+        (plan_->within_micros > 0 &&
+         event->timestamp() - g.ctx->first_ts > plan_->within_micros) ||
+        (plan_->within_events > 0 &&
+         event->sequence() - g.ctx->first_sequence >
+             static_cast<uint64_t>(plan_->within_events));
+    if (expired) {
+      stats_->runs_expired.Increment();
+      if (g.owner != kNoOwner) dag_group_owners_.erase(g.owner);
+      dag->Unref(g.head);
+      continue;
+    }
+    if (write != read) groups_[write] = std::move(groups_[read]);
+    ++write;
+  }
+  groups_.resize(write);
+  if (groups_.empty() || !GroupEventPasses(*event)) return;
+
+  // One extend + one union per group — O(groups) per event, however many
+  // suffix subsets the per-run engine would fork. The set at `ext` covers
+  // every path of the old head extended by this event: exactly the matches
+  // the forked runs would emit now.
+  for (DagGroup& g : groups_) {
+    DagNode* ext = dag->NewExtend(event, g.head);
+    DagNode* head = dag->NewUnion(g.head, ext);
+    lazy_out->emplace_back(g.ctx, ext, (*next_match_id_)++, event->sequence(),
+                           event->timestamp());
+    stats_->matches.Increment();
+    dag->Unref(g.head);
+    g.head = head;
+  }
+}
+
+void Matcher::ColumnarExpire(const Event& event) {
+  if (plan_->within_micros <= 0 && plan_->within_events <= 0) return;
+  // Dense-column scan (the EventBatch SoA idiom applied to the run buffer):
+  // the expiry test touches two contiguous columns instead of every Run.
+  size_t write = 0;
+  for (size_t read = 0; read < runs_.size(); ++read) {
+    const bool expired =
+        (plan_->within_micros > 0 &&
+         event.timestamp() - run_first_ts_[read] > plan_->within_micros) ||
+        (plan_->within_events > 0 &&
+         event.sequence() - run_first_seq_[read] >
+             static_cast<uint64_t>(plan_->within_events));
+    if (expired) {
+      stats_->runs_expired.Increment();
+      continue;
+    }
+    if (write != read) {
+      runs_[write] = std::move(runs_[read]);
+      run_first_ts_[write] = run_first_ts_[read];
+      run_first_seq_[write] = run_first_seq_[read];
+    }
+    ++write;
+  }
+  if (live_runs_ != nullptr) *live_runs_ -= runs_.size() - write;
+  runs_.resize(write);
+  run_first_ts_.resize(write);
+  run_first_seq_.resize(write);
+}
+
 Matcher::RunFate Matcher::ProcessRun(Run* run, const EventPtr& event,
                                      std::vector<Match>* out,
-                                     std::vector<RunHandle>* forks) {
+                                     std::vector<RunHandle>* forks,
+                                     std::vector<LazyMatchSet>* lazy_out) {
   // 1. WITHIN expiry: this and all later events are out of the run's span.
   if (Expired(*run, *event)) {
     stats_->runs_expired.Increment();
@@ -399,6 +575,20 @@ Matcher::RunFate Matcher::ProcessRun(Run* run, const EventPtr& event,
     // Explore every enabled action on a fork; the original run represents
     // "ignore".
     for (const int comp : begin_options) {
+      if (dag_active_ &&
+          comp + 1 == static_cast<int>(plan_->pattern.components.size())) {
+        // Trailing-Kleene begin under the shared DAG: instead of forking
+        // one run now (and exponentially many on later events), split the
+        // run's frozen closed prefix into a DAG group. If the group already
+        // exists, ProcessGroups extended it with this event before the run
+        // loop — the begin option is the same event-only verdict, so
+        // nothing is missed.
+        if (dag_group_owners_.count(run->id()) == 0) {
+          StartGroup(run->id(), *run, event, lazy_out);
+          stats_->runs_forked.Increment();
+        }
+        continue;
+      }
       RunHandle fork = CloneRun(*run, next_run_id_++);
       stats_->runs_forked.Increment();
       fork->BeginComponent(comp, event);
@@ -460,10 +650,23 @@ Matcher::RunFate Matcher::ProcessRun(Run* run, const EventPtr& event,
   return RunFate::kKeep;
 }
 
-void Matcher::TryStartRun(const EventPtr& event, std::vector<Match>* out) {
+void Matcher::TryStartRun(const EventPtr& event, std::vector<Match>* out,
+                          std::vector<LazyMatchSet>* lazy_out) {
   RunHandle probe = memory_->runs.Acquire(next_run_id_);
   std::vector<int>& begin_options = scratch_options_;
   BeginOptions(probe.get(), *event, &begin_options);
+  if (dag_active_ && !begin_options.empty() &&
+      begin_options.back() + 1 ==
+          static_cast<int>(plan_->pattern.components.size())) {
+    // A fresh start directly at the trailing Kleene (empty / fully
+    // skippable prefix): anchor an ownerless group on this event. The
+    // anchor stays the first iteration of every path, so groups of later
+    // anchors never duplicate a binding — the per-anchor split the legacy
+    // engine expresses as one fresh run per event.
+    begin_options.pop_back();
+    StartGroup(kNoOwner, *probe, event, lazy_out);
+    stats_->runs_created.Increment();
+  }
   if (begin_options.empty()) return;
 
   // Under the deterministic strategies one run starts (at the earliest
@@ -492,6 +695,10 @@ void Matcher::TryStartRun(const EventPtr& event, std::vector<Match>* out) {
 
 void Matcher::RemoveRunAt(size_t index) {
   runs_.erase(runs_.begin() + static_cast<std::ptrdiff_t>(index));
+  run_first_ts_.erase(run_first_ts_.begin() +
+                      static_cast<std::ptrdiff_t>(index));
+  run_first_seq_.erase(run_first_seq_.begin() +
+                       static_cast<std::ptrdiff_t>(index));
   if (live_runs_ != nullptr) --*live_runs_;
 }
 
@@ -539,6 +746,8 @@ void Matcher::InsertRun(RunHandle run) {
   if ((partition_full || total_full) && !ShedOne(*run)) {
     return;  // the incoming run was the shed victim
   }
+  run_first_ts_.push_back(run->first_ts());
+  run_first_seq_.push_back(run->first_sequence());
   runs_.push_back(std::move(run));
   if (live_runs_ != nullptr) ++*live_runs_;
 }
@@ -568,14 +777,44 @@ void Matcher::QuarantineEvent(const Event& event) {
       stats_->runs_poisoned.Increment();
       continue;  // the run's predicate evaluation faulted with the event
     }
-    if (write != read) runs_[write] = std::move(runs_[read]);
+    if (write != read) {
+      runs_[write] = std::move(runs_[read]);
+      run_first_ts_[write] = run_first_ts_[read];
+      run_first_seq_[write] = run_first_seq_[read];
+    }
     ++write;
   }
   if (live_runs_ != nullptr) *live_runs_ -= runs_.size() - write;
   runs_.resize(write);
+  run_first_ts_.resize(write);
+  run_first_seq_.resize(write);
+  // Every DAG group has the trailing Kleene open, so a type-matching poison
+  // event would have faulted its (shared) iteration predicates — the same
+  // condition WouldEvaluate applies to the forked runs the groups replace.
+  if (!groups_.empty() &&
+      TypeMatches(plan_->pattern.components.back().type_tag, event)) {
+    for (DagGroup& g : groups_) {
+      stats_->runs_poisoned.Increment();
+      if (g.owner != kNoOwner) dag_group_owners_.erase(g.owner);
+      memory_->dag->Unref(g.head);
+    }
+    groups_.clear();
+  }
 }
 
 Status Matcher::OnEvent(const EventPtr& event, std::vector<Match>* out) {
+  return OnEvent(event, out, nullptr);
+}
+
+Status Matcher::OnEvent(const EventPtr& event, std::vector<Match>* out,
+                        std::vector<LazyMatchSet>* lazy_out) {
+  if (!dag_decided_) {
+    // Latch the DAG mode on first contact: the scope must carry a store
+    // (knob on + eligible shape) AND the caller must collect lazy sets
+    // (the ranking layer buffers and enumerates them at window close).
+    dag_decided_ = true;
+    dag_active_ = memory_->dag != nullptr && lazy_out != nullptr;
+  }
   stats_->events.Increment();
 
   // Deterministic injected eval fault: the same (seed, sequence) pair fires
@@ -598,27 +837,45 @@ Status Matcher::OnEvent(const EventPtr& event, std::vector<Match>* out) {
     std::fill(pred_cache_.begin(), pred_cache_.end(), int8_t{-1});
   }
 
+  if (options_.columnar_expiry) ColumnarExpire(*event);
+  // Step existing groups before the run loop: groups created during this
+  // event (run intercepts / fresh anchors) incorporate it at creation and
+  // must not be stepped again.
+  if (dag_active_) ProcessGroups(event, lazy_out);
+
   std::vector<RunHandle> forks;
 
   size_t write = 0;
   for (size_t read = 0; read < runs_.size(); ++read) {
-    const RunFate fate = ProcessRun(runs_[read].get(), event, out, &forks);
+    const RunFate fate =
+        ProcessRun(runs_[read].get(), event, out, &forks, lazy_out);
     if (fate == RunFate::kKeep) {
-      if (write != read) runs_[write] = std::move(runs_[read]);
+      if (write != read) {
+        runs_[write] = std::move(runs_[read]);
+        run_first_ts_[write] = run_first_ts_[read];
+        run_first_seq_[write] = run_first_seq_[read];
+      }
       ++write;
     }
   }
   if (live_runs_ != nullptr) *live_runs_ -= runs_.size() - write;
   runs_.resize(write);
+  run_first_ts_.resize(write);
+  run_first_seq_.resize(write);
 
   for (auto& fork : forks) InsertRun(std::move(fork));
 
-  TryStartRun(event, out);
+  TryStartRun(event, out, lazy_out);
   stats_->peak_active_runs.Observe(runs_.size());
   // Attribute the binding cells this event made to the shared counter (the
   // arena is shared across the query's partition matchers; consuming the
   // delta per event keeps the single-writer discipline).
   stats_->binding_nodes_allocated.Add(memory_->arena.TakeConstructedDelta());
+  if (memory_->dag != nullptr) {
+    stats_->dag_nodes_allocated.Add(memory_->dag->TakeAllocatedDelta());
+    stats_->dag_nodes_shared.Add(memory_->dag->TakeSharedDelta());
+    stats_->peak_dag_nodes.Observe(memory_->dag->live_nodes());
+  }
   return Status::OK();
 }
 
@@ -628,6 +885,17 @@ void Matcher::SaveState(EventInterner* in, BinWriter* w) const {
   for (const RunHandle& run : runs_) {
     w->U64(run->id());
     run->SaveState(in, w);
+  }
+  w->Bool(dag_decided_);
+  w->Bool(dag_active_);
+  if (dag_active_) {
+    w->U32(static_cast<uint32_t>(groups_.size()));
+    DagWriter dag_writer(in, w);
+    for (const DagGroup& g : groups_) {
+      w->U64(g.owner);
+      SaveDagGroupContext(in, w, *g.ctx);
+      dag_writer.Save(g.head);
+    }
   }
 }
 
@@ -640,9 +908,36 @@ bool Matcher::LoadState(EventUninterner* in, BinReader* r) {
     if (!r->U64(&id)) return false;
     RunHandle run = memory_->runs.Acquire(id);
     if (!run->LoadState(in, r)) return false;
+    run_first_ts_.push_back(run->first_ts());
+    run_first_seq_.push_back(run->first_sequence());
     runs_.push_back(std::move(run));
   }
   if (live_runs_ != nullptr) *live_runs_ += runs_.size();
+  if (!r->Bool(&dag_decided_) || !r->Bool(&dag_active_)) return false;
+  if (dag_active_) {
+    // The restoring scope must run with the same shared_match_dag knob the
+    // checkpoint was taken under (same discipline as other option knobs).
+    if (memory_->dag == nullptr) return false;
+    MatchDagStore* dag = memory_->dag.get();
+    uint32_t group_count = 0;
+    if (!r->U32(&group_count)) return false;
+    DagReader dag_reader(in, r, dag);
+    groups_.reserve(group_count);
+    for (uint32_t i = 0; i < group_count; ++i) {
+      uint64_t owner = 0;
+      if (!r->U64(&owner)) return false;
+      DagGroupContextPtr ctx =
+          LoadDagGroupContext(plan_.get(), memory_->dag, in, r);
+      if (ctx == nullptr) return false;
+      DagNode* head = dag_reader.Load();
+      if (head == nullptr) return false;
+      dag->Ref(head);  // the reader's table reference is released on scope exit
+      if (owner != kNoOwner) dag_group_owners_.insert(owner);
+      groups_.push_back(DagGroup{owner, std::move(ctx), head});
+    }
+    // Restored constructions replay saved state, not new per-event work.
+    dag->DiscardDeltas();
+  }
   return true;
 }
 

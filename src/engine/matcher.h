@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/counters.h"
 #include "common/fault.h"
 #include "common/status.h"
+#include "engine/match_dag.h"
 #include "engine/run.h"
 #include "expr/vm.h"
 #include "plan/compiler.h"
@@ -47,7 +49,11 @@ struct MatcherStats {
   uint64_t binding_nodes_allocated = 0;   // binding-list cells constructed
   uint64_t predcache_hits = 0;            // event-only verdicts served cached
   uint64_t predcache_misses = 0;          // event-only verdicts computed
+  // -- shared partial-match DAG counters (engine/match_dag.h) --------------
+  uint64_t dag_nodes_allocated = 0;       // DAG node constructions
+  uint64_t dag_nodes_shared = 0;          // node sharing events (extra refs)
   size_t peak_active_runs = 0;
+  size_t peak_dag_nodes = 0;              // max simultaneously live DAG nodes
 
   /// Field-wise accumulation (peak_active_runs adds too: per-shard peaks
   /// are disjoint run sets, so the sum is the engine-wide upper bound).
@@ -80,7 +86,10 @@ struct AtomicMatcherStats {
   RelaxedCounter binding_nodes_allocated;
   RelaxedCounter predcache_hits;
   RelaxedCounter predcache_misses;
+  RelaxedCounter dag_nodes_allocated;
+  RelaxedCounter dag_nodes_shared;
   RelaxedMax peak_active_runs;
+  RelaxedMax peak_dag_nodes;
 
   MatcherStats Snapshot() const;
   /// Checkpoint restore: overwrites every counter from a snapshot. Writer
@@ -145,6 +154,19 @@ struct MatcherOptions {
   /// evaluation. Bit-identical output either way (the VM mirrors the AST
   /// evaluator's semantics exactly; enforced by BytecodeEquivalence tests).
   bool bytecode_eval = true;
+  /// Represent the trailing-Kleene fan-out of eligible SKIP_TILL_ANY_MATCH
+  /// patterns (see MatchDagEligible) as a shared partial-match DAG with
+  /// lazy rank-ordered enumeration at window close, instead of one forked
+  /// run per suffix subset: per-event work drops from O(live runs) to
+  /// O(groups) and state stays linear in window size. false = the PR4
+  /// per-run COW path. Ranked output is identical either way (enforced by
+  /// CowEquivalence dag rows).
+  bool shared_match_dag = true;
+  /// Expire runs with a dense column scan (EventBatch-style SoA view over
+  /// first-timestamp / first-sequence columns maintained beside the run
+  /// set) instead of dereferencing each Run in the per-run loop; false =
+  /// the legacy per-run check. Observationally identical.
+  bool columnar_expiry = true;
 };
 
 /// Overlays engine-wide overload/fault options onto a query's own
@@ -196,7 +218,20 @@ class Matcher {
   /// counted instead).
   Status OnEvent(const EventPtr& event, std::vector<Match>* out);
 
+  /// DAG-aware variant: when the query scope carries a DAG store (see
+  /// RunMemory::dag) and `lazy_out` is non-null, the trailing-Kleene
+  /// fan-out is maintained as shared DAG groups and detections are appended
+  /// to `lazy_out` as deferred LazyMatchSets instead of materialized
+  /// matches (prefix-building matches still arrive via `out`). The mode is
+  /// latched on the first event — callers must pass `lazy_out`
+  /// consistently for the matcher's lifetime.
+  Status OnEvent(const EventPtr& event, std::vector<Match>* out,
+                 std::vector<LazyMatchSet>* lazy_out);
+
   size_t active_runs() const { return runs_.size(); }
+  /// Live DAG groups (0 outside dag mode). Group state is live state: an
+  /// event can extend or expire groups even with zero runs.
+  size_t active_groups() const { return groups_.size(); }
   /// Rough bytes held by active runs.
   size_t MemoryEstimate() const;
 
@@ -211,9 +246,44 @@ class Matcher {
  private:
   enum class RunFate { kKeep, kRemove };
 
+  /// One shared-DAG group: the state that replaces the exponential set of
+  /// forked runs sharing one closed prefix. `owner` is the id of the
+  /// prefix run the group was split from (it keeps running, frozen, as the
+  /// group's "ignore" continuation), or kNoOwner for groups anchored by a
+  /// fresh start (those pin their first event so concurrent anchors never
+  /// duplicate a path). `head` carries one owned node reference.
+  struct DagGroup {
+    uint64_t owner = kNoOwner;
+    DagGroupContextPtr ctx;
+    DagNode* head = nullptr;
+  };
+  static constexpr uint64_t kNoOwner = static_cast<uint64_t>(-1);
+
   RunFate ProcessRun(Run* run, const EventPtr& event, std::vector<Match>* out,
-                     std::vector<RunHandle>* forks);
-  void TryStartRun(const EventPtr& event, std::vector<Match>* out);
+                     std::vector<RunHandle>* forks,
+                     std::vector<LazyMatchSet>* lazy_out);
+  void TryStartRun(const EventPtr& event, std::vector<Match>* out,
+                   std::vector<LazyMatchSet>* lazy_out);
+
+  // -- shared partial-match DAG (engine/match_dag.h) -----------------------
+  /// Verdict of the trailing component's (all event-only) iteration
+  /// predicates for this event — the one evaluation every group shares.
+  bool GroupEventPasses(const Event& event) const;
+  /// Expires groups, then extends every surviving group with the event if
+  /// it passes: one extend + one union node per group, and one LazyMatchSet
+  /// per group covering exactly the matches the per-run engine would have
+  /// emitted on this event.
+  void ProcessGroups(const EventPtr& event, std::vector<LazyMatchSet>* lazy_out);
+  /// Creates a group from `run`'s closed prefix, seeded with `event` as the
+  /// trailing variable's first iteration (emitting that one-iteration set).
+  void StartGroup(uint64_t owner, const Run& run, const EventPtr& event,
+                  std::vector<LazyMatchSet>* lazy_out);
+  void ReleaseGroups();
+
+  /// Columnar run expiry (options_.columnar_expiry): scans the dense
+  /// first-timestamp / first-sequence columns kept parallel to runs_ and
+  /// compacts expired runs away before the per-run loop.
+  void ColumnarExpire(const Event& event);
 
   /// Acquires a pooled run and copies `src`'s state into it (counted).
   RunHandle CloneRun(const Run& src, uint64_t new_id);
@@ -283,6 +353,18 @@ class Matcher {
   RunMemory* memory_;  // never null after ctor
   uint64_t next_run_id_ = 0;
   std::vector<RunHandle> runs_;
+  /// Dense SoA columns parallel to runs_ (first bound event's timestamp /
+  /// stream sequence), scanned by ColumnarExpire.
+  std::vector<Timestamp> run_first_ts_;
+  std::vector<uint64_t> run_first_seq_;
+  /// Latched on the first event: groups are maintained iff the scope has a
+  /// DAG store AND the caller collects lazy sets.
+  bool dag_decided_ = false;
+  bool dag_active_ = false;
+  std::vector<DagGroup> groups_;
+  /// Ids of prefix runs that already split off a group (their closed prefix
+  /// is frozen, so one group covers all their trailing fan-out forever).
+  std::unordered_set<uint64_t> dag_group_owners_;
   /// Scratch buffer reused across BeginOptions calls (single-threaded).
   std::vector<int> scratch_options_;
   /// Per-event verdict cache for event-only predicates, indexed by

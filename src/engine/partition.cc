@@ -15,7 +15,8 @@ PartitionedMatcher::PartitionedMatcher(CompiledQueryPtr plan,
       options_(options),
       pruner_(pruner),
       live_runs_(live_runs != nullptr ? live_runs : &own_live_runs_),
-      memory_(plan_.get(), options_.cow_bindings, options_.use_arena) {
+      memory_(plan_.get(), options_.cow_bindings, options_.use_arena,
+              options_.shared_match_dag) {
   if (plan_->partition_attr_index < 0) {
     single_ = std::make_unique<Matcher>(plan_, options_, pruner_, &stats_,
                                         &next_match_id_, live_runs_, &memory_);
@@ -52,27 +53,38 @@ Status PartitionedMatcher::OnEvent(const EventPtr& event,
 }
 
 Status PartitionedMatcher::OnEvent(const EventPtr& event,
+                                   std::vector<Match>* out,
+                                   std::vector<LazyMatchSet>* lazy_out) {
+  bool evaluated = false;
+  return OnEvent(event, out, /*candidate=*/true, &evaluated, lazy_out);
+}
+
+Status PartitionedMatcher::OnEvent(const EventPtr& event,
                                    std::vector<Match>* out, bool candidate,
-                                   bool* evaluated) {
+                                   bool* evaluated,
+                                   std::vector<LazyMatchSet>* lazy_out) {
   Matcher* m;
   if (candidate) {
     m = MatcherFor(*event);
   } else {
     // The predicate index proved the event cannot begin a run. If its
-    // partition has no matcher yet — or one with no live runs — the visit
-    // would be a pure no-op (nothing to extend, kill, or expire), so skip
-    // it without materializing the partition.
+    // partition has no matcher yet — or one with no live runs or DAG
+    // groups — the visit would be a pure no-op (nothing to extend, kill,
+    // or expire), so skip it without materializing the partition.
     m = ExistingMatcherFor(*event);
-    if (m == nullptr || m->active_runs() == 0) {
+    if (m == nullptr || (m->active_runs() == 0 && m->active_groups() == 0)) {
       *evaluated = false;
       return Status::OK();
     }
   }
   *evaluated = true;
-  const size_t before = m->active_runs();
-  const Status s = m->OnEvent(event, out);
+  const size_t runs_before = m->active_runs();
+  const size_t groups_before = m->active_groups();
+  const Status s = m->OnEvent(event, out, lazy_out);
   query_runs_ += m->active_runs();  // delta update; modular arithmetic is
-  query_runs_ -= before;            // exact even when runs shrank
+  query_runs_ -= runs_before;       // exact even when runs shrank
+  query_groups_ += m->active_groups();
+  query_groups_ -= groups_before;
   return s;
 }
 
@@ -114,11 +126,13 @@ bool PartitionedMatcher::LoadState(EventUninterner* in, BinReader* r) {
   if (single_ != nullptr) {
     if (!single_->LoadState(in, r)) return false;
     query_runs_ = single_->active_runs();
+    query_groups_ = single_->active_groups();
     return true;
   }
   uint32_t count = 0;
   if (!r->U32(&count)) return false;
   query_runs_ = 0;
+  query_groups_ = 0;
   for (uint32_t i = 0; i < count; ++i) {
     Value key;
     if (!LoadValue(r, &key)) return false;
@@ -127,6 +141,7 @@ bool PartitionedMatcher::LoadState(EventUninterner* in, BinReader* r) {
                                              &memory_);
     if (!matcher->LoadState(in, r)) return false;
     query_runs_ += matcher->active_runs();
+    query_groups_ += matcher->active_groups();
     by_key_.emplace(std::move(key), std::move(matcher));
   }
   return true;

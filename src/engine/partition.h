@@ -25,6 +25,15 @@ class PartitionedMatcher {
   /// Fails only on a runtime fault under FaultPolicy::kFailFast.
   Status OnEvent(const EventPtr& event, std::vector<Match>* out);
 
+  /// Lazy-DAG variant: when `lazy_out` is non-null AND the scope carries a
+  /// DAG store (shared_match_dag knob on + eligible plan shape), trailing-
+  /// Kleene matches arrive as deferred LazyMatchSets there instead of
+  /// materialized Match objects. Matcher mode is latched on the first event
+  /// per partition, so callers must pass `lazy_out` consistently for the
+  /// query's lifetime.
+  Status OnEvent(const EventPtr& event, std::vector<Match>* out,
+                 std::vector<LazyMatchSet>* lazy_out);
+
   /// Candidate-aware variant for the shared evaluation layer. When
   /// `candidate` is false the caller's predicate index has proven the event
   /// cannot begin a run here; if the event's partition also holds no live
@@ -34,7 +43,8 @@ class PartitionedMatcher {
   /// non-candidate event MUST still be evaluated while runs are live: it
   /// can extend, kill, or expire them.
   Status OnEvent(const EventPtr& event, std::vector<Match>* out,
-                 bool candidate, bool* evaluated);
+                 bool candidate, bool* evaluated,
+                 std::vector<LazyMatchSet>* lazy_out = nullptr);
 
   /// Counter snapshot; safe to call from any thread while the owning
   /// thread keeps matching (per-counter exact, cross-counter approximate).
@@ -44,6 +54,16 @@ class PartitionedMatcher {
   /// around each matcher visit (runs only mutate inside OnEvent), so the
   /// shared layer can consult it per event without walking partitions.
   size_t active_runs() const { return query_runs_; }
+  /// Live DAG groups across all partitions (0 outside dag mode). Groups are
+  /// live state just like runs: a non-candidate event must still visit a
+  /// partition whose matcher holds groups (extension / expiry).
+  size_t active_groups() const { return query_groups_; }
+  /// The scope's shared partial-match DAG store; null unless the
+  /// shared_match_dag knob is on and the plan shape is eligible. The
+  /// ranking layer binds it for checkpoint restore of pending lazy sets.
+  const std::shared_ptr<MatchDagStore>& dag_store() const {
+    return memory_.dag;
+  }
   size_t MemoryEstimate() const;
 
   /// Checkpoint serialization of the full matching state: match-id counter,
@@ -69,7 +89,8 @@ class PartitionedMatcher {
   const RunPruner* pruner_;
   AtomicMatcherStats stats_;
   uint64_t next_match_id_ = 0;
-  size_t query_runs_ = 0;  // cached sum of per-partition active runs
+  size_t query_runs_ = 0;    // cached sum of per-partition active runs
+  size_t query_groups_ = 0;  // cached sum of per-partition active DAG groups
   size_t own_live_runs_ = 0;       // used when the caller shares no counter
   size_t* live_runs_ = nullptr;    // not owned; never null after ctor
 

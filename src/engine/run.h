@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "engine/binding.h"
+#include "engine/match_dag.h"
 #include "expr/eval.h"
 #include "expr/interval.h"
 #include "plan/compiler.h"
@@ -226,11 +227,21 @@ class RunPool {
 /// the run freelist, shared by every partition matcher of that scope.
 /// Declared before the matchers it serves so it outlives their run sets.
 struct RunMemory {
-  RunMemory(const CompiledQuery* plan, bool cow_bindings, bool use_arena)
-      : arena(use_arena), runs(plan, &arena, cow_bindings, use_arena) {}
+  RunMemory(const CompiledQuery* plan, bool cow_bindings, bool use_arena,
+            bool shared_match_dag = false)
+      : arena(use_arena), runs(plan, &arena, cow_bindings, use_arena) {
+    if (shared_match_dag && MatchDagEligible(*plan)) {
+      dag = std::make_shared<MatchDagStore>(plan);
+    }
+  }
 
   BindingArena arena;
   RunPool runs;
+  /// Shared partial-match DAG store (engine/match_dag.h): non-null exactly
+  /// when the shared_match_dag knob is on AND the plan's shape is DAG-
+  /// eligible. shared_ptr because in-flight LazyMatchSets keep the store
+  /// (and thereby their nodes) alive past this scope's matchers.
+  std::shared_ptr<MatchDagStore> dag;
 };
 
 }  // namespace cepr

@@ -92,18 +92,31 @@ Interval DeriveAggregate(const Expr& e, const BoundEnv& env) {
   const int64_t n = ctx.KleeneCount(e.var_index);
   const Interval range =
       e.attr_name.empty() ? Interval::Whole() : env.AttrRange(e.attr_index);
+  // A "final" environment (the DAG enumerator) already summarizes every
+  // completion, so its per-slot intervals replace the open-future widening
+  // below.
+  const bool final = env.KleeneFinal(e.var_index);
 
   switch (e.agg_func) {
     case AggFunc::kMin: {
+      if (final && e.agg_slot >= 0) {
+        if (auto slot = env.AggSlotRange(e.agg_slot)) return *slot;
+      }
       // Future events can only lower the min (within the range's floor).
       const double cur = n > 0 ? ctx.AggValue(e.agg_slot) : range.hi;
       return {range.lo, cur};
     }
     case AggFunc::kMax: {
+      if (final && e.agg_slot >= 0) {
+        if (auto slot = env.AggSlotRange(e.agg_slot)) return *slot;
+      }
       const double cur = n > 0 ? ctx.AggValue(e.agg_slot) : range.lo;
       return {cur, range.hi};
     }
     case AggFunc::kSum: {
+      if (final && e.agg_slot >= 0) {
+        if (auto slot = env.AggSlotRange(e.agg_slot)) return *slot;
+      }
       const double cur = ctx.AggValue(e.agg_slot);
       // Unknown number of future events, each adding a value in `range`.
       double lo = cur;
@@ -112,12 +125,24 @@ Interval DeriveAggregate(const Expr& e, const BoundEnv& env) {
       if (range.hi > 0) hi = kInf;
       return {lo, hi};
     }
-    case AggFunc::kAvg:
+    case AggFunc::kAvg: {
+      if (final && e.agg_slot >= 0) {
+        const auto sum = env.AggSlotRange(e.agg_slot);
+        const auto count = env.KleeneCountRange(e.var_index);
+        // AVG folds as a SUM slot; divide by the possible counts. Counts
+        // are >= 1 on any accepting path, so the divisor never spans zero.
+        if (sum && count && count->lo >= 1.0) return *sum / *count;
+      }
       // Every event (past and future) lies in `range`, so the mean does too.
       return range;
-    case AggFunc::kCount:
+    }
+    case AggFunc::kCount: {
+      if (final) {
+        if (auto count = env.KleeneCountRange(e.var_index)) return *count;
+      }
       // Kleene-plus: at least max(n, 1) iterations in any completion.
       return {static_cast<double>(std::max<int64_t>(n, 1)), kInf};
+    }
     case AggFunc::kFirst: {
       if (n > 0) return PointOf(e, env);  // first iteration is fixed forever
       return range;

@@ -2,6 +2,7 @@
 #define CEPR_EXPR_INTERVAL_H_
 
 #include <limits>
+#include <optional>
 #include <string>
 
 #include "expr/eval.h"
@@ -62,6 +63,34 @@ class BoundEnv {
   /// The partial-match binding, for point values of closed references and
   /// for running aggregate state.
   virtual const EvalContext& Context() const = 0;
+
+  // -- Optional refinements (shared match DAG) ------------------------------
+  // The lazy enumerator's bound environment knows more than a live Run: a
+  // DAG node's aggregate summaries already cover *every* completion through
+  // it, and the node's path-length counts bound the final Kleene
+  // cardinality. The defaults reproduce the legacy Run behavior exactly.
+
+  /// A precomputed interval containing agg slot `agg_slot`'s value over all
+  /// completions, or nullopt when the environment has none (legacy path).
+  virtual std::optional<Interval> AggSlotRange(int agg_slot) const {
+    (void)agg_slot;
+    return std::nullopt;
+  }
+
+  /// Bounds on the final iteration count of Kleene variable `var_index`
+  /// over all completions, or nullopt when unknown.
+  virtual std::optional<Interval> KleeneCountRange(int var_index) const {
+    (void)var_index;
+    return std::nullopt;
+  }
+
+  /// True iff no future event can extend Kleene variable `var_index` beyond
+  /// what AggSlotRange / KleeneCountRange already cover — the aggregate
+  /// refinements above are total, not running prefixes.
+  virtual bool KleeneFinal(int var_index) const {
+    (void)var_index;
+    return false;
+  }
 };
 
 /// Derives an interval guaranteed to contain the value of `expr` for every

@@ -16,6 +16,19 @@ void Emitter::OnEvent(Timestamp ts, uint64_t ordinal, std::vector<Match> matches
   }
 }
 
+void Emitter::OnEvent(Timestamp ts, uint64_t ordinal,
+                      std::vector<Match> matches,
+                      std::vector<LazyMatchSet> lazy,
+                      std::vector<RankedResult>* out) {
+  last_event_ts_ = ts;
+  const int64_t window = windows_.WindowOf(ts, ordinal);
+  ranker_.AdvanceTo(window, out);
+  for (Match& m : matches) {
+    ranker_.OnMatch(std::move(m), window, out);
+  }
+  ranker_.OnLazySets(std::move(lazy), window, out);
+}
+
 void Emitter::Finish(std::vector<RankedResult>* out) { ranker_.Finish(out); }
 
 }  // namespace cepr

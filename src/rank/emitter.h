@@ -27,11 +27,23 @@ class Emitter {
   void OnEvent(Timestamp ts, uint64_t ordinal, std::vector<Match> matches,
                std::vector<RankedResult>* out);
 
+  /// Dag-mode variant: also forwards the event's deferred LazyMatchSets to
+  /// the ranker, which buffers them for best-first enumeration at window
+  /// close.
+  void OnEvent(Timestamp ts, uint64_t ordinal, std::vector<Match> matches,
+               std::vector<LazyMatchSet> lazy, std::vector<RankedResult>* out);
+
   /// End of stream: flushes the open window.
   void Finish(std::vector<RankedResult>* out);
 
   const Ranker& ranker() const { return ranker_; }
   const ReportWindowAssigner& windows() const { return windows_; }
+
+  /// Forwards the matcher scope's DAG store to the ranker for checkpoint
+  /// restore of pending lazy sets (null is fine outside dag mode).
+  void BindDagStore(std::shared_ptr<MatchDagStore> store) {
+    ranker_.BindDagStore(std::move(store));
+  }
 
   /// True iff buffered matches await a window close (see
   /// Ranker::has_buffered_results); the shared evaluation layer uses this

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "rank/enumerator.h"
 #include "runtime/serde.h"
 
 namespace cepr {
@@ -112,6 +113,19 @@ void Ranker::OnMatch(Match match, int64_t window_id,
   }
 }
 
+void Ranker::OnLazySets(std::vector<LazyMatchSet> sets, int64_t window_id,
+                        std::vector<RankedResult>* out) {
+  if (sets.empty()) return;
+  AdvanceTo(window_id, out);
+  window_open_ = true;
+  matches_seen_ += sets.size();
+  // Buffer only: enumeration waits for the window close, when the k-th
+  // threshold is as tight as it will get. The pruner (kPruned) stays idle
+  // mid-window in dag mode — matches exist only as deferred sets, so no
+  // bar can be derived from them yet.
+  for (LazyMatchSet& s : sets) pending_.push_back(std::move(s));
+}
+
 void Ranker::AdvanceTo(int64_t window_id, std::vector<RankedResult>* out) {
   if (window_id <= current_window_) return;
   if (window_open_) CloseWindow(out);
@@ -140,6 +154,17 @@ void Ranker::CloseWindow(std::vector<RankedResult>* out) {
     case RankerPolicy::kHeap:
     case RankerPolicy::kPruned: {
       if (!eager_) {
+        if (!pending_.empty()) {
+          // Best-first lazy enumeration: materialize deferred DAG matches
+          // in score-bound order, stopping once every remaining bound is
+          // strictly worse than the k-th retained score.
+          uint64_t enumerated = 0;
+          uint64_t cutoffs = 0;
+          EnumerateLazyMatches(pending_, topk_.get(), &enumerated, &cutoffs);
+          matches_enumerated_.Add(enumerated);
+          enumeration_cutoffs_.Add(cutoffs);
+          pending_.clear();
+        }
         EmitOrdered(topk_->Drain(), out);
       } else {
         // Eager mode already streamed results; just reset the heap.
@@ -166,6 +191,19 @@ void Ranker::SaveState(EventInterner* in, BinWriter* w) const {
   if (pruner_ != nullptr) {
     w->U64(pruner_->checks());
     w->U64(pruner_->prunes());
+  }
+  w->U64(matches_enumerated_.Load());
+  w->U64(enumeration_cutoffs_.Load());
+  w->U32(static_cast<uint32_t>(pending_.size()));
+  if (!pending_.empty()) {
+    DagWriter dag_writer(in, w);
+    for (const LazyMatchSet& s : pending_) {
+      w->U64(s.base_id());
+      w->U64(s.last_sequence());
+      w->I64(s.last_ts());
+      SaveDagGroupContext(in, w, *s.group());
+      dag_writer.Save(s.node());
+    }
   }
 }
 
@@ -217,6 +255,42 @@ bool Ranker::LoadState(EventUninterner* in, BinReader* r) {
     } else {
       pruner_->ClearThreshold();
     }
+  }
+  uint64_t enumerated = 0;
+  uint64_t cutoffs = 0;
+  uint32_t pending_count = 0;
+  if (!r->U64(&enumerated) || !r->U64(&cutoffs) || !r->U32(&pending_count)) {
+    return false;
+  }
+  matches_enumerated_.Store(enumerated);
+  enumeration_cutoffs_.Store(cutoffs);
+  pending_.clear();
+  if (pending_count > 0) {
+    // Pending lazy sets need the matcher scope's DAG store: the restoring
+    // engine must have bound it (same shared_match_dag knob as the save).
+    if (dag_store_ == nullptr) {
+      r->Fail();
+      return false;
+    }
+    DagReader dag_reader(in, r, dag_store_.get());
+    pending_.reserve(pending_count);
+    for (uint32_t i = 0; i < pending_count; ++i) {
+      uint64_t base_id = 0;
+      uint64_t last_seq = 0;
+      int64_t last_ts = 0;
+      if (!r->U64(&base_id) || !r->U64(&last_seq) || !r->I64(&last_ts)) {
+        return false;
+      }
+      DagGroupContextPtr ctx =
+          LoadDagGroupContext(plan_.get(), dag_store_, in, r);
+      if (ctx == nullptr) return false;
+      DagNode* node = dag_reader.Load();
+      if (node == nullptr) return false;
+      dag_store_->Ref(node);  // the set owns its reference; the reader's
+                              // table reference is released on scope exit
+      pending_.emplace_back(std::move(ctx), node, base_id, last_seq, last_ts);
+    }
+    dag_store_->DiscardDeltas();
   }
   return true;
 }

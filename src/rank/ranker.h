@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/counters.h"
+#include "engine/match_dag.h"
 #include "rank/score.h"
 #include "rank/topk.h"
 
@@ -64,6 +66,14 @@ class Ranker {
   /// immediately, flagged provisional.
   void OnMatch(Match match, int64_t window_id, std::vector<RankedResult>* out);
 
+  /// Accepts deferred lazy-DAG match sets assigned to `window_id`. The sets
+  /// buffer until the window closes, when the best-first enumerator
+  /// (rank/enumerator.h) materializes only the matches the top-k order
+  /// needs. Valid only for buffered kHeap/kPruned windows — the engines
+  /// gate dag mode to exactly those policies.
+  void OnLazySets(std::vector<LazyMatchSet> sets, int64_t window_id,
+                  std::vector<RankedResult>* out);
+
   /// Informs the ranker that the stream has progressed to `window_id`
   /// (independent of matches), closing any older window.
   void AdvanceTo(int64_t window_id, std::vector<RankedResult>* out);
@@ -71,8 +81,24 @@ class Ranker {
   /// End of stream: closes the open window.
   void Finish(std::vector<RankedResult>* out);
 
-  /// Matches accepted into ranked state so far (diagnostics).
+  /// Matches accepted into ranked state so far (diagnostics). In dag mode
+  /// each LazyMatchSet counts once (the matcher's detection unit).
   uint64_t matches_seen() const { return matches_seen_; }
+
+  /// Lazy-enumeration counters (0 outside dag mode): matches the
+  /// enumerator materialized, and frontier cutoffs (walks abandoned once
+  /// every remaining bound fell strictly below the k-th threshold).
+  /// Relaxed atomics — the sharded snapshot path reads them while the
+  /// owning shard thread keeps ranking (same contract as the pruner's).
+  uint64_t matches_enumerated() const { return matches_enumerated_.Load(); }
+  uint64_t enumeration_cutoffs() const { return enumeration_cutoffs_.Load(); }
+
+  /// Installs the matcher scope's DAG store so LoadState can rebuild
+  /// pending lazy sets. Must be called before LoadState when the engine
+  /// runs in dag mode; a null store is fine otherwise.
+  void BindDagStore(std::shared_ptr<MatchDagStore> store) {
+    dag_store_ = std::move(store);
+  }
 
   /// True iff an open window holds buffered matches that only a future
   /// AdvanceTo / Finish will release — i.e. window progress must not be
@@ -108,6 +134,12 @@ class Ranker {
 
   std::unique_ptr<TopK> topk_;       // kHeap / kPruned
   std::vector<Match> buffer_;        // kNaiveSort
+
+  /// Deferred lazy-DAG match sets of the open window (dag mode only).
+  std::vector<LazyMatchSet> pending_;
+  std::shared_ptr<MatchDagStore> dag_store_;  // for LoadState of pending_
+  RelaxedCounter matches_enumerated_;
+  RelaxedCounter enumeration_cutoffs_;
 };
 
 }  // namespace cepr

@@ -6,13 +6,46 @@
 
 namespace cepr {
 
+namespace {
+
+// Lexicographic comparison of two matches' bound-event sequence numbers,
+// variable by variable in layout order, shorter prefix first. Returns <0,
+// 0, >0. Every bound event carries a global stream sequence, so this key
+// is a pure content property: it does not depend on which matcher detected
+// the match or in which order matches were materialized.
+int CompareBindings(const Match& a, const Match& b) {
+  const size_t vars = std::min(a.bindings.size(), b.bindings.size());
+  for (size_t v = 0; v < vars; ++v) {
+    const auto& av = a.bindings[v];
+    const auto& bv = b.bindings[v];
+    const size_t n = std::min(av.size(), bv.size());
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t as = av[i] ? av[i]->sequence() : 0;
+      const uint64_t bs = bv[i] ? bv[i]->sequence() : 0;
+      if (as != bs) return as < bs ? -1 : 1;
+    }
+    if (av.size() != bv.size()) return av.size() < bv.size() ? -1 : 1;
+  }
+  if (a.bindings.size() != b.bindings.size())
+    return a.bindings.size() < b.bindings.size() ? -1 : 1;
+  return 0;
+}
+
+}  // namespace
+
 bool OutranksMatch(const Match& a, const Match& b, bool desc) {
   if (a.score != b.score) return desc ? a.score > b.score : a.score < b.score;
   // Earlier detection wins ties. The detecting event's stream sequence is
-  // the primary key so the order is shard-independent; the per-matcher id
-  // settles matches detected by the same event (single-threaded, ids grow
-  // in exactly this order, so the total order is unchanged).
+  // the primary key so the order is shard-independent; equal-score matches
+  // detected by the same event are settled by their bound-event content
+  // (which events, in which variables) — a key that is identical whether
+  // the matches were materialized eagerly per run or enumerated lazily
+  // from the shared match DAG, and across serial/sharded execution. The
+  // matcher-local id is a last-resort fallback for byte-identical matches
+  // (it only decides between duplicates, so any outcome is equivalent).
   if (a.last_sequence != b.last_sequence) return a.last_sequence < b.last_sequence;
+  const int c = CompareBindings(a, b);
+  if (c != 0) return c < 0;
   return a.id < b.id;
 }
 

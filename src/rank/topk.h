@@ -16,8 +16,11 @@ class EventUninterner;
 
 /// Deterministic total order on matches used everywhere in the ranking
 /// layer: primarily by score (direction per query), ties broken by earlier
-/// detection — (detecting event's stream sequence, matcher-local id), a
-/// key that is identical under serial and sharded execution. Returns true
+/// detection — the detecting event's stream sequence, then the bound-event
+/// content (lexicographic per-variable event-sequence compare, shorter
+/// prefix first), then the matcher-local id as a duplicate-only fallback.
+/// Every component is a content property of the match, so the order is
+/// identical under serial, sharded, and lazy-DAG enumeration. Returns true
 /// iff `a` outranks `b`.
 bool OutranksMatch(const Match& a, const Match& b, bool desc);
 
@@ -47,9 +50,10 @@ class TopK {
 
   /// Current rank (0-based) the given match would receive: the number of
   /// retained matches that outrank it under the full OutranksMatch order
-  /// (score, then detecting-event sequence, then id), so ties resolve
-  /// exactly as Drain() would order them. A retained copy of `m` itself
-  /// contributes nothing (the order is irreflexive). O(size).
+  /// (score, then detecting-event sequence, then binding content, then
+  /// id), so ties resolve exactly as Drain() would order them. A retained
+  /// copy of `m` itself contributes nothing (the order is irreflexive).
+  /// O(size).
   size_t RankOf(const Match& m) const;
 
   /// Removes and returns all matches, best first.

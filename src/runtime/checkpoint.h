@@ -34,7 +34,10 @@ namespace ckpt {
 /// half-written one (the `ckpt.kill_mid_write` fault point simulates
 /// exactly that crash by abandoning the temp file).
 inline constexpr char kMagic[8] = {'C', 'E', 'P', 'R', 'C', 'K', 'P', 'T'};
-inline constexpr uint32_t kVersion = 1;
+/// v2: MatcherStats gained the dag counters, matcher bodies gained the
+/// DAG-group section, ranker bodies gained enumeration counters + pending
+/// lazy sets (the shared-match-DAG feature). v1 snapshots are rejected.
+inline constexpr uint32_t kVersion = 2;
 
 enum class EngineKind : uint8_t { kSerial = 0, kSharded = 1 };
 

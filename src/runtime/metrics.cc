@@ -47,7 +47,10 @@ std::string MatcherJson(const MatcherStats& m) {
   out += ",\"binding_nodes_allocated\":" + std::to_string(m.binding_nodes_allocated);
   out += ",\"predcache_hits\":" + std::to_string(m.predcache_hits);
   out += ",\"predcache_misses\":" + std::to_string(m.predcache_misses);
+  out += ",\"dag_nodes_allocated\":" + std::to_string(m.dag_nodes_allocated);
+  out += ",\"dag_nodes_shared\":" + std::to_string(m.dag_nodes_shared);
   out += ",\"peak_active_runs\":" + std::to_string(m.peak_active_runs);
+  out += ",\"peak_dag_nodes\":" + std::to_string(m.peak_dag_nodes);
   out += "}";
   return out;
 }
@@ -62,6 +65,8 @@ std::string QueryMetrics::ToString() const {
   out += " | " + matcher.ToString();
   out += " | prune_checks=" + std::to_string(prune_checks);
   out += " prunes=" + std::to_string(prunes);
+  out += " matches_enumerated=" + std::to_string(matches_enumerated);
+  out += " enumeration_cutoffs=" + std::to_string(enumeration_cutoffs);
   out += "\n  processing_ns: " + event_processing_ns.Summary();
   out += "\n  emission_delay_us: " + emission_delay_us.Summary();
   return out;
@@ -74,6 +79,8 @@ std::string QueryMetrics::ToJson() const {
   out += ",\"results\":" + std::to_string(results);
   out += ",\"prune_checks\":" + std::to_string(prune_checks);
   out += ",\"prunes\":" + std::to_string(prunes);
+  out += ",\"matches_enumerated\":" + std::to_string(matches_enumerated);
+  out += ",\"enumeration_cutoffs\":" + std::to_string(enumeration_cutoffs);
   out += ",\"matcher\":" + MatcherJson(matcher);
   out += ",\"processing_ns\":" + event_processing_ns.ToJson();
   out += ",\"emission_delay_us\":" + emission_delay_us.ToJson();

@@ -35,6 +35,12 @@ struct QueryMetrics {
   /// Pruner instrumentation (0 when pruning is off).
   uint64_t prune_checks = 0;
   uint64_t prunes = 0;
+  /// Lazy-DAG enumeration instrumentation (0 outside dag mode): matches
+  /// the best-first enumerator materialized at window closes, and frontier
+  /// cutoffs (enumeration walks abandoned once every remaining score bound
+  /// fell strictly below the k-th threshold).
+  uint64_t matches_enumerated = 0;
+  uint64_t enumeration_cutoffs = 0;
 
   std::string ToString() const;
   std::string ToJson() const;

@@ -6,6 +6,20 @@
 
 namespace cepr {
 
+namespace {
+
+/// Dag mode defers matches to window close, so it composes only with the
+/// buffered heap-based policies; every other ranking policy falls back to
+/// the per-run path regardless of the knob.
+MatcherOptions GateDagMode(MatcherOptions options, RankerPolicy policy) {
+  if (policy != RankerPolicy::kHeap && policy != RankerPolicy::kPruned) {
+    options.shared_match_dag = false;
+  }
+  return options;
+}
+
+}  // namespace
+
 RunningQuery::RunningQuery(std::string name, CompiledQueryPtr plan,
                            QueryOptions options, Sink* sink, ForwardFn forward,
                            size_t* live_runs)
@@ -15,7 +29,13 @@ RunningQuery::RunningQuery(std::string name, CompiledQueryPtr plan,
       sink_(sink),
       forward_(std::move(forward)),
       emitter_(plan_, options.ranker),
-      matcher_(plan_, options.matcher, emitter_.pruner(), live_runs) {}
+      // Note: the emitter's ranker may itself have degraded the policy
+      // (e.g. no RANK BY -> passthrough), so gate on its resolved policy.
+      matcher_(plan_,
+               GateDagMode(options.matcher, emitter_.ranker().policy()),
+               emitter_.pruner(), live_runs) {
+  emitter_.BindDagStore(matcher_.dag_store());
+}
 
 Status RunningQuery::OnEvent(const EventPtr& event) {
   Stopwatch timer;
@@ -23,13 +43,17 @@ Status RunningQuery::OnEvent(const EventPtr& event) {
   last_event_ts_ = event->timestamp();
 
   std::vector<Match> matches;
-  const Status matched = matcher_.OnEvent(event, &matches);
-  metrics_.matches += matches.size();
+  std::vector<LazyMatchSet> lazy;
+  const bool dag = matcher_.dag_store() != nullptr;
+  const Status matched =
+      matcher_.OnEvent(event, &matches, dag ? &lazy : nullptr);
+  metrics_.matches += matches.size() + lazy.size();
 
   // The emitter advances even on a fault so the window state stays
   // coherent; `matches` is empty in that case.
   std::vector<RankedResult> results;
-  emitter_.OnEvent(event->timestamp(), ordinal_++, std::move(matches), &results);
+  emitter_.OnEvent(event->timestamp(), ordinal_++, std::move(matches),
+                   std::move(lazy), &results);
   Deliver(std::move(results));
 
   metrics_.event_processing_ns.Record(timer.ElapsedNanos());
@@ -42,14 +66,18 @@ Status RunningQuery::OnEventAt(const EventPtr& event, uint64_t ordinal,
   last_event_ts_ = event->timestamp();
 
   std::vector<Match> matches;
-  const Status matched = matcher_.OnEvent(event, &matches, candidate, evaluated);
-  metrics_.matches += matches.size();
+  std::vector<LazyMatchSet> lazy;
+  const bool dag = matcher_.dag_store() != nullptr;
+  const Status matched = matcher_.OnEvent(event, &matches, candidate,
+                                          evaluated, dag ? &lazy : nullptr);
+  metrics_.matches += matches.size() + lazy.size();
 
   // The emitter advances unconditionally — even when the matcher visit was
   // skipped or faulted — so window closes land at the same (ts, ordinal)
   // positions the per-query path produces.
   std::vector<RankedResult> results;
-  emitter_.OnEvent(event->timestamp(), ordinal, std::move(matches), &results);
+  emitter_.OnEvent(event->timestamp(), ordinal, std::move(matches),
+                   std::move(lazy), &results);
   Deliver(std::move(results));
 
   if (*evaluated) metrics_.event_processing_ns.Record(timer.ElapsedNanos());
@@ -112,6 +140,8 @@ QueryMetrics RunningQuery::metrics() const {
     snapshot.prune_checks = emitter_.score_pruner()->checks();
     snapshot.prunes = emitter_.score_pruner()->prunes();
   }
+  snapshot.matches_enumerated = emitter_.ranker().matches_enumerated();
+  snapshot.enumeration_cutoffs = emitter_.ranker().enumeration_cutoffs();
   return snapshot;
 }
 

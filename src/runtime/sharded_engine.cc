@@ -194,8 +194,16 @@ void ShardedEngine::BuildShards() {
         matcher_options.max_total_runs =
             std::max<size_t>(1, matcher_options.max_total_runs / num_shards_);
       }
+      // Dag mode defers matches to window close, so it composes only with
+      // the buffered heap-based policies (gate on the ranker's resolved
+      // policy — it may have degraded, e.g. no RANK BY -> passthrough).
+      const RankerPolicy resolved = cell.emitter->ranker().policy();
+      if (resolved != RankerPolicy::kHeap && resolved != RankerPolicy::kPruned) {
+        matcher_options.shared_match_dag = false;
+      }
       cell.matcher = std::make_unique<PartitionedMatcher>(
           q->plan, matcher_options, cell.emitter->pruner(), &shard->live_runs);
+      cell.emitter->BindDagStore(cell.matcher->dag_store());
       shard->cells.push_back(std::move(cell));
     }
     shards_.push_back(std::move(shard));
@@ -348,17 +356,19 @@ void ShardedEngine::ShardMain(size_t shard_index) {
         Stopwatch timer;
         shard->metrics.events.Increment();
         std::vector<Match> matches;
+        std::vector<LazyMatchSet> lazy;
         // Non-candidate events still visit the matcher when this shard
         // holds live runs for the query (runs can extend/expire/die); with
         // no runs the visit is a proven no-op and is skipped. The emitter
         // always runs so window closes land at identical positions.
         bool evaluated = true;
+        const bool dag = cell.matcher->dag_store() != nullptr;
         const Status matched =
             cell.matcher->OnEvent(msg.event, &matches, msg.candidate,
-                                  &evaluated);
-        shard->metrics.matches.Add(matches.size());
+                                  &evaluated, dag ? &lazy : nullptr);
+        shard->metrics.matches.Add(matches.size() + lazy.size());
         cell.emitter->OnEvent(msg.ts, msg.ordinal, std::move(matches),
-                              &scratch);
+                              std::move(lazy), &scratch);
         RecordTimings(shard, msg.query,
                       evaluated ? timer.ElapsedNanos() : -1, scratch);
         PublishResults(shard, msg.query, std::move(scratch));
@@ -788,6 +798,8 @@ QueryMetrics ShardedEngine::AggregateQueryMetrics(uint32_t query_index) const {
       m.prune_checks += cell.emitter->score_pruner()->checks();
       m.prunes += cell.emitter->score_pruner()->prunes();
     }
+    m.matches_enumerated += cell.emitter->ranker().matches_enumerated();
+    m.enumeration_cutoffs += cell.emitter->ranker().enumeration_cutoffs();
     std::lock_guard<std::mutex> lock(shard->metrics.mu);
     const MetricsCell::Timings& t = shard->metrics.timings[query_index];
     m.event_processing_ns.Merge(t.processing_ns);

@@ -1,0 +1,44 @@
+#include "workload/forkheavy.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+
+namespace cepr {
+
+SchemaPtr ForkHeavyGenerator::MakeSchema() {
+  // One shared instance: the Engine matches events to streams by schema
+  // object identity, so every generator and harness must use the same one.
+  static const SchemaPtr* kSchema = nullptr;
+  if (kSchema != nullptr) return *kSchema;
+  auto schema = Schema::Make(
+      "ForkTick",
+      {
+          Attribute{"sym", ValueType::kString, std::nullopt},
+          Attribute{"anchor", ValueType::kInt, AttributeRange{0.0, 1.0}},
+          Attribute{"price", ValueType::kFloat, AttributeRange{1.0, 1000.0}},
+      });
+  CEPR_CHECK(schema.ok());
+  kSchema = new SchemaPtr(schema.value());
+  return *kSchema;
+}
+
+ForkHeavyGenerator::ForkHeavyGenerator(const ForkHeavyOptions& options)
+    : options_(options),
+      schema_(MakeSchema()),
+      rng_(options.base.seed),
+      next_ts_(options.base.start_ts) {}
+
+Event ForkHeavyGenerator::Next() {
+  const int64_t stream =
+      rng_.UniformInt(0, std::max(options_.num_streams, 1) - 1);
+  const int64_t anchor = rng_.OneIn(options_.anchor_probability) ? 1 : 0;
+  Event e(schema_, next_ts_,
+          {Value::String("F" + std::to_string(stream)), Value::Int(anchor),
+           Value::Float(rng_.UniformDouble(1.0, 1000.0))});
+  next_ts_ += options_.base.interval_micros;
+  return e;
+}
+
+}  // namespace cepr

@@ -1,0 +1,45 @@
+#ifndef CEPR_WORKLOAD_FORKHEAVY_H_
+#define CEPR_WORKLOAD_FORKHEAVY_H_
+
+#include "workload/generator.h"
+
+namespace cepr {
+
+/// Options for the fork-heavy tick generator.
+struct ForkHeavyOptions {
+  GeneratorOptions base;
+  /// Number of distinct sources ("F0".."F{n-1}") for PARTITION BY sym.
+  int num_streams = 1;
+  /// Probability that a tick is an anchor (anchor = 1). Every non-anchor
+  /// tick extends *all* live trailing-Kleene runs of its stream, so match
+  /// state doubles per extension under SKIP_TILL_ANY_MATCH; a low anchor
+  /// probability yields long fork cascades between anchors.
+  double anchor_probability = 0.02;
+};
+
+/// ForkTick(sym STRING, anchor INT RANGE [0, 1], price FLOAT RANGE
+/// [1, 1000]): the adversarial workload for trailing-Kleene
+/// SKIP_TILL_ANY_MATCH patterns like SEQ(a, b+) with event-only iteration
+/// predicates. Anchors start runs; the dense non-anchor ticks between them
+/// drive the 2^n per-run fork explosion that the shared match DAG collapses
+/// to O(events) nodes.
+class ForkHeavyGenerator : public WorkloadGenerator {
+ public:
+  explicit ForkHeavyGenerator(const ForkHeavyOptions& options);
+
+  /// The ForkTick schema (with declared ranges, enabling score bounds).
+  static SchemaPtr MakeSchema();
+
+  const SchemaPtr& schema() const override { return schema_; }
+  Event Next() override;
+
+ private:
+  ForkHeavyOptions options_;
+  SchemaPtr schema_;
+  Random rng_;
+  Timestamp next_ts_;
+};
+
+}  // namespace cepr
+
+#endif  // CEPR_WORKLOAD_FORKHEAVY_H_

@@ -14,6 +14,7 @@
 #include "common/fault.h"
 #include "runtime/engine.h"
 #include "runtime/sharded_engine.h"
+#include "workload/forkheavy.h"
 #include "workload/health.h"
 #include "workload/stock.h"
 
@@ -109,6 +110,30 @@ Workload KleeneWorkload(uint64_t seed, size_t n = 4000) {
                   "  AND r[1].heart_rate > a.heart_rate "
                   "WITHIN 30 SECONDS "
                   "RANK BY MAX(r.heart_rate) - a.heart_rate DESC "
+                  "LIMIT 5 EMIT ON WINDOW CLOSE",
+                  QueryOptions{}};
+}
+
+// Dag-eligible: trailing unbounded Kleene-plus under skip-till-any with
+// event-only iteration predicates, ranked buffered emission — the shape the
+// shared match DAG covers. SUM(b.price) discriminates between suffix
+// subsets so lazy enumeration stays near O(k); the 12ms window bounds the
+// per-run baseline's 2^t fork fan-out to test scale.
+Workload DagEligibleWorkload(uint64_t seed, size_t n = 3000) {
+  ForkHeavyOptions options;
+  options.base.seed = seed;
+  options.num_streams = 2;
+  options.anchor_probability = 0.15;
+  options.base.interval_micros = 1000;
+  ForkHeavyGenerator gen(options);
+  return Workload{"fork-heavy-dag", gen.schema(), gen.Take(n),
+                  "SELECT a.price, SUM(b.price), COUNT(b) "
+                  "FROM ForkTick MATCH PATTERN SEQ(a, b+) "
+                  "USING SKIP_TILL_ANY_MATCH "
+                  "PARTITION BY sym "
+                  "WHERE a.anchor = 1 AND b[i].anchor = 0 "
+                  "WITHIN 12 MILLISECONDS "
+                  "RANK BY SUM(b.price) DESC "
                   "LIMIT 5 EMIT ON WINDOW CLOSE",
                   QueryOptions{}};
 }
@@ -213,6 +238,90 @@ TEST(CowEquivalenceTest, NegationPatterns) {
 
 TEST(CowEquivalenceTest, LongKleeneChains) {
   CheckAllModes(KleeneWorkload(42));
+}
+
+// The shared match DAG with lazy enumeration is a pure representation
+// change: ranked output must be bit-identical to the per-run path on the
+// dag-eligible workload — every ablation mode, dag on and off, serial and
+// sharded at every shard count.
+TEST(CowEquivalenceTest, SharedMatchDagMatchesPerRunPath) {
+  for (uint64_t seed : {42u, 7u}) {
+    Workload off = DagEligibleWorkload(seed);
+    off.options.matcher.shared_match_dag = false;
+    const auto baseline = RunSerial(off, kModes[0]);
+    EXPECT_FALSE(baseline.empty())
+        << "dag workload produced no results; weak test";
+
+    for (const Mode& mode : kModes) {
+      for (bool dag : {false, true}) {
+        Workload w = DagEligibleWorkload(seed);
+        w.options.matcher.shared_match_dag = dag;
+        const std::string tag = std::string("dag=") + (dag ? "on" : "off") +
+                                " seed=" + std::to_string(seed) + " " +
+                                mode.label;
+        ExpectIdentical(baseline, RunSerial(w, mode), "serial " + tag);
+        for (size_t shards : {1u, 2u, 4u}) {
+          ExpectIdentical(baseline, RunSharded(w, mode, shards),
+                          "shards=" + std::to_string(shards) + " " + tag);
+        }
+      }
+    }
+  }
+}
+
+// Same invariant under the injected-fault schedule: quarantines must land
+// on the same events and the surviving ranked output must stay identical
+// whether the trailing fan-out lives in runs or in DAG groups.
+TEST(CowEquivalenceTest, SharedMatchDagIdenticalUnderInjectedFaults) {
+  const std::vector<uint64_t> poison_keys = {3, 250, 251, 777, 1800, 2999};
+
+  Workload off = DagEligibleWorkload(42);
+  off.options.matcher.shared_match_dag = false;
+  FaultInjector baseline_injector(1);
+  baseline_injector.ArmKeys(fault_points::kEvalPoison, poison_keys);
+  const auto baseline = RunSerial(off, kModes[0], &baseline_injector);
+  EXPECT_FALSE(baseline.empty()) << "faulted dag workload produced no results";
+
+  for (bool dag : {false, true}) {
+    Workload w = DagEligibleWorkload(42);
+    w.options.matcher.shared_match_dag = dag;
+    const std::string tag = std::string("dag=") + (dag ? "on" : "off");
+
+    FaultInjector serial_injector(1);
+    serial_injector.ArmKeys(fault_points::kEvalPoison, poison_keys);
+    ExpectIdentical(baseline, RunSerial(w, kModes[4], &serial_injector),
+                    "faulted serial " + tag);
+
+    FaultInjector sharded_injector(1);
+    sharded_injector.ArmKeys(fault_points::kEvalPoison, poison_keys);
+    ExpectIdentical(baseline, RunSharded(w, kModes[4], 2, &sharded_injector),
+                    "faulted shards=2 " + tag);
+  }
+}
+
+// Columnar window-buffer eviction is observationally identical to the
+// per-run expiry check, on both the per-run and the dag path.
+TEST(CowEquivalenceTest, ColumnarExpiryMatchesPerRunExpiry) {
+  for (bool dag_workload : {false, true}) {
+    Workload base = dag_workload ? DagEligibleWorkload(42)
+                                 : SkipTillAnyWorkload(42);
+    base.options.matcher.columnar_expiry = false;
+    const auto baseline = RunSerial(base, kModes[0]);
+    EXPECT_FALSE(baseline.empty()) << base.label;
+
+    for (bool columnar : {false, true}) {
+      Workload w = dag_workload ? DagEligibleWorkload(42)
+                                : SkipTillAnyWorkload(42);
+      w.options.matcher.columnar_expiry = columnar;
+      const std::string tag = std::string(w.label) + " columnar_expiry=" +
+                              (columnar ? "on" : "off");
+      ExpectIdentical(baseline, RunSerial(w, kModes[4]), "serial " + tag);
+      for (size_t shards : {1u, 2u}) {
+        ExpectIdentical(baseline, RunSharded(w, kModes[4], shards),
+                        "shards=" + std::to_string(shards) + " " + tag);
+      }
+    }
+  }
 }
 
 TEST(CowEquivalenceTest, IdenticalUnderInjectedFaults) {

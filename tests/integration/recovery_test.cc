@@ -20,6 +20,7 @@
 #include "common/random.h"
 #include "runtime/engine.h"
 #include "runtime/sharded_engine.h"
+#include "workload/forkheavy.h"
 #include "workload/stock.h"
 
 namespace cepr {
@@ -41,6 +42,7 @@ constexpr Timestamp kLateness = 20000;
 struct StockStream {
   SchemaPtr schema;
   std::vector<Event> events;
+  std::string query = kStockQuery;
 };
 
 StockStream InOrderStock(size_t n = 6000) {
@@ -50,6 +52,26 @@ StockStream InOrderStock(size_t n = 6000) {
   options.base.interval_micros = 1000;
   StockGenerator gen(options);
   return {gen.schema(), gen.Take(n)};
+}
+
+// Dag-eligible fork-heavy stream: checkpoints taken mid-window capture live
+// DAG groups in the matcher and pending lazy sets in the ranker, so
+// recovery exercises the v2 snapshot sections end to end.
+StockStream DagStream(size_t n = 4000) {
+  ForkHeavyOptions options;
+  options.num_streams = 2;
+  options.anchor_probability = 0.15;
+  options.base.interval_micros = 1000;
+  ForkHeavyGenerator gen(options);
+  return {gen.schema(), gen.Take(n),
+          "SELECT a.price, SUM(b.price), COUNT(b) "
+          "FROM ForkTick MATCH PATTERN SEQ(a, b+) "
+          "USING SKIP_TILL_ANY_MATCH "
+          "PARTITION BY sym "
+          "WHERE a.anchor = 1 AND b[i].anchor = 0 "
+          "WITHIN 12 MILLISECONDS "
+          "RANK BY SUM(b.price) DESC "
+          "LIMIT 5 EMIT ON WINDOW CLOSE"};
 }
 
 // Schema identity is per-engine: a restored engine holds its own
@@ -128,7 +150,7 @@ std::vector<RankedResult> RunReference(size_t shards, const StockStream& stream,
   CollectSink sink;
   QueryOptions options;
   options.ranker = RankerPolicy::kPruned;
-  EXPECT_TRUE(engine->RegisterQuery("q", kStockQuery, options, &sink).ok());
+  EXPECT_TRUE(engine->RegisterQuery("q", stream.query, options, &sink).ok());
   for (const Event& e : arrivals) {
     const Status s = engine->Push(Event(e));
     EXPECT_TRUE(s.ok()) << s.ToString();
@@ -174,7 +196,7 @@ void RunCrashRecovery(size_t shards, const StockStream& stream,
     CollectSink sink;
     QueryOptions options;
     options.ranker = RankerPolicy::kPruned;
-    ASSERT_TRUE(engine->RegisterQuery("q", kStockQuery, options, &sink).ok());
+    ASSERT_TRUE(engine->RegisterQuery("q", stream.query, options, &sink).ok());
     ASSERT_TRUE(engine->OpenWal(wal).ok());
 
     size_t results_at_cut = 0;
@@ -386,6 +408,37 @@ TEST_P(RecoveryTest, DisorderPlusEvalFaultSchedule) {
   plan.lateness = kLateness;
   RunCrashRecoveryAnyEngine(GetParam(), stream, arrivals, plan, &injector,
                             Label("faultsched"));
+}
+
+TEST_P(RecoveryTest, DagModeCheckpointMidWindow) {
+  // Shared-match-DAG recovery: the 12-event windows and the 700-event
+  // checkpoint cadence are coprime, so snapshots land mid-window with live
+  // DAG groups (matcher) and pending lazy sets (ranker) — the v2 sections.
+  const StockStream stream = DagStream();
+  for (const size_t kill_at : {900u, 2300u, 3990u}) {
+    FaultInjector injector(7);
+    CrashPlan plan;
+    plan.kill_at = kill_at;
+    plan.ckpt_every = 700;
+    RunCrashRecoveryAnyEngine(GetParam(), stream, stream.events, plan,
+                              &injector,
+                              Label("dagkill" + std::to_string(kill_at)));
+  }
+}
+
+TEST_P(RecoveryTest, DagModeDisorderAndEvalFaults) {
+  const StockStream stream = DagStream();
+  constexpr Timestamp kDagLateness = 5000;  // 5 ms over a 12 ms window
+  const std::vector<Event> arrivals =
+      BlockShuffle(stream.events, kDagLateness, 0xDA6);
+  FaultInjector injector(11);
+  injector.ArmRate(fault_points::kEvalPoison, 0.002);
+  CrashPlan plan;
+  plan.kill_at = 2500;
+  plan.ckpt_every = 700;
+  plan.lateness = kDagLateness;
+  RunCrashRecoveryAnyEngine(GetParam(), stream, arrivals, plan, &injector,
+                            Label("dagdisorder"));
 }
 
 TEST_P(RecoveryTest, TornTailUnderDisorder) {
