@@ -1,0 +1,143 @@
+// E20 — Network ingest throughput vs. in-process Push.
+//
+// The same ranked dip query and stock stream, ingested four ways:
+// in-process Push (the E1 baseline), in-process PushAll, over-the-wire
+// single-event frames, and over-the-wire batched frames. Headline series:
+// events/s per transport, with the result count as a cross-check that all
+// four paths computed the same query. The gap between wire/batched and
+// in-process PushAll is the protocol + loopback tax; the gap between
+// wire/single and wire/batched is the per-frame round-trip tax.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace cepr {
+namespace bench {
+namespace {
+
+constexpr size_t kEvents = 100000;
+constexpr double kVProbability = 0.01;
+constexpr size_t kWireBatch = 4096;
+
+enum Mode : int64_t {
+  kInProcessPush = 0,
+  kInProcessPushAll = 1,
+  kWireSingle = 2,
+  kWireBatched = 3,
+};
+
+/// Schema-less copies for the wire, built once and reused across
+/// iterations (the client re-encodes each send either way).
+const std::vector<Event>& WireStream() {
+  static std::vector<Event>* cache = nullptr;
+  if (cache == nullptr) {
+    cache = new std::vector<Event>();
+    for (const Event& e : StockStream(kEvents, kVProbability)) {
+      Event wire(SchemaPtr{}, e.timestamp(), e.values());
+      wire.set_type_tag(e.type_tag());
+      cache->push_back(std::move(wire));
+    }
+  }
+  return *cache;
+}
+
+uint64_t RunInProcess(bool batched) {
+  auto engine = StockEngine();
+  QueryOptions options;
+  options.ranker = RankerPolicy::kPruned;
+  NullSink sink;
+  const Status s = engine->RegisterQuery("q", DipQuery(10), options, &sink);
+  CEPR_CHECK(s.ok()) << s.ToString();
+  const auto& events = StockStream(kEvents, kVProbability);
+  if (batched) {
+    ReplayBatch(engine.get(), events);
+  } else {
+    Replay(engine.get(), events);
+  }
+  return engine->GetQuery("q").value()->metrics().results;
+}
+
+uint64_t RunOverWire(bool batched) {
+  net::CeprServer server(net::ServerOptions{});
+  Status s = server.Start();
+  CEPR_CHECK(s.ok()) << s.ToString();
+  s = server.Ddl(
+      "CREATE STREAM Stock (symbol STRING, price FLOAT RANGE [1, 1000], "
+      "volume INT RANGE [1, 10000])");
+  CEPR_CHECK(s.ok()) << s.ToString();
+
+  net::CeprClient client;
+  s = client.Connect("127.0.0.1", server.port());
+  CEPR_CHECK(s.ok()) << s.ToString();
+  QueryOptions options;
+  options.ranker = RankerPolicy::kPruned;
+  s = client.Deploy("q", DipQuery(10), options);
+  CEPR_CHECK(s.ok()) << s.ToString();
+  auto binding = client.BindStream("Stock");
+  CEPR_CHECK(binding.ok()) << binding.status().ToString();
+
+  const std::vector<Event>& events = WireStream();
+  if (batched) {
+    for (size_t i = 0; i < events.size(); i += kWireBatch) {
+      const size_t end = std::min(events.size(), i + kWireBatch);
+      std::vector<Event> chunk(events.begin() + i, events.begin() + end);
+      s = client.PushBatch(binding.value(), chunk);
+      CEPR_CHECK(s.ok()) << s.ToString();
+    }
+  } else {
+    for (const Event& e : events) {
+      s = client.Push(binding.value(), e);
+      CEPR_CHECK(s.ok()) << s.ToString();
+    }
+  }
+  s = client.Finish();
+  CEPR_CHECK(s.ok()) << s.ToString();
+  const uint64_t results = client.results("q").size();
+  client.Close();
+  server.Stop();
+  return results;
+}
+
+void BM_ServerIngest(benchmark::State& state) {
+  const Mode mode = static_cast<Mode>(state.range(0));
+  (void)StockStream(kEvents, kVProbability);  // pre-generate outside timing
+  (void)WireStream();
+
+  uint64_t results = 0;
+  for (auto _ : state) {
+    switch (mode) {
+      case kInProcessPush:
+        results = RunInProcess(/*batched=*/false);
+        break;
+      case kInProcessPushAll:
+        results = RunInProcess(/*batched=*/true);
+        break;
+      case kWireSingle:
+        results = RunOverWire(/*batched=*/false);
+        break;
+      case kWireBatched:
+        results = RunOverWire(/*batched=*/true);
+        break;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kEvents) * state.iterations());
+  state.counters["results"] = static_cast<double>(results);
+}
+
+BENCHMARK(BM_ServerIngest)
+    ->Arg(kInProcessPush)
+    ->Arg(kInProcessPushAll)
+    ->Arg(kWireSingle)
+    ->Arg(kWireBatched)
+    ->ArgNames({"mode"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace bench
+}  // namespace cepr
+
+CEPR_BENCH_MAIN();

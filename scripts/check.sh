@@ -45,20 +45,30 @@ if [[ $run_tsan -eq 1 ]]; then
   echo "== TSan build + concurrency suites =="
   cmake -B build-tsan -S . -DCEPR_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug >/dev/null
   cmake --build build-tsan -j "$(nproc)" --target common_test integration_test
-  ./build-tsan/tests/common_test --gtest_filter='SpscQueue*'
+  ./build-tsan/tests/common_test --gtest_filter='SpscQueue*:ErrnoString*'
   # The sharded recovery tests exercise the quiesce barrier (Checkpoint
   # cuts while worker threads drain) — one shard count keeps the stage fast.
   ./build-tsan/tests/integration_test \
     --gtest_filter='Sharded*:ShardedMetricsRaceTest.*:ShardCounts/ShardedFault*:CowEquivalenceTest.HotPathCountersMatchSerialTotals:CowEquivalenceTest.SharedMatchDagMatchesPerRunPath:Disorder*:ShardCounts/Disorder*:Engines/RecoveryTest.*/sharded2'
+  # The network server is accept thread + session threads + checkpoint
+  # timer all sharing one engine lock; the kill/restart and robustness
+  # suites drive every cross-thread edge (subscribe/detach, timer cuts,
+  # mid-write teardown).
+  ./build-tsan/tests/integration_test \
+    --gtest_filter='ServerTest.*:ServerRecoveryTest.*:ServerRobustnessTest.*'
 fi
 
 if [[ $run_asan -eq 1 ]]; then
   echo "== ASan build + robustness suites =="
   cmake -B build-asan -S . -DCEPR_SANITIZE=address -DCMAKE_BUILD_TYPE=Debug >/dev/null
   cmake --build build-asan -j "$(nproc)" --target integration_test runtime_test \
-    engine_test rank_test
+    engine_test rank_test net_test
+  # ServerRobustnessTest feeds the wire decoder torn frames and garbage —
+  # attacker-controlled lengths and truncated bodies are ASan's home turf;
+  # net_test fuzzes the framing layer directly over socketpairs.
   ./build-asan/tests/integration_test \
-    --gtest_filter='Robustness*:Overload*:FaultInjection*:ShardedFault*:ShardCounts/ShardedFault*:CowEquivalence*:Disorder*:ShardCounts/Disorder*:*Recovery*'
+    --gtest_filter='Robustness*:Overload*:FaultInjection*:ShardedFault*:ShardCounts/ShardedFault*:CowEquivalence*:Disorder*:ShardCounts/Disorder*:*Recovery*:ServerTest.*:ServerRobustnessTest.*'
+  ./build-asan/tests/net_test
   ./build-asan/tests/runtime_test \
     --gtest_filter='Csv*:ReorderBuffer*:Idempotence*:Snapshot*:TornFileFuzz*'
   # The shared match DAG is manually refcounted arena memory — exactly what

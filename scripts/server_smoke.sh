@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# End-to-end smoke check of the network server over a real socket:
+# start cepr_serverd, deploy the dip query over the wire, push 10k stock
+# events, then diff the server's metrics counters against what the client
+# sent. Fails if the server does not come up, the client cannot complete
+# its session, or the ingest counter disagrees.
+#
+#   scripts/server_smoke.sh [BUILD_DIR]   # default: build
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+SERVERD="$BUILD_DIR/examples/cepr_serverd"
+CLIENT="$BUILD_DIR/examples/cepr_client"
+PORT="${CEPR_SMOKE_PORT:-17687}"
+EVENTS=10000
+
+[[ -x "$SERVERD" && -x "$CLIENT" ]] || {
+  echo "server_smoke: build cepr_serverd and cepr_client first (dir: $BUILD_DIR)" >&2
+  exit 2
+}
+
+"$SERVERD" --port "$PORT" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; wait "$SERVER_PID" 2>/dev/null || true' EXIT
+
+# Wait for the listening socket (the daemon prints its banner once bound).
+for _ in $(seq 1 50); do
+  if "$CLIENT" --port "$PORT" --metrics-only >/dev/null 2>&1; then break; fi
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "server_smoke: server died" >&2; exit 1; }
+  sleep 0.1
+done
+
+# Deploy + push over the wire; the client prints ranked matches + metrics.
+"$CLIENT" --port "$PORT" --events "$EVENTS"
+
+# Independent metrics fetch: the ingest counter must equal what we pushed.
+METRICS="$("$CLIENT" --port "$PORT" --metrics-only)"
+echo "$METRICS"
+if ! grep -q "\"events_ingested\":$EVENTS" <<<"$METRICS"; then
+  echo "server_smoke: FAIL — expected events_ingested == $EVENTS" >&2
+  exit 1
+fi
+
+# Clean shutdown path: SIGTERM must quiesce and exit zero.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+trap - EXIT
+echo "server_smoke: PASS ($EVENTS events over the wire)"

@@ -1,6 +1,10 @@
 #include "common/binio.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
+#include <cerrno>
 
 namespace cepr {
 namespace {
@@ -18,6 +22,30 @@ std::array<uint32_t, 256> MakeCrcTable() {
 }
 
 }  // namespace
+
+Status FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? "."
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory '" + dir +
+                           "' for fsync: " + ErrnoString(errno));
+  }
+  if (::fsync(fd) != 0) {
+    // Some filesystems refuse fsync on directories; that is not a caller
+    // error, there is simply no directory durability to be had.
+    if (errno != EINVAL && errno != EROFS) {
+      const Status s = Status::IoError("fsync of directory '" + dir +
+                                       "' failed: " + ErrnoString(errno));
+      ::close(fd);
+      return s;
+    }
+  }
+  ::close(fd);
+  return Status::OK();
+}
 
 uint32_t Crc32(const void* data, size_t size) {
   static const std::array<uint32_t, 256> kTable = MakeCrcTable();

@@ -15,6 +15,15 @@ namespace cepr {
 /// bit-flipped files fail validation instead of deserializing garbage.
 uint32_t Crc32(const void* data, size_t size);
 
+/// Fsyncs the directory containing `path`. Creating a file (WAL O_CREAT)
+/// or renaming one into place (snapshot publish) updates the *directory*,
+/// and that update is not durable until the directory inode itself is
+/// synced — a crash after an un-synced rename can lose the filename even
+/// though the file's bytes were fsynced. POSIX allows fsync on a directory
+/// fd opened O_RDONLY; filesystems that reject it (EINVAL) get a pass, as
+/// there is nothing more we can do there.
+Status FsyncParentDir(const std::string& path);
+
 /// Little-endian append-only encoder for the checkpoint/WAL formats. All
 /// multi-byte integers are written byte-by-byte, so the format is identical
 /// across host endianness and free of alignment hazards.

@@ -46,6 +46,11 @@ inline constexpr const char kWalTornTail[] = "wal.torn_tail";
 /// Process dies mid-recovery, after the snapshot loaded but with the WAL
 /// only partially replayed (key: replayed-record ordinal).
 inline constexpr const char kRestorePartialReplay[] = "restore.partial_replay";
+/// Process dies during the snapshot publish step, before the rename and
+/// its parent-directory fsync became durable: the fully written temp file
+/// exists but the snapshot filename does not, so the previously published
+/// snapshot (if any) is what recovery sees (key: checkpoint ordinal).
+inline constexpr const char kFsyncParentDir[] = "fsync.parent_dir";
 }  // namespace fault_points
 
 /// Deterministic, seeded fault-injection harness. Engines and the CSV

@@ -1,6 +1,28 @@
 #include "common/status.h"
 
+#include <cstring>
+
 namespace cepr {
+namespace {
+
+// strerror_r comes in two flavors: the XSI version returns int and fills
+// the caller's buffer, the GNU version returns a char* that may point at a
+// static string instead of the buffer. Overload resolution on the actual
+// return type picks the right adapter at compile time.
+inline const char* StrerrorAdapt(int rc, const char* buf) {
+  return rc == 0 ? buf : "Unknown error";
+}
+inline const char* StrerrorAdapt(const char* msg, const char* /*buf*/) {
+  return msg != nullptr ? msg : "Unknown error";
+}
+
+}  // namespace
+
+std::string ErrnoString(int err) {
+  char buf[256];
+  buf[0] = '\0';
+  return StrerrorAdapt(strerror_r(err, buf, sizeof(buf)), buf);
+}
 
 const char* StatusCodeToString(StatusCode code) {
   switch (code) {

@@ -27,6 +27,12 @@ enum class StatusCode {
 /// Returns a stable human-readable name ("ParseError" etc.) for a code.
 const char* StatusCodeToString(StatusCode code);
 
+/// Thread-safe strerror: formats `err` (an errno value) via strerror_r.
+/// std::strerror may return a pointer into a shared static buffer, so
+/// concurrent IO failures (shard threads, server sessions) can race on it;
+/// every CEPR error path formats errno through this instead.
+std::string ErrnoString(int err);
+
 /// Result of an operation that can fail. CEPR does not use exceptions
 /// (Google style); every fallible public API returns Status or Result<T>.
 ///

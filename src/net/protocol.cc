@@ -1,0 +1,167 @@
+#include "net/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "runtime/serde.h"
+
+namespace cepr {
+namespace net {
+
+namespace {
+
+/// Reads exactly `n` bytes. Returns 1 on success, 0 on EOF before the first
+/// byte (clean close), -1 on EOF mid-buffer or socket error (errno left set
+/// to 0 for the torn-EOF case).
+int ReadFull(int fd, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::read(fd, buf + got, n - got);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0) return 0;
+      errno = 0;
+      return -1;
+    }
+    if (errno == EINTR) continue;
+    return -1;
+  }
+  return 1;
+}
+
+/// MSG_NOSIGNAL: a peer that slammed its socket shut must surface as EPIPE
+/// on this write, not as a process-wide SIGPIPE. ENOTSOCK falls back to
+/// plain write so frames also work over pipes/files in tests and tools.
+bool WriteFull(int fd, const char* buf, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t w = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0 && errno == ENOTSOCK) {
+      w = ::write(fd, buf + sent, n - sent);
+    }
+    if (w >= 0) {
+      sent += static_cast<size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+constexpr char kCleanCloseMessage[] = "connection closed";
+
+}  // namespace
+
+Status WriteFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload exceeds 64MB limit");
+  }
+  BinWriter header;
+  header.U32(static_cast<uint32_t>(payload.size()));
+  header.U32(Crc32(payload.data(), payload.size()));
+  std::string wire = header.Take();
+  wire.append(payload);
+  if (!WriteFull(fd, wire.data(), wire.size())) {
+    return Status::IoError("frame write failed: " + ErrnoString(errno));
+  }
+  return Status::OK();
+}
+
+Status ReadFrame(int fd, std::string* payload) {
+  char header[8];
+  int rc = ReadFull(fd, header, sizeof(header));
+  if (rc == 0) return Status(StatusCode::kUnavailable, kCleanCloseMessage);
+  if (rc < 0) {
+    if (errno == 0) return Status::Corrupt("torn frame: EOF inside header");
+    return Status::IoError("frame read failed: " + ErrnoString(errno));
+  }
+  BinReader hr(header, sizeof(header));
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  hr.U32(&len);
+  hr.U32(&crc);
+  if (len > kMaxFrameBytes) {
+    return Status::Corrupt("frame length " + std::to_string(len) +
+                           " exceeds 64MB limit");
+  }
+  payload->resize(len);
+  if (len > 0) {
+    rc = ReadFull(fd, payload->data(), len);
+    if (rc <= 0) {
+      if (rc == 0 || errno == 0) {
+        return Status::Corrupt("torn frame: EOF inside payload");
+      }
+      return Status::IoError("frame read failed: " + ErrnoString(errno));
+    }
+  }
+  if (Crc32(payload->data(), payload->size()) != crc) {
+    return Status::Corrupt("frame checksum mismatch");
+  }
+  return Status::OK();
+}
+
+bool IsCleanClose(const Status& s) {
+  return s.code() == StatusCode::kUnavailable &&
+         s.message() == kCleanCloseMessage;
+}
+
+std::string EncodeReply(const Status& s, const std::string& payload) {
+  BinWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kReply));
+  w.U8(static_cast<uint8_t>(s.code()));
+  w.Str(s.message());
+  w.Str(payload);
+  return w.Take();
+}
+
+bool DecodeReplyBody(BinReader* r, uint8_t* code, std::string* message,
+                     std::string* payload) {
+  return r->U8(code) && r->Str(message) && r->Str(payload);
+}
+
+std::string EncodeResult(const std::string& query, const RankedResult& res) {
+  BinWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kResult));
+  w.Str(query);
+  w.I64(res.window_id);
+  w.U64(static_cast<uint64_t>(res.rank));
+  w.Bool(res.provisional);
+  w.F64(res.match.score);
+  w.I64(res.match.first_ts);
+  w.I64(res.match.last_ts);
+  w.U64(res.match.last_sequence);
+  w.U32(static_cast<uint32_t>(res.match.row.size()));
+  for (const Value& v : res.match.row) SaveValue(&w, v);
+  return w.Take();
+}
+
+bool DecodeResultBody(BinReader* r, WireResult* out) {
+  uint32_t n = 0;
+  if (!r->Str(&out->query) || !r->I64(&out->window_id) || !r->U64(&out->rank) ||
+      !r->Bool(&out->provisional) || !r->F64(&out->score) ||
+      !r->I64(&out->first_ts) || !r->I64(&out->last_ts) ||
+      !r->U64(&out->last_sequence) || !r->U32(&n)) {
+    return false;
+  }
+  if (n > r->remaining()) {  // each value occupies >= 1 byte
+    r->Fail();
+    return false;
+  }
+  out->row.clear();
+  out->row.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Value v;
+    if (!LoadValue(r, &v)) return false;
+    out->row.push_back(std::move(v));
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace cepr

@@ -1,0 +1,211 @@
+#ifndef CEPR_NET_SERVER_H_
+#define CEPR_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.h"
+#include "runtime/engine.h"
+#include "runtime/sharded_engine.h"
+
+namespace cepr {
+namespace net {
+
+class Session;
+
+/// Configuration of a CeprServer instance.
+struct ServerOptions {
+  /// Listen address. The default binds loopback only; the server speaks an
+  /// unauthenticated binary protocol and is meant to sit behind trusted
+  /// transport.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+
+  /// 0 runs the serial Engine; N > 0 runs a ShardedEngine with N worker
+  /// shards (which rejects hot undeploy and post-start deploys — the
+  /// engine's own restrictions surface as error replies).
+  size_t num_shards = 0;
+  /// Engine knobs for the selected mode. sharded.num_shards is overridden
+  /// by `num_shards` above.
+  EngineOptions engine;
+  ShardedEngineOptions sharded;
+
+  /// Durability root. Empty disables persistence entirely; otherwise the
+  /// directory must exist and the server keeps `<dir>/snapshot.ckpt` and
+  /// `<dir>/wal.log` in it. On Start the server restores from the snapshot
+  /// + WAL tail when a snapshot is present, and cuts checkpoint 0 before
+  /// serving otherwise — so a later crash always has a snapshot to restore.
+  std::string data_dir;
+  /// Interval of the background checkpoint thread (snapshot + WAL sync);
+  /// 0 disables the timer (checkpoints then happen only on kCheckpoint
+  /// requests and clean Stop). Ignored without a data_dir.
+  int64_t checkpoint_interval_ms = 0;
+
+  /// Concurrent session cap; further connections are closed on accept.
+  size_t max_sessions = 64;
+};
+
+/// Engine-facade adapter: one virtual surface over Engine / ShardedEngine
+/// so sessions and the checkpoint timer are mode-agnostic. Calls follow the
+/// engines' single-ingest-thread contract because CeprServer serializes
+/// every call under one mutex.
+class EngineHost {
+ public:
+  virtual ~EngineHost() = default;
+
+  virtual Status ExecuteDdl(std::string_view ddl_text) = 0;
+  virtual Result<SchemaPtr> GetSchema(std::string_view stream_name) = 0;
+  virtual Status RegisterQuery(std::string name, std::string_view query_text,
+                               const QueryOptions& options, Sink* sink) = 0;
+  /// Unimplemented on the sharded engine.
+  virtual Status RemoveQuery(std::string_view name) = 0;
+  virtual Result<QueryMetrics> GetQueryMetrics(std::string_view name) = 0;
+  virtual Status Push(Event event) = 0;
+  virtual Status PushAll(std::vector<Event> events) = 0;
+  virtual Status Flush() = 0;
+  virtual void Finish() = 0;
+  virtual MetricsSnapshot Snapshot() = 0;
+  virtual Status OpenWal(const std::string& path) = 0;
+  virtual Status SyncWal() = 0;
+  virtual Status Checkpoint(const std::string& path) = 0;
+  virtual Status Restore(const std::string& snapshot_path,
+                         const std::string& wal_path,
+                         const SinkResolver& resolve) = 0;
+};
+
+/// Per-query result fan-out: the Sink the server registers for every
+/// deployed query. Results are encoded once (net/protocol.h kResult frame)
+/// and either forwarded to the subscribed session or buffered until one
+/// attaches, so a query deployed (or restored) before its consumer connects
+/// loses nothing. All methods run under the server's engine mutex.
+class ResultChannel : public Sink {
+ public:
+  explicit ResultChannel(std::string query) : query_(std::move(query)) {}
+
+  void OnResult(const RankedResult& result) override;
+
+  /// Subscribes `session`, first flushing every buffered frame to it.
+  /// Replaces any previous subscriber.
+  void Attach(Session* session);
+  /// Drops the subscriber if it is `session` (session teardown); later
+  /// results buffer again.
+  void Detach(Session* session);
+
+  /// Results this channel has observed in this server life (forwarded or
+  /// buffered). The query's persistent results counter minus this is the
+  /// count of results delivered in *previous* lives — what kSubscribe
+  /// reports as `prior`.
+  uint64_t seen() const { return seen_; }
+
+ private:
+  const std::string query_;
+  Session* subscriber_ = nullptr;
+  std::vector<std::string> buffered_;  // encoded kResult frames
+  uint64_t seen_ = 0;
+};
+
+/// Long-running CEPR network server: owns one engine (serial or sharded),
+/// accepts sessions speaking the net/protocol.h frame protocol, and drives
+/// durability (WAL + timer checkpoints + restore-on-start).
+///
+/// Concurrency model: session threads and the checkpoint timer serialize
+/// every engine call through one mutex — the engines keep their
+/// single-ingest-thread contract, sinks fire under the lock, and result
+/// frames go out through each Session's write mutex (lock order: engine
+/// mutex, then session write mutex; never the reverse).
+class CeprServer {
+ public:
+  explicit CeprServer(ServerOptions options);
+  ~CeprServer();
+
+  CeprServer(const CeprServer&) = delete;
+  CeprServer& operator=(const CeprServer&) = delete;
+
+  /// Builds (or restores) the engine, binds the listen socket and starts
+  /// the accept and checkpoint-timer threads.
+  Status Start();
+
+  /// Clean shutdown: stops accepting, closes every session, then syncs the
+  /// WAL and cuts a final checkpoint (with a data_dir). Idempotent.
+  void Stop();
+
+  /// Simulated crash for recovery tests: tears the server down exactly like
+  /// Stop but skips the final checkpoint and WAL sync, so the next Start
+  /// sees only what the durability layer had already made persistent.
+  void CrashStop();
+
+  /// The bound TCP port (resolves ephemeral port 0); valid after Start.
+  uint16_t port() const { return bound_port_; }
+
+  const ServerOptions& options() const { return options_; }
+
+  // -- Session-facing operations (each serializes on the engine mutex) ------
+
+  Status Ddl(const std::string& ddl_text);
+  Result<SchemaPtr> LookupStream(const std::string& stream_name);
+  Status PushEvent(Event event);
+  Status PushBatch(std::vector<Event> events);
+  /// Deploys and subscribes `session` to the query's results.
+  Status Deploy(const std::string& name, const std::string& query_text,
+                const QueryOptions& query_options, Session* session);
+  Status Undeploy(const std::string& name);
+  /// Attaches `session` to the query's result channel (flushing buffered
+  /// results) and returns the count of results delivered in previous
+  /// server lives.
+  Result<uint64_t> Subscribe(const std::string& name, Session* session);
+  Status FlushEngine();
+  Status FinishEngine();
+  std::string MetricsJson();
+  Status CheckpointNow();
+  /// Session teardown: unsubscribes it from every channel.
+  void DetachSession(Session* session);
+
+ private:
+  void AcceptLoop();
+  void CheckpointLoop();
+  /// Tears down threads and sessions; `final_checkpoint` distinguishes
+  /// Stop from CrashStop.
+  void Shutdown(bool final_checkpoint);
+  std::string SnapshotPath() const;
+  std::string WalPath() const;
+  /// The SinkResolver handed to Restore: creates (or reuses) the named
+  /// query's ResultChannel.
+  Sink* ChannelFor(const std::string& name);
+
+  ServerOptions options_;
+
+  /// Serializes ALL engine access (sessions + checkpoint timer). Channels
+  /// are mutated under it too (OnResult runs inside engine calls).
+  std::mutex engine_mu_;
+  /// Declared before host_ so the engine (which holds raw Sink pointers
+  /// into the channels) is destroyed first.
+  std::map<std::string, std::unique_ptr<ResultChannel>> channels_;
+  std::unique_ptr<EngineHost> host_;
+
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::thread accept_thread_;
+
+  std::thread checkpoint_thread_;
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 0;
+};
+
+}  // namespace net
+}  // namespace cepr
+
+#endif  // CEPR_NET_SERVER_H_

@@ -1,0 +1,228 @@
+#include "net/session.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+#include "net/server.h"
+#include "runtime/serde.h"
+
+namespace cepr {
+namespace net {
+
+Session::Session(CeprServer* server, int fd, uint64_t id)
+    : server_(server), fd_(fd), id_(id) {}
+
+Session::~Session() {
+  Join();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Session::Start() {
+  thread_ = std::thread([this] { Serve(); });
+}
+
+void Session::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Session::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+Status Session::SendFrame(const std::string& payload) {
+  std::lock_guard<std::mutex> lk(write_mu_);
+  if (write_broken_) return Status::Unavailable("session write side broken");
+  Status s = WriteFrame(fd_, payload);
+  if (!s.ok()) write_broken_ = true;
+  return s;
+}
+
+void Session::Serve() {
+  while (true) {
+    std::string payload;
+    Status s = ReadFrame(fd_, &payload);
+    if (!s.ok()) {
+      // Frame-level failure: the byte stream itself is unframeable (or the
+      // peer left). Tell the peer why if the pipe still works, then close.
+      if (!IsCleanClose(s)) SendFrame(EncodeReply(s, ""));
+      break;
+    }
+    std::string reply = Dispatch(payload);
+    if (!SendFrame(reply).ok()) break;
+  }
+  server_->DetachSession(this);
+  {
+    std::lock_guard<std::mutex> lk(write_mu_);
+    write_broken_ = true;  // drop result frames still in flight to us
+  }
+  done_.store(true, std::memory_order_release);
+}
+
+std::string Session::Dispatch(const std::string& payload) {
+  BinReader r(payload);
+  uint8_t type_byte = 0;
+  if (!r.U8(&type_byte)) {
+    return EncodeReply(Status::InvalidArgument("empty message"), "");
+  }
+  const MsgType type = static_cast<MsgType>(type_byte);
+
+  if (!saw_hello_ && type != MsgType::kHello) {
+    return EncodeReply(
+        Status::InvalidArgument("expected kHello as the first message"), "");
+  }
+
+  switch (type) {
+    case MsgType::kHello: {
+      uint32_t version = 0;
+      if (!r.U32(&version) || !r.AtEnd()) break;
+      if (version != kProtocolVersion) {
+        return EncodeReply(
+            Status::InvalidArgument(
+                "unsupported protocol version " + std::to_string(version) +
+                " (server speaks " + std::to_string(kProtocolVersion) + ")"),
+            "");
+      }
+      saw_hello_ = true;
+      BinWriter w;
+      w.U32(kProtocolVersion);
+      return EncodeReply(Status::OK(), w.Take());
+    }
+
+    case MsgType::kDdl: {
+      std::string text;
+      if (!r.Str(&text) || !r.AtEnd()) break;
+      return EncodeReply(server_->Ddl(text), "");
+    }
+
+    case MsgType::kBindStream: {
+      std::string stream;
+      if (!r.Str(&stream) || !r.AtEnd()) break;
+      auto schema = server_->LookupStream(stream);
+      if (!schema.ok()) return EncodeReply(schema.status(), "");
+      bindings_.push_back(schema.value());
+      BinWriter w;
+      w.U32(static_cast<uint32_t>(bindings_.size() - 1));
+      return EncodeReply(Status::OK(), w.Take());
+    }
+
+    case MsgType::kEvent: {
+      uint32_t binding = 0;
+      if (!r.U32(&binding)) break;
+      if (binding >= bindings_.size()) {
+        return EncodeReply(
+            Status::InvalidArgument("unknown stream binding " +
+                                    std::to_string(binding)),
+            "");
+      }
+      Event event;
+      if (!LoadEventBody(&r, bindings_[binding], &event) || !r.AtEnd()) break;
+      return EncodeReply(server_->PushEvent(std::move(event)), "");
+    }
+
+    case MsgType::kEventBatch: {
+      uint32_t binding = 0;
+      uint32_t n = 0;
+      if (!r.U32(&binding) || !r.U32(&n)) break;
+      if (binding >= bindings_.size()) {
+        return EncodeReply(
+            Status::InvalidArgument("unknown stream binding " +
+                                    std::to_string(binding)),
+            "");
+      }
+      if (n > kMaxBatchEvents) {
+        return EncodeReply(
+            Status::InvalidArgument("batch of " + std::to_string(n) +
+                                    " events exceeds the per-message bound"),
+            "");
+      }
+      std::vector<Event> events;
+      events.reserve(n);
+      bool bad = false;
+      for (uint32_t i = 0; i < n; ++i) {
+        Event event;
+        if (!LoadEventBody(&r, bindings_[binding], &event)) {
+          bad = true;
+          break;
+        }
+        events.push_back(std::move(event));
+      }
+      if (bad || !r.AtEnd()) break;
+      return EncodeReply(server_->PushBatch(std::move(events)), "");
+    }
+
+    case MsgType::kDeploy: {
+      std::string name;
+      std::string text;
+      QueryOptions qopts;
+      if (!r.Str(&name) || !r.Str(&text) || !LoadQueryOptionsV1(&r, &qopts) ||
+          !r.AtEnd()) {
+        break;
+      }
+      return EncodeReply(server_->Deploy(name, text, qopts, this), "");
+    }
+
+    case MsgType::kUndeploy: {
+      std::string name;
+      if (!r.Str(&name) || !r.AtEnd()) break;
+      return EncodeReply(server_->Undeploy(name), "");
+    }
+
+    case MsgType::kSubscribe: {
+      std::string name;
+      if (!r.Str(&name) || !r.AtEnd()) break;
+      auto prior = server_->Subscribe(name, this);
+      if (!prior.ok()) return EncodeReply(prior.status(), "");
+      BinWriter w;
+      w.U64(prior.value());
+      return EncodeReply(Status::OK(), w.Take());
+    }
+
+    case MsgType::kFlush: {
+      if (!r.AtEnd()) break;
+      return EncodeReply(server_->FlushEngine(), "");
+    }
+
+    case MsgType::kFinish: {
+      if (!r.AtEnd()) break;
+      return EncodeReply(server_->FinishEngine(), "");
+    }
+
+    case MsgType::kMetrics: {
+      if (!r.AtEnd()) break;
+      return EncodeReply(Status::OK(), server_->MetricsJson());
+    }
+
+    case MsgType::kCheckpoint: {
+      if (!r.AtEnd()) break;
+      return EncodeReply(server_->CheckpointNow(), "");
+    }
+
+    case MsgType::kReply:
+    case MsgType::kResult:
+      return EncodeReply(
+          Status::InvalidArgument("server-to-client message type " +
+                                  std::to_string(type_byte) +
+                                  " sent by client"),
+          "");
+
+    default:
+      return EncodeReply(Status::Unimplemented("unknown message type " +
+                                               std::to_string(type_byte)),
+                         "");
+  }
+
+  // A case broke out: the body failed bounds/validation checks. The frame
+  // itself was intact (CRC passed), so the session survives.
+  Status body =
+      r.ToStatus("message type " + std::to_string(type_byte) + " body");
+  if (body.ok()) {
+    body = Status::InvalidArgument("message type " +
+                                   std::to_string(type_byte) +
+                                   " body has trailing bytes");
+  }
+  return EncodeReply(body, "");
+}
+
+}  // namespace net
+}  // namespace cepr

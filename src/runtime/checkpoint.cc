@@ -47,44 +47,8 @@ bool WriteAllFd(int fd, const char* data, size_t size) {
 }
 
 // -- Option blocks (format v1) ---------------------------------------------
-// Fault injectors are runtime pointers and are never serialized: the
-// restoring engine's constructed options supply them (MergeEngineCaps runs
-// again at re-registration).
-
-void SaveQueryOptionsV1(BinWriter* w, const QueryOptions& o) {
-  w->U8(static_cast<uint8_t>(o.ranker));
-  w->U64(static_cast<uint64_t>(o.matcher.max_active_runs));
-  w->U64(static_cast<uint64_t>(o.matcher.max_total_runs));
-  w->U8(static_cast<uint8_t>(o.matcher.shed_policy));
-  w->U8(static_cast<uint8_t>(o.matcher.fault_policy));
-  w->Bool(o.matcher.cow_bindings);
-  w->Bool(o.matcher.use_arena);
-  w->Bool(o.matcher.predicate_cache);
-  w->Bool(o.matcher.bytecode_eval);
-}
-
-bool LoadQueryOptionsV1(BinReader* r, QueryOptions* o) {
-  uint8_t ranker = 0, shed = 0, fault = 0;
-  uint64_t max_active = 0, max_total = 0;
-  if (!r->U8(&ranker) || !r->U64(&max_active) || !r->U64(&max_total) ||
-      !r->U8(&shed) || !r->U8(&fault) || !r->Bool(&o->matcher.cow_bindings) ||
-      !r->Bool(&o->matcher.use_arena) || !r->Bool(&o->matcher.predicate_cache) ||
-      !r->Bool(&o->matcher.bytecode_eval)) {
-    return false;
-  }
-  if (ranker > static_cast<uint8_t>(RankerPolicy::kPruned) ||
-      shed > static_cast<uint8_t>(ShedPolicy::kShedLowestScoreBound) ||
-      fault > static_cast<uint8_t>(FaultPolicy::kSkipAndCount)) {
-    r->Fail();
-    return false;
-  }
-  o->ranker = static_cast<RankerPolicy>(ranker);
-  o->matcher.max_active_runs = static_cast<size_t>(max_active);
-  o->matcher.max_total_runs = static_cast<size_t>(max_total);
-  o->matcher.shed_policy = static_cast<ShedPolicy>(shed);
-  o->matcher.fault_policy = static_cast<FaultPolicy>(fault);
-  return true;
-}
+// SaveQueryOptionsV1 / LoadQueryOptionsV1 live in runtime/serde.* now: the
+// WAL's deploy records and the network deploy message share the encoding.
 
 bool ValidatePoliciesV1(BinReader* r, uint8_t late, uint8_t shed,
                         uint8_t fault) {
@@ -149,7 +113,7 @@ Status WriteSnapshotFile(const std::string& path, EngineKind kind,
       ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) {
     return Status::IoError("checkpoint: cannot create '" + tmp +
-                           "': " + std::strerror(errno));
+                           "': " + ErrnoString(errno));
   }
 
   if (injector != nullptr &&
@@ -166,23 +130,41 @@ Status WriteSnapshotFile(const std::string& path, EngineKind kind,
   }
 
   if (!WriteAllFd(fd, image.data(), image.size())) {
-    const std::string err = std::strerror(errno);
+    const std::string err = ErrnoString(errno);
     ::close(fd);
     return Status::IoError("checkpoint: write to '" + tmp + "' failed: " + err);
   }
   if (::fsync(fd) != 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = ErrnoString(errno);
     ::close(fd);
     return Status::IoError("checkpoint: fsync '" + tmp + "' failed: " + err);
   }
   if (::close(fd) != 0) {
     return Status::IoError("checkpoint: close '" + tmp +
-                           "' failed: " + std::strerror(errno));
+                           "' failed: " + ErrnoString(errno));
   }
+
+  if (injector != nullptr &&
+      injector->ShouldFire(fault_points::kFsyncParentDir, attempt)) {
+    // Simulated kill during the publish step: the temp file is complete and
+    // fsynced, but the rename and the parent-directory fsync that would make
+    // the new filename durable never happen — the durable state a crash in
+    // this window leaves behind is "previous snapshot (if any) still
+    // current", which is exactly what recovery must see.
+    return Status::IoError(
+        "checkpoint: injected crash before durable publish of '" + path +
+        "' (attempt " + std::to_string(attempt) +
+        "); previous snapshot still current");
+  }
+
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return Status::IoError("checkpoint: rename '" + tmp + "' -> '" + path +
-                           "' failed: " + std::strerror(errno));
+                           "' failed: " + ErrnoString(errno));
   }
+  // The rename updated the directory; until the directory inode is synced a
+  // crash can lose the snapshot's filename even though its bytes are on
+  // disk.
+  CEPR_RETURN_IF_ERROR(FsyncParentDir(path));
   if (bytes_written != nullptr) *bytes_written = image.size();
   return Status::OK();
 }
@@ -195,14 +177,14 @@ Result<std::string> ReadSnapshotBody(const std::string& path,
       return Status::NotFound("snapshot '" + path + "' does not exist");
     }
     return Status::IoError("snapshot: cannot open '" + path +
-                           "': " + std::strerror(errno));
+                           "': " + ErrnoString(errno));
   }
   std::string data;
   const bool read_ok = ReadAllFd(fd, &data);
   ::close(fd);
   if (!read_ok) {
     return Status::IoError("snapshot: cannot read '" + path +
-                           "': " + std::strerror(errno));
+                           "': " + ErrnoString(errno));
   }
 
   constexpr size_t kHeaderBytes = sizeof(kMagic) + 4 + 1 + 4 + 4;
@@ -422,7 +404,8 @@ Status Engine::LoadBody(BinReader* r, const SinkResolver& resolve,
   return r->ToStatus("snapshot: engine body");
 }
 
-Status Engine::ReplayWal(const std::string& wal_path, uint64_t skip) {
+Status Engine::ReplayWal(const std::string& wal_path, uint64_t skip,
+                         const SinkResolver& resolve) {
   std::vector<WalRecord> records;
   uint64_t dropped = 0;
   CEPR_RETURN_IF_ERROR(WalReader::ReadAll(wal_path, &records, &dropped));
@@ -452,6 +435,35 @@ Status Engine::ReplayWal(const std::string& wal_path, uint64_t skip) {
     const WalRecord& rec = records[i];
     if (rec.kind == WalRecord::Kind::kFlush) {
       failed = Flush();
+      continue;
+    }
+    if (rec.kind == WalRecord::Kind::kSchema) {
+      BinReader pr(rec.payload);
+      auto loaded = LoadSchema(&pr);
+      if (!loaded.ok() || !pr.AtEnd()) {
+        failed = Status::Corrupt("wal replay: record " + std::to_string(i) +
+                                 " holds a malformed schema registration");
+        break;
+      }
+      failed = RegisterSchema(loaded.value());
+      continue;
+    }
+    if (rec.kind == WalRecord::Kind::kDeploy) {
+      BinReader pr(rec.payload);
+      std::string text;
+      QueryOptions qopts;
+      if (!pr.Str(&text) || !LoadQueryOptionsV1(&pr, &qopts) || !pr.AtEnd()) {
+        failed = Status::Corrupt("wal replay: record " + std::to_string(i) +
+                                 " holds a malformed deploy of query '" +
+                                 rec.name + "'");
+        break;
+      }
+      failed = RegisterQuery(rec.name, text, qopts,
+                             resolve ? resolve(rec.name) : nullptr);
+      continue;
+    }
+    if (rec.kind == WalRecord::Kind::kUndeploy) {
+      failed = RemoveQuery(rec.name);
       continue;
     }
     auto schema = GetSchema(rec.stream);
@@ -492,7 +504,7 @@ Status Engine::Restore(const std::string& snapshot_path,
                            " trailing byte(s) after the engine body");
   }
   if (!wal_path.empty()) {
-    CEPR_RETURN_IF_ERROR(ReplayWal(wal_path, wal_cut));
+    CEPR_RETURN_IF_ERROR(ReplayWal(wal_path, wal_cut, resolve));
     // Reopen for continued appending: the restored engine journals new
     // arrivals after the replayed tail.
     auto wal = std::make_unique<WalWriter>();
@@ -788,7 +800,8 @@ Status ShardedEngine::LoadBody(BinReader* r, const SinkResolver& resolve,
   return r->ToStatus("snapshot: sharded engine body");
 }
 
-Status ShardedEngine::ReplayWal(const std::string& wal_path, uint64_t skip) {
+Status ShardedEngine::ReplayWal(const std::string& wal_path, uint64_t skip,
+                                const SinkResolver& resolve) {
   std::vector<WalRecord> records;
   uint64_t dropped = 0;
   CEPR_RETURN_IF_ERROR(WalReader::ReadAll(wal_path, &records, &dropped));
@@ -819,6 +832,39 @@ Status ShardedEngine::ReplayWal(const std::string& wal_path, uint64_t skip) {
     if (rec.kind == WalRecord::Kind::kFlush) {
       failed = Flush();
       continue;
+    }
+    if (rec.kind == WalRecord::Kind::kSchema) {
+      BinReader pr(rec.payload);
+      auto loaded = LoadSchema(&pr);
+      if (!loaded.ok() || !pr.AtEnd()) {
+        failed = Status::Corrupt("wal replay: record " + std::to_string(i) +
+                                 " holds a malformed schema registration");
+        break;
+      }
+      failed = RegisterSchema(loaded.value());
+      continue;
+    }
+    if (rec.kind == WalRecord::Kind::kDeploy) {
+      BinReader pr(rec.payload);
+      std::string text;
+      QueryOptions qopts;
+      if (!pr.Str(&text) || !LoadQueryOptionsV1(&pr, &qopts) || !pr.AtEnd()) {
+        failed = Status::Corrupt("wal replay: record " + std::to_string(i) +
+                                 " holds a malformed deploy of query '" +
+                                 rec.name + "'");
+        break;
+      }
+      failed = RegisterQuery(rec.name, text, qopts,
+                             resolve ? resolve(rec.name) : nullptr);
+      continue;
+    }
+    if (rec.kind == WalRecord::Kind::kUndeploy) {
+      // The sharded engine has no RemoveQuery; its WAL never holds one.
+      failed = Status::Corrupt("wal replay: record " + std::to_string(i) +
+                               " undeploys query '" + rec.name +
+                               "' but the sharded engine cannot remove "
+                               "queries");
+      break;
     }
     auto schema = GetSchema(rec.stream);
     if (!schema.ok()) {
@@ -856,7 +902,7 @@ Status ShardedEngine::Restore(const std::string& snapshot_path,
                            " trailing byte(s) after the engine body");
   }
   if (!wal_path.empty()) {
-    CEPR_RETURN_IF_ERROR(ReplayWal(wal_path, wal_cut));
+    CEPR_RETURN_IF_ERROR(ReplayWal(wal_path, wal_cut, resolve));
     auto wal = std::make_unique<WalWriter>();
     CEPR_RETURN_IF_ERROR(wal->Open(wal_path, options_.fault_injector));
     wal_ = std::move(wal);

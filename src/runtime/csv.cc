@@ -164,8 +164,11 @@ Result<Value> ParseCell(const std::string& text, ValueType type, int line_no) {
 }  // namespace
 
 Status WriteEventsCsv(const std::string& path, const std::vector<Event>& events) {
+  errno = 0;
   std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open " + path + ": " + ErrnoString(errno));
+  }
   if (events.empty()) return Status::OK();
 
   const SchemaPtr& schema = events.front().schema();
@@ -228,8 +231,11 @@ Result<std::vector<Event>> ReadEventsCsv(const std::string& path,
                                          SchemaPtr schema,
                                          const CsvReadOptions& options,
                                          CsvReadStats* stats) {
+  errno = 0;
   std::ifstream in(path);
-  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path + ": " + ErrnoString(errno));
+  }
 
   std::vector<Event> events;
   std::string record;
@@ -286,7 +292,7 @@ CsvResultSink::CsvResultSink(const std::string& path,
                              std::vector<std::string> column_names)
     : out_(path, std::ios::trunc) {
   if (!out_.is_open()) {
-    status_ = Status::IoError("cannot open " + path);
+    status_ = Status::IoError("cannot open " + path + ": " + ErrnoString(errno));
     return;
   }
   out_ << "window,rank,provisional,score,first_ts,last_ts";

@@ -7,6 +7,7 @@
 #include "common/strings.h"
 #include "lang/parser.h"
 #include "plan/compiler.h"
+#include "runtime/serde.h"
 
 namespace cepr {
 
@@ -42,6 +43,14 @@ Status Engine::RegisterSchema(SchemaPtr schema) {
   const auto [it, inserted] = streams_.try_emplace(key);
   it->second.schema = std::move(schema);
   it->second.reorder.set_config(DefaultReorderConfig());
+  // Journal the registration so a crash before the next checkpoint does not
+  // lose the stream (replay re-registers it before any of its events).
+  if (wal_ != nullptr && !replaying_) {
+    BinWriter blob;
+    SaveSchema(&blob, *it->second.schema);
+    CEPR_RETURN_IF_ERROR(wal_->AppendSchema(blob.buffer()));
+    ++durability_.wal_records_appended;
+  }
   return Status::OK();
 }
 
@@ -124,6 +133,16 @@ Status Engine::RegisterQuery(std::string name, std::string_view query_text,
   registrations_.insert_or_assign(
       key, QueryRegistration{std::string(query_text), options});
   RecomputeForwardTargets();
+  // Journal the deploy (pre-merge options, like the snapshot) so a hot
+  // deploy between checkpoints survives a crash at its stream position.
+  if (wal_ != nullptr && !replaying_) {
+    BinWriter blob;
+    blob.Str(std::string(query_text));
+    SaveQueryOptionsV1(&blob, options);
+    CEPR_RETURN_IF_ERROR(
+        wal_->AppendDeploy(queries_.find(key)->second->name(), blob.buffer()));
+    ++durability_.wal_records_appended;
+  }
   return Status::OK();
 }
 
@@ -228,6 +247,10 @@ Status Engine::RemoveQuery(std::string_view name) {
   queries_.erase(it);
   if (stream != nullptr) RebuildSharedStream(*stream);
   RecomputeForwardTargets();
+  if (wal_ != nullptr && !replaying_) {
+    CEPR_RETURN_IF_ERROR(wal_->AppendUndeploy(std::string(name)));
+    ++durability_.wal_records_appended;
+  }
   return Status::OK();
 }
 

@@ -316,8 +316,11 @@ class Engine {
   Status LoadBody(BinReader* r, const SinkResolver& resolve,
                   uint64_t* wal_cut);
   /// Replays a journal tail through the normal ingest path, skipping the
-  /// first `skip` records (already captured by the snapshot).
-  Status ReplayWal(const std::string& wal_path, uint64_t skip);
+  /// first `skip` records (already captured by the snapshot). Registration
+  /// records (schemas, deploys, undeploys journaled after the cut) are
+  /// re-applied in position; `resolve` supplies replayed deploys' sinks.
+  Status ReplayWal(const std::string& wal_path, uint64_t skip,
+                   const SinkResolver& resolve);
 
   EngineOptions options_;
   std::map<std::string, StreamState, std::less<>> streams_;

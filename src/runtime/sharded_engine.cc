@@ -10,6 +10,7 @@
 #include "common/strings.h"
 #include "lang/parser.h"
 #include "plan/compiler.h"
+#include "runtime/serde.h"
 
 namespace cepr {
 
@@ -59,6 +60,14 @@ Status ShardedEngine::RegisterSchema(SchemaPtr schema) {
   const auto [it, inserted] = streams_.try_emplace(key);
   it->second.schema = std::move(schema);
   it->second.reorder.set_config(DefaultReorderConfig());
+  // Journal the registration so a crash before the next checkpoint does not
+  // lose the stream (replay re-registers it before any of its events).
+  if (wal_ != nullptr && !replaying_) {
+    BinWriter blob;
+    SaveSchema(&blob, *it->second.schema);
+    CEPR_RETURN_IF_ERROR(wal_->AppendSchema(blob.buffer()));
+    wal_appended_.Increment();
+  }
   return Status::OK();
 }
 
@@ -152,6 +161,16 @@ Status ShardedEngine::RegisterQuery(std::string name,
   }
   query_index_.emplace(key, qi);
   queries_.push_back(std::move(q));
+  // Journal the deploy (pre-merge options, like the snapshot) so a
+  // registration after the last checkpoint survives a crash.
+  if (wal_ != nullptr && !replaying_) {
+    BinWriter blob;
+    blob.Str(std::string(query_text));
+    SaveQueryOptionsV1(&blob, options);
+    CEPR_RETURN_IF_ERROR(
+        wal_->AppendDeploy(queries_.back()->name, blob.buffer()));
+    wal_appended_.Increment();
+  }
   return Status::OK();
 }
 

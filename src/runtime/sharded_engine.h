@@ -447,7 +447,8 @@ class ShardedEngine {
   void SaveBody(BinWriter* w) const;
   Status LoadBody(BinReader* r, const SinkResolver& resolve,
                   uint64_t* wal_cut);
-  Status ReplayWal(const std::string& wal_path, uint64_t skip);
+  Status ReplayWal(const std::string& wal_path, uint64_t skip,
+                   const SinkResolver& resolve);
 
   std::unique_ptr<WalWriter> wal_;
   bool replaying_ = false;

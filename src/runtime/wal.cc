@@ -1,10 +1,10 @@
 #include "runtime/wal.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <utility>
 
 #include "common/binio.h"
@@ -17,43 +17,60 @@ namespace {
 // records; the scanner treats them as a torn/corrupt tail.
 constexpr uint32_t kMaxRecordBytes = 64u << 20;
 
+// Chunk size of the open-time tail scan. The scan buffer never holds more
+// than one chunk plus one partially buffered frame, so reopening a multi-GB
+// journal costs bounded memory instead of the whole file.
+constexpr size_t kScanChunkBytes = 256u << 10;
+
 std::string EncodeRecord(const WalRecord& rec) {
   BinWriter payload;
   payload.U8(static_cast<uint8_t>(rec.kind));
-  if (rec.kind == WalRecord::Kind::kEvent) {
-    payload.Str(rec.stream);
-    SaveEventBody(&payload, rec.event);
+  switch (rec.kind) {
+    case WalRecord::Kind::kEvent:
+      payload.Str(rec.stream);
+      SaveEventBody(&payload, rec.event);
+      break;
+    case WalRecord::Kind::kFlush:
+      break;
+    case WalRecord::Kind::kSchema:
+      payload.Str(rec.payload);
+      break;
+    case WalRecord::Kind::kDeploy:
+      payload.Str(rec.name);
+      payload.Str(rec.payload);
+      break;
+    case WalRecord::Kind::kUndeploy:
+      payload.Str(rec.name);
+      break;
   }
   return payload.Take();
 }
 
 // Decodes one payload; false = corrupt (unknown kind / malformed body).
-bool DecodeRecord(const std::string& payload, WalRecord* out) {
-  BinReader r(payload);
+bool DecodeRecord(const char* payload, size_t size, WalRecord* out) {
+  BinReader r(payload, size);
   uint8_t kind = 0;
   if (!r.U8(&kind)) return false;
-  if (kind > static_cast<uint8_t>(WalRecord::Kind::kFlush)) return false;
+  if (kind > static_cast<uint8_t>(WalRecord::Kind::kUndeploy)) return false;
   out->kind = static_cast<WalRecord::Kind>(kind);
-  if (out->kind == WalRecord::Kind::kEvent) {
-    if (!r.Str(&out->stream)) return false;
-    if (!LoadEventBody(&r, nullptr, &out->event)) return false;
+  switch (out->kind) {
+    case WalRecord::Kind::kEvent:
+      if (!r.Str(&out->stream)) return false;
+      if (!LoadEventBody(&r, nullptr, &out->event)) return false;
+      break;
+    case WalRecord::Kind::kFlush:
+      break;
+    case WalRecord::Kind::kSchema:
+      if (!r.Str(&out->payload)) return false;
+      break;
+    case WalRecord::Kind::kDeploy:
+      if (!r.Str(&out->name) || !r.Str(&out->payload)) return false;
+      break;
+    case WalRecord::Kind::kUndeploy:
+      if (!r.Str(&out->name)) return false;
+      break;
   }
   return r.AtEnd();
-}
-
-// Reads the whole file behind `fd` into `out`. Returns false on read error.
-bool ReadFile(int fd, std::string* out) {
-  out->clear();
-  char buf[1 << 16];
-  for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (n == 0) return true;
-    out->append(buf, static_cast<size_t>(n));
-  }
 }
 
 bool WriteAll(int fd, const char* data, size_t size) {
@@ -69,28 +86,59 @@ bool WriteAll(int fd, const char* data, size_t size) {
   return true;
 }
 
-// Scans `data` frame by frame; returns the byte length of the valid prefix
-// and counts the records in it. Optionally collects decoded records.
-size_t ScanValid(const std::string& data, uint64_t* num_records,
+// Streams the file behind `fd` (positioned at byte 0) frame by frame in
+// fixed-size chunks. On return *valid_bytes is the length of the valid
+// prefix and *num_records the frames in it; anything past that is a torn or
+// corrupt tail. Optionally collects decoded records. Returns false on a
+// read error (errno holds the cause); the scan itself cannot fail — a bad
+// frame just ends the valid prefix, matching the LevelDB-style recovery
+// convention.
+bool ScanFdValid(int fd, uint64_t* num_records, size_t* valid_bytes,
                  std::vector<WalRecord>* out) {
-  size_t pos = 0;
   *num_records = 0;
-  while (data.size() - pos >= 8) {
-    BinReader header(data.data() + pos, 8);
-    uint32_t len = 0;
-    uint32_t crc = 0;
-    header.U32(&len);
-    header.U32(&crc);
-    if (len > kMaxRecordBytes || data.size() - pos - 8 < len) break;
-    const char* payload = data.data() + pos + 8;
-    if (Crc32(payload, len) != crc) break;
-    WalRecord rec;
-    if (!DecodeRecord(std::string(payload, len), &rec)) break;
-    if (out != nullptr) out->push_back(std::move(rec));
-    pos += 8 + len;
-    ++*num_records;
+  *valid_bytes = 0;
+  std::string buf;
+  size_t pos = 0;   // consumed bytes within buf
+  size_t base = 0;  // file offset of buf[0]
+  bool eof = false;
+  for (;;) {
+    // Parse every complete frame the buffer holds.
+    for (;;) {
+      if (buf.size() - pos < 8) break;
+      BinReader header(buf.data() + pos, 8);
+      uint32_t len = 0;
+      uint32_t crc = 0;
+      header.U32(&len);
+      header.U32(&crc);
+      if (len > kMaxRecordBytes) return true;  // garbage length: tail starts here
+      if (buf.size() - pos - 8 < len) break;   // frame not fully buffered yet
+      const char* payload = buf.data() + pos + 8;
+      if (Crc32(payload, len) != crc) return true;
+      WalRecord rec;
+      if (!DecodeRecord(payload, len, &rec)) return true;
+      if (out != nullptr) out->push_back(std::move(rec));
+      pos += 8 + static_cast<size_t>(len);
+      ++*num_records;
+      *valid_bytes = base + pos;
+    }
+    if (eof) return true;
+    // Drop the consumed prefix before reading more so the buffer stays at
+    // one chunk plus the partially buffered frame (if any).
+    if (pos > 0) {
+      buf.erase(0, pos);
+      base += pos;
+      pos = 0;
+    }
+    const size_t old = buf.size();
+    buf.resize(old + kScanChunkBytes);
+    ssize_t n;
+    do {
+      n = ::read(fd, buf.data() + old, kScanChunkBytes);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return false;
+    buf.resize(old + static_cast<size_t>(n));
+    if (n == 0) eof = true;
   }
-  return pos;
 }
 
 }  // namespace
@@ -100,30 +148,48 @@ Status WalWriter::Open(const std::string& path, const FaultInjector* injector) {
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd < 0) {
     return Status::IoError("wal: cannot open '" + path +
-                           "': " + std::strerror(errno));
+                           "': " + ErrnoString(errno));
   }
-  std::string data;
-  if (!ReadFile(fd, &data)) {
-    ::close(fd);
-    return Status::IoError("wal: cannot read '" + path +
-                           "': " + std::strerror(errno));
+  // A crash right after O_CREAT must not lose the journal's filename; the
+  // directory entry is only durable once the directory itself is synced.
+  {
+    const Status s = FsyncParentDir(path);
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
   }
   uint64_t num_records = 0;
-  const size_t valid = ScanValid(data, &num_records, nullptr);
-  if (valid < data.size()) {
+  size_t valid = 0;
+  if (!ScanFdValid(fd, &num_records, &valid, nullptr)) {
+    const Status s = Status::IoError("wal: cannot read '" + path +
+                                     "': " + ErrnoString(errno));
+    ::close(fd);
+    return s;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status s = Status::IoError("wal: cannot stat '" + path +
+                                     "': " + ErrnoString(errno));
+    ::close(fd);
+    return s;
+  }
+  if (valid < static_cast<size_t>(st.st_size)) {
     // Crash signature: a torn or corrupt tail. Drop it and resume after the
     // last intact record.
     if (::ftruncate(fd, static_cast<off_t>(valid)) != 0) {
+      const Status s = Status::IoError(
+          "wal: cannot truncate torn tail of '" + path + "' at byte " +
+          std::to_string(valid) + ": " + ErrnoString(errno));
       ::close(fd);
-      return Status::IoError("wal: cannot truncate torn tail of '" + path +
-                             "' at byte " + std::to_string(valid) + ": " +
-                             std::strerror(errno));
+      return s;
     }
   }
   if (::lseek(fd, static_cast<off_t>(valid), SEEK_SET) < 0) {
+    const Status s = Status::IoError("wal: cannot seek '" + path +
+                                     "': " + ErrnoString(errno));
     ::close(fd);
-    return Status::IoError("wal: cannot seek '" + path +
-                           "': " + std::strerror(errno));
+    return s;
   }
   fd_ = fd;
   path_ = path;
@@ -158,7 +224,7 @@ Status WalWriter::AppendPayload(const std::string& payload) {
 
   if (!WriteAll(fd_, bytes.data(), bytes.size())) {
     return Status::IoError("wal: append to '" + path_ +
-                           "' failed: " + std::strerror(errno));
+                           "' failed: " + ErrnoString(errno));
   }
   ++records_;
   return Status::OK();
@@ -178,11 +244,34 @@ Status WalWriter::AppendFlush() {
   return AppendPayload(EncodeRecord(rec));
 }
 
+Status WalWriter::AppendSchema(const std::string& schema_blob) {
+  WalRecord rec;
+  rec.kind = WalRecord::Kind::kSchema;
+  rec.payload = schema_blob;
+  return AppendPayload(EncodeRecord(rec));
+}
+
+Status WalWriter::AppendDeploy(const std::string& name,
+                               const std::string& blob) {
+  WalRecord rec;
+  rec.kind = WalRecord::Kind::kDeploy;
+  rec.name = name;
+  rec.payload = blob;
+  return AppendPayload(EncodeRecord(rec));
+}
+
+Status WalWriter::AppendUndeploy(const std::string& name) {
+  WalRecord rec;
+  rec.kind = WalRecord::Kind::kUndeploy;
+  rec.name = name;
+  return AppendPayload(EncodeRecord(rec));
+}
+
 Status WalWriter::Sync() {
   if (!is_open()) return Status::InvalidArgument("wal: not open");
   if (::fdatasync(fd_) != 0) {
     return Status::IoError("wal: fdatasync '" + path_ +
-                           "' failed: " + std::strerror(errno));
+                           "' failed: " + ErrnoString(errno));
   }
   return Status::OK();
 }
@@ -205,19 +294,20 @@ Status WalReader::ReadAll(const std::string& path, std::vector<WalRecord>* out,
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     return Status::IoError("wal: cannot open '" + path +
-                           "': " + std::strerror(errno));
-  }
-  std::string data;
-  const bool read_ok = ReadFile(fd, &data);
-  ::close(fd);
-  if (!read_ok) {
-    return Status::IoError("wal: cannot read '" + path +
-                           "': " + std::strerror(errno));
+                           "': " + ErrnoString(errno));
   }
   uint64_t num_records = 0;
-  const size_t valid = ScanValid(data, &num_records, out);
+  size_t valid = 0;
+  const bool read_ok = ScanFdValid(fd, &num_records, &valid, out);
+  struct stat st;
+  const bool stat_ok = ::fstat(fd, &st) == 0;
+  ::close(fd);
+  if (!read_ok || !stat_ok) {
+    return Status::IoError("wal: cannot read '" + path +
+                           "': " + ErrnoString(errno));
+  }
   if (dropped_bytes != nullptr) {
-    *dropped_bytes = static_cast<uint64_t>(data.size() - valid);
+    *dropped_bytes = static_cast<uint64_t>(st.st_size) - valid;
   }
   return Status::OK();
 }

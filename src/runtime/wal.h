@@ -18,14 +18,31 @@ namespace cepr {
 /// exactly, so recovery needs no second code path. Explicit Flush() calls
 /// are journaled too — a flush changes the release frontier, so replay must
 /// reproduce it at the same position.
+///
+/// Registrations are journaled as well (kSchema / kDeploy / kUndeploy), so
+/// a query deployed on a live server between two checkpoints survives a
+/// crash: replay re-registers it at exactly the stream position it joined.
+/// Registration payloads are opaque serde blobs encoded by the engine
+/// (SaveSchema; query text + SaveQueryOptionsV1) — the WAL layer frames
+/// them without understanding them.
 struct WalRecord {
-  enum class Kind : uint8_t { kEvent = 0, kFlush = 1 };
+  enum class Kind : uint8_t {
+    kEvent = 0,
+    kFlush = 1,
+    kSchema = 2,    // stream registration: payload = SaveSchema blob
+    kDeploy = 3,    // query registration: name + payload (text, options)
+    kUndeploy = 4,  // query removal: name
+  };
   Kind kind = Kind::kEvent;
   /// Target stream (kEvent only).
   std::string stream;
   /// Schema-less event body (kEvent only); re-bound to the registered
   /// schema at replay time.
   Event event;
+  /// Query name (kDeploy / kUndeploy only).
+  std::string name;
+  /// Opaque registration blob (kSchema / kDeploy only).
+  std::string payload;
 };
 
 /// Append-only CRC-framed event journal. Frame layout, all little-endian:
@@ -46,9 +63,11 @@ class WalWriter {
   WalWriter& operator=(const WalWriter&) = delete;
 
   /// Opens (or creates) the journal at `path` for appending, scanning any
-  /// existing content. After Open, records() is the number of valid records
-  /// already in the file. `injector` (optional, not owned) drives the
-  /// `wal.torn_tail` crash point.
+  /// existing content in fixed-size chunks (memory stays bounded however
+  /// large the log grew). After Open, records() is the number of valid
+  /// records already in the file. A newly created file is made durable by
+  /// fsyncing the parent directory. `injector` (optional, not owned)
+  /// drives the `wal.torn_tail` crash point.
   Status Open(const std::string& path, const FaultInjector* injector = nullptr);
 
   /// Appends one arrival record. The event's schema pointer is not
@@ -57,6 +76,14 @@ class WalWriter {
 
   /// Appends a flush marker.
   Status AppendFlush();
+
+  /// Appends a stream registration (`schema_blob` = SaveSchema output).
+  Status AppendSchema(const std::string& schema_blob);
+
+  /// Appends a query registration (`blob` = query text + options, encoded
+  /// by the engine) / removal.
+  Status AppendDeploy(const std::string& name, const std::string& blob);
+  Status AppendUndeploy(const std::string& name);
 
   /// Forces appended records to stable storage (fdatasync).
   Status Sync();

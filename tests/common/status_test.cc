@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "common/result.h"
 
 namespace cepr {
@@ -50,6 +55,43 @@ Status UseReturnIfError(bool fail) {
 TEST(StatusTest, ReturnIfErrorPropagates) {
   EXPECT_EQ(UseReturnIfError(true).code(), StatusCode::kInternal);
   EXPECT_EQ(UseReturnIfError(false).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ErrnoStringTest, FormatsKnownErrnos) {
+  // Exact spellings are libc-specific; the contract is a non-empty,
+  // errno-specific description (what strerror would say, minus the race).
+  EXPECT_FALSE(ErrnoString(ENOENT).empty());
+  EXPECT_FALSE(ErrnoString(EACCES).empty());
+  EXPECT_NE(ErrnoString(ENOENT), ErrnoString(EACCES));
+}
+
+TEST(ErrnoStringTest, SurvivesUnknownErrno) {
+  const std::string s = ErrnoString(123456789);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(ErrnoStringTest, ConcurrentCallsReturnIndependentBuffers) {
+  // The reason ErrnoString exists: std::strerror may share one static
+  // buffer across threads. Hammer two distinct errnos from many threads
+  // and require every result to be the right one for its input.
+  const std::string want_noent = ErrnoString(ENOENT);
+  const std::string want_acces = ErrnoString(EACCES);
+  ASSERT_NE(want_noent, want_acces);
+  std::vector<std::thread> threads;
+  std::vector<int> bad_results(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      const int err = (t % 2 == 0) ? ENOENT : EACCES;
+      const std::string& want = (t % 2 == 0) ? want_noent : want_acces;
+      for (int i = 0; i < 2000; ++i) {
+        if (ErrnoString(err) != want) {
+          bad_results[t]++;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(bad_results[t], 0) << "thread " << t;
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -237,6 +237,7 @@ void RunCrashRecovery(size_t shards, const StockStream& stream,
   // re-fire against the recovered process.
   injector->Disarm(fault_points::kWalTornTail);
   injector->Disarm(fault_points::kCkptKillMidWrite);
+  injector->Disarm(fault_points::kFsyncParentDir);
 
   // --- Phase 2: the recovering process. -----------------------------------
   CollectSink recovered_sink;
@@ -368,6 +369,24 @@ TEST_P(RecoveryTest, CheckpointKilledMidWrite) {
   plan.ckpt_every = 1000;
   RunCrashRecoveryAnyEngine(GetParam(), stream, stream.events, plan, &injector,
                             Label("ckptkill"));
+}
+
+TEST_P(RecoveryTest, CheckpointKilledInPublishWindow) {
+  const StockStream stream = InOrderStock();
+  FaultInjector injector(7);
+  // Checkpoint attempts 2 and 3 (events 2000, 3000) die in the publish
+  // window: the temp image is complete and fsynced, but the rename (and
+  // the parent-directory fsync that would make the new filename durable)
+  // never lands. A real crash there leaves "previous snapshot still
+  // current" as the durable state — the bug this fault point guards was a
+  // rename with NO directory fsync at all, where a well-timed power cut
+  // could lose the snapshot filename even after Checkpoint() returned OK.
+  injector.ArmKeys(fault_points::kFsyncParentDir, {2, 3});
+  CrashPlan plan;
+  plan.kill_at = 3500;
+  plan.ckpt_every = 1000;
+  RunCrashRecoveryAnyEngine(GetParam(), stream, stream.events, plan, &injector,
+                            Label("publishkill"));
 }
 
 TEST_P(RecoveryTest, CrashDuringRecoveryThenRetry) {

@@ -1,0 +1,251 @@
+// Wire-protocol unit suite: frame round trips over a socketpair, clean
+// close vs torn-stream detection, CRC rejection, oversized-length
+// rejection, and encode/decode round trips of the reply and result
+// message bodies (scores must survive as exact IEEE-754 bit patterns).
+
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace cepr {
+namespace net {
+namespace {
+
+/// Connected AF_UNIX stream pair; both ends close on destruction.
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+  void CloseA() {
+    ::close(a);
+    a = -1;
+  }
+};
+
+TEST(FrameTest, RoundTripsPayloads) {
+  SocketPair sp;
+  const std::vector<std::string> payloads = {
+      "", "x", std::string("\0\1\2\xff", 4), std::string(100000, 'q')};
+  for (const std::string& payload : payloads) {
+    ASSERT_TRUE(WriteFrame(sp.a, payload).ok());
+    std::string got;
+    ASSERT_TRUE(ReadFrame(sp.b, &got).ok());
+    EXPECT_EQ(got, payload);
+  }
+}
+
+TEST(FrameTest, InterleavedFramesStayFramed) {
+  SocketPair sp;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(WriteFrame(sp.a, "frame-" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    std::string got;
+    ASSERT_TRUE(ReadFrame(sp.b, &got).ok());
+    EXPECT_EQ(got, "frame-" + std::to_string(i));
+  }
+}
+
+TEST(FrameTest, CleanCloseAtBoundaryIsDistinguishable) {
+  SocketPair sp;
+  ASSERT_TRUE(WriteFrame(sp.a, "last").ok());
+  sp.CloseA();
+  std::string got;
+  ASSERT_TRUE(ReadFrame(sp.b, &got).ok());
+  EXPECT_EQ(got, "last");
+  const Status s = ReadFrame(sp.b, &got);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(IsCleanClose(s)) << s.ToString();
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+}
+
+TEST(FrameTest, EofInsideHeaderIsTorn) {
+  SocketPair sp;
+  const char partial[3] = {1, 0, 0};
+  ASSERT_EQ(::write(sp.a, partial, sizeof(partial)),
+            static_cast<ssize_t>(sizeof(partial)));
+  sp.CloseA();
+  std::string got;
+  const Status s = ReadFrame(sp.b, &got);
+  EXPECT_EQ(s.code(), StatusCode::kCorrupt) << s.ToString();
+  EXPECT_FALSE(IsCleanClose(s));
+}
+
+TEST(FrameTest, EofInsidePayloadIsTorn) {
+  SocketPair sp;
+  BinWriter w;
+  w.U32(100);  // length promises 100 bytes
+  w.U32(Crc32("x", 1));
+  const std::string header = w.Take();
+  ASSERT_EQ(::write(sp.a, header.data(), header.size()),
+            static_cast<ssize_t>(header.size()));
+  ASSERT_EQ(::write(sp.a, "x", 1), 1);  // only 1 arrives
+  sp.CloseA();
+  std::string got;
+  const Status s = ReadFrame(sp.b, &got);
+  EXPECT_EQ(s.code(), StatusCode::kCorrupt) << s.ToString();
+}
+
+TEST(FrameTest, CrcMismatchIsCorrupt) {
+  SocketPair sp;
+  BinWriter w;
+  w.U32(5);
+  w.U32(Crc32("hello", 5) ^ 0x1);  // one bit off
+  std::string wire = w.Take();
+  wire += "hello";
+  ASSERT_EQ(::write(sp.a, wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+  std::string got;
+  const Status s = ReadFrame(sp.b, &got);
+  EXPECT_EQ(s.code(), StatusCode::kCorrupt) << s.ToString();
+  EXPECT_NE(s.ToString().find("checksum"), std::string::npos) << s.ToString();
+}
+
+TEST(FrameTest, OversizedLengthIsRejectedWithoutAllocating) {
+  SocketPair sp;
+  BinWriter w;
+  w.U32(0xFFFFFFFFu);  // 4GB "frame": a bit-flipped length field
+  w.U32(0);
+  const std::string header = w.Take();
+  ASSERT_EQ(::write(sp.a, header.data(), header.size()),
+            static_cast<ssize_t>(header.size()));
+  std::string got;
+  const Status s = ReadFrame(sp.b, &got);
+  EXPECT_EQ(s.code(), StatusCode::kCorrupt) << s.ToString();
+  EXPECT_NE(s.ToString().find("64MB"), std::string::npos) << s.ToString();
+}
+
+TEST(FrameTest, WriterRejectsOversizedPayload) {
+  SocketPair sp;
+  // Don't materialize 64MB: the check is on size(), so a sparse string works.
+  std::string big;
+  big.resize(kMaxFrameBytes + 1);
+  EXPECT_EQ(WriteFrame(sp.a, big).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, GarbageBytesNeverCrashTheReader) {
+  Random rng(0x6A5BA6E);
+  for (int i = 0; i < 200; ++i) {
+    SocketPair sp;
+    const size_t n = 1 + rng.Uniform(64);
+    std::string junk(n, '\0');
+    for (char& c : junk) c = static_cast<char>(rng.Uniform(256));
+    ASSERT_EQ(::write(sp.a, junk.data(), junk.size()),
+              static_cast<ssize_t>(junk.size()));
+    sp.CloseA();
+    // Read frames until an error; every verdict must be a clean status.
+    while (true) {
+      std::string got;
+      const Status s = ReadFrame(sp.b, &got);
+      if (s.ok()) continue;  // junk happened to frame correctly; keep going
+      EXPECT_TRUE(s.code() == StatusCode::kCorrupt || IsCleanClose(s))
+          << s.ToString();
+      break;
+    }
+  }
+}
+
+TEST(MessageTest, ReplyRoundTrips) {
+  const std::string frame =
+      EncodeReply(Status::NotFound("no such query"), "extra");
+  BinReader r(frame);
+  uint8_t type = 0;
+  ASSERT_TRUE(r.U8(&type));
+  EXPECT_EQ(type, static_cast<uint8_t>(MsgType::kReply));
+  uint8_t code = 0;
+  std::string message;
+  std::string payload;
+  ASSERT_TRUE(DecodeReplyBody(&r, &code, &message, &payload));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(static_cast<StatusCode>(code), StatusCode::kNotFound);
+  EXPECT_EQ(message, "no such query");
+  EXPECT_EQ(payload, "extra");
+}
+
+TEST(MessageTest, ResultRoundTripsBitExactly) {
+  RankedResult res;
+  res.window_id = -7;
+  res.rank = 3;
+  res.provisional = true;
+  res.match.score = std::nextafter(0.1, 1.0);  // not representable in text
+  res.match.first_ts = 1111;
+  res.match.last_ts = 2222;
+  res.match.last_sequence = 987654321;
+  res.match.row = {Value::Int(42), Value::Float(2.5), Value::String("sym"),
+                   Value::Bool(true), Value::Null()};
+
+  const std::string frame = EncodeResult("crash", res);
+  BinReader r(frame);
+  uint8_t type = 0;
+  ASSERT_TRUE(r.U8(&type));
+  EXPECT_EQ(type, static_cast<uint8_t>(MsgType::kResult));
+  WireResult got;
+  ASSERT_TRUE(DecodeResultBody(&r, &got));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(got.query, "crash");
+  EXPECT_EQ(got.window_id, -7);
+  EXPECT_EQ(got.rank, 3u);
+  EXPECT_TRUE(got.provisional);
+  // Bitwise equality, not EXPECT_DOUBLE_EQ: the wire carries bit patterns.
+  EXPECT_EQ(got.score, res.match.score);
+  EXPECT_EQ(got.first_ts, 1111);
+  EXPECT_EQ(got.last_ts, 2222);
+  EXPECT_EQ(got.last_sequence, 987654321u);
+  EXPECT_EQ(got.row, res.match.row);
+}
+
+TEST(MessageTest, TruncatedResultBodiesFailCleanly) {
+  RankedResult res;
+  res.match.row = {Value::Int(1), Value::String("abc")};
+  const std::string frame = EncodeResult("q", res);
+  for (size_t cut = 1; cut < frame.size(); ++cut) {
+    BinReader r(frame.data(), cut);
+    uint8_t type = 0;
+    ASSERT_TRUE(r.U8(&type));
+    WireResult got;
+    EXPECT_FALSE(DecodeResultBody(&r, &got) && r.AtEnd())
+        << "cut at " << cut << " decoded";
+  }
+}
+
+TEST(MessageTest, ResultCountFieldCannotOverAllocate) {
+  // A result body claiming 2^32-1 row values with no bytes behind it must
+  // fail the plausibility check, not loop or reserve gigabytes.
+  BinWriter w;
+  w.Str("q");
+  w.I64(0);
+  w.U64(0);
+  w.Bool(false);
+  w.F64(0.0);
+  w.I64(0);
+  w.I64(0);
+  w.U64(0);
+  w.U32(0xFFFFFFFFu);
+  const std::string body = w.Take();
+  BinReader r(body);
+  WireResult got;
+  EXPECT_FALSE(DecodeResultBody(&r, &got));
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace cepr

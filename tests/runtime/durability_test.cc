@@ -15,6 +15,7 @@
 #include "common/random.h"
 #include "runtime/engine.h"
 #include "runtime/sharded_engine.h"
+#include "runtime/wal.h"
 #include "workload/stock.h"
 
 namespace cepr {
@@ -221,6 +222,73 @@ TEST(SnapshotTest, CheckpointIsAtomicAgainstOverwrite) {
   std::ifstream tmp(snap + ".tmp", std::ios::binary);
   EXPECT_FALSE(tmp.good());
   engine.Finish();
+}
+
+// --- Chunked WAL open scan -------------------------------------------------
+
+TEST(WalScanTest, MultiMegabyteWalTruncatesTornTailIdenticallyToReadAll) {
+  // Regression for the open-time scan: it used to slurp the whole journal
+  // into one string; it now streams fixed-size chunks. The observable
+  // contract must be unchanged however large the file is and wherever the
+  // torn tail lands relative to chunk boundaries (256KiB): Open truncates
+  // to exactly the valid prefix WalReader::ReadAll sees, counts the same
+  // records, and appending resumes cleanly.
+  const std::string path = ::testing::TempDir() + "durability_chunked.wal";
+  std::remove(path.c_str());
+
+  // ~2000 records of ~2KB each => ~4MB, many scan chunks. Payload sizes are
+  // deliberately not divisors of the chunk size, so frames straddle chunk
+  // boundaries at varying offsets.
+  const size_t kRecords = 2000;
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    for (size_t i = 0; i < kRecords; ++i) {
+      Event e(SchemaPtr{}, static_cast<Timestamp>(i * 1000),
+              {Value::Int(static_cast<int64_t>(i)),
+               Value::String(std::string(1700 + i % 613, 'x'))});
+      ASSERT_TRUE(writer.AppendEvent("S", e).ok());
+    }
+    ASSERT_TRUE(writer.Sync().ok());
+  }
+  const std::string intact = ReadFileOrDie(path);
+  ASSERT_GT(intact.size(), 3u << 20) << "file too small to exercise chunking";
+
+  // Torn tails at positions chosen to straddle scan-chunk boundaries:
+  // just under / at / just over 1 and 2 chunks, plus a mid-file cut and a
+  // cut inside the final frame.
+  const size_t chunk = 256u << 10;
+  const std::vector<size_t> cuts = {
+      chunk - 3,     chunk,         chunk + 5,      2 * chunk - 1,
+      2 * chunk + 9, intact.size() / 2, intact.size() - 7};
+  for (const size_t cut : cuts) {
+    SCOPED_TRACE("torn at " + std::to_string(cut));
+    WriteFileOrDie(path, intact.substr(0, cut));
+
+    // Reference: the reader's valid-prefix verdict on the torn file.
+    std::vector<WalRecord> read_back;
+    uint64_t dropped = 0;
+    ASSERT_TRUE(WalReader::ReadAll(path, &read_back, &dropped).ok());
+
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    EXPECT_EQ(writer.records(), read_back.size());
+
+    // Open physically truncated the torn bytes away.
+    const std::string after_open = ReadFileOrDie(path);
+    EXPECT_EQ(after_open.size(), cut - dropped);
+    EXPECT_EQ(after_open, intact.substr(0, after_open.size()));
+
+    // Appending resumes after the last valid record.
+    Event extra(SchemaPtr{}, 1, {Value::Int(-1), Value::String("tail")});
+    ASSERT_TRUE(writer.AppendEvent("S", extra).ok());
+    writer.Close();
+    std::vector<WalRecord> final_records;
+    ASSERT_TRUE(WalReader::ReadAll(path, &final_records, nullptr).ok());
+    ASSERT_EQ(final_records.size(), read_back.size() + 1);
+    EXPECT_EQ(final_records.back().event.values().back().AsString(), "tail");
+  }
+  std::remove(path.c_str());
 }
 
 // --- Torn-file fuzz --------------------------------------------------------
